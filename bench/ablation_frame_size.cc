@@ -1,0 +1,51 @@
+// §5 frame-size study: "it may be most advantageous to pick frame sizes
+// which deliver 80-90% of the achievable bandwidth; there is little
+// bandwidth benefit in going beyond this size, and FM shows that low
+// latencies are possible. Based on these considerations, we chose a
+// 128-byte frame size for FM 1.0."
+//
+// Sweep the FM frame size, report streaming bandwidth (as % of the largest
+// frame's) and one-way frame latency, and mark the paper's choice.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm;
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "ablation_frame_size");
+  print_heading(stdout, "Ablation: FM frame size (the 128 B design choice)");
+
+  const std::vector<std::size_t> frames = {16, 32, 64,  128, 192,
+                                           256, 384, 512, 768, 1024};
+  struct Row {
+    std::size_t frame;
+    double bw;
+    double lat;
+  };
+  std::vector<Row> rows;
+  for (std::size_t f : frames) {
+    FmConfig cfg;
+    cfg.frame_payload = f;
+    lcp::FmLcpConfig lcfg;
+    double bw = fm_bandwidth_custom_mbs(cfg, lcfg, f, args.opts.stream_packets);
+    double lat =
+        fm_latency_custom_s(cfg, lcfg, f, args.opts.pingpong_rounds) * 1e6;
+    rows.push_back({f, bw, lat});
+  }
+  double best = 0;
+  for (const auto& r : rows) best = std::max(best, r.bw);
+  std::printf("\n%10s %12s %16s %14s\n", "frame (B)", "BW (MB/s)",
+              "% of achievable", "latency (us)");
+  for (const auto& r : rows)
+    std::printf("%10zu %12.2f %15.1f%% %14.2f%s\n", r.frame, r.bw,
+                100.0 * r.bw / best, r.lat,
+                r.frame == 128 ? "   <= FM 1.0 choice" : "");
+  // The design rule the paper states: 128 B should land in the 60-90% band
+  // while keeping latency far below the big-frame latencies.
+  for (const auto& r : rows)
+    if (r.frame == 128)
+      std::printf(
+          "\n128 B delivers %.0f%% of achievable bandwidth at %.1f us "
+          "latency\n(paper's rule: pick the knee at 80-90%%).\n",
+          100.0 * r.bw / best, r.lat);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Appendix A: theoretical peak performance of the LANai — the closed-form
+// model, checked against a simulated "ideal LCP" that does nothing but
+// back-to-back DMA transmits (no pointer updates, no checks, no loops).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "hw/cluster.h"
+#include "lcp/theoretical.h"
+
+namespace {
+
+fm::hw::Packet mk(fm::hw::Nic& nic, fm::NodeId dest, std::size_t bytes) {
+  fm::hw::Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0x5A);
+  return p;
+}
+
+// One-way transfer time for an LCP with zero software overhead.
+double ideal_latency_us(std::size_t bytes) {
+  fm::hw::Cluster c(2);
+  auto send = [](fm::hw::Cluster& c, std::size_t b) -> fm::sim::Task {
+    co_await c.node(0).nic().transmit(mk(c.node(0).nic(), 1, b));
+  };
+  c.sim().spawn(send(c, bytes));
+  c.sim().run();
+  return fm::sim::to_us(c.sim().now());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = fm::bench::parse_args(argc, argv, "appendix_a_model");
+  (void)args;
+  fm::metrics::print_heading(
+      stdout, "Appendix A: Theoretical peak performance of the LANai");
+  fm::lcp::TheoreticalPeak t;
+  std::printf(
+      "\nModel: t_DMA = 320 ns; t0(N) = 320 + 12.5N ns;"
+      " l(N) = t0(N) + 550 ns; r(N) = N / t0(N)\n\n");
+  std::printf("%8s %14s %14s %14s %14s\n", "bytes", "t0 (us)", "l model (us)",
+              "l sim (us)", "r(N) (MB/s)");
+  for (std::size_t n : {0u, 16u, 64u, 128u, 256u, 512u, 1024u, 4096u}) {
+    double sim_lat = ideal_latency_us(n);
+    std::printf("%8zu %14.3f %14.3f %14.3f %14.2f\n", n,
+                fm::sim::to_us(t.overhead(n)), fm::sim::to_us(t.latency(n)),
+                sim_lat, t.bandwidth_mbs(n));
+    // The simulated hardware must match the closed form exactly — a drift
+    // here means the hardware model and the paper's constants diverged.
+    if (sim_lat != fm::sim::to_us(t.latency(n))) {
+      std::fprintf(stderr, "MODEL MISMATCH at %zu bytes\n", n);
+      return 1;
+    }
+  }
+  std::printf(
+      "\nr_inf = %.1f MB/s (link limit), n1/2 = %.1f B (model form)\n"
+      "Simulated ideal-LCP latency matches the closed form at every size.\n",
+      t.r_inf_mbs(), t.n_half());
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared plumbing for the figure/table bench binaries.
+//
+// Every binary accepts:
+//   --packets=N   packets per bandwidth point   (default 2048; paper: 65535)
+//   --rounds=N    ping-pong round trips         (default 50, the paper's)
+//   --csv=PATH    CSV output path               (default results/<bench>.csv)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "metrics/harness.h"
+#include "metrics/report.h"
+
+namespace fm::bench {
+
+struct Args {
+  metrics::MeasureOpts opts;
+  std::string csv;
+};
+
+inline Args parse_args(int argc, char** argv, const char* bench_name) {
+  Args a;
+  a.csv = std::string("results/") + bench_name + ".csv";
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--packets=", 10) == 0) {
+      a.opts.stream_packets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      a.opts.pingpong_rounds = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--csv=", 6) == 0) {
+      a.csv = arg + 6;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: %s [--packets=N] [--rounds=N] [--csv=PATH]\n",
+                  bench_name);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      std::exit(2);
+    }
+  }
+  return a;
+}
+
+/// Runs a standard multi-series figure: sweep each layer, print tables,
+/// charts, summary with paper references, and write the CSV.
+inline void run_figure(const Args& args, const std::string& title,
+                       const std::vector<metrics::Layer>& layers,
+                       const std::vector<metrics::PaperRef>& refs) {
+  using namespace metrics;
+  print_heading(stdout, title);
+  std::vector<SweepResult> series;
+  for (Layer l : layers) series.push_back(sweep(l, paper_sizes(), args.opts));
+  print_latency_table(stdout, series);
+  print_bandwidth_table(stdout, series);
+  chart_latency(stdout, series);
+  chart_bandwidth(stdout, series);
+  print_summary(stdout, series, refs);
+  write_csv(args.csv, series);
+  std::printf("\nCSV written to %s\n", args.csv.c_str());
+}
+
+}  // namespace fm::bench

@@ -1,0 +1,138 @@
+// Extension study: FM across multi-switch Myrinet cascades.
+//
+// The paper measured through one 8-port switch; real Myrinet installations
+// cascaded switches ("Myrinet—a gigabit-per-second local-area network").
+// Two questions the single-switch data cannot answer:
+//   1. How does FM's one-way latency scale with hop count? (Model says
+//      +550 ns per switch — small next to FM's software costs, which is
+//      itself a point the paper's design makes possible.)
+//   2. What happens to aggregate bandwidth when flows share an
+//      inter-switch cable (the cascade's bisection)?
+#include "bench/bench_common.h"
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+
+namespace {
+
+using namespace fm;
+
+double fm_latency_hops(std::size_t dest, std::size_t bytes,
+                       std::size_t rounds) {
+  hw::Cluster c(8, hw::HwParams::paper(), /*nodes_per_switch=*/2);
+  FmConfig cfg;
+  cfg.frame_payload = std::max<std::size_t>(bytes, 16);
+  SimEndpoint a(c.node(0), cfg), b(c.node(static_cast<NodeId>(dest)), cfg);
+  std::size_t pongs = 0;
+  HandlerId ha = a.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hb = b.register_handler(
+      [](SimEndpoint& ep, NodeId src, const void* d, std::size_t n) {
+        ep.post_send(src, 1, d, n);
+      });
+  FM_CHECK(ha == hb);
+  a.start();
+  b.start();
+  auto ping = [](SimEndpoint& a, NodeId dest, std::size_t bytes,
+                 std::size_t rounds, std::size_t* pongs) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      FM_CHECK(ok(co_await a.send(dest, 1, buf.data(), buf.size())));
+      std::size_t before = *pongs;
+      while (*pongs == before) (void)co_await a.extract_blocking();
+    }
+  };
+  auto pong = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(ping(a, static_cast<NodeId>(dest), bytes, rounds, &pongs));
+  c.sim().spawn(pong(b));
+  c.sim().run_while_pending([&] { return pongs >= rounds; });
+  double us = sim::to_us(c.sim().now()) / (2.0 * static_cast<double>(rounds));
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return us;
+}
+
+// Aggregate delivered bandwidth for `pairs` simultaneous flows, each
+// sender i -> receiver (pairs + i), all crossing the cascade's middle.
+double aggregate_crossing_bw(std::size_t pairs, std::size_t bytes,
+                             std::size_t packets) {
+  hw::Cluster c(2 * pairs, hw::HwParams::paper(), /*nodes_per_switch=*/pairs);
+  FmConfig cfg;
+  cfg.frame_payload = bytes;
+  std::vector<std::unique_ptr<SimEndpoint>> eps;
+  for (std::size_t i = 0; i < 2 * pairs; ++i)
+    eps.push_back(std::make_unique<SimEndpoint>(c.node(i), cfg));
+  std::size_t delivered = 0;
+  HandlerId h = 0;
+  for (auto& ep : eps)
+    h = ep->register_handler(
+        [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++delivered; });
+  for (auto& ep : eps) ep->start();
+  auto tx = [](SimEndpoint& ep, NodeId dest, HandlerId h, std::size_t bytes,
+               std::size_t packets) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t i = 0; i < packets; ++i) {
+      FM_CHECK(ok(co_await ep.send(dest, h, buf.data(), buf.size())));
+      if ((i & 15) == 15) (void)co_await ep.extract();
+    }
+    co_await ep.drain();
+  };
+  auto rx = [](SimEndpoint& ep) -> sim::Task {
+    for (;;) (void)co_await ep.extract_blocking();
+  };
+  for (std::size_t i = 0; i < pairs; ++i) {
+    c.sim().spawn(tx(*eps[i], static_cast<NodeId>(pairs + i), h, bytes,
+                     packets));
+    c.sim().spawn(rx(*eps[pairs + i]));
+  }
+  bool done = c.sim().run_while_pending(
+      [&] { return delivered == pairs * packets; });
+  FM_CHECK(done);
+  double mbs = static_cast<double>(pairs * packets * bytes) / 1048576.0 /
+               sim::to_s(c.sim().now());
+  for (auto& ep : eps) ep->shutdown();
+  c.sim().run();
+  return mbs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = fm::bench::parse_args(argc, argv, "ext_multiswitch");
+  fm::metrics::print_heading(stdout,
+                             "Extension: FM across multi-switch cascades");
+
+  std::printf("\n[1] One-way 16 B latency vs switch hops (8 nodes, 2/switch):\n");
+  std::printf("%8s %8s %14s %16s\n", "dest", "hops", "latency (us)",
+              "delta vs 1 hop");
+  double base = 0;
+  for (std::size_t dest : {1u, 2u, 4u, 6u}) {
+    std::size_t hops = 1 + (dest / 2);
+    double us = fm_latency_hops(dest, 16, args.opts.pingpong_rounds);
+    if (dest == 1) base = us;
+    std::printf("%8zu %8zu %14.2f %+15.2f\n", dest, hops, us, us - base);
+  }
+  std::printf(
+      "(model: +0.55 us per extra switch — small against FM's ~%.0f us\n"
+      " software path, which is the point: the switch is not the problem)\n",
+      base);
+
+  std::printf(
+      "\n[2] Aggregate bandwidth, N flows crossing one cascade cable\n"
+      "    (512 B frames; the cable is the bisection bottleneck):\n");
+  std::printf("%8s %18s %18s\n", "flows", "aggregate MB/s", "per-flow MB/s");
+  for (std::size_t pairs : {1u, 2u, 3u, 4u}) {
+    double mbs = aggregate_crossing_bw(pairs, 512,
+                                       std::min<std::size_t>(
+                                           args.opts.stream_packets, 512));
+    std::printf("%8zu %18.2f %18.2f\n", pairs, mbs,
+                mbs / static_cast<double>(pairs));
+  }
+  std::printf(
+      "(per-flow bandwidth holds until the flows' demand exceeds the\n"
+      " 76.3 MB/s cable; host PIO at ~21 MB/s per sender means ~3-4 flows\n"
+      " saturate it — a sizing rule the single-switch paper could not see)\n");
+  return 0;
+}

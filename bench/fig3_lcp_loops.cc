@@ -1,0 +1,17 @@
+// Figure 3: LANai-to-LANai performance — baseline vs streamed LCP loops vs
+// the Appendix A theoretical peak. No host or SBus involvement.
+//
+// Paper results: baseline t0 = 4.2 us / n1/2 = 315 B; streamed t0 = 3.5 us /
+// n1/2 = 249 B; both reach the 76.3 MB/s link limit for large packets;
+// theoretical peak l(N) = 870 ns + 12.5 ns/B.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "fig3_lcp_loops");
+  fm::bench::run_figure(
+      args, "Figure 3: LANai to LANai performance",
+      {Layer::kLanaiBaseline, Layer::kLanaiStreamed, Layer::kTheoretical},
+      {{4.2, 76.3, 315}, {3.5, 76.3, 249}, {0.32, 76.3, 26}});
+  return 0;
+}

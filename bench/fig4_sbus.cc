@@ -1,0 +1,20 @@
+// Figure 4: Minimal host-to-host performance — the SBus-management study.
+// streamed+hybrid (PIO out / DMA in) vs streamed+all-DMA vs the raw
+// streamed LCP (no host).
+//
+// Paper results: hybrid t0 = 3.5 us / r_inf = 21.2 / n1/2 = 44 B;
+// all-DMA t0 = 7.5 us / r_inf = 33.0 / n1/2 = 162 B. "The poor performance
+// of processor mediated data movement forces a performance tradeoff between
+// short and long message performance" — hybrid wins small, all-DMA wins the
+// asymptote, and FM chooses hybrid.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "fig4_sbus");
+  fm::bench::run_figure(
+      args, "Figure 4: Minimal host to host performance",
+      {Layer::kHybridMinimal, Layer::kAllDma, Layer::kLanaiStreamed},
+      {{3.5, 21.2, 44}, {7.5, 33.0, 162}, {3.5, 76.3, 249}});
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Figure 7: Host-to-host performance with buffer management — the hybrid
+// layer, + FM's four-queue buffer management (aggregated delivery), and
+// + a switch() statement simulating minimal packet interpretation in the
+// LCP receive loop.
+//
+// Paper results: buffer mgmt costs almost nothing (t0 3.5 -> 3.8 us, n1/2
+// 44 -> 53 B) because aggregation pays for the bookkeeping; interpretation
+// in the LCP is disproportionately expensive (t0 6.8 us, n1/2 127 B) —
+// "Clearly, adding packet interpretation to the LCP would dramatically
+// reduce short message performance."
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "fig7_bufmgmt");
+  fm::bench::run_figure(
+      args, "Figure 7: Host to host performance with buffer management",
+      {Layer::kHybridMinimal, Layer::kBufMgmt, Layer::kBufMgmtSwitch},
+      {{3.5, 21.2, 44}, {3.8, 21.9, 53}, {6.8, 21.8, 127}});
+  return 0;
+}

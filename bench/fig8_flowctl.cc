@@ -1,0 +1,18 @@
+// Figure 8: the complete Fast Messages layer — buffer management with and
+// without return-to-sender flow control.
+//
+// Paper results: "return-to-sender incurs little additional latency and
+// only moderate loss in bandwidth... The entire FM layer achieves t0 =
+// 4.1 us, r_inf = 21.4 MB/s, and n1/2 = 54 bytes, a negligible difference
+// from the performance of streamed + hybrid + buffer management."
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "fig8_flowctl");
+  fm::bench::run_figure(
+      args, "Figure 8: Fast Messages messaging layer performance",
+      {Layer::kBufMgmt, Layer::kFm},
+      {{3.8, 21.9, 53}, {4.1, 21.4, 54}});
+  return 0;
+}

@@ -1,0 +1,43 @@
+// The paper's §1/§5 headline numbers, regenerated:
+//   * one-way latency: 25 us for 4-word messages, 32 us for 128 B packets
+//   * bandwidth: 16.2 MB/s at 128 B, 19.6 MB/s at 512 B (> OC-3's 19.4)
+//   * n1/2 = 54 B; delivered bandwidth at n1/2 = 10.7 MB/s
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace fm::metrics;
+  auto args = fm::bench::parse_args(argc, argv, "headline_numbers");
+  print_heading(stdout, "Headline numbers: FM 1.0 user-level performance");
+
+  double lat16 = measure_latency_s(Layer::kFm, 16, args.opts) * 1e6;
+  double lat128 = measure_latency_s(Layer::kFm, 128, args.opts) * 1e6;
+  double bw128 = measure_bandwidth_mbs(Layer::kFm, 128, args.opts);
+  double bw512 = measure_bandwidth_mbs(Layer::kFm, 512, args.opts);
+  auto s = sweep(Layer::kFm, paper_sizes(), args.opts);
+  double bw_at_nhalf =
+      s.n_half_bytes > 0
+          ? measure_bandwidth_mbs(
+                Layer::kFm, static_cast<std::size_t>(s.n_half_bytes),
+                args.opts)
+          : 0.0;
+
+  std::printf("\n%-46s %10s %10s\n", "metric", "measured", "paper");
+  std::printf("%-46s %10.1f %10s\n", "one-way latency, 4-word message (us)",
+              lat16, "25");
+  std::printf("%-46s %10.1f %10s\n", "one-way latency, 128 B packet (us)",
+              lat128, "32");
+  std::printf("%-46s %10.1f %10s\n", "bandwidth at 128 B (MB/s)", bw128,
+              "16.2");
+  std::printf("%-46s %10.1f %10s\n", "bandwidth at 512 B (MB/s)", bw512,
+              "19.6");
+  std::printf("%-46s %10.0f %10s\n", "n1/2 (B)", s.n_half_bytes, "54");
+  std::printf("%-46s %10.1f %10s\n", "bandwidth at n1/2 (MB/s)", bw_at_nhalf,
+              "10.7");
+  std::printf("%-46s %10.1f %10s\n", "asymptotic bandwidth r_inf (MB/s)",
+              s.r_inf_mbs, "21.4");
+  std::printf(
+      "\nOC-3 ATM physical link bandwidth is 19.4 MB/s; FM at 512 B delivers "
+      "%.1f MB/s (%+.1f%% vs OC-3; the paper measured 19.6).\n",
+      bw512, 100.0 * (bw512 - 19.4) / 19.4);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// google-benchmark micro-benchmarks of the protocol hot paths shared by
+// both backends: frame encode/decode, window bookkeeping, reassembly, and
+// the mini-MPI collectives over threads.
+#include <benchmark/benchmark.h>
+
+#include "fm/frame.h"
+#include "fm/protocol.h"
+#include "mpi_mini/comm.h"
+#include "shm/cluster.h"
+
+namespace {
+
+using namespace fm;
+
+void BM_FrameEncode(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> payload(bytes, 0x5A);
+  std::uint32_t acks[2] = {1, 2};
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = 1;
+  h.src = 0;
+  h.payload_len = static_cast<std::uint16_t>(bytes);
+  h.ack_count = 2;
+  for (auto _ : state) {
+    auto wire = encode_frame(h, payload.data(), acks);
+    benchmark::DoNotOptimize(wire.data());
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations() * bytes));
+}
+BENCHMARK(BM_FrameEncode)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> payload(bytes, 0x5A);
+  FrameHeader h;
+  h.payload_len = static_cast<std::uint16_t>(bytes);
+  auto wire = encode_frame(h, payload.data(), nullptr);
+  for (auto _ : state) {
+    auto decoded = decode_header(wire.data(), wire.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameDecode)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_SendWindowCycle(benchmark::State& state) {
+  SendWindow w(4096);
+  std::vector<std::uint8_t> frame(144, 0);
+  for (auto _ : state) {
+    auto seq = w.next_seq();
+    w.track(seq, 1, frame);
+    benchmark::DoNotOptimize(w.ack(seq));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SendWindowCycle);
+
+void BM_ReassembleMessage(benchmark::State& state) {
+  const std::size_t frags = static_cast<std::size_t>(state.range(0));
+  std::vector<std::uint8_t> chunk(128, 0x5A);
+  for (auto _ : state) {
+    Reassembler r(8);
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < frags; ++i) {
+      FrameHeader h;
+      h.flags = FrameHeader::kFlagFragmented;
+      h.msg_id = 1;
+      h.frag_index = static_cast<std::uint16_t>(i);
+      h.frag_count = static_cast<std::uint16_t>(frags);
+      h.payload_len = 128;
+      benchmark::DoNotOptimize(r.feed(0, h, chunk.data(), &out));
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<long>(state.iterations() * frags * 128));
+}
+BENCHMARK(BM_ReassembleMessage)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_MpiAllreduce(benchmark::State& state) {
+  const std::size_t ranks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const int kIters = 64;
+    shm::Cluster cluster(ranks);
+    cluster.run([&](shm::Endpoint& ep) {
+      mpi::Comm comm(ep);
+      double x = comm.rank();
+      for (int i = 0; i < kIters; ++i) {
+        double sum = 0;
+        comm.allreduce<double>(&x, &sum, 1, 0,
+                               [](double a, double b) { return a + b; });
+        x = sum / static_cast<double>(comm.size());
+      }
+      comm.endpoint().drain();
+    });
+    state.SetItemsProcessed(state.items_processed() + kIters);
+  }
+}
+BENCHMARK(BM_MpiAllreduce)->Arg(2)->Arg(4)->UseRealTime();
+
+void BM_MpiBarrier(benchmark::State& state) {
+  const std::size_t ranks = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const int kIters = 128;
+    shm::Cluster cluster(ranks);
+    cluster.run([&](shm::Endpoint& ep) {
+      mpi::Comm comm(ep);
+      for (int i = 0; i < kIters; ++i) comm.barrier();
+      comm.endpoint().drain();
+    });
+    state.SetItemsProcessed(state.items_processed() + kIters);
+  }
+}
+BENCHMARK(BM_MpiBarrier)->Arg(2)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// google-benchmark micro-benchmarks of the real (shared-memory) transport:
+// raw SPSC ring operations and the full FM protocol over threads. These are
+// the modern-hardware analogues of the paper's Figure 8 numbers.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "shm/cluster.h"
+#include "shm/spsc_ring.h"
+
+namespace {
+
+using namespace fm;
+
+void BM_SpscRingPushPop(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  shm::SpscRing ring(256, 8192);
+  std::vector<std::uint8_t> msg(bytes, 0x5A);
+  std::vector<std::uint8_t> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(msg.data(), msg.size()));
+    benchmark::DoNotOptimize(ring.try_pop(out));
+  }
+  state.SetBytesProcessed(static_cast<long>(state.iterations() * bytes));
+}
+BENCHMARK(BM_SpscRingPushPop)->Arg(16)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_SpscRingCrossThread(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    shm::SpscRing ring(256, 8192);
+    const int kFrames = 4096;
+    state.ResumeTiming();
+    std::thread producer([&] {
+      std::vector<std::uint8_t> msg(bytes, 0x5A);
+      for (int i = 0; i < kFrames; ++i)
+        while (!ring.try_push(msg.data(), msg.size()))
+          std::this_thread::yield();
+    });
+    std::vector<std::uint8_t> out;
+    for (int i = 0; i < kFrames; ++i)
+      while (!ring.try_pop(out)) std::this_thread::yield();
+    producer.join();
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<long>(kFrames * bytes));
+  }
+}
+BENCHMARK(BM_SpscRingCrossThread)->Arg(128)->Arg(1024)->UseRealTime();
+
+// Full FM protocol between two threads: send4 round rate.
+void BM_ShmFmMessageRate(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const std::size_t kMsgs = 4096;
+    shm::Cluster cluster(2);
+    std::atomic<std::size_t> got{0};
+    HandlerId h = cluster.register_handler(
+        [&](shm::Endpoint&, NodeId, const void*, std::size_t) { ++got; });
+    cluster.run([&](shm::Endpoint& ep) {
+      if (ep.id() == 0) {
+        std::vector<std::uint8_t> buf(bytes, 0x5A);
+        for (std::size_t i = 0; i < kMsgs; ++i) {
+          (void)ep.send(1, h, buf.data(), buf.size());
+          if ((i & 31) == 31) ep.extract();
+        }
+        ep.drain();
+      } else {
+        ep.extract_until([&] { return got.load() == kMsgs; });
+        ep.drain();
+      }
+    });
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<long>(kMsgs));
+    state.SetBytesProcessed(state.bytes_processed() +
+                            static_cast<long>(kMsgs * bytes));
+  }
+}
+BENCHMARK(BM_ShmFmMessageRate)->Arg(16)->Arg(128)->Arg(1024)->UseRealTime();
+
+// FM ping-pong over threads: round-trip latency.
+void BM_ShmFmPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    const int kRounds = 2048;
+    shm::Cluster cluster(2);
+    std::atomic<int> pongs{0};
+    HandlerId hpong = cluster.register_handler(
+        [&](shm::Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+    HandlerId hping = cluster.register_handler(
+        [&](shm::Endpoint& ep, NodeId src, const void* d, std::size_t n) {
+          ep.post_send(src, hpong, d, n);
+        });
+    cluster.run([&](shm::Endpoint& ep) {
+      if (ep.id() == 0) {
+        for (int i = 0; i < kRounds; ++i) {
+          (void)ep.send4(1, hping, 1, 2, 3, 4);
+          int target = i + 1;
+          ep.extract_until([&] { return pongs.load() >= target; });
+        }
+        ep.drain();
+      } else {
+        ep.extract_until([&] { return pongs.load() >= kRounds; });
+        ep.drain();
+      }
+    });
+    state.SetItemsProcessed(state.items_processed() + kRounds);
+  }
+}
+BENCHMARK(BM_ShmFmPingPong)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// google-benchmark micro-benchmarks of the simulator substrate itself:
+// event dispatch rate, coroutine primitive costs, and full-stack simulated
+// message rates. These guard against performance regressions that would
+// make the figure benches (millions of events) painful.
+#include <benchmark/benchmark.h>
+
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+#include "sim/mailbox.h"
+#include "sim/semaphore.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fm;
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1024; ++i)
+      s.schedule_fn(sim::ns(i), [] {});
+    s.run();
+    benchmark::DoNotOptimize(s.dispatched());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventDispatch);
+
+void BM_CoroutinePingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Mailbox<int> a(s, 1), b(s, 1);
+    auto left = [](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task {
+      for (int i = 0; i < 256; ++i) {
+        co_await a.send(i);
+        (void)co_await b.recv();
+      }
+    };
+    auto right = [](sim::Mailbox<int>& a, sim::Mailbox<int>& b) -> sim::Task {
+      for (int i = 0; i < 256; ++i) {
+        int v = co_await a.recv();
+        co_await b.send(v);
+      }
+    };
+    s.spawn(left(a, b));
+    s.spawn(right(a, b));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_CoroutinePingPong);
+
+void BM_SemaphoreHandoff(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Semaphore sem(s, 1);
+    auto user = [](sim::Simulator& s, sim::Semaphore& sem) -> sim::Task {
+      for (int i = 0; i < 128; ++i) {
+        co_await sem.acquire();
+        co_await s.delay(sim::ns(10));
+        sem.release();
+      }
+    };
+    s.spawn(user(s, sem));
+    s.spawn(user(s, sem));
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_SemaphoreHandoff);
+
+// Full simulated FM stack: messages per wall-clock second through the whole
+// host/LCP/switch pipeline.
+void BM_SimulatedFmMessages(benchmark::State& state) {
+  const std::size_t kBatch = 64;
+  for (auto _ : state) {
+    hw::Cluster c(2);
+    SimEndpoint a(c.node(0)), b(c.node(1));
+    std::size_t got = 0;
+    (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                                std::size_t) {});
+    HandlerId h = b.register_handler(
+        [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++got; });
+    a.start();
+    b.start();
+    auto tx = [](SimEndpoint& a, HandlerId h, std::size_t n) -> sim::Task {
+      for (std::size_t i = 0; i < n; ++i)
+        co_await a.send4(1, h, 1, 2, 3, 4);
+      co_await a.drain();
+    };
+    auto rx = [](SimEndpoint& b) -> sim::Task {
+      for (;;) (void)co_await b.extract_blocking();
+    };
+    c.sim().spawn(tx(a, h, kBatch));
+    c.sim().spawn(rx(b));
+    c.sim().run_while_pending([&] { return got == kBatch; });
+    a.shutdown();
+    b.shutdown();
+    c.sim().run();
+    benchmark::DoNotOptimize(got);
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SimulatedFmMessages);
+
+}  // namespace
+
+BENCHMARK_MAIN();

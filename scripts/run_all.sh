@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, every figure/table bench,
+# and all examples. This is the repository's one-command verification.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+echo "==== benches ===================================================="
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
+  echo "---- $b"
+  "$b"
+done
+
+echo "==== examples ===================================================="
+./build/examples/quickstart
+./build/examples/pingpong_cluster
+./build/examples/stencil_halo
+./build/examples/mpi_collectives
+./build/examples/stream_transfer 2
+./build/examples/bandwidth_probe 5000

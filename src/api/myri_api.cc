@@ -1,0 +1,130 @@
+#include "api/myri_api.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace fm::api {
+
+sim::Op<Status> MyriApi::send_imm(NodeId dest, const void* buf,
+                                  std::size_t len) {
+  co_return co_await submit(dest, buf, len, /*dma_mode=*/false);
+}
+
+sim::Op<Status> MyriApi::send(NodeId dest, const void* buf, std::size_t len) {
+  co_return co_await submit(dest, buf, len, /*dma_mode=*/true);
+}
+
+sim::Op<Status> MyriApi::send_gather(NodeId dest, const Iovec* iov,
+                                     std::size_t iovcnt) {
+  if (iovcnt == 0 || iov == nullptr) co_return Status::kBadArgument;
+  std::vector<std::uint8_t> flat;
+  for (std::size_t i = 0; i < iovcnt; ++i) {
+    if (iov[i].len > 0 && iov[i].base == nullptr)
+      co_return Status::kBadArgument;
+    const auto* b = static_cast<const std::uint8_t*>(iov[i].base);
+    flat.insert(flat.end(), b, b + iov[i].len);
+  }
+  co_return co_await submit(dest, flat.data(), flat.size(),
+                            /*dma_mode=*/true, iovcnt);
+}
+
+sim::Op<Status> MyriApi::submit(NodeId dest, const void* buf, std::size_t len,
+                                bool dma_mode, std::size_t sg_elements) {
+  if (len > 0 && buf == nullptr) co_return Status::kBadArgument;
+  auto& cpu = node_.cpu();
+  auto& sbus = node_.sbus();
+  const auto& hc = node_.params().hostsw;
+
+  // Build the command descriptor (buffer validation, scatter-gather list,
+  // routing lookup — the API does much more per send than FM does). Each
+  // additional scatter-gather element costs descriptor-build time and a
+  // larger descriptor on the bus.
+  co_await cpu.exec(hc.api_send_setup_cycles +
+                    20 * static_cast<int>(sg_elements - 1));
+
+  hw::Packet pkt;
+  pkt.id = node_.nic().next_packet_id();
+  pkt.dest = dest;
+  const auto* bytes = static_cast<const std::uint8_t*>(buf);
+  pkt.bytes.assign(bytes, bytes + len);
+  // Real CRC-32 trailer: the LANai-side computation cost is charged in
+  // ApiLcp; the value itself travels with the message so corruption on the
+  // wire is detected (Table 3's fault-detection row).
+  const std::uint32_t crc = crc32(pkt.bytes.data(), pkt.bytes.size());
+  pkt.bytes.insert(pkt.bytes.end(),
+                   reinterpret_cast<const std::uint8_t*>(&crc),
+                   reinterpret_cast<const std::uint8_t*>(&crc) + 4);
+  if (dma_mode) {
+    // Stage into the pinned DMA region, then post a small descriptor
+    // (one entry per scatter-gather element).
+    pkt.meta = lcp::kApiMetaDmaFetch;
+    co_await cpu.memcpy_op(len);
+    co_await sbus.pio_write(16 + 16 * sg_elements);
+  } else {
+    // Immediate mode: the processor spools the data into LANai memory.
+    co_await sbus.pio_write(len);
+    co_await sbus.pio_write(32);  // the descriptor itself
+  }
+
+  // Wait for a command slot, then enqueue and ring the doorbell.
+  while (lcp_.send_space() == 0) {
+    co_await sbus.pio_read();
+    if (lcp_.send_space() == 0) co_await lcp_.host_wake().wait();
+  }
+  const std::uint64_t target = lcp_.commands_completed() + 1;
+  bool queued = lcp_.host_enqueue(std::move(pkt));
+  FM_CHECK_MSG(queued, "API command queue raced");
+  co_await sbus.pio_write(8);  // doorbell
+
+  // The buffer-pointer handshake: spin (uncached SBus reads) until the LCP
+  // reports the command complete. This is the API's structural cost.
+  while (lcp_.commands_completed() < target) {
+    co_await sbus.pio_read();
+    if (lcp_.commands_completed() < target)
+      co_await lcp_.host_wake().wait();
+  }
+  ++sent_;
+  co_return Status::kOk;
+}
+
+sim::Op<std::optional<Message>> MyriApi::receive() {
+  auto& cpu = node_.cpu();
+  const auto& hc = node_.params().hostsw;
+  co_await cpu.exec(hc.fm_poll_cycles);  // cheap queue poll
+  hw::Packet pkt;
+  if (!host_rx_.take(pkt)) co_return std::nullopt;
+  // Receive-side buffer management: pass a fresh buffer pointer down to the
+  // LANai, update descriptors.
+  co_await cpu.exec(hc.api_recv_cycles);
+  co_await node_.sbus().pio_write(8);
+  node_.nic().ring_doorbell();
+  // Verify and strip the CRC trailer; a corrupt message is discarded (the
+  // API detects faults but, like FM, does not guarantee delivery).
+  if (pkt.bytes.size() < 4) {
+    ++checksum_failures_;
+    co_return std::nullopt;
+  }
+  std::uint32_t wire_crc;
+  std::memcpy(&wire_crc, pkt.bytes.data() + pkt.bytes.size() - 4, 4);
+  pkt.bytes.resize(pkt.bytes.size() - 4);
+  if (crc32(pkt.bytes.data(), pkt.bytes.size()) != wire_crc) {
+    ++checksum_failures_;
+    co_return std::nullopt;
+  }
+  Message m;
+  m.src = pkt.src;
+  m.data = std::move(pkt.bytes);
+  ++received_;
+  co_return m;
+}
+
+sim::Op<Message> MyriApi::receive_blocking() {
+  for (;;) {
+    auto m = co_await receive();
+    if (m.has_value()) co_return std::move(*m);
+    co_await host_rx_.arrived().wait();
+  }
+}
+
+}  // namespace fm::api

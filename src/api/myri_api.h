@@ -1,0 +1,113 @@
+// Model of the Myricom-supplied "Myrinet API" host library (§4.6, Table 3).
+//
+// The comparison baseline. Two send interfaces, exactly as the paper
+// benchmarks them:
+//   myri_cmd_send_imm() — "uses the processor to move data to the LANai"
+//   myri_cmd_send()     — "uses DMA" (host stages into the DMA region, the
+//                         LANai fetches by DMA; supports scatter-gather)
+//
+// Table 3 semantics as modeled:
+//   Delivery        not guaranteed (no acks, no retransmission)
+//   Delivery order  preserved (single FIFO path end to end)
+//   Buffering       small number of large buffers
+//   Fault detection message checksums (computed in the LANai, costed there;
+//                   verified on real bytes here for the simulated wire)
+//
+// The per-message host<->LANai pointer handshake — "synchronization between
+// the host and the LANai is expensive, yet must be done frequently in the
+// Myrinet API, to pass buffer pointers back and forth" — is modeled
+// faithfully: each send *blocks* until the LCP reports the command complete,
+// which is why the API's streaming period is as bad as its latency.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "lcp/api_lcp.h"
+#include "sim/op.h"
+
+namespace fm::api {
+
+/// A received API message.
+struct Message {
+  NodeId src = kInvalidNode;
+  std::vector<std::uint8_t> data;
+};
+
+/// The Myricom API host endpoint (one per node).
+class MyriApi {
+ public:
+  explicit MyriApi(hw::Node& node)
+      : node_(node),
+        host_rx_(node.nic().lanai().simulator(),
+                 node.params().queues.host_recv_frames),
+        lcp_(node, node.params()) {
+    lcp_.attach_host_recv(&host_rx_);
+  }
+  MyriApi(const MyriApi&) = delete;
+  MyriApi& operator=(const MyriApi&) = delete;
+
+  /// Boots the API control program.
+  void start() { lcp_.start(); }
+  /// Stops it.
+  void shutdown() { lcp_.request_stop(); }
+
+  /// myri_cmd_send_imm(): processor-mediated data movement. Blocks until
+  /// the LCP completes the command (buffer-pointer handshake).
+  sim::Op<Status> send_imm(NodeId dest, const void* buf, std::size_t len);
+
+  /// myri_cmd_send(): DMA-mode send. The host stages the message into the
+  /// pinned DMA region (memory-to-memory copy), posts a descriptor, and
+  /// waits for the pointer to come back.
+  sim::Op<Status> send(NodeId dest, const void* buf, std::size_t len);
+
+  /// One element of a scatter-gather list.
+  struct Iovec {
+    const void* base;
+    std::size_t len;
+  };
+
+  /// Gathering DMA-mode send (Table 3: the API "supports scatter-gather
+  /// operations"). Each element is staged into the DMA region; the LANai
+  /// walks the descriptor list (extra per-element interpretation cost) and
+  /// transmits one wire message.
+  sim::Op<Status> send_gather(NodeId dest, const Iovec* iov,
+                              std::size_t iovcnt);
+
+  /// Polls for one delivered message (pays the API's receive-side buffer
+  /// management cost when one is present).
+  sim::Op<std::optional<Message>> receive();
+
+  /// Blocks until a message is available.
+  sim::Op<Message> receive_blocking();
+
+  /// Condition notified on delivery.
+  sim::Condition& delivery_cond() { return host_rx_.arrived(); }
+  NodeId id() const { return node_.id(); }
+  lcp::ApiLcp& control_program() { return lcp_; }
+
+  /// Messages sent / received (diagnostics).
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t received() const { return received_; }
+  /// Messages discarded because their checksum failed (Table 3: "Fault
+  /// Detection: message checksums").
+  std::uint64_t checksum_failures() const { return checksum_failures_; }
+
+ private:
+  // Builds the command, enqueues it, and performs the completion handshake.
+  sim::Op<Status> submit(NodeId dest, const void* buf, std::size_t len,
+                         bool dma_mode, std::size_t sg_elements = 1);
+
+  hw::Node& node_;
+  lcp::HostRecvQueue host_rx_;
+  lcp::ApiLcp lcp_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t checksum_failures_ = 0;
+};
+
+}  // namespace fm::api

@@ -1,0 +1,40 @@
+// Lightweight always-on invariant checks.
+//
+// Simulator and protocol code is riddled with invariants (queue occupancy,
+// counter monotonicity, state-machine legality). We keep these checks on in
+// every build type: the cost is negligible next to event dispatch, and a
+// silent invariant violation in a simulator produces plausible-but-wrong
+// numbers, which is the worst possible failure mode for a reproduction.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fm::detail {
+
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expr, const char* msg) {
+  std::fprintf(stderr, "FM_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg[0] ? " — " : "", msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fm::detail
+
+/// Abort with a diagnostic if `expr` is false. Always enabled.
+#define FM_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::fm::detail::check_failed(__FILE__, __LINE__, #expr, ""); \
+  } while (0)
+
+/// FM_CHECK with an explanatory message (a string literal).
+#define FM_CHECK_MSG(expr, msg)                                      \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::fm::detail::check_failed(__FILE__, __LINE__, #expr, (msg));  \
+  } while (0)
+
+/// Marks unreachable control flow.
+#define FM_UNREACHABLE(msg) \
+  ::fm::detail::check_failed(__FILE__, __LINE__, "unreachable", (msg))

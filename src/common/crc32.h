@@ -1,0 +1,18 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven.
+//
+// Used by the Myricom API baseline: Table 3 of the paper lists "message
+// checksums" as an API feature that FM deliberately omits (FM assumes a
+// reliable network). The simulated API layer charges LANai instruction time
+// proportional to the checksum, and the shm backend can verify real data.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fm {
+
+/// Computes CRC-32 over `len` bytes starting at `data`, continuing from
+/// `seed` (pass 0 for a fresh checksum; chain calls to checksum fragments).
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+}  // namespace fm

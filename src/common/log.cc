@@ -1,0 +1,37 @@
+#include "common/log.h"
+
+#include <cstdarg>
+
+namespace fm {
+
+namespace detail {
+LogLevel& log_level_ref() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+}  // namespace detail
+
+LogLevel set_log_level(LogLevel level) {
+  LogLevel prev = detail::log_level_ref();
+  detail::log_level_ref() = level;
+  return prev;
+}
+
+void log_emit(LogLevel level, const char* file, int line, const char* fmt,
+              ...) {
+  static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR",
+                                           "OFF"};
+  // Strip directories from __FILE__ for readability.
+  const char* base = file;
+  for (const char* p = file; *p; ++p)
+    if (*p == '/') base = p + 1;
+  std::fprintf(stderr, "[%s %s:%d] ", kNames[static_cast<int>(level)], base,
+               line);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace fm

@@ -1,0 +1,54 @@
+// Leveled logging with near-zero cost when disabled.
+//
+// The simulator can emit copious per-event detail; by default only warnings
+// and errors print. Tests flip the level to Debug around the region under
+// scrutiny. Not thread-safe by design on the hot path (each message is one
+// fprintf, which libc serializes well enough for diagnostics).
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+
+namespace fm {
+
+/// Severity levels, ordered.
+enum class LogLevel : int { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+namespace detail {
+LogLevel& log_level_ref();
+}  // namespace detail
+
+/// Global minimum level that will be emitted.
+inline LogLevel log_level() { return detail::log_level_ref(); }
+
+/// Sets the global minimum level; returns the previous level.
+LogLevel set_log_level(LogLevel level);
+
+/// Emit a printf-style record if `level` is enabled.
+void log_emit(LogLevel level, const char* file, int line, const char* fmt,
+              ...) __attribute__((format(printf, 4, 5)));
+
+/// RAII guard that sets the log level for a scope (used by tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : prev_(set_log_level(level)) {}
+  ~ScopedLogLevel() { set_log_level(prev_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel prev_;
+};
+
+}  // namespace fm
+
+#define FM_LOG(level, ...)                                             \
+  do {                                                                 \
+    if (static_cast<int>(level) >= static_cast<int>(::fm::log_level())) \
+      ::fm::log_emit(level, __FILE__, __LINE__, __VA_ARGS__);          \
+  } while (0)
+
+#define FM_DLOG(...) FM_LOG(::fm::LogLevel::kDebug, __VA_ARGS__)
+#define FM_ILOG(...) FM_LOG(::fm::LogLevel::kInfo, __VA_ARGS__)
+#define FM_WLOG(...) FM_LOG(::fm::LogLevel::kWarn, __VA_ARGS__)
+#define FM_ELOG(...) FM_LOG(::fm::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,92 @@
+// Fixed-capacity single-threaded ring buffer.
+//
+// This is the workhorse queue of the reproduction: the paper's four queues
+// (LANai send, LANai receive, host receive, host reject — Figure 6) are all
+// bounded rings with single producer and single consumer on the *simulated*
+// hardware. Within the simulator everything runs on one OS thread, so this
+// type needs no atomics; the lock-free variant for the real shared-memory
+// backend lives in shm/spsc_ring.h.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm {
+
+/// Bounded FIFO ring over contiguous storage. Capacity is fixed at
+/// construction. push/pop are O(1); no allocation after construction.
+template <typename T>
+class RingBuffer {
+ public:
+  /// Creates a ring holding at most `capacity` elements (capacity >= 1).
+  explicit RingBuffer(std::size_t capacity)
+      : slots_(capacity) {
+    FM_CHECK_MSG(capacity >= 1, "ring capacity must be positive");
+  }
+
+  /// Number of elements currently queued.
+  std::size_t size() const { return count_; }
+  /// Maximum number of elements.
+  std::size_t capacity() const { return slots_.size(); }
+  /// True when no elements are queued.
+  bool empty() const { return count_ == 0; }
+  /// True when push() would fail.
+  bool full() const { return count_ == slots_.size(); }
+  /// Remaining free slots.
+  std::size_t space() const { return slots_.size() - count_; }
+
+  /// Enqueues `v`; returns false (and drops nothing) when full.
+  bool push(T v) {
+    if (full()) return false;
+    slots_[tail_] = std::move(v);
+    tail_ = next(tail_);
+    ++count_;
+    return true;
+  }
+
+  /// Dequeues the oldest element into `out`; returns false when empty.
+  bool pop(T& out) {
+    if (empty()) return false;
+    out = std::move(slots_[head_]);
+    head_ = next(head_);
+    --count_;
+    return true;
+  }
+
+  /// Oldest element without removing it. Ring must be non-empty.
+  T& front() {
+    FM_CHECK_MSG(!empty(), "front() on empty ring");
+    return slots_[head_];
+  }
+  const T& front() const {
+    FM_CHECK_MSG(!empty(), "front() on empty ring");
+    return slots_[head_];
+  }
+
+  /// Element `i` positions behind the head (0 == front). i < size().
+  T& at(std::size_t i) {
+    FM_CHECK_MSG(i < count_, "ring index out of range");
+    return slots_[(head_ + i) % slots_.size()];
+  }
+
+  /// Discards all elements.
+  void clear() {
+    head_ = tail_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  std::size_t next(std::size_t i) const {
+    return (i + 1 == slots_.size()) ? 0 : i + 1;
+  }
+
+  std::vector<T> slots_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace fm

@@ -1,0 +1,59 @@
+#include "common/stats.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+namespace fm {
+
+void RunningStat::add(double x) {
+  ++n_;
+  sum_ += x;
+  double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double RunningStat::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+LatencyHistogram::LatencyHistogram() : buckets_(64, 0) {}
+
+void LatencyHistogram::add(std::uint64_t ns) {
+  unsigned bucket = ns == 0 ? 0 : static_cast<unsigned>(std::bit_width(ns) - 1);
+  if (bucket >= buckets_.size()) bucket = buckets_.size() - 1;
+  ++buckets_[bucket];
+  ++total_;
+  if (ns > max_) max_ = ns;
+}
+
+std::uint64_t LatencyHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target)
+      return i + 1 >= 64 ? max_ : (1ull << (i + 1)) - 1;  // bucket upper bound
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "n=%llu p50=%lluns p99=%lluns max=%lluns",
+                static_cast<unsigned long long>(total_),
+                static_cast<unsigned long long>(quantile(0.5)),
+                static_cast<unsigned long long>(quantile(0.99)),
+                static_cast<unsigned long long>(max_));
+  return buf;
+}
+
+}  // namespace fm

@@ -1,0 +1,62 @@
+// Online statistics and fixed-bucket histograms for measurement harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fm {
+
+/// Welford online accumulator: mean/variance/min/max without storing samples.
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x);
+  /// Number of observations so far.
+  std::size_t count() const { return n_; }
+  /// Arithmetic mean (0 when empty).
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const;
+  /// Sample standard deviation.
+  double stddev() const;
+  /// Smallest observation (+inf when empty).
+  double min() const { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e308;
+  double max_ = -1e308;
+  double sum_ = 0.0;
+};
+
+/// Log-scaled latency histogram: power-of-two buckets from 1 ns up.
+/// Keeps exact count and supports approximate quantiles, which is all the
+/// harnesses need (the paper reports single latency numbers per size).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+  /// Records a latency in nanoseconds (values < 1 clamp to bucket 0).
+  void add(std::uint64_t ns);
+  /// Total number of recorded samples.
+  std::uint64_t count() const { return total_; }
+  /// Approximate q-quantile (0 <= q <= 1) in nanoseconds; returns the upper
+  /// bound of the bucket containing the quantile.
+  std::uint64_t quantile(double q) const;
+  /// Formats a compact textual summary ("p50=… p99=… max=…").
+  std::string summary() const;
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // 64 power-of-two buckets
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace fm

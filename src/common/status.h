@@ -1,0 +1,76 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// The public FM API mirrors the paper's C interface, which reported failures
+// by return code; we use a small Status enum rather than exceptions so the
+// hot send/extract paths stay allocation- and throw-free (Core Guidelines
+// E.6/Per.* — no exceptions on performance-critical paths).
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm {
+
+/// Result codes for public API operations.
+enum class Status : int {
+  kOk = 0,          ///< Operation completed.
+  kAgain,           ///< Resource temporarily exhausted; retry after extract().
+  kTooLarge,        ///< Message exceeds the layer's maximum size.
+  kBadArgument,     ///< Invalid destination, handler, or buffer.
+  kClosed,          ///< Endpoint has been shut down.
+  kInternal,        ///< Invariant violation inside the layer (bug).
+};
+
+/// Human-readable name for a Status value.
+constexpr std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kAgain: return "again";
+    case Status::kTooLarge: return "too-large";
+    case Status::kBadArgument: return "bad-argument";
+    case Status::kClosed: return "closed";
+    case Status::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// True when `s` signals success.
+constexpr bool ok(Status s) { return s == Status::kOk; }
+
+/// A value-or-status pair for APIs that produce a value on success.
+/// Intentionally tiny (no std::expected in GCC 12's libstdc++ for C++20).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}
+  /// Constructs a failed result. `s` must not be kOk.
+  Result(Status s) : status_(s) { FM_CHECK(s != Status::kOk); }
+
+  /// True when a value is present.
+  bool has_value() const { return status_ == Status::kOk; }
+  explicit operator bool() const { return has_value(); }
+
+  /// The failure (or kOk) code.
+  Status status() const { return status_; }
+
+  /// Access the contained value; aborts if absent.
+  T& value() {
+    FM_CHECK_MSG(has_value(), "Result::value() on error");
+    return value_;
+  }
+  const T& value() const {
+    FM_CHECK_MSG(has_value(), "Result::value() on error");
+    return value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace fm

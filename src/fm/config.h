@@ -1,0 +1,59 @@
+// FM layer configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace fm {
+
+/// Tunables of the FM messaging layer. Defaults are the FM 1.0 choices.
+struct FmConfig {
+  /// Maximum user payload per frame. §5: "we chose a 128-byte frame size
+  /// for FM 1.0" (the benches sweep this to reproduce the frame-size
+  /// tradeoff study).
+  std::size_t frame_payload = kFmFramePayload;
+
+  /// Enable the return-to-sender reliable-delivery protocol (§4.5). Off
+  /// reproduces the "streamed + hybrid + buffer mgmt" Table 4 row.
+  bool flow_control = true;
+
+  /// Use a traditional sliding-window (credit) protocol instead of
+  /// return-to-sender — the §7 future-work comparison. The receiver
+  /// preallocates `window_per_peer` frame buffers per sender (the memory
+  /// scaling the paper's scheme exists to avoid); senders never get
+  /// rejected, they block on credits. Requires flow_control = true.
+  bool window_mode = false;
+  /// Credits per (sender, receiver) pair in window mode.
+  std::size_t window_per_peer = 16;
+
+  /// Outstanding unacknowledged frames a sender may have in flight. The
+  /// sender "reserv[es] space locally for each outstanding packet", so this
+  /// bounds its pending-store memory.
+  std::size_t pending_window = 64;
+
+  /// Receiver sends a standalone acknowledgement once this many acks are
+  /// due to one source ("Multiple packets can be acknowledged with a single
+  /// acknowledgement packet").
+  std::size_t ack_batch = 8;
+
+  /// Acks piggybacked on each ordinary data frame ("FM 1.0 optimizes
+  /// further by piggybacking acknowledgements on ordinary data packets").
+  std::size_t piggyback_acks = 2;
+
+  /// Concurrent multi-frame message reassemblies the receiver will hold
+  /// before rejecting further fragments (the receive-pool bound that makes
+  /// return-to-sender fire). Segmentation itself is this library's
+  /// documented extension beyond FM 1.0's 32-word send limit.
+  std::size_t reassembly_slots = 16;
+
+  /// The host updates its consumed-frame counter in LANai memory once per
+  /// this many extracted frames (batching the SBus store).
+  std::size_t consumed_update_batch = 8;
+
+  /// Retransmit a rejected frame after this many extract() calls have seen
+  /// it queued (cheap backoff so a still-overloaded receiver is not hammered).
+  std::size_t reject_retry_delay = 2;
+};
+
+}  // namespace fm

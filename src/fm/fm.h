@@ -1,0 +1,21 @@
+// Umbrella header for the Fast Messages library.
+//
+// Pull in this one header to get:
+//   * the FM 1.0 API semantics (Table 1 of the paper):
+//       - fm::shm::Endpoint / fm::shm::Cluster — the real backend
+//         (threads over lock-free rings),
+//       - fm::SimEndpoint / fm::hw::Cluster — the simulated 1995 testbed
+//         (coroutine API, paper-calibrated timing),
+//   * configuration (fm::FmConfig) and status codes (fm::Status),
+//   * the layered libraries: fm::mpi::Comm and fm::stream::StreamMgr.
+//
+// See README.md for the quickstart and DESIGN.md for the architecture.
+#pragma once
+
+#include "common/status.h"   // IWYU pragma: export
+#include "common/types.h"    // IWYU pragma: export
+#include "fm/config.h"       // IWYU pragma: export
+#include "fm/frame.h"        // IWYU pragma: export
+#include "fm/sim_endpoint.h" // IWYU pragma: export
+#include "hw/cluster.h"      // IWYU pragma: export
+#include "shm/cluster.h"     // IWYU pragma: export

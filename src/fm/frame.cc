@@ -1,0 +1,80 @@
+#include "fm/frame.h"
+
+namespace fm {
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  std::uint8_t buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.insert(out.end(), buf, buf + sizeof(T));
+}
+
+template <typename T>
+T get(const std::uint8_t* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const FrameHeader& h,
+                                       const void* payload,
+                                       const std::uint32_t* acks) {
+  FM_CHECK(h.payload_len == 0 || payload != nullptr);
+  FM_CHECK(h.ack_count == 0 || acks != nullptr);
+  std::vector<std::uint8_t> out;
+  out.reserve(h.wire_bytes());
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(h.type));
+  put<std::uint8_t>(out, h.ack_count);
+  put<std::uint16_t>(out, h.handler);
+  put<std::uint32_t>(out, h.src);
+  put<std::uint32_t>(out, h.seq);
+  put<std::uint16_t>(out, h.payload_len);
+  put<std::uint16_t>(out, h.flags);
+  if (h.fragmented()) {
+    put<std::uint32_t>(out, h.msg_id);
+    put<std::uint16_t>(out, h.frag_index);
+    put<std::uint16_t>(out, h.frag_count);
+  }
+  if (h.payload_len) {
+    const auto* p = static_cast<const std::uint8_t*>(payload);
+    out.insert(out.end(), p, p + h.payload_len);
+  }
+  for (std::size_t i = 0; i < h.ack_count; ++i) put<std::uint32_t>(out, acks[i]);
+  FM_CHECK(out.size() == h.wire_bytes());
+  return out;
+}
+
+std::optional<FrameHeader> decode_header(const std::uint8_t* data,
+                                         std::size_t len) {
+  if (len < FrameHeader::kBaseBytes) return std::nullopt;
+  FrameHeader h;
+  std::uint8_t type = get<std::uint8_t>(data + 0);
+  if (type < 1 || type > 3) return std::nullopt;
+  h.type = static_cast<FrameType>(type);
+  h.ack_count = get<std::uint8_t>(data + 1);
+  h.handler = get<std::uint16_t>(data + 2);
+  h.src = get<std::uint32_t>(data + 4);
+  h.seq = get<std::uint32_t>(data + 8);
+  h.payload_len = get<std::uint16_t>(data + 12);
+  h.flags = get<std::uint16_t>(data + 14);
+  if (h.fragmented()) {
+    if (len < FrameHeader::kBaseBytes + FrameHeader::kFragExtBytes)
+      return std::nullopt;
+    h.msg_id = get<std::uint32_t>(data + 16);
+    h.frag_index = get<std::uint16_t>(data + 20);
+    h.frag_count = get<std::uint16_t>(data + 22);
+  }
+  if (h.wire_bytes() != len) return std::nullopt;
+  return h;
+}
+
+std::uint32_t frame_ack(const FrameHeader& h, const std::uint8_t* data,
+                        std::size_t i) {
+  FM_CHECK(i < h.ack_count);
+  return get<std::uint32_t>(data + h.header_bytes() + h.payload_len + 4 * i);
+}
+
+}  // namespace fm

@@ -1,0 +1,92 @@
+// FM wire format: frame header encode/decode.
+//
+// Every FM frame carries a fixed 16-byte header, then (for fragments of a
+// segmented message) an 8-byte fragment extension, then the user payload,
+// then `ack_count` piggybacked 32-bit acknowledgement sequence numbers:
+//
+//   0  u8  type         Data / Ack / Reject
+//   1  u8  ack_count    number of 4-byte acks appended after the payload
+//   2  u16 handler      destination handler id
+//   4  u32 src          sending node
+//   8  u32 seq          per-sender frame sequence (flow control)
+//  12  u16 payload_len  user bytes in this frame
+//  14  u16 flags        bit0: fragment extension present
+//  [16..24) u32 msg_id, u16 frag_index, u16 frag_count   (if fragmented)
+//
+// The header is charged on the wire and across the SBus like any other
+// bytes, which is how header overhead shows up in the reproduction's
+// bandwidth numbers exactly as it did in the paper's.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fm {
+
+/// Frame kinds.
+enum class FrameType : std::uint8_t {
+  kData = 1,    ///< Ordinary handler-carrying message frame.
+  kAck = 2,     ///< Standalone acknowledgement (acks in payload position).
+  kReject = 3,  ///< A data frame returned to its sender (return-to-sender).
+};
+
+/// Decoded frame header.
+struct FrameHeader {
+  FrameType type = FrameType::kData;
+  std::uint8_t ack_count = 0;
+  HandlerId handler = kInvalidHandler;
+  NodeId src = kInvalidNode;
+  std::uint32_t seq = 0;
+  std::uint16_t payload_len = 0;
+  std::uint16_t flags = 0;
+
+  // Fragment extension (valid when fragmented()).
+  std::uint32_t msg_id = 0;
+  std::uint16_t frag_index = 0;
+  std::uint16_t frag_count = 0;
+
+  static constexpr std::uint16_t kFlagFragmented = 1u << 0;
+  static constexpr std::size_t kBaseBytes = 16;
+  static constexpr std::size_t kFragExtBytes = 8;
+
+  /// True when the fragment extension is present.
+  bool fragmented() const { return (flags & kFlagFragmented) != 0; }
+
+  /// Header bytes on the wire for this frame.
+  std::size_t header_bytes() const {
+    return kBaseBytes + (fragmented() ? kFragExtBytes : 0);
+  }
+
+  /// Total wire bytes: header + payload + piggybacked acks.
+  std::size_t wire_bytes() const {
+    return header_bytes() + payload_len + 4u * ack_count;
+  }
+};
+
+/// Serializes a frame: header (+ fragment extension), payload, acks.
+/// `payload` may be null when `header.payload_len` is zero.
+std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
+                                       const void* payload,
+                                       const std::uint32_t* acks);
+
+/// Parses the header of an encoded frame. Returns std::nullopt on a
+/// malformed buffer (too short / inconsistent lengths).
+std::optional<FrameHeader> decode_header(const std::uint8_t* data,
+                                         std::size_t len);
+
+/// Pointer to the payload region of an encoded frame.
+inline const std::uint8_t* frame_payload(const FrameHeader& h,
+                                         const std::uint8_t* data) {
+  return data + h.header_bytes();
+}
+
+/// Extracts the i-th piggybacked ack (i < ack_count).
+std::uint32_t frame_ack(const FrameHeader& h, const std::uint8_t* data,
+                        std::size_t i);
+
+}  // namespace fm

@@ -1,0 +1,54 @@
+// Handler registration and dispatch.
+//
+// "Each message carries a pointer to a sender-specified function (called a
+// handler) that consumes the data at the destination." FM 1.0 shipped raw
+// function pointers between identical SPMD binaries; we ship a small integer
+// id into a registry that every node populates identically — same idea,
+// portable and safe. Message buffers do not persist beyond the handler's
+// return (the dispatch hands out a transient pointer).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fm {
+
+/// Table of handlers for endpoint type E (the sim endpoint and the shm
+/// endpoint instantiate their own).
+template <typename E>
+class HandlerRegistry {
+ public:
+  /// Handler signature: endpoint, message source, transient payload.
+  using Fn = std::function<void(E&, NodeId src, const void* data,
+                                std::size_t len)>;
+
+  /// Registers a handler; returns its wire id (>= 1; 0 is reserved for
+  /// internal control frames).
+  HandlerId add(Fn fn) {
+    FM_CHECK_MSG(fn != nullptr, "null handler");
+    table_.push_back(std::move(fn));
+    FM_CHECK_MSG(table_.size() < kInvalidHandler, "handler table full");
+    return static_cast<HandlerId>(table_.size());  // ids start at 1
+  }
+
+  /// True when `id` names a registered handler.
+  bool valid(HandlerId id) const { return id >= 1 && id <= table_.size(); }
+
+  /// Invokes handler `id`.
+  void dispatch(HandlerId id, E& ep, NodeId src, const void* data,
+                std::size_t len) const {
+    FM_CHECK_MSG(valid(id), "dispatch of unregistered handler");
+    table_[id - 1](ep, src, data, len);
+  }
+
+  /// Registered handler count.
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::vector<Fn> table_;
+};
+
+}  // namespace fm

@@ -1,0 +1,241 @@
+// Backend-independent FM protocol state machines.
+//
+// These classes implement the return-to-sender flow control of §4.5 and the
+// segmentation/reassembly extension, free of any simulator or threading
+// concern, so the simulated endpoint (fm/sim_endpoint.h) and the real
+// shared-memory endpoint (shm/) share one protocol implementation — and one
+// set of protocol tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "fm/frame.h"
+
+namespace fm {
+
+/// Sender-side pending store: one slot per outstanding (sent, unacked)
+/// frame. "The sender optimistically sends packets into the network while
+/// reserving space locally for each outstanding packet." Bounded by the
+/// configured window; full() gates FM_send.
+class SendWindow {
+ public:
+  explicit SendWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  /// True when no more frames may be injected.
+  bool full() const { return pending_.size() >= capacity_; }
+  /// Outstanding frames.
+  std::size_t in_flight() const { return pending_.size(); }
+  /// Slots remaining.
+  std::size_t space() const { return capacity_ - pending_.size(); }
+
+  /// Allocates the next frame sequence number.
+  std::uint32_t next_seq() { return next_seq_++; }
+
+  /// Records an injected frame. `bytes` is the encoded frame (kept for
+  /// retransmission); `dest` its destination.
+  void track(std::uint32_t seq, NodeId dest, std::vector<std::uint8_t> bytes) {
+    FM_CHECK_MSG(!full(), "SendWindow overflow");
+    auto [it, inserted] = pending_.emplace(seq, Entry{dest, std::move(bytes)});
+    FM_CHECK_MSG(inserted, "duplicate pending seq");
+    (void)it;
+  }
+
+  /// Releases a slot on acknowledgement. Returns false for an unknown seq
+  /// (e.g. an ack that raced a reject retransmission path) — harmless.
+  bool ack(std::uint32_t seq) { return pending_.erase(seq) > 0; }
+
+  /// Looks up the stored copy of `seq` (for retransmission after a reject).
+  const std::vector<std::uint8_t>* find(std::uint32_t seq) const {
+    auto it = pending_.find(seq);
+    return it == pending_.end() ? nullptr : &it->second.bytes;
+  }
+
+  /// Destination recorded for `seq`.
+  std::optional<NodeId> dest_of(std::uint32_t seq) const {
+    auto it = pending_.find(seq);
+    if (it == pending_.end()) return std::nullopt;
+    return it->second.dest;
+  }
+
+ private:
+  struct Entry {
+    NodeId dest;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::size_t capacity_;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<std::uint32_t, Entry> pending_;
+};
+
+/// Receiver-side acknowledgement accounting: which frame seqs are owed to
+/// which source, to be drained by piggybacking or standalone ack frames.
+class AckTracker {
+ public:
+  /// Notes that `seq` from `src` was accepted and must be acknowledged.
+  void note(NodeId src, std::uint32_t seq) { due_[src].push_back(seq); }
+
+  /// Acks currently owed to `src`.
+  std::size_t due(NodeId src) const {
+    auto it = due_.find(src);
+    return it == due_.end() ? 0 : it->second.size();
+  }
+
+  /// Total acks owed to anybody.
+  std::size_t total_due() const {
+    std::size_t n = 0;
+    for (const auto& [node, v] : due_) n += v.size();
+    return n;
+  }
+
+  /// Removes and returns up to `max` owed acks for `src` (oldest first).
+  std::vector<std::uint32_t> take(NodeId src, std::size_t max) {
+    std::vector<std::uint32_t> out;
+    auto it = due_.find(src);
+    if (it == due_.end()) return out;
+    auto& v = it->second;
+    std::size_t n = std::min(max, v.size());
+    out.assign(v.begin(), v.begin() + static_cast<long>(n));
+    v.erase(v.begin(), v.begin() + static_cast<long>(n));
+    if (v.empty()) due_.erase(it);
+    return out;
+  }
+
+  /// Sources with at least `threshold` owed acks.
+  std::vector<NodeId> peers_over(std::size_t threshold) const {
+    std::vector<NodeId> out;
+    for (const auto& [node, v] : due_)
+      if (v.size() >= threshold) out.push_back(node);
+    return out;
+  }
+
+  /// All sources with any owed acks.
+  std::vector<NodeId> peers() const {
+    std::vector<NodeId> out;
+    for (const auto& [node, v] : due_)
+      if (!v.empty()) out.push_back(node);
+    return out;
+  }
+
+ private:
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> due_;
+};
+
+/// Reassembly of segmented messages (this library's extension past FM 1.0's
+/// 32-word FM_send limit). Slots are the receive pool whose exhaustion
+/// triggers return-to-sender.
+class Reassembler {
+ public:
+  explicit Reassembler(std::size_t slots) : slots_(slots) {}
+
+  enum class Feed {
+    kAccepted,   ///< Fragment stored; message not yet complete.
+    kComplete,   ///< Message completed; *out holds the payload.
+    kRejected,   ///< No slot available — return the frame to its sender.
+    kMalformed,  ///< Inconsistent fragment metadata (wire corruption).
+  };
+
+  /// Offers a fragment. On kComplete the assembled message payload is moved
+  /// into *out and the slot is freed. Inconsistent fragment metadata — which
+  /// cannot occur on a reliable network but can under fault injection —
+  /// yields kMalformed rather than undefined behaviour.
+  Feed feed(NodeId src, const FrameHeader& h, const std::uint8_t* payload,
+            std::vector<std::uint8_t>* out) {
+    FM_CHECK(h.fragmented());
+    if (h.frag_count < 1 || h.frag_index >= h.frag_count)
+      return Feed::kMalformed;
+    Key key{src, h.msg_id};
+    auto it = active_.find(key);
+    if (it == active_.end()) {
+      if (active_.size() >= slots_) return Feed::kRejected;
+      it = active_.emplace(key, Slot{}).first;
+      it->second.received.assign(h.frag_count, false);
+      // Payload capacity: all fragments are full-size except possibly the
+      // last; exact total length is finalized as fragments arrive.
+      it->second.data.resize(0);
+      it->second.chunks.resize(h.frag_count);
+    }
+    Slot& slot = it->second;
+    if (slot.received.size() != h.frag_count) return Feed::kMalformed;
+    if (slot.received[h.frag_index]) return Feed::kMalformed;
+    slot.received[h.frag_index] = true;
+    slot.chunks[h.frag_index].assign(payload, payload + h.payload_len);
+    ++slot.got;
+    if (slot.got < h.frag_count) return Feed::kAccepted;
+    // Complete: concatenate in order.
+    out->clear();
+    for (auto& c : slot.chunks) out->insert(out->end(), c.begin(), c.end());
+    active_.erase(it);
+    return Feed::kComplete;
+  }
+
+  /// Reassemblies currently in progress.
+  std::size_t active() const { return active_.size(); }
+
+ private:
+  struct Key {
+    NodeId src;
+    std::uint32_t msg_id;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::uint64_t>()(
+          (static_cast<std::uint64_t>(k.src) << 32) | k.msg_id);
+    }
+  };
+  struct Slot {
+    std::vector<bool> received;
+    std::vector<std::vector<std::uint8_t>> chunks;
+    std::vector<std::uint8_t> data;
+    std::uint16_t got = 0;
+  };
+  std::size_t slots_;
+  std::unordered_map<Key, Slot, KeyHash> active_;
+};
+
+/// Host reject queue (Figure 6): returned frames parked for retransmission
+/// with a cheap extract-count backoff.
+class RejectQueue {
+ public:
+  struct Entry {
+    NodeId dest;
+    std::uint32_t seq;
+    std::vector<std::uint8_t> bytes;
+    std::size_t age = 0;
+  };
+
+  /// Parks a returned frame.
+  void add(NodeId dest, std::uint32_t seq, std::vector<std::uint8_t> bytes) {
+    entries_.push_back(Entry{dest, seq, std::move(bytes), 0});
+  }
+
+  /// Ages all entries by one extract tick and removes/returns those whose
+  /// age reached `delay`.
+  std::vector<Entry> tick(std::size_t delay) {
+    std::vector<Entry> ready;
+    for (auto& e : entries_) ++e.age;
+    auto it = entries_.begin();
+    while (it != entries_.end()) {
+      if (it->age >= delay) {
+        ready.push_back(std::move(*it));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return ready;
+  }
+
+  /// Frames currently parked.
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace fm

@@ -1,0 +1,356 @@
+#include "fm/sim_endpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/log.h"
+
+namespace fm {
+
+SimEndpoint::SimEndpoint(hw::Node& node, FmConfig cfg,
+                         lcp::FmLcpConfig lcp_cfg)
+    : node_(node),
+      cfg_(cfg),
+      host_rx_(node.nic().lanai().simulator(),
+               node.params().queues.host_recv_frames),
+      lcp_(node, node.params(), lcp_cfg),
+      window_(cfg.pending_window),
+      reasm_(cfg.reassembly_slots) {
+  lcp_.attach_host_recv(&host_rx_);
+}
+
+SimEndpoint::~SimEndpoint() = default;
+
+void SimEndpoint::start() {
+  FM_CHECK_MSG(!started_, "endpoint already started");
+  started_ = true;
+  lcp_.start();
+}
+
+void SimEndpoint::shutdown() {
+  if (started_) lcp_.request_stop();
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+sim::Op<Status> SimEndpoint::send4(NodeId dest, HandlerId handler,
+                                   std::uint32_t w0, std::uint32_t w1,
+                                   std::uint32_t w2, std::uint32_t w3) {
+  std::uint32_t words[4] = {w0, w1, w2, w3};
+  co_return co_await send(dest, handler, words, sizeof words);
+}
+
+sim::Op<Status> SimEndpoint::send(NodeId dest, HandlerId handler,
+                                  const void* buf, std::size_t len) {
+  if (!handlers_.valid(handler) || (len > 0 && buf == nullptr))
+    co_return Status::kBadArgument;
+  ++stats_.messages_sent;
+  const auto* bytes = static_cast<const std::uint8_t*>(buf);
+  if (len <= cfg_.frame_payload) {
+    co_return co_await send_data_frame(dest, handler, bytes, len,
+                                       /*fragmented=*/false, 0, 0, 1);
+  }
+  // Segmentation: "Larger messages will require segmentation and reassembly
+  // into frames of this size" (§5).
+  const std::size_t per = cfg_.frame_payload;
+  const std::size_t frags = (len + per - 1) / per;
+  if (frags > 0xffff) co_return Status::kTooLarge;
+  const std::uint32_t msg_id = next_msg_id_++;
+  for (std::size_t i = 0; i < frags; ++i) {
+    const std::size_t off = i * per;
+    const std::size_t n = std::min(per, len - off);
+    Status s = co_await send_data_frame(
+        dest, handler, bytes + off, n, /*fragmented=*/true, msg_id,
+        static_cast<std::uint16_t>(i), static_cast<std::uint16_t>(frags));
+    if (!ok(s)) co_return s;
+  }
+  co_return Status::kOk;
+}
+
+sim::Op<Status> SimEndpoint::send_data_frame(
+    NodeId dest, HandlerId handler, const std::uint8_t* payload,
+    std::size_t len, bool fragmented, std::uint32_t msg_id,
+    std::uint16_t frag_index, std::uint16_t frag_count) {
+  auto& cpu = node_.cpu();
+  const auto& hc = node_.params().hostsw;
+  // Flow control: wait for a pending-store slot — and, in window mode, a
+  // credit for this destination — servicing the network while blocked (the
+  // FM discipline that prevents fetch deadlock).
+  auto blocked = [&] {
+    if (!cfg_.flow_control) return false;
+    if (window_.full()) return true;
+    if (cfg_.window_mode) {
+      auto it = credits_.find(dest);
+      if (it == credits_.end()) {
+        credits_[dest] = cfg_.window_per_peer;
+        return false;
+      }
+      return it->second == 0;
+    }
+    return false;
+  };
+  while (blocked()) {
+    std::size_t n = co_await extract();
+    if (blocked() && n == 0) co_await host_rx_.arrived().wait();
+  }
+  if (cfg_.flow_control && cfg_.window_mode) {
+    FM_CHECK(credits_[dest] > 0);
+    --credits_[dest];
+  }
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = handler;
+  h.src = id();
+  h.payload_len = static_cast<std::uint16_t>(len);
+  std::vector<std::uint32_t> piggy;
+  if (cfg_.flow_control) {
+    h.seq = window_.next_seq();
+    piggy = acks_.take(dest, cfg_.piggyback_acks);
+    h.ack_count = static_cast<std::uint8_t>(piggy.size());
+    stats_.acks_piggybacked += piggy.size();
+  }
+  if (fragmented) {
+    h.flags |= FrameHeader::kFlagFragmented;
+    h.msg_id = msg_id;
+    h.frag_index = frag_index;
+    h.frag_count = frag_count;
+  }
+  // Header construction + queue-space check on the host.
+  co_await cpu.exec(hc.fm_send_setup_cycles +
+                    (cfg_.flow_control ? hc.fm_flowctl_send_cycles : 0));
+  std::vector<std::uint8_t> bytes =
+      encode_frame(h, payload, piggy.empty() ? nullptr : piggy.data());
+  if (cfg_.flow_control) window_.track(h.seq, dest, bytes);
+  ++stats_.frames_sent;
+  co_await inject(dest, std::move(bytes));
+  co_return Status::kOk;
+}
+
+sim::Op<> SimEndpoint::inject(NodeId dest, std::vector<std::uint8_t> bytes) {
+  auto& cpu = node_.cpu();
+  auto& sbus = node_.sbus();
+  const auto& hc = node_.params().hostsw;
+  // Wait for LANai send-queue space: the host polls its shadow of the
+  // lanaisent counter; re-reading it is an uncached SBus load.
+  while (lcp_.send_space() == 0) {
+    co_await sbus.pio_read();
+    if (lcp_.send_space() == 0) co_await lcp_.host_wake().wait();
+  }
+  // Hybrid architecture: the host spools the frame into LANai memory by
+  // double-word programmed I/O, then triggers by advancing hostsent.
+  co_await sbus.pio_write(bytes.size());
+  hw::Packet pkt;
+  pkt.id = node_.nic().next_packet_id();
+  pkt.dest = dest;
+  pkt.bytes = std::move(bytes);
+  bool queued = lcp_.host_enqueue(std::move(pkt));
+  FM_CHECK_MSG(queued, "send queue raced despite space check");
+  co_await cpu.exec(hc.fm_trigger_cycles);
+  co_await sbus.pio_write(8);  // the hostsent counter store
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+sim::Op<std::size_t> SimEndpoint::extract() {
+  auto& cpu = node_.cpu();
+  auto& sbus = node_.sbus();
+  const auto& hc = node_.params().hostsw;
+  co_await cpu.exec(hc.fm_poll_cycles);
+  std::size_t count = 0;
+  // Bounded batch: without a budget, a peer that keeps the queue non-empty
+  // (e.g. a rejection storm against a starved reassembly pool) would trap
+  // this loop forever and starve the post-loop work — retransmission ticks
+  // and ack flushes — on which *other* peers' progress depends.
+  const std::size_t budget = host_rx_.ring().capacity();
+  hw::Packet pkt;
+  while (count < budget && host_rx_.take(pkt)) {
+    ++count;
+    ++stats_.frames_received;
+    co_await process_frame(std::move(pkt));
+    if (++consumed_since_update_ >= cfg_.consumed_update_batch) {
+      consumed_since_update_ = 0;
+      co_await sbus.pio_write(8);  // consumed-counter store frees LCP space
+      node_.nic().ring_doorbell();
+    }
+  }
+  if (count > 0 && consumed_since_update_ > 0) {
+    consumed_since_update_ = 0;
+    co_await sbus.pio_write(8);
+    node_.nic().ring_doorbell();
+  }
+  // Retransmit rejected frames whose backoff expired.
+  for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
+    ++stats_.retransmissions;
+    co_await inject(entry.dest, std::move(entry.bytes));
+  }
+  // Standalone acks for peers owed a batch. The threshold must stay below
+  // half a peer's in-flight allotment (its pending window, or its credit
+  // allotment in window mode) or senders stall with their window full
+  // while we sit on their acks. Configurations are symmetric (SPMD), so
+  // our own config tells us the peers' limits.
+  if (cfg_.flow_control) {
+    std::size_t limit =
+        cfg_.window_mode ? cfg_.window_per_peer : cfg_.pending_window;
+    std::size_t threshold =
+        std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
+    for (NodeId peer : acks_.peers_over(threshold))
+      co_await send_standalone_ack(peer);
+  }
+  co_return count;
+}
+
+sim::Op<std::size_t> SimEndpoint::extract_blocking() {
+  while (host_rx_.ring().empty()) co_await host_rx_.arrived().wait();
+  co_return co_await extract();
+}
+
+sim::Op<> SimEndpoint::drain() {
+  for (;;) {
+    // Flush every owed ack so peers can finish their own drains.
+    if (cfg_.flow_control) {
+      for (NodeId peer : acks_.peers()) co_await send_standalone_ack(peer);
+    }
+    if ((window_.in_flight() == 0 || !cfg_.flow_control) && rejq_.size() == 0)
+      co_return;
+    std::size_t n = co_await extract();
+    if (n == 0) co_await host_rx_.arrived().wait();
+  }
+}
+
+sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
+  auto& cpu = node_.cpu();
+  const auto& hc = node_.params().hostsw;
+  auto hdr = decode_header(pkt.bytes.data(), pkt.bytes.size());
+  if (!hdr.has_value()) {
+    // Wire garbage (only possible with fault injection): FM has no
+    // checksums — an undecodable frame is dropped, a decodable-but-corrupt
+    // one is delivered wrong. "The network is assumed to be reliable, or
+    // fault-tolerance must be provided by a higher level protocol" (§4.5).
+    ++stats_.malformed_frames;
+    co_return;
+  }
+  const FrameHeader& h = *hdr;
+  co_await cpu.exec(hc.fm_dispatch_cycles +
+                    (cfg_.flow_control ? hc.fm_flowctl_recv_cycles : 0));
+  // Piggybacked acks are processed for every frame type.
+  for (std::size_t i = 0; i < h.ack_count; ++i) {
+    std::uint32_t seq = frame_ack(h, pkt.bytes.data(), i);
+    auto dest = window_.dest_of(seq);
+    if (window_.ack(seq) && cfg_.window_mode && dest.has_value())
+      ++credits_[*dest];
+  }
+  switch (h.type) {
+    case FrameType::kAck:
+      break;  // nothing beyond the acks themselves
+    case FrameType::kReject: {
+      // One of our frames came back: park it for retransmission.
+      ++stats_.rejects_received;
+      rejq_.add(pkt.src, h.seq, strip_acks(h, pkt.bytes.data()));
+      break;
+    }
+    case FrameType::kData: {
+      // A corrupted-but-decodable frame can carry a garbage handler id;
+      // real FM would jump through a garbage function pointer, we drop.
+      if (!handlers_.valid(h.handler)) {
+        ++stats_.malformed_frames;
+        co_return;
+      }
+      const std::uint8_t* payload = frame_payload(h, pkt.bytes.data());
+      if (h.fragmented()) {
+        std::vector<std::uint8_t> message;
+        switch (reasm_.feed(h.src, h, payload, &message)) {
+          case Reassembler::Feed::kMalformed:
+            ++stats_.malformed_frames;
+            co_return;
+          case Reassembler::Feed::kRejected:
+            ++stats_.rejects_issued;
+            co_await send_reject(h, pkt.bytes.data());
+            co_return;  // not accepted: no ack
+          case Reassembler::Feed::kAccepted:
+            break;
+          case Reassembler::Feed::kComplete:
+            ++stats_.messages_delivered;
+            handlers_.dispatch(h.handler, *this, h.src, message.data(),
+                               message.size());
+            co_await drain_posted();
+            break;
+        }
+      } else {
+        ++stats_.messages_delivered;
+        handlers_.dispatch(h.handler, *this, h.src, payload, h.payload_len);
+        co_await drain_posted();
+      }
+      if (cfg_.flow_control) acks_.note(h.src, h.seq);
+      break;
+    }
+  }
+}
+
+sim::Op<> SimEndpoint::drain_posted() {
+  if (draining_posted_) co_return;  // a posted send's extract re-entered
+  draining_posted_ = true;
+  while (!posted_.empty()) {
+    Posted p = std::move(posted_.front());
+    posted_.erase(posted_.begin());
+    Status s = co_await send(p.dest, p.handler, p.payload.data(),
+                             p.payload.size());
+    FM_CHECK_MSG(ok(s), "posted send failed");
+  }
+  draining_posted_ = false;
+}
+
+sim::Op<> SimEndpoint::send_standalone_ack(NodeId peer) {
+  auto acks = acks_.take(peer, 255);
+  if (acks.empty()) co_return;
+  FrameHeader h;
+  h.type = FrameType::kAck;
+  h.src = id();
+  h.ack_count = static_cast<std::uint8_t>(acks.size());
+  ++stats_.acks_standalone;
+  co_await node_.cpu().exec(node_.params().hostsw.fm_send_setup_cycles);
+  co_await inject(peer, encode_frame(h, nullptr, acks.data()));
+}
+
+sim::Op<> SimEndpoint::send_reject(const FrameHeader& h,
+                                   const std::uint8_t* data) {
+  // Return the frame to its sender with the type flipped; acks it carried
+  // were already consumed here, so strip them.
+  FrameHeader rh = h;
+  rh.type = FrameType::kReject;
+  rh.ack_count = 0;
+  std::vector<std::uint8_t> bytes =
+      encode_frame(rh, frame_payload(h, data), nullptr);
+  co_await node_.cpu().exec(node_.params().hostsw.fm_send_setup_cycles);
+  co_await inject(h.src, std::move(bytes));
+}
+
+std::vector<std::uint8_t> SimEndpoint::strip_acks(const FrameHeader& h,
+                                                  const std::uint8_t* data) {
+  FrameHeader clean = h;
+  clean.type = FrameType::kData;
+  clean.ack_count = 0;
+  return encode_frame(clean, frame_payload(h, data), nullptr);
+}
+
+void SimEndpoint::post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                             std::uint32_t w1, std::uint32_t w2,
+                             std::uint32_t w3) {
+  std::uint32_t words[4] = {w0, w1, w2, w3};
+  post_send(dest, handler, words, sizeof words);
+}
+
+void SimEndpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
+                            std::size_t len) {
+  Posted p;
+  p.dest = dest;
+  p.handler = handler;
+  const auto* b = static_cast<const std::uint8_t*>(buf);
+  p.payload.assign(b, b + len);
+  posted_.push_back(std::move(p));
+}
+
+}  // namespace fm

@@ -1,0 +1,176 @@
+// fm::SimEndpoint — the FM 1.0 host library running on the simulated
+// testbed.
+//
+// This is the paper's contribution assembled: the three-call API (Table 1)
+// over the hybrid SBus architecture (§4.3), the four-queue buffer management
+// (§4.4) and return-to-sender flow control with piggybacked acknowledgements
+// (§4.5), all driving the FmLcp on the node's LANai.
+//
+// API calls are coroutines (sim::Op) because host software costs simulated
+// time: FM_send spools the frame into LANai memory with programmed I/O,
+// FM_extract pays per-frame interpretation and dispatch cycles. Handlers
+// are synchronous functions; a handler that wants to communicate posts a
+// reply (post_send4/post_send), which extract() injects — with full send
+// costs — right after the handler returns, matching how handler-context
+// sends behave in FM.
+//
+// Usage (inside a sim::Task host program):
+//
+//   fm::SimEndpoint ep(cluster.node(0));
+//   fm::HandlerId h = ep.register_handler(on_message);
+//   ep.start();
+//   co_await ep.send4(1, h, a, b, c, d);
+//   co_await ep.extract();
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "fm/config.h"
+#include "fm/frame.h"
+#include "fm/handler_registry.h"
+#include "fm/protocol.h"
+#include "hw/cluster.h"
+#include "lcp/fm_lcp.h"
+#include "sim/op.h"
+
+namespace fm {
+
+/// The simulated-cluster FM endpoint (one per node).
+class SimEndpoint {
+ public:
+  /// Handler type: (endpoint, source node, transient payload).
+  using Handler = HandlerRegistry<SimEndpoint>::Fn;
+
+  /// Layer statistics (tests and utilization reports).
+  struct Stats {
+    std::uint64_t frames_sent = 0;       ///< Data frames injected (incl. retransmits).
+    std::uint64_t frames_received = 0;   ///< Frames taken from the host queue.
+    std::uint64_t messages_sent = 0;     ///< API-level sends.
+    std::uint64_t messages_delivered = 0;///< Handler dispatches.
+    std::uint64_t acks_piggybacked = 0;  ///< Acks carried on data frames.
+    std::uint64_t acks_standalone = 0;   ///< Standalone ack frames sent.
+    std::uint64_t rejects_issued = 0;    ///< Frames we returned to senders.
+    std::uint64_t rejects_received = 0;  ///< Our frames returned to us.
+    std::uint64_t retransmissions = 0;   ///< Rejected frames re-injected.
+    std::uint64_t malformed_frames = 0;  ///< Undecodable wire garbage dropped.
+  };
+
+  /// Creates an endpoint on `node`. Call start() before communicating.
+  explicit SimEndpoint(hw::Node& node, FmConfig cfg = FmConfig(),
+                       lcp::FmLcpConfig lcp_cfg = lcp::FmLcpConfig());
+  ~SimEndpoint();
+  SimEndpoint(const SimEndpoint&) = delete;
+  SimEndpoint& operator=(const SimEndpoint&) = delete;
+
+  /// Boots the node's LANai control program.
+  void start();
+  /// Stops the control program (drains at the next LCP wake-up).
+  void shutdown();
+
+  /// Registers `fn`; returns the id to put in messages. All nodes must
+  /// register the same handlers in the same order (SPMD discipline).
+  HandlerId register_handler(Handler fn) { return handlers_.add(std::move(fn)); }
+
+  /// FM_send_4: a four-word message (Table 1).
+  sim::Op<Status> send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                        std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+
+  /// FM_send: a message of arbitrary length (segmented beyond one frame —
+  /// the documented extension past FM 1.0's 32-word limit).
+  sim::Op<Status> send(NodeId dest, HandlerId handler, const void* buf,
+                       std::size_t len);
+
+  /// FM_extract: processes received messages; returns frames consumed.
+  sim::Op<std::size_t> extract();
+
+  /// Blocks until at least one frame is deliverable, then extracts.
+  sim::Op<std::size_t> extract_blocking();
+
+  /// Extracts until all our outstanding frames are acknowledged and no
+  /// rejected frames await retransmission. Flushes standalone acks so the
+  /// *peers'* drains terminate too.
+  sim::Op<> drain();
+
+  /// This node's id.
+  NodeId id() const { return node_.id(); }
+  /// Messages whose acks we are still waiting on (flow control only).
+  std::size_t unacked() const { return window_.in_flight(); }
+  /// Frames parked for retransmission.
+  std::size_t reject_queue_depth() const { return rejq_.size(); }
+
+  const Stats& stats() const { return stats_; }
+  const FmConfig& config() const { return cfg_; }
+  /// Condition notified when the LANai delivers frames to this host.
+  sim::Condition& delivery_cond() { return host_rx_.arrived(); }
+  /// The underlying control program (diagnostics).
+  lcp::FmLcp& control_program() { return lcp_; }
+  hw::Node& node() { return node_; }
+  sim::Simulator& sim() { return node_.nic().lanai().simulator(); }
+
+  /// Posts a reply from handler context; injected by extract() right after
+  /// the running handler returns (with normal send costs).
+  void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                  std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+  /// Posts an arbitrary-length reply from handler context.
+  void post_send(NodeId dest, HandlerId handler, const void* buf,
+                 std::size_t len);
+
+ private:
+  struct Posted {
+    NodeId dest;
+    HandlerId handler;
+    std::vector<std::uint8_t> payload;
+  };
+
+  // Sends one encoded frame through the hybrid path: waits for LANai queue
+  // space, pays PIO + trigger costs, enqueues. Does not touch the window.
+  sim::Op<> inject(NodeId dest, std::vector<std::uint8_t> bytes);
+
+  // Builds and sends one data frame (window wait, piggyback acks, track).
+  sim::Op<Status> send_data_frame(NodeId dest, HandlerId handler,
+                                  const std::uint8_t* payload,
+                                  std::size_t len, bool fragmented,
+                                  std::uint32_t msg_id,
+                                  std::uint16_t frag_index,
+                                  std::uint16_t frag_count);
+
+  // Sends a standalone ack frame carrying up to 255 owed acks to `peer`.
+  sim::Op<> send_standalone_ack(NodeId peer);
+
+  // Returns a data frame to its sender (return-to-sender rejection).
+  sim::Op<> send_reject(const FrameHeader& h, const std::uint8_t* data);
+
+  // Processes one delivered frame (dispatch / ack / reject bookkeeping).
+  sim::Op<> process_frame(hw::Packet pkt);
+
+  // Runs posted handler replies.
+  sim::Op<> drain_posted();
+
+  // Re-encodes a frame with its piggybacked acks stripped.
+  static std::vector<std::uint8_t> strip_acks(const FrameHeader& h,
+                                              const std::uint8_t* data);
+
+  hw::Node& node_;
+  FmConfig cfg_;
+  lcp::HostRecvQueue host_rx_;
+  lcp::FmLcp lcp_;
+  HandlerRegistry<SimEndpoint> handlers_;
+  SendWindow window_;
+  AckTracker acks_;
+  Reassembler reasm_;
+  RejectQueue rejq_;
+  Stats stats_;
+  std::vector<Posted> posted_;
+  std::unordered_map<NodeId, std::size_t> credits_;  // window mode only
+  std::uint32_t next_msg_id_ = 1;
+  std::size_t consumed_since_update_ = 0;
+  bool draining_posted_ = false;
+  bool started_ = false;
+};
+
+}  // namespace fm

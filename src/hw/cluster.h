@@ -1,0 +1,92 @@
+// Node and Cluster: assembling the simulated testbed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "hw/host_cpu.h"
+#include "hw/network.h"
+#include "hw/nic.h"
+#include "hw/params.h"
+#include "hw/sbus.h"
+#include "sim/simulator.h"
+
+namespace fm::hw {
+
+/// One workstation: host processor + SBus + Myrinet NIC.
+class Node {
+ public:
+  Node(sim::Simulator& sim, const HwParams& params, NodeId id)
+      : id_(id),
+        params_(params),
+        cpu_(sim, params.host),
+        sbus_(sim, params.sbus, params.host),
+        nic_(sim, params_, sbus_, id) {}
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  HostCpu& cpu() { return cpu_; }
+  Sbus& sbus() { return sbus_; }
+  Nic& nic() { return nic_; }
+  /// The parameter set this node was built with.
+  const HwParams& params() const { return params_; }
+
+ private:
+  NodeId id_;
+  HwParams params_;
+  HostCpu cpu_;
+  Sbus sbus_;
+  Nic nic_;
+};
+
+/// A cluster of nodes cabled to a network fabric. The default is the
+/// paper's testbed shape — one crossbar switch (an 8-port Myrinet switch
+/// and a pair of workstations is Cluster(2)). Passing `nodes_per_switch`
+/// builds a linear cascade of switches instead (extension). Owns the
+/// simulator, so a Cluster is a complete, self-contained experiment.
+class Cluster {
+ public:
+  /// Builds `n` nodes. `nodes_per_switch` == 0 (default) cables everything
+  /// to one crossbar; otherwise a CascadeFabric with that many hosts per
+  /// switch.
+  explicit Cluster(std::size_t n, HwParams params = HwParams::paper(),
+                   std::size_t nodes_per_switch = 0)
+      : params_(params) {
+    if (nodes_per_switch == 0)
+      network_ = std::make_unique<CrossbarSwitch>(sim_, params.link, n,
+                                                  params.faults);
+    else
+      network_ = std::make_unique<CascadeFabric>(
+          sim_, params.link, n, nodes_per_switch, params.faults);
+    nodes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_.push_back(
+          std::make_unique<Node>(sim_, params_, static_cast<NodeId>(i)));
+      nodes_.back()->nic().connect(*network_);
+    }
+  }
+
+  /// The simulation clock and event queue.
+  sim::Simulator& sim() { return sim_; }
+  /// Node `i`.
+  Node& node(NodeId i) {
+    FM_CHECK(i < nodes_.size());
+    return *nodes_[i];
+  }
+  /// Number of nodes.
+  std::size_t size() const { return nodes_.size(); }
+  /// The fabric.
+  Network& network() { return *network_; }
+  /// The parameter set the cluster was built with.
+  const HwParams& params() const { return params_; }
+
+ private:
+  HwParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fm::hw

@@ -1,0 +1,70 @@
+// Network fault injection.
+//
+// §4.5 of the paper: "Since the rejection mechanism does not provide
+// fault-tolerance, the network is assumed to be reliable, or fault-tolerance
+// must be provided by a higher level protocol. In the case of Myrinet, bit
+// errors are exceedingly rare". This module makes them un-rare on demand, so
+// tests and benches can demonstrate the consequences of that design choice:
+// the Myricom API's checksums catch corruption (at LANai cost), FM by
+// design does not.
+//
+// Faults are deterministic (seeded PRNG) so failing runs replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fm::hw {
+
+/// Fault model parameters (all off by default — Myrinet-like reliability).
+struct FaultParams {
+  /// Probability a packet vanishes in the switch fabric.
+  double drop_rate = 0.0;
+  /// Probability a packet suffers a single corrupted byte.
+  double corrupt_rate = 0.0;
+  /// PRNG seed (runs are bit-reproducible).
+  std::uint64_t seed = 0x5eed;
+
+  bool enabled() const { return drop_rate > 0 || corrupt_rate > 0; }
+};
+
+/// Per-network fault source.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultParams& p) : params_(p), rng_(p.seed) {}
+
+  /// True if this packet should be silently dropped.
+  bool should_drop() {
+    if (params_.drop_rate <= 0) return false;
+    if (!rng_.chance(params_.drop_rate)) return false;
+    ++dropped_;
+    return true;
+  }
+
+  /// Possibly corrupts one byte of `bytes` in place; returns whether it did.
+  bool maybe_corrupt(std::vector<std::uint8_t>& bytes) {
+    if (params_.corrupt_rate <= 0 || bytes.empty()) return false;
+    if (!rng_.chance(params_.corrupt_rate)) return false;
+    std::size_t i = rng_.below(bytes.size());
+    std::uint8_t bit = static_cast<std::uint8_t>(1u << rng_.below(8));
+    bytes[i] ^= bit;
+    ++corrupted_;
+    return true;
+  }
+
+  /// Packets destroyed / damaged so far.
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t corrupted() const { return corrupted_; }
+
+  const FaultParams& params() const { return params_; }
+
+ private:
+  FaultParams params_;
+  Xoshiro256 rng_;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t corrupted_ = 0;
+};
+
+}  // namespace fm::hw

@@ -1,0 +1,64 @@
+// SPARCstation host processor cost model.
+//
+// Host software (the FM host program, the API host library, application
+// code between extracts) charges cycles through exec() and bulk-copy time
+// through memcpy_op(). The host is fast relative to the LANai — the paper's
+// division-of-labor argument ("assign as much functionality as possible to
+// the host") falls out of that ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "hw/params.h"
+#include "sim/op.h"
+#include "sim/simulator.h"
+
+namespace fm::hw {
+
+/// One node's host processor.
+class HostCpu {
+ public:
+  HostCpu(sim::Simulator& sim, const HostParams& params)
+      : sim_(sim), params_(params) {}
+  HostCpu(const HostCpu&) = delete;
+  HostCpu& operator=(const HostCpu&) = delete;
+
+  /// Executes `cycles` of host work.
+  sim::DelayAwaiter exec(int cycles) {
+    FM_CHECK(cycles >= 0);
+    cycles_ += static_cast<std::uint64_t>(cycles);
+    return sim_.delay(params_.cycle * cycles);
+  }
+
+  /// Memory-to-memory copy of `bytes` (e.g. staging into the DMA region for
+  /// the all-DMA architecture). Bandwidth is the harmonic read+write
+  /// combination of the §2 numbers (~34 MB/s on the SS20).
+  sim::DelayAwaiter memcpy_op(std::size_t bytes) {
+    copied_ += bytes;
+    return sim_.delay(memcpy_time(bytes));
+  }
+
+  /// Duration of a host memcpy, for analytic checks.
+  sim::Time memcpy_time(std::size_t bytes) const {
+    return sim::transfer_time(bytes, params_.memcpy_mbs());
+  }
+
+  /// Clock period.
+  sim::Time cycle_time() const { return params_.cycle; }
+
+  /// Counters (diagnostics).
+  std::uint64_t cycles_executed() const { return cycles_; }
+  std::uint64_t bytes_copied() const { return copied_; }
+
+  sim::Simulator& simulator() { return sim_; }
+  const HostParams& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  HostParams params_;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t copied_ = 0;
+};
+
+}  // namespace fm::hw

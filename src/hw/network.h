@@ -1,0 +1,160 @@
+// Myrinet network fabrics: the single crossbar switch of the paper's
+// testbed, plus multi-switch cascades (an extension — Myrinet scaled by
+// cabling switches together, with source routes naming the output port at
+// every hop).
+//
+// Model: source-routed wormhole switching. A transmission holds its input
+// link and every switch output port along the route for the whole
+// serialization time (charged once, end to end, per the cut-through
+// approximation of Appendix A: latency = t_DMA + hops * t_switch +
+// 12.5 ns/byte), so head-of-line blocking and output contention emerge
+// naturally. Delivery into the destination NIC's receive ring happens while
+// the resources are still held — if the ring is full the stream stalls and
+// backpressure propagates upstream, exactly the behaviour the paper leans
+// on ("polling is not required to prevent network blockage").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "hw/fault.h"
+#include "hw/packet.h"
+#include "hw/params.h"
+#include "sim/semaphore.h"
+#include "sim/simulator.h"
+
+namespace fm::hw {
+
+class Nic;
+
+/// Abstract network fabric: something NICs attach to and route through.
+class Network {
+ public:
+  Network(sim::Simulator& sim, const LinkParams& params,
+          const FaultParams& faults, std::size_t nodes)
+      : sim_(sim), params_(params), faults_(faults), nics_(nodes, nullptr) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Number of attachable nodes.
+  std::size_t ports() const { return nics_.size(); }
+
+  /// Cables `nic` to attachment point `id`.
+  void attach(NodeId id, Nic* nic) {
+    FM_CHECK_MSG(id < nics_.size(), "attachment point out of range");
+    FM_CHECK_MSG(nics_[id] == nullptr, "attachment point already cabled");
+    nics_[id] = nic;
+  }
+
+  /// The NIC at attachment point `id` (null if vacant).
+  Nic* nic_at(NodeId id) const {
+    FM_CHECK(id < nics_.size());
+    return nics_[id];
+  }
+
+  /// Computes the source route from `src` to `dest`: the ordered switch
+  /// output ports the packet's header must claim. Each entry costs one
+  /// switch fall-through latency.
+  virtual void route(NodeId src, NodeId dest,
+                     std::vector<sim::BusyResource*>& out) = 0;
+
+  /// Routing fall-through latency per hop.
+  sim::Time hop_latency() const { return params_.switch_latency; }
+  /// Per-byte serialization time.
+  sim::Time byte_time() const { return params_.byte_time; }
+  /// The fabric's fault source (off by default).
+  FaultInjector& faults() { return faults_; }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ protected:
+  sim::Simulator& sim_;
+  LinkParams params_;
+  FaultInjector faults_;
+  std::vector<Nic*> nics_;
+};
+
+/// The paper's testbed network: one N-port crossbar switch; every route is
+/// a single output port.
+class CrossbarSwitch : public Network {
+ public:
+  CrossbarSwitch(sim::Simulator& sim, const LinkParams& params,
+                 std::size_t ports, const FaultParams& faults = FaultParams())
+      : Network(sim, params, faults, ports) {
+    out_ports_.reserve(ports);
+    for (std::size_t i = 0; i < ports; ++i)
+      out_ports_.push_back(std::make_unique<sim::BusyResource>(sim));
+  }
+
+  void route(NodeId src, NodeId dest,
+             std::vector<sim::BusyResource*>& out) override {
+    (void)src;
+    FM_CHECK(dest < out_ports_.size());
+    out.push_back(out_ports_[dest].get());
+  }
+
+  /// The occupancy resource of output port `port` (tests).
+  sim::BusyResource& out_port(NodeId port) {
+    FM_CHECK(port < out_ports_.size());
+    return *out_ports_[port];
+  }
+
+ private:
+  std::vector<std::unique_ptr<sim::BusyResource>> out_ports_;
+};
+
+/// A linear cascade of switches (extension): `nodes_per_switch` hosts per
+/// switch, neighbouring switches joined by one cable per direction. Routes
+/// traverse the inter-switch cables hop by hop, then the destination's
+/// delivery port — each hop adding one switch fall-through and one more
+/// held resource, so the cascade's bisection cable is a genuine shared
+/// bottleneck.
+class CascadeFabric : public Network {
+ public:
+  CascadeFabric(sim::Simulator& sim, const LinkParams& params,
+                std::size_t nodes, std::size_t nodes_per_switch,
+                const FaultParams& faults = FaultParams())
+      : Network(sim, params, faults, nodes), per_switch_(nodes_per_switch) {
+    FM_CHECK_MSG(nodes_per_switch >= 1, "empty switches");
+    const std::size_t switches = (nodes + per_switch_ - 1) / per_switch_;
+    delivery_.reserve(nodes);
+    for (std::size_t i = 0; i < nodes; ++i)
+      delivery_.push_back(std::make_unique<sim::BusyResource>(sim));
+    right_.reserve(switches);
+    left_.reserve(switches);
+    for (std::size_t s = 0; s < switches; ++s) {
+      right_.push_back(std::make_unique<sim::BusyResource>(sim));
+      left_.push_back(std::make_unique<sim::BusyResource>(sim));
+    }
+  }
+
+  void route(NodeId src, NodeId dest,
+             std::vector<sim::BusyResource*>& out) override {
+    FM_CHECK(src < ports() && dest < ports());
+    std::size_t sa = src / per_switch_, sb = dest / per_switch_;
+    // Inter-switch cables, in travel order (consistent global acquisition
+    // order per direction => no deadlock among wormhole holders).
+    for (std::size_t s = sa; s < sb; ++s) out.push_back(right_[s].get());
+    for (std::size_t s = sa; s > sb; --s) out.push_back(left_[s].get());
+    out.push_back(delivery_[dest].get());
+  }
+
+  /// Switches in the cascade.
+  std::size_t switches() const { return right_.size(); }
+  /// Number of switch hops between two nodes.
+  std::size_t hops(NodeId a, NodeId b) const {
+    std::size_t sa = a / per_switch_, sb = b / per_switch_;
+    return 1 + (sa > sb ? sa - sb : sb - sa);
+  }
+
+ private:
+  std::size_t per_switch_;
+  std::vector<std::unique_ptr<sim::BusyResource>> delivery_;
+  std::vector<std::unique_ptr<sim::BusyResource>> right_;  // s -> s+1
+  std::vector<std::unique_ptr<sim::BusyResource>> left_;   // s -> s-1
+};
+
+}  // namespace fm::hw

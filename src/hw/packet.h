@@ -1,0 +1,39 @@
+// The unit of network transmission.
+//
+// A Packet is what crosses a Myrinet link: an opaque byte string plus the
+// source-route information the switch consumes. Protocol layers (FM, the
+// Myricom API model) encode their headers *into* the bytes; the hardware
+// models never interpret payload content — exactly the discipline the paper
+// enforces on the real LANai ("The LANai does no interpretation of packets,
+// blindly moving them").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "sim/time.h"
+
+namespace fm::hw {
+
+/// One network packet (a frame, in FM terms).
+struct Packet {
+  /// Monotonic id assigned at injection; unique per simulation, for tracing.
+  std::uint64_t id = 0;
+  /// Injecting node.
+  NodeId src = kInvalidNode;
+  /// Destination node (consumed as the source route by the switch).
+  NodeId dest = kInvalidNode;
+  /// Complete frame contents, headers included.
+  std::vector<std::uint8_t> bytes;
+  /// Simulated time the packet was handed to the sending NIC.
+  sim::Time injected_at = 0;
+  /// Simulation-side metadata for layered cost models (NOT wire content;
+  /// e.g. the Myricom API model tags immediate- vs DMA-mode sends).
+  std::uint32_t meta = 0;
+
+  /// Bytes that occupy the wire.
+  std::size_t wire_bytes() const { return bytes.size(); }
+};
+
+}  // namespace fm::hw

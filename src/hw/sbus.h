@@ -1,0 +1,91 @@
+// SBus model: the arbitrated I/O bus between host and NIC.
+//
+// The paper's §4.3 thesis — the I/O bus is the messaging-layer battleground —
+// is encoded here. Three access modes with very different costs:
+//
+//   PIO write  : processor-mediated double-word stores, 23.9 MB/s bus peak
+//                further throttled by host loop overhead (net ~21-22 MB/s)
+//   PIO read   : ~15 host cycles per uncached word ("reading a network
+//                interface status field requires ~15 processor cycles")
+//   DMA burst  : 40-54 MB/s, LANai-initiated, pinned kernel memory only
+//
+// All three arbitrate for the same BusyResource, so a host busy spooling a
+// frame into LANai memory delays the LANai's delivery DMA and vice versa —
+// contention the paper's asymmetric design exists to manage.
+#pragma once
+
+#include "hw/params.h"
+#include "sim/op.h"
+#include "sim/semaphore.h"
+#include "sim/simulator.h"
+
+namespace fm::hw {
+
+/// One node's SBus.
+class Sbus {
+ public:
+  Sbus(sim::Simulator& sim, const SbusParams& params, const HostParams& host)
+      : sim_(sim), params_(params), host_(host), bus_(sim) {}
+  Sbus(const Sbus&) = delete;
+  Sbus& operator=(const Sbus&) = delete;
+
+  /// Host-mediated store of `bytes` into NIC memory (double-word stream).
+  /// Occupies both the host processor and the bus for the duration.
+  sim::Op<> pio_write(std::size_t bytes) {
+    const sim::Time d = pio_write_time(bytes);
+    co_await bus_.acquire();
+    co_await sim_.delay(d);
+    bus_.release();
+    bytes_pio_written_ += bytes;
+  }
+
+  /// Host uncached load of one word of NIC state.
+  sim::Op<> pio_read() {
+    co_await bus_.acquire();
+    co_await sim_.delay(host_.cycle * params_.pio_read_cycles);
+    bus_.release();
+    ++pio_reads_;
+  }
+
+  /// LANai-initiated DMA between NIC memory and the pinned host DMA region.
+  sim::Op<> dma(std::size_t bytes) {
+    co_await bus_.acquire();
+    co_await sim_.delay(params_.dma_latency +
+                        sim::transfer_time(bytes, params_.dma_mbs));
+    bus_.release();
+    bytes_dma_ += bytes;
+  }
+
+  /// Duration of a PIO write, without arbitration (for analytic checks).
+  sim::Time pio_write_time(std::size_t bytes) const {
+    const std::size_t dwords = (bytes + 7) / 8;
+    const sim::Time per_dword =
+        sim::transfer_time(8, params_.pio_write_mbs) +
+        host_.cycle * params_.pio_loop_cycles_per_dword;
+    return static_cast<sim::Time>(dwords) * per_dword;
+  }
+
+  /// Duration of a DMA, without arbitration.
+  sim::Time dma_time(std::size_t bytes) const {
+    return params_.dma_latency + sim::transfer_time(bytes, params_.dma_mbs);
+  }
+
+  /// Underlying arbitration resource (for occupancy diagnostics).
+  sim::BusyResource& bus() { return bus_; }
+
+  /// Traffic counters (tests and utilization reports).
+  std::uint64_t bytes_pio_written() const { return bytes_pio_written_; }
+  std::uint64_t bytes_dma() const { return bytes_dma_; }
+  std::uint64_t pio_reads() const { return pio_reads_; }
+
+ private:
+  sim::Simulator& sim_;
+  SbusParams params_;
+  HostParams host_;
+  sim::BusyResource bus_;
+  std::uint64_t bytes_pio_written_ = 0;
+  std::uint64_t bytes_dma_ = 0;
+  std::uint64_t pio_reads_ = 0;
+};
+
+}  // namespace fm::hw

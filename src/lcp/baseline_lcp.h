@@ -1,0 +1,60 @@
+// The "baseline" LCP main loop — Figure 2(a).
+//
+//   repeat forever
+//     if send channel is available and hostsent != lanaisent then
+//       send packet from a fixed buffer location; lanaisent++
+//     end if
+//     if a packet is available on the receive channel then
+//       receive packet into a fixed buffer location
+//     end if
+//   end repeat
+//
+// Every packet pays the full top-of-loop re-dispatch: both condition checks
+// plus loop closure, even when traffic is bursty. Table 4: t0 = 4.2 us,
+// n_1/2 = 315 B — "even mundane pointer and looping overheads reduce
+// performance significantly".
+#pragma once
+
+#include "lcp/lcp.h"
+
+namespace fm::lcp {
+
+/// Figure 2(a): one send attempt and one receive attempt per loop pass.
+class BaselineLcp : public Lcp {
+ public:
+  using Lcp::Lcp;
+
+ protected:
+  sim::Task run() override {
+    auto& lanai = nic().lanai();
+    const auto& c = params_.lcp;
+    while (!stopping_) {
+      // Park while nothing is actionable (a real LCP spins here; the spin's
+      // discovery cost is the check budget charged when work is found).
+      if (!actionable()) {
+        co_await wait_for_work();
+        continue;
+      }
+      // Top of loop: re-dispatch plus both condition checks — the overhead
+      // the streamed structure amortizes away.
+      co_await lanai.exec(c.baseline_loop + c.check_send + c.check_recv);
+      if (send_work() && !nic().out_dma().busy()) {
+        co_await lanai.exec(c.send_path);
+        nic().start_transmit(pop_send());
+      }
+      hw::Packet p;
+      if (try_recv(p)) {
+        co_await lanai.exec(c.recv_path);
+        if (on_receive_) on_receive_(p);
+      }
+    }
+    exited_ = true;
+  }
+
+ private:
+  bool actionable() {
+    return (send_work() && !nic().out_dma().busy()) || !nic().rx_ring().empty();
+  }
+};
+
+}  // namespace fm::lcp

@@ -1,0 +1,130 @@
+// The FM 1.0 LCP — streamed + hybrid + buffer management (§4.4, Figure 6).
+//
+// What §4.4 adds over the minimal hybrid layer:
+//   * real queue structures with space checks (the four-queue design),
+//   * receive-side aggregation: "having no packet interpretation and a
+//     simple LANai receive queue structure allows packets to be aggregated
+//     and transferred with a single DMA operation, further increasing the
+//     transfer bandwidth and reducing overhead",
+//   * delivery overlapped with channel service (the host DMA engine runs in
+//     the background while the LCP keeps draining the wire),
+//   * strictly NO packet interpretation — "The LANai does no interpretation
+//     of packets, blindly moving them to the DMA region."
+//
+// The interpret_packets knob reproduces Figure 7's third curve: a switch()
+// statement in the streaming receive loop simulating minimal interpretation
+// (~20 instructions fully exposed per packet).
+//
+// Table 4: buffer mgmt t0 = 3.8 us / n_1/2 = 53 B; with switch() t0 = 6.8 us
+// / n_1/2 = 127 B.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "lcp/lcp.h"
+
+namespace fm::lcp {
+
+/// Configuration of the FM control program.
+struct FmLcpConfig {
+  /// Simulate minimal packet interpretation in the receive inner loop
+  /// (Figure 7's "+ switch()" experiment).
+  bool interpret_packets = false;
+  /// Largest number of frames aggregated into one host DMA.
+  std::size_t max_aggregate = 8;
+};
+
+/// The production FM control program.
+class FmLcp : public Lcp {
+ public:
+  using Config = FmLcpConfig;
+
+  FmLcp(hw::Node& node, const hw::HwParams& params, Config cfg = Config())
+      : Lcp(node, params), cfg_(cfg) {
+    // §4.4: "having no packet interpretation and a simple LANai receive
+    // queue structure allows packets to be aggregated and transferred with
+    // a single DMA operation" — conversely, interpreting packets forces
+    // per-packet handling, which is half of the switch() experiment's cost.
+    if (cfg_.interpret_packets) cfg_.max_aggregate = 1;
+  }
+
+  /// Frames delivered to the host per DMA operation, on average
+  /// (diagnostic: shows aggregation working).
+  double mean_aggregation() const {
+    return dma_ops_ ? static_cast<double>(frames_delivered_) /
+                          static_cast<double>(dma_ops_)
+                    : 0.0;
+  }
+
+ protected:
+  sim::Task run() override {
+    FM_CHECK_MSG(host_rx_ != nullptr, "FmLcp requires attach_host_recv()");
+    auto& lanai = nic().lanai();
+    const auto& c = params_.lcp;
+    while (!stopping_) {
+      if (!actionable()) {
+        co_await wait_for_work();
+        continue;
+      }
+      // --- send side: the streamed loop, unchanged -----------------------
+      co_await lanai.exec(c.check_send);
+      while (send_work() && !nic().out_dma().busy()) {
+        co_await lanai.exec(c.streamed_loop + c.send_path);
+        nic().start_transmit(pop_send());
+      }
+      // --- receive side: drain the wire into the staging batch -----------
+      co_await lanai.exec(c.check_recv);
+      hw::Packet p;
+      while (batch_.size() < cfg_.max_aggregate && try_recv(p)) {
+        int instr = c.streamed_loop + c.recv_path;
+        if (cfg_.interpret_packets) instr += c.interpret_switch;
+        co_await lanai.exec(instr);
+        batch_.push_back(std::move(p));
+      }
+      // --- delivery: one DMA for the whole batch, in the background ------
+      // Partial delivery when host space is short keeps the layer live even
+      // with a receive queue smaller than the aggregation window.
+      const std::size_t space = host_rx_->ring().space();
+      if (!batch_.empty() && !nic().host_dma_engine().busy() && space > 0) {
+        const std::size_t n = std::min(batch_.size(), space);
+        co_await lanai.exec(c.host_dma_setup +
+                            c.host_dma_per_packet * static_cast<int>(n));
+        auto moving = std::make_shared<std::vector<hw::Packet>>();
+        moving->reserve(n);
+        std::size_t bytes = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          bytes += batch_[i].wire_bytes();
+          moving->push_back(std::move(batch_[i]));
+        }
+        batch_.erase(batch_.begin(), batch_.begin() + static_cast<long>(n));
+        frames_delivered_ += n;
+        ++dma_ops_;
+        nic().start_host_dma(bytes, [this, moving] {
+          for (auto& f : *moving) host_rx_->deposit(std::move(f));
+          host_rx_->arrived().notify_all();
+        });
+      }
+    }
+    exited_ = true;
+  }
+
+ private:
+  bool actionable() {
+    if (send_work() && !nic().out_dma().busy()) return true;
+    if (!nic().rx_ring().empty() && batch_.size() < cfg_.max_aggregate)
+      return true;
+    if (!batch_.empty() && !nic().host_dma_engine().busy() &&
+        host_rx_->ring().space() > 0)
+      return true;
+    return false;
+  }
+
+  Config cfg_;
+  std::vector<hw::Packet> batch_;
+  std::uint64_t frames_delivered_ = 0;
+  std::uint64_t dma_ops_ = 0;
+};
+
+}  // namespace fm::lcp

@@ -1,0 +1,202 @@
+// LANai Control Program (LCP) framework.
+//
+// An Lcp is a coroutine running on a node's LanaiCpu. Section 4.2 of the
+// paper: "Because the network coprocessor (LANai) is of modest speed, and
+// the LANai control program (LCP) is a sequential program dealing with
+// concurrent activities, the organization of the LCP is critical to
+// achieving high performance."
+//
+// The framework fixes the pieces all variants share — the LANai send queue
+// fed by the host, the hostsent/lanaisent split counters (§4.4: "Allowing
+// each to own (and keep in a register) its respective counter reduces the
+// amount of synchronization between host and LANai"), start/stop plumbing,
+// and traffic counters — while each variant supplies the main loop whose
+// *structure* is the experiment.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/check.h"
+#include "common/ring_buffer.h"
+#include "common/types.h"
+#include "hw/cluster.h"
+#include "hw/packet.h"
+#include "hw/params.h"
+#include "sim/condition.h"
+#include "sim/task.h"
+
+namespace fm::lcp {
+
+/// The host receive queue (Figure 6): a frame ring in the pinned host DMA
+/// region, filled by the LANai's host-DMA engine, drained by host software.
+/// `delivered` is LANai-owned; `consumed` is host-owned — the same
+/// write-race-free split-counter discipline as the send side.
+class HostRecvQueue {
+ public:
+  HostRecvQueue(sim::Simulator& sim, std::size_t frames)
+      : ring_(frames), arrived_(sim) {}
+
+  /// The frame storage.
+  RingBuffer<hw::Packet>& ring() { return ring_; }
+  /// Notified (at DMA completion) when new frames land.
+  sim::Condition& arrived() { return arrived_; }
+
+  /// Total frames the LANai has delivered.
+  std::uint64_t delivered() const { return delivered_; }
+  /// Total frames the host has consumed.
+  std::uint64_t consumed() const { return consumed_; }
+
+  /// LANai-side: deposit a frame (space must have been checked).
+  void deposit(hw::Packet p) {
+    bool pushed = ring_.push(std::move(p));
+    FM_CHECK_MSG(pushed, "host receive queue overrun (LCP space check bug)");
+    ++delivered_;
+  }
+
+  /// Host-side: take the oldest frame, if any.
+  bool take(hw::Packet& out) {
+    if (!ring_.pop(out)) return false;
+    ++consumed_;
+    return true;
+  }
+
+ private:
+  RingBuffer<hw::Packet> ring_;
+  sim::Condition arrived_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Base class for all LANai control programs.
+class Lcp {
+ public:
+  Lcp(hw::Node& node, const hw::HwParams& params)
+      : node_(node),
+        params_(params),
+        send_q_(params.queues.lanai_send_frames) {
+    // Queue storage must fit the 128 KB SRAM (frame payload + header slot).
+    node.nic().memory().reserve(
+        params.queues.lanai_send_frames * (kFmFramePayload + 32),
+        "LANai send queue");
+    node.nic().memory().reserve(
+        params.lanai.rx_ring_frames * (kFmFramePayload + 32),
+        "LANai receive queue");
+  }
+  virtual ~Lcp() = default;
+  Lcp(const Lcp&) = delete;
+  Lcp& operator=(const Lcp&) = delete;
+
+  /// Boots the control program (spawns its main loop).
+  void start() {
+    FM_CHECK_MSG(!running_, "LCP already started");
+    running_ = true;
+    sim().spawn(run());
+  }
+
+  /// Asks the main loop to exit at its next wake-up.
+  void request_stop() {
+    stopping_ = true;
+    node_.nic().ring_doorbell();
+  }
+
+  /// True once the main loop has exited.
+  bool stopped() const { return exited_; }
+
+  // ----------------------------------------------------------------------
+  // Host-side interface. SBus/processor costs are paid by the *caller*
+  // (host software); these methods only mutate LANai-memory state.
+  // ----------------------------------------------------------------------
+
+  /// Space left in the LANai send queue (host reads its cached shadow of
+  /// lanaisent; cost charged by caller).
+  std::size_t send_space() const { return send_q_.space(); }
+
+  /// Enqueues an outgoing frame and advances hostsent. Returns false when
+  /// the queue is full (the host must extract/retry). Caller pays the PIO
+  /// cost of the frame bytes plus the counter store.
+  bool host_enqueue(hw::Packet pkt) {
+    if (!send_q_.push(std::move(pkt))) return false;
+    ++hostsent_;
+    node_.nic().ring_doorbell();
+    return true;
+  }
+
+  /// Notified whenever the LANai drains a frame from the send queue (i.e.
+  /// lanaisent advances and host-visible space frees up). Host software
+  /// waits here instead of spinning; the cost of the shadow-counter read it
+  /// models is charged by the host code when it wakes.
+  sim::Condition& host_wake() { return host_wake_; }
+
+  /// hostsent counter (host-owned, §4.4).
+  std::uint64_t hostsent() const { return hostsent_; }
+  /// lanaisent counter (LANai-owned, trails hostsent by queue occupancy).
+  std::uint64_t lanaisent() const { return lanaisent_; }
+
+  /// Hook invoked (cost-free, harness level) when the LCP consumes a packet
+  /// from the network that it does not deliver to a host queue. Used by the
+  /// LANai-to-LANai experiments (Figure 3) to reflect ping-pong traffic.
+  void set_on_receive(std::function<void(const hw::Packet&)> fn) {
+    on_receive_ = std::move(fn);
+  }
+
+  /// Points the LCP at the host receive queue it delivers into (variants
+  /// that deliver to the host require this before start()).
+  void attach_host_recv(HostRecvQueue* q) { host_rx_ = q; }
+
+  /// Traffic counters.
+  std::uint64_t packets_tx() const { return packets_tx_; }
+  std::uint64_t packets_rx() const { return packets_rx_; }
+
+  hw::Node& node() { return node_; }
+  hw::Nic& nic() { return node_.nic(); }
+  sim::Simulator& sim() { return node_.nic().lanai().simulator(); }
+  const hw::HwParams& params() const { return params_; }
+
+ protected:
+  /// The variant's main loop.
+  virtual sim::Task run() = 0;
+
+  /// True when the host has queued frames the LANai has not yet sent.
+  bool send_work() const { return hostsent_ != lanaisent_; }
+
+  /// Pops the next outgoing frame and advances lanaisent.
+  hw::Packet pop_send() {
+    hw::Packet p;
+    bool okp = send_q_.pop(p);
+    FM_CHECK_MSG(okp, "pop_send on empty queue");
+    ++lanaisent_;
+    ++packets_tx_;
+    host_wake_.notify_all();
+    return p;
+  }
+
+  /// Consumes one packet from the NIC receive ring if present.
+  bool try_recv(hw::Packet& out) {
+    auto p = nic().rx_ring().try_recv();
+    if (!p) return false;
+    out = std::move(*p);
+    ++packets_rx_;
+    return true;
+  }
+
+  /// Blocks until any LCP-visible event occurs.
+  sim::Condition::Awaiter wait_for_work() { return nic().lcp_wake().wait(); }
+
+  hw::Node& node_;
+  hw::HwParams params_;
+  sim::Condition host_wake_{node_.nic().lanai().simulator()};
+  RingBuffer<hw::Packet> send_q_;
+  std::uint64_t hostsent_ = 0;
+  std::uint64_t lanaisent_ = 0;
+  std::uint64_t packets_tx_ = 0;
+  std::uint64_t packets_rx_ = 0;
+  bool stopping_ = false;
+  bool running_ = false;
+  bool exited_ = false;
+  std::function<void(const hw::Packet&)> on_receive_;
+  HostRecvQueue* host_rx_ = nullptr;
+};
+
+}  // namespace fm::lcp

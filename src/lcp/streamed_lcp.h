@@ -1,0 +1,62 @@
+// The "streamed" LCP main loop — Figure 2(b).
+//
+//   repeat forever
+//     while send channel is available and hostsent != lanaisent
+//       send packet from a fixed buffer location; lanaisent++
+//     end while
+//     while a packet is available on the receive channel
+//       receive packet into a fixed buffer location
+//     end while
+//   end repeat
+//
+// "The second version of the LCP loop, streamed, optimizes performance by
+// consolidating checks for queue management and by streaming sends and
+// receives" — the condition is evaluated once per burst, each additional
+// packet pays only the inner-loop closure. Table 4: t0 = 3.5 us,
+// n_1/2 = 249 B. This loop is the base of every later FM layer ("In all
+// cases, the streamed version is significantly better, so we build on the
+// streamed LCP loop from this point forward").
+#pragma once
+
+#include "lcp/lcp.h"
+
+namespace fm::lcp {
+
+/// Figure 2(b): burst-draining send and receive loops.
+class StreamedLcp : public Lcp {
+ public:
+  using Lcp::Lcp;
+
+ protected:
+  sim::Task run() override {
+    auto& lanai = nic().lanai();
+    const auto& c = params_.lcp;
+    while (!stopping_) {
+      if (!actionable()) {
+        co_await wait_for_work();
+        continue;
+      }
+      // One consolidated send-condition check, then drain.
+      co_await lanai.exec(c.check_send);
+      while (send_work() && !nic().out_dma().busy()) {
+        co_await lanai.exec(c.streamed_loop + c.send_path);
+        nic().start_transmit(pop_send());
+      }
+      // One consolidated receive-condition check, then drain.
+      co_await lanai.exec(c.check_recv);
+      hw::Packet p;
+      while (try_recv(p)) {
+        co_await lanai.exec(c.streamed_loop + c.recv_path);
+        if (on_receive_) on_receive_(p);
+      }
+    }
+    exited_ = true;
+  }
+
+ private:
+  bool actionable() {
+    return (send_work() && !nic().out_dma().busy()) || !nic().rx_ring().empty();
+  }
+};
+
+}  // namespace fm::lcp

@@ -1,0 +1,62 @@
+// Appendix A: theoretical peak performance of the LANai.
+//
+//   DMA setup      t_DMA = 8 cycles * 40 ns/cycle = 320 ns
+//   Overhead       t0(N) = t_DMA + N * 12.5 ns
+//   Latency        l(N)  = t0(N) + t_switch = 870 ns + 12.5 ns * N
+//   Bandwidth      r(N)  = N / t0(N)
+//
+// "Theoretical peak performance is calculated for an LCP which does DMAs of
+// the appropriate size, omitting any pointer updates, checks for completion,
+// queue boundary checks, looping overhead, etc."
+#pragma once
+
+#include <cstddef>
+
+#include "hw/params.h"
+#include "sim/time.h"
+
+namespace fm::lcp {
+
+/// Closed-form Appendix A model, parameterized by the same HwParams the
+/// simulator uses so the two stay consistent by construction.
+class TheoreticalPeak {
+ public:
+  explicit TheoreticalPeak(const hw::HwParams& p = hw::HwParams::paper())
+      : dma_setup_(p.lanai.dma_setup),
+        byte_time_(p.link.byte_time),
+        switch_latency_(p.link.switch_latency) {}
+
+  /// Per-message overhead t0(N) = t_DMA + N * 12.5 ns.
+  sim::Time overhead(std::size_t bytes) const {
+    return dma_setup_ + byte_time_ * static_cast<sim::Time>(bytes);
+  }
+
+  /// One-way latency l(N) = t0(N) + t_switch.
+  sim::Time latency(std::size_t bytes) const {
+    return overhead(bytes) + switch_latency_;
+  }
+
+  /// Bandwidth r(N) = N / t0(N), in the paper's MB/s (1 MB = 2^20 B).
+  double bandwidth_mbs(std::size_t bytes) const {
+    if (bytes == 0) return 0.0;
+    double secs = sim::to_s(overhead(bytes));
+    return static_cast<double>(bytes) / 1048576.0 / secs;
+  }
+
+  /// Asymptotic bandwidth (the 76.3 MB/s link limit).
+  double r_inf_mbs() const {
+    return 1.0 / 1048576.0 / sim::to_s(byte_time_);
+  }
+
+  /// Half-power point n_1/2 = t_DMA / byte_time (bandwidth form).
+  double n_half() const {
+    return static_cast<double>(dma_setup_) / static_cast<double>(byte_time_);
+  }
+
+ private:
+  sim::Time dma_setup_;
+  sim::Time byte_time_;
+  sim::Time switch_latency_;
+};
+
+}  // namespace fm::lcp

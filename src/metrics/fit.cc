@@ -1,0 +1,43 @@
+#include "metrics/fit.h"
+
+#include "common/check.h"
+
+namespace fm::metrics {
+
+LinearFit fit_linear(const std::vector<TimePoint>& points) {
+  FM_CHECK_MSG(points.size() >= 2, "need at least two points to fit");
+  double n = static_cast<double>(points.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (const auto& p : points) {
+    sx += p.bytes;
+    sy += p.seconds;
+    sxx += p.bytes * p.bytes;
+    sxy += p.bytes * p.seconds;
+  }
+  double denom = n * sxx - sx * sx;
+  FM_CHECK_MSG(denom != 0.0, "degenerate fit (all sizes equal)");
+  LinearFit f;
+  f.sec_per_byte = (n * sxy - sx * sy) / denom;
+  f.t0_seconds = (sy - f.sec_per_byte * sx) / n;
+  return f;
+}
+
+double n_half_crossing(const std::vector<BwPoint>& curve, double target_mbs) {
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].mbs >= target_mbs) {
+      if (i == 0) return curve[0].bytes;
+      // Interpolate between i-1 and i.
+      const auto& a = curve[i - 1];
+      const auto& b = curve[i];
+      double frac = (target_mbs - a.mbs) / (b.mbs - a.mbs);
+      return a.bytes + frac * (b.bytes - a.bytes);
+    }
+  }
+  return -1.0;
+}
+
+double n_half(const std::vector<BwPoint>& curve, double r_inf_mbs) {
+  return n_half_crossing(curve, r_inf_mbs / 2.0);
+}
+
+}  // namespace fm::metrics

@@ -1,0 +1,57 @@
+// Performance-metric computation: the paper's t0, r_inf, n_1/2 (Table 2).
+//
+//   r_inf : peak bandwidth for infinitely large packets (asymptotic)
+//   n_1/2 : packet size achieving r_inf / 2
+//   t0    : startup overhead
+//   l     : one-way packet latency
+//
+// t0 and r_inf come from a least-squares fit of time(N) = t0 + N / r_inf;
+// n_1/2 is measured by interpolating the bandwidth curve against r_inf/2,
+// exactly the paper's definition ("the packet size to achieve half of the
+// peak bandwidth").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fm::metrics {
+
+/// A (packet size, seconds) observation.
+struct TimePoint {
+  double bytes;
+  double seconds;
+};
+
+/// Result of fitting time(N) = t0 + N / r_inf.
+struct LinearFit {
+  double t0_seconds = 0.0;        ///< Intercept.
+  double sec_per_byte = 0.0;      ///< Slope.
+  /// Asymptotic bandwidth in the paper's MB/s (1 MB = 2^20 B).
+  double r_inf_mbs() const {
+    return sec_per_byte > 0 ? 1.0 / sec_per_byte / 1048576.0 : 0.0;
+  }
+  /// t0 in microseconds.
+  double t0_us() const { return t0_seconds * 1e6; }
+};
+
+/// Ordinary least squares over the points (>= 2 distinct sizes required).
+LinearFit fit_linear(const std::vector<TimePoint>& points);
+
+/// A (packet size, MB/s) observation.
+struct BwPoint {
+  double bytes;
+  double mbs;
+};
+
+/// First packet size at which the measured bandwidth curve crosses
+/// `target_mbs`, linearly interpolated between neighbouring samples.
+/// Returns a negative value when the curve never reaches the target within
+/// the sweep (caller reports "> max size").
+double n_half_crossing(const std::vector<BwPoint>& curve, double target_mbs);
+
+/// The paper's n_1/2 for a sweep: crossing of r_inf/2, where r_inf is taken
+/// from `fit` (or an externally assumed value — the paper uses the SBus
+/// write bandwidth for the Myricom API rows).
+double n_half(const std::vector<BwPoint>& curve, double r_inf_mbs);
+
+}  // namespace fm::metrics

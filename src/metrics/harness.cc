@@ -1,0 +1,529 @@
+#include "metrics/harness.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "api/myri_api.h"
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+#include "lcp/alldma_lcp.h"
+#include "lcp/baseline_lcp.h"
+#include "lcp/hybrid_minimal_lcp.h"
+#include "lcp/streamed_lcp.h"
+#include "lcp/theoretical.h"
+
+namespace fm::metrics {
+namespace {
+
+hw::Packet mk(hw::Nic& nic, NodeId dest, std::size_t bytes) {
+  hw::Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0x5A);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// LANai <-> LANai (Figure 3)
+// ---------------------------------------------------------------------------
+
+template <typename L>
+double lanai_latency_s(std::size_t bytes, std::size_t rounds) {
+  hw::Cluster c(2);
+  L a(c.node(0), c.params());
+  L b(c.node(1), c.params());
+  std::size_t pongs = 0;
+  a.set_on_receive([&](const hw::Packet&) {
+    ++pongs;
+    if (pongs < rounds)
+      FM_CHECK(a.host_enqueue(mk(c.node(0).nic(), 1, bytes)));
+  });
+  b.set_on_receive([&](const hw::Packet& p) {
+    FM_CHECK(b.host_enqueue(mk(c.node(1).nic(), 0, p.bytes.size())));
+  });
+  a.start();
+  b.start();
+  FM_CHECK(a.host_enqueue(mk(c.node(0).nic(), 1, bytes)));
+  bool done = c.sim().run_while_pending([&] { return pongs >= rounds; });
+  FM_CHECK_MSG(done, "latency harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  a.request_stop();
+  b.request_stop();
+  c.sim().run();
+  return secs / (2.0 * static_cast<double>(rounds));
+}
+
+template <typename L>
+double lanai_bw_mbs(std::size_t bytes, std::size_t packets) {
+  hw::Cluster c(2);
+  L tx(c.node(0), c.params());
+  L rx(c.node(1), c.params());
+  std::size_t received = 0;
+  rx.set_on_receive([&](const hw::Packet&) { ++received; });
+  tx.start();
+  rx.start();
+  auto feeder = [](hw::Cluster& c, L& tx, std::size_t n,
+                   std::size_t b) -> sim::Task {
+    for (std::size_t i = 0; i < n; ++i) {
+      while (tx.send_space() == 0) co_await tx.host_wake().wait();
+      FM_CHECK(tx.host_enqueue(mk(c.node(0).nic(), 1, b)));
+    }
+  };
+  c.sim().spawn(feeder(c, tx, packets, bytes));
+  bool done = c.sim().run_while_pending([&] { return received == packets; });
+  FM_CHECK_MSG(done, "bandwidth harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  tx.request_stop();
+  rx.request_stop();
+  c.sim().run();
+  return static_cast<double>(packets * bytes) / 1048576.0 / secs;
+}
+
+// ---------------------------------------------------------------------------
+// Vestigial host programs (Figure 4): hybrid and all-DMA
+// ---------------------------------------------------------------------------
+
+// The minimal host send path. For hybrid the processor spools the packet
+// into LANai memory; for all-DMA it stages into the DMA region and posts a
+// descriptor for the LANai to fetch.
+sim::Op<> vestigial_send(hw::Node& n, lcp::Lcp& l, std::size_t bytes,
+                         bool alldma) {
+  auto& sbus = n.sbus();
+  while (l.send_space() == 0) {
+    co_await sbus.pio_read();
+    if (l.send_space() == 0) co_await l.host_wake().wait();
+  }
+  co_await n.cpu().exec(10);  // minimal bookkeeping
+  if (alldma) {
+    co_await n.cpu().memcpy_op(bytes);  // copy into the pinned DMA region
+    co_await sbus.pio_write(16);        // message pointer + length
+  } else {
+    co_await sbus.pio_write(bytes);  // data straight into LANai memory
+  }
+  hw::Packet p = mk(n.nic(), n.id() == 0 ? 1 : 0, bytes);
+  FM_CHECK(l.host_enqueue(std::move(p)));
+  co_await sbus.pio_write(8);  // trigger (hostsent store)
+}
+
+struct VestigialNode {
+  std::unique_ptr<lcp::Lcp> lcp;
+  std::unique_ptr<lcp::HostRecvQueue> rxq;
+};
+
+VestigialNode make_vestigial(hw::Cluster& c, NodeId id, bool alldma) {
+  VestigialNode v;
+  v.rxq = std::make_unique<lcp::HostRecvQueue>(c.sim(), 8192);
+  if (alldma)
+    v.lcp = std::make_unique<lcp::AllDmaLcp>(c.node(id), c.params());
+  else
+    v.lcp = std::make_unique<lcp::HybridMinimalLcp>(c.node(id), c.params());
+  v.lcp->attach_host_recv(v.rxq.get());
+  v.lcp->start();
+  return v;
+}
+
+double vestigial_latency_s(bool alldma, std::size_t bytes,
+                           std::size_t rounds) {
+  hw::Cluster c(2);
+  auto a = make_vestigial(c, 0, alldma);
+  auto b = make_vestigial(c, 1, alldma);
+  std::size_t pongs = 0;
+  // Host A: send, await reply ("time is measured from the FM_send() call
+  // until the (essentially empty) handler returns").
+  auto ping = [](hw::Cluster& c, VestigialNode& a, std::size_t bytes,
+                 std::size_t rounds, std::size_t* pongs, bool alldma)
+      -> sim::Task {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      co_await vestigial_send(c.node(0), *a.lcp, bytes, alldma);
+      hw::Packet p;
+      while (!a.rxq->take(p)) co_await a.rxq->arrived().wait();
+      co_await c.node(0).cpu().exec(10);  // empty handler
+      c.node(0).nic().ring_doorbell();
+      ++*pongs;
+    }
+  };
+  auto pong = [](hw::Cluster& c, VestigialNode& b, bool alldma) -> sim::Task {
+    for (;;) {
+      hw::Packet p;
+      while (!b.rxq->take(p)) co_await b.rxq->arrived().wait();
+      co_await c.node(1).cpu().exec(10);
+      c.node(1).nic().ring_doorbell();
+      co_await vestigial_send(c.node(1), *b.lcp, p.wire_bytes(), alldma);
+    }
+  };
+  c.sim().spawn(ping(c, a, bytes, rounds, &pongs, alldma));
+  c.sim().spawn(pong(c, b, alldma));
+  bool done = c.sim().run_while_pending([&] { return pongs >= rounds; });
+  FM_CHECK_MSG(done, "vestigial latency harness stalled");
+  return sim::to_s(c.sim().now()) / (2.0 * static_cast<double>(rounds));
+}
+
+double vestigial_bw_mbs(bool alldma, std::size_t bytes, std::size_t packets) {
+  hw::Cluster c(2);
+  auto a = make_vestigial(c, 0, alldma);
+  auto b = make_vestigial(c, 1, alldma);
+  std::size_t received = 0;
+  auto tx = [](hw::Cluster& c, VestigialNode& a, std::size_t packets,
+               std::size_t bytes, bool alldma) -> sim::Task {
+    for (std::size_t i = 0; i < packets; ++i)
+      co_await vestigial_send(c.node(0), *a.lcp, bytes, alldma);
+  };
+  auto rx = [](hw::Cluster& c, VestigialNode& b,
+               std::size_t* received) -> sim::Task {
+    for (;;) {
+      hw::Packet p;
+      while (!b.rxq->take(p)) co_await b.rxq->arrived().wait();
+      co_await c.node(1).cpu().exec(10);
+      ++*received;
+      c.node(1).nic().ring_doorbell();
+    }
+  };
+  c.sim().spawn(tx(c, a, packets, bytes, alldma));
+  c.sim().spawn(rx(c, b, &received));
+  bool done = c.sim().run_while_pending([&] { return received == packets; });
+  FM_CHECK_MSG(done, "vestigial bandwidth harness stalled");
+  return static_cast<double>(packets * bytes) / 1048576.0 /
+         sim::to_s(c.sim().now());
+}
+
+// ---------------------------------------------------------------------------
+// FM layers (Figures 7, 8) — the real library
+// ---------------------------------------------------------------------------
+
+FmConfig fm_config_for(Layer layer, std::size_t bytes,
+                       const MeasureOpts& opts) {
+  FmConfig cfg;
+  cfg.frame_payload =
+      opts.frame_payload ? opts.frame_payload : std::max<std::size_t>(bytes, 16);
+  cfg.flow_control = (layer == Layer::kFm || layer == Layer::kFmSwitch);
+  return cfg;
+}
+
+lcp::FmLcpConfig fm_lcp_config_for(Layer layer) {
+  lcp::FmLcpConfig cfg;
+  cfg.interpret_packets =
+      (layer == Layer::kBufMgmtSwitch || layer == Layer::kFmSwitch);
+  return cfg;
+}
+
+double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                       std::size_t bytes, std::size_t rounds);
+double fm_bw_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                  std::size_t bytes, std::size_t packets);
+
+double fm_latency_s(Layer layer, std::size_t bytes, const MeasureOpts& opts) {
+  return fm_latency_impl(fm_config_for(layer, bytes, opts),
+                         fm_lcp_config_for(layer), bytes,
+                         opts.pingpong_rounds);
+}
+
+double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                       std::size_t bytes, std::size_t rounds_in) {
+  hw::Cluster c(2);
+  SimEndpoint a(c.node(0), cfg, lcfg);
+  SimEndpoint b(c.node(1), cfg, lcfg);
+  std::size_t pongs = 0;
+  HandlerId ha = a.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hb = b.register_handler(
+      [&](SimEndpoint& ep, NodeId src, const void* data, std::size_t len) {
+        ep.post_send(src, 1, data, len);  // echo
+      });
+  FM_CHECK(ha == hb);
+  a.start();
+  b.start();
+  const std::size_t rounds = rounds_in;
+  auto ping = [](SimEndpoint& a, std::size_t bytes, std::size_t rounds,
+                 std::size_t* pongs) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      FM_CHECK(ok(co_await a.send(1, 1, buf.data(), buf.size())));
+      std::size_t before = *pongs;
+      while (*pongs == before) (void)co_await a.extract_blocking();
+    }
+  };
+  auto pong = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(ping(a, bytes, rounds, &pongs));
+  c.sim().spawn(pong(b));
+  bool done = c.sim().run_while_pending([&] { return pongs >= rounds; });
+  FM_CHECK_MSG(done, "fm latency harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return secs / (2.0 * static_cast<double>(rounds));
+}
+
+double fm_bw_mbs(Layer layer, std::size_t bytes, const MeasureOpts& opts) {
+  return fm_bw_impl(fm_config_for(layer, bytes, opts),
+                    fm_lcp_config_for(layer), bytes, opts.stream_packets);
+}
+
+double fm_bw_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                  std::size_t bytes, std::size_t packets_in) {
+  hw::Cluster c(2);
+  SimEndpoint a(c.node(0), cfg, lcfg);
+  SimEndpoint b(c.node(1), cfg, lcfg);
+  std::size_t delivered = 0;
+  HandlerId ha = a.register_handler(
+      [](SimEndpoint&, NodeId, const void*, std::size_t) {});
+  HandlerId hb = b.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++delivered; });
+  FM_CHECK(ha == hb);
+  a.start();
+  b.start();
+  const std::size_t packets = packets_in;
+  auto tx = [](SimEndpoint& a, std::size_t bytes,
+               std::size_t packets) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t i = 0; i < packets; ++i) {
+      FM_CHECK(ok(co_await a.send(1, 1, buf.data(), buf.size())));
+      if ((i & 15) == 15) (void)co_await a.extract();  // service acks
+    }
+    co_await a.drain();
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(tx(a, bytes, packets));
+  c.sim().spawn(rx(b));
+  bool done = c.sim().run_while_pending([&] { return delivered == packets; });
+  FM_CHECK_MSG(done, "fm bandwidth harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return static_cast<double>(packets * bytes) / 1048576.0 / secs;
+}
+
+// ---------------------------------------------------------------------------
+// Myricom API (Figure 9)
+// ---------------------------------------------------------------------------
+
+double api_latency_s(bool dma, std::size_t bytes, std::size_t rounds) {
+  hw::Cluster c(2);
+  api::MyriApi a(c.node(0));
+  api::MyriApi b(c.node(1));
+  a.start();
+  b.start();
+  std::size_t pongs = 0;
+  auto ping = [](api::MyriApi& a, std::size_t bytes, std::size_t rounds,
+                 bool dma, std::size_t* pongs) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (dma)
+        FM_CHECK(ok(co_await a.send(1, buf.data(), buf.size())));
+      else
+        FM_CHECK(ok(co_await a.send_imm(1, buf.data(), buf.size())));
+      (void)co_await a.receive_blocking();
+      ++*pongs;
+    }
+  };
+  auto pong = [](api::MyriApi& b, bool dma) -> sim::Task {
+    for (;;) {
+      api::Message m = co_await b.receive_blocking();
+      if (dma)
+        FM_CHECK(ok(co_await b.send(m.src, m.data.data(), m.data.size())));
+      else
+        FM_CHECK(
+            ok(co_await b.send_imm(m.src, m.data.data(), m.data.size())));
+    }
+  };
+  c.sim().spawn(ping(a, bytes, rounds, dma, &pongs));
+  c.sim().spawn(pong(b, dma));
+  bool done = c.sim().run_while_pending([&] { return pongs >= rounds; });
+  FM_CHECK_MSG(done, "api latency harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return secs / (2.0 * static_cast<double>(rounds));
+}
+
+double api_bw_mbs(bool dma, std::size_t bytes, std::size_t packets) {
+  hw::Cluster c(2);
+  api::MyriApi a(c.node(0));
+  api::MyriApi b(c.node(1));
+  a.start();
+  b.start();
+  std::size_t received = 0;
+  auto tx = [](api::MyriApi& a, std::size_t bytes, std::size_t packets,
+               bool dma) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t i = 0; i < packets; ++i) {
+      if (dma)
+        FM_CHECK(ok(co_await a.send(1, buf.data(), buf.size())));
+      else
+        FM_CHECK(ok(co_await a.send_imm(1, buf.data(), buf.size())));
+    }
+  };
+  auto rx = [](api::MyriApi& b, std::size_t* received) -> sim::Task {
+    for (;;) {
+      (void)co_await b.receive_blocking();
+      ++*received;
+    }
+  };
+  c.sim().spawn(tx(a, bytes, packets, dma));
+  c.sim().spawn(rx(b, &received));
+  bool done = c.sim().run_while_pending([&] { return received == packets; });
+  FM_CHECK_MSG(done, "api bandwidth harness stalled");
+  double secs = sim::to_s(c.sim().now());
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return static_cast<double>(packets * bytes) / 1048576.0 / secs;
+}
+
+}  // namespace
+
+std::string layer_name(Layer layer) {
+  switch (layer) {
+    case Layer::kTheoretical: return "Theoretical peak";
+    case Layer::kLanaiBaseline: return "Baseline LCP";
+    case Layer::kLanaiStreamed: return "Streamed LCP";
+    case Layer::kHybridMinimal: return "Streamed + hybrid";
+    case Layer::kAllDma: return "Streamed + all-DMA";
+    case Layer::kBufMgmt: return "+ buffer mgmt";
+    case Layer::kBufMgmtSwitch: return "+ buffer mgmt + switch()";
+    case Layer::kFm: return "Fast Messages 1.0 (+ flow ctrl)";
+    case Layer::kFmSwitch: return "FM + switch()";
+    case Layer::kApiImm: return "Myrinet API (send_imm)";
+    case Layer::kApiDma: return "Myrinet API (send)";
+  }
+  return "?";
+}
+
+double measure_latency_s(Layer layer, std::size_t bytes,
+                         const MeasureOpts& opts) {
+  const std::size_t r = opts.pingpong_rounds;
+  switch (layer) {
+    case Layer::kTheoretical:
+      return sim::to_s(lcp::TheoreticalPeak().latency(bytes));
+    case Layer::kLanaiBaseline:
+      return lanai_latency_s<lcp::BaselineLcp>(bytes, r);
+    case Layer::kLanaiStreamed:
+      return lanai_latency_s<lcp::StreamedLcp>(bytes, r);
+    case Layer::kHybridMinimal:
+      return vestigial_latency_s(false, bytes, r);
+    case Layer::kAllDma:
+      return vestigial_latency_s(true, bytes, r);
+    case Layer::kBufMgmt:
+    case Layer::kBufMgmtSwitch:
+    case Layer::kFm:
+    case Layer::kFmSwitch:
+      return fm_latency_s(layer, bytes, opts);
+    case Layer::kApiImm:
+      return api_latency_s(false, bytes, r);
+    case Layer::kApiDma:
+      return api_latency_s(true, bytes, r);
+  }
+  FM_UNREACHABLE("bad layer");
+}
+
+double measure_bandwidth_mbs(Layer layer, std::size_t bytes,
+                             const MeasureOpts& opts) {
+  const std::size_t n = opts.stream_packets;
+  switch (layer) {
+    case Layer::kTheoretical:
+      return lcp::TheoreticalPeak().bandwidth_mbs(bytes);
+    case Layer::kLanaiBaseline:
+      return lanai_bw_mbs<lcp::BaselineLcp>(bytes, n);
+    case Layer::kLanaiStreamed:
+      return lanai_bw_mbs<lcp::StreamedLcp>(bytes, n);
+    case Layer::kHybridMinimal:
+      return vestigial_bw_mbs(false, bytes, n);
+    case Layer::kAllDma:
+      return vestigial_bw_mbs(true, bytes, n);
+    case Layer::kBufMgmt:
+    case Layer::kBufMgmtSwitch:
+    case Layer::kFm:
+    case Layer::kFmSwitch:
+      return fm_bw_mbs(layer, bytes, opts);
+    case Layer::kApiImm:
+      return api_bw_mbs(false, bytes, n);
+    case Layer::kApiDma:
+      return api_bw_mbs(true, bytes, n);
+  }
+  FM_UNREACHABLE("bad layer");
+}
+
+SweepResult sweep(Layer layer, const std::vector<std::size_t>& sizes,
+                  const MeasureOpts& opts) {
+  SweepResult r;
+  r.layer = layer;
+  r.name = layer_name(layer);
+  std::vector<TimePoint> lat_points, period_points;
+  std::vector<BwPoint> bw_points;
+  for (std::size_t bytes : sizes) {
+    SweepPoint p;
+    p.bytes = bytes;
+    p.latency_us = measure_latency_s(layer, bytes, opts) * 1e6;
+    p.bandwidth_mbs = measure_bandwidth_mbs(layer, bytes, opts);
+    r.points.push_back(p);
+    lat_points.push_back({static_cast<double>(bytes), p.latency_us * 1e-6});
+    // Per-packet streaming period: N / BW.
+    double period_s =
+        static_cast<double>(bytes) / (p.bandwidth_mbs * 1048576.0);
+    period_points.push_back({static_cast<double>(bytes), period_s});
+    bw_points.push_back({static_cast<double>(bytes), p.bandwidth_mbs});
+  }
+  auto lat_fit = fit_linear(lat_points);
+  auto bw_fit = fit_linear(period_points);
+  r.t0_lat_us = lat_fit.t0_us();
+  r.t0_bw_us = bw_fit.t0_us();
+  r.r_inf_fit_mbs = bw_fit.r_inf_mbs();
+  // r_inf: "peak bandwidth for infinitely large packets" — probe a large
+  // transfer rather than trusting the small-packet regression slope.
+  r.r_inf_mbs = opts.asymptote_bytes
+                    ? measure_bandwidth_mbs(layer, opts.asymptote_bytes, opts)
+                    : r.r_inf_fit_mbs;
+  r.n_half_bytes = n_half(bw_points, r.r_inf_mbs);
+  if (r.n_half_bytes < 0) {
+    // The curve never reaches half the asymptote inside the sweep: solve
+    // the fitted period line N / (t0 + N*b) = r_inf/2 for N (the paper's
+    // API rows are exactly this case).
+    double target = r.r_inf_mbs / 2.0 * 1048576.0;  // bytes/s
+    double denom = 1.0 / target - bw_fit.sec_per_byte;
+    if (denom > 0) {
+      r.n_half_bytes = bw_fit.t0_seconds / denom;
+      r.n_half_extrapolated = true;
+    }
+  }
+  return r;
+}
+
+double SweepResult::n_half_vs(double assumed_r_inf) const {
+  std::vector<BwPoint> curve;
+  for (const auto& p : points)
+    curve.push_back({static_cast<double>(p.bytes), p.bandwidth_mbs});
+  double nh = n_half(curve, assumed_r_inf);
+  if (nh < 0 && r_inf_fit_mbs > 0) {
+    // Extrapolate from the fitted period line, as the paper must have for
+    // its API rows (their sweep also stopped at 600 B).
+    double target = assumed_r_inf / 2.0 * 1048576.0;  // bytes/s
+    double slope = 1.0 / (r_inf_fit_mbs * 1048576.0);  // s per byte
+    double denom = 1.0 / target - slope;
+    if (denom > 0) nh = t0_bw_us * 1e-6 / denom;
+  }
+  return nh;
+}
+
+std::vector<std::size_t> paper_sizes() {
+  return {4, 16, 32, 64, 96, 128, 160, 192, 256, 320, 384, 448, 512, 600};
+}
+
+double fm_latency_custom_s(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                           std::size_t message_bytes, std::size_t rounds) {
+  return fm_latency_impl(cfg, lcfg, message_bytes, rounds);
+}
+
+double fm_bandwidth_custom_mbs(const FmConfig& cfg,
+                               const lcp::FmLcpConfig& lcfg,
+                               std::size_t message_bytes,
+                               std::size_t packets) {
+  return fm_bw_impl(cfg, lcfg, message_bytes, packets);
+}
+
+}  // namespace fm::metrics

@@ -1,0 +1,105 @@
+// Measurement harnesses for every layer configuration in the paper.
+//
+// The paper's methodology (§4.1), reproduced: "Network latency is measured
+// by ping-ponging a message back and forth 50 times, and dividing to compute
+// the one-way packet latency. Bandwidth is determined by measuring the time
+// to send 65,535 packets and dividing the volume of data transmitted by the
+// elapsed time." — packet counts are configurable (65,535 per point is slow
+// on a laptop-scale simulator; the defaults keep full-figure runs under a
+// minute and `--packets=65535` restores paper-exact volume).
+//
+// Each Layer enumerator is one curve from Figures 3/4/7/8/9 (and one row of
+// Table 4).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fm/config.h"
+#include "lcp/fm_lcp.h"
+#include "metrics/fit.h"
+
+namespace fm::metrics {
+
+/// One configuration of the messaging stack.
+enum class Layer {
+  kTheoretical,    ///< Appendix A closed form (no simulation).
+  kLanaiBaseline,  ///< Fig 2(a) loop, LANai<->LANai (Fig 3).
+  kLanaiStreamed,  ///< Fig 2(b) loop, LANai<->LANai (Fig 3).
+  kHybridMinimal,  ///< streamed + hybrid SBus, vestigial hosts (Fig 4).
+  kAllDma,         ///< streamed + all-DMA SBus, vestigial hosts (Fig 4).
+  kBufMgmt,        ///< + buffer management (FM layer, flow control off; Fig 7).
+  kBufMgmtSwitch,  ///< + switch() interpretation in the LCP (Fig 7).
+  kFm,             ///< full FM 1.0: + return-to-sender flow control (Fig 8).
+  kFmSwitch,       ///< full FM + switch() (Table 4 row 7).
+  kApiImm,         ///< Myricom API, myri_cmd_send_imm() (Fig 9).
+  kApiDma,         ///< Myricom API, myri_cmd_send() (Fig 9).
+};
+
+/// Display name ("Streamed + hybrid", ...).
+std::string layer_name(Layer layer);
+
+/// Harness options.
+struct MeasureOpts {
+  std::size_t pingpong_rounds = 50;   ///< Round trips per latency point.
+  std::size_t stream_packets = 2048;  ///< Packets per bandwidth point.
+  /// FM frame payload override (0 = the size under test, uncapped — the
+  /// figure sweeps vary the frame size exactly as the paper's do).
+  std::size_t frame_payload = 0;
+  /// Packet size used to probe r_inf ("peak bandwidth for infinitely large
+  /// packets"); 0 disables the probe (r_inf falls back to the fitted slope).
+  std::size_t asymptote_bytes = 16384;
+};
+
+/// One sweep point.
+struct SweepPoint {
+  std::size_t bytes = 0;        ///< Payload size.
+  double latency_us = 0.0;      ///< One-way latency.
+  double bandwidth_mbs = 0.0;   ///< Streaming bandwidth (paper MB/s).
+};
+
+/// A measured curve plus its Table 2 metrics.
+struct SweepResult {
+  Layer layer;
+  std::string name;
+  std::vector<SweepPoint> points;
+  double t0_lat_us = 0.0;   ///< Intercept of the latency curve.
+  double t0_bw_us = 0.0;    ///< Intercept of the per-packet period curve.
+  double r_inf_mbs = 0.0;   ///< Asymptotic bandwidth (large-packet probe).
+  double r_inf_fit_mbs = 0.0;  ///< 1/slope of the period fit (diagnostic).
+  double n_half_bytes = 0;  ///< n_1/2 (measured, or extrapolated from fit).
+  bool n_half_extrapolated = false;  ///< True when beyond the sweep range.
+
+  /// n_1/2 against an externally assumed r_inf (the paper's method for the
+  /// API rows, where r_inf could not be measured).
+  double n_half_vs(double assumed_r_inf) const;
+};
+
+/// Measures one-way latency at one payload size (seconds).
+double measure_latency_s(Layer layer, std::size_t bytes,
+                         const MeasureOpts& opts = MeasureOpts());
+
+/// Measures streaming bandwidth at one payload size (paper MB/s).
+double measure_bandwidth_mbs(Layer layer, std::size_t bytes,
+                             const MeasureOpts& opts = MeasureOpts());
+
+/// Runs a full sweep over `sizes` and computes the summary metrics.
+SweepResult sweep(Layer layer, const std::vector<std::size_t>& sizes,
+                  const MeasureOpts& opts = MeasureOpts());
+
+/// The figure sweep used throughout the paper: 0-600 B region. Zero-byte
+/// points are replaced by 4 B (an empty packet still has a route flit; the
+/// paper's graphs start near zero).
+std::vector<std::size_t> paper_sizes();
+
+/// FM measurements with explicit layer configuration (used by the ablation
+/// benches: frame-size study, aggregation window, window-mode flow control).
+double fm_latency_custom_s(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
+                           std::size_t message_bytes, std::size_t rounds);
+double fm_bandwidth_custom_mbs(const FmConfig& cfg,
+                               const lcp::FmLcpConfig& lcfg,
+                               std::size_t message_bytes,
+                               std::size_t packets);
+
+}  // namespace fm::metrics

@@ -1,0 +1,139 @@
+#include "metrics/report.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace fm::metrics {
+namespace {
+
+constexpr char kGlyphs[] = "*o+x#@%&^~";
+
+// Generic grid plot: x = packet size, y = value chosen by `get`.
+void chart(std::FILE* f, const std::vector<SweepResult>& series,
+           const char* y_label, double (*get)(const SweepPoint&)) {
+  constexpr int kW = 72, kH = 20;
+  double xmax = 0, ymax = 0;
+  for (const auto& s : series)
+    for (const auto& p : s.points) {
+      xmax = std::max(xmax, static_cast<double>(p.bytes));
+      ymax = std::max(ymax, get(p));
+    }
+  if (xmax <= 0 || ymax <= 0) return;
+  std::vector<std::string> grid(kH, std::string(kW, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    char g = kGlyphs[si % (sizeof kGlyphs - 1)];
+    for (const auto& p : series[si].points) {
+      int x = static_cast<int>(static_cast<double>(p.bytes) / xmax * (kW - 1));
+      int y = static_cast<int>(get(p) / ymax * (kH - 1));
+      y = std::clamp(y, 0, kH - 1);
+      x = std::clamp(x, 0, kW - 1);
+      grid[kH - 1 - y][x] = g;
+    }
+  }
+  std::fprintf(f, "  %s (max %.1f)\n", y_label, ymax);
+  for (const auto& row : grid) std::fprintf(f, "  |%s\n", row.c_str());
+  std::fprintf(f, "  +%s\n", std::string(kW, '-').c_str());
+  std::fprintf(f, "   0%*s%.0f bytes\n", kW - 8, "", xmax);
+  for (std::size_t si = 0; si < series.size(); ++si)
+    std::fprintf(f, "   %c = %s\n", kGlyphs[si % (sizeof kGlyphs - 1)],
+                 series[si].name.c_str());
+}
+
+double get_latency(const SweepPoint& p) { return p.latency_us; }
+double get_bw(const SweepPoint& p) { return p.bandwidth_mbs; }
+
+void print_value_table(std::FILE* f, const std::vector<SweepResult>& series,
+                       const char* unit, double (*get)(const SweepPoint&)) {
+  std::fprintf(f, "  %8s", "bytes");
+  for (const auto& s : series) std::fprintf(f, "  %24.24s", s.name.c_str());
+  std::fprintf(f, "   (%s)\n", unit);
+  FM_CHECK(!series.empty());
+  for (std::size_t i = 0; i < series[0].points.size(); ++i) {
+    std::fprintf(f, "  %8zu", series[0].points[i].bytes);
+    for (const auto& s : series) {
+      FM_CHECK(s.points.size() == series[0].points.size());
+      std::fprintf(f, "  %24.2f", get(s.points[i]));
+    }
+    std::fputc('\n', f);
+  }
+}
+
+}  // namespace
+
+void print_heading(std::FILE* f, const std::string& title) {
+  std::string bar(title.size() + 4, '=');
+  std::fprintf(f, "\n%s\n= %s =\n%s\n", bar.c_str(), title.c_str(),
+               bar.c_str());
+}
+
+void print_latency_table(std::FILE* f,
+                         const std::vector<SweepResult>& series) {
+  std::fprintf(f, "\nOne-way latency:\n");
+  print_value_table(f, series, "us", get_latency);
+}
+
+void print_bandwidth_table(std::FILE* f,
+                           const std::vector<SweepResult>& series) {
+  std::fprintf(f, "\nBandwidth:\n");
+  print_value_table(f, series, "MB/s", get_bw);
+}
+
+void print_summary(std::FILE* f, const std::vector<SweepResult>& series,
+                   const std::vector<PaperRef>& refs) {
+  std::fprintf(f, "\n%-34s %10s %10s %10s   %s\n", "layer", "t0 (us)",
+               "r_inf MB/s", "n1/2 (B)", "paper (t0 / r_inf / n1/2)");
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const auto& s = series[i];
+    char nh[32];
+    if (s.n_half_bytes >= 0)
+      std::snprintf(nh, sizeof nh, "%s%.0f",
+                    s.n_half_extrapolated ? "~" : "", s.n_half_bytes);
+    else
+      std::snprintf(nh, sizeof nh, ">%zu", s.points.back().bytes);
+    std::fprintf(f, "%-34s %10.1f %10.1f %10s", s.name.c_str(), s.t0_bw_us,
+                 s.r_inf_mbs, nh);
+    if (i < refs.size() && refs[i].t0_us >= 0)
+      std::fprintf(f, "   %.1f / %.1f / %.0f", refs[i].t0_us,
+                   refs[i].r_inf_mbs, refs[i].n_half);
+    std::fputc('\n', f);
+  }
+}
+
+void chart_latency(std::FILE* f, const std::vector<SweepResult>& series) {
+  std::fprintf(f, "\nLatency vs packet size:\n");
+  chart(f, series, "one-way latency (us)", get_latency);
+}
+
+void chart_bandwidth(std::FILE* f, const std::vector<SweepResult>& series) {
+  std::fprintf(f, "\nBandwidth vs packet size:\n");
+  chart(f, series, "bandwidth (MB/s)", get_bw);
+}
+
+void write_csv(const std::string& path,
+               const std::vector<SweepResult>& series) {
+  if (series.empty()) return;
+  ::mkdir("results", 0755);  // best-effort; path may be absolute
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "bytes");
+  for (const auto& s : series)
+    std::fprintf(f, ",%s latency_us,%s mbs", s.name.c_str(), s.name.c_str());
+  std::fputc('\n', f);
+  for (std::size_t i = 0; i < series[0].points.size(); ++i) {
+    std::fprintf(f, "%zu", series[0].points[i].bytes);
+    for (const auto& s : series)
+      std::fprintf(f, ",%.3f,%.3f", s.points[i].latency_us,
+                   s.points[i].bandwidth_mbs);
+    std::fputc('\n', f);
+  }
+  std::fclose(f);
+}
+
+}  // namespace fm::metrics

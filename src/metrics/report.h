@@ -1,0 +1,47 @@
+// Textual reporting: aligned tables, ASCII charts, CSV emission.
+//
+// Every bench binary uses these to print the paper's figure as (a) a
+// latency table, (b) a bandwidth table, (c) two ASCII charts shaped like
+// the paper's plots, and (d) a CSV file under results/ for external
+// plotting.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/harness.h"
+
+namespace fm::metrics {
+
+/// Prints a heading bar.
+void print_heading(std::FILE* f, const std::string& title);
+
+/// Prints latency (us) per size for all series, one column per series.
+void print_latency_table(std::FILE* f, const std::vector<SweepResult>& series);
+
+/// Prints bandwidth (MB/s) per size for all series.
+void print_bandwidth_table(std::FILE* f,
+                           const std::vector<SweepResult>& series);
+
+/// Prints the Table 2 summary metrics (t0, r_inf, n_1/2) for each series,
+/// with optional paper-reference values appended by the caller.
+struct PaperRef {
+  double t0_us = -1;
+  double r_inf_mbs = -1;
+  double n_half = -1;
+};
+void print_summary(std::FILE* f, const std::vector<SweepResult>& series,
+                   const std::vector<PaperRef>& refs);
+
+/// ASCII chart of latency vs size (one glyph per series).
+void chart_latency(std::FILE* f, const std::vector<SweepResult>& series);
+
+/// ASCII chart of bandwidth vs size.
+void chart_bandwidth(std::FILE* f, const std::vector<SweepResult>& series);
+
+/// Writes `series` as CSV (size, then one latency and one bandwidth column
+/// per series) to `path`; creates parent directory "results/" if relative.
+void write_csv(const std::string& path, const std::vector<SweepResult>& series);
+
+}  // namespace fm::metrics

@@ -1,0 +1,92 @@
+// Synthetic traffic workloads.
+//
+// §5 of the paper: "Serendipitously, the FM frame size is close to the best
+// size for supporting TCP/IP and UDP/IP traffic, where the vast majority of
+// packets would fit into a single frame [Armitage & Adams, 'How inefficient
+// is IP over ATM anyway?']." The mixes here let benches evaluate the layers
+// under realistic message-size distributions rather than fixed sizes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace fm::metrics {
+
+/// A discrete message-size distribution.
+class TrafficMix {
+ public:
+  struct Bucket {
+    std::size_t bytes;
+    double weight;
+  };
+
+  TrafficMix(std::string name, std::vector<Bucket> buckets)
+      : name_(std::move(name)), buckets_(std::move(buckets)) {
+    FM_CHECK_MSG(!buckets_.empty(), "empty traffic mix");
+    for (const auto& b : buckets_) total_ += b.weight;
+    FM_CHECK_MSG(total_ > 0, "zero-weight traffic mix");
+  }
+
+  /// Samples one message size.
+  std::size_t sample(Xoshiro256& rng) const {
+    double x = rng.uniform() * total_;
+    for (const auto& b : buckets_) {
+      if (x < b.weight) return b.bytes;
+      x -= b.weight;
+    }
+    return buckets_.back().bytes;
+  }
+
+  /// Mean message size.
+  double mean_bytes() const {
+    double m = 0;
+    for (const auto& b : buckets_)
+      m += static_cast<double>(b.bytes) * b.weight;
+    return m / total_;
+  }
+
+  /// Fraction of messages no larger than `limit` (e.g. one FM frame).
+  double fraction_at_most(std::size_t limit) const {
+    double f = 0;
+    for (const auto& b : buckets_)
+      if (b.bytes <= limit) f += b.weight;
+    return f / total_;
+  }
+
+  const std::string& name() const { return name_; }
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+
+ private:
+  std::string name_;
+  std::vector<Bucket> buckets_;
+  double total_ = 0;
+};
+
+/// Internet-style packet sizes (classic trimodal IP distribution: ~60%
+/// minimal ack/control packets, a hump at the 576 B default MTU, and a tail
+/// of full 1500 B Ethernet frames).
+inline TrafficMix tcp_ip_mix() {
+  return TrafficMix("tcp-ip", {{40, 0.35},
+                               {64, 0.25},
+                               {128, 0.15},
+                               {576, 0.17},
+                               {1500, 0.08}});
+}
+
+/// Fine-grained parallel-computation traffic: small control and halo
+/// messages dominate (the workload FM is designed for).
+inline TrafficMix finegrain_mix() {
+  return TrafficMix("fine-grain",
+                    {{16, 0.50}, {64, 0.30}, {128, 0.15}, {512, 0.05}});
+}
+
+/// Bulk transfer: large messages with occasional control traffic.
+inline TrafficMix bulk_mix() {
+  return TrafficMix("bulk", {{64, 0.10}, {4096, 0.45}, {16384, 0.45}});
+}
+
+}  // namespace fm::metrics

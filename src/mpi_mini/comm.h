@@ -1,0 +1,127 @@
+// mpi_mini — a small MPI-flavored library layered on FM.
+//
+// §7 of the paper: "FM is designed to support efficient implementation of a
+// variety of communication libraries and run-time systems... we are building
+// implementations of MPI, TCP/IP, and the Illinois Concert system's
+// runtime." This module is that layering exercise: tagged point-to-point
+// matching and the classic collectives (barrier, bcast, reduce, allreduce,
+// gather, scatter) implemented purely with the three-call FM API.
+//
+// Two FM properties shape the implementation, both straight from Table 3:
+//   * FM does not guarantee delivery ORDER (return-to-sender can reorder),
+//     so the Comm layer adds per-peer message sequencing and a reorder
+//     buffer — precisely the work the paper says belongs in higher layers.
+//   * FM handlers must not block, so the handler only enqueues; matching
+//     happens in recv() on the calling thread.
+//
+// One Comm per node thread, wrapping that thread's shm::Endpoint.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "shm/cluster.h"
+
+namespace fm::mpi {
+
+/// Wildcard source for recv().
+inline constexpr int kAnySource = -1;
+
+/// An MPI-ish communicator bound to one FM endpoint.
+class Comm {
+ public:
+  /// Wraps `ep`. Every rank must construct its Comm at the same point in
+  /// its handler-registration order (SPMD), before communicating.
+  explicit Comm(shm::Endpoint& ep);
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+
+  /// This process's rank and the communicator size.
+  int rank() const { return static_cast<int>(ep_.id()); }
+  int size() const { return static_cast<int>(ep_.cluster_size()); }
+
+  // --- point to point ------------------------------------------------------
+
+  /// Sends `len` bytes to `dest` with `tag` (tag >= 0 for user traffic).
+  void send(int dest, int tag, const void* buf, std::size_t len);
+
+  /// Receives a message matching (src, tag) — src may be kAnySource —
+  /// blocking. Returns the actual source; payload lands in `out`.
+  int recv(int src, int tag, std::vector<std::uint8_t>& out);
+
+  /// Non-blocking match check.
+  bool iprobe(int src, int tag);
+
+  // --- collectives -----------------------------------------------------------
+
+  /// Dissemination barrier over all ranks.
+  void barrier();
+
+  /// Broadcast `len` bytes from `root` (binomial tree).
+  void bcast(void* buf, std::size_t len, int root);
+
+  /// Element-wise reduction of `count` Ts to `root` (binomial tree).
+  /// `op` combines (accumulator, incoming). Non-roots leave `out`
+  /// untouched; `in` and `out` may alias at the root.
+  template <typename T>
+  void reduce(const T* in, T* out, std::size_t count, int root,
+              const std::function<T(T, T)>& op) {
+    std::vector<T> acc(in, in + count);
+    reduce_bytes(
+        reinterpret_cast<std::uint8_t*>(acc.data()), count * sizeof(T), root,
+        [&op, count](std::uint8_t* a, const std::uint8_t* b) {
+          auto* ta = reinterpret_cast<T*>(a);
+          const auto* tb = reinterpret_cast<const T*>(b);
+          for (std::size_t i = 0; i < count; ++i) ta[i] = op(ta[i], tb[i]);
+        });
+    if (rank() == root)
+      for (std::size_t i = 0; i < count; ++i) out[i] = acc[i];
+  }
+
+  /// reduce + bcast: every rank gets the reduction.
+  template <typename T>
+  void allreduce(const T* in, T* out, std::size_t count, int root,
+                 const std::function<T(T, T)>& op) {
+    reduce<T>(in, out, count, root, op);
+    bcast(out, count * sizeof(T), root);
+  }
+
+  /// Gathers `len` bytes from every rank into `recv` (rank-major) at root.
+  void gather(const void* sendbuf, std::size_t len, void* recvbuf, int root);
+
+  /// Scatters rank-major `len`-byte blocks from root's `sendbuf`.
+  void scatter(const void* sendbuf, std::size_t len, void* recvbuf, int root);
+
+  /// The underlying endpoint (to drain at program end, etc.).
+  shm::Endpoint& endpoint() { return ep_; }
+
+ private:
+  struct Msg {
+    int src;
+    int tag;
+    std::vector<std::uint8_t> data;
+  };
+
+  // Raw tagged send without user-tag validation (internal tags < 0).
+  void send_internal(int dest, int tag, const void* buf, std::size_t len);
+  // Handler target: sequencing and reorder buffering.
+  void on_message(NodeId src, const void* data, std::size_t len);
+  // Generic byte-wise tree reduction into `buf` at the root.
+  void reduce_bytes(
+      std::uint8_t* buf, std::size_t len, int root,
+      const std::function<void(std::uint8_t*, const std::uint8_t*)>& combine);
+
+  shm::Endpoint& ep_;
+  HandlerId handler_;
+  std::deque<Msg> inbox_;                       // in-order, matched by recv
+  std::vector<std::uint32_t> next_send_seq_;    // per-destination
+  std::vector<std::uint32_t> next_recv_seq_;    // per-source
+  std::map<std::pair<int, std::uint32_t>, Msg> reorder_;  // (src, seq) -> msg
+};
+
+}  // namespace fm::mpi

@@ -1,0 +1,114 @@
+#include "rpc/rpc.h"
+
+#include <cstring>
+#include <thread>
+
+namespace fm::rpc {
+namespace {
+constexpr std::size_t kHeader = 7;  // u8 kind + u16 method + u32 call_id
+constexpr std::uint8_t kRequest = 0, kReply = 1, kCast = 2;
+
+std::vector<std::uint8_t> pack(std::uint8_t kind, std::uint16_t method,
+                               std::uint32_t call_id, const void* data,
+                               std::size_t len) {
+  std::vector<std::uint8_t> wire(kHeader + len);
+  wire[0] = kind;
+  std::memcpy(wire.data() + 1, &method, 2);
+  std::memcpy(wire.data() + 3, &call_id, 4);
+  if (len) std::memcpy(wire.data() + kHeader, data, len);
+  return wire;
+}
+
+}  // namespace
+
+RpcEngine::RpcEngine(shm::Endpoint& ep) : ep_(ep) {
+  handler_ = ep_.register_handler(
+      [this](shm::Endpoint&, NodeId src, const void* data, std::size_t len) {
+        on_message(src, data, len);
+      });
+}
+
+Future RpcEngine::call(NodeId target, std::uint16_t method, const void* args,
+                       std::size_t len) {
+  FM_CHECK_MSG(method < methods_.size(), "unregistered method");
+  std::uint32_t id = next_call_++;
+  reply_ready_[id] = false;
+  auto wire = pack(kRequest, method, id, args, len);
+  Status s = ep_.send(target, handler_, wire.data(), wire.size());
+  FM_CHECK_MSG(ok(s), "rpc request send failed");
+  return Future(*this, id);
+}
+
+void RpcEngine::cast(NodeId target, std::uint16_t method, const void* args,
+                     std::size_t len) {
+  FM_CHECK_MSG(method < methods_.size(), "unregistered method");
+  auto wire = pack(kCast, method, 0, args, len);
+  Status s = ep_.send_or_post(target, handler_, wire.data(), wire.size());
+  FM_CHECK_MSG(ok(s), "rpc cast send failed");
+}
+
+void RpcEngine::on_message(NodeId src, const void* data, std::size_t len) {
+  FM_CHECK_MSG(len >= kHeader, "runt rpc message");
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint8_t kind = bytes[0];
+  std::uint16_t method;
+  std::uint32_t call_id;
+  std::memcpy(&method, bytes + 1, 2);
+  std::memcpy(&call_id, bytes + 3, 4);
+  const void* payload = bytes + kHeader;
+  const std::size_t payload_len = len - kHeader;
+  switch (kind) {
+    case kRequest: {
+      FM_CHECK_MSG(method < methods_.size(), "rpc to unregistered method");
+      std::vector<std::uint8_t> result =
+          methods_[method](src, payload, payload_len);
+      auto wire = pack(kReply, method, call_id, result.data(), result.size());
+      // We are in handler context: post the reply.
+      Status s = ep_.send_or_post(src, handler_, wire.data(), wire.size());
+      FM_CHECK_MSG(ok(s), "rpc reply send failed");
+      break;
+    }
+    case kCast: {
+      FM_CHECK_MSG(method < methods_.size(), "rpc to unregistered method");
+      (void)methods_[method](src, payload, payload_len);
+      break;
+    }
+    case kReply: {
+      auto it = reply_ready_.find(call_id);
+      FM_CHECK_MSG(it != reply_ready_.end() && !it->second,
+                   "reply for unknown or completed call");
+      it->second = true;
+      replies_[call_id].assign(static_cast<const std::uint8_t*>(payload),
+                               static_cast<const std::uint8_t*>(payload) +
+                                   payload_len);
+      break;
+    }
+    default:
+      FM_UNREACHABLE("bad rpc kind");
+  }
+}
+
+bool RpcEngine::take_reply(std::uint32_t call_id,
+                           std::vector<std::uint8_t>& out) {
+  auto it = reply_ready_.find(call_id);
+  FM_CHECK_MSG(it != reply_ready_.end(), "future already consumed");
+  if (!it->second) return false;
+  out = std::move(replies_[call_id]);
+  return true;
+}
+
+bool Future::ready() {
+  engine_->poll();
+  auto it = engine_->reply_ready_.find(call_id_);
+  return it != engine_->reply_ready_.end() && it->second;
+}
+
+std::vector<std::uint8_t>& Future::wait() {
+  // Service the network until the reply lands.
+  while (!engine_->reply_ready_.at(call_id_)) {
+    if (engine_->ep_.extract() == 0) std::this_thread::yield();
+  }
+  return engine_->replies_.at(call_id_);
+}
+
+}  // namespace fm::rpc

@@ -1,0 +1,96 @@
+// fm::rpc — request/reply remote invocation over FM, in the spirit of the
+// Illinois Concert runtime (§7's third layering target: "a fine-grained
+// programming system which depends critically on low-cost high performance
+// communication").
+//
+// FM deliberately has no request-reply coupling ("Each message carries a
+// pointer to a sender-specified function... in FM there is no notion of
+// request-reply coupling"); this layer builds it: registered methods,
+// call-ids matching replies to pending calls, and a poll-driven Future.
+// Everything rides the three-call FM API.
+//
+// One RpcEngine per node thread, wrapping that thread's shm::Endpoint.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "shm/cluster.h"
+
+namespace fm::rpc {
+
+class RpcEngine;
+
+/// Handle to an outstanding remote call. Poll-driven (FM style): ready()
+/// and wait() service the endpoint.
+class Future {
+ public:
+  /// True once the reply has arrived (services the network).
+  bool ready();
+  /// Blocks (polling) until the reply arrives; returns the reply bytes.
+  std::vector<std::uint8_t>& wait();
+
+ private:
+  friend class RpcEngine;
+  Future(RpcEngine& engine, std::uint32_t call_id)
+      : engine_(&engine), call_id_(call_id) {}
+  RpcEngine* engine_;
+  std::uint32_t call_id_;
+};
+
+/// Per-node RPC engine.
+class RpcEngine {
+ public:
+  /// A method: request bytes in, reply bytes out. Runs on the callee's
+  /// thread inside extract (keep it non-blocking, like an FM handler).
+  using Method = std::function<std::vector<std::uint8_t>(
+      NodeId caller, const void* data, std::size_t len)>;
+
+  /// Wraps `ep`. Construct at the same handler-registration point on every
+  /// node (SPMD).
+  explicit RpcEngine(shm::Endpoint& ep);
+  RpcEngine(const RpcEngine&) = delete;
+  RpcEngine& operator=(const RpcEngine&) = delete;
+
+  /// Registers a method; all nodes must register the same methods in the
+  /// same order. Returns the method id used by call().
+  std::uint16_t register_method(Method fn) {
+    methods_.push_back(std::move(fn));
+    return static_cast<std::uint16_t>(methods_.size() - 1);
+  }
+
+  /// Starts a remote invocation; the Future resolves with the reply.
+  Future call(NodeId target, std::uint16_t method, const void* args,
+              std::size_t len);
+
+  /// Fire-and-forget invocation (reply, if any, is discarded).
+  void cast(NodeId target, std::uint16_t method, const void* args,
+            std::size_t len);
+
+  /// Services the endpoint once.
+  void poll() { ep_.extract(); }
+
+  shm::Endpoint& endpoint() { return ep_; }
+
+ private:
+  friend class Future;
+
+  // Wire: [u8 kind][u16 method][u32 call_id][payload]
+  //   kind 0 = request expecting a reply, 1 = reply, 2 = one-way cast
+  void on_message(NodeId src, const void* data, std::size_t len);
+  bool take_reply(std::uint32_t call_id, std::vector<std::uint8_t>& out);
+
+  shm::Endpoint& ep_;
+  HandlerId handler_;
+  std::vector<Method> methods_;
+  std::uint32_t next_call_ = 1;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> replies_;
+  std::map<std::uint32_t, bool> reply_ready_;
+};
+
+}  // namespace fm::rpc

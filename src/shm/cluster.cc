@@ -1,0 +1,29 @@
+#include "shm/cluster.h"
+
+namespace fm::shm {
+
+Cluster::Cluster(std::size_t nodes, FmConfig cfg, std::size_t ring_slots) {
+  FM_CHECK_MSG(nodes >= 1, "empty cluster");
+  // Slot size: one full wire frame (header + fragment extension + payload +
+  // maximum piggybacked ack trailer).
+  const std::size_t slot = FrameHeader::kBaseBytes + FrameHeader::kFragExtBytes +
+                           cfg.frame_payload + 4 * 255;
+  rings_.resize(nodes * nodes);
+  for (std::size_t i = 0; i < nodes; ++i)
+    for (std::size_t j = 0; j < nodes; ++j)
+      rings_[i * nodes + j] = std::make_unique<SpscRing>(ring_slots, slot);
+  for (std::size_t i = 0; i < nodes; ++i)
+    endpoints_.push_back(std::unique_ptr<Endpoint>(
+        new Endpoint(*this, static_cast<NodeId>(i), cfg)));
+  barrier_ = std::make_unique<std::barrier<>>(static_cast<long>(nodes));
+}
+
+void Cluster::run(const std::function<void(Endpoint&)>& node_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(endpoints_.size());
+  for (auto& ep : endpoints_)
+    threads.emplace_back([&node_main, &ep] { node_main(*ep); });
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace fm::shm

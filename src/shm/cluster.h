@@ -1,0 +1,77 @@
+// shm::Cluster — N FM endpoints wired all-to-all with SPSC rings, one
+// OS thread per node.
+//
+// Usage (SPMD, like an FM program):
+//
+//   fm::shm::Cluster cluster(4);
+//   fm::HandlerId h = cluster.register_handler(on_msg);   // on every node
+//   cluster.run([&](fm::shm::Endpoint& ep) {
+//     if (ep.id() == 0) ep.send4(1, h, 1, 2, 3, 4);
+//     ep.extract_until([&] { ...; });
+//   });
+#pragma once
+
+#include <barrier>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "fm/config.h"
+#include "shm/endpoint.h"
+
+namespace fm::shm {
+
+/// A shared-memory FM cluster.
+class Cluster {
+ public:
+  /// Builds `nodes` endpoints. Ring geometry: `ring_slots` frames of
+  /// wire size (frame payload + header + ack trailer) per ordered pair.
+  explicit Cluster(std::size_t nodes, FmConfig cfg = FmConfig(),
+                   std::size_t ring_slots = 256);
+  ~Cluster() = default;
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Number of nodes.
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Endpoint `i` (hand it only to the thread that will own it).
+  Endpoint& endpoint(NodeId i) {
+    FM_CHECK(i < endpoints_.size());
+    return *endpoints_[i];
+  }
+
+  /// Registers `fn` on every endpoint; all must agree on the returned id.
+  HandlerId register_handler(Endpoint::Handler fn) {
+    HandlerId id = 0;
+    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
+      HandlerId got = endpoints_[i]->register_handler(fn);
+      if (i == 0)
+        id = got;
+      else
+        FM_CHECK_MSG(got == id, "handler registration diverged across nodes");
+    }
+    return id;
+  }
+
+  /// Runs `node_main(endpoint)` on one thread per node and joins them all.
+  void run(const std::function<void(Endpoint&)>& node_main);
+
+  /// Thread barrier usable from inside node_main (phase synchronization
+  /// for benchmarks/examples; not part of the FM API).
+  void barrier() { barrier_->arrive_and_wait(); }
+
+  /// The ring carrying frames from `src` to `dst`.
+  SpscRing& ring(NodeId src, NodeId dst) {
+    FM_CHECK(src < size() && dst < size());
+    return *rings_[src * size() + dst];
+  }
+
+ private:
+  std::vector<std::unique_ptr<SpscRing>> rings_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unique_ptr<std::barrier<>> barrier_;
+};
+
+}  // namespace fm::shm

@@ -1,0 +1,286 @@
+#include "shm/endpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+#include "shm/cluster.h"
+
+namespace fm::shm {
+
+Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg)
+    : cluster_(cluster),
+      id_(id),
+      cfg_(cfg),
+      window_(cfg.pending_window),
+      reasm_(cfg.reassembly_slots) {}
+
+std::size_t Endpoint::cluster_size() const { return cluster_.size(); }
+
+void Endpoint::idle_pause() { std::this_thread::yield(); }
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+Status Endpoint::send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                       std::uint32_t w1, std::uint32_t w2, std::uint32_t w3) {
+  std::uint32_t words[4] = {w0, w1, w2, w3};
+  return send(dest, handler, words, sizeof words);
+}
+
+Status Endpoint::send(NodeId dest, HandlerId handler, const void* buf,
+                      std::size_t len) {
+  FM_CHECK_MSG(!in_handler_,
+               "send() from handler context; use post_send() instead");
+  if (dest >= cluster_.size()) return Status::kBadArgument;
+  if (!handlers_.valid(handler) || (len > 0 && buf == nullptr))
+    return Status::kBadArgument;
+  ++stats_.messages_sent;
+  const auto* bytes = static_cast<const std::uint8_t*>(buf);
+  if (len <= cfg_.frame_payload)
+    return send_data_frame(dest, handler, bytes, len, false, 0, 0, 1);
+  const std::size_t per = cfg_.frame_payload;
+  const std::size_t frags = (len + per - 1) / per;
+  if (frags > 0xffff) return Status::kTooLarge;
+  const std::uint32_t msg_id = next_msg_id_++;
+  for (std::size_t i = 0; i < frags; ++i) {
+    const std::size_t off = i * per;
+    const std::size_t n = std::min(per, len - off);
+    Status s = send_data_frame(dest, handler, bytes + off, n, true, msg_id,
+                               static_cast<std::uint16_t>(i),
+                               static_cast<std::uint16_t>(frags));
+    if (!ok(s)) return s;
+  }
+  return Status::kOk;
+}
+
+Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
+                                 const std::uint8_t* payload, std::size_t len,
+                                 bool fragmented, std::uint32_t msg_id,
+                                 std::uint16_t frag_index,
+                                 std::uint16_t frag_count) {
+  // Window gate — and, in window mode, a per-destination credit gate —
+  // servicing the network while blocked (the FM discipline).
+  auto blocked = [&] {
+    if (!cfg_.flow_control) return false;
+    if (window_.full()) return true;
+    if (cfg_.window_mode) {
+      auto it = credits_.find(dest);
+      if (it == credits_.end()) {
+        credits_[dest] = cfg_.window_per_peer;
+        return false;
+      }
+      return it->second == 0;
+    }
+    return false;
+  };
+  while (blocked()) {
+    if (extract() == 0) idle_pause();
+  }
+  if (cfg_.flow_control && cfg_.window_mode) {
+    FM_CHECK(credits_[dest] > 0);
+    --credits_[dest];
+  }
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = handler;
+  h.src = id_;
+  h.payload_len = static_cast<std::uint16_t>(len);
+  std::vector<std::uint32_t> piggy;
+  if (cfg_.flow_control) {
+    h.seq = window_.next_seq();
+    piggy = acks_.take(dest, cfg_.piggyback_acks);
+    h.ack_count = static_cast<std::uint8_t>(piggy.size());
+    stats_.acks_piggybacked += piggy.size();
+  }
+  if (fragmented) {
+    h.flags |= FrameHeader::kFlagFragmented;
+    h.msg_id = msg_id;
+    h.frag_index = frag_index;
+    h.frag_count = frag_count;
+  }
+  std::vector<std::uint8_t> bytes =
+      encode_frame(h, payload, piggy.empty() ? nullptr : piggy.data());
+  if (cfg_.flow_control) window_.track(h.seq, dest, bytes);
+  ++stats_.frames_sent;
+  inject(dest, bytes.data(), bytes.size());
+  return Status::kOk;
+}
+
+void Endpoint::inject(NodeId dest, const std::uint8_t* frame,
+                      std::size_t len) {
+  SpscRing& ring = cluster_.ring(id_, dest);
+  // A full ring is backpressure: keep servicing our own receive side while
+  // waiting so two nodes blasting each other cannot deadlock.
+  while (!ring.try_push(frame, len)) {
+    if (extract() == 0) idle_pause();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+std::size_t Endpoint::extract() {
+  if (in_handler_) return 0;  // no re-entrant extraction from handlers
+  std::size_t count = 0;
+  // Round-robin over every incoming ring, draining bursts. Frames are
+  // popped (head advanced) *before* processing: processing can re-enter
+  // extract() through reject-path backpressure, and the ring must already
+  // be consistent when it does. The local scratch keeps the outer frame's
+  // bytes alive across such nested extraction.
+  std::vector<std::uint8_t> scratch;
+  for (NodeId src = 0; src < cluster_.size(); ++src) {
+    if (src == id_) continue;
+    SpscRing& ring = cluster_.ring(src, id_);
+    // Bounded drain: a producer refilling as fast as we pop must not trap
+    // this loop and starve the post-loop retransmission/ack work.
+    std::size_t budget = ring.capacity();
+    while (budget-- > 0 && ring.try_pop(scratch)) {
+      ++count;
+      ++stats_.frames_received;
+      process_frame(src, scratch.data(), scratch.size());
+    }
+  }
+  // Retransmit rejected frames whose backoff expired.
+  for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
+    ++stats_.retransmissions;
+    inject(entry.dest, entry.bytes.data(), entry.bytes.size());
+  }
+  // Standalone acks for peers owed a batch. The threshold must stay below
+  // half a peer's in-flight allotment (its pending window, or its credit
+  // allotment in window mode) or senders stall with their window full
+  // while we sit on their acks. Configurations are symmetric (SPMD), so
+  // our own config tells us the peers' limits.
+  if (cfg_.flow_control) {
+    std::size_t limit =
+        cfg_.window_mode ? cfg_.window_per_peer : cfg_.pending_window;
+    std::size_t threshold =
+        std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
+    for (NodeId peer : acks_.peers_over(threshold)) send_standalone_ack(peer);
+  }
+  drain_posted();
+  return count;
+}
+
+void Endpoint::drain() {
+  for (;;) {
+    if (cfg_.flow_control) {
+      for (NodeId peer : acks_.peers()) send_standalone_ack(peer);
+    }
+    if ((!cfg_.flow_control || window_.in_flight() == 0) && rejq_.size() == 0)
+      return;
+    if (extract() == 0) idle_pause();
+  }
+}
+
+void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
+                             std::size_t len) {
+  auto hdr = decode_header(data, len);
+  FM_CHECK_MSG(hdr.has_value(), "malformed frame on ring");
+  const FrameHeader& h = *hdr;
+  for (std::size_t i = 0; i < h.ack_count; ++i) {
+    std::uint32_t seq = frame_ack(h, data, i);
+    auto dest = window_.dest_of(seq);
+    if (window_.ack(seq) && cfg_.window_mode && dest.has_value())
+      ++credits_[*dest];
+  }
+  switch (h.type) {
+    case FrameType::kAck:
+      break;
+    case FrameType::kReject: {
+      // One of our data frames bounced off `from`; park a cleaned copy
+      // (type restored, stale piggybacked acks stripped) for retransmission.
+      FM_CHECK_MSG(h.src == id_, "reject for a frame we never sent");
+      ++stats_.rejects_received;
+      FrameHeader clean = h;
+      clean.type = FrameType::kData;
+      clean.ack_count = 0;
+      rejq_.add(from, h.seq,
+                encode_frame(clean, frame_payload(h, data), nullptr));
+      break;
+    }
+    case FrameType::kData: {
+      const std::uint8_t* payload = frame_payload(h, data);
+      if (h.fragmented()) {
+        std::vector<std::uint8_t> message;
+        switch (reasm_.feed(h.src, h, payload, &message)) {
+          case Reassembler::Feed::kMalformed:
+            FM_UNREACHABLE("malformed fragment on a lossless shm ring");
+          case Reassembler::Feed::kRejected:
+            ++stats_.rejects_issued;
+            send_reject(h, data);
+            return;  // not accepted: no ack
+          case Reassembler::Feed::kAccepted:
+            break;
+          case Reassembler::Feed::kComplete:
+            ++stats_.messages_delivered;
+            in_handler_ = true;
+            handlers_.dispatch(h.handler, *this, h.src, message.data(),
+                               message.size());
+            in_handler_ = false;
+            break;
+        }
+      } else {
+        ++stats_.messages_delivered;
+        in_handler_ = true;
+        handlers_.dispatch(h.handler, *this, h.src, payload, h.payload_len);
+        in_handler_ = false;
+      }
+      if (cfg_.flow_control) acks_.note(h.src, h.seq);
+      break;
+    }
+  }
+}
+
+void Endpoint::drain_posted() {
+  if (draining_posted_) return;
+  draining_posted_ = true;
+  while (!posted_.empty()) {
+    Posted p = std::move(posted_.front());
+    posted_.erase(posted_.begin());
+    Status s = send(p.dest, p.handler, p.payload.data(), p.payload.size());
+    FM_CHECK_MSG(ok(s), "posted send failed");
+  }
+  draining_posted_ = false;
+}
+
+void Endpoint::send_standalone_ack(NodeId peer) {
+  auto acks = acks_.take(peer, 255);
+  if (acks.empty()) return;
+  FrameHeader h;
+  h.type = FrameType::kAck;
+  h.src = id_;
+  h.ack_count = static_cast<std::uint8_t>(acks.size());
+  ++stats_.acks_standalone;
+  auto bytes = encode_frame(h, nullptr, acks.data());
+  inject(peer, bytes.data(), bytes.size());
+}
+
+void Endpoint::send_reject(const FrameHeader& h, const std::uint8_t* data) {
+  FrameHeader rh = h;
+  rh.type = FrameType::kReject;
+  rh.ack_count = 0;
+  auto bytes = encode_frame(rh, frame_payload(h, data), nullptr);
+  inject(h.src, bytes.data(), bytes.size());
+}
+
+void Endpoint::post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                          std::uint32_t w1, std::uint32_t w2,
+                          std::uint32_t w3) {
+  std::uint32_t words[4] = {w0, w1, w2, w3};
+  post_send(dest, handler, words, sizeof words);
+}
+
+void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
+                         std::size_t len) {
+  Posted p;
+  p.dest = dest;
+  p.handler = handler;
+  const auto* b = static_cast<const std::uint8_t*>(buf);
+  p.payload.assign(b, b + len);
+  posted_.push_back(std::move(p));
+}
+
+}  // namespace fm::shm

@@ -1,0 +1,144 @@
+// shm::Endpoint — the FM API over shared memory, for real.
+//
+// The simulated endpoint reproduces the paper's *numbers*; this endpoint
+// runs the same protocol (frames, return-to-sender, piggybacked acks,
+// segmentation) between OS threads over lock-free SPSC rings, moving real
+// bytes. It is what a downstream user of this library links against to get
+// FM semantics on a modern shared-memory machine — the closest commodity
+// stand-in for the paper's Myrinet testbed available here (see DESIGN.md's
+// substitution table).
+//
+// Threading: each Endpoint belongs to exactly one thread (FM was
+// single-threaded per node too). Handlers run inside extract() on the
+// owning thread; a handler that wants to communicate uses post_send*()
+// exactly as with the simulated endpoint.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "fm/config.h"
+#include "fm/frame.h"
+#include "fm/handler_registry.h"
+#include "fm/protocol.h"
+#include "shm/spsc_ring.h"
+
+namespace fm::shm {
+
+class Cluster;
+
+/// One node of the shared-memory FM cluster.
+class Endpoint {
+ public:
+  using Handler = HandlerRegistry<Endpoint>::Fn;
+
+  /// Layer statistics (mirrors fm::SimEndpoint::Stats).
+  struct Stats {
+    std::uint64_t frames_sent = 0;
+    std::uint64_t frames_received = 0;
+    std::uint64_t messages_sent = 0;
+    std::uint64_t messages_delivered = 0;
+    std::uint64_t acks_piggybacked = 0;
+    std::uint64_t acks_standalone = 0;
+    std::uint64_t rejects_issued = 0;
+    std::uint64_t rejects_received = 0;
+    std::uint64_t retransmissions = 0;
+  };
+
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Registers a handler (identically on every node, before Cluster::run).
+  HandlerId register_handler(Handler fn) { return handlers_.add(std::move(fn)); }
+
+  /// FM_send_4.
+  Status send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+               std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+  /// FM_send (segments beyond one frame).
+  Status send(NodeId dest, HandlerId handler, const void* buf,
+              std::size_t len);
+  /// FM_extract: processes currently deliverable frames; returns count.
+  std::size_t extract();
+  /// Extracts until `pred()` holds (spins with yields while idle).
+  template <typename Pred>
+  void extract_until(Pred&& pred) {
+    while (!pred()) {
+      if (extract() == 0) idle_pause();
+    }
+  }
+  /// Extracts until all outstanding frames are acknowledged and the reject
+  /// queue is empty; flushes owed acks so peers can drain too.
+  void drain();
+
+  /// Posted sends (the only legal way to send from handler context).
+  void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                  std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+  void post_send(NodeId dest, HandlerId handler, const void* buf,
+                 std::size_t len);
+
+  /// Context-aware send for layered protocols whose code runs both from
+  /// application context and from handler context: sends immediately when
+  /// legal, otherwise posts (injected when the running extract() finishes).
+  Status send_or_post(NodeId dest, HandlerId handler, const void* buf,
+                      std::size_t len) {
+    if (!in_handler_) return send(dest, handler, buf, len);
+    if (dest >= cluster_size() || !handlers_.valid(handler))
+      return Status::kBadArgument;
+    post_send(dest, handler, buf, len);
+    return Status::kOk;
+  }
+
+  /// This node's id / cluster size.
+  NodeId id() const { return id_; }
+  std::size_t cluster_size() const;
+
+  /// Outstanding unacknowledged frames.
+  std::size_t unacked() const { return window_.in_flight(); }
+  /// Frames parked for retransmission.
+  std::size_t reject_queue_depth() const { return rejq_.size(); }
+  const Stats& stats() const { return stats_; }
+  const FmConfig& config() const { return cfg_; }
+
+ private:
+  friend class Cluster;
+  Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg);
+
+  struct Posted {
+    NodeId dest;
+    HandlerId handler;
+    std::vector<std::uint8_t> payload;
+  };
+
+  Status send_data_frame(NodeId dest, HandlerId handler,
+                         const std::uint8_t* payload, std::size_t len,
+                         bool fragmented, std::uint32_t msg_id,
+                         std::uint16_t frag_index, std::uint16_t frag_count);
+  void inject(NodeId dest, const std::uint8_t* frame, std::size_t len);
+  void process_frame(NodeId from, const std::uint8_t* data,
+                     std::size_t len);
+  void send_standalone_ack(NodeId peer);
+  void send_reject(const FrameHeader& h, const std::uint8_t* data);
+  void drain_posted();
+  void idle_pause();
+
+  Cluster& cluster_;
+  NodeId id_;
+  FmConfig cfg_;
+  HandlerRegistry<Endpoint> handlers_;
+  SendWindow window_;
+  AckTracker acks_;
+  Reassembler reasm_;
+  RejectQueue rejq_;
+  Stats stats_;
+  std::vector<Posted> posted_;
+  std::unordered_map<NodeId, std::size_t> credits_;  // window mode only
+  std::uint32_t next_msg_id_ = 1;
+  bool in_handler_ = false;
+  bool draining_posted_ = false;
+};
+
+}  // namespace fm::shm

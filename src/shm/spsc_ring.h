@@ -1,0 +1,92 @@
+// Lock-free single-producer/single-consumer frame ring.
+//
+// The shared-memory transport's analogue of a Myrinet channel: a bounded
+// ring of fixed-size frame slots between one sender thread and one receiver
+// thread. Classic SPSC discipline — the producer owns `tail`, the consumer
+// owns `head`, each reads the other's index with acquire ordering and
+// publishes its own with release ordering; no CAS, no locks, no allocation
+// after construction. Indices are monotonically increasing (mod 2^64) so
+// full/empty need no wasted slot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm::shm {
+
+/// Bounded SPSC queue of byte frames (each at most `slot_bytes` long).
+class SpscRing {
+ public:
+  /// `slots` must be a power of two.
+  SpscRing(std::size_t slots, std::size_t slot_bytes)
+      : mask_(slots - 1),
+        slot_bytes_(slot_bytes),
+        lengths_(slots),
+        data_(new std::uint8_t[slots * slot_bytes]) {
+    FM_CHECK_MSG(slots >= 2 && (slots & (slots - 1)) == 0,
+                 "slot count must be a power of two");
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer: enqueues one frame. Returns false when the ring is full.
+  bool try_push(const void* frame, std::size_t len) {
+    FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;  // full
+    const std::size_t i = static_cast<std::size_t>(tail) & mask_;
+    std::memcpy(data_.get() + i * slot_bytes_, frame, len);
+    lengths_[i] = static_cast<std::uint32_t>(len);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: dequeues one frame through `fn(const std::uint8_t*, size)`.
+  /// Returns false when empty. The pointer is valid only inside `fn`.
+  template <typename F>
+  bool try_consume(F&& fn) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;  // empty
+    const std::size_t i = static_cast<std::size_t>(head) & mask_;
+    fn(data_.get() + i * slot_bytes_, static_cast<std::size_t>(lengths_[i]));
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side convenience: pops into a vector.
+  bool try_pop(std::vector<std::uint8_t>& out) {
+    return try_consume([&](const std::uint8_t* p, std::size_t n) {
+      out.assign(p, p + n);
+    });
+  }
+
+  /// Approximate occupancy (exact from either endpoint's own thread).
+  std::size_t size_approx() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  /// True when a consume would currently fail.
+  bool empty_approx() const { return size_approx() == 0; }
+
+  /// Slot geometry.
+  std::size_t capacity() const { return mask_ + 1; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+
+ private:
+  const std::size_t mask_;
+  const std::size_t slot_bytes_;
+  std::vector<std::uint32_t> lengths_;
+  std::unique_ptr<std::uint8_t[]> data_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace fm::shm

@@ -1,0 +1,60 @@
+// Broadcast wake-up primitive (the DES analogue of a condition variable).
+//
+// Usage follows the classic re-check pattern — wake-ups are hints, not
+// guarantees, because another process scheduled at the same timestamp may
+// consume the state first:
+//
+//   while (!queue.has_data()) co_await queue_cond.wait();
+//
+// The helper `wait_until` packages that loop.
+#pragma once
+
+#include <coroutine>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace fm::sim {
+
+/// A named broadcast event. notify_all() resumes (via the event queue, at
+/// the current timestamp) every process blocked in wait().
+class Condition {
+ public:
+  explicit Condition(Simulator& sim) : sim_(sim) {}
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  class Awaiter {
+   public:
+    explicit Awaiter(Condition& c) : cond_(c) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      cond_.waiters_.push_back(h);
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Condition& cond_;
+  };
+
+  /// Suspends the caller until the next notify_all().
+  Awaiter wait() { return Awaiter(*this); }
+
+  /// Wakes every current waiter at the present simulated time.
+  void notify_all() {
+    for (auto h : waiters_) sim_.schedule(sim_.now(), h);
+    waiters_.clear();
+  }
+
+  /// Number of processes currently blocked (diagnostics).
+  std::size_t waiter_count() const { return waiters_.size(); }
+
+  Simulator& simulator() { return sim_; }
+
+ private:
+  friend class Awaiter;
+  Simulator& sim_;
+  std::vector<std::coroutine_handle<>> waiters_;
+};
+
+}  // namespace fm::sim

@@ -1,0 +1,149 @@
+// Bounded typed channel between simulated processes.
+//
+// Hand-off discipline: when a receiver is parked, an arriving value is
+// delivered directly into the receiver's slot (bypassing the queue), and
+// when a sender is parked on a full queue, a departing value immediately
+// promotes the oldest parked sender's value into the queue. This gives exact
+// FIFO semantics with no wake-up races, which matters because events at the
+// same timestamp run in schedule order.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "sim/simulator.h"
+
+namespace fm::sim {
+
+/// Bounded FIFO channel carrying values of type T between sim processes.
+template <typename T>
+class Mailbox {
+ public:
+  /// `capacity` == 0 makes a rendezvous channel (every send blocks until a
+  /// receiver takes the value).
+  Mailbox(Simulator& sim, std::size_t capacity)
+      : sim_(sim), capacity_(capacity) {}
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  class RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Mailbox& mb) : mb_(mb) {}
+    bool await_ready() noexcept {
+      if (!mb_.queue_.empty()) {
+        value_ = std::move(mb_.queue_.front());
+        mb_.queue_.pop_front();
+        mb_.promote_sender();
+        return true;
+      }
+      // Rendezvous fast path: a parked sender but no queue capacity.
+      if (mb_.capacity_ == 0 && !mb_.send_waiters_.empty()) {
+        auto& w = mb_.send_waiters_.front();
+        value_ = std::move(w.value);
+        mb_.sim_.schedule(mb_.sim_.now(), w.handle);
+        mb_.send_waiters_.pop_front();
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mb_.recv_waiters_.push_back(Receiver{h, &value_});
+    }
+    T await_resume() {
+      FM_CHECK_MSG(value_.has_value(), "mailbox recv resumed without a value");
+      return std::move(*value_);
+    }
+
+   private:
+    Mailbox& mb_;
+    std::optional<T> value_;
+  };
+
+  class SendAwaiter {
+   public:
+    SendAwaiter(Mailbox& mb, T v) : mb_(mb), value_(std::move(v)) {}
+    bool await_ready() noexcept {
+      // Direct hand-off to a parked receiver.
+      if (!mb_.recv_waiters_.empty()) {
+        auto r = mb_.recv_waiters_.front();
+        mb_.recv_waiters_.pop_front();
+        r.slot->emplace(std::move(value_));
+        mb_.sim_.schedule(mb_.sim_.now(), r.handle);
+        return true;
+      }
+      if (mb_.queue_.size() < mb_.capacity_) {
+        mb_.queue_.push_back(std::move(value_));
+        return true;
+      }
+      return false;
+    }
+    void await_suspend(std::coroutine_handle<> h) {
+      mb_.send_waiters_.push_back(Sender{h, std::move(value_)});
+    }
+    void await_resume() const noexcept {}
+
+   private:
+    Mailbox& mb_;
+    T value_;
+  };
+
+  /// Receives the oldest value, suspending while the channel is empty.
+  RecvAwaiter recv() { return RecvAwaiter(*this); }
+
+  /// Sends `v`, suspending while the channel is full.
+  SendAwaiter send(T v) { return SendAwaiter(*this, std::move(v)); }
+
+  /// Non-blocking send; returns false if it would have blocked.
+  bool try_send(T v) {
+    SendAwaiter a(*this, std::move(v));
+    return a.await_ready();
+  }
+
+  /// Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (queue_.empty() && (capacity_ != 0 || send_waiters_.empty()))
+      return std::nullopt;
+    RecvAwaiter a(*this);
+    bool got = a.await_ready();
+    FM_CHECK(got);
+    return a.await_resume();
+  }
+
+  /// Values queued (excludes values held by parked senders).
+  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty() && send_waiters_.empty(); }
+
+ private:
+  struct Receiver {
+    std::coroutine_handle<> handle;
+    std::optional<T>* slot;
+  };
+  struct Sender {
+    std::coroutine_handle<> handle;
+    T value;
+  };
+
+  // A queue slot just freed: move the oldest parked sender's value in.
+  void promote_sender() {
+    if (!send_waiters_.empty() && queue_.size() < capacity_) {
+      auto& w = send_waiters_.front();
+      queue_.push_back(std::move(w.value));
+      sim_.schedule(sim_.now(), w.handle);
+      send_waiters_.pop_front();
+    }
+  }
+
+  friend class RecvAwaiter;
+  friend class SendAwaiter;
+
+  Simulator& sim_;
+  std::size_t capacity_;
+  std::deque<T> queue_;
+  std::deque<Receiver> recv_waiters_;
+  std::deque<Sender> send_waiters_;
+};
+
+}  // namespace fm::sim

@@ -1,0 +1,120 @@
+// Awaitable sub-operations.
+//
+// sim::Task models a detached top-level process; sim::Op<T> models a
+// *composable* operation that a process (or another Op) awaits — "transfer
+// these bytes over the SBus", "transmit this packet through the switch".
+// Ops are lazy (they begin when awaited) and resume their awaiter by
+// symmetric transfer when they finish, so arbitrarily deep Op chains cost no
+// stack and no event-queue round trips at completion boundaries.
+#pragma once
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+
+namespace fm::sim {
+
+template <typename T = void>
+class Op;
+
+namespace detail {
+
+template <typename T>
+class OpPromiseBase {
+ public:
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename P>
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<P> h) noexcept {
+      auto cont = h.promise().continuation_;
+      return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  [[noreturn]] void unhandled_exception() {
+    FM_UNREACHABLE("exception escaped a sim::Op");
+  }
+
+  std::coroutine_handle<> continuation_;
+};
+
+}  // namespace detail
+
+/// Lazily-started awaitable coroutine producing a T. Must be awaited exactly
+/// once, from a sim::Task or another sim::Op. Destroying an unawaited Op
+/// frees its frame.
+template <typename T>
+class [[nodiscard]] Op {
+ public:
+  struct promise_type : detail::OpPromiseBase<T> {
+    Op get_return_object() {
+      return Op(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value_.emplace(std::move(v)); }
+    std::optional<T> value_;
+  };
+
+  Op(Op&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  Op& operator=(Op&&) = delete;
+  ~Op() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation_ = awaiter;
+    return handle_;  // start the op now (symmetric transfer)
+  }
+  T await_resume() {
+    FM_CHECK_MSG(handle_.promise().value_.has_value(),
+                 "Op finished without a value");
+    T v = std::move(*handle_.promise().value_);
+    return v;
+  }
+
+ private:
+  explicit Op(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] Op<void> {
+ public:
+  struct promise_type : detail::OpPromiseBase<void> {
+    Op get_return_object() {
+      return Op(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Op(Op&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+  Op& operator=(Op&&) = delete;
+  ~Op() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> awaiter) {
+    handle_.promise().continuation_ = awaiter;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  explicit Op(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace fm::sim

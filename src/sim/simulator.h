@@ -1,0 +1,149 @@
+// The discrete-event simulation core.
+//
+// A Simulator owns a priority queue of timestamped continuations. All
+// concurrency in the hardware models is cooperative: coroutines suspend on
+// awaitables that schedule their resumption, and the simulator resumes them
+// strictly in (time, sequence) order, so runs are bit-deterministic.
+//
+// Re-entrancy rule: nothing ever resumes a coroutine inline. Every wake-up —
+// delays, condition notifications, semaphore releases — goes through
+// schedule(), which is what makes model code safe to write without worrying
+// about who is on the stack.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+#include "sim/task.h"
+#include "sim/time.h"
+
+namespace fm::sim {
+
+class Simulator;
+
+/// Awaitable produced by Simulator::delay(); resumes the awaiting coroutine
+/// `d` picoseconds in the simulated future (d == 0 still round-trips through
+/// the event queue, providing a fair yield point).
+class DelayAwaiter {
+ public:
+  DelayAwaiter(Simulator& sim, Time d) : sim_(sim), delay_(d) {}
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  Simulator& sim_;
+  Time delay_;
+};
+
+/// Deterministic discrete-event simulator.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `h` to resume at absolute time `at` (>= now()).
+  void schedule(Time at, std::coroutine_handle<> h) {
+    FM_CHECK_MSG(at >= now_, "scheduling into the past");
+    events_.push(Event{at, next_seq_++, h, {}});
+  }
+
+  /// Schedules a plain callback at absolute time `at`.
+  void schedule_fn(Time at, std::function<void()> fn) {
+    FM_CHECK_MSG(at >= now_, "scheduling into the past");
+    events_.push(Event{at, next_seq_++, nullptr, std::move(fn)});
+  }
+
+  /// Schedules `h` to resume `d` after now.
+  void schedule_in(Time d, std::coroutine_handle<> h) {
+    schedule(now_ + d, h);
+  }
+
+  /// Starts a process: the task begins executing at the current time, after
+  /// the currently running event returns.
+  void spawn(Task t) { schedule(now_, t.release()); }
+
+  /// Starts a process after a delay.
+  void spawn_at(Time at, Task t) { schedule(at, t.release()); }
+
+  /// Awaitable suspension for `d` picoseconds.
+  DelayAwaiter delay(Time d) {
+    FM_CHECK_MSG(d >= 0, "negative delay");
+    return DelayAwaiter(*this, d);
+  }
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step() {
+    if (events_.empty()) return false;
+    Event e = events_.top();
+    events_.pop();
+    FM_CHECK(e.at >= now_);
+    now_ = e.at;
+    ++dispatched_;
+    if (e.coro)
+      e.coro.resume();
+    else
+      e.fn();
+    return true;
+  }
+
+  /// Runs until no events remain.
+  void run() {
+    while (step()) {
+    }
+  }
+
+  /// Runs events with timestamp <= `t`, then sets now() to `t`.
+  void run_until(Time t) {
+    while (!events_.empty() && events_.top().at <= t) step();
+    FM_CHECK(t >= now_);
+    now_ = t;
+  }
+
+  /// Runs for `d` more picoseconds of simulated time.
+  void run_for(Time d) { run_until(now_ + d); }
+
+  /// Runs until `done` returns true or the event queue drains. Returns true
+  /// if the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done) {
+    while (!done()) {
+      if (!step()) return false;
+    }
+    return true;
+  }
+
+  /// Total events dispatched (diagnostics and perf sanity checks).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+  /// True when no further events are scheduled.
+  bool idle() const { return events_.empty(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;  // FIFO tie-break for same-time events
+    std::coroutine_handle<> coro;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+};
+
+inline void DelayAwaiter::await_suspend(std::coroutine_handle<> h) {
+  sim_.schedule_in(delay_, h);
+}
+
+}  // namespace fm::sim

@@ -1,0 +1,63 @@
+// Detached coroutine tasks for the discrete-event simulator.
+//
+// A sim::Task models a concurrent hardware or software *process* (an LCP
+// main loop, a DMA engine, a host program). Tasks are detached: once spawned
+// on a Simulator they own their own lifetime and self-destroy on completion.
+// Joining is expressed with sim::Condition / sim::Semaphore rather than by
+// awaiting the task, which keeps the promise machinery trivial and removes
+// an entire class of dangling-continuation bugs.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+
+#include "common/check.h"
+
+namespace fm::sim {
+
+/// Handle to a not-yet-started simulator process. Created by any coroutine
+/// returning sim::Task; activated with Simulator::spawn(). A Task must be
+/// spawned exactly once; destroying an unspawned Task frees the frame.
+class [[nodiscard]] Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    // Suspend initially: the simulator decides when the first step runs so
+    // that spawning inside a running event cannot re-enter user code.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Never suspend finally: the frame self-destroys when the process ends.
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    [[noreturn]] void unhandled_exception() {
+      // Simulator processes are noexcept by policy (Core Guidelines E.6 on
+      // hot paths); an escaped exception is a bug in the model.
+      FM_UNREACHABLE("exception escaped a sim::Task");
+    }
+  };
+
+  Task(Task&& o) noexcept : handle_(o.handle_) { o.handle_ = nullptr; }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task& operator=(Task&&) = delete;
+
+  ~Task() {
+    // A Task that was never spawned still owns its suspended frame.
+    if (handle_) handle_.destroy();
+  }
+
+  /// Releases the coroutine handle to the simulator (called by spawn()).
+  std::coroutine_handle<> release() {
+    FM_CHECK_MSG(handle_, "Task already spawned or moved-from");
+    auto h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace fm::sim

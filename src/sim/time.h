@@ -1,0 +1,43 @@
+// Simulated time.
+//
+// Time is a signed 64-bit count of **picoseconds**. The Myrinet link costs
+// 12.5 ns per byte (Appendix A of the paper), so nanosecond resolution would
+// force rounding on every byte; picoseconds keep all paper constants exact
+// while still giving ~106 days of simulated range.
+#pragma once
+
+#include <cstdint>
+
+namespace fm::sim {
+
+/// Simulated time / duration in picoseconds.
+using Time = std::int64_t;
+
+/// Constructs a duration from picoseconds.
+constexpr Time ps(std::int64_t v) { return v; }
+/// Constructs a duration from nanoseconds.
+constexpr Time ns(std::int64_t v) { return v * 1000; }
+/// Constructs a duration from microseconds.
+constexpr Time us(std::int64_t v) { return v * 1'000'000; }
+/// Constructs a duration from milliseconds.
+constexpr Time ms(std::int64_t v) { return v * 1'000'000'000; }
+/// Constructs a duration from a (possibly fractional) nanosecond count.
+constexpr Time ns_f(double v) { return static_cast<Time>(v * 1000.0 + 0.5); }
+
+/// Converts to double nanoseconds.
+constexpr double to_ns(Time t) { return static_cast<double>(t) / 1e3; }
+/// Converts to double microseconds.
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e6; }
+/// Converts to double seconds.
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e12; }
+
+/// Duration of transferring `bytes` at `mb_per_s` (1 MB = 2^20 bytes, the
+/// paper's convention: "1MB = 2^20 bytes").
+constexpr Time transfer_time(std::int64_t bytes, double mb_per_s) {
+  // seconds = bytes / (mb_per_s * 2^20); in ps: * 1e12
+  return static_cast<Time>(static_cast<double>(bytes) /
+                               (mb_per_s * 1048576.0) * 1e12 +
+                           0.5);
+}
+
+}  // namespace fm::sim

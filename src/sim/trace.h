@@ -1,0 +1,69 @@
+// Optional event tracing for debugging simulated runs.
+//
+// Disabled traces cost one branch per record. Enabled traces accumulate
+// (time, category, detail) tuples that tests can assert on and humans can
+// dump — invaluable when a flow-control bug manifests as "the numbers look
+// slightly wrong".
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fm::sim {
+
+/// In-memory trace sink.
+class Trace {
+ public:
+  struct Record {
+    Time at;
+    std::string category;
+    std::string detail;
+  };
+
+  /// Enables or disables recording.
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  /// Records an event (no-op when disabled).
+  void add(Time at, const char* category, const char* fmt, ...)
+      __attribute__((format(printf, 4, 5))) {
+    if (!enabled_) return;
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    va_end(ap);
+    records_.push_back(Record{at, category, buf});
+  }
+
+  /// All records so far.
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Records whose category matches exactly.
+  std::vector<Record> by_category(const std::string& cat) const {
+    std::vector<Record> out;
+    for (const auto& r : records_)
+      if (r.category == cat) out.push_back(r);
+    return out;
+  }
+
+  /// Clears all records.
+  void clear() { records_.clear(); }
+
+  /// Writes a human-readable dump to `f`.
+  void dump(std::FILE* f) const {
+    for (const auto& r : records_)
+      std::fprintf(f, "%12.3fus  %-12s %s\n", to_us(r.at), r.category.c_str(),
+                   r.detail.c_str());
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<Record> records_;
+};
+
+}  // namespace fm::sim

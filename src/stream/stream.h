@@ -1,0 +1,138 @@
+// fm::stream — reliable, ordered byte streams over the FM API.
+//
+// The other half of the paper's §7 layering program ("we are building
+// implementations of MPI, TCP/IP..."): a socket-flavored stream transport
+// built purely on FM_send/FM_extract, demonstrating that FM's minimal
+// primitives carry a TCP-like protocol comfortably. §5 also notes the FM
+// frame size "is close to the best size for supporting TCP/IP and UDP/IP
+// traffic, where the vast majority of packets would fit into a single
+// frame".
+//
+// Protocol (all messages ride one FM handler):
+//   SYN / SYN_ACK        three-ish-way connect to a listening port
+//   DATA(seq, bytes)     stream chunks, per-connection sequence numbers
+//                        (FM does not guarantee order; we restore it)
+//   WINDOW(bytes)        receiver-granted credit (flow control in bytes)
+//   FIN                  orderly close
+//
+// Threading: a StreamMgr and its Connections belong to one node thread,
+// like the Endpoint they wrap.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "shm/cluster.h"
+
+namespace fm::stream {
+
+class StreamMgr;
+
+/// One end of an established byte-stream connection.
+class Connection {
+ public:
+  /// Writes all `len` bytes (blocking while the peer's window is closed).
+  /// Returns false if the connection is closed before everything is sent.
+  bool write(const void* buf, std::size_t len);
+
+  /// Reads 1..maxlen bytes (blocking until data or EOF). Returns the byte
+  /// count, or 0 on EOF (peer closed and buffer drained).
+  std::size_t read(void* buf, std::size_t maxlen);
+
+  /// Reads exactly `len` bytes unless EOF intervenes; returns bytes read.
+  std::size_t read_exact(void* buf, std::size_t len);
+
+  /// Sends FIN. Reading may continue until the peer's data is drained.
+  void close();
+
+  /// True when the peer has closed and all its bytes were consumed.
+  bool at_eof() const { return peer_fin_ && rx_buffer_.empty(); }
+
+  /// Bytes currently buffered for reading.
+  std::size_t readable() const { return rx_buffer_.size(); }
+  /// Remote node.
+  NodeId peer() const { return peer_; }
+
+ private:
+  friend class StreamMgr;
+  Connection(StreamMgr& mgr, std::uint32_t id, NodeId peer,
+             std::uint32_t peer_id, std::size_t window);
+
+  StreamMgr& mgr_;
+  std::uint32_t id_;            // our connection id
+  NodeId peer_;
+  std::uint32_t peer_id_;       // peer's connection id
+  // --- transmit side ---
+  std::uint32_t tx_seq_ = 0;    // next chunk sequence
+  std::size_t tx_credit_;       // bytes the peer will accept
+  bool fin_sent_ = false;
+  // --- receive side ---
+  std::uint32_t rx_seq_ = 0;    // next expected chunk
+  std::map<std::uint32_t, std::vector<std::uint8_t>> rx_reorder_;
+  std::deque<std::uint8_t> rx_buffer_;
+  std::size_t credit_owed_ = 0;  // consumed bytes not yet granted back
+  bool peer_fin_ = false;
+};
+
+/// Per-node stream transport manager.
+class StreamMgr {
+ public:
+  /// Wraps `ep`. Construct at the same registration point on every node.
+  /// `window` is the per-connection receive buffer (and initial credit).
+  explicit StreamMgr(shm::Endpoint& ep, std::size_t window = 64 * 1024);
+  StreamMgr(const StreamMgr&) = delete;
+  StreamMgr& operator=(const StreamMgr&) = delete;
+
+  /// Starts accepting connections on `port`.
+  void listen(std::uint16_t port);
+
+  /// Connects to `port` on `peer`; blocks until established.
+  Connection& connect(NodeId peer, std::uint16_t port);
+
+  /// Blocks until a connection arrives on listening `port`.
+  Connection& accept(std::uint16_t port);
+
+  /// Services the endpoint once (also called internally while blocking).
+  void poll();
+
+  shm::Endpoint& endpoint() { return ep_; }
+
+ private:
+  friend class Connection;
+
+  enum class Type : std::uint8_t {
+    kSyn = 1,
+    kSynAck = 2,
+    kData = 3,
+    kWindow = 4,
+    kFin = 5,
+  };
+
+  // Wire: [u8 type][u32 conn (receiver-side id, or listener port for SYN)]
+  //       [u32 arg][payload]
+  void send_msg(NodeId dest, Type type, std::uint32_t conn, std::uint32_t arg,
+                const void* payload, std::size_t len);
+  void on_message(NodeId src, const void* data, std::size_t len);
+  Connection& alloc_connection(NodeId peer, std::uint32_t peer_id);
+
+  // Chunk size: one FM frame's payload minus our 9-byte stream header.
+  std::size_t chunk_bytes() const {
+    return ep_.config().frame_payload > 16 ? ep_.config().frame_payload - 9
+                                           : 119;
+  }
+
+  shm::Endpoint& ep_;
+  HandlerId handler_;
+  std::size_t window_;
+  std::uint32_t next_conn_id_ = 1;
+  std::map<std::uint32_t, std::unique_ptr<Connection>> connections_;
+  std::map<std::uint16_t, std::deque<std::uint32_t>> pending_accepts_;
+  std::map<std::uint16_t, bool> listening_;
+};
+
+}  // namespace fm::stream

@@ -1,0 +1,188 @@
+#include "api/myri_api.h"
+
+#include <gtest/gtest.h>
+
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+
+namespace fm::api {
+namespace {
+
+struct ApiPair {
+  hw::Cluster cluster{2};
+  MyriApi a{cluster.node(0)};
+  MyriApi b{cluster.node(1)};
+  ApiPair() {
+    a.start();
+    b.start();
+  }
+  ~ApiPair() {
+    a.shutdown();
+    b.shutdown();
+    cluster.sim().run();
+  }
+};
+
+TEST(MyriApi, ImmediateSendDelivers) {
+  ApiPair p;
+  std::vector<std::uint8_t> got;
+  auto tx = [](ApiPair& p) -> sim::Task {
+    std::uint8_t data[64];
+    for (int i = 0; i < 64; ++i) data[i] = static_cast<std::uint8_t>(i);
+    Status s = co_await p.a.send_imm(1, data, sizeof data);
+    EXPECT_TRUE(ok(s));
+  };
+  auto rx = [](ApiPair& p, std::vector<std::uint8_t>* got) -> sim::Task {
+    Message m = co_await p.b.receive_blocking();
+    EXPECT_EQ(m.src, 0u);
+    *got = std::move(m.data);
+  };
+  p.cluster.sim().spawn(tx(p));
+  p.cluster.sim().spawn(rx(p, &got));
+  p.cluster.sim().run_while_pending([&] { return !got.empty(); });
+  ASSERT_EQ(got.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(MyriApi, DmaSendDelivers) {
+  ApiPair p;
+  bool got = false;
+  auto tx = [](ApiPair& p) -> sim::Task {
+    std::uint8_t data[256] = {};
+    Status s = co_await p.a.send(1, data, sizeof data);
+    EXPECT_TRUE(ok(s));
+    // DMA mode must have staged through the sender's DMA engine.
+    EXPECT_GE(p.cluster.node(0).sbus().bytes_dma(), 256u);
+  };
+  auto rx = [](ApiPair& p, bool* got) -> sim::Task {
+    (void)co_await p.b.receive_blocking();
+    *got = true;
+  };
+  p.cluster.sim().spawn(tx(p));
+  p.cluster.sim().spawn(rx(p, &got));
+  p.cluster.sim().run_while_pending([&] { return got; });
+  EXPECT_TRUE(got);
+}
+
+TEST(MyriApi, DeliveryOrderPreserved) {
+  // Table 3: the API preserves order (FM does not guarantee it).
+  ApiPair p;
+  std::vector<std::uint32_t> order;
+  auto tx = [](ApiPair& p) -> sim::Task {
+    for (std::uint32_t i = 0; i < 10; ++i) {
+      Status s = co_await p.a.send_imm(1, &i, sizeof i);
+      EXPECT_TRUE(ok(s));
+    }
+  };
+  auto rx = [](ApiPair& p, std::vector<std::uint32_t>* order) -> sim::Task {
+    while (order->size() < 10) {
+      Message m = co_await p.b.receive_blocking();
+      std::uint32_t v;
+      std::memcpy(&v, m.data.data(), 4);
+      order->push_back(v);
+    }
+  };
+  p.cluster.sim().spawn(tx(p));
+  p.cluster.sim().spawn(rx(p, &order));
+  p.cluster.sim().run_while_pending([&] { return order.size() == 10; });
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(MyriApi, PerMessageLatencyIsAboutHundredMicroseconds) {
+  // Table 4: t0 = 105 us (imm), 121 us (DMA). One-way delivery of a 128 B
+  // message should land in that neighbourhood — and DMA mode must be the
+  // slower of the two for small messages.
+  for (bool dma : {false, true}) {
+    ApiPair p;
+    bool got = false;
+    auto tx = [](ApiPair& p, bool dma) -> sim::Task {
+      std::uint8_t data[128] = {};
+      if (dma)
+        (void)co_await p.a.send(1, data, sizeof data);
+      else
+        (void)co_await p.a.send_imm(1, data, sizeof data);
+    };
+    auto rx = [](ApiPair& p, bool* got) -> sim::Task {
+      (void)co_await p.b.receive_blocking();
+      *got = true;
+    };
+    p.cluster.sim().spawn(tx(p, dma));
+    p.cluster.sim().spawn(rx(p, &got));
+    p.cluster.sim().run_while_pending([&] { return got; });
+    double us = sim::to_us(p.cluster.sim().now());
+    EXPECT_GT(us, 60.0) << (dma ? "dma" : "imm");
+    EXPECT_LT(us, 200.0) << (dma ? "dma" : "imm");
+  }
+}
+
+TEST(MyriApi, SendBlocksOnCommandHandshake) {
+  // The host must not regain control before the LCP finishes the command —
+  // back-to-back sends therefore cannot pipeline.
+  ApiPair p;
+  sim::Time first = 0, second = 0;
+  auto tx = [](ApiPair& p, sim::Time* t1, sim::Time* t2) -> sim::Task {
+    std::uint8_t data[64] = {};
+    (void)co_await p.a.send_imm(1, data, sizeof data);
+    *t1 = p.cluster.sim().now();
+    (void)co_await p.a.send_imm(1, data, sizeof data);
+    *t2 = p.cluster.sim().now();
+  };
+  auto rx = [](ApiPair& p) -> sim::Task {
+    for (;;) (void)co_await p.b.receive_blocking();
+  };
+  p.cluster.sim().spawn(tx(p, &first, &second));
+  p.cluster.sim().spawn(rx(p));
+  p.cluster.sim().run_while_pending([&] { return second != 0; });
+  // The second send costs about as much as the first (no pipelining).
+  EXPECT_GT(second - first, (first * 6) / 10);
+}
+
+TEST(MyriApiVsFm, FmLatencyIsAnOrderOfMagnitudeBetter) {
+  // The Figure 9 headline at the library level.
+  double api_us, fm_us;
+  {
+    ApiPair p;
+    bool got = false;
+    auto tx = [](ApiPair& p) -> sim::Task {
+      std::uint8_t data[128] = {};
+      (void)co_await p.a.send_imm(1, data, sizeof data);
+    };
+    auto rx = [](ApiPair& p, bool* got) -> sim::Task {
+      (void)co_await p.b.receive_blocking();
+      *got = true;
+    };
+    p.cluster.sim().spawn(tx(p));
+    p.cluster.sim().spawn(rx(p, &got));
+    p.cluster.sim().run_while_pending([&] { return got; });
+    api_us = sim::to_us(p.cluster.sim().now());
+  }
+  {
+    hw::Cluster cluster(2);
+    SimEndpoint a(cluster.node(0)), b(cluster.node(1));
+    bool got = false;
+    (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                                std::size_t) {});
+    HandlerId h = b.register_handler(
+        [&](SimEndpoint&, NodeId, const void*, std::size_t) { got = true; });
+    a.start();
+    b.start();
+    auto tx = [](SimEndpoint& a, HandlerId h) -> sim::Task {
+      std::uint8_t data[128] = {};
+      (void)co_await a.send(1, h, data, sizeof data);
+    };
+    auto rx = [](SimEndpoint& b) -> sim::Task {
+      for (;;) (void)co_await b.extract_blocking();
+    };
+    cluster.sim().spawn(tx(a, h));
+    cluster.sim().spawn(rx(b));
+    cluster.sim().run_while_pending([&] { return got; });
+    fm_us = sim::to_us(cluster.sim().now());
+    a.shutdown();
+    b.shutdown();
+    cluster.sim().run();
+  }
+  EXPECT_GT(api_us, 5.0 * fm_us);
+}
+
+}  // namespace
+}  // namespace fm::api

@@ -1,0 +1,96 @@
+// Tests for the API's scatter-gather send (Table 3: "supports
+// scatter-gather operations").
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/myri_api.h"
+#include "hw/cluster.h"
+
+namespace fm::api {
+namespace {
+
+TEST(ScatterGather, GathersFragmentsIntoOneMessage) {
+  hw::Cluster c(2);
+  MyriApi a(c.node(0)), b(c.node(1));
+  a.start();
+  b.start();
+  std::vector<std::uint8_t> got;
+  auto tx = [](MyriApi& a) -> sim::Task {
+    const char x[] = "Illinois ";
+    const char y[] = "Fast ";
+    const char z[] = "Messages";
+    MyriApi::Iovec iov[3] = {{x, sizeof x - 1}, {y, sizeof y - 1},
+                             {z, sizeof z - 1}};
+    Status s = co_await a.send_gather(1, iov, 3);
+    EXPECT_TRUE(ok(s));
+  };
+  auto rx = [](MyriApi& b, std::vector<std::uint8_t>* got) -> sim::Task {
+    Message m = co_await b.receive_blocking();
+    *got = std::move(m.data);
+  };
+  c.sim().spawn(tx(a));
+  c.sim().spawn(rx(b, &got));
+  c.sim().run_while_pending([&] { return !got.empty(); });
+  std::string s(got.begin(), got.end());
+  EXPECT_EQ(s, "Illinois Fast Messages");
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(ScatterGather, RejectsBadLists) {
+  hw::Cluster c(2);
+  MyriApi a(c.node(0)), b(c.node(1));
+  a.start();
+  b.start();
+  auto tx = [](MyriApi& a) -> sim::Task {
+    Status s1 = co_await a.send_gather(1, nullptr, 0);
+    EXPECT_EQ(s1, Status::kBadArgument);
+    MyriApi::Iovec bad[1] = {{nullptr, 8}};
+    Status s2 = co_await a.send_gather(1, bad, 1);
+    EXPECT_EQ(s2, Status::kBadArgument);
+  };
+  c.sim().spawn(tx(a));
+  c.sim().run_for(sim::ms(1));
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(ScatterGather, CostsMoreThanPlainSendPerElement) {
+  // Each scatter-gather element adds descriptor-build and walk time.
+  auto run = [](bool gather) {
+    hw::Cluster c(2);
+    MyriApi a(c.node(0)), b(c.node(1));
+    a.start();
+    b.start();
+    bool got = false;
+    auto tx = [](MyriApi& a, bool gather) -> sim::Task {
+      std::uint8_t buf[256] = {};
+      if (gather) {
+        MyriApi::Iovec iov[8];
+        for (int i = 0; i < 8; ++i) iov[i] = {buf + 32 * i, 32};
+        (void)co_await a.send_gather(1, iov, 8);
+      } else {
+        (void)co_await a.send(1, buf, sizeof buf);
+      }
+    };
+    auto rx = [](MyriApi& b, bool* got) -> sim::Task {
+      (void)co_await b.receive_blocking();
+      *got = true;
+    };
+    c.sim().spawn(tx(a, gather));
+    c.sim().spawn(rx(b, &got));
+    c.sim().run_while_pending([&] { return got; });
+    sim::Time t = c.sim().now();
+    a.shutdown();
+    b.shutdown();
+    c.sim().run();
+    return t;
+  };
+  EXPECT_GT(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace fm::api

@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fm {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // Standard IEEE CRC-32 check values.
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(crc32("a", 1), 0xe8b7be43u);
+  const std::string gnu = "The quick brown fox jumps over the lazy dog";
+  EXPECT_EQ(crc32(gnu.data(), gnu.size()), 0x414fa339u);
+}
+
+TEST(Crc32, ChainingEqualsOneShot) {
+  Xoshiro256 rng(7);
+  std::vector<unsigned char> data(4096);
+  for (auto& b : data) b = static_cast<unsigned char>(rng());
+  std::uint32_t whole = crc32(data.data(), data.size());
+  for (std::size_t split : {1u, 17u, 128u, 4095u}) {
+    std::uint32_t a = crc32(data.data(), split);
+    std::uint32_t b = crc32(data.data() + split, data.size() - split, a);
+    EXPECT_EQ(b, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<unsigned char> data(256, 0xAB);
+  std::uint32_t base = crc32(data.data(), data.size());
+  for (std::size_t byte : {0u, 100u, 255u}) {
+    for (int bit : {0, 3, 7}) {
+      auto copy = data;
+      copy[byte] ^= static_cast<unsigned char>(1 << bit);
+      EXPECT_NE(crc32(copy.data(), copy.size()), base);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,44 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace fm {
+namespace {
+
+TEST(Log, DefaultLevelIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST(Log, SetReturnsPrevious) {
+  LogLevel prev = set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(prev);
+  EXPECT_EQ(log_level(), prev);
+}
+
+TEST(Log, ScopedLevelRestores) {
+  LogLevel before = log_level();
+  {
+    ScopedLogLevel scope(LogLevel::kError);
+    EXPECT_EQ(log_level(), LogLevel::kError);
+    {
+      ScopedLogLevel inner(LogLevel::kDebug);
+      EXPECT_EQ(log_level(), LogLevel::kDebug);
+    }
+    EXPECT_EQ(log_level(), LogLevel::kError);
+  }
+  EXPECT_EQ(log_level(), before);
+}
+
+TEST(Log, MacrosCompileAndFilter) {
+  ScopedLogLevel scope(LogLevel::kOff);
+  // Nothing should be emitted (and nothing should crash) at kOff.
+  FM_DLOG("debug %d", 1);
+  FM_ILOG("info %s", "x");
+  FM_WLOG("warn");
+  FM_ELOG("error %f", 2.0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fm

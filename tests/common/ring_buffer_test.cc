@@ -1,0 +1,127 @@
+#include "common/ring_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fm {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> rb(4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_FALSE(rb.full());
+  EXPECT_EQ(rb.size(), 0u);
+  EXPECT_EQ(rb.capacity(), 4u);
+  EXPECT_EQ(rb.space(), 4u);
+}
+
+TEST(RingBuffer, PushPopFifoOrder) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.push(3));
+  int v = 0;
+  EXPECT_TRUE(rb.pop(v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(rb.pop(v));
+  EXPECT_EQ(v, 2);
+  EXPECT_TRUE(rb.pop(v));
+  EXPECT_EQ(v, 3);
+  EXPECT_FALSE(rb.pop(v));
+}
+
+TEST(RingBuffer, RejectsPushWhenFull) {
+  RingBuffer<int> rb(2);
+  EXPECT_TRUE(rb.push(1));
+  EXPECT_TRUE(rb.push(2));
+  EXPECT_TRUE(rb.full());
+  EXPECT_FALSE(rb.push(3));
+  EXPECT_EQ(rb.size(), 2u);
+}
+
+TEST(RingBuffer, WrapsAroundCapacityBoundary) {
+  RingBuffer<int> rb(3);
+  int v;
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(rb.push(round));
+    EXPECT_TRUE(rb.pop(v));
+    EXPECT_EQ(v, round);
+  }
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuffer, FrontAndIndexedAccess) {
+  RingBuffer<std::string> rb(4);
+  rb.push("a");
+  rb.push("b");
+  rb.push("c");
+  EXPECT_EQ(rb.front(), "a");
+  EXPECT_EQ(rb.at(0), "a");
+  EXPECT_EQ(rb.at(1), "b");
+  EXPECT_EQ(rb.at(2), "c");
+  std::string s;
+  rb.pop(s);
+  EXPECT_EQ(rb.at(0), "b");
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  EXPECT_TRUE(rb.push(7));
+  int v;
+  EXPECT_TRUE(rb.pop(v));
+  EXPECT_EQ(v, 7);
+}
+
+TEST(RingBuffer, MovesOnlyValues) {
+  RingBuffer<std::unique_ptr<int>> rb(2);
+  rb.push(std::make_unique<int>(42));
+  std::unique_ptr<int> out;
+  EXPECT_TRUE(rb.pop(out));
+  ASSERT_TRUE(out);
+  EXPECT_EQ(*out, 42);
+}
+
+// Property: against a reference std::vector model, arbitrary interleavings
+// of push/pop agree for many capacities.
+class RingBufferModelTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferModelTest, AgreesWithReferenceModel) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::uint64_t> rb(cap);
+  std::vector<std::uint64_t> model;
+  Xoshiro256 rng(cap * 977 + 13);
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.chance(0.55)) {
+      std::uint64_t v = rng();
+      bool pushed = rb.push(v);
+      EXPECT_EQ(pushed, model.size() < cap);
+      if (pushed) model.push_back(v);
+    } else {
+      std::uint64_t v = 0;
+      bool popped = rb.pop(v);
+      EXPECT_EQ(popped, !model.empty());
+      if (popped) {
+        EXPECT_EQ(v, model.front());
+        model.erase(model.begin());
+      }
+    }
+    ASSERT_EQ(rb.size(), model.size());
+    if (!model.empty()) {
+      EXPECT_EQ(rb.front(), model.front());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferModelTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 255));
+
+}  // namespace
+}  // namespace fm

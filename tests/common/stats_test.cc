@@ -1,0 +1,65 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fm {
+namespace {
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanMinMaxSum) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) s.add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStat, VarianceMatchesTwoPassFormula) {
+  RunningStat s;
+  const double xs[] = {1.5, -2.0, 3.25, 0.0, 10.0, -7.5};
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= 6;
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 5;
+  for (double x : xs) s.add(x);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+}
+
+TEST(LatencyHistogram, CountsAndQuantiles) {
+  LatencyHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(100);    // bucket [64,128)
+  for (int i = 0; i < 10; ++i) h.add(10000);  // bucket [8192,16384)
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_LE(h.quantile(0.5), 127u);
+  EXPECT_GE(h.quantile(0.99), 8191u);
+}
+
+TEST(LatencyHistogram, ZeroAndHugeValuesClamp) {
+  LatencyHistogram h;
+  h.add(0);
+  h.add(~0ull);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.quantile(1.0), 1u);
+}
+
+TEST(LatencyHistogram, SummaryMentionsCount) {
+  LatencyHistogram h;
+  h.add(5);
+  EXPECT_NE(h.summary().find("n=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fm

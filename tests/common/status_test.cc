@@ -1,0 +1,44 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fm {
+namespace {
+
+TEST(Status, ToStringCoversAllCodes) {
+  EXPECT_EQ(to_string(Status::kOk), "ok");
+  EXPECT_EQ(to_string(Status::kAgain), "again");
+  EXPECT_EQ(to_string(Status::kTooLarge), "too-large");
+  EXPECT_EQ(to_string(Status::kBadArgument), "bad-argument");
+  EXPECT_EQ(to_string(Status::kClosed), "closed");
+  EXPECT_EQ(to_string(Status::kInternal), "internal");
+}
+
+TEST(Status, OkPredicate) {
+  EXPECT_TRUE(ok(Status::kOk));
+  EXPECT_FALSE(ok(Status::kAgain));
+}
+
+TEST(Result, HoldsValueOnSuccess) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.status(), Status::kOk);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, CarriesErrorCode) {
+  Result<std::string> r(Status::kTooLarge);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status(), Status::kTooLarge);
+}
+
+TEST(Result, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r);
+  EXPECT_EQ(**r, 9);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,177 @@
+#include "fm/frame.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fm {
+namespace {
+
+TEST(Frame, HeaderIs16Bytes) {
+  FrameHeader h;
+  EXPECT_EQ(h.header_bytes(), 16u);
+  EXPECT_EQ(h.wire_bytes(), 16u);
+  h.flags |= FrameHeader::kFlagFragmented;
+  EXPECT_EQ(h.header_bytes(), 24u);
+}
+
+TEST(Frame, EncodeDecodeRoundTripPlain) {
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = 7;
+  h.src = 3;
+  h.seq = 12345;
+  std::uint8_t payload[40];
+  for (int i = 0; i < 40; ++i) payload[i] = static_cast<std::uint8_t>(i * 3);
+  h.payload_len = 40;
+  auto bytes = encode_frame(h, payload, nullptr);
+  EXPECT_EQ(bytes.size(), 56u);
+  auto d = decode_header(bytes.data(), bytes.size());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, FrameType::kData);
+  EXPECT_EQ(d->handler, 7);
+  EXPECT_EQ(d->src, 3u);
+  EXPECT_EQ(d->seq, 12345u);
+  EXPECT_EQ(d->payload_len, 40);
+  EXPECT_FALSE(d->fragmented());
+  const std::uint8_t* p = frame_payload(*d, bytes.data());
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(p[i], payload[i]);
+}
+
+TEST(Frame, EncodeDecodeWithAcksAndFragments) {
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = 2;
+  h.src = 1;
+  h.seq = 99;
+  h.flags = FrameHeader::kFlagFragmented;
+  h.msg_id = 0xdeadbeef;
+  h.frag_index = 3;
+  h.frag_count = 9;
+  std::uint8_t payload[16] = {1, 2, 3};
+  h.payload_len = 16;
+  std::uint32_t acks[3] = {10, 11, 12};
+  h.ack_count = 3;
+  auto bytes = encode_frame(h, payload, acks);
+  EXPECT_EQ(bytes.size(), 24u + 16 + 12);
+  auto d = decode_header(bytes.data(), bytes.size());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->fragmented());
+  EXPECT_EQ(d->msg_id, 0xdeadbeefu);
+  EXPECT_EQ(d->frag_index, 3);
+  EXPECT_EQ(d->frag_count, 9);
+  EXPECT_EQ(d->ack_count, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(frame_ack(*d, bytes.data(), i), acks[i]);
+}
+
+TEST(Frame, StandaloneAckFrame) {
+  FrameHeader h;
+  h.type = FrameType::kAck;
+  h.src = 5;
+  std::uint32_t acks[5] = {1, 2, 3, 4, 5};
+  h.ack_count = 5;
+  auto bytes = encode_frame(h, nullptr, acks);
+  auto d = decode_header(bytes.data(), bytes.size());
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->type, FrameType::kAck);
+  EXPECT_EQ(d->payload_len, 0);
+  EXPECT_EQ(frame_ack(*d, bytes.data(), 4), 5u);
+}
+
+TEST(Frame, DecodeRejectsMalformedBuffers) {
+  FrameHeader h;
+  h.payload_len = 8;
+  std::uint8_t payload[8] = {};
+  auto bytes = encode_frame(h, payload, nullptr);
+  // Truncated.
+  EXPECT_FALSE(decode_header(bytes.data(), bytes.size() - 1).has_value());
+  // Too short for a header at all.
+  EXPECT_FALSE(decode_header(bytes.data(), 4).has_value());
+  // Bad type byte.
+  auto bad = bytes;
+  bad[0] = 0x7f;
+  EXPECT_FALSE(decode_header(bad.data(), bad.size()).has_value());
+  // Length mismatch (extra trailing byte).
+  auto longer = bytes;
+  longer.push_back(0);
+  EXPECT_FALSE(decode_header(longer.data(), longer.size()).has_value());
+}
+
+class FrameFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FrameFuzzTest, RandomRoundTrips) {
+  Xoshiro256 rng(GetParam());
+  for (int iter = 0; iter < 500; ++iter) {
+    FrameHeader h;
+    h.type = static_cast<FrameType>(rng.between(1, 3));
+    h.handler = static_cast<HandlerId>(rng.below(1000));
+    h.src = static_cast<NodeId>(rng.below(8));
+    h.seq = static_cast<std::uint32_t>(rng());
+    std::vector<std::uint8_t> payload(rng.below(600));
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    h.payload_len = static_cast<std::uint16_t>(payload.size());
+    std::vector<std::uint32_t> acks(rng.below(5));
+    for (auto& a : acks) a = static_cast<std::uint32_t>(rng());
+    h.ack_count = static_cast<std::uint8_t>(acks.size());
+    if (rng.chance(0.3)) {
+      h.flags |= FrameHeader::kFlagFragmented;
+      h.msg_id = static_cast<std::uint32_t>(rng());
+      h.frag_count = static_cast<std::uint16_t>(rng.between(1, 64));
+      h.frag_index = static_cast<std::uint16_t>(rng.below(h.frag_count));
+    }
+    auto bytes = encode_frame(h, payload.empty() ? nullptr : payload.data(),
+                              acks.empty() ? nullptr : acks.data());
+    auto d = decode_header(bytes.data(), bytes.size());
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->seq, h.seq);
+    EXPECT_EQ(d->payload_len, h.payload_len);
+    EXPECT_EQ(d->ack_count, h.ack_count);
+    EXPECT_EQ(d->fragmented(), h.fragmented());
+    EXPECT_EQ(0, std::memcmp(frame_payload(*d, bytes.data()), payload.data(),
+                             payload.size()));
+    for (std::size_t i = 0; i < acks.size(); ++i)
+      EXPECT_EQ(frame_ack(*d, bytes.data(), i), acks[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FrameFuzzTest, ::testing::Values(1, 2, 3));
+
+TEST(Frame, DecodeNeverMisbehavesOnRandomGarbage) {
+  // Robustness property: decode_header on arbitrary bytes either fails
+  // cleanly or returns a header whose wire size matches the buffer — it
+  // must never crash or read out of bounds (run under ASAN to enforce the
+  // latter).
+  Xoshiro256 rng(99);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::vector<std::uint8_t> junk(rng.below(64));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng());
+    auto h = decode_header(junk.data(), junk.size());
+    if (h.has_value()) EXPECT_EQ(h->wire_bytes(), junk.size());
+  }
+}
+
+TEST(Frame, CorruptedRealFramesDecodeConsistently) {
+  // Flip one bit anywhere in a valid frame: decode either fails or yields
+  // a header consistent with the buffer length (the fault-injection tests
+  // rely on this never being undefined behaviour).
+  Xoshiro256 rng(123);
+  FrameHeader h;
+  h.type = FrameType::kData;
+  h.handler = 3;
+  h.src = 1;
+  h.seq = 77;
+  std::vector<std::uint8_t> payload(96);
+  h.payload_len = 96;
+  auto base = encode_frame(h, payload.data(), nullptr);
+  for (int iter = 0; iter < 5000; ++iter) {
+    auto corrupted = base;
+    corrupted[rng.below(corrupted.size())] ^=
+        static_cast<std::uint8_t>(1u << rng.below(8));
+    auto d = decode_header(corrupted.data(), corrupted.size());
+    if (d.has_value()) EXPECT_EQ(d->wire_bytes(), corrupted.size());
+  }
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,198 @@
+#include "fm/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fm {
+namespace {
+
+TEST(SendWindow, TracksAndAcks) {
+  SendWindow w(4);
+  EXPECT_FALSE(w.full());
+  auto s1 = w.next_seq();
+  auto s2 = w.next_seq();
+  EXPECT_NE(s1, s2);
+  w.track(s1, 1, {1, 2, 3});
+  w.track(s2, 2, {4, 5});
+  EXPECT_EQ(w.in_flight(), 2u);
+  EXPECT_TRUE(w.ack(s1));
+  EXPECT_FALSE(w.ack(s1));  // duplicate ack is harmless
+  EXPECT_EQ(w.in_flight(), 1u);
+  ASSERT_NE(w.find(s2), nullptr);
+  EXPECT_EQ(w.find(s2)->size(), 2u);
+  EXPECT_EQ(w.find(s1), nullptr);
+  EXPECT_EQ(*w.dest_of(s2), 2u);
+}
+
+TEST(SendWindow, FullGatesInjection) {
+  SendWindow w(2);
+  w.track(w.next_seq(), 0, {});
+  w.track(w.next_seq(), 0, {});
+  EXPECT_TRUE(w.full());
+  EXPECT_EQ(w.space(), 0u);
+}
+
+TEST(SendWindowDeathTest, OverflowAborts) {
+  SendWindow w(1);
+  w.track(w.next_seq(), 0, {});
+  EXPECT_DEATH(w.track(w.next_seq(), 0, {}), "overflow");
+}
+
+TEST(AckTracker, AccumulatesAndTakes) {
+  AckTracker t;
+  t.note(1, 10);
+  t.note(1, 11);
+  t.note(2, 20);
+  EXPECT_EQ(t.due(1), 2u);
+  EXPECT_EQ(t.due(2), 1u);
+  EXPECT_EQ(t.total_due(), 3u);
+  auto taken = t.take(1, 1);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0], 10u);  // oldest first
+  EXPECT_EQ(t.due(1), 1u);
+  EXPECT_TRUE(t.take(3, 5).empty());
+}
+
+TEST(AckTracker, PeersOverThreshold) {
+  AckTracker t;
+  for (int i = 0; i < 5; ++i) t.note(7, i);
+  t.note(8, 1);
+  auto over = t.peers_over(3);
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], 7u);
+  EXPECT_EQ(t.peers().size(), 2u);
+}
+
+FrameHeader frag_header(std::uint32_t msg, std::uint16_t idx,
+                        std::uint16_t count, std::uint16_t len) {
+  FrameHeader h;
+  h.flags = FrameHeader::kFlagFragmented;
+  h.msg_id = msg;
+  h.frag_index = idx;
+  h.frag_count = count;
+  h.payload_len = len;
+  return h;
+}
+
+TEST(Reassembler, AssemblesInOrder) {
+  Reassembler r(4);
+  std::uint8_t a[4] = {1, 2, 3, 4}, b[4] = {5, 6, 7, 8};
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(r.feed(0, frag_header(1, 0, 2, 4), a, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.active(), 1u);
+  EXPECT_EQ(r.feed(0, frag_header(1, 1, 2, 4), b, &out),
+            Reassembler::Feed::kComplete);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+  EXPECT_EQ(r.active(), 0u);
+}
+
+TEST(Reassembler, AssemblesOutOfOrder) {
+  Reassembler r(4);
+  std::uint8_t a[2] = {1, 2}, b[2] = {3, 4}, c[1] = {5};
+  std::vector<std::uint8_t> out;
+  EXPECT_EQ(r.feed(3, frag_header(9, 2, 3, 1), c, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(3, frag_header(9, 0, 3, 2), a, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(3, frag_header(9, 1, 3, 2), b, &out),
+            Reassembler::Feed::kComplete);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Reassembler, InterleavedSourcesAndMessages) {
+  Reassembler r(4);
+  std::vector<std::uint8_t> out;
+  std::uint8_t x[1] = {0xA}, y[1] = {0xB};
+  EXPECT_EQ(r.feed(0, frag_header(1, 0, 2, 1), x, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(1, frag_header(1, 0, 2, 1), y, &out),
+            Reassembler::Feed::kAccepted);  // same msg_id, different source
+  EXPECT_EQ(r.active(), 2u);
+  EXPECT_EQ(r.feed(1, frag_header(1, 1, 2, 1), y, &out),
+            Reassembler::Feed::kComplete);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0xB, 0xB}));
+  EXPECT_EQ(r.feed(0, frag_header(1, 1, 2, 1), x, &out),
+            Reassembler::Feed::kComplete);
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{0xA, 0xA}));
+}
+
+TEST(Reassembler, RejectsWhenPoolExhausted) {
+  Reassembler r(2);
+  std::vector<std::uint8_t> out;
+  std::uint8_t p[1] = {0};
+  EXPECT_EQ(r.feed(0, frag_header(1, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(0, frag_header(2, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+  // Third concurrent reassembly: no slot — return-to-sender fires.
+  EXPECT_EQ(r.feed(0, frag_header(3, 0, 2, 1), p, &out),
+            Reassembler::Feed::kRejected);
+  // Fragments of ACTIVE reassemblies are still accepted.
+  EXPECT_EQ(r.feed(0, frag_header(1, 1, 2, 1), p, &out),
+            Reassembler::Feed::kComplete);
+  // A slot freed: the rejected message can now be accepted on retry.
+  EXPECT_EQ(r.feed(0, frag_header(3, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+}
+
+TEST(Reassembler, RandomizedFragmentOrderProperty) {
+  Xoshiro256 rng(77);
+  for (int iter = 0; iter < 50; ++iter) {
+    Reassembler r(8);
+    std::size_t total = rng.between(1, 2000);
+    std::size_t per = rng.between(1, 128);
+    std::size_t frags = (total + per - 1) / per;
+    if (frags > 0xffff) continue;
+    std::vector<std::uint8_t> message(total);
+    for (auto& b : message) b = static_cast<std::uint8_t>(rng());
+    std::vector<std::size_t> order(frags);
+    for (std::size_t i = 0; i < frags; ++i) order[i] = i;
+    for (std::size_t i = frags; i > 1; --i)
+      std::swap(order[i - 1], order[rng.below(i)]);
+    std::vector<std::uint8_t> out;
+    bool completed = false;
+    for (std::size_t k = 0; k < frags; ++k) {
+      std::size_t i = order[k];
+      std::size_t off = i * per;
+      std::size_t n = std::min(per, total - off);
+      auto h = frag_header(42, static_cast<std::uint16_t>(i),
+                           static_cast<std::uint16_t>(frags),
+                           static_cast<std::uint16_t>(n));
+      auto res = r.feed(1, h, message.data() + off, &out);
+      if (k + 1 < frags) {
+        ASSERT_EQ(res, Reassembler::Feed::kAccepted);
+      } else {
+        ASSERT_EQ(res, Reassembler::Feed::kComplete);
+        completed = true;
+      }
+    }
+    ASSERT_TRUE(completed);
+    EXPECT_EQ(out, message);
+  }
+}
+
+TEST(RejectQueue, BackoffAging) {
+  RejectQueue q;
+  q.add(1, 100, {1});
+  q.add(2, 101, {2});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_TRUE(q.tick(2).empty());  // age 1 < 2
+  auto ready = q.tick(2);          // age 2 == 2
+  EXPECT_EQ(ready.size(), 2u);
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(ready[0].dest, 1u);
+  EXPECT_EQ(ready[0].seq, 100u);
+}
+
+TEST(RejectQueue, ImmediateRetryWithDelayOne) {
+  RejectQueue q;
+  q.add(3, 7, {});
+  auto ready = q.tick(1);
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].dest, 3u);
+}
+
+}  // namespace
+}  // namespace fm

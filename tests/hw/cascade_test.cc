@@ -1,0 +1,137 @@
+// Tests of the multi-switch cascade fabric (extension): per-hop latency,
+// inter-switch bottleneck contention, and the FM layer running across it.
+#include <gtest/gtest.h>
+
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+
+namespace fm::hw {
+namespace {
+
+Packet mk(Nic& nic, NodeId dest, std::size_t bytes) {
+  Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0xA5);
+  return p;
+}
+
+TEST(Cascade, RoutesCountHops) {
+  sim::Simulator sim;
+  LinkParams lp;
+  CascadeFabric f(sim, lp, /*nodes=*/8, /*per_switch=*/2);
+  EXPECT_EQ(f.switches(), 4u);
+  EXPECT_EQ(f.hops(0, 1), 1u);  // same switch
+  EXPECT_EQ(f.hops(0, 2), 2u);  // adjacent switch
+  EXPECT_EQ(f.hops(0, 7), 4u);  // far end
+  EXPECT_EQ(f.hops(7, 0), 4u);  // symmetric
+  std::vector<sim::BusyResource*> path;
+  f.route(0, 7, path);
+  EXPECT_EQ(path.size(), 4u);  // 3 cables + delivery port
+  path.clear();
+  f.route(0, 1, path);
+  EXPECT_EQ(path.size(), 1u);
+}
+
+TEST(Cascade, LatencyGrowsByOneFallThroughPerHop) {
+  // l = 320 ns + hops * 550 ns + 12.5 ns * N, per the Appendix A form
+  // generalized to multiple hops.
+  for (std::size_t dest : {1u, 2u, 4u, 7u}) {
+    Cluster c(8, HwParams::paper(), /*nodes_per_switch=*/2);
+    auto send = [](Cluster& cl, NodeId d) -> sim::Task {
+      co_await cl.node(0).nic().transmit(mk(cl.node(0).nic(), d, 128));
+    };
+    c.sim().spawn(send(c, static_cast<NodeId>(dest)));
+    c.sim().run();
+    auto& fab = static_cast<CascadeFabric&>(c.network());
+    sim::Time expect = sim::ns(320) +
+                       sim::ns(550) * static_cast<sim::Time>(fab.hops(0, dest)) +
+                       sim::ns_f(12.5 * 128);
+    EXPECT_EQ(c.sim().now(), expect) << "dest " << dest;
+  }
+}
+
+TEST(Cascade, InterSwitchCableIsASharedBottleneck) {
+  // Two flows crossing the same cascade cable serialize; two flows on
+  // disjoint segments do not.
+  Cluster c(8, HwParams::paper(), 2);
+  std::vector<sim::Time> done;
+  auto send = [](Cluster& cl, NodeId from, NodeId to,
+                 std::vector<sim::Time>* out) -> sim::Task {
+    co_await cl.node(from).nic().transmit(mk(cl.node(from).nic(), to, 512));
+    out->push_back(cl.sim().now());
+  };
+  // Both cross the switch0->switch1 cable.
+  c.sim().spawn(send(c, 0, 2, &done));
+  c.sim().spawn(send(c, 1, 3, &done));
+  c.sim().run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_GT(done[1], done[0] + sim::ns_f(12.5 * 512) - sim::ns(1));
+  // Disjoint segments: 0->1 (switch 0) and 6->7 (switch 3) run in parallel.
+  Cluster c2(8, HwParams::paper(), 2);
+  std::vector<sim::Time> done2;
+  c2.sim().spawn(send(c2, 0, 1, &done2));
+  c2.sim().spawn(send(c2, 6, 7, &done2));
+  c2.sim().run();
+  ASSERT_EQ(done2.size(), 2u);
+  EXPECT_EQ(done2[0], done2[1]);
+}
+
+TEST(Cascade, OppositeDirectionsDoNotCollide) {
+  // The cascade has one cable per direction: 0->7 and 7->0 streams overlap.
+  Cluster c(8, HwParams::paper(), 2);
+  std::vector<sim::Time> done;
+  auto send = [](Cluster& cl, NodeId from, NodeId to,
+                 std::vector<sim::Time>* out) -> sim::Task {
+    co_await cl.node(from).nic().transmit(mk(cl.node(from).nic(), to, 512));
+    out->push_back(cl.sim().now());
+  };
+  c.sim().spawn(send(c, 0, 7, &done));
+  c.sim().spawn(send(c, 7, 0, &done));
+  c.sim().run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], done[1]);
+}
+
+TEST(Cascade, FullFmStackRunsAcrossTheFabric) {
+  Cluster c(6, HwParams::paper(), 2);
+  SimEndpoint a(c.node(0)), b(c.node(5));
+  int got = 0;
+  (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                              std::size_t) {});
+  HandlerId h = b.register_handler(
+      [&](SimEndpoint&, NodeId src, const void*, std::size_t) {
+        EXPECT_EQ(src, 0u);
+        ++got;
+      });
+  a.start();
+  b.start();
+  auto tx = [](SimEndpoint& a, HandlerId h) -> sim::Task {
+    for (int i = 0; i < 20; ++i) co_await a.send4(5, h, 1, 2, 3, 4);
+    co_await a.drain();
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(tx(a, h));
+  c.sim().spawn(rx(b));
+  c.sim().run_while_pending([&] { return got == 20 && a.unacked() == 0; });
+  EXPECT_EQ(got, 20);
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(Cascade, SingleSwitchClusterUnchanged) {
+  // Regression guard: the default topology still matches Appendix A.
+  Cluster c(2);
+  auto send = [](Cluster& cl) -> sim::Task {
+    co_await cl.node(0).nic().transmit(mk(cl.node(0).nic(), 1, 128));
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  EXPECT_EQ(c.sim().now(), sim::ns(870) + sim::ns(1600));
+}
+
+}  // namespace
+}  // namespace fm::hw

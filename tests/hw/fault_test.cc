@@ -1,0 +1,180 @@
+// Fault-injection tests: the Table 3 "Fault Detection" row in action.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "api/myri_api.h"
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+
+namespace fm::hw {
+namespace {
+
+HwParams faulty(double drop, double corrupt) {
+  HwParams p = HwParams::paper();
+  p.faults.drop_rate = drop;
+  p.faults.corrupt_rate = corrupt;
+  return p;
+}
+
+TEST(FaultInjector, DeterministicForSameSeed) {
+  FaultParams fp;
+  fp.drop_rate = 0.3;
+  FaultInjector a(fp), b(fp);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.should_drop(), b.should_drop());
+}
+
+TEST(FaultInjector, RatesApproximatelyHonored) {
+  FaultParams fp;
+  fp.drop_rate = 0.25;
+  FaultInjector inj(fp);
+  int dropped = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (inj.should_drop()) ++dropped;
+  EXPECT_NEAR(dropped / 10000.0, 0.25, 0.02);
+}
+
+TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {
+  FaultParams fp;
+  fp.corrupt_rate = 1.0;
+  FaultInjector inj(fp);
+  std::vector<std::uint8_t> data(64, 0);
+  EXPECT_TRUE(inj.maybe_corrupt(data));
+  int set_bits = 0;
+  for (auto b : data) set_bits += __builtin_popcount(b);
+  EXPECT_EQ(set_bits, 1);
+}
+
+TEST(FaultNetwork, DropsVanishSilently) {
+  Cluster c(2, faulty(1.0, 0.0));  // every packet dropped
+  auto send = [](Cluster& cl) -> sim::Task {
+    Packet p;
+    p.id = cl.node(0).nic().next_packet_id();
+    p.dest = 1;
+    p.bytes.assign(64, 0x5A);
+    co_await cl.node(0).nic().transmit(std::move(p));
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  EXPECT_TRUE(c.node(1).nic().rx_ring().empty());
+  EXPECT_EQ(c.network().faults().dropped(), 1u);
+}
+
+TEST(FaultNetwork, FmDeliveryNotGuaranteedOnLossyNetwork) {
+  // §4.5: FM's reliability guarantee presumes a reliable network. With
+  // drops, messages vanish and (without flow control) nobody notices —
+  // exactly the behaviour the paper documents as out of scope.
+  FmConfig cfg;
+  cfg.flow_control = false;
+  Cluster c(2, faulty(0.3, 0.0));
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  std::size_t got = 0;
+  (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                              std::size_t) {});
+  HandlerId h = b.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++got; });
+  a.start();
+  b.start();
+  const std::size_t kMsgs = 100;
+  auto tx = [](SimEndpoint& a, HandlerId h, std::size_t n) -> sim::Task {
+    for (std::size_t i = 0; i < n; ++i) co_await a.send4(1, h, 1, 2, 3, 4);
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(tx(a, h, kMsgs));
+  c.sim().spawn(rx(b));
+  c.sim().run_for(sim::ms(50));
+  EXPECT_LT(got, kMsgs);               // messages were lost...
+  EXPECT_GT(got, kMsgs / 2);           // ...but not all
+  EXPECT_GT(c.network().faults().dropped(), 0u);
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(FaultNetwork, FmDeliversCorruptedPayloadsSilently) {
+  // FM has no checksums: a corrupted payload reaches the handler wrong.
+  FmConfig cfg;
+  cfg.flow_control = false;
+  Cluster c(2, faulty(0.0, 1.0));  // corrupt every packet
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  std::size_t wrong = 0, total = 0, malformed_runs = 0;
+  (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                              std::size_t) {});
+  HandlerId h = b.register_handler(
+      [&](SimEndpoint&, NodeId, const void* data, std::size_t len) {
+        ++total;
+        std::vector<std::uint8_t> expect(len, 0x77);
+        if (std::memcmp(data, expect.data(), len) != 0) ++wrong;
+      });
+  a.start();
+  b.start();
+  const std::size_t kMsgs = 200;
+  auto tx = [](SimEndpoint& a, HandlerId h, std::size_t n) -> sim::Task {
+    std::vector<std::uint8_t> buf(64, 0x77);
+    for (std::size_t i = 0; i < n; ++i)
+      co_await a.send(1, h, buf.data(), buf.size());
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) (void)co_await b.extract_blocking();
+  };
+  c.sim().spawn(tx(a, h, kMsgs));
+  c.sim().spawn(rx(b));
+  c.sim().run_for(sim::ms(50));
+  malformed_runs = b.stats().malformed_frames;
+  // Every frame was corrupted: each either arrived with a damaged payload,
+  // was dropped as undecodable (header hit), or was silently misrouted to
+  // a garbage-but-valid header field.
+  EXPECT_GT(total, 0u);
+  EXPECT_GT(wrong + malformed_runs, kMsgs / 2);
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(FaultNetwork, ApiChecksumCatchesCorruption) {
+  // The Myricom API pays for checksums (Table 4's 105 us includes them) and
+  // gets detection in return: no corrupted payload is ever delivered.
+  Cluster c(2, faulty(0.0, 0.5));
+  api::MyriApi a(c.node(0));
+  api::MyriApi b(c.node(1));
+  a.start();
+  b.start();
+  const std::size_t kMsgs = 60;
+  std::size_t delivered = 0, wrong = 0;
+  auto tx = [](api::MyriApi& a, std::size_t n) -> sim::Task {
+    std::vector<std::uint8_t> buf(64, 0x33);
+    for (std::size_t i = 0; i < n; ++i)
+      (void)co_await a.send_imm(1, buf.data(), buf.size());
+  };
+  auto rx = [](api::MyriApi& b, std::size_t* delivered,
+               std::size_t* wrong) -> sim::Task {
+    for (;;) {
+      auto m = co_await b.receive();
+      if (m.has_value()) {
+        ++*delivered;
+        for (auto byte : m->data)
+          if (byte != 0x33) {
+            ++*wrong;
+            break;
+          }
+      } else {
+        co_await b.delivery_cond().wait();
+      }
+    }
+  };
+  c.sim().spawn(tx(a, kMsgs));
+  c.sim().spawn(rx(b, &delivered, &wrong));
+  c.sim().run_for(sim::ms(50));
+  EXPECT_EQ(wrong, 0u);                        // nothing corrupt delivered
+  EXPECT_GT(b.checksum_failures(), 0u);        // corruption was detected
+  EXPECT_LT(delivered, kMsgs);                 // detected frames discarded
+  EXPECT_GT(delivered, 0u);                    // clean frames still flow
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+}  // namespace
+}  // namespace fm::hw

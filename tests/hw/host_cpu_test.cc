@@ -1,0 +1,37 @@
+#include "hw/host_cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace fm::hw {
+namespace {
+
+TEST(HostCpu, ExecChargesCycles) {
+  sim::Simulator sim;
+  HostParams p;
+  HostCpu cpu(sim, p);
+  auto proc = [](HostCpu& c) -> sim::Task { co_await c.exec(50); };
+  sim.spawn(proc(cpu));
+  sim.run();
+  EXPECT_EQ(sim.now(), sim::ns(20) * 50);
+  EXPECT_EQ(cpu.cycles_executed(), 50u);
+}
+
+TEST(HostCpu, MemcpyBandwidthIsHarmonicCombination) {
+  HostParams p;
+  // 1/(1/80 + 1/60) = 34.28... MB/s
+  EXPECT_NEAR(p.memcpy_mbs(), 34.28, 0.1);
+  sim::Simulator sim;
+  HostCpu cpu(sim, p);
+  double mbs = 1.0 / sim::to_s(cpu.memcpy_time(1 << 20));
+  EXPECT_NEAR(mbs, 34.28, 0.2);
+}
+
+TEST(HostCpu, HostIsMuchFasterThanLanai) {
+  // Division-of-labor premise: host instruction throughput >> LANai's.
+  HostParams h;
+  LanaiParams l;
+  EXPECT_LT(h.cycle, l.instr_time() / 4);
+}
+
+}  // namespace
+}  // namespace fm::hw

@@ -1,0 +1,106 @@
+#include "hw/lanai.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/params.h"
+#include "sim/simulator.h"
+
+namespace fm::hw {
+namespace {
+
+TEST(LanaiCpu, InstructionTimeMatchesPaperCharacterization) {
+  // 25 MHz, 4 cycles/instr => 160 ns/instr => 6.25 MIPS ("~5 MIPS").
+  LanaiParams p;
+  EXPECT_EQ(p.instr_time(), sim::ns(160));
+  double mips = 1e6 / static_cast<double>(sim::to_ns(p.instr_time()) * 1e3);
+  EXPECT_GT(mips, 4.0);
+  EXPECT_LT(mips, 8.0);
+}
+
+TEST(LanaiCpu, SpoolingA128BytePacketTakesFewInstructions) {
+  // Paper §2: "spooling a packet of 128 bytes over the channel takes 1.6us,
+  // the equivalent of only about eight to ten LANai instructions!"
+  LanaiParams lp;
+  LinkParams lk;
+  double wire_us = sim::to_us(lk.byte_time * 128);
+  double instrs = wire_us / sim::to_us(lp.instr_time());
+  EXPECT_NEAR(wire_us, 1.6, 0.05);
+  EXPECT_GE(instrs, 8.0);
+  EXPECT_LE(instrs, 12.0);
+}
+
+TEST(LanaiCpu, ExecAdvancesTimeAndCounts) {
+  sim::Simulator sim;
+  LanaiParams p;
+  LanaiCpu cpu(sim, p);
+  auto proc = [](LanaiCpu& c) -> sim::Task {
+    co_await c.exec(10);
+    co_await c.exec(5);
+  };
+  sim.spawn(proc(cpu));
+  sim.run();
+  EXPECT_EQ(sim.now(), p.instr_time() * 15);
+  EXPECT_EQ(cpu.executed(), 15u);
+}
+
+TEST(LanaiMemory, TracksReservations) {
+  LanaiMemory mem(128 * 1024);
+  mem.reserve(4096, "send queue");
+  mem.reserve(4096, "recv queue");
+  EXPECT_EQ(mem.used(), 8192u);
+  EXPECT_EQ(mem.free(), 128 * 1024u - 8192u);
+}
+
+TEST(LanaiMemoryDeathTest, AbortsOnOverflow) {
+  LanaiMemory mem(1024);
+  EXPECT_DEATH(mem.reserve(2048, "too big"), "SRAM exhausted");
+}
+
+TEST(DmaEngine, BusyIdleLifecycle) {
+  sim::Simulator sim;
+  DmaEngine e(sim, "test");
+  EXPECT_FALSE(e.busy());
+  e.begin();
+  EXPECT_TRUE(e.busy());
+  e.end();
+  EXPECT_FALSE(e.busy());
+  EXPECT_EQ(e.transfers(), 1u);
+}
+
+TEST(DmaEngineDeathTest, DoubleBeginAborts) {
+  sim::Simulator sim;
+  DmaEngine e(sim, "test");
+  e.begin();
+  EXPECT_DEATH(e.begin(), "reprogrammed while busy");
+}
+
+TEST(DmaEngine, WaitIdleBlocksUntilEnd) {
+  sim::Simulator sim;
+  DmaEngine e(sim, "test");
+  e.begin();
+  sim::Time woke = -1;
+  auto waiter = [](sim::Simulator& s, DmaEngine& e, sim::Time* t) -> sim::Task {
+    co_await e.wait_idle();
+    *t = s.now();
+  };
+  sim.spawn(waiter(sim, e, &woke));
+  sim.schedule_fn(sim::us(4), [&] { e.end(); });
+  sim.run();
+  EXPECT_EQ(woke, sim::us(4));
+}
+
+TEST(DmaEngine, WaitIdleReturnsImmediatelyWhenIdle) {
+  sim::Simulator sim;
+  DmaEngine e(sim, "test");
+  sim::Time woke = -1;
+  auto waiter = [](sim::Simulator& s, DmaEngine& e, sim::Time* t) -> sim::Task {
+    co_await e.wait_idle();
+    *t = s.now();
+  };
+  sim.spawn(waiter(sim, e, &woke));
+  sim.run();
+  EXPECT_EQ(woke, 0);
+}
+
+}  // namespace
+}  // namespace fm::hw

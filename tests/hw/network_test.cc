@@ -1,0 +1,162 @@
+#include "hw/network.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "hw/nic.h"
+
+namespace fm::hw {
+namespace {
+
+Packet make_packet(Nic& from, NodeId dest, std::size_t bytes) {
+  Packet p;
+  p.id = from.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0xA5);
+  return p;
+}
+
+TEST(Network, SinglePacketLatencyMatchesAppendixA) {
+  // Appendix A: l = t_DMA + 12.5ns*N + t_switch = 870ns + 12.5ns*N.
+  for (std::size_t n : {16u, 128u, 512u}) {
+    Cluster c(2);
+    auto send = [](Cluster& cl, std::size_t n) -> sim::Task {
+      co_await cl.node(0).nic().transmit(
+          make_packet(cl.node(0).nic(), 1, n));
+    };
+    c.sim().spawn(send(c, n));
+    c.sim().run();
+    sim::Time expected = sim::ns(320) + sim::ns(550) + sim::ns_f(12.5 * n);
+    EXPECT_EQ(c.sim().now(), expected) << "payload " << n;
+  }
+}
+
+TEST(Network, PacketArrivesWithContentIntact) {
+  Cluster c(2);
+  auto send = [](Cluster& cl) -> sim::Task {
+    Packet p = make_packet(cl.node(0).nic(), 1, 64);
+    for (std::size_t i = 0; i < p.bytes.size(); ++i)
+      p.bytes[i] = static_cast<std::uint8_t>(i);
+    co_await cl.node(0).nic().transmit(std::move(p));
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  auto got = c.node(1).nic().rx_ring().try_recv();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->src, 0u);
+  EXPECT_EQ(got->dest, 1u);
+  ASSERT_EQ(got->bytes.size(), 64u);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(got->bytes[i], i);
+}
+
+TEST(Network, OutputPortContentionSerializes) {
+  // Two senders to the same destination: second packet waits for the port.
+  Cluster c(3);
+  std::vector<sim::Time> done;
+  auto send = [](Cluster& cl, NodeId from, std::vector<sim::Time>* out)
+      -> sim::Task {
+    co_await cl.node(from).nic().transmit(
+        make_packet(cl.node(from).nic(), 2, 512));
+    out->push_back(cl.sim().now());
+  };
+  c.sim().spawn(send(c, 0, &done));
+  c.sim().spawn(send(c, 1, &done));
+  c.sim().run();
+  ASSERT_EQ(done.size(), 2u);
+  sim::Time wire = sim::ns_f(12.5 * 512);
+  // First: setup+switch+wire. Second: waits for port held during wire time.
+  EXPECT_EQ(done[0], sim::ns(870) + wire);
+  EXPECT_GE(done[1], done[0] + wire);
+}
+
+TEST(Network, DistinctDestinationsProceedInParallel) {
+  Cluster c(4);
+  std::vector<sim::Time> done;
+  auto send = [](Cluster& cl, NodeId from, NodeId to,
+                 std::vector<sim::Time>* out) -> sim::Task {
+    co_await cl.node(from).nic().transmit(
+        make_packet(cl.node(from).nic(), to, 512));
+    out->push_back(cl.sim().now());
+  };
+  c.sim().spawn(send(c, 0, 2, &done));
+  c.sim().spawn(send(c, 1, 3, &done));
+  c.sim().run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], done[1]);  // a crossbar does not serialize these
+}
+
+TEST(Network, FullReceiveRingBackpressuresTheWire) {
+  Cluster c(2);
+  const std::size_t ring = c.params().lanai.rx_ring_frames;
+  // Fill the ring, plus one extra packet that must stall.
+  auto send_many = [](Cluster& cl, std::size_t count) -> sim::Task {
+    for (std::size_t i = 0; i < count; ++i)
+      co_await cl.node(0).nic().transmit(make_packet(cl.node(0).nic(), 1, 32));
+  };
+  c.sim().spawn(send_many(c, ring + 1));
+  c.sim().run_until(sim::ms(10));
+  // The last packet is still blocked in the network.
+  EXPECT_EQ(c.node(1).nic().rx_ring().size(), ring);
+  EXPECT_TRUE(c.node(0).nic().out_dma().busy());
+  // Draining one slot releases the stalled packet.
+  auto drain = c.node(1).nic().rx_ring().try_recv();
+  ASSERT_TRUE(drain.has_value());
+  c.sim().run();
+  EXPECT_FALSE(c.node(0).nic().out_dma().busy());
+  EXPECT_EQ(c.node(1).nic().rx_ring().size(), ring);
+}
+
+TEST(Network, StartTransmitOverlapsWithLanaiWork) {
+  Cluster c(2);
+  sim::Time lanai_done = -1, engine_done = -1;
+  auto lcp = [](Cluster& cl, sim::Time* lanai_done,
+                sim::Time* engine_done) -> sim::Task {
+    auto& nic = cl.node(0).nic();
+    nic.start_transmit(make_packet(nic, 1, 512));
+    co_await nic.lanai().exec(10);  // 1.6us of overlapped work
+    *lanai_done = cl.sim().now();
+    co_await nic.out_dma().wait_idle();
+    *engine_done = cl.sim().now();
+  };
+  c.sim().spawn(lcp(c, &lanai_done, &engine_done));
+  c.sim().run();
+  EXPECT_EQ(lanai_done, sim::ns(1600));
+  EXPECT_EQ(engine_done, sim::ns(870) + sim::ns_f(12.5 * 512));
+  EXPECT_GT(engine_done, lanai_done);  // genuine overlap
+}
+
+TEST(Network, HostDmaEngineMovesBytesOverSbus) {
+  Cluster c(2);
+  auto lcp = [](Cluster& cl) -> sim::Task {
+    co_await cl.node(0).nic().host_dma(1024);
+  };
+  c.sim().spawn(lcp(c));
+  c.sim().run();
+  EXPECT_EQ(c.node(0).sbus().bytes_dma(), 1024u);
+  EXPECT_EQ(c.sim().now(),
+            sim::ns(320) + c.node(0).sbus().dma_time(1024));
+}
+
+TEST(Network, PacketIdsAreUniqueAcrossNodes) {
+  Cluster c(4);
+  auto a = c.node(0).nic().next_packet_id();
+  auto b = c.node(0).nic().next_packet_id();
+  auto d = c.node(3).nic().next_packet_id();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, d);
+  EXPECT_EQ(a >> 48, 0u);
+  EXPECT_EQ(d >> 48, 3u);
+}
+
+TEST(Network, SelfSendLoopsThroughSwitch) {
+  Cluster c(2);
+  auto send = [](Cluster& cl) -> sim::Task {
+    co_await cl.node(0).nic().transmit(make_packet(cl.node(0).nic(), 0, 64));
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  EXPECT_TRUE(c.node(0).nic().rx_ring().try_recv().has_value());
+}
+
+}  // namespace
+}  // namespace fm::hw

@@ -1,0 +1,181 @@
+// Cross-module integration tests: the whole simulated stack (host library +
+// LCP + NIC + switch) exercised through realistic multi-node scenarios, and
+// consistency checks between the simulated and shared-memory endpoints.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+#include "metrics/harness.h"
+#include "shm/cluster.h"
+
+namespace fm {
+namespace {
+
+TEST(FullStack, EightNodeAllToAllOnSimulatedSwitch) {
+  // The paper's switch had 8 ports; fill it.
+  const std::size_t kNodes = 8;
+  const int kEach = 8;
+  hw::Cluster cluster(kNodes);
+  std::vector<std::unique_ptr<SimEndpoint>> eps;
+  for (std::size_t i = 0; i < kNodes; ++i)
+    eps.push_back(std::make_unique<SimEndpoint>(cluster.node(i)));
+  std::set<std::tuple<NodeId, NodeId, std::uint32_t>> seen;
+  HandlerId h = 0;
+  for (auto& ep : eps) {
+    h = ep->register_handler([&](SimEndpoint& me, NodeId src,
+                                 const void* data, std::size_t) {
+      std::uint32_t tag;
+      std::memcpy(&tag, data, 4);
+      EXPECT_TRUE(seen.emplace(src, me.id(), tag).second);
+    });
+    ep->start();
+  }
+  const std::size_t kTotal = kNodes * (kNodes - 1) * kEach;
+  auto prog = [](SimEndpoint& ep, HandlerId h, std::size_t kNodes,
+                 int kEach) -> sim::Task {
+    for (int m = 0; m < kEach; ++m) {
+      for (NodeId d = 0; d < kNodes; ++d) {
+        if (d == ep.id()) continue;
+        co_await ep.send4(d, h, static_cast<std::uint32_t>(m), 0, 0, 0);
+        (void)co_await ep.extract();
+      }
+    }
+    for (;;) {
+      (void)co_await ep.extract_blocking();
+    }
+  };
+  for (auto& ep : eps) cluster.sim().spawn(prog(*ep, h, kNodes, kEach));
+  bool done =
+      cluster.sim().run_while_pending([&] { return seen.size() == kTotal; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(seen.size(), kTotal);
+  for (auto& ep : eps) ep->shutdown();
+  cluster.sim().run();
+}
+
+TEST(FullStack, SimulatedAndShmEndpointsAgreeOnProtocolBehaviour) {
+  // Same workload, both backends: message counts and frame counts must
+  // match exactly (the protocol state machines are shared).
+  const int kMsgs = 40;
+  const std::size_t kLen = 300;  // 3 frames at 128 B
+  SimEndpoint::Stats sim_tx_stats;
+  std::uint64_t sim_rx_delivered = 0;
+  {
+    hw::Cluster cluster(2);
+    SimEndpoint a(cluster.node(0)), b(cluster.node(1));
+    std::size_t got = 0;
+    (void)a.register_handler([](SimEndpoint&, NodeId, const void*,
+                                std::size_t) {});
+    HandlerId h = b.register_handler(
+        [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++got; });
+    a.start();
+    b.start();
+    auto tx = [](SimEndpoint& a, HandlerId h, int n,
+                 std::size_t len) -> sim::Task {
+      std::vector<std::uint8_t> buf(len, 1);
+      for (int i = 0; i < n; ++i)
+        FM_CHECK(ok(co_await a.send(1, h, buf.data(), buf.size())));
+      co_await a.drain();
+    };
+    auto rx = [](SimEndpoint& b) -> sim::Task {
+      for (;;) (void)co_await b.extract_blocking();
+    };
+    cluster.sim().spawn(tx(a, h, kMsgs, kLen));
+    cluster.sim().spawn(rx(b));
+    cluster.sim().run_while_pending(
+        [&] { return got == kMsgs && a.unacked() == 0; });
+    sim_tx_stats = a.stats();
+    sim_rx_delivered = b.stats().messages_delivered;
+    a.shutdown();
+    b.shutdown();
+    cluster.sim().run();
+  }
+  shm::Endpoint::Stats shm_tx_stats{};
+  std::uint64_t shm_rx_delivered = 0;
+  {
+    shm::Cluster cluster(2);
+    std::atomic<int> got{0};
+    HandlerId h = cluster.register_handler(
+        [&](shm::Endpoint&, NodeId, const void*, std::size_t) { ++got; });
+    cluster.run([&](shm::Endpoint& ep) {
+      if (ep.id() == 0) {
+        std::vector<std::uint8_t> buf(kLen, 1);
+        for (int i = 0; i < kMsgs; ++i)
+          FM_CHECK(ok(ep.send(1, h, buf.data(), buf.size())));
+        ep.drain();
+        shm_tx_stats = ep.stats();
+      } else {
+        ep.extract_until([&] { return got.load() == kMsgs; });
+        ep.drain();
+        shm_rx_delivered = ep.stats().messages_delivered;
+      }
+    });
+  }
+  EXPECT_EQ(sim_tx_stats.messages_sent, shm_tx_stats.messages_sent);
+  EXPECT_EQ(sim_tx_stats.frames_sent, shm_tx_stats.frames_sent);
+  EXPECT_EQ(sim_rx_delivered, shm_rx_delivered);
+  EXPECT_EQ(sim_tx_stats.frames_sent,
+            static_cast<std::uint64_t>(kMsgs) * 3);  // 300 B -> 3 frames
+}
+
+TEST(FullStack, MeasurementHarnessesAreDeterministic) {
+  // Identical runs must yield bit-identical results — the property every
+  // figure bench relies on.
+  using namespace metrics;
+  MeasureOpts opts;
+  opts.stream_packets = 256;
+  opts.pingpong_rounds = 10;
+  for (Layer l : {Layer::kLanaiStreamed, Layer::kFm, Layer::kApiImm}) {
+    double l1 = measure_latency_s(l, 128, opts);
+    double l2 = measure_latency_s(l, 128, opts);
+    EXPECT_EQ(l1, l2) << layer_name(l);
+    double b1 = measure_bandwidth_mbs(l, 128, opts);
+    double b2 = measure_bandwidth_mbs(l, 128, opts);
+    EXPECT_EQ(b1, b2) << layer_name(l);
+  }
+}
+
+TEST(FullStack, Table4OrderingHolds) {
+  // The qualitative claims of Table 4, as assertions:
+  using namespace metrics;
+  MeasureOpts opts;
+  opts.stream_packets = 512;
+  opts.pingpong_rounds = 20;
+  auto sizes = std::vector<std::size_t>{16, 64, 128, 256, 512};
+  auto base = sweep(Layer::kLanaiBaseline, sizes, opts);
+  auto strm = sweep(Layer::kLanaiStreamed, sizes, opts);
+  auto hyb = sweep(Layer::kHybridMinimal, sizes, opts);
+  auto alldma = sweep(Layer::kAllDma, sizes, opts);
+  auto fmfull = sweep(Layer::kFm, sizes, opts);
+  auto api = sweep(Layer::kApiImm, sizes, opts);
+  // Streamed beats baseline.
+  EXPECT_LT(strm.t0_bw_us, base.t0_bw_us);
+  // Host layers cost bandwidth vs LANai-only (the SBus bottleneck).
+  EXPECT_LT(hyb.r_inf_mbs, strm.r_inf_mbs / 2);
+  // All-DMA: higher r_inf than hybrid, worse small-message overhead.
+  EXPECT_GT(alldma.r_inf_mbs, hyb.r_inf_mbs * 1.3);
+  EXPECT_GT(alldma.t0_bw_us, hyb.t0_bw_us * 2);
+  // Full FM stays close to hybrid (flow control is cheap)...
+  EXPECT_LT(fmfull.t0_bw_us, hyb.t0_bw_us + 1.5);
+  EXPECT_GT(fmfull.r_inf_mbs, hyb.r_inf_mbs * 0.95);
+  // ...while the API is an order of magnitude (or two) worse.
+  EXPECT_GT(api.t0_bw_us, 10 * fmfull.t0_bw_us);
+  double api_nhalf = api.n_half_vs(23.9);
+  EXPECT_TRUE(api_nhalf < 0 || api_nhalf > 20 * fmfull.n_half_bytes);
+}
+
+TEST(FullStack, LanaiSramBudgetIsRespected) {
+  // Building a node must account its queues against the 128 KB SRAM.
+  hw::Cluster cluster(2);
+  SimEndpoint ep(cluster.node(0));
+  EXPECT_GT(cluster.node(0).nic().memory().used(), 0u);
+  EXPECT_LE(cluster.node(0).nic().memory().used(),
+            cluster.node(0).nic().memory().capacity());
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,287 @@
+// Tests for the host-facing LCPs: hybrid-minimal, FM (buffer management),
+// all-DMA, and the Myricom API model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/cluster.h"
+#include "lcp/alldma_lcp.h"
+#include "lcp/api_lcp.h"
+#include "lcp/fm_lcp.h"
+#include "lcp/hybrid_minimal_lcp.h"
+
+namespace fm::lcp {
+namespace {
+
+hw::Packet mk(hw::Nic& nic, NodeId dest, std::size_t bytes,
+              std::uint32_t meta = 0) {
+  hw::Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0x5A);
+  p.meta = meta;
+  return p;
+}
+
+// Runs a unidirectional stream through a pair of LCPs of type L, delivering
+// into a host receive queue that a host task drains continuously.
+template <typename L>
+struct HostStream {
+  hw::Cluster cluster{2};
+  L tx{cluster.node(0), cluster.params()};
+  L rx{cluster.node(1), cluster.params()};
+  HostRecvQueue host_q{cluster.sim(), 4096};
+  std::size_t received = 0;
+  std::size_t received_bytes = 0;
+
+  HostStream() {
+    rx.attach_host_recv(&host_q);
+    // The sender side may also receive (unused here) — attach a queue so
+    // variants that require one don't trip their precondition.
+    static thread_local HostRecvQueue* dummy = nullptr;
+    (void)dummy;
+    tx_q_ = std::make_unique<HostRecvQueue>(cluster.sim(), 64);
+    tx.attach_host_recv(tx_q_.get());
+    tx.start();
+    rx.start();
+  }
+
+  void run(std::size_t count, std::size_t bytes, std::uint32_t meta = 0) {
+    auto feeder = [](HostStream& hs, std::size_t count, std::size_t bytes,
+                     std::uint32_t meta) -> sim::Task {
+      for (std::size_t i = 0; i < count; ++i) {
+        while (hs.tx.send_space() == 0) co_await hs.tx.host_wake().wait();
+        FM_CHECK(hs.tx.host_enqueue(
+            mk(hs.cluster.node(0).nic(), 1, bytes, meta)));
+      }
+    };
+    auto drainer = [](HostStream& hs) -> sim::Task {
+      for (;;) {
+        hw::Packet p;
+        while (!hs.host_q.take(p)) co_await hs.host_q.arrived().wait();
+        ++hs.received;
+        hs.received_bytes += p.wire_bytes();
+        hs.rx.nic().ring_doorbell();  // host freed space
+      }
+    };
+    cluster.sim().spawn(feeder(*this, count, bytes, meta));
+    cluster.sim().spawn(drainer(*this));
+    bool done =
+        cluster.sim().run_while_pending([&] { return received == count; });
+    EXPECT_TRUE(done);
+  }
+
+  sim::Time now() { return cluster.sim().now(); }
+
+ private:
+  std::unique_ptr<HostRecvQueue> tx_q_;
+};
+
+TEST(HybridMinimalLcp, DeliversToHostQueue) {
+  HostStream<HybridMinimalLcp> hs;
+  hs.run(20, 128);
+  EXPECT_EQ(hs.received, 20u);
+  EXPECT_EQ(hs.received_bytes, 20u * 128);
+  EXPECT_EQ(hs.cluster.node(1).sbus().bytes_dma(), 20u * 128);
+}
+
+TEST(FmLcp, DeliversAndAggregates) {
+  // With 512 B frames the delivery DMA (~10.6 us) is slower than the
+  // inter-arrival time (~9.8 us), so the LCP must batch frames: "packets to
+  // be aggregated and transferred with a single DMA operation".
+  HostStream<FmLcp> hs;
+  hs.run(200, 512);
+  EXPECT_EQ(hs.received, 200u);
+  EXPECT_GT(hs.rx.mean_aggregation(), 1.05);
+  // ...which reduces DMA transactions below one per frame.
+  EXPECT_LT(hs.rx.nic().host_dma_engine().transfers(), 200u);
+}
+
+TEST(FmLcp, AggregationImprovesDeliveryOverPerPacketDma) {
+  // Figure 7: buffer management (with aggregated delivery) sustains at
+  // least the bandwidth of the per-packet-DMA minimal layer.
+  const std::size_t kPackets = 300, kBytes = 128;
+  HostStream<HybridMinimalLcp> a;
+  a.run(kPackets, kBytes);
+  HostStream<FmLcp> b;
+  b.run(kPackets, kBytes);
+  // FM's receive path must not be slower by more than a small margin.
+  EXPECT_LT(sim::to_us(b.now()), sim::to_us(a.now()) * 1.05);
+}
+
+TEST(FmLcp, SwitchInterpretationCostsBandwidth) {
+  // Figure 7's third curve: ~20 instructions of packet interpretation in
+  // the receive inner loop visibly slows a stream of small packets.
+  const std::size_t kPackets = 300, kBytes = 16;
+  hw::Cluster c1(2), c2(2);
+  sim::Time plain, interp;
+  {
+    HostStream<FmLcp> hs;
+    hs.run(kPackets, kBytes);
+    plain = hs.now();
+  }
+  {
+    // Build a stream whose receiver interprets packets.
+    hw::Cluster c(2);
+    FmLcp tx(c.node(0), c.params());
+    FmLcp rx(c.node(1), c.params(), FmLcp::Config{.interpret_packets = true});
+    HostRecvQueue q(c.sim(), 4096);
+    HostRecvQueue qtx(c.sim(), 64);
+    rx.attach_host_recv(&q);
+    tx.attach_host_recv(&qtx);
+    tx.start();
+    rx.start();
+    std::size_t received = 0;
+    auto feeder = [](hw::Cluster& c, FmLcp& tx, std::size_t n,
+                     std::size_t b) -> sim::Task {
+      for (std::size_t i = 0; i < n; ++i) {
+        while (tx.send_space() == 0) co_await tx.host_wake().wait();
+        FM_CHECK(tx.host_enqueue(mk(c.node(0).nic(), 1, b)));
+      }
+    };
+    auto drainer = [](FmLcp& rx, HostRecvQueue& q,
+                      std::size_t* received) -> sim::Task {
+      for (;;) {
+        hw::Packet p;
+        while (!q.take(p)) co_await q.arrived().wait();
+        ++*received;
+        rx.nic().ring_doorbell();
+      }
+    };
+    c.sim().spawn(feeder(c, tx, kPackets, kBytes));
+    c.sim().spawn(drainer(rx, q, &received));
+    c.sim().run_while_pending([&] { return received == kPackets; });
+    interp = c.sim().now();
+  }
+  // The paper measured the switch() penalty on *bandwidth* as substantial
+  // for small packets (n_1/2 53 -> 127 B).
+  EXPECT_GT(sim::to_us(interp), sim::to_us(plain) * 1.0);
+  double per_packet_delta_us = sim::to_us(interp - plain) / kPackets;
+  EXPECT_GT(per_packet_delta_us, 1.0);  // ~20 instr ~ 3.2 us, partly hidden
+}
+
+TEST(FmLcp, HonorsHostQueueSpace) {
+  // With a tiny host receive queue and a host that never drains, the LCP
+  // must stop delivering (not overrun), and the network must backpressure.
+  hw::Cluster c(2);
+  FmLcp tx(c.node(0), c.params());
+  FmLcp rx(c.node(1), c.params());
+  HostRecvQueue q(c.sim(), 4);
+  HostRecvQueue qtx(c.sim(), 64);
+  rx.attach_host_recv(&q);
+  tx.attach_host_recv(&qtx);
+  tx.start();
+  rx.start();
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(tx.host_enqueue(mk(c.node(0).nic(), 1, 64)));
+  c.sim().run_until(sim::ms(5));
+  EXPECT_LE(q.ring().size(), 4u);
+  EXPECT_EQ(q.delivered(), 4u);
+  // Draining the host queue lets the rest flow.
+  std::size_t got = 0;
+  auto drainer = [](FmLcp& rx, HostRecvQueue& q,
+                    std::size_t* got) -> sim::Task {
+    for (;;) {
+      hw::Packet p;
+      while (!q.take(p)) co_await q.arrived().wait();
+      ++*got;
+      rx.nic().ring_doorbell();
+    }
+  };
+  c.sim().spawn(drainer(rx, q, &got));
+  c.sim().run_while_pending([&] { return got == 12; });
+  EXPECT_EQ(got, 12u);
+}
+
+TEST(AllDmaLcp, DeliversWithStagingFetch) {
+  HostStream<AllDmaLcp> hs;
+  hs.run(50, 256);
+  EXPECT_EQ(hs.received, 50u);
+  // Sender-side SBus must show DMA traffic (the staging fetches).
+  EXPECT_GE(hs.cluster.node(0).sbus().bytes_dma(), 50u * 256);
+}
+
+TEST(AllDmaLcp, HigherStreamingBandwidthThanHybridForLargeFrames) {
+  // Table 4: all-DMA r_inf = 33.0 vs hybrid 21.2 MB/s. At large frame sizes
+  // the all-DMA pipeline (fetch overlapped with wire) must win — in LCP
+  // terms, all-DMA moves more bytes per second once the host PIO stage is
+  // taken out. Here both feeders are cost-free, so the comparison isolates
+  // the LCP+bus path; hybrid-minimal's receive DMA is its own bottleneck,
+  // all-DMA pays fetch+deliver. We simply check all-DMA sustains the link
+  // better than per-byte PIO would (>25 MB/s at 1 KB frames).
+  HostStream<AllDmaLcp> hs;
+  const std::size_t kPackets = 100, kBytes = 1024;
+  hs.run(kPackets, kBytes);
+  double mbs =
+      kPackets * kBytes / 1048576.0 / sim::to_s(hs.now());
+  EXPECT_GT(mbs, 25.0);
+}
+
+TEST(AllDmaLcp, LatencyWorseThanFmForSmallFrames) {
+  // Table 4: all-DMA t0 = 7.5 us vs 3.5-3.8 us — the extra copy and
+  // synchronization hurt small messages. Compare one-packet delivery time.
+  sim::Time t_fm, t_alldma;
+  {
+    HostStream<FmLcp> hs;
+    hs.run(1, 32);
+    t_fm = hs.now();
+  }
+  {
+    HostStream<AllDmaLcp> hs;
+    hs.run(1, 32);
+    t_alldma = hs.now();
+  }
+  EXPECT_GT(t_alldma, t_fm + sim::us(1));
+}
+
+TEST(ApiLcp, DeliversBothModes) {
+  for (std::uint32_t meta : {0u, kApiMetaDmaFetch}) {
+    HostStream<ApiLcp> hs;
+    hs.run(5, 128, meta);
+    EXPECT_EQ(hs.received, 5u);
+  }
+}
+
+TEST(ApiLcp, PerMessageCostIsTensOfMicroseconds) {
+  // §4.6: the API's LANai-side features cost ~100 us per message.
+  HostStream<ApiLcp> hs;
+  hs.run(1, 128);
+  double us = sim::to_us(hs.now());
+  EXPECT_GT(us, 60.0);
+  EXPECT_LT(us, 200.0);
+}
+
+TEST(ApiLcp, DmaModeSlowerThanImmediateForSmallMessages) {
+  sim::Time t_imm, t_dma;
+  {
+    HostStream<ApiLcp> hs;
+    hs.run(10, 128, 0);
+    t_imm = hs.now();
+  }
+  {
+    HostStream<ApiLcp> hs;
+    hs.run(10, 128, kApiMetaDmaFetch);
+    t_dma = hs.now();
+  }
+  EXPECT_GT(t_dma, t_imm);
+}
+
+TEST(ApiLcp, OrdersOfMagnitudeSlowerThanFmLcpPath) {
+  // The Figure 9 headline, at the LCP level.
+  sim::Time t_fm, t_api;
+  const std::size_t kPackets = 20;
+  {
+    HostStream<FmLcp> hs;
+    hs.run(kPackets, 128);
+    t_fm = hs.now();
+  }
+  {
+    HostStream<ApiLcp> hs;
+    hs.run(kPackets, 128);
+    t_api = hs.now();
+  }
+  EXPECT_GT(t_api, 10 * t_fm);
+}
+
+}  // namespace
+}  // namespace fm::lcp

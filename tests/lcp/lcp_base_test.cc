@@ -1,0 +1,103 @@
+// Tests of the Lcp base-class plumbing: the hostsent/lanaisent split
+// counters (§4.4), send-queue space accounting, wake conditions, and the
+// HostRecvQueue's delivered/consumed counters.
+#include <gtest/gtest.h>
+
+#include "hw/cluster.h"
+#include "lcp/streamed_lcp.h"
+
+namespace fm::lcp {
+namespace {
+
+hw::Packet mk(hw::Nic& nic, NodeId dest, std::size_t bytes) {
+  hw::Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0x5A);
+  return p;
+}
+
+TEST(LcpBase, SplitCountersTrackQueueOccupancy) {
+  hw::Cluster c(2);
+  StreamedLcp lcp(c.node(0), c.params());
+  // Not started: the LANai never drains, so hostsent - lanaisent == queued.
+  EXPECT_EQ(lcp.hostsent(), 0u);
+  EXPECT_EQ(lcp.lanaisent(), 0u);
+  std::size_t cap = lcp.send_space();
+  EXPECT_EQ(cap, c.params().queues.lanai_send_frames);
+  for (std::size_t i = 0; i < cap; ++i)
+    ASSERT_TRUE(lcp.host_enqueue(mk(c.node(0).nic(), 1, 16)));
+  EXPECT_EQ(lcp.hostsent(), cap);
+  EXPECT_EQ(lcp.lanaisent(), 0u);
+  EXPECT_EQ(lcp.send_space(), 0u);
+  // A full queue refuses the next frame (the host must wait).
+  EXPECT_FALSE(lcp.host_enqueue(mk(c.node(0).nic(), 1, 16)));
+  EXPECT_EQ(lcp.hostsent(), cap);
+}
+
+TEST(LcpBase, HostWakeNotifiedOnDrain) {
+  hw::Cluster c(2);
+  StreamedLcp tx(c.node(0), c.params());
+  StreamedLcp rx(c.node(1), c.params());
+  tx.start();
+  rx.start();
+  // Fill the queue, then wait for one slot to free.
+  std::size_t cap = tx.send_space();
+  for (std::size_t i = 0; i < cap; ++i)
+    ASSERT_TRUE(tx.host_enqueue(mk(c.node(0).nic(), 1, 16)));
+  bool woke = false;
+  auto waiter = [](StreamedLcp& tx, bool* woke) -> sim::Task {
+    while (tx.send_space() == 0) co_await tx.host_wake().wait();
+    *woke = true;
+  };
+  c.sim().spawn(waiter(tx, &woke));
+  c.sim().run_while_pending([&] { return woke; });
+  EXPECT_TRUE(woke);
+  EXPECT_GT(tx.lanaisent(), 0u);
+  EXPECT_EQ(tx.hostsent(), cap);  // hostsent is host-owned: unchanged
+  tx.request_stop();
+  rx.request_stop();
+  c.sim().run();
+}
+
+TEST(LcpBase, StartTwiceAborts) {
+  hw::Cluster c(2);
+  StreamedLcp lcp(c.node(0), c.params());
+  lcp.start();
+  EXPECT_DEATH(lcp.start(), "already started");
+  lcp.request_stop();
+  c.sim().run();
+}
+
+TEST(LcpBase, QueueReservationsChargeSram) {
+  hw::Cluster c(2);
+  std::size_t before = c.node(0).nic().memory().used();
+  StreamedLcp lcp(c.node(0), c.params());
+  EXPECT_GT(c.node(0).nic().memory().used(), before);
+}
+
+TEST(HostRecvQueueTest, CountersAndTake) {
+  sim::Simulator sim;
+  HostRecvQueue q(sim, 4);
+  EXPECT_EQ(q.delivered(), 0u);
+  EXPECT_EQ(q.consumed(), 0u);
+  hw::Packet p;
+  p.bytes = {1, 2, 3};
+  q.deposit(std::move(p));
+  EXPECT_EQ(q.delivered(), 1u);
+  hw::Packet out;
+  EXPECT_TRUE(q.take(out));
+  EXPECT_EQ(out.bytes.size(), 3u);
+  EXPECT_EQ(q.consumed(), 1u);
+  EXPECT_FALSE(q.take(out));
+}
+
+TEST(HostRecvQueueDeathTest, OverrunAborts) {
+  sim::Simulator sim;
+  HostRecvQueue q(sim, 1);
+  q.deposit(hw::Packet{});
+  EXPECT_DEATH(q.deposit(hw::Packet{}), "overrun");
+}
+
+}  // namespace
+}  // namespace fm::lcp

@@ -1,0 +1,188 @@
+// Tests for the baseline / streamed LCP main loops (Figure 2, Figure 3).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hw/cluster.h"
+#include "lcp/baseline_lcp.h"
+#include "lcp/streamed_lcp.h"
+#include "lcp/theoretical.h"
+
+namespace fm::lcp {
+namespace {
+
+hw::Packet mk(hw::Nic& nic, NodeId dest, std::size_t bytes) {
+  hw::Packet p;
+  p.id = nic.next_packet_id();
+  p.dest = dest;
+  p.bytes.assign(bytes, 0x5A);
+  return p;
+}
+
+// Sends `count` packets node0 -> node1 through `L` LCPs and returns the
+// total time from first enqueue to last reception.
+template <typename L>
+sim::Time stream_time(std::size_t count, std::size_t bytes) {
+  hw::Cluster c(2);
+  L tx(c.node(0), c.params());
+  L rx(c.node(1), c.params());
+  std::size_t received = 0;
+  rx.set_on_receive([&](const hw::Packet&) { ++received; });
+  tx.start();
+  rx.start();
+  // Feeder: keeps the LANai send queue full with no host-side cost —
+  // isolates LCP behaviour exactly as §4.2 does.
+  auto feeder = [](hw::Cluster& c, L& tx, std::size_t count,
+                   std::size_t bytes) -> sim::Task {
+    for (std::size_t i = 0; i < count; ++i) {
+      while (tx.send_space() == 0) co_await tx.host_wake().wait();
+      bool okp = tx.host_enqueue(mk(c.node(0).nic(), 1, bytes));
+      FM_CHECK(okp);
+    }
+  };
+  c.sim().spawn(feeder(c, tx, count, bytes));
+  bool done = c.sim().run_while_pending([&] { return received == count; });
+  EXPECT_TRUE(done);
+  sim::Time t = c.sim().now();
+  tx.request_stop();
+  rx.request_stop();
+  c.sim().run();
+  EXPECT_TRUE(tx.stopped());
+  EXPECT_TRUE(rx.stopped());
+  EXPECT_EQ(tx.packets_tx(), count);
+  EXPECT_EQ(rx.packets_rx(), count);
+  return t;
+}
+
+TEST(LcpLoops, SinglePacketDeliveredWithPayloadIntact) {
+  hw::Cluster c(2);
+  StreamedLcp tx(c.node(0), c.params());
+  StreamedLcp rx(c.node(1), c.params());
+  std::vector<std::uint8_t> got;
+  rx.set_on_receive([&](const hw::Packet& p) { got = p.bytes; });
+  tx.start();
+  rx.start();
+  hw::Packet p = mk(c.node(0).nic(), 1, 32);
+  for (std::size_t i = 0; i < 32; ++i) p.bytes[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(tx.host_enqueue(std::move(p)));
+  c.sim().run_while_pending([&] { return !got.empty(); });
+  ASSERT_EQ(got.size(), 32u);
+  for (std::size_t i = 0; i < 32; ++i) EXPECT_EQ(got[i], i);
+  tx.request_stop();
+  rx.request_stop();
+  c.sim().run();
+}
+
+TEST(LcpLoops, StreamedBeatsBaselinePerPacket) {
+  // Figure 3: the streamed loop's consolidated checks save instructions on
+  // every packet, so a long stream finishes measurably earlier.
+  const std::size_t kPackets = 200;
+  for (std::size_t bytes : {16u, 128u, 512u}) {
+    sim::Time tb = stream_time<BaselineLcp>(kPackets, bytes);
+    sim::Time ts = stream_time<StreamedLcp>(kPackets, bytes);
+    EXPECT_LT(ts, tb) << "payload " << bytes;
+    // Per-packet delta is the consolidated check+loop overhead: between 0.3
+    // and 1.2 us per packet.
+    double delta_us = sim::to_us(tb - ts) / kPackets;
+    EXPECT_GT(delta_us, 0.3) << "payload " << bytes;
+    EXPECT_LT(delta_us, 1.2) << "payload " << bytes;
+  }
+}
+
+TEST(LcpLoops, PerPacketOverheadMatchesTable4Calibration) {
+  // Streaming period per packet = fixed overhead + wire time. Table 4 says
+  // the fixed part is ~4.2 us (baseline) and ~3.5 us (streamed); our
+  // calibration should land within ~0.5 us of each.
+  const std::size_t kPackets = 400;
+  const std::size_t kBytes = 128;
+  double wire_us = 12.5e-3 * kBytes;
+  double per_b =
+      sim::to_us(stream_time<BaselineLcp>(kPackets, kBytes)) / kPackets;
+  double per_s =
+      sim::to_us(stream_time<StreamedLcp>(kPackets, kBytes)) / kPackets;
+  EXPECT_NEAR(per_b - wire_us, 4.2, 0.6);
+  EXPECT_NEAR(per_s - wire_us, 3.5, 0.6);
+}
+
+TEST(LcpLoops, BothLoopsReachLinkBandwidthForLargePackets) {
+  // Figure 3(b): "Both versions of the LCP can achieve full link bandwidth,
+  // but they require large messages to do so."
+  const std::size_t kPackets = 100;
+  const std::size_t kBytes = 4096;
+  for (double t_us : {sim::to_us(stream_time<BaselineLcp>(kPackets, kBytes)),
+                      sim::to_us(stream_time<StreamedLcp>(kPackets, kBytes))}) {
+    double mbs = kPackets * kBytes / 1048576.0 / (t_us * 1e-6);
+    EXPECT_GT(mbs, 0.85 * 76.3);
+  }
+}
+
+TEST(LcpLoops, PingPongReflection) {
+  // on_receive can enqueue a reply — the Figure 3(a) latency harness shape.
+  hw::Cluster c(2);
+  StreamedLcp a(c.node(0), c.params());
+  StreamedLcp b(c.node(1), c.params());
+  int rounds = 0;
+  a.set_on_receive([&](const hw::Packet&) {
+    if (++rounds < 5) {
+      ASSERT_TRUE(a.host_enqueue(mk(c.node(0).nic(), 1, 16)));
+    }
+  });
+  b.set_on_receive([&](const hw::Packet& p) {
+    ASSERT_TRUE(b.host_enqueue(mk(c.node(1).nic(), 0, p.bytes.size())));
+  });
+  a.start();
+  b.start();
+  ASSERT_TRUE(a.host_enqueue(mk(c.node(0).nic(), 1, 16)));
+  c.sim().run_while_pending([&] { return rounds >= 5; });
+  EXPECT_EQ(rounds, 5);
+  a.request_stop();
+  b.request_stop();
+  c.sim().run();
+}
+
+TEST(LcpLoops, StopDrainsCleanly) {
+  hw::Cluster c(2);
+  BaselineLcp a(c.node(0), c.params());
+  a.start();
+  a.request_stop();
+  c.sim().run();
+  EXPECT_TRUE(a.stopped());
+}
+
+TEST(TheoreticalPeakModel, MatchesAppendixA) {
+  TheoreticalPeak t;
+  EXPECT_EQ(t.overhead(0), sim::ns(320));
+  EXPECT_EQ(t.latency(0), sim::ns(870));
+  EXPECT_EQ(t.latency(128), sim::ns(870) + sim::ns(1600));
+  EXPECT_NEAR(t.r_inf_mbs(), 76.3, 0.1);
+  EXPECT_NEAR(t.n_half(), 25.6, 0.1);
+  // r(N) at N = n_1/2 is half the peak.
+  EXPECT_NEAR(t.bandwidth_mbs(26), t.r_inf_mbs() / 2, 1.0);
+}
+
+TEST(TheoreticalPeakModel, SimulatedIdealLcpMatchesClosedForm) {
+  // An "LCP" that does nothing but transmit back-to-back should produce
+  // exactly the Appendix A per-packet time (320 ns + 12.5 ns/B), since the
+  // wormhole path releases before the next setup begins.
+  hw::Cluster c(2);
+  const std::size_t kPackets = 50, kBytes = 256;
+  auto ideal = [](hw::Cluster& c, std::size_t n, std::size_t b) -> sim::Task {
+    for (std::size_t i = 0; i < n; ++i)
+      co_await c.node(0).nic().transmit(mk(c.node(0).nic(), 1, b));
+  };
+  auto drain = [](hw::Cluster& c, std::size_t n) -> sim::Task {
+    for (std::size_t i = 0; i < n; ++i)
+      (void)co_await c.node(1).nic().rx_ring().recv();
+  };
+  c.sim().spawn(ideal(c, kPackets, kBytes));
+  c.sim().spawn(drain(c, kPackets));
+  c.sim().run();
+  TheoreticalPeak t;
+  // Each inline transmit includes the switch fall-through; per-packet time
+  // is latency(N) here because transmit() waits for full delivery.
+  EXPECT_EQ(c.sim().now(), kPackets * t.latency(kBytes));
+}
+
+}  // namespace
+}  // namespace fm::lcp

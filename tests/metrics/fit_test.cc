@@ -1,0 +1,71 @@
+#include "metrics/fit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace fm::metrics {
+namespace {
+
+TEST(FitLinear, RecoversExactLine) {
+  // time(N) = 4.2us + N / (76.3 MB/s)
+  const double t0 = 4.2e-6;
+  const double slope = 1.0 / (76.3 * 1048576.0);
+  std::vector<TimePoint> pts;
+  for (double n : {16.0, 64.0, 128.0, 256.0, 512.0})
+    pts.push_back({n, t0 + slope * n});
+  auto fit = fit_linear(pts);
+  EXPECT_NEAR(fit.t0_us(), 4.2, 1e-9);
+  EXPECT_NEAR(fit.r_inf_mbs(), 76.3, 1e-6);
+}
+
+TEST(FitLinear, ToleratesNoise) {
+  Xoshiro256 rng(11);
+  const double t0 = 10e-6, slope = 50e-9;
+  std::vector<TimePoint> pts;
+  for (int n = 8; n <= 1024; n += 8) {
+    double noise = (rng.uniform() - 0.5) * 0.02;  // +-1%
+    pts.push_back({static_cast<double>(n),
+                   (t0 + slope * n) * (1.0 + noise)});
+  }
+  auto fit = fit_linear(pts);
+  EXPECT_NEAR(fit.t0_us(), 10.0, 0.5);
+  EXPECT_NEAR(fit.sec_per_byte, slope, slope * 0.05);
+}
+
+TEST(FitLinearDeathTest, RejectsDegenerateInput) {
+  EXPECT_DEATH(fit_linear({{1, 1}}), "two points");
+  EXPECT_DEATH(fit_linear({{5, 1}, {5, 2}}), "degenerate");
+}
+
+TEST(NHalf, InterpolatesCrossing) {
+  // BW curve crossing 10 MB/s midway between samples.
+  std::vector<BwPoint> curve = {{16, 4}, {64, 8}, {128, 12}, {256, 16}};
+  double nh = n_half(curve, 20.0);  // target 10 MB/s
+  EXPECT_GT(nh, 64);
+  EXPECT_LT(nh, 128);
+  EXPECT_NEAR(nh, 64 + (10.0 - 8) / (12 - 8) * 64, 1e-9);
+}
+
+TEST(NHalf, FirstPointAlreadyAboveTarget) {
+  std::vector<BwPoint> curve = {{16, 50}, {64, 60}};
+  EXPECT_EQ(n_half(curve, 40.0), 16);
+}
+
+TEST(NHalf, NeverReachedIsNegative) {
+  std::vector<BwPoint> curve = {{16, 1}, {600, 5}};
+  EXPECT_LT(n_half(curve, 76.3), 0);
+}
+
+TEST(NHalf, ConsistentWithClosedFormModel) {
+  // For BW(N) = N/(t0 + N*b), n1/2 (vs r_inf=1/b) should equal t0/b.
+  const double t0 = 320e-9, b = 12.5e-9;
+  std::vector<BwPoint> curve;
+  for (double n = 1; n <= 600; n += 1)
+    curve.push_back({n, n / (t0 + b * n) / 1048576.0});
+  double r_inf = 1.0 / b / 1048576.0;
+  EXPECT_NEAR(n_half(curve, r_inf), t0 / b, 0.6);
+}
+
+}  // namespace
+}  // namespace fm::metrics

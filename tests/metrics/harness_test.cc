@@ -1,0 +1,98 @@
+#include "metrics/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "metrics/report.h"
+
+namespace fm::metrics {
+namespace {
+
+MeasureOpts quick() {
+  MeasureOpts o;
+  o.pingpong_rounds = 10;
+  o.stream_packets = 256;
+  o.asymptote_bytes = 4096;
+  return o;
+}
+
+TEST(Harness, AllLayersProduceSaneNumbers) {
+  for (Layer l :
+       {Layer::kTheoretical, Layer::kLanaiBaseline, Layer::kLanaiStreamed,
+        Layer::kHybridMinimal, Layer::kAllDma, Layer::kBufMgmt, Layer::kFm,
+        Layer::kApiImm}) {
+    double lat = measure_latency_s(l, 128, quick());
+    double bw = measure_bandwidth_mbs(l, 128, quick());
+    EXPECT_GT(lat, 0) << layer_name(l);
+    EXPECT_LT(lat, 1e-3) << layer_name(l);  // under a millisecond
+    EXPECT_GT(bw, 0.1) << layer_name(l);
+    EXPECT_LT(bw, 80.0) << layer_name(l);  // can't beat the link
+  }
+}
+
+TEST(Harness, LatencyIncreasesWithSize) {
+  for (Layer l : {Layer::kLanaiStreamed, Layer::kFm}) {
+    double small = measure_latency_s(l, 16, quick());
+    double large = measure_latency_s(l, 512, quick());
+    EXPECT_GT(large, small) << layer_name(l);
+  }
+}
+
+TEST(Harness, SweepComputesMetrics) {
+  auto s = sweep(Layer::kLanaiStreamed, {16, 64, 128, 256, 512}, quick());
+  EXPECT_EQ(s.points.size(), 5u);
+  EXPECT_GT(s.t0_bw_us, 1.0);
+  EXPECT_LT(s.t0_bw_us, 10.0);
+  EXPECT_NEAR(s.r_inf_mbs, 76.3, 5.0);
+  EXPECT_GT(s.n_half_bytes, 100);
+  EXPECT_LT(s.n_half_bytes, 500);
+}
+
+TEST(Harness, TheoreticalLayerMatchesClosedForm) {
+  auto opts = quick();
+  EXPECT_DOUBLE_EQ(measure_latency_s(Layer::kTheoretical, 128, opts),
+                   (870.0 + 12.5 * 128) * 1e-9);
+}
+
+TEST(Harness, FramePayloadOverrideCapsFrameSize) {
+  // With a 128 B frame override, a 512 B message segments into 4 frames and
+  // delivers less bandwidth than native 512 B frames.
+  MeasureOpts capped = quick();
+  capped.frame_payload = 128;
+  double segmented = measure_bandwidth_mbs(Layer::kFm, 512, capped);
+  double native = measure_bandwidth_mbs(Layer::kFm, 512, quick());
+  EXPECT_LT(segmented, native);
+}
+
+TEST(Report, CsvRoundTrip) {
+  auto s = sweep(Layer::kLanaiStreamed, {16, 64}, quick());
+  std::string path = "/tmp/fm_test_csv.csv";
+  write_csv(path, {s});
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[512];
+  ASSERT_NE(std::fgets(line, sizeof line, f), nullptr);
+  EXPECT_NE(std::string(line).find("bytes"), std::string::npos);
+  int rows = 0;
+  while (std::fgets(line, sizeof line, f)) ++rows;
+  EXPECT_EQ(rows, 2);
+  std::fclose(f);
+  std::remove(path.c_str());
+}
+
+TEST(Report, PrintersDoNotCrash) {
+  auto s = sweep(Layer::kLanaiStreamed, {16, 64}, quick());
+  std::FILE* sink = std::fopen("/dev/null", "w");
+  ASSERT_NE(sink, nullptr);
+  print_heading(sink, "test");
+  print_latency_table(sink, {s});
+  print_bandwidth_table(sink, {s});
+  chart_latency(sink, {s});
+  chart_bandwidth(sink, {s});
+  print_summary(sink, {s}, {{1, 2, 3}});
+  std::fclose(sink);
+}
+
+}  // namespace
+}  // namespace fm::metrics

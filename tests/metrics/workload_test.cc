@@ -1,0 +1,49 @@
+#include "metrics/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace fm::metrics {
+namespace {
+
+TEST(TrafficMix, SamplesOnlyConfiguredSizes) {
+  TrafficMix mix("t", {{16, 1.0}, {128, 1.0}});
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto s = mix.sample(rng);
+    EXPECT_TRUE(s == 16 || s == 128);
+  }
+}
+
+TEST(TrafficMix, RespectsWeights) {
+  TrafficMix mix("t", {{16, 3.0}, {128, 1.0}});
+  Xoshiro256 rng(7);
+  std::map<std::size_t, int> hist;
+  for (int i = 0; i < 40000; ++i) ++hist[mix.sample(rng)];
+  double frac16 = hist[16] / 40000.0;
+  EXPECT_NEAR(frac16, 0.75, 0.02);
+}
+
+TEST(TrafficMix, MeanAndFractionMatchHandComputation) {
+  TrafficMix mix("t", {{10, 1.0}, {100, 1.0}});
+  EXPECT_DOUBLE_EQ(mix.mean_bytes(), 55.0);
+  EXPECT_DOUBLE_EQ(mix.fraction_at_most(10), 0.5);
+  EXPECT_DOUBLE_EQ(mix.fraction_at_most(100), 1.0);
+  EXPECT_DOUBLE_EQ(mix.fraction_at_most(5), 0.0);
+}
+
+TEST(TrafficMix, PresetsAreSane) {
+  // §5: with a 128 B frame the vast majority of IP traffic fits one frame.
+  EXPECT_GT(tcp_ip_mix().fraction_at_most(128), 0.6);
+  EXPECT_GT(finegrain_mix().fraction_at_most(128), 0.9);
+  EXPECT_LT(bulk_mix().fraction_at_most(128), 0.2);
+  EXPECT_GT(bulk_mix().mean_bytes(), 1000);
+}
+
+TEST(TrafficMixDeathTest, RejectsEmptyMix) {
+  EXPECT_DEATH(TrafficMix("bad", {}), "empty traffic mix");
+}
+
+}  // namespace
+}  // namespace fm::metrics

@@ -1,0 +1,211 @@
+// Tests of the FM-MPI layer (point-to-point matching, ordering restoration,
+// and all collectives) on real threads.
+#include "mpi_mini/comm.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "shm/cluster.h"
+
+namespace fm::mpi {
+namespace {
+
+// Runs `body(comm)` on every rank of an n-node cluster.
+void spmd(std::size_t n, const std::function<void(Comm&)>& body,
+          FmConfig cfg = FmConfig()) {
+  shm::Cluster cluster(n, cfg);
+  cluster.run([&](shm::Endpoint& ep) {
+    Comm comm(ep);
+    body(comm);
+    comm.endpoint().drain();
+  });
+}
+
+TEST(Comm, RankAndSize) {
+  spmd(3, [](Comm& c) {
+    EXPECT_GE(c.rank(), 0);
+    EXPECT_LT(c.rank(), 3);
+    EXPECT_EQ(c.size(), 3);
+  });
+}
+
+TEST(Comm, SendRecvTaggedMatching) {
+  spmd(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      int a = 111, b = 222;
+      c.send(1, /*tag=*/7, &a, sizeof a);
+      c.send(1, /*tag=*/9, &b, sizeof b);
+    } else {
+      std::vector<std::uint8_t> data;
+      // Receive out of tag order: matching must be by tag, not arrival.
+      c.recv(0, 9, data);
+      int v;
+      std::memcpy(&v, data.data(), 4);
+      EXPECT_EQ(v, 222);
+      c.recv(0, 7, data);
+      std::memcpy(&v, data.data(), 4);
+      EXPECT_EQ(v, 111);
+    }
+  });
+}
+
+TEST(Comm, AnySourceReceivesFromBoth) {
+  spmd(3, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::uint8_t> data;
+      int s1 = c.recv(kAnySource, 5, data);
+      int s2 = c.recv(kAnySource, 5, data);
+      EXPECT_NE(s1, s2);
+      EXPECT_TRUE((s1 == 1 || s1 == 2) && (s2 == 1 || s2 == 2));
+    } else {
+      int v = c.rank();
+      c.send(0, 5, &v, sizeof v);
+    }
+  });
+}
+
+TEST(Comm, PerPeerOrderingIsRestored) {
+  // Force FM-level reordering with a tiny reassembly pool and large
+  // messages interleaved with small ones, then check the MPI layer delivers
+  // per-peer messages in send order.
+  FmConfig cfg;
+  cfg.reassembly_slots = 1;
+  cfg.reject_retry_delay = 1;
+  spmd(
+      3,
+      [](Comm& c) {
+        const int kMsgs = 30;
+        if (c.rank() == 2) {
+          // Drain both peers; per peer the payload counter must ascend.
+          int expect[2] = {0, 0};
+          for (int i = 0; i < 2 * kMsgs; ++i) {
+            std::vector<std::uint8_t> data;
+            int src = c.recv(kAnySource, 1, data);
+            int v;
+            std::memcpy(&v, data.data(), 4);
+            EXPECT_EQ(v, expect[src == 1 ? 0 : 1]) << "src " << src;
+            ++expect[src == 1 ? 0 : 1];
+          }
+        } else if (c.rank() != 2) {
+          std::vector<std::uint8_t> big(700, 0);
+          for (int i = 0; i < kMsgs; ++i) {
+            std::memcpy(big.data(), &i, 4);
+            // Alternate sizes so fragments and singles interleave.
+            c.send(2, 1, big.data(), (i % 2) ? big.size() : 4u);
+          }
+        }
+      },
+      cfg);
+}
+
+TEST(Comm, BarrierSynchronizes) {
+  for (std::size_t n : {2u, 3u, 5u}) {
+    std::atomic<int> phase_done{0};
+    spmd(n, [&](Comm& c) {
+      for (int phase = 0; phase < 4; ++phase) {
+        ++phase_done;
+        c.barrier();
+        // After the barrier every rank must have finished this phase.
+        EXPECT_GE(phase_done.load(), (phase + 1) * static_cast<int>(c.size()));
+      }
+    });
+    EXPECT_EQ(phase_done.load(), 4 * static_cast<int>(n));
+  }
+}
+
+TEST(Comm, BcastFromEveryRoot) {
+  for (std::size_t n : {2u, 4u, 5u}) {
+    for (int root = 0; root < static_cast<int>(n); ++root) {
+      spmd(n, [root](Comm& c) {
+        std::uint64_t value = c.rank() == root ? 0xfeedfacecafe + root : 0;
+        c.bcast(&value, sizeof value, root);
+        EXPECT_EQ(value, 0xfeedfacecafeull + root);
+      });
+    }
+  }
+}
+
+TEST(Comm, ReduceSum) {
+  spmd(4, [](Comm& c) {
+    std::int64_t in[3] = {c.rank() + 1, 10 * (c.rank() + 1), 0};
+    std::int64_t out[3] = {-1, -1, -1};
+    c.reduce<std::int64_t>(in, out, 3, /*root=*/0,
+                           [](std::int64_t a, std::int64_t b) { return a + b; });
+    if (c.rank() == 0) {
+      EXPECT_EQ(out[0], 1 + 2 + 3 + 4);
+      EXPECT_EQ(out[1], 10 + 20 + 30 + 40);
+      EXPECT_EQ(out[2], 0);
+    }
+  });
+}
+
+TEST(Comm, ReduceMaxToNonzeroRoot) {
+  spmd(5, [](Comm& c) {
+    double in = 1.5 * c.rank();
+    double out = -1;
+    c.reduce<double>(&in, &out, 1, /*root=*/3,
+                     [](double a, double b) { return a > b ? a : b; });
+    if (c.rank() == 3) {
+      EXPECT_DOUBLE_EQ(out, 6.0);
+    }
+  });
+}
+
+TEST(Comm, AllreduceGivesEveryRankTheResult) {
+  spmd(4, [](Comm& c) {
+    std::int32_t in = 1 << c.rank();
+    std::int32_t out = 0;
+    c.allreduce<std::int32_t>(&in, &out, 1, 0,
+                              [](std::int32_t a, std::int32_t b) { return a | b; });
+    EXPECT_EQ(out, 0b1111);
+  });
+}
+
+TEST(Comm, GatherCollectsRankMajor) {
+  spmd(4, [](Comm& c) {
+    std::int32_t mine = 100 + c.rank();
+    std::vector<std::int32_t> all(4, -1);
+    c.gather(&mine, sizeof mine, all.data(), /*root=*/1);
+    if (c.rank() == 1) {
+      for (int r = 0; r < 4; ++r) EXPECT_EQ(all[r], 100 + r);
+    }
+  });
+}
+
+TEST(Comm, ScatterDistributesBlocks) {
+  spmd(3, [](Comm& c) {
+    std::vector<std::int32_t> blocks = {7, 8, 9};
+    std::int32_t mine = -1;
+    c.scatter(blocks.data(), sizeof(std::int32_t), &mine, /*root=*/0);
+    EXPECT_EQ(mine, 7 + c.rank());
+  });
+}
+
+TEST(Comm, PipelineOfCollectivesStaysCoherent) {
+  // A small "application": iterative allreduce rounds, as a fine-grained
+  // solver would issue them — verified against a serial recomputation.
+  const int kRanks = 4, kIters = 10;
+  // Serial model of the recurrence x_r <- sum(x)/n + r.
+  std::vector<double> model(kRanks);
+  for (int r = 0; r < kRanks; ++r) model[r] = r + 1.0;
+  for (int it = 0; it < kIters; ++it) {
+    double sum = std::accumulate(model.begin(), model.end(), 0.0);
+    for (int r = 0; r < kRanks; ++r) model[r] = sum / kRanks + r;
+  }
+  spmd(kRanks, [&](Comm& c) {
+    double x = c.rank() + 1.0;
+    for (int iter = 0; iter < kIters; ++iter) {
+      double sum = 0;
+      c.allreduce<double>(&x, &sum, 1, 0,
+                          [](double a, double b) { return a + b; });
+      x = sum / kRanks + c.rank();
+    }
+    EXPECT_DOUBLE_EQ(x, model[c.rank()]);
+  });
+}
+
+}  // namespace
+}  // namespace fm::mpi

@@ -1,0 +1,169 @@
+// Tests of the request/reply RPC layer over FM (the Concert-runtime-style
+// §7 layering exercise).
+#include "rpc/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+
+#include "shm/cluster.h"
+
+namespace fm::rpc {
+namespace {
+
+TEST(Rpc, CallReturnsReply) {
+  shm::Cluster cluster(2);
+  std::atomic<bool> done{false};
+  cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t square = rpc.register_method(
+        [](NodeId, const void* data, std::size_t len) {
+          FM_CHECK(len == 8);
+          std::int64_t v;
+          std::memcpy(&v, data, 8);
+          v *= v;
+          std::vector<std::uint8_t> out(8);
+          std::memcpy(out.data(), &v, 8);
+          return out;
+        });
+    if (ep.id() == 0) {
+      std::int64_t x = 12;
+      Future f = rpc.call(1, square, &x, sizeof x);
+      auto& reply = f.wait();
+      std::int64_t y;
+      std::memcpy(&y, reply.data(), 8);
+      EXPECT_EQ(y, 144);
+      done = true;
+      ep.drain();
+    } else {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+    }
+  });
+  EXPECT_TRUE(done.load());
+}
+
+TEST(Rpc, ConcurrentOutstandingCallsMatchById) {
+  shm::Cluster cluster(2);
+  std::atomic<bool> done{false};
+  cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t echo_plus = rpc.register_method(
+        [](NodeId, const void* data, std::size_t len) {
+          FM_CHECK(len == 4);
+          std::uint32_t v;
+          std::memcpy(&v, data, 4);
+          v += 1000;
+          std::vector<std::uint8_t> out(4);
+          std::memcpy(out.data(), &v, 4);
+          return out;
+        });
+    if (ep.id() == 0) {
+      // Fire several calls before collecting any reply.
+      std::vector<Future> futures;
+      for (std::uint32_t i = 0; i < 8; ++i)
+        futures.push_back(rpc.call(1, echo_plus, &i, 4));
+      // Collect in reverse order: matching must be by call id.
+      for (int i = 7; i >= 0; --i) {
+        auto& reply = futures[static_cast<std::size_t>(i)].wait();
+        std::uint32_t v;
+        std::memcpy(&v, reply.data(), 4);
+        EXPECT_EQ(v, static_cast<std::uint32_t>(i) + 1000);
+      }
+      done = true;
+      ep.drain();
+    } else {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+    }
+  });
+}
+
+TEST(Rpc, CastIsFireAndForget) {
+  shm::Cluster cluster(2);
+  std::atomic<int> hits{0};
+  std::atomic<bool> done{false};
+  cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t bump = rpc.register_method(
+        [&](NodeId, const void*, std::size_t) {
+          ++hits;
+          return std::vector<std::uint8_t>{};
+        });
+    if (ep.id() == 0) {
+      for (int i = 0; i < 5; ++i) rpc.cast(1, bump, nullptr, 0);
+      while (hits.load() < 5) rpc.poll();
+      done = true;
+      ep.drain();
+    } else {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+    }
+  });
+  EXPECT_EQ(hits.load(), 5);
+}
+
+TEST(Rpc, MethodsCanIssueCastsFromHandlerContext) {
+  // A method that notifies a third node while servicing a request — the
+  // fine-grained-object pattern (method bodies communicate).
+  shm::Cluster cluster(3);
+  std::atomic<int> notified{0};
+  std::atomic<bool> done{false};
+  cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t notify = rpc.register_method(
+        [&](NodeId, const void*, std::size_t) {
+          ++notified;
+          return std::vector<std::uint8_t>{};
+        });
+    std::uint16_t work = rpc.register_method(
+        [&rpc, notify](NodeId, const void*, std::size_t) {
+          rpc.cast(2, notify, nullptr, 0);  // posted (handler context)
+          return std::vector<std::uint8_t>{42};
+        });
+    if (ep.id() == 0) {
+      Future f = rpc.call(1, work, nullptr, 0);
+      EXPECT_EQ(f.wait().at(0), 42);
+      while (notified.load() < 1) rpc.poll();
+      done = true;
+      ep.drain();
+    } else {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+    }
+  });
+  EXPECT_EQ(notified.load(), 1);
+}
+
+TEST(Rpc, LargeArgumentsAndReplies) {
+  shm::Cluster cluster(2);
+  std::atomic<bool> done{false};
+  cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t reverse = rpc.register_method(
+        [](NodeId, const void* data, std::size_t len) {
+          const auto* p = static_cast<const std::uint8_t*>(data);
+          return std::vector<std::uint8_t>(
+              std::reverse_iterator(p + len), std::reverse_iterator(p));
+        });
+    if (ep.id() == 0) {
+      std::vector<std::uint8_t> big(5000);
+      for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = static_cast<std::uint8_t>(i * 13);
+      Future f = rpc.call(1, reverse, big.data(), big.size());
+      auto& reply = f.wait();
+      ASSERT_EQ(reply.size(), big.size());
+      for (std::size_t i = 0; i < big.size(); ++i)
+        ASSERT_EQ(reply[i], big[big.size() - 1 - i]);
+      done = true;
+      ep.drain();
+    } else {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace fm::rpc

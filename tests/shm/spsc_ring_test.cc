@@ -1,0 +1,107 @@
+#include "shm/spsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace fm::shm {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing ring(8, 64);
+  std::uint8_t msg[3] = {1, 2, 3};
+  EXPECT_TRUE(ring.try_push(msg, 3));
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRing, FillsToCapacityExactly) {
+  SpscRing ring(4, 16);
+  std::uint8_t b = 7;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(&b, 1));
+  EXPECT_FALSE(ring.try_push(&b, 1));
+  EXPECT_EQ(ring.size_approx(), 4u);
+  std::vector<std::uint8_t> out;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(ring.try_push(&b, 1));  // slot freed
+}
+
+TEST(SpscRing, PreservesFifoAndLengths) {
+  SpscRing ring(16, 64);
+  for (std::uint8_t len = 1; len <= 10; ++len) {
+    std::vector<std::uint8_t> msg(len, len);
+    ASSERT_TRUE(ring.try_push(msg.data(), msg.size()));
+  }
+  for (std::uint8_t len = 1; len <= 10; ++len) {
+    std::vector<std::uint8_t> out;
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out.size(), len);
+    for (auto b : out) EXPECT_EQ(b, len);
+  }
+}
+
+TEST(SpscRing, ZeroLengthFrames) {
+  SpscRing ring(4, 16);
+  EXPECT_TRUE(ring.try_push(nullptr, 0));
+  std::vector<std::uint8_t> out{1, 2};
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpscRingDeathTest, RejectsNonPowerOfTwo) {
+  EXPECT_DEATH(SpscRing(3, 16), "power of two");
+}
+
+TEST(SpscRingDeathTest, RejectsOversizedFrame) {
+  SpscRing ring(4, 8);
+  std::uint8_t msg[16] = {};
+  EXPECT_DEATH((void)ring.try_push(msg, 16), "exceeds slot");
+}
+
+// Cross-thread stress: a producer pushes checksummed random frames, a
+// consumer verifies content and order.
+class SpscRingStress : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpscRingStress, TwoThreadIntegrity) {
+  const std::size_t slots = GetParam();
+  SpscRing ring(slots, 256);
+  const int kFrames = 20000;
+  std::thread producer([&] {
+    Xoshiro256 rng(42);
+    for (int i = 0; i < kFrames; ++i) {
+      std::uint8_t msg[256];
+      std::size_t len = 4 + rng.below(200);
+      std::memcpy(msg, &i, 4);
+      for (std::size_t k = 4; k < len; ++k)
+        msg[k] = static_cast<std::uint8_t>(i + k);
+      while (!ring.try_push(msg, len)) std::this_thread::yield();
+    }
+  });
+  int next = 0;
+  std::vector<std::uint8_t> out;
+  while (next < kFrames) {
+    if (!ring.try_pop(out)) {
+      std::this_thread::yield();
+      continue;
+    }
+    int seq;
+    ASSERT_GE(out.size(), 4u);
+    std::memcpy(&seq, out.data(), 4);
+    ASSERT_EQ(seq, next);
+    for (std::size_t k = 4; k < out.size(); ++k)
+      ASSERT_EQ(out[k], static_cast<std::uint8_t>(seq + k));
+    ++next;
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpscRingStress, ::testing::Values(2, 8, 64));
+
+}  // namespace
+}  // namespace fm::shm

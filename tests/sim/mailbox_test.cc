@@ -1,0 +1,144 @@
+#include "sim/mailbox.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fm::sim {
+namespace {
+
+TEST(Mailbox, SendThenRecvPreservesFifo) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 8);
+  std::vector<int> got;
+  auto sender = [](Mailbox<int>& m) -> Task {
+    for (int i = 1; i <= 4; ++i) co_await m.send(i);
+  };
+  auto receiver = [](Mailbox<int>& m, std::vector<int>* out) -> Task {
+    for (int i = 0; i < 4; ++i) out->push_back(co_await m.recv());
+  };
+  sim.spawn(sender(mb));
+  sim.spawn(receiver(mb, &got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Mailbox, RecvBlocksUntilSend) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 1);
+  Time recv_at = -1;
+  auto receiver = [](Simulator& s, Mailbox<int>& m, Time* at) -> Task {
+    int v = co_await m.recv();
+    EXPECT_EQ(v, 99);
+    *at = s.now();
+  };
+  auto sender = [](Simulator& s, Mailbox<int>& m) -> Task {
+    co_await s.delay(us(7));
+    co_await m.send(99);
+  };
+  sim.spawn(receiver(sim, mb, &recv_at));
+  sim.spawn(sender(sim, mb));
+  sim.run();
+  EXPECT_EQ(recv_at, us(7));
+}
+
+TEST(Mailbox, SendBlocksWhenFull) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 1);
+  Time second_send_done = -1;
+  auto sender = [](Simulator& s, Mailbox<int>& m, Time* at) -> Task {
+    co_await m.send(1);
+    co_await m.send(2);  // must wait for the receiver
+    *at = s.now();
+  };
+  auto receiver = [](Simulator& s, Mailbox<int>& m) -> Task {
+    co_await s.delay(us(5));
+    (void)co_await m.recv();
+    (void)co_await m.recv();
+  };
+  sim.spawn(sender(sim, mb, &second_send_done));
+  sim.spawn(receiver(sim, mb));
+  sim.run();
+  EXPECT_EQ(second_send_done, us(5));
+}
+
+TEST(Mailbox, RendezvousChannelHandsOffDirectly) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 0);
+  std::vector<int> got;
+  Time sender_done = -1;
+  auto sender = [](Simulator& s, Mailbox<int>& m, Time* at) -> Task {
+    co_await m.send(5);
+    *at = s.now();
+  };
+  auto receiver = [](Simulator& s, Mailbox<int>& m,
+                     std::vector<int>* out) -> Task {
+    co_await s.delay(us(2));
+    out->push_back(co_await m.recv());
+  };
+  sim.spawn(sender(sim, mb, &sender_done));
+  sim.spawn(receiver(sim, mb, &got));
+  sim.run();
+  EXPECT_EQ(got, (std::vector<int>{5}));
+  EXPECT_EQ(sender_done, us(2));
+}
+
+TEST(Mailbox, TryOpsDoNotBlock) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 1);
+  EXPECT_FALSE(mb.try_recv().has_value());
+  EXPECT_TRUE(mb.try_send(3));
+  EXPECT_FALSE(mb.try_send(4));  // full
+  auto v = mb.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(Mailbox, ManyProducersOneConsumerTotalOrderIsDeterministic) {
+  Simulator sim;
+  Mailbox<int> mb(sim, 2);
+  std::vector<int> got;
+  auto producer = [](Simulator& s, Mailbox<int>& m, int base) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      co_await s.delay(us(1));
+      co_await m.send(base + i);
+    }
+  };
+  auto consumer = [](Mailbox<int>& m, std::vector<int>* out) -> Task {
+    for (int i = 0; i < 6; ++i) out->push_back(co_await m.recv());
+  };
+  sim.spawn(producer(sim, mb, 100));
+  sim.spawn(producer(sim, mb, 200));
+  sim.spawn(consumer(mb, &got));
+  sim.run();
+  ASSERT_EQ(got.size(), 6u);
+  // Determinism: re-running the identical setup yields the identical order.
+  Simulator sim2;
+  Mailbox<int> mb2(sim2, 2);
+  std::vector<int> got2;
+  sim2.spawn(producer(sim2, mb2, 100));
+  sim2.spawn(producer(sim2, mb2, 200));
+  sim2.spawn(consumer(mb2, &got2));
+  sim2.run();
+  EXPECT_EQ(got, got2);
+}
+
+TEST(Mailbox, MoveOnlyPayload) {
+  Simulator sim;
+  Mailbox<std::unique_ptr<int>> mb(sim, 1);
+  int out = 0;
+  auto sender = [](Mailbox<std::unique_ptr<int>>& m) -> Task {
+    co_await m.send(std::make_unique<int>(11));
+  };
+  auto receiver = [](Mailbox<std::unique_ptr<int>>& m, int* out) -> Task {
+    auto p = co_await m.recv();
+    *out = *p;
+  };
+  sim.spawn(sender(mb));
+  sim.spawn(receiver(mb, &out));
+  sim.run();
+  EXPECT_EQ(out, 11);
+}
+
+}  // namespace
+}  // namespace fm::sim

@@ -1,0 +1,139 @@
+#include "sim/op.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/semaphore.h"
+#include "sim/simulator.h"
+
+namespace fm::sim {
+namespace {
+
+Op<int> add_after(Simulator& sim, Time d, int a, int b) {
+  co_await sim.delay(d);
+  co_return a + b;
+}
+
+Op<> append_after(Simulator& sim, Time d, std::vector<int>* out, int v) {
+  co_await sim.delay(d);
+  out->push_back(v);
+}
+
+TEST(Op, ReturnsValueAndAdvancesTime) {
+  Simulator sim;
+  int result = 0;
+  auto proc = [](Simulator& s, int* out) -> Task {
+    *out = co_await add_after(s, us(3), 2, 5);
+    EXPECT_EQ(s.now(), us(3));
+  };
+  sim.spawn(proc(sim, &result));
+  sim.run();
+  EXPECT_EQ(result, 7);
+}
+
+TEST(Op, VoidOpsCompose) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>* out) -> Task {
+    co_await append_after(s, ns(10), out, 1);
+    co_await append_after(s, ns(10), out, 2);
+    EXPECT_EQ(s.now(), ns(20));
+  };
+  sim.spawn(proc(sim, &order));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+Op<int> nested_level2(Simulator& sim) {
+  co_await sim.delay(ns(5));
+  co_return 10;
+}
+
+Op<int> nested_level1(Simulator& sim) {
+  int v = co_await nested_level2(sim);
+  co_await sim.delay(ns(5));
+  co_return v * 2;
+}
+
+TEST(Op, NestsThroughMultipleLevels) {
+  Simulator sim;
+  int result = 0;
+  auto proc = [](Simulator& s, int* out) -> Task {
+    *out = co_await nested_level1(s);
+    EXPECT_EQ(s.now(), ns(10));
+  };
+  sim.spawn(proc(sim, &result));
+  sim.run();
+  EXPECT_EQ(result, 20);
+}
+
+TEST(Op, DeepChainDoesNotOverflowStack) {
+  Simulator sim;
+  struct Rec {
+    static Op<int> chain(Simulator& s, int depth) {
+      if (depth == 0) {
+        co_await s.delay(1);
+        co_return 0;
+      }
+      int v = co_await chain(s, depth - 1);
+      co_return v + 1;
+    }
+  };
+  int result = -1;
+  auto proc = [](Simulator& s, int* out) -> Task {
+    *out = co_await Rec::chain(s, 20000);
+  };
+  sim.spawn(proc(sim, &result));
+  sim.run();
+  EXPECT_EQ(result, 20000);
+}
+
+TEST(Op, UnawaitedOpIsFreedSafely) {
+  Simulator sim;
+  { auto op = add_after(sim, ns(1), 1, 1); }  // dropped without awaiting
+  sim.run();
+  SUCCEED();
+}
+
+Op<> guarded_use(Simulator& sim, Semaphore& sem, Time hold,
+                 std::vector<Time>* out) {
+  co_await sem.acquire();
+  co_await sim.delay(hold);
+  sem.release();
+  out->push_back(sim.now());
+}
+
+TEST(Op, CanBlockOnSemaphoresInsideOps) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<Time> done;
+  auto proc = [](Simulator& s, Semaphore& sem, std::vector<Time>* out) -> Task {
+    co_await guarded_use(s, sem, us(2), out);
+  };
+  sim.spawn(proc(sim, sem, &done));
+  sim.spawn(proc(sim, sem, &done));
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], us(2));
+  EXPECT_EQ(done[1], us(4));
+}
+
+TEST(Op, MoveOnlyResultType) {
+  Simulator sim;
+  auto make = [](Simulator& s) -> Op<std::unique_ptr<int>> {
+    co_await s.delay(1);
+    co_return std::make_unique<int>(33);
+  };
+  int got = 0;
+  auto proc = [&make](Simulator& s, int* out) -> Task {
+    auto p = co_await make(s);
+    *out = *p;
+  };
+  sim.spawn(proc(sim, &got));
+  sim.run();
+  EXPECT_EQ(got, 33);
+}
+
+}  // namespace
+}  // namespace fm::sim

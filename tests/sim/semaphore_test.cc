@@ -1,0 +1,120 @@
+#include "sim/semaphore.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fm::sim {
+namespace {
+
+TEST(Semaphore, AcquireSucceedsWhenPermitsAvailable) {
+  Simulator sim;
+  Semaphore sem(sim, 2);
+  int acquired = 0;
+  auto proc = [](Semaphore& s, int* n) -> Task {
+    co_await s.acquire();
+    ++*n;
+  };
+  sim.spawn(proc(sem, &acquired));
+  sim.spawn(proc(sem, &acquired));
+  sim.run();
+  EXPECT_EQ(acquired, 2);
+  EXPECT_EQ(sem.available(), 0u);
+}
+
+TEST(Semaphore, BlocksWhenExhaustedAndHandsOffFifo) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  auto proc = [](Simulator& s, Semaphore& sem, std::vector<int>* ord,
+                 int id, Time hold) -> Task {
+    co_await sem.acquire();
+    ord->push_back(id);
+    co_await s.delay(hold);
+    sem.release();
+  };
+  sim.spawn(proc(sim, sem, &order, 0, us(10)));
+  sim.spawn(proc(sim, sem, &order, 1, us(10)));
+  sim.spawn(proc(sim, sem, &order, 2, us(10)));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(sim.now(), us(30));
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Semaphore, LateArrivalCannotBargePastQueue) {
+  Simulator sim;
+  Semaphore sem(sim, 1);
+  std::vector<int> order;
+  auto holder = [](Simulator& s, Semaphore& sem, std::vector<int>* ord) -> Task {
+    co_await sem.acquire();
+    ord->push_back(0);
+    co_await s.delay(us(10));
+    sem.release();
+  };
+  auto waiter = [](Semaphore& sem, std::vector<int>* ord, int id) -> Task {
+    co_await sem.acquire();
+    ord->push_back(id);
+    sem.release();
+  };
+  sim.spawn(holder(sim, sem, &order));
+  sim.spawn_at(us(1), [](Semaphore& s, std::vector<int>* o) -> Task {
+    co_await s.acquire();
+    o->push_back(1);
+    s.release();
+  }(sem, &order));
+  sim.spawn_at(us(2), [](Semaphore& s, std::vector<int>* o) -> Task {
+    co_await s.acquire();
+    o->push_back(2);
+    s.release();
+  }(sem, &order));
+  (void)waiter;
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersAccumulates) {
+  Simulator sim;
+  Semaphore sem(sim, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.available(), 2u);
+}
+
+TEST(BusyResource, SerializesOverlappingUses) {
+  Simulator sim;
+  BusyResource bus(sim);
+  std::vector<Time> done;
+  auto user = [](Simulator& s, BusyResource& r, std::vector<Time>* out,
+                 Time dur) -> Task {
+    co_await r.acquire();
+    co_await s.delay(dur);
+    r.release();
+    out->push_back(s.now());
+  };
+  sim.spawn(user(sim, bus, &done, us(5)));
+  sim.spawn(user(sim, bus, &done, us(3)));
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], us(5));
+  EXPECT_EQ(done[1], us(8));  // second waits for the first
+}
+
+TEST(BusyResource, ReportsBusyState) {
+  Simulator sim;
+  BusyResource bus(sim);
+  EXPECT_FALSE(bus.busy());
+  auto user = [](Simulator& s, BusyResource& r) -> Task {
+    co_await r.acquire();
+    co_await s.delay(us(1));
+    r.release();
+  };
+  sim.spawn(user(sim, bus));
+  sim.run_until(ns(500));
+  EXPECT_TRUE(bus.busy());
+  sim.run();
+  EXPECT_FALSE(bus.busy());
+}
+
+}  // namespace
+}  // namespace fm::sim

@@ -1,0 +1,169 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fm::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(ns(1), 1000);
+  EXPECT_EQ(us(1), 1'000'000);
+  EXPECT_EQ(ms(1), 1'000'000'000);
+  EXPECT_EQ(ns_f(12.5), 12500);
+  EXPECT_DOUBLE_EQ(to_us(us(32)), 32.0);
+  EXPECT_DOUBLE_EQ(to_ns(ns(550)), 550.0);
+}
+
+TEST(Time, TransferTimeUsesBinaryMegabytes) {
+  // 1 MB at 1 MB/s should take exactly 1 s.
+  EXPECT_EQ(transfer_time(1 << 20, 1.0), ms(1000));
+  // 128 bytes at 76.3MB/s ~ 1.6us (paper: "spooling a packet of 128 bytes
+  // over the channel takes 1.6us").
+  double t_us = to_us(transfer_time(128, 76.3));
+  EXPECT_NEAR(t_us, 1.6, 0.1);
+}
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CallbacksRunInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_fn(ns(30), [&] { order.push_back(3); });
+  sim.schedule_fn(ns(10), [&] { order.push_back(1); });
+  sim.schedule_fn(ns(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), ns(30));
+}
+
+TEST(Simulator, SameTimeEventsRunInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_fn(ns(5), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, DelayAdvancesClock) {
+  Simulator sim;
+  Time observed = -1;
+  auto proc = [](Simulator& s, Time* out) -> Task {
+    co_await s.delay(us(5));
+    *out = s.now();
+  };
+  sim.spawn(proc(sim, &observed));
+  sim.run();
+  EXPECT_EQ(observed, us(5));
+}
+
+TEST(Simulator, ZeroDelayYieldsFairly) {
+  Simulator sim;
+  std::vector<int> order;
+  auto proc = [](Simulator& s, std::vector<int>* ord, int id) -> Task {
+    for (int i = 0; i < 3; ++i) {
+      ord->push_back(id);
+      co_await s.delay(0);
+    }
+  };
+  sim.spawn(proc(sim, &order, 0));
+  sim.spawn(proc(sim, &order, 1));
+  sim.run();
+  // Processes interleave: 0,1,0,1,...
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_fn(ns(100), [&] { ++fired; });
+  sim.schedule_fn(ns(200), [&] { ++fired; });
+  sim.run_until(ns(150));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), ns(150));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator sim;
+  sim.run_until(ns(50));
+  int fired = 0;
+  sim.schedule_fn(ns(60), [&] { ++fired; });
+  sim.run_for(ns(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), ns(60));
+}
+
+TEST(Simulator, SpawnedTasksStartAfterCurrentEvent) {
+  Simulator sim;
+  std::vector<int> order;
+  auto child = [](std::vector<int>* ord) -> Task {
+    ord->push_back(2);
+    co_return;
+  };
+  sim.schedule_fn(0, [&] {
+    sim.spawn(child(&order));
+    order.push_back(1);  // runs before the child even though spawned first
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, NestedDelaysCompose) {
+  Simulator sim;
+  std::vector<Time> stamps;
+  auto proc = [](Simulator& s, std::vector<Time>* out) -> Task {
+    co_await s.delay(ns(10));
+    out->push_back(s.now());
+    co_await s.delay(ns(15));
+    out->push_back(s.now());
+  };
+  sim.spawn(proc(sim, &stamps));
+  sim.run();
+  ASSERT_EQ(stamps.size(), 2u);
+  EXPECT_EQ(stamps[0], ns(10));
+  EXPECT_EQ(stamps[1], ns(25));
+}
+
+TEST(Simulator, DispatchCountIncrements) {
+  Simulator sim;
+  sim.schedule_fn(0, [] {});
+  sim.schedule_fn(1, [] {});
+  sim.run();
+  EXPECT_EQ(sim.dispatched(), 2u);
+}
+
+TEST(Simulator, UnspawnedTaskDoesNotLeak) {
+  // ASAN (when enabled) would flag a leak; structurally we just check that
+  // constructing and dropping a task is safe.
+  Simulator sim;
+  auto proc = [](Simulator& s) -> Task { co_await s.delay(1); };
+  { Task t = proc(sim); }  // destroyed unspawned
+  sim.run();
+  SUCCEED();
+}
+
+TEST(Simulator, RunWhilePendingStopsOnPredicate) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    sim.schedule_fn(ns(i), [&] { ++count; });
+  bool ok = sim.run_while_pending([&] { return count >= 4; });
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(count, 4);
+  bool drained = sim.run_while_pending([] { return false; });
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(count, 10);
+}
+
+}  // namespace
+}  // namespace fm::sim

@@ -1,0 +1,45 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace fm::sim {
+namespace {
+
+TEST(Trace, DisabledByDefaultRecordsNothing) {
+  Trace tr;
+  tr.add(ns(5), "cat", "hello %d", 1);
+  EXPECT_TRUE(tr.records().empty());
+}
+
+TEST(Trace, RecordsWhenEnabled) {
+  Trace tr;
+  tr.set_enabled(true);
+  tr.add(ns(5), "send", "pkt %d len %d", 3, 128);
+  tr.add(ns(9), "recv", "pkt %d", 3);
+  ASSERT_EQ(tr.records().size(), 2u);
+  EXPECT_EQ(tr.records()[0].at, ns(5));
+  EXPECT_EQ(tr.records()[0].category, "send");
+  EXPECT_EQ(tr.records()[0].detail, "pkt 3 len 128");
+}
+
+TEST(Trace, FiltersByCategory) {
+  Trace tr;
+  tr.set_enabled(true);
+  tr.add(1, "a", "x");
+  tr.add(2, "b", "y");
+  tr.add(3, "a", "z");
+  auto a = tr.by_category("a");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[1].detail, "z");
+}
+
+TEST(Trace, ClearEmpties) {
+  Trace tr;
+  tr.set_enabled(true);
+  tr.add(1, "a", "x");
+  tr.clear();
+  EXPECT_TRUE(tr.records().empty());
+}
+
+}  // namespace
+}  // namespace fm::sim
