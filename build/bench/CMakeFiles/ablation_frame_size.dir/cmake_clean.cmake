@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frame_size.dir/ablation_frame_size.cc.o"
+  "CMakeFiles/ablation_frame_size.dir/ablation_frame_size.cc.o.d"
+  "ablation_frame_size"
+  "ablation_frame_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frame_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_a_model.dir/appendix_a_model.cc.o"
+  "CMakeFiles/appendix_a_model.dir/appendix_a_model.cc.o.d"
+  "appendix_a_model"
+  "appendix_a_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_a_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

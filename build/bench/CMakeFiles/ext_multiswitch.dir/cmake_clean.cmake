@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiswitch.dir/ext_multiswitch.cc.o"
+  "CMakeFiles/ext_multiswitch.dir/ext_multiswitch.cc.o.d"
+  "ext_multiswitch"
+  "ext_multiswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

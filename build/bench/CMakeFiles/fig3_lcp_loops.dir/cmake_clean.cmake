@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lcp_loops.dir/fig3_lcp_loops.cc.o"
+  "CMakeFiles/fig3_lcp_loops.dir/fig3_lcp_loops.cc.o.d"
+  "fig3_lcp_loops"
+  "fig3_lcp_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lcp_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

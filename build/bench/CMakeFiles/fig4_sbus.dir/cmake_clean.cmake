@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sbus.dir/fig4_sbus.cc.o"
+  "CMakeFiles/fig4_sbus.dir/fig4_sbus.cc.o.d"
+  "fig4_sbus"
+  "fig4_sbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

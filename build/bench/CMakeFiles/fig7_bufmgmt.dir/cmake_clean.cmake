@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_bufmgmt.dir/fig7_bufmgmt.cc.o"
+  "CMakeFiles/fig7_bufmgmt.dir/fig7_bufmgmt.cc.o.d"
+  "fig7_bufmgmt"
+  "fig7_bufmgmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_bufmgmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

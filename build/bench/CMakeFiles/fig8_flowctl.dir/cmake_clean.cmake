@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_flowctl.dir/fig8_flowctl.cc.o"
+  "CMakeFiles/fig8_flowctl.dir/fig8_flowctl.cc.o.d"
+  "fig8_flowctl"
+  "fig8_flowctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_flowctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

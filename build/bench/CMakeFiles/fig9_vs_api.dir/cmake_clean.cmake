@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_vs_api.dir/fig9_vs_api.cc.o"
+  "CMakeFiles/fig9_vs_api.dir/fig9_vs_api.cc.o.d"
+  "fig9_vs_api"
+  "fig9_vs_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_vs_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/headline_numbers.cc" "bench/CMakeFiles/headline_numbers.dir/headline_numbers.cc.o" "gcc" "bench/CMakeFiles/headline_numbers.dir/headline_numbers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/fm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fm_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

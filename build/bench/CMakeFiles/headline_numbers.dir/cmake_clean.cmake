@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_numbers.dir/headline_numbers.cc.o"
+  "CMakeFiles/headline_numbers.dir/headline_numbers.cc.o.d"
+  "headline_numbers"
+  "headline_numbers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_numbers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

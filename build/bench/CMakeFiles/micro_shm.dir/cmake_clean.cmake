@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_shm.dir/micro_shm.cc.o"
+  "CMakeFiles/micro_shm.dir/micro_shm.cc.o.d"
+  "micro_shm"
+  "micro_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

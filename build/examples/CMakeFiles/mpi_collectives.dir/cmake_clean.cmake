@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_collectives.dir/mpi_collectives.cpp.o"
+  "CMakeFiles/mpi_collectives.dir/mpi_collectives.cpp.o.d"
+  "mpi_collectives"
+  "mpi_collectives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

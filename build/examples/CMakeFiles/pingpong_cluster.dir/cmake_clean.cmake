@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingpong_cluster.dir/pingpong_cluster.cpp.o"
+  "CMakeFiles/pingpong_cluster.dir/pingpong_cluster.cpp.o.d"
+  "pingpong_cluster"
+  "pingpong_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingpong_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

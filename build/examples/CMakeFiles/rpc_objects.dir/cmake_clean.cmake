@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_objects.dir/rpc_objects.cpp.o"
+  "CMakeFiles/rpc_objects.dir/rpc_objects.cpp.o.d"
+  "rpc_objects"
+  "rpc_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stencil_halo.cpp" "examples/CMakeFiles/stencil_halo.dir/stencil_halo.cpp.o" "gcc" "examples/CMakeFiles/stencil_halo.dir/stencil_halo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/fm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi_mini/CMakeFiles/fm_mpi_mini.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/fm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/fm_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/fm_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fm_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_transfer.dir/stream_transfer.cpp.o"
+  "CMakeFiles/stream_transfer.dir/stream_transfer.cpp.o.d"
+  "stream_transfer"
+  "stream_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

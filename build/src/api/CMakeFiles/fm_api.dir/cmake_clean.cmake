@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_api.dir/myri_api.cc.o"
+  "CMakeFiles/fm_api.dir/myri_api.cc.o.d"
+  "libfm_api.a"
+  "libfm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

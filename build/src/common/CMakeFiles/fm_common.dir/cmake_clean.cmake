@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_common.dir/crc32.cc.o"
+  "CMakeFiles/fm_common.dir/crc32.cc.o.d"
+  "CMakeFiles/fm_common.dir/log.cc.o"
+  "CMakeFiles/fm_common.dir/log.cc.o.d"
+  "CMakeFiles/fm_common.dir/stats.cc.o"
+  "CMakeFiles/fm_common.dir/stats.cc.o.d"
+  "libfm_common.a"
+  "libfm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_fm.dir/frame.cc.o"
+  "CMakeFiles/fm_fm.dir/frame.cc.o.d"
+  "CMakeFiles/fm_fm.dir/sim_endpoint.cc.o"
+  "CMakeFiles/fm_fm.dir/sim_endpoint.cc.o.d"
+  "libfm_fm.a"
+  "libfm_fm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

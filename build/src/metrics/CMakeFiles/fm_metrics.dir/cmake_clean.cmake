@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_metrics.dir/fit.cc.o"
+  "CMakeFiles/fm_metrics.dir/fit.cc.o.d"
+  "CMakeFiles/fm_metrics.dir/harness.cc.o"
+  "CMakeFiles/fm_metrics.dir/harness.cc.o.d"
+  "CMakeFiles/fm_metrics.dir/report.cc.o"
+  "CMakeFiles/fm_metrics.dir/report.cc.o.d"
+  "libfm_metrics.a"
+  "libfm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

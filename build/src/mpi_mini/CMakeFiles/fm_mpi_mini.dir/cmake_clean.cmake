@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_mpi_mini.dir/comm.cc.o"
+  "CMakeFiles/fm_mpi_mini.dir/comm.cc.o.d"
+  "libfm_mpi_mini.a"
+  "libfm_mpi_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_mpi_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfm_mpi_mini.a"
+)

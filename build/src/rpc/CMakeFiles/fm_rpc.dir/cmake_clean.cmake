@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_rpc.dir/rpc.cc.o"
+  "CMakeFiles/fm_rpc.dir/rpc.cc.o.d"
+  "libfm_rpc.a"
+  "libfm_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

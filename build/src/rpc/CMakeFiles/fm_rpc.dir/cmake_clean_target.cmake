@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfm_rpc.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_shm.dir/cluster.cc.o"
+  "CMakeFiles/fm_shm.dir/cluster.cc.o.d"
+  "CMakeFiles/fm_shm.dir/endpoint.cc.o"
+  "CMakeFiles/fm_shm.dir/endpoint.cc.o.d"
+  "libfm_shm.a"
+  "libfm_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

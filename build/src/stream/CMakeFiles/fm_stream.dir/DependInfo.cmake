@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/stream.cc" "src/stream/CMakeFiles/fm_stream.dir/stream.cc.o" "gcc" "src/stream/CMakeFiles/fm_stream.dir/stream.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fm_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/fm_shm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fm_stream.dir/stream.cc.o"
+  "CMakeFiles/fm_stream.dir/stream.cc.o.d"
+  "libfm_stream.a"
+  "libfm_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fm_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

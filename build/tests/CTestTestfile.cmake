@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("hw")
+subdirs("lcp")
+subdirs("fm")
+subdirs("api")
+subdirs("shm")
+subdirs("metrics")
+subdirs("mpi_mini")
+subdirs("stream")
+subdirs("rpc")
+subdirs("integration")

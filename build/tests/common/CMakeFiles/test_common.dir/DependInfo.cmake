@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/crc32_test.cc" "tests/common/CMakeFiles/test_common.dir/crc32_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/crc32_test.cc.o.d"
+  "/root/repo/tests/common/log_test.cc" "tests/common/CMakeFiles/test_common.dir/log_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/log_test.cc.o.d"
+  "/root/repo/tests/common/random_test.cc" "tests/common/CMakeFiles/test_common.dir/random_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/random_test.cc.o.d"
+  "/root/repo/tests/common/ring_buffer_test.cc" "tests/common/CMakeFiles/test_common.dir/ring_buffer_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/ring_buffer_test.cc.o.d"
+  "/root/repo/tests/common/stats_test.cc" "tests/common/CMakeFiles/test_common.dir/stats_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/stats_test.cc.o.d"
+  "/root/repo/tests/common/status_test.cc" "tests/common/CMakeFiles/test_common.dir/status_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/status_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fm_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/fm_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi_mini/CMakeFiles/fm_mpi_mini.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/fm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/fm_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/crc32_test.cc.o"
+  "CMakeFiles/test_common.dir/crc32_test.cc.o.d"
+  "CMakeFiles/test_common.dir/log_test.cc.o"
+  "CMakeFiles/test_common.dir/log_test.cc.o.d"
+  "CMakeFiles/test_common.dir/random_test.cc.o"
+  "CMakeFiles/test_common.dir/random_test.cc.o.d"
+  "CMakeFiles/test_common.dir/ring_buffer_test.cc.o"
+  "CMakeFiles/test_common.dir/ring_buffer_test.cc.o.d"
+  "CMakeFiles/test_common.dir/stats_test.cc.o"
+  "CMakeFiles/test_common.dir/stats_test.cc.o.d"
+  "CMakeFiles/test_common.dir/status_test.cc.o"
+  "CMakeFiles/test_common.dir/status_test.cc.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

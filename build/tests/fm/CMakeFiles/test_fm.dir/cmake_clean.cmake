@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fm.dir/ack_conservation_test.cc.o"
+  "CMakeFiles/test_fm.dir/ack_conservation_test.cc.o.d"
+  "CMakeFiles/test_fm.dir/config_grid_test.cc.o"
+  "CMakeFiles/test_fm.dir/config_grid_test.cc.o.d"
+  "CMakeFiles/test_fm.dir/frame_test.cc.o"
+  "CMakeFiles/test_fm.dir/frame_test.cc.o.d"
+  "CMakeFiles/test_fm.dir/protocol_test.cc.o"
+  "CMakeFiles/test_fm.dir/protocol_test.cc.o.d"
+  "CMakeFiles/test_fm.dir/sim_endpoint_test.cc.o"
+  "CMakeFiles/test_fm.dir/sim_endpoint_test.cc.o.d"
+  "CMakeFiles/test_fm.dir/window_mode_test.cc.o"
+  "CMakeFiles/test_fm.dir/window_mode_test.cc.o.d"
+  "test_fm"
+  "test_fm.pdb"
+  "test_fm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/cascade_test.cc" "tests/hw/CMakeFiles/test_hw.dir/cascade_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/cascade_test.cc.o.d"
+  "/root/repo/tests/hw/fault_test.cc" "tests/hw/CMakeFiles/test_hw.dir/fault_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/fault_test.cc.o.d"
+  "/root/repo/tests/hw/host_cpu_test.cc" "tests/hw/CMakeFiles/test_hw.dir/host_cpu_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/host_cpu_test.cc.o.d"
+  "/root/repo/tests/hw/lanai_test.cc" "tests/hw/CMakeFiles/test_hw.dir/lanai_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/lanai_test.cc.o.d"
+  "/root/repo/tests/hw/network_test.cc" "tests/hw/CMakeFiles/test_hw.dir/network_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/network_test.cc.o.d"
+  "/root/repo/tests/hw/sbus_test.cc" "tests/hw/CMakeFiles/test_hw.dir/sbus_test.cc.o" "gcc" "tests/hw/CMakeFiles/test_hw.dir/sbus_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fm/CMakeFiles/fm_fm.dir/DependInfo.cmake"
+  "/root/repo/build/src/api/CMakeFiles/fm_api.dir/DependInfo.cmake"
+  "/root/repo/build/src/shm/CMakeFiles/fm_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/fm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi_mini/CMakeFiles/fm_mpi_mini.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/fm_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/fm_rpc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

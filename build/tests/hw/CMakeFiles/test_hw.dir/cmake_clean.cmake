@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/cascade_test.cc.o"
+  "CMakeFiles/test_hw.dir/cascade_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/fault_test.cc.o"
+  "CMakeFiles/test_hw.dir/fault_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/host_cpu_test.cc.o"
+  "CMakeFiles/test_hw.dir/host_cpu_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/lanai_test.cc.o"
+  "CMakeFiles/test_hw.dir/lanai_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/network_test.cc.o"
+  "CMakeFiles/test_hw.dir/network_test.cc.o.d"
+  "CMakeFiles/test_hw.dir/sbus_test.cc.o"
+  "CMakeFiles/test_hw.dir/sbus_test.cc.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

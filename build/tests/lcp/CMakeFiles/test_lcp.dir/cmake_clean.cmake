@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lcp.dir/host_lcp_test.cc.o"
+  "CMakeFiles/test_lcp.dir/host_lcp_test.cc.o.d"
+  "CMakeFiles/test_lcp.dir/lcp_base_test.cc.o"
+  "CMakeFiles/test_lcp.dir/lcp_base_test.cc.o.d"
+  "CMakeFiles/test_lcp.dir/lcp_loops_test.cc.o"
+  "CMakeFiles/test_lcp.dir/lcp_loops_test.cc.o.d"
+  "test_lcp"
+  "test_lcp.pdb"
+  "test_lcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

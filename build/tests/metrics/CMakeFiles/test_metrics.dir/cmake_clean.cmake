@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics.dir/fit_test.cc.o"
+  "CMakeFiles/test_metrics.dir/fit_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/harness_test.cc.o"
+  "CMakeFiles/test_metrics.dir/harness_test.cc.o.d"
+  "CMakeFiles/test_metrics.dir/workload_test.cc.o"
+  "CMakeFiles/test_metrics.dir/workload_test.cc.o.d"
+  "test_metrics"
+  "test_metrics.pdb"
+  "test_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

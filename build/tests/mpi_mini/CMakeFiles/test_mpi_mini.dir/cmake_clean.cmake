@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mpi_mini.dir/comm_test.cc.o"
+  "CMakeFiles/test_mpi_mini.dir/comm_test.cc.o.d"
+  "test_mpi_mini"
+  "test_mpi_mini.pdb"
+  "test_mpi_mini[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mpi_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,7 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/mpi_mini
+# Build directory: /root/repo/build/tests/mpi_mini
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/mpi_mini/test_mpi_mini[1]_include.cmake")

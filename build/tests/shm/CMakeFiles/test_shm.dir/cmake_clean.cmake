@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shm.dir/shm_config_test.cc.o"
+  "CMakeFiles/test_shm.dir/shm_config_test.cc.o.d"
+  "CMakeFiles/test_shm.dir/shm_endpoint_test.cc.o"
+  "CMakeFiles/test_shm.dir/shm_endpoint_test.cc.o.d"
+  "CMakeFiles/test_shm.dir/spsc_ring_test.cc.o"
+  "CMakeFiles/test_shm.dir/spsc_ring_test.cc.o.d"
+  "test_shm"
+  "test_shm.pdb"
+  "test_shm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
