@@ -1,0 +1,222 @@
+// Extension study: what does end-to-end reliability (FM-R) cost, and what
+// does it buy?
+//
+// The paper's FM guarantees reliable, in-order delivery only because the
+// Myrinet fabric itself is assumed lossless (§4.5). FM-R extends the layer
+// with timeout retransmission, CRC-32 frames and duplicate suppression so
+// the guarantee survives a faulty fabric. This bench quantifies both sides
+// of that trade on the Table 2 metrics (t0, r_inf, n_1/2):
+//   * pay-for-what-you-use — with FM-R off, the numbers must match the
+//     baseline FM rows elsewhere in this suite;
+//   * graceful degradation — with FM-R on, throughput under 0.1-1% frame
+//     loss degrades smoothly instead of stalling (raw FM's window never
+//     drains once a single ack is lost);
+//   * CRC necessity — without the CRC trailer a corrupting fabric delivers
+//     silently damaged payloads; with it, every corruption is caught and
+//     recovered by the retransmission timer.
+#include <sys/stat.h>
+
+#include <cstring>
+
+#include "bench/bench_common.h"
+#include "fm/sim_endpoint.h"
+#include "hw/cluster.h"
+#include "metrics/fit.h"
+
+namespace {
+
+using namespace fm;
+
+struct Variant {
+  const char* name;
+  bool reliability;
+  bool crc;
+};
+
+constexpr Variant kVariants[] = {
+    {"raw FM", false, false},
+    {"FM-R (no CRC)", true, false},
+    {"FM-R + CRC", true, true},
+};
+
+FmConfig variant_cfg(const Variant& v) {
+  FmConfig cfg;
+  cfg.reliability = v.reliability;
+  cfg.crc_frames = v.crc;
+  // Above the tx loop's extract cadence so the timer recovers genuinely
+  // lost frames instead of racing slow acks (same reasoning as the soak).
+  cfg.retransmit_timeout_ns = 3'000'000;
+  return cfg;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  std::size_t delivered = 0;     // distinct messages that reached the handler
+  std::size_t corrupted = 0;     // delivered with a damaged payload
+  bool drained = false;          // tx window reached zero
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t crc_drops = 0;
+};
+
+// Streams `packets` messages of `bytes` through a two-node fabric injecting
+// `drop`/`corrupt` per-packet fault rates. Never aborts on a stall: raw FM
+// under loss is *expected* to hang, and the caller reports that outcome.
+RunResult stream(const FmConfig& cfg, double drop, double corrupt,
+                 std::size_t bytes, std::size_t packets) {
+  hw::HwParams params = hw::HwParams::paper();
+  params.faults.drop_rate = drop;
+  params.faults.corrupt_rate = corrupt;
+  hw::Cluster c(2, params);
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  RunResult r;
+  HandlerId ha = a.register_handler(
+      [](SimEndpoint&, NodeId, const void*, std::size_t) {});
+  HandlerId hb = b.register_handler(
+      [&r](SimEndpoint&, NodeId, const void* data, std::size_t len) {
+        ++r.delivered;
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        for (std::size_t i = 0; i < len; ++i)
+          if (p[i] != 0x5A) {
+            ++r.corrupted;
+            break;
+          }
+      });
+  FM_CHECK(ha == hb);
+  a.start();
+  b.start();
+  auto tx = [](SimEndpoint& a, std::size_t bytes, std::size_t packets,
+               RunResult* r) -> sim::Task {
+    std::vector<std::uint8_t> buf(bytes, 0x5A);
+    for (std::size_t i = 0; i < packets; ++i) {
+      if (!ok(co_await a.send(1, 1, buf.data(), buf.size()))) co_return;
+      if ((i & 7) == 7) (void)co_await a.extract();
+    }
+    co_await a.drain();
+    r->drained = true;
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) {
+      (void)co_await b.extract_blocking();
+      co_await b.drain();  // flush owed acks promptly
+    }
+  };
+  c.sim().spawn(tx(a, bytes, packets, &r));
+  c.sim().spawn(rx(b));
+  // Returns false when the event queue drains first — the stall outcome.
+  c.sim().run_while_pending(
+      [&] { return r.drained && r.delivered >= packets; });
+  r.seconds = sim::to_s(c.sim().now());
+  r.frames_sent = a.stats().frames_sent;
+  r.retransmissions = a.stats().retransmissions;
+  r.crc_drops = a.stats().crc_drops + b.stats().crc_drops;
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+  return r;
+}
+
+struct Metrics {
+  double t0_us = 0.0;
+  double r_inf_mbs = 0.0;
+  double n_half = 0.0;
+  double retrans_per_1k = 0.0;
+};
+
+const std::vector<std::size_t>& sweep_sizes() {
+  static const std::vector<std::size_t> sizes = {16, 64, 128, 256, 512, 1024};
+  return sizes;
+}
+
+// Fits time(N) = t0 + N/r_inf over the sweep; n_1/2 interpolated against
+// the fitted r_inf — the paper's Table 2 method applied per configuration.
+Metrics sweep_metrics(const Variant& v, double drop, std::size_t packets) {
+  std::vector<metrics::TimePoint> periods;
+  std::vector<metrics::BwPoint> curve;
+  std::uint64_t frames = 0, retrans = 0;
+  for (std::size_t n : sweep_sizes()) {
+    RunResult r = stream(variant_cfg(v), drop, 0.0, n, packets);
+    FM_CHECK_MSG(r.drained, "reliable stream stalled");
+    double per_packet = r.seconds / static_cast<double>(packets);
+    periods.push_back({static_cast<double>(n), per_packet});
+    curve.push_back({static_cast<double>(n),
+                     static_cast<double>(n) / 1048576.0 / per_packet});
+    frames += r.frames_sent;
+    retrans += r.retransmissions;
+  }
+  metrics::LinearFit fit = metrics::fit_linear(periods);
+  Metrics m;
+  m.t0_us = fit.t0_us();
+  m.r_inf_mbs = fit.r_inf_mbs();
+  m.n_half = metrics::n_half(curve, fit.r_inf_mbs());
+  m.retrans_per_1k =
+      frames ? 1000.0 * static_cast<double>(retrans) / static_cast<double>(frames)
+             : 0.0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = fm::bench::parse_args(argc, argv, "ext_reliability");
+  const std::size_t packets = args.opts.stream_packets;
+  fm::metrics::print_heading(
+      stdout, "Extension: FM-R reliability layer — cost and degradation");
+
+  ::mkdir("results", 0755);  // best-effort, matching metrics::write_csv
+  std::FILE* csv = std::fopen(args.csv.c_str(), "w");
+  if (csv) std::fprintf(csv, "config,drop_rate,t0_us,r_inf_mbs,n_half_bytes\n");
+
+  const double kLossRates[] = {0.0, 0.001, 0.01};
+  for (double loss : kLossRates) {
+    std::printf("\nFrame loss rate %.1f%%:\n", loss * 100.0);
+    std::printf("%-16s %10s %14s %12s %14s\n", "config", "t0 (us)",
+                "r_inf (MB/s)", "n_1/2 (B)", "retrans/1k fr");
+    for (const Variant& v : kVariants) {
+      if (!v.reliability && loss > 0.0) {
+        // Raw FM's window never drains once an ack is lost; demonstrate the
+        // stall on one point instead of fitting a curve that cannot finish.
+        RunResult r = stream(variant_cfg(v), loss, 0.0, 128, packets);
+        std::printf("%-16s STALLS: delivered %zu/%zu, window never drains\n",
+                    v.name, r.delivered, packets);
+        continue;
+      }
+      Metrics m = sweep_metrics(v, loss, packets);
+      std::printf("%-16s %10.2f %14.2f %12.0f %14.2f\n", v.name, m.t0_us,
+                  m.r_inf_mbs, m.n_half, m.retrans_per_1k);
+      if (csv)
+        std::fprintf(csv, "%s,%g,%.3f,%.3f,%.1f\n", v.name, loss, m.t0_us,
+                     m.r_inf_mbs, m.n_half);
+    }
+  }
+
+  // CRC necessity: a corrupting fabric, with and without the trailer.
+  std::printf("\nCorruption (1%% of frames, single bit flips):\n");
+  {
+    RunResult no_crc =
+        stream(variant_cfg(kVariants[1]), 0.0, 0.01, 128, packets);
+    RunResult with_crc =
+        stream(variant_cfg(kVariants[2]), 0.0, 0.01, 128, packets);
+    std::printf(
+        "%-16s delivered %zu/%zu, silently corrupted payloads: %zu\n",
+        "FM-R (no CRC)", no_crc.delivered, packets, no_crc.corrupted);
+    std::printf(
+        "%-16s delivered %zu/%zu, corrupted payloads: %zu (crc drops: %llu,"
+        " all retransmitted)\n",
+        "FM-R + CRC", with_crc.delivered, packets, with_crc.corrupted,
+        static_cast<unsigned long long>(with_crc.crc_drops));
+  }
+
+  std::printf(
+      "\nWith faults off, the raw-FM and FM-R rows bracket the reliability\n"
+      "cost: sequence/ack bookkeeping is a fixed t0 adder and the CRC is\n"
+      "1 host cycle/byte on each side (the same cost model as the Myricom\n"
+      "API checksum, Table 3). Under loss, raw FM stalls outright while\n"
+      "FM-R degrades in proportion to the injected fault rate — and without\n"
+      "the CRC a corrupting fabric turns into silent data corruption.\n");
+  if (csv) {
+    std::fclose(csv);
+    std::printf("\nCSV written to %s\n", args.csv.c_str());
+  }
+  return 0;
+}

@@ -48,9 +48,9 @@ void BM_SendWindowCycle(benchmark::State& state) {
   SendWindow w(4096);
   std::vector<std::uint8_t> frame(144, 0);
   for (auto _ : state) {
-    auto seq = w.next_seq();
-    w.track(seq, 1, frame);
-    benchmark::DoNotOptimize(w.ack(seq));
+    auto seq = w.next_seq(1);
+    w.track(1, seq, frame);
+    benchmark::DoNotOptimize(w.ack(1, seq));
   }
   state.SetItemsProcessed(state.iterations());
 }

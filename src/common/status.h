@@ -20,6 +20,7 @@ enum class Status : int {
   kTooLarge,        ///< Message exceeds the layer's maximum size.
   kBadArgument,     ///< Invalid destination, handler, or buffer.
   kClosed,          ///< Endpoint has been shut down.
+  kPeerDead,        ///< FM-R declared the destination dead (max retries).
   kInternal,        ///< Invariant violation inside the layer (bug).
 };
 
@@ -31,6 +32,7 @@ constexpr std::string_view to_string(Status s) {
     case Status::kTooLarge: return "too-large";
     case Status::kBadArgument: return "bad-argument";
     case Status::kClosed: return "closed";
+    case Status::kPeerDead: return "peer-dead";
     case Status::kInternal: return "internal";
   }
   return "unknown";

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/types.h"
 
@@ -54,6 +55,40 @@ struct FmConfig {
   /// Retransmit a rejected frame after this many extract() calls have seen
   /// it queued (cheap backoff so a still-overloaded receiver is not hammered).
   std::size_t reject_retry_delay = 2;
+
+  // --- FM-R reliability mode (opt-in; all off reproduces FM 1.0) ----------
+  // §4.5: "the network is assumed to be reliable, or fault-tolerance must
+  // be provided by a higher level protocol." FM-R is that higher level
+  // protocol: timeout retransmission from the (already retained) pending
+  // window, receiver-side duplicate suppression, and bounded retries with
+  // dead-peer failure semantics. Requires flow_control.
+
+  /// Master switch for timeout retransmission + dedup + dead-peer
+  /// detection. Pay-for-what-you-use: off, none of the machinery runs.
+  bool reliability = false;
+
+  /// Append a CRC-32 trailer to every frame and drop (never dispatch)
+  /// frames that fail verification. Independent of `reliability` so its
+  /// cost can be measured alone, but only retransmission turns "detected"
+  /// into "recovered".
+  bool crc_frames = false;
+
+  /// An unacked frame is retransmitted after this long (then exponential
+  /// backoff: timeout << retries, shift capped). Nanoseconds of simulated
+  /// time on the sim backend, wall time on shm.
+  std::uint64_t retransmit_timeout_ns = 300'000;  // 300 us
+
+  /// Retransmissions of one frame before its destination is declared dead,
+  /// pending traffic to it is failed with Status::kPeerDead, and further
+  /// sends to it error out immediately rather than hang.
+  std::size_t max_retries = 10;
+
+  /// A partially reassembled message whose fragments stop arriving frees
+  /// its receive-pool slot after this long. Must comfortably exceed the
+  /// full retransmission horizon (sum of backed-off timeouts), or a slot
+  /// could expire while the sender is still legitimately retrying and the
+  /// message would be lost.
+  std::uint64_t reassembly_ttl_ns = 1'000'000'000;  // 1 s
 };
 
 }  // namespace fm

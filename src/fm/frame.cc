@@ -1,5 +1,7 @@
 #include "fm/frame.h"
 
+#include "common/crc32.h"
+
 namespace fm {
 namespace {
 
@@ -43,6 +45,7 @@ std::vector<std::uint8_t> encode_frame(const FrameHeader& h,
     out.insert(out.end(), p, p + h.payload_len);
   }
   for (std::size_t i = 0; i < h.ack_count; ++i) put<std::uint32_t>(out, acks[i]);
+  if (h.has_crc()) put<std::uint32_t>(out, crc32(out.data(), out.size()));
   FM_CHECK(out.size() == h.wire_bytes());
   return out;
 }
@@ -75,6 +78,12 @@ std::uint32_t frame_ack(const FrameHeader& h, const std::uint8_t* data,
                         std::size_t i) {
   FM_CHECK(i < h.ack_count);
   return get<std::uint32_t>(data + h.header_bytes() + h.payload_len + 4 * i);
+}
+
+bool frame_crc_ok(const FrameHeader& h, const std::uint8_t* data) {
+  if (!h.has_crc()) return true;
+  const std::size_t covered = h.wire_bytes() - FrameHeader::kCrcBytes;
+  return get<std::uint32_t>(data + covered) == crc32(data, covered);
 }
 
 }  // namespace fm

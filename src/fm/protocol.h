@@ -4,12 +4,19 @@
 // segmentation/reassembly extension, free of any simulator or threading
 // concern, so the simulated endpoint (fm/sim_endpoint.h) and the real
 // shared-memory endpoint (shm/) share one protocol implementation — and one
-// set of protocol tests.
+// set of protocol tests. The FM-R reliability additions (RetransmitTimer,
+// DedupFilter, reassembly expiry) live here too: they answer §4.5's "the
+// network is assumed to be reliable, or fault-tolerance must be provided by
+// a higher level protocol" — this is that higher level protocol.
+//
+// Time is a plain nanosecond count supplied by the caller (simulated time on
+// the sim backend, steady_clock on shm), so nothing here knows about clocks.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -22,6 +29,10 @@ namespace fm {
 /// frame. "The sender optimistically sends packets into the network while
 /// reserving space locally for each outstanding packet." Bounded by the
 /// configured window; full() gates FM_send.
+///
+/// Sequence numbers are per destination, so every receiver observes a dense
+/// 1,2,3,... stream from each sender — the property the FM-R DedupFilter's
+/// cumulative cutoff relies on. Entries are therefore keyed by (dest, seq).
 class SendWindow {
  public:
   explicit SendWindow(std::size_t capacity) : capacity_(capacity) {}
@@ -33,43 +44,188 @@ class SendWindow {
   /// Slots remaining.
   std::size_t space() const { return capacity_ - pending_.size(); }
 
-  /// Allocates the next frame sequence number.
-  std::uint32_t next_seq() { return next_seq_++; }
+  /// Allocates the next frame sequence number for `dest` (first is 1).
+  std::uint32_t next_seq(NodeId dest) {
+    auto [it, inserted] = next_seq_.emplace(dest, 1);
+    (void)inserted;
+    return it->second++;
+  }
 
   /// Records an injected frame. `bytes` is the encoded frame (kept for
   /// retransmission); `dest` its destination.
-  void track(std::uint32_t seq, NodeId dest, std::vector<std::uint8_t> bytes) {
+  void track(NodeId dest, std::uint32_t seq, std::vector<std::uint8_t> bytes) {
     FM_CHECK_MSG(!full(), "SendWindow overflow");
-    auto [it, inserted] = pending_.emplace(seq, Entry{dest, std::move(bytes)});
+    auto [it, inserted] = pending_.emplace(key(dest, seq), std::move(bytes));
     FM_CHECK_MSG(inserted, "duplicate pending seq");
     (void)it;
   }
 
-  /// Releases a slot on acknowledgement. Returns false for an unknown seq
-  /// (e.g. an ack that raced a reject retransmission path) — harmless.
-  bool ack(std::uint32_t seq) { return pending_.erase(seq) > 0; }
-
-  /// Looks up the stored copy of `seq` (for retransmission after a reject).
-  const std::vector<std::uint8_t>* find(std::uint32_t seq) const {
-    auto it = pending_.find(seq);
-    return it == pending_.end() ? nullptr : &it->second.bytes;
+  /// Releases a slot on acknowledgement from `dest`. Returns false for an
+  /// unknown seq (e.g. a re-ack of a retransmitted duplicate) — harmless.
+  bool ack(NodeId dest, std::uint32_t seq) {
+    return pending_.erase(key(dest, seq)) > 0;
   }
 
-  /// Destination recorded for `seq`.
-  std::optional<NodeId> dest_of(std::uint32_t seq) const {
-    auto it = pending_.find(seq);
-    if (it == pending_.end()) return std::nullopt;
-    return it->second.dest;
+  /// Looks up the stored copy of (`dest`, `seq`) for retransmission (reject
+  /// path or FM-R timeout).
+  const std::vector<std::uint8_t>* find(NodeId dest, std::uint32_t seq) const {
+    auto it = pending_.find(key(dest, seq));
+    return it == pending_.end() ? nullptr : &it->second;
+  }
+
+  /// Drops every pending entry destined to `dest` (FM-R dead-peer cleanup:
+  /// frees the slots so senders blocked on a full window make progress).
+  /// Returns the number of entries dropped.
+  std::size_t drop_dest(NodeId dest) {
+    std::size_t n = 0;
+    for (auto it = pending_.begin(); it != pending_.end();) {
+      if (static_cast<NodeId>(it->first >> 32) == dest) {
+        it = pending_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
   }
 
  private:
-  struct Entry {
-    NodeId dest;
-    std::vector<std::uint8_t> bytes;
-  };
+  static std::uint64_t key(NodeId dest, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(dest) << 32) | seq;
+  }
   std::size_t capacity_;
-  std::uint32_t next_seq_ = 1;
-  std::unordered_map<std::uint32_t, Entry> pending_;
+  std::unordered_map<NodeId, std::uint32_t> next_seq_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pending_;
+};
+
+/// FM-R sender-side retransmission deadlines: one armed timer per
+/// outstanding (dest, seq). `expired(now)` hands back everything past its
+/// deadline with bounded exponential backoff; an entry whose retries are
+/// exhausted is reported once with `exhausted == true` and forgotten — the
+/// caller then declares the peer dead.
+class RetransmitTimer {
+ public:
+  RetransmitTimer(std::uint64_t timeout_ns, std::size_t max_retries)
+      : timeout_ns_(timeout_ns), max_retries_(max_retries) {}
+
+  /// Arms (or re-arms, resetting the retry count) the timer for a frame.
+  void arm(NodeId dest, std::uint32_t seq, std::uint64_t now_ns) {
+    armed_[key(dest, seq)] = Entry{now_ns + timeout_ns_, 0};
+  }
+
+  /// Cancels the timer (frame acknowledged). Unknown entries are ignored.
+  void disarm(NodeId dest, std::uint32_t seq) { armed_.erase(key(dest, seq)); }
+
+  /// Cancels every timer aimed at `dest` (dead-peer cleanup).
+  void disarm_all(NodeId dest) {
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      if (static_cast<NodeId>(it->first >> 32) == dest)
+        it = armed_.erase(it);
+      else
+        ++it;
+    }
+  }
+
+  /// A frame whose deadline passed. `retries` counts this firing (1-based);
+  /// `exhausted` means max_retries was exceeded and the entry was dropped.
+  struct Due {
+    NodeId dest;
+    std::uint32_t seq;
+    std::size_t retries;
+    bool exhausted;
+  };
+
+  /// Collects every armed timer with deadline <= now. Survivors are
+  /// re-armed at now + timeout * 2^retries (shift capped so the backoff
+  /// stays bounded).
+  std::vector<Due> expired(std::uint64_t now_ns) {
+    std::vector<Due> due;
+    for (auto it = armed_.begin(); it != armed_.end();) {
+      Entry& e = it->second;
+      if (e.deadline_ns > now_ns) {
+        ++it;
+        continue;
+      }
+      NodeId dest = static_cast<NodeId>(it->first >> 32);
+      auto seq = static_cast<std::uint32_t>(it->first & 0xffffffffu);
+      ++e.retries;
+      if (e.retries > max_retries_) {
+        due.push_back(Due{dest, seq, e.retries, true});
+        it = armed_.erase(it);
+      } else {
+        std::size_t shift = std::min(e.retries, kBackoffShiftCap);
+        e.deadline_ns = now_ns + (timeout_ns_ << shift);
+        due.push_back(Due{dest, seq, e.retries, false});
+        ++it;
+      }
+    }
+    return due;
+  }
+
+  /// Timers currently armed.
+  std::size_t armed() const { return armed_.size(); }
+
+ private:
+  // Backoff doubling stops here: 2^6 * timeout is long enough to outwait
+  // any transient congestion this stack can produce, and keeping it bounded
+  // keeps the dead-peer detection horizon predictable.
+  static constexpr std::size_t kBackoffShiftCap = 6;
+
+  struct Entry {
+    std::uint64_t deadline_ns;
+    std::size_t retries;
+  };
+  static std::uint64_t key(NodeId dest, std::uint32_t seq) {
+    return (static_cast<std::uint64_t>(dest) << 32) | seq;
+  }
+  std::uint64_t timeout_ns_;
+  std::size_t max_retries_;
+  std::unordered_map<std::uint64_t, Entry> armed_;
+};
+
+/// FM-R receiver-side duplicate suppression. Relies on per-destination
+/// sequence numbers: each peer's accepted seqs form a dense 1,2,3,...
+/// stream, tracked as a cumulative cutoff ("every seq below this was
+/// accepted") plus the sparse set of out-of-order seqs at or above it. The
+/// set holds only the gaps — bounded in practice by the peer's pending
+/// window — and drains back into the cutoff as gaps fill, so membership is
+/// exact: a retransmitted duplicate is never redelivered and a delayed
+/// first copy is never misjudged.
+class DedupFilter {
+ public:
+  /// True when (src, seq) was already accepted.
+  bool seen(NodeId src, std::uint32_t seq) const {
+    auto it = peers_.find(src);
+    if (it == peers_.end()) return false;
+    return seq < it->second.cutoff || it->second.ahead.count(seq) > 0;
+  }
+
+  /// Records the acceptance of (src, seq). Call only after the frame is
+  /// actually accepted — a rejected (returned-to-sender) frame must stay
+  /// unknown so its retransmission is delivered.
+  void mark(NodeId src, std::uint32_t seq) {
+    Peer& p = peers_[src];
+    if (seq < p.cutoff) return;
+    p.ahead.insert(seq);
+    while (p.ahead.erase(p.cutoff) > 0) ++p.cutoff;
+  }
+
+  /// Discards all state for `src` (dead-peer cleanup).
+  void forget(NodeId src) { peers_.erase(src); }
+
+  /// Out-of-order seqs currently held for `src` (diagnostics; bounded by
+  /// the peer's pending window during normal operation).
+  std::size_t pending_gaps(NodeId src) const {
+    auto it = peers_.find(src);
+    return it == peers_.end() ? 0 : it->second.ahead.size();
+  }
+
+ private:
+  struct Peer {
+    std::uint32_t cutoff = 1;  // all seqs below this were accepted
+    std::unordered_set<std::uint32_t> ahead;
+  };
+  std::unordered_map<NodeId, Peer> peers_;
 };
 
 /// Receiver-side acknowledgement accounting: which frame seqs are owed to
@@ -113,6 +269,10 @@ class AckTracker {
     return out;
   }
 
+  /// Drops every ack owed to `src` (dead-peer cleanup: an ack aimed at a
+  /// dead node would be injected into the network for nobody).
+  void forget(NodeId src) { due_.erase(src); }
+
   /// All sources with any owed acks.
   std::vector<NodeId> peers() const {
     std::vector<NodeId> out;
@@ -142,9 +302,10 @@ class Reassembler {
   /// Offers a fragment. On kComplete the assembled message payload is moved
   /// into *out and the slot is freed. Inconsistent fragment metadata — which
   /// cannot occur on a reliable network but can under fault injection —
-  /// yields kMalformed rather than undefined behaviour.
+  /// yields kMalformed rather than undefined behaviour. `now_ns` stamps the
+  /// slot for expire_older_than (pass 0 when expiry is unused).
   Feed feed(NodeId src, const FrameHeader& h, const std::uint8_t* payload,
-            std::vector<std::uint8_t>* out) {
+            std::vector<std::uint8_t>* out, std::uint64_t now_ns = 0) {
     FM_CHECK(h.fragmented());
     if (h.frag_count < 1 || h.frag_index >= h.frag_count)
       return Feed::kMalformed;
@@ -164,6 +325,7 @@ class Reassembler {
     if (slot.received[h.frag_index]) return Feed::kMalformed;
     slot.received[h.frag_index] = true;
     slot.chunks[h.frag_index].assign(payload, payload + h.payload_len);
+    slot.touched_ns = now_ns;
     ++slot.got;
     if (slot.got < h.frag_count) return Feed::kAccepted;
     // Complete: concatenate in order.
@@ -175,6 +337,37 @@ class Reassembler {
 
   /// Reassemblies currently in progress.
   std::size_t active() const { return active_.size(); }
+
+  /// Frees every slot not fed since `cutoff_ns` — a half-assembled message
+  /// from a peer that lost interest (or the network lost its fragments)
+  /// must not pin a receive-pool slot forever. Returns slots freed.
+  std::size_t expire_older_than(std::uint64_t cutoff_ns) {
+    std::size_t n = 0;
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->second.touched_ns < cutoff_ns) {
+        it = active_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
+  /// Frees every slot holding fragments from `src` (peer shutdown / FM-R
+  /// dead-peer cleanup). Returns slots freed.
+  std::size_t abort(NodeId src) {
+    std::size_t n = 0;
+    for (auto it = active_.begin(); it != active_.end();) {
+      if (it->first.src == src) {
+        it = active_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
 
  private:
   struct Key {
@@ -192,6 +385,7 @@ class Reassembler {
     std::vector<bool> received;
     std::vector<std::vector<std::uint8_t>> chunks;
     std::vector<std::uint8_t> data;
+    std::uint64_t touched_ns = 0;
     std::uint16_t got = 0;
   };
   std::size_t slots_;
@@ -209,9 +403,28 @@ class RejectQueue {
     std::size_t age = 0;
   };
 
-  /// Parks a returned frame.
+  /// Parks a returned frame. A (dest, seq) already parked is ignored: with
+  /// FM-R a timeout retransmission and its original can both bounce off an
+  /// overloaded receiver, and parking both would retransmit twice forever.
   void add(NodeId dest, std::uint32_t seq, std::vector<std::uint8_t> bytes) {
+    for (const auto& e : entries_)
+      if (e.dest == dest && e.seq == seq) return;
     entries_.push_back(Entry{dest, seq, std::move(bytes), 0});
+  }
+
+  /// Discards every parked frame aimed at `dest` (dead-peer cleanup).
+  /// Returns the number discarded.
+  std::size_t drop_dest(NodeId dest) {
+    std::size_t n = 0;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->dest == dest) {
+        it = entries_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
   }
 
   /// Ages all entries by one extract tick and removes/returns those whose

@@ -15,7 +15,10 @@ SimEndpoint::SimEndpoint(hw::Node& node, FmConfig cfg,
                node.params().queues.host_recv_frames),
       lcp_(node, node.params(), lcp_cfg),
       window_(cfg.pending_window),
-      reasm_(cfg.reassembly_slots) {
+      reasm_(cfg.reassembly_slots),
+      timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
+  FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
+               "FM-R reliability requires flow control");
   lcp_.attach_host_recv(&host_rx_);
 }
 
@@ -46,6 +49,7 @@ sim::Op<Status> SimEndpoint::send(NodeId dest, HandlerId handler,
                                   const void* buf, std::size_t len) {
   if (!handlers_.valid(handler) || (len > 0 && buf == nullptr))
     co_return Status::kBadArgument;
+  if (cfg_.reliability && peer_dead(dest)) co_return Status::kPeerDead;
   ++stats_.messages_sent;
   const auto* bytes = static_cast<const std::uint8_t*>(buf);
   if (len <= cfg_.frame_payload) {
@@ -92,9 +96,12 @@ sim::Op<Status> SimEndpoint::send_data_frame(
     return false;
   };
   while (blocked()) {
+    // A dead destination frees no window slots; fail instead of hanging.
+    if (cfg_.reliability && peer_dead(dest)) co_return Status::kPeerDead;
     std::size_t n = co_await extract();
-    if (blocked() && n == 0) co_await host_rx_.arrived().wait();
+    if (blocked() && n == 0) co_await idle_wait();
   }
+  if (cfg_.reliability && peer_dead(dest)) co_return Status::kPeerDead;
   if (cfg_.flow_control && cfg_.window_mode) {
     FM_CHECK(credits_[dest] > 0);
     --credits_[dest];
@@ -104,9 +111,10 @@ sim::Op<Status> SimEndpoint::send_data_frame(
   h.handler = handler;
   h.src = id();
   h.payload_len = static_cast<std::uint16_t>(len);
+  if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
   std::vector<std::uint32_t> piggy;
   if (cfg_.flow_control) {
-    h.seq = window_.next_seq();
+    h.seq = window_.next_seq(dest);
     piggy = acks_.take(dest, cfg_.piggyback_acks);
     h.ack_count = static_cast<std::uint8_t>(piggy.size());
     stats_.acks_piggybacked += piggy.size();
@@ -122,10 +130,30 @@ sim::Op<Status> SimEndpoint::send_data_frame(
                     (cfg_.flow_control ? hc.fm_flowctl_send_cycles : 0));
   std::vector<std::uint8_t> bytes =
       encode_frame(h, payload, piggy.empty() ? nullptr : piggy.data());
-  if (cfg_.flow_control) window_.track(h.seq, dest, bytes);
+  // The CRC is host arithmetic over every frame byte, charged like the
+  // Myricom API's checksum so the integrity feature's cost stays visible.
+  if (cfg_.crc_frames)
+    co_await cpu.exec(hc.fm_crc_cycles_per_byte * static_cast<int>(bytes.size()));
+  if (cfg_.flow_control) {
+    window_.track(dest, h.seq, bytes);
+    if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
+  }
   ++stats_.frames_sent;
   co_await inject(dest, std::move(bytes));
   co_return Status::kOk;
+}
+
+// Idle wait used while blocked on the window or draining: normally we sleep
+// until the LANai delivers something, but with FM-R armed timers time itself
+// is a wake-up source — a lost frame produces no delivery, only a deadline.
+sim::Op<> SimEndpoint::idle_wait() {
+  if (cfg_.reliability && (timer_.armed() > 0 || rejq_.size() > 0)) {
+    std::uint64_t poll =
+        std::max<std::uint64_t>(cfg_.retransmit_timeout_ns / 2, 10'000);
+    co_await sim().delay(static_cast<sim::Time>(poll) * 1000);  // ns -> ps
+  } else {
+    co_await host_rx_.arrived().wait();
+  }
 }
 
 sim::Op<> SimEndpoint::inject(NodeId dest, std::vector<std::uint8_t> bytes) {
@@ -182,11 +210,15 @@ sim::Op<std::size_t> SimEndpoint::extract() {
     co_await sbus.pio_write(8);
     node_.nic().ring_doorbell();
   }
-  // Retransmit rejected frames whose backoff expired.
+  // Retransmit rejected frames whose backoff expired. With FM-R the timer
+  // is re-armed fresh: a rejection proves the peer alive, so it resets the
+  // retry budget.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
     ++stats_.retransmissions;
+    if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     co_await inject(entry.dest, std::move(entry.bytes));
   }
+  if (cfg_.reliability) co_await reliability_tick();
   // Standalone acks for peers owed a batch. The threshold must stay below
   // half a peer's in-flight allotment (its pending window, or its credit
   // allotment in window mode) or senders stall with their window full
@@ -217,8 +249,50 @@ sim::Op<> SimEndpoint::drain() {
     if ((window_.in_flight() == 0 || !cfg_.flow_control) && rejq_.size() == 0)
       co_return;
     std::size_t n = co_await extract();
-    if (n == 0) co_await host_rx_.arrived().wait();
+    // Re-check before sleeping: extract() itself can finish the drain (a
+    // dead-peer purge empties the window with no frame consumed), and with
+    // no timers left armed idle_wait() would sleep on an arrival that is
+    // never coming.
+    if ((window_.in_flight() == 0 || !cfg_.flow_control) && rejq_.size() == 0)
+      co_return;
+    if (n == 0) co_await idle_wait();
   }
+}
+
+sim::Op<> SimEndpoint::reliability_tick() {
+  const std::uint64_t now = now_ns();
+  for (const auto& due : timer_.expired(now)) {
+    if (due.exhausted) {
+      mark_peer_dead(due.dest);
+      continue;
+    }
+    const std::vector<std::uint8_t>* bytes = window_.find(due.dest, due.seq);
+    if (bytes == nullptr) continue;  // acked while the due list was built
+    ++stats_.retransmit_timeouts;
+    ++stats_.retransmissions;
+    co_await inject(due.dest, *bytes);
+  }
+  if (now > cfg_.reassembly_ttl_ns)
+    stats_.reassemblies_expired +=
+        reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+}
+
+void SimEndpoint::mark_peer_dead(NodeId peer) {
+  if (!dead_peers_.insert(peer).second) return;
+  ++stats_.peers_dead;
+  // Graceful degradation, not a hang: free every resource aimed at (or held
+  // for) the dead peer so blocked senders wake up and fail with kPeerDead.
+  window_.drop_dest(peer);
+  timer_.disarm_all(peer);
+  rejq_.drop_dest(peer);
+  acks_.forget(peer);
+  dedup_.forget(peer);
+  reasm_.abort(peer);
+  credits_.erase(peer);
+}
+
+std::uint64_t SimEndpoint::now_ns() {
+  return static_cast<std::uint64_t>(sim().now() / 1000);  // ps -> ns
 }
 
 sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
@@ -236,19 +310,33 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
   const FrameHeader& h = *hdr;
   co_await cpu.exec(hc.fm_dispatch_cycles +
                     (cfg_.flow_control ? hc.fm_flowctl_recv_cycles : 0));
-  // Piggybacked acks are processed for every frame type.
+  if (h.has_crc()) {
+    // Verification reads every byte — charged like the API's checksum.
+    co_await cpu.exec(hc.fm_crc_cycles_per_byte *
+                      static_cast<int>(pkt.bytes.size()));
+    if (!frame_crc_ok(h, pkt.bytes.data())) {
+      // Corruption *detected*: drop without acking — the sender's
+      // retransmit timer turns detection into recovery.
+      ++stats_.crc_drops;
+      co_return;
+    }
+  }
+  // Piggybacked acks are processed for every frame type. The acking peer is
+  // the transport-level source (pkt.src): seqs are per-(sender, dest), and
+  // only the destination of a frame ever acks it.
   for (std::size_t i = 0; i < h.ack_count; ++i) {
     std::uint32_t seq = frame_ack(h, pkt.bytes.data(), i);
-    auto dest = window_.dest_of(seq);
-    if (window_.ack(seq) && cfg_.window_mode && dest.has_value())
-      ++credits_[*dest];
+    if (cfg_.reliability) timer_.disarm(pkt.src, seq);
+    if (window_.ack(pkt.src, seq) && cfg_.window_mode) ++credits_[pkt.src];
   }
   switch (h.type) {
     case FrameType::kAck:
       break;  // nothing beyond the acks themselves
     case FrameType::kReject: {
-      // One of our frames came back: park it for retransmission.
+      // One of our frames came back: park it for retransmission. Its timer
+      // is suspended while parked (the rejq tick re-arms on re-injection).
       ++stats_.rejects_received;
+      if (cfg_.reliability) timer_.disarm(pkt.src, h.seq);
       rejq_.add(pkt.src, h.seq, strip_acks(h, pkt.bytes.data()));
       break;
     }
@@ -259,32 +347,44 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
         ++stats_.malformed_frames;
         co_return;
       }
+      const bool rel = cfg_.flow_control && cfg_.reliability;
+      if (rel && dedup_.seen(pkt.src, h.seq)) {
+        // A retransmitted copy of something already accepted: re-ack (the
+        // previous ack may be the thing that was lost) but never redeliver.
+        ++stats_.duplicates_suppressed;
+        acks_.note(pkt.src, h.seq);
+        break;
+      }
+      // All per-peer state is keyed by the transport source, never h.src:
+      // without a CRC a corrupted header could otherwise direct acks and
+      // rejects at a node that does not exist.
       const std::uint8_t* payload = frame_payload(h, pkt.bytes.data());
       if (h.fragmented()) {
         std::vector<std::uint8_t> message;
-        switch (reasm_.feed(h.src, h, payload, &message)) {
+        switch (reasm_.feed(pkt.src, h, payload, &message, now_ns())) {
           case Reassembler::Feed::kMalformed:
             ++stats_.malformed_frames;
             co_return;
           case Reassembler::Feed::kRejected:
             ++stats_.rejects_issued;
-            co_await send_reject(h, pkt.bytes.data());
-            co_return;  // not accepted: no ack
+            co_await send_reject(pkt.src, h, pkt.bytes.data());
+            co_return;  // not accepted: no ack, no dedup mark
           case Reassembler::Feed::kAccepted:
             break;
           case Reassembler::Feed::kComplete:
             ++stats_.messages_delivered;
-            handlers_.dispatch(h.handler, *this, h.src, message.data(),
+            handlers_.dispatch(h.handler, *this, pkt.src, message.data(),
                                message.size());
             co_await drain_posted();
             break;
         }
       } else {
         ++stats_.messages_delivered;
-        handlers_.dispatch(h.handler, *this, h.src, payload, h.payload_len);
+        handlers_.dispatch(h.handler, *this, pkt.src, payload, h.payload_len);
         co_await drain_posted();
       }
-      if (cfg_.flow_control) acks_.note(h.src, h.seq);
+      if (rel) dedup_.mark(pkt.src, h.seq);
+      if (cfg_.flow_control) acks_.note(pkt.src, h.seq);
       break;
     }
   }
@@ -298,7 +398,9 @@ sim::Op<> SimEndpoint::drain_posted() {
     posted_.erase(posted_.begin());
     Status s = co_await send(p.dest, p.handler, p.payload.data(),
                              p.payload.size());
-    FM_CHECK_MSG(ok(s), "posted send failed");
+    // A posted reply to a peer that died while queued is dropped, not a
+    // crash: the dead-peer contract is "error out rather than hang".
+    FM_CHECK_MSG(ok(s) || s == Status::kPeerDead, "posted send failed");
   }
   draining_posted_ = false;
 }
@@ -310,22 +412,32 @@ sim::Op<> SimEndpoint::send_standalone_ack(NodeId peer) {
   h.type = FrameType::kAck;
   h.src = id();
   h.ack_count = static_cast<std::uint8_t>(acks.size());
+  if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
   ++stats_.acks_standalone;
   co_await node_.cpu().exec(node_.params().hostsw.fm_send_setup_cycles);
-  co_await inject(peer, encode_frame(h, nullptr, acks.data()));
+  std::vector<std::uint8_t> bytes = encode_frame(h, nullptr, acks.data());
+  if (cfg_.crc_frames)
+    co_await node_.cpu().exec(node_.params().hostsw.fm_crc_cycles_per_byte *
+                              static_cast<int>(bytes.size()));
+  co_await inject(peer, std::move(bytes));
 }
 
-sim::Op<> SimEndpoint::send_reject(const FrameHeader& h,
+sim::Op<> SimEndpoint::send_reject(NodeId to, const FrameHeader& h,
                                    const std::uint8_t* data) {
-  // Return the frame to its sender with the type flipped; acks it carried
-  // were already consumed here, so strip them.
+  // Return the frame to its sender (the transport source — a corrupted
+  // header's h.src is not trustworthy) with the type flipped; acks it
+  // carried were already consumed here, so strip them.
   FrameHeader rh = h;
   rh.type = FrameType::kReject;
   rh.ack_count = 0;
+  // rh inherits the CRC flag, so encode_frame recomputes a valid trailer.
   std::vector<std::uint8_t> bytes =
       encode_frame(rh, frame_payload(h, data), nullptr);
   co_await node_.cpu().exec(node_.params().hostsw.fm_send_setup_cycles);
-  co_await inject(h.src, std::move(bytes));
+  if (rh.has_crc())
+    co_await node_.cpu().exec(node_.params().hostsw.fm_crc_cycles_per_byte *
+                              static_cast<int>(bytes.size()));
+  co_await inject(to, std::move(bytes));
 }
 
 std::vector<std::uint8_t> SimEndpoint::strip_acks(const FrameHeader& h,

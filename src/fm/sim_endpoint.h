@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -56,8 +57,14 @@ class SimEndpoint {
     std::uint64_t acks_standalone = 0;   ///< Standalone ack frames sent.
     std::uint64_t rejects_issued = 0;    ///< Frames we returned to senders.
     std::uint64_t rejects_received = 0;  ///< Our frames returned to us.
-    std::uint64_t retransmissions = 0;   ///< Rejected frames re-injected.
+    std::uint64_t retransmissions = 0;   ///< Frames re-injected (reject + timeout).
     std::uint64_t malformed_frames = 0;  ///< Undecodable wire garbage dropped.
+    // FM-R reliability counters (all zero unless cfg.reliability/crc_frames).
+    std::uint64_t retransmit_timeouts = 0;   ///< Timer-driven retransmissions.
+    std::uint64_t duplicates_suppressed = 0; ///< Dup frames acked, not delivered.
+    std::uint64_t crc_drops = 0;             ///< Frames failing CRC verification.
+    std::uint64_t peers_dead = 0;            ///< Peers declared dead (max retries).
+    std::uint64_t reassemblies_expired = 0;  ///< Half-assembled slots reclaimed.
   };
 
   /// Creates an endpoint on `node`. Call start() before communicating.
@@ -102,6 +109,8 @@ class SimEndpoint {
   std::size_t unacked() const { return window_.in_flight(); }
   /// Frames parked for retransmission.
   std::size_t reject_queue_depth() const { return rejq_.size(); }
+  /// True when FM-R declared `peer` dead (sends to it fail immediately).
+  bool peer_dead(NodeId peer) const { return dead_peers_.count(peer) > 0; }
 
   const Stats& stats() const { return stats_; }
   const FmConfig& config() const { return cfg_; }
@@ -143,13 +152,28 @@ class SimEndpoint {
   sim::Op<> send_standalone_ack(NodeId peer);
 
   // Returns a data frame to its sender (return-to-sender rejection).
-  sim::Op<> send_reject(const FrameHeader& h, const std::uint8_t* data);
+  sim::Op<> send_reject(NodeId to, const FrameHeader& h,
+                        const std::uint8_t* data);
 
   // Processes one delivered frame (dispatch / ack / reject bookkeeping).
   sim::Op<> process_frame(hw::Packet pkt);
 
   // Runs posted handler replies.
   sim::Op<> drain_posted();
+
+  // FM-R: fires expired retransmit timers (retransmit or declare the peer
+  // dead) and reclaims abandoned reassembly slots.
+  sim::Op<> reliability_tick();
+
+  // Sleeps until new frames arrive — or, with FM-R timers armed, until the
+  // next retransmit poll interval.
+  sim::Op<> idle_wait();
+
+  // Drops all state aimed at a peer that exhausted its retries.
+  void mark_peer_dead(NodeId peer);
+
+  // Current time for the protocol timers (simulated ns).
+  std::uint64_t now_ns();
 
   // Re-encodes a frame with its piggybacked acks stripped.
   static std::vector<std::uint8_t> strip_acks(const FrameHeader& h,
@@ -164,6 +188,9 @@ class SimEndpoint {
   AckTracker acks_;
   Reassembler reasm_;
   RejectQueue rejq_;
+  RetransmitTimer timer_;
+  DedupFilter dedup_;
+  std::unordered_set<NodeId> dead_peers_;
   Stats stats_;
   std::vector<Posted> posted_;
   std::unordered_map<NodeId, std::size_t> credits_;  // window mode only

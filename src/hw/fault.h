@@ -6,7 +6,17 @@
 // errors are exceedingly rare". This module makes them un-rare on demand, so
 // tests and benches can demonstrate the consequences of that design choice:
 // the Myricom API's checksums catch corruption (at LANai cost), FM by
-// design does not.
+// design does not — and the FM-R reliability layer recovers from all of it.
+//
+// The extended fault model covers the failure classes a reliability layer
+// must survive, not just the bit errors §4.5 mentions:
+//   * drop        — a packet vanishes in the fabric,
+//   * corrupt     — a single bit flips in flight,
+//   * duplicate   — a packet is delivered twice (e.g. a link-level retry
+//                   whose original actually arrived),
+//   * reorder     — a packet is held back and overtaken by a later one,
+//   * burst loss  — a transient outage destroys several packets in a row
+//                   (the pattern that defeats naive single-retry schemes).
 //
 // Faults are deterministic (seeded PRNG) so failing runs replay exactly.
 #pragma once
@@ -22,12 +32,24 @@ namespace fm::hw {
 struct FaultParams {
   /// Probability a packet vanishes in the switch fabric.
   double drop_rate = 0.0;
-  /// Probability a packet suffers a single corrupted byte.
+  /// Probability a packet suffers a single corrupted bit.
   double corrupt_rate = 0.0;
+  /// Probability a packet is delivered twice.
+  double duplicate_rate = 0.0;
+  /// Probability a packet is held back and delivered after a later one.
+  double reorder_rate = 0.0;
+  /// Probability a packet starts a loss burst (it and the next
+  /// `burst_len - 1` packets are all destroyed).
+  double burst_rate = 0.0;
+  /// Packets destroyed per burst.
+  std::size_t burst_len = 4;
   /// PRNG seed (runs are bit-reproducible).
   std::uint64_t seed = 0x5eed;
 
-  bool enabled() const { return drop_rate > 0 || corrupt_rate > 0; }
+  bool enabled() const {
+    return drop_rate > 0 || corrupt_rate > 0 || duplicate_rate > 0 ||
+           reorder_rate > 0 || burst_rate > 0;
+  }
 };
 
 /// Per-network fault source.
@@ -35,8 +57,20 @@ class FaultInjector {
  public:
   explicit FaultInjector(const FaultParams& p) : params_(p), rng_(p.seed) {}
 
-  /// True if this packet should be silently dropped.
+  /// True if this packet should be silently dropped (single-packet loss or
+  /// an ongoing loss burst).
   bool should_drop() {
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      ++dropped_;
+      return true;
+    }
+    if (params_.burst_rate > 0 && rng_.chance(params_.burst_rate)) {
+      burst_remaining_ = params_.burst_len > 0 ? params_.burst_len - 1 : 0;
+      ++bursts_;
+      ++dropped_;
+      return true;
+    }
     if (params_.drop_rate <= 0) return false;
     if (!rng_.chance(params_.drop_rate)) return false;
     ++dropped_;
@@ -54,17 +88,42 @@ class FaultInjector {
     return true;
   }
 
-  /// Packets destroyed / damaged so far.
+  /// True if this packet should additionally be delivered a second time.
+  bool should_duplicate() {
+    if (params_.duplicate_rate <= 0) return false;
+    if (!rng_.chance(params_.duplicate_rate)) return false;
+    ++duplicated_;
+    return true;
+  }
+
+  /// True if this packet should be held back so a later packet overtakes
+  /// it. The caller owns the hold slot (stash this packet, release it after
+  /// the next delivery).
+  bool should_reorder() {
+    if (params_.reorder_rate <= 0) return false;
+    if (!rng_.chance(params_.reorder_rate)) return false;
+    ++reordered_;
+    return true;
+  }
+
+  /// Packets destroyed / damaged / duplicated / held back, bursts started.
   std::uint64_t dropped() const { return dropped_; }
   std::uint64_t corrupted() const { return corrupted_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+  std::uint64_t reordered() const { return reordered_; }
+  std::uint64_t bursts() const { return bursts_; }
 
   const FaultParams& params() const { return params_; }
 
  private:
   FaultParams params_;
   Xoshiro256 rng_;
+  std::size_t burst_remaining_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t corrupted_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::uint64_t bursts_ = 0;
 };
 
 }  // namespace fm::hw

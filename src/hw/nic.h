@@ -12,6 +12,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "common/types.h"
 #include "hw/lanai.h"
@@ -170,18 +171,39 @@ class Nic {
     }
     co_await sim_.delay(serialization);
     // Fault injection (off by default): a dropped packet consumed the wire
-    // but never arrives; corruption flips one bit in flight.
-    bool dropped = switch_->faults().should_drop();
+    // but never arrives; corruption flips one bit in flight; a duplicated
+    // packet lands twice; a reordered packet is parked in the NIC until the
+    // next transmission overtakes it (extended FM-R fault model).
+    auto& faults = switch_->faults();
+    bool dropped = faults.should_drop();
     if (!dropped) {
-      switch_->faults().maybe_corrupt(pkt.bytes);
-      Nic* dst = switch_->nic_at(pkt.dest);
-      FM_CHECK_MSG(dst != nullptr, "destination port vacant");
-      co_await dst->rx_ring_.send(std::move(pkt));
-      dst->lcp_wake_.notify_all();
+      faults.maybe_corrupt(pkt.bytes);
+      bool duplicate = faults.should_duplicate();
+      if (faults.should_reorder() && !reorder_held_.has_value()) {
+        reorder_held_ = std::move(pkt);
+      } else {
+        if (duplicate) {
+          Packet copy = pkt;
+          co_await deliver(std::move(copy));
+        }
+        co_await deliver(std::move(pkt));
+        if (reorder_held_.has_value()) {
+          Packet held = std::move(*reorder_held_);
+          reorder_held_.reset();
+          co_await deliver(std::move(held));
+        }
+      }
     }
     for (auto it = path.rbegin(); it != path.rend(); ++it) (*it)->release();
     out_link_.release();
     ++packets_sent_;
+  }
+
+  sim::Op<> deliver(Packet pkt) {
+    Nic* dst = switch_->nic_at(pkt.dest);
+    FM_CHECK_MSG(dst != nullptr, "destination port vacant");
+    co_await dst->rx_ring_.send(std::move(pkt));
+    dst->lcp_wake_.notify_all();
   }
 
   sim::Simulator& sim_;
@@ -195,6 +217,7 @@ class Nic {
   sim::Mailbox<Packet> rx_ring_;
   sim::Condition lcp_wake_{sim_};
   sim::BusyResource out_link_;
+  std::optional<Packet> reorder_held_;  // fault injection: overtaken packet
   Network* switch_ = nullptr;
   std::uint64_t next_seq_ = 0;
   std::uint64_t packets_sent_ = 0;

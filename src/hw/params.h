@@ -161,6 +161,13 @@ struct HostCosts {
   /// Per-frame flow-control bookkeeping on the receive side (ack tracking,
   /// piggyback credit update).
   int fm_flowctl_recv_cycles = 8;
+  /// FM-R CRC-32 cost per frame byte. Charged on both the sending and the
+  /// receiving host when crc_frames is on. One 50 MHz host cycle per byte
+  /// = 20 ns/byte, deliberately the same per-byte rate the Myricom API
+  /// model charges for its LANai checksum (2 LANai cycles per 4-byte word),
+  /// so Table-3-style "what does integrity checking cost" comparisons pit
+  /// like against like.
+  int fm_crc_cycles_per_byte = 1;
 
   /// Myricom API: building a command descriptor + doorbell.
   int api_send_setup_cycles = 120;

@@ -2,19 +2,21 @@
 
 namespace fm::shm {
 
-Cluster::Cluster(std::size_t nodes, FmConfig cfg, std::size_t ring_slots) {
+Cluster::Cluster(std::size_t nodes, FmConfig cfg, std::size_t ring_slots,
+                 hw::FaultParams faults) {
   FM_CHECK_MSG(nodes >= 1, "empty cluster");
   // Slot size: one full wire frame (header + fragment extension + payload +
-  // maximum piggybacked ack trailer).
+  // maximum piggybacked ack trailer + CRC trailer).
   const std::size_t slot = FrameHeader::kBaseBytes + FrameHeader::kFragExtBytes +
-                           cfg.frame_payload + 4 * 255;
+                           cfg.frame_payload + 4 * 255 +
+                           FrameHeader::kCrcBytes;
   rings_.resize(nodes * nodes);
   for (std::size_t i = 0; i < nodes; ++i)
     for (std::size_t j = 0; j < nodes; ++j)
       rings_[i * nodes + j] = std::make_unique<SpscRing>(ring_slots, slot);
   for (std::size_t i = 0; i < nodes; ++i)
     endpoints_.push_back(std::unique_ptr<Endpoint>(
-        new Endpoint(*this, static_cast<NodeId>(i), cfg)));
+        new Endpoint(*this, static_cast<NodeId>(i), cfg, faults)));
   barrier_ = std::make_unique<std::barrier<>>(static_cast<long>(nodes));
 }
 

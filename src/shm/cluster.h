@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "fm/config.h"
+#include "hw/fault.h"
 #include "shm/endpoint.h"
 
 namespace fm::shm {
@@ -27,8 +28,11 @@ class Cluster {
  public:
   /// Builds `nodes` endpoints. Ring geometry: `ring_slots` frames of
   /// wire size (frame payload + header + ack trailer) per ordered pair.
+  /// `faults` turns on sender-side fault injection (drop/corrupt/duplicate/
+  /// reorder/burst) with per-endpoint decorrelated seeds.
   explicit Cluster(std::size_t nodes, FmConfig cfg = FmConfig(),
-                   std::size_t ring_slots = 256);
+                   std::size_t ring_slots = 256,
+                   hw::FaultParams faults = hw::FaultParams());
   ~Cluster() = default;
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;

@@ -1,6 +1,7 @@
 #include "shm/endpoint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -8,16 +9,37 @@
 
 namespace fm::shm {
 
-Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg)
+Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
+                   const hw::FaultParams& faults)
     : cluster_(cluster),
       id_(id),
       cfg_(cfg),
       window_(cfg.pending_window),
-      reasm_(cfg.reassembly_slots) {}
+      reasm_(cfg.reassembly_slots),
+      timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
+  FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
+               "FM-R requires flow control: the send window holds the frame "
+               "copies retransmission needs");
+  if (faults.enabled()) {
+    // Each endpoint gets its own injector (the rings must stay
+    // single-writer) with a decorrelated seed, so runs remain
+    // bit-reproducible yet the nodes do not fail in lockstep.
+    hw::FaultParams mine = faults;
+    mine.seed = faults.seed + 0x9e3779b97f4a7c15ull * (id + 1);
+    faults_ = std::make_unique<hw::FaultInjector>(mine);
+  }
+}
 
 std::size_t Endpoint::cluster_size() const { return cluster_.size(); }
 
 void Endpoint::idle_pause() { std::this_thread::yield(); }
+
+std::uint64_t Endpoint::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // ---------------------------------------------------------------------------
 // Send path
@@ -36,6 +58,8 @@ Status Endpoint::send(NodeId dest, HandlerId handler, const void* buf,
   if (dest >= cluster_.size()) return Status::kBadArgument;
   if (!handlers_.valid(handler) || (len > 0 && buf == nullptr))
     return Status::kBadArgument;
+  if (cfg_.reliability && dead_peers_.count(dest) > 0)
+    return Status::kPeerDead;
   ++stats_.messages_sent;
   const auto* bytes = static_cast<const std::uint8_t*>(buf);
   if (len <= cfg_.frame_payload)
@@ -76,8 +100,14 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     return false;
   };
   while (blocked()) {
+    // A peer declared dead while we were blocked frees its window slots;
+    // the caller learns immediately instead of spinning forever.
+    if (cfg_.reliability && dead_peers_.count(dest) > 0)
+      return Status::kPeerDead;
     if (extract() == 0) idle_pause();
   }
+  if (cfg_.reliability && dead_peers_.count(dest) > 0)
+    return Status::kPeerDead;
   if (cfg_.flow_control && cfg_.window_mode) {
     FM_CHECK(credits_[dest] > 0);
     --credits_[dest];
@@ -87,9 +117,10 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   h.handler = handler;
   h.src = id_;
   h.payload_len = static_cast<std::uint16_t>(len);
+  if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
   std::vector<std::uint32_t> piggy;
   if (cfg_.flow_control) {
-    h.seq = window_.next_seq();
+    h.seq = window_.next_seq(dest);
     piggy = acks_.take(dest, cfg_.piggyback_acks);
     h.ack_count = static_cast<std::uint8_t>(piggy.size());
     stats_.acks_piggybacked += piggy.size();
@@ -102,7 +133,10 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   }
   std::vector<std::uint8_t> bytes =
       encode_frame(h, payload, piggy.empty() ? nullptr : piggy.data());
-  if (cfg_.flow_control) window_.track(h.seq, dest, bytes);
+  if (cfg_.flow_control) {
+    window_.track(dest, h.seq, bytes);
+    if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
+  }
   ++stats_.frames_sent;
   inject(dest, bytes.data(), bytes.size());
   return Status::kOk;
@@ -110,6 +144,34 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
 
 void Endpoint::inject(NodeId dest, const std::uint8_t* frame,
                       std::size_t len) {
+  if (!faults_) {
+    push(dest, frame, len);
+    return;
+  }
+  // Sender-side fault injection — the shm stand-in for the sim backend's
+  // faulty switch fabric. Same model: drop (single or burst), corrupt,
+  // duplicate, hold-and-overtake reorder.
+  if (faults_->should_drop()) return;
+  std::vector<std::uint8_t> bytes(frame, frame + len);
+  faults_->maybe_corrupt(bytes);
+  const bool dup = faults_->should_duplicate();
+  std::vector<std::uint8_t> release;
+  auto held = reorder_held_.find(dest);
+  if (held != reorder_held_.end()) {
+    release = std::move(held->second);
+    reorder_held_.erase(held);
+  } else if (faults_->should_reorder()) {
+    // Held until the next frame to this peer overtakes it (a timeout
+    // retransmission counts, so a held frame cannot be stuck forever).
+    reorder_held_[dest] = std::move(bytes);
+    return;
+  }
+  push(dest, bytes.data(), bytes.size());
+  if (dup) push(dest, bytes.data(), bytes.size());
+  if (!release.empty()) push(dest, release.data(), release.size());
+}
+
+void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len) {
   SpscRing& ring = cluster_.ring(id_, dest);
   // A full ring is backpressure: keep servicing our own receive side while
   // waiting so two nodes blasting each other cannot deadlock.
@@ -143,9 +205,12 @@ std::size_t Endpoint::extract() {
       process_frame(src, scratch.data(), scratch.size());
     }
   }
-  // Retransmit rejected frames whose backoff expired.
+  // Retransmit rejected frames whose backoff expired. Re-injection re-arms
+  // the FM-R timer with a fresh retry budget: a rejection proved the peer
+  // alive, so the dead-peer countdown restarts.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
     ++stats_.retransmissions;
+    if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     inject(entry.dest, entry.bytes.data(), entry.bytes.size());
   }
   // Standalone acks for peers owed a batch. The threshold must stay below
@@ -160,6 +225,7 @@ std::size_t Endpoint::extract() {
         std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
     for (NodeId peer : acks_.peers_over(threshold)) send_standalone_ack(peer);
   }
+  reliability_tick();
   drain_posted();
   return count;
 }
@@ -175,16 +241,71 @@ void Endpoint::drain() {
   }
 }
 
+void Endpoint::reliability_tick() {
+  if (!cfg_.reliability) return;
+  const std::uint64_t now = now_ns();
+  for (const auto& due : timer_.expired(now)) {
+    if (due.exhausted) {
+      mark_peer_dead(due.dest);
+      continue;
+    }
+    const std::vector<std::uint8_t>* bytes = window_.find(due.dest, due.seq);
+    if (bytes == nullptr) {
+      // Acked (or bounced into the reject queue) between the deadline
+      // passing and the timer firing.
+      timer_.disarm(due.dest, due.seq);
+      continue;
+    }
+    ++stats_.retransmit_timeouts;
+    ++stats_.retransmissions;
+    // inject() can re-enter extract() on ring backpressure, which may ack
+    // and erase the window entry — copy before injecting.
+    std::vector<std::uint8_t> copy = *bytes;
+    inject(due.dest, copy.data(), copy.size());
+  }
+  if (reasm_.active() > 0 && cfg_.reassembly_ttl_ns > 0 &&
+      now > cfg_.reassembly_ttl_ns)
+    stats_.reassemblies_expired +=
+        reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+}
+
+void Endpoint::mark_peer_dead(NodeId peer) {
+  if (!dead_peers_.insert(peer).second) return;
+  ++stats_.peers_dead;
+  // Drop every piece of state aimed at (or held for) the dead peer so
+  // blocked senders unblock and no slot stays pinned.
+  window_.drop_dest(peer);
+  timer_.disarm_all(peer);
+  rejq_.drop_dest(peer);
+  acks_.forget(peer);
+  dedup_.forget(peer);
+  reasm_.abort(peer);
+  credits_.erase(peer);
+  reorder_held_.erase(peer);
+}
+
 void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
                              std::size_t len) {
   auto hdr = decode_header(data, len);
-  FM_CHECK_MSG(hdr.has_value(), "malformed frame on ring");
+  if (!hdr.has_value()) {
+    // Only injected corruption can produce wire garbage here; on a
+    // lossless ring a malformed frame is a protocol bug.
+    FM_CHECK_MSG(faults_ != nullptr, "malformed frame on ring");
+    ++stats_.malformed_frames;
+    return;
+  }
   const FrameHeader& h = *hdr;
+  if (h.has_crc() && !frame_crc_ok(h, data)) {
+    ++stats_.crc_drops;
+    return;  // no ack — the sender's retransmit timer recovers the frame
+  }
+  // Acks are attributed to the ring the frame arrived on (`from`), not the
+  // header's src field: the transport source is ground truth even when the
+  // payload bytes are suspect.
   for (std::size_t i = 0; i < h.ack_count; ++i) {
     std::uint32_t seq = frame_ack(h, data, i);
-    auto dest = window_.dest_of(seq);
-    if (window_.ack(seq) && cfg_.window_mode && dest.has_value())
-      ++credits_[*dest];
+    timer_.disarm(from, seq);
+    if (window_.ack(from, seq) && cfg_.window_mode) ++credits_[from];
   }
   switch (h.type) {
     case FrameType::kAck:
@@ -192,32 +313,51 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
     case FrameType::kReject: {
       // One of our data frames bounced off `from`; park a cleaned copy
       // (type restored, stale piggybacked acks stripped) for retransmission.
-      FM_CHECK_MSG(h.src == id_, "reject for a frame we never sent");
+      if (h.src != id_) {
+        FM_CHECK_MSG(faults_ != nullptr, "reject for a frame we never sent");
+        ++stats_.malformed_frames;
+        return;
+      }
       ++stats_.rejects_received;
+      // The rejection proved the peer alive; the reject-queue backoff now
+      // owns this frame and the timer re-arms at re-injection.
+      if (cfg_.reliability) timer_.disarm(from, h.seq);
       FrameHeader clean = h;
       clean.type = FrameType::kData;
       clean.ack_count = 0;
+      // clean inherits the CRC flag, so encode_frame recomputes a valid
+      // trailer over the cleaned frame.
       rejq_.add(from, h.seq,
                 encode_frame(clean, frame_payload(h, data), nullptr));
       break;
     }
     case FrameType::kData: {
+      if (cfg_.reliability && dedup_.seen(from, h.seq)) {
+        // Already accepted once: suppress delivery but re-ack, since the
+        // duplicate usually means our first ack was lost with the original.
+        ++stats_.duplicates_suppressed;
+        acks_.note(from, h.seq);
+        break;
+      }
       const std::uint8_t* payload = frame_payload(h, data);
       if (h.fragmented()) {
         std::vector<std::uint8_t> message;
-        switch (reasm_.feed(h.src, h, payload, &message)) {
+        switch (reasm_.feed(from, h, payload, &message, now_ns())) {
           case Reassembler::Feed::kMalformed:
-            FM_UNREACHABLE("malformed fragment on a lossless shm ring");
+            FM_CHECK_MSG(faults_ != nullptr,
+                         "malformed fragment on a lossless shm ring");
+            ++stats_.malformed_frames;
+            return;  // dropped: no ack, no dedup mark
           case Reassembler::Feed::kRejected:
             ++stats_.rejects_issued;
-            send_reject(h, data);
-            return;  // not accepted: no ack
+            send_reject(from, h, data);
+            return;  // not accepted: no ack, no dedup mark
           case Reassembler::Feed::kAccepted:
             break;
           case Reassembler::Feed::kComplete:
             ++stats_.messages_delivered;
             in_handler_ = true;
-            handlers_.dispatch(h.handler, *this, h.src, message.data(),
+            handlers_.dispatch(h.handler, *this, from, message.data(),
                                message.size());
             in_handler_ = false;
             break;
@@ -225,10 +365,11 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       } else {
         ++stats_.messages_delivered;
         in_handler_ = true;
-        handlers_.dispatch(h.handler, *this, h.src, payload, h.payload_len);
+        handlers_.dispatch(h.handler, *this, from, payload, h.payload_len);
         in_handler_ = false;
       }
-      if (cfg_.flow_control) acks_.note(h.src, h.seq);
+      if (cfg_.reliability) dedup_.mark(from, h.seq);
+      if (cfg_.flow_control) acks_.note(from, h.seq);
       break;
     }
   }
@@ -241,7 +382,9 @@ void Endpoint::drain_posted() {
     Posted p = std::move(posted_.front());
     posted_.erase(posted_.begin());
     Status s = send(p.dest, p.handler, p.payload.data(), p.payload.size());
-    FM_CHECK_MSG(ok(s), "posted send failed");
+    // A posted reply to a peer that died while it sat queued is dropped,
+    // not a crash.
+    FM_CHECK_MSG(ok(s) || s == Status::kPeerDead, "posted send failed");
   }
   draining_posted_ = false;
 }
@@ -252,18 +395,21 @@ void Endpoint::send_standalone_ack(NodeId peer) {
   FrameHeader h;
   h.type = FrameType::kAck;
   h.src = id_;
+  if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
   h.ack_count = static_cast<std::uint8_t>(acks.size());
   ++stats_.acks_standalone;
   auto bytes = encode_frame(h, nullptr, acks.data());
   inject(peer, bytes.data(), bytes.size());
 }
 
-void Endpoint::send_reject(const FrameHeader& h, const std::uint8_t* data) {
+void Endpoint::send_reject(NodeId from, const FrameHeader& h,
+                           const std::uint8_t* data) {
   FrameHeader rh = h;
   rh.type = FrameType::kReject;
   rh.ack_count = 0;
+  // rh inherits the CRC flag, so encode_frame recomputes a valid trailer.
   auto bytes = encode_frame(rh, frame_payload(h, data), nullptr);
-  inject(h.src, bytes.data(), bytes.size());
+  inject(from, bytes.data(), bytes.size());
 }
 
 void Endpoint::post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -25,6 +26,7 @@
 #include "fm/frame.h"
 #include "fm/handler_registry.h"
 #include "fm/protocol.h"
+#include "hw/fault.h"
 #include "shm/spsc_ring.h"
 
 namespace fm::shm {
@@ -47,6 +49,13 @@ class Endpoint {
     std::uint64_t rejects_issued = 0;
     std::uint64_t rejects_received = 0;
     std::uint64_t retransmissions = 0;
+    std::uint64_t malformed_frames = 0;
+    // FM-R reliability counters (all zero unless cfg.reliability/crc_frames).
+    std::uint64_t retransmit_timeouts = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t crc_drops = 0;
+    std::uint64_t peers_dead = 0;
+    std::uint64_t reassemblies_expired = 0;
   };
 
   Endpoint(const Endpoint&) = delete;
@@ -100,12 +109,17 @@ class Endpoint {
   std::size_t unacked() const { return window_.in_flight(); }
   /// Frames parked for retransmission.
   std::size_t reject_queue_depth() const { return rejq_.size(); }
+  /// True when FM-R declared `peer` dead (sends to it fail immediately).
+  bool peer_dead(NodeId peer) const { return dead_peers_.count(peer) > 0; }
   const Stats& stats() const { return stats_; }
   const FmConfig& config() const { return cfg_; }
+  /// This endpoint's sender-side fault source (null when faults are off).
+  const hw::FaultInjector* faults() const { return faults_.get(); }
 
  private:
   friend class Cluster;
-  Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg);
+  Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
+           const hw::FaultParams& faults);
 
   struct Posted {
     NodeId dest;
@@ -118,12 +132,17 @@ class Endpoint {
                          bool fragmented, std::uint32_t msg_id,
                          std::uint16_t frag_index, std::uint16_t frag_count);
   void inject(NodeId dest, const std::uint8_t* frame, std::size_t len);
+  void push(NodeId dest, const std::uint8_t* frame, std::size_t len);
   void process_frame(NodeId from, const std::uint8_t* data,
                      std::size_t len);
   void send_standalone_ack(NodeId peer);
-  void send_reject(const FrameHeader& h, const std::uint8_t* data);
+  void send_reject(NodeId from, const FrameHeader& h,
+                   const std::uint8_t* data);
   void drain_posted();
+  void reliability_tick();
+  void mark_peer_dead(NodeId peer);
   void idle_pause();
+  static std::uint64_t now_ns();
 
   Cluster& cluster_;
   NodeId id_;
@@ -133,9 +152,16 @@ class Endpoint {
   AckTracker acks_;
   Reassembler reasm_;
   RejectQueue rejq_;
+  RetransmitTimer timer_;
+  DedupFilter dedup_;
+  std::unordered_set<NodeId> dead_peers_;
   Stats stats_;
   std::vector<Posted> posted_;
   std::unordered_map<NodeId, std::size_t> credits_;  // window mode only
+  // Sender-side fault injection (the shm stand-in for the switch fabric's
+  // FaultInjector; one per endpoint so the SPSC rings stay single-writer).
+  std::unique_ptr<hw::FaultInjector> faults_;
+  std::unordered_map<NodeId, std::vector<std::uint8_t>> reorder_held_;
   std::uint32_t next_msg_id_ = 1;
   bool in_handler_ = false;
   bool draining_posted_ = false;

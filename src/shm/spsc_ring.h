@@ -41,7 +41,7 @@ class SpscRing {
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail - head > mask_) return false;  // full
     const std::size_t i = static_cast<std::size_t>(tail) & mask_;
-    std::memcpy(data_.get() + i * slot_bytes_, frame, len);
+    if (len != 0) std::memcpy(data_.get() + i * slot_bytes_, frame, len);
     lengths_[i] = static_cast<std::uint32_t>(len);
     tail_.store(tail + 1, std::memory_order_release);
     return true;

@@ -10,33 +10,150 @@ namespace {
 TEST(SendWindow, TracksAndAcks) {
   SendWindow w(4);
   EXPECT_FALSE(w.full());
-  auto s1 = w.next_seq();
-  auto s2 = w.next_seq();
-  EXPECT_NE(s1, s2);
-  w.track(s1, 1, {1, 2, 3});
-  w.track(s2, 2, {4, 5});
+  auto s1 = w.next_seq(1);
+  auto s2 = w.next_seq(2);
+  // Sequences are per destination: both peers see a stream starting at 1.
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(s2, 1u);
+  w.track(1, s1, {1, 2, 3});
+  w.track(2, s2, {4, 5});
   EXPECT_EQ(w.in_flight(), 2u);
-  EXPECT_TRUE(w.ack(s1));
-  EXPECT_FALSE(w.ack(s1));  // duplicate ack is harmless
+  EXPECT_TRUE(w.ack(1, s1));
+  EXPECT_FALSE(w.ack(1, s1));  // duplicate ack is harmless
   EXPECT_EQ(w.in_flight(), 1u);
-  ASSERT_NE(w.find(s2), nullptr);
-  EXPECT_EQ(w.find(s2)->size(), 2u);
-  EXPECT_EQ(w.find(s1), nullptr);
-  EXPECT_EQ(*w.dest_of(s2), 2u);
+  ASSERT_NE(w.find(2, s2), nullptr);
+  EXPECT_EQ(w.find(2, s2)->size(), 2u);
+  EXPECT_EQ(w.find(1, s1), nullptr);
+}
+
+TEST(SendWindow, PerDestinationSequencesAreDense) {
+  SendWindow w(8);
+  EXPECT_EQ(w.next_seq(5), 1u);
+  EXPECT_EQ(w.next_seq(9), 1u);
+  EXPECT_EQ(w.next_seq(5), 2u);
+  EXPECT_EQ(w.next_seq(5), 3u);
+  EXPECT_EQ(w.next_seq(9), 2u);
+}
+
+TEST(SendWindow, DropDestFreesOnlyThatPeer) {
+  SendWindow w(8);
+  w.track(1, w.next_seq(1), {1});
+  w.track(1, w.next_seq(1), {2});
+  w.track(2, w.next_seq(2), {3});
+  EXPECT_EQ(w.drop_dest(1), 2u);
+  EXPECT_EQ(w.in_flight(), 1u);
+  ASSERT_NE(w.find(2, 1), nullptr);
 }
 
 TEST(SendWindow, FullGatesInjection) {
   SendWindow w(2);
-  w.track(w.next_seq(), 0, {});
-  w.track(w.next_seq(), 0, {});
+  w.track(0, w.next_seq(0), {});
+  w.track(0, w.next_seq(0), {});
   EXPECT_TRUE(w.full());
   EXPECT_EQ(w.space(), 0u);
 }
 
 TEST(SendWindowDeathTest, OverflowAborts) {
   SendWindow w(1);
-  w.track(w.next_seq(), 0, {});
-  EXPECT_DEATH(w.track(w.next_seq(), 0, {}), "overflow");
+  w.track(0, w.next_seq(0), {});
+  EXPECT_DEATH(w.track(0, w.next_seq(0), {}), "overflow");
+}
+
+TEST(RetransmitTimer, FiresAfterDeadlineWithBackoff) {
+  RetransmitTimer t(100, 3);
+  t.arm(1, 7, 1000);
+  EXPECT_EQ(t.armed(), 1u);
+  EXPECT_TRUE(t.expired(1099).empty());  // deadline is now + 100
+  auto due = t.expired(1100);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].dest, 1u);
+  EXPECT_EQ(due[0].seq, 7u);
+  EXPECT_EQ(due[0].retries, 1u);
+  EXPECT_FALSE(due[0].exhausted);
+  // Re-armed with exponential backoff: next deadline 1100 + 100*2.
+  EXPECT_TRUE(t.expired(1299).empty());
+  EXPECT_EQ(t.expired(1300).size(), 1u);
+}
+
+TEST(RetransmitTimer, ExhaustsAfterMaxRetries) {
+  RetransmitTimer t(10, 2);
+  t.arm(3, 1, 0);
+  std::uint64_t now = 0;
+  std::size_t fired = 0;
+  bool exhausted = false;
+  // March time far enough forward each step to beat any backoff.
+  for (int i = 0; i < 10 && !exhausted; ++i) {
+    now += 100000;
+    for (const auto& d : t.expired(now)) {
+      ++fired;
+      exhausted = d.exhausted;
+    }
+  }
+  EXPECT_TRUE(exhausted);
+  EXPECT_EQ(fired, 3u);  // 2 retries + the exhausted report
+  EXPECT_EQ(t.armed(), 0u);  // exhausted entry forgotten
+}
+
+TEST(RetransmitTimer, DisarmCancelsAndRearmResetsRetries) {
+  RetransmitTimer t(10, 2);
+  t.arm(1, 1, 0);
+  t.arm(1, 2, 0);
+  t.arm(2, 1, 0);
+  t.disarm(1, 1);
+  EXPECT_EQ(t.armed(), 2u);
+  t.disarm_all(1);
+  EXPECT_EQ(t.armed(), 1u);
+  // Burn a retry, then re-arm: the retry count starts over.
+  EXPECT_EQ(t.expired(100).size(), 1u);
+  t.arm(2, 1, 100);
+  auto due = t.expired(100000);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].retries, 1u);
+}
+
+TEST(DedupFilter, ExactMembershipInAnyOrder) {
+  DedupFilter d;
+  EXPECT_FALSE(d.seen(1, 1));
+  d.mark(1, 1);
+  EXPECT_TRUE(d.seen(1, 1));
+  // Out-of-order acceptance: 3 before 2.
+  d.mark(1, 3);
+  EXPECT_TRUE(d.seen(1, 3));
+  EXPECT_FALSE(d.seen(1, 2));
+  d.mark(1, 2);
+  EXPECT_TRUE(d.seen(1, 2));
+  // The gap filled, so the cutoff advanced and the ahead-set drained.
+  EXPECT_EQ(d.pending_gaps(1), 0u);
+  // Peers are independent.
+  EXPECT_FALSE(d.seen(2, 1));
+}
+
+TEST(DedupFilter, CutoffStaysExactOverLongStream) {
+  DedupFilter d;
+  Xoshiro256 rng(123);
+  std::vector<std::uint32_t> seqs(500);
+  for (std::uint32_t i = 0; i < 500; ++i) seqs[i] = i + 1;
+  for (std::size_t i = 500; i > 1; --i)
+    std::swap(seqs[i - 1], seqs[rng.below(i)]);
+  for (auto s : seqs) {
+    EXPECT_FALSE(d.seen(4, s));
+    d.mark(4, s);
+    EXPECT_TRUE(d.seen(4, s));
+  }
+  EXPECT_EQ(d.pending_gaps(4), 0u);
+  EXPECT_FALSE(d.seen(4, 501));
+  d.forget(4);
+  EXPECT_FALSE(d.seen(4, 1));
+}
+
+TEST(RejectQueue, IgnoresAlreadyParkedSeq) {
+  RejectQueue q;
+  q.add(1, 100, {1});
+  q.add(1, 100, {1});  // a timeout copy bounced too — parked only once
+  q.add(1, 101, {2});
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.drop_dest(1), 2u);
+  EXPECT_EQ(q.size(), 0u);
 }
 
 TEST(AckTracker, AccumulatesAndTakes) {
@@ -171,6 +288,63 @@ TEST(Reassembler, RandomizedFragmentOrderProperty) {
     ASSERT_TRUE(completed);
     EXPECT_EQ(out, message);
   }
+}
+
+TEST(Reassembler, ExpiresAbandonedSlots) {
+  Reassembler r(2);
+  std::vector<std::uint8_t> out;
+  std::uint8_t p[1] = {0};
+  // Two half-assembled messages fed at t=1000 and t=5000.
+  EXPECT_EQ(r.feed(0, frag_header(1, 0, 2, 1), p, &out, 1000),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(0, frag_header(2, 0, 2, 1), p, &out, 5000),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.active(), 2u);
+  // Expiry frees only the stale one; the fresh slot survives and the pool
+  // can accept new work again (the slot-leak regression).
+  EXPECT_EQ(r.expire_older_than(2000), 1u);
+  EXPECT_EQ(r.active(), 1u);
+  EXPECT_EQ(r.feed(0, frag_header(3, 0, 2, 1), p, &out, 6000),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(0, frag_header(2, 1, 2, 1), p, &out, 6000),
+            Reassembler::Feed::kComplete);
+}
+
+TEST(Reassembler, SlotLeakRecoveredByExpiry) {
+  // Regression: a peer that starts a fragmented message and never finishes
+  // it must not pin receive-pool slots forever. Without expiry the pool
+  // rejects everything once poisoned; expiry reclaims it.
+  Reassembler r(2);
+  std::vector<std::uint8_t> out;
+  std::uint8_t p[1] = {0};
+  EXPECT_EQ(r.feed(7, frag_header(1, 0, 2, 1), p, &out, 10),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(7, frag_header(2, 0, 2, 1), p, &out, 10),
+            Reassembler::Feed::kAccepted);
+  // Pool poisoned: new messages bounce indefinitely.
+  EXPECT_EQ(r.feed(8, frag_header(3, 0, 2, 1), p, &out, 20),
+            Reassembler::Feed::kRejected);
+  EXPECT_EQ(r.feed(8, frag_header(3, 0, 2, 1), p, &out, 30),
+            Reassembler::Feed::kRejected);
+  EXPECT_EQ(r.expire_older_than(100), 2u);
+  EXPECT_EQ(r.feed(8, frag_header(3, 0, 2, 1), p, &out, 110),
+            Reassembler::Feed::kAccepted);
+}
+
+TEST(Reassembler, AbortDropsOneSourceOnly) {
+  Reassembler r(4);
+  std::vector<std::uint8_t> out;
+  std::uint8_t p[1] = {9};
+  EXPECT_EQ(r.feed(1, frag_header(1, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(1, frag_header(2, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.feed(2, frag_header(1, 0, 2, 1), p, &out),
+            Reassembler::Feed::kAccepted);
+  EXPECT_EQ(r.abort(1), 2u);
+  EXPECT_EQ(r.active(), 1u);
+  EXPECT_EQ(r.feed(2, frag_header(1, 1, 2, 1), p, &out),
+            Reassembler::Feed::kComplete);
 }
 
 TEST(RejectQueue, BackoffAging) {

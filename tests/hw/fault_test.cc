@@ -45,6 +45,193 @@ TEST(FaultInjector, CorruptionFlipsExactlyOneBit) {
   EXPECT_EQ(set_bits, 1);
 }
 
+TEST(FaultInjector, BurstDestroysConsecutivePackets) {
+  FaultParams fp;
+  fp.burst_rate = 1.0;  // first packet starts a burst immediately
+  fp.burst_len = 4;
+  FaultInjector inj(fp);
+  // The burst packet and the next burst_len-1 are all destroyed.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(inj.should_drop());
+  EXPECT_EQ(inj.dropped(), 4u);
+  EXPECT_EQ(inj.bursts(), 1u);  // only after the burst drains can a new one start
+}
+
+TEST(FaultInjector, DuplicateAndReorderRatesHonored) {
+  FaultParams fp;
+  fp.duplicate_rate = 0.2;
+  fp.reorder_rate = 0.1;
+  FaultInjector inj(fp);
+  int dup = 0, reo = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (inj.should_duplicate()) ++dup;
+    if (inj.should_reorder()) ++reo;
+  }
+  EXPECT_NEAR(dup / 10000.0, 0.2, 0.02);
+  EXPECT_NEAR(reo / 10000.0, 0.1, 0.02);
+  EXPECT_EQ(inj.duplicated(), static_cast<std::uint64_t>(dup));
+  EXPECT_EQ(inj.reordered(), static_cast<std::uint64_t>(reo));
+}
+
+TEST(FaultNetwork, DuplicatesDeliverTwice) {
+  HwParams p = HwParams::paper();
+  p.faults.duplicate_rate = 1.0;
+  Cluster c(2, p);
+  auto send = [](Cluster& cl) -> sim::Task {
+    Packet pkt;
+    pkt.id = cl.node(0).nic().next_packet_id();
+    pkt.dest = 1;
+    pkt.bytes.assign(64, 0x5A);
+    co_await cl.node(0).nic().transmit(std::move(pkt));
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  EXPECT_EQ(c.node(1).nic().rx_ring().size(), 2u);
+}
+
+TEST(FaultNetwork, ReorderHoldsUntilOvertaken) {
+  HwParams p = HwParams::paper();
+  p.faults.reorder_rate = 1.0;
+  Cluster c(2, p);
+  auto send = [](Cluster& cl) -> sim::Task {
+    for (std::uint8_t tag = 1; tag <= 2; ++tag) {
+      Packet pkt;
+      pkt.id = cl.node(0).nic().next_packet_id();
+      pkt.dest = 1;
+      pkt.bytes.assign(64, tag);
+      co_await cl.node(0).nic().transmit(std::move(pkt));
+    }
+  };
+  c.sim().spawn(send(c));
+  c.sim().run();
+  // Packet 1 was held; packet 2 overtook it and forced its release.
+  auto& ring = c.node(1).nic().rx_ring();
+  ASSERT_EQ(ring.size(), 2u);
+  auto first = ring.try_recv();
+  auto second = ring.try_recv();
+  ASSERT_TRUE(first.has_value() && second.has_value());
+  EXPECT_EQ(first->bytes[0], 2);
+  EXPECT_EQ(second->bytes[0], 1);
+}
+
+TEST(FaultNetwork, FlowControlAloneStallsOnLoss) {
+  // The acceptance demonstration for FM-R's existence: plain FM flow
+  // control on a lossy network STALLS — a dropped frame is never acked, its
+  // window slot never frees, and the sender's drain can never finish. (The
+  // companion test below runs the identical workload with FM-R on.)
+  FmConfig cfg;  // flow_control on, reliability off: FM 1.0
+  Cluster c(2, faulty(0.05, 0.0));
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  std::size_t got = 0;
+  HandlerId h = a.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++got; });
+  (void)b.register_handler(
+      [&](SimEndpoint&, NodeId, const void*, std::size_t) { ++got; });
+  a.start();
+  b.start();
+  const std::size_t kMsgs = 200;
+  auto tx = [](SimEndpoint& a, HandlerId h, std::size_t n) -> sim::Task {
+    for (std::size_t i = 0; i < n; ++i)
+      co_await a.send4(1, h, static_cast<std::uint32_t>(i), 0, 0, 0);
+    co_await a.drain();  // never returns: lost frames stay unacked forever
+    FM_UNREACHABLE("drain finished on a lossy network without FM-R");
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) {
+      (void)co_await b.extract_blocking();
+      co_await b.drain();
+    }
+  };
+  c.sim().spawn(tx(a, h, kMsgs));
+  c.sim().spawn(rx(b));
+  c.sim().run_for(sim::ms(200));
+  EXPECT_LT(got, kMsgs);     // messages were lost outright
+  EXPECT_GT(a.unacked(), 0u);  // and the sender is wedged on their acks
+  a.shutdown();
+  b.shutdown();
+  c.sim().run_for(sim::ms(10));
+}
+
+TEST(FaultNetwork, FmRRecoversTheSameWorkload) {
+  // Identical network and workload to FlowControlAloneStallsOnLoss, with
+  // FM-R on: every message lands exactly once and the drain completes.
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  Cluster c(2, faulty(0.05, 0.0));
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  std::vector<int> got(200, 0);
+  HandlerId h = a.register_handler(
+      [](SimEndpoint&, NodeId, const void*, std::size_t) {});
+  (void)b.register_handler(
+      [&](SimEndpoint&, NodeId, const void* data, std::size_t) {
+        std::uint32_t tag;
+        std::memcpy(&tag, data, 4);
+        ++got[tag];
+      });
+  a.start();
+  b.start();
+  bool drained = false;
+  auto tx = [](SimEndpoint& a, HandlerId h, bool* drained) -> sim::Task {
+    for (std::uint32_t i = 0; i < 200; ++i)
+      FM_CHECK(ok(co_await a.send4(1, h, i, 0, 0, 0)));
+    co_await a.drain();
+    *drained = true;
+  };
+  auto rx = [](SimEndpoint& b) -> sim::Task {
+    for (;;) {
+      (void)co_await b.extract_blocking();
+      co_await b.drain();
+    }
+  };
+  c.sim().spawn(tx(a, h, &drained));
+  c.sim().spawn(rx(b));
+  c.sim().run_while_pending([&] { return drained; });
+  EXPECT_TRUE(drained);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(got[i], 1) << "tag " << i;
+  EXPECT_GT(a.stats().retransmit_timeouts, 0u);
+  EXPECT_EQ(a.stats().peers_dead, 0u);
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
+TEST(FaultNetwork, DeadPeerFailsFastAfterMaxRetries) {
+  // Graceful degradation: a peer that never acks (here: 100% loss) is
+  // declared dead after max_retries; pending traffic errors out with
+  // kPeerDead instead of hanging, and later sends fail immediately.
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.max_retries = 3;
+  cfg.retransmit_timeout_ns = 50'000;
+  Cluster c(2, faulty(1.0, 0.0));
+  SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
+  HandlerId h = a.register_handler(
+      [](SimEndpoint&, NodeId, const void*, std::size_t) {});
+  (void)b.register_handler(
+      [](SimEndpoint&, NodeId, const void*, std::size_t) {});
+  a.start();
+  b.start();
+  bool done = false;
+  auto tx = [](SimEndpoint& a, HandlerId h, bool* done) -> sim::Task {
+    FM_CHECK(ok(co_await a.send4(1, h, 1, 2, 3, 4)));
+    // drain() terminates because the dead-peer purge empties the window.
+    co_await a.drain();
+    FM_CHECK(a.peer_dead(1));
+    Status s = co_await a.send4(1, h, 5, 6, 7, 8);
+    FM_CHECK(s == Status::kPeerDead);
+    *done = true;
+  };
+  c.sim().spawn(tx(a, h, &done));
+  c.sim().run_while_pending([&] { return done; });
+  EXPECT_TRUE(done);
+  EXPECT_EQ(a.stats().peers_dead, 1u);
+  EXPECT_EQ(a.stats().retransmit_timeouts, 3u);
+  EXPECT_EQ(a.unacked(), 0u);
+  a.shutdown();
+  b.shutdown();
+  c.sim().run();
+}
+
 TEST(FaultNetwork, DropsVanishSilently) {
   Cluster c(2, faulty(1.0, 0.0));  // every packet dropped
   auto send = [](Cluster& cl) -> sim::Task {

@@ -22,12 +22,20 @@ struct SoakResult {
   sim::Time end_time = 0;
   std::uint64_t rejects = 0;
   std::uint64_t retransmissions = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t retransmit_timeouts = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t crc_drops = 0;
+  std::uint64_t peers_dead = 0;
 };
 
 SoakResult run_soak(std::uint64_t seed, std::size_t nodes, int msgs_per_node,
-                    const FmConfig& cfg, std::size_t nodes_per_switch = 0) {
+                    const FmConfig& cfg, std::size_t nodes_per_switch = 0,
+                    hw::FaultParams faults = hw::FaultParams()) {
   SoakResult result;
-  hw::Cluster c(nodes, hw::HwParams::paper(), nodes_per_switch);
+  hw::HwParams params = hw::HwParams::paper();
+  params.faults = faults;
+  hw::Cluster c(nodes, params, nodes_per_switch);
   std::vector<std::unique_ptr<SimEndpoint>> eps;
   for (std::size_t i = 0; i < nodes; ++i)
     eps.push_back(std::make_unique<SimEndpoint>(c.node(i), cfg));
@@ -93,6 +101,11 @@ SoakResult run_soak(std::uint64_t seed, std::size_t nodes, int msgs_per_node,
   for (auto& ep : eps) {
     result.rejects += ep->stats().rejects_issued;
     result.retransmissions += ep->stats().retransmissions;
+    result.frames_sent += ep->stats().frames_sent;
+    result.retransmit_timeouts += ep->stats().retransmit_timeouts;
+    result.duplicates_suppressed += ep->stats().duplicates_suppressed;
+    result.crc_drops += ep->stats().crc_drops;
+    result.peers_dead += ep->stats().peers_dead;
     ep->shutdown();
   }
   c.sim().run();
@@ -132,6 +145,71 @@ TEST(RandomSoak, WorksOnCascadeTopology) {
   auto r = run_soak(11, 6, 25, cfg, /*nodes_per_switch=*/2);
   EXPECT_EQ(r.seen.size(), 6u * 25u);
   for (auto& [key, count] : r.seen) EXPECT_EQ(count, 1u);
+}
+
+TEST(RandomSoak, LossySoakFmRExactlyOnce) {
+  // The FM-R acceptance workload: ≥10k messages through a fabric dropping
+  // AND corrupting 1% of packets each. Every message must land exactly
+  // once, intact, with recovery cost bounded by the injected fault rate.
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  // Timeout above the soak's bursty extract cadence (nodes service the
+  // network only every 8 sends), so timers fire for genuinely lost frames
+  // rather than merely slow acks.
+  cfg.retransmit_timeout_ns = 3'000'000;
+  hw::FaultParams faults;
+  faults.drop_rate = 0.01;
+  faults.corrupt_rate = 0.01;
+  auto r = run_soak(5, /*nodes=*/5, /*msgs_per_node=*/2000, cfg,
+                    /*nodes_per_switch=*/0, faults);
+  EXPECT_EQ(r.seen.size(), 5u * 2000u);  // nothing lost
+  for (auto& [key, count] : r.seen) EXPECT_EQ(count, 1u);  // nothing doubled
+  EXPECT_EQ(r.peers_dead, 0u);  // healthy peers never misdeclared dead
+  EXPECT_GT(r.retransmit_timeouts, 0u);  // losses actually recovered
+  EXPECT_GT(r.crc_drops, 0u);            // corruption actually caught
+  // Bounded recovery: ~2% of frames are faulted, so retransmissions must
+  // stay a small fraction of traffic, not a runaway storm.
+  EXPECT_LT(r.retransmissions, r.frames_sent / 5);
+}
+
+TEST(RandomSoak, ExtendedFaultModelFmRExactlyOnce) {
+  // Full extended fault model: drop + corrupt + duplicate + reorder +
+  // burst loss, all at once. Exactly-once must still hold.
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  cfg.retransmit_timeout_ns = 3'000'000;
+  hw::FaultParams faults;
+  faults.drop_rate = 0.005;
+  faults.corrupt_rate = 0.005;
+  faults.duplicate_rate = 0.01;
+  faults.reorder_rate = 0.01;
+  faults.burst_rate = 0.001;
+  faults.burst_len = 4;
+  auto r = run_soak(9, /*nodes=*/4, /*msgs_per_node=*/600, cfg,
+                    /*nodes_per_switch=*/0, faults);
+  EXPECT_EQ(r.seen.size(), 4u * 600u);
+  for (auto& [key, count] : r.seen) EXPECT_EQ(count, 1u);
+  EXPECT_EQ(r.peers_dead, 0u);
+  EXPECT_GT(r.duplicates_suppressed, 0u);  // injected dups were caught
+}
+
+TEST(RandomSoak, LossySoakDeterministicAcrossRuns) {
+  // Fault injection is seeded: the whole faulty run replays bit-exactly.
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  cfg.retransmit_timeout_ns = 3'000'000;
+  hw::FaultParams faults;
+  faults.drop_rate = 0.02;
+  faults.corrupt_rate = 0.01;
+  auto a = run_soak(13, 4, 100, cfg, 0, faults);
+  auto b = run_soak(13, 4, 100, cfg, 0, faults);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.retransmit_timeouts, b.retransmit_timeouts);
+  EXPECT_EQ(a.crc_drops, b.crc_drops);
+  EXPECT_EQ(a.seen, b.seen);
 }
 
 TEST(RandomSoak, WindowModeSameInvariants) {
