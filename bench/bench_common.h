@@ -4,6 +4,11 @@
 //   --packets=N   packets per bandwidth point   (default 2048; paper: 65535)
 //   --rounds=N    ping-pong round trips         (default 50, the paper's)
 //   --csv=PATH    CSV output path               (default results/<bench>.csv)
+//
+// Benches that feed the repo's perf trajectory additionally write a flat
+// machine-readable JSON file (BENCH_<name>.json) via write_bench_json; CI
+// uploads it as an artifact and successive PRs commit it next to the CSVs,
+// so regressions show up as a diff instead of a vibe.
 #pragma once
 
 #include <cstdio>
@@ -43,6 +48,31 @@ inline Args parse_args(int argc, char** argv, const char* bench_name) {
     }
   }
   return a;
+}
+
+/// One scalar of a bench's machine-readable result set.
+struct JsonMetric {
+  std::string key;
+  double value;
+};
+
+/// Writes `{"bench": <name>, "schema": 1, "metrics": {k: v, ...}}` to
+/// `path`. Flat on purpose: a trajectory consumer should be able to diff two
+/// files with `jq .metrics` and nothing else.
+inline void write_bench_json(const std::string& path, const std::string& name,
+                             const std::vector<JsonMetric>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"metrics\": {",
+               name.c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
+                 metrics[i].key.c_str(), metrics[i].value);
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
 }
 
 /// Runs a standard multi-series figure: sweep each layer, print tables,

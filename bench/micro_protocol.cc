@@ -49,7 +49,7 @@ void BM_SendWindowCycle(benchmark::State& state) {
   std::vector<std::uint8_t> frame(144, 0);
   for (auto _ : state) {
     auto seq = w.next_seq(1);
-    w.track(1, seq, frame);
+    w.track(1, seq, frame.data(), frame.size());
     benchmark::DoNotOptimize(w.ack(1, seq));
   }
   state.SetItemsProcessed(state.iterations());

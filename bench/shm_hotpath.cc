@@ -1,0 +1,217 @@
+// Hot-path benchmark of the shared-memory transport, the backend downstream
+// users actually link against. Two real threads, default FM config, three
+// workloads:
+//
+//   1. send4 ping-pong       — the paper's headline t0 call (Table 2)
+//   2. streamed send sweep   — r_inf / n_1/2 over message sizes (Figure 8)
+//   3. raw ring push/consume — the transport floor under the protocol
+//
+// Results go to stdout (human) and to a flat JSON file (machine): the
+// repo's perf trajectory. Each PR that touches the hot path reruns this and
+// commits the refreshed results/BENCH_shm.json, so "is it faster" is a diff.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "metrics/fit.h"
+#include "shm/cluster.h"
+
+namespace {
+
+using namespace fm;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  std::size_t rounds = 20000;    // ping-pong round trips
+  std::size_t packets = 20000;   // messages per streamed-send point
+  std::string json = "results/BENCH_shm.json";
+};
+
+// Half round-trip of an FM_send_4 ping-pong between two threads.
+double run_send4_pingpong(std::size_t rounds) {
+  shm::Cluster cluster(2);
+  std::atomic<std::size_t> pongs{0};
+  std::atomic<std::size_t> pings{0};
+  HandlerId hpong = cluster.register_handler(
+      [&](shm::Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hping = cluster.register_handler(
+      [&](shm::Endpoint& ep, NodeId src, const void*, std::size_t) {
+        ++pings;
+        ep.post_send4(src, hpong, 1, 2, 3, 4);
+      });
+  const std::size_t warmup = rounds / 10 + 1;
+  double elapsed = 0;
+  cluster.run([&](shm::Endpoint& ep) {
+    if (ep.id() == 0) {
+      for (std::size_t i = 0; i < warmup; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs.load() >= i + 1; });
+      }
+      cluster.barrier();
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < rounds; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs.load() >= warmup + i + 1; });
+      }
+      elapsed = now_sec() - t0;
+      cluster.barrier();
+      ep.drain();
+    } else {
+      ep.extract_until([&] { return pings.load() >= warmup; });
+      cluster.barrier();
+      ep.extract_until([&] { return pings.load() >= warmup + rounds; });
+      cluster.barrier();
+      ep.drain();
+    }
+  });
+  return elapsed;
+}
+
+// One-way streamed send of `packets` messages of `bytes` each; returns the
+// sender-observed seconds from first send to fully drained.
+double run_streamed(std::size_t packets, std::size_t bytes) {
+  shm::Cluster cluster(2);
+  std::atomic<std::size_t> got{0};
+  HandlerId h = cluster.register_handler(
+      [&](shm::Endpoint&, NodeId, const void*, std::size_t) { ++got; });
+  const std::size_t warmup = packets / 10 + 1;
+  double elapsed = 0;
+  cluster.run([&](shm::Endpoint& ep) {
+    if (ep.id() == 0) {
+      std::vector<std::uint8_t> buf(bytes, 0x5A);
+      for (std::size_t i = 0; i < warmup; ++i) {
+        (void)ep.send(1, h, buf.data(), buf.size());
+        if ((i & 31) == 31) ep.extract();
+      }
+      ep.drain();
+      cluster.barrier();
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < packets; ++i) {
+        (void)ep.send(1, h, buf.data(), buf.size());
+        if ((i & 31) == 31) ep.extract();
+      }
+      ep.drain();
+      elapsed = now_sec() - t0;
+      cluster.barrier();
+    } else {
+      ep.extract_until([&] { return got.load() >= warmup; });
+      ep.drain();
+      cluster.barrier();
+      ep.extract_until([&] { return got.load() >= warmup + packets; });
+      // Drain BEFORE the barrier: the last few received frames may carry
+      // acks still owed below the batching threshold, and the sender's
+      // timed drain() blocks until they arrive. Parking at the barrier
+      // without flushing them deadlocks the sender.
+      ep.drain();
+      cluster.barrier();
+    }
+  });
+  return elapsed;
+}
+
+// Single-thread floor of the ring itself: ns per push+consume of a 128-byte
+// frame (no protocol, no second thread — pure per-frame software overhead).
+double run_ring_floor() {
+  shm::SpscRing ring(256, 1280);
+  std::uint8_t frame[128];
+  std::memset(frame, 0x5A, sizeof frame);
+  std::vector<std::uint8_t> out;
+  const std::size_t iters = 2'000'000;
+  const double t0 = now_sec();
+  for (std::size_t i = 0; i < iters; ++i) {
+    (void)ring.try_push(frame, sizeof frame);
+    (void)ring.try_pop(out);
+  }
+  const double dt = now_sec() - t0;
+  return dt / static_cast<double>(iters) * 1e9;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      opt.rounds = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--packets=", 10) == 0) {
+      opt.packets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json = arg + 7;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.rounds = 2000;
+      opt.packets = 4000;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: shm_hotpath [--rounds=N] [--packets=N] [--json=PATH] "
+          "[--quick]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  std::vector<fm::bench::JsonMetric> metrics;
+  std::printf("==== shm hot path (%zu rounds, %zu packets/point) ====\n",
+              opt.rounds, opt.packets);
+
+  // 1. send4 ping-pong.
+  const double pp = run_send4_pingpong(opt.rounds);
+  const double rtt_us = pp / static_cast<double>(opt.rounds) * 1e6;
+  const double pp_rate = 2.0 * static_cast<double>(opt.rounds) / pp;
+  std::printf("send4 ping-pong : rtt %8.3f us   t0 %8.3f us   %10.0f msgs/s\n",
+              rtt_us, rtt_us / 2, pp_rate);
+  metrics.push_back({"send4_pingpong_rtt_us", rtt_us});
+  metrics.push_back({"send4_t0_us", rtt_us / 2});
+  metrics.push_back({"send4_pingpong_msgs_per_sec", pp_rate});
+
+  // 2. streamed send sweep: bandwidth curve, OLS fit for t0/r_inf, n_1/2.
+  const std::size_t sizes[] = {16, 64, 128, 256, 512, 1024, 2048, 4096};
+  std::vector<fm::metrics::TimePoint> points;
+  std::vector<fm::metrics::BwPoint> curve;
+  std::printf("streamed send   :\n");
+  for (std::size_t bytes : sizes) {
+    const double dt = run_streamed(opt.packets, bytes);
+    const double per_msg = dt / static_cast<double>(opt.packets);
+    const double mbs =
+        static_cast<double>(opt.packets * bytes) / dt / 1048576.0;
+    const double rate = static_cast<double>(opt.packets) / dt;
+    std::printf("  %5zu B       : %8.3f us/msg  %9.1f MB/s  %10.0f msgs/s\n",
+                bytes, per_msg * 1e6, mbs, rate);
+    points.push_back({static_cast<double>(bytes), per_msg});
+    curve.push_back({static_cast<double>(bytes), mbs});
+    char key[64];
+    std::snprintf(key, sizeof key, "stream_%zuB_mb_per_sec", bytes);
+    metrics.push_back({key, mbs});
+    std::snprintf(key, sizeof key, "stream_%zuB_msgs_per_sec", bytes);
+    metrics.push_back({key, rate});
+  }
+  const fm::metrics::LinearFit fit = fm::metrics::fit_linear(points);
+  const double nh = fm::metrics::n_half(curve, fit.r_inf_mbs());
+  std::printf("fit             : t0 %.3f us   r_inf %.1f MB/s   n1/2 %s%.0f B\n",
+              fit.t0_us(), fit.r_inf_mbs(), nh < 0 ? ">" : "",
+              nh < 0 ? static_cast<double>(sizes[7]) : nh);
+  metrics.push_back({"stream_fit_t0_us", fit.t0_us()});
+  metrics.push_back({"stream_r_inf_mb_per_sec", fit.r_inf_mbs()});
+  metrics.push_back({"stream_n_half_bytes",
+                     nh < 0 ? static_cast<double>(sizes[7]) : nh});
+
+  // 3. transport floor.
+  const double ring_ns = run_ring_floor();
+  std::printf("ring floor      : %.1f ns per 128B push+consume\n", ring_ns);
+  metrics.push_back({"ring_push_consume_ns", ring_ns});
+
+  fm::bench::write_bench_json(opt.json, "shm_hotpath", metrics);
+  std::printf("\nJSON written to %s\n", opt.json.c_str());
+  return 0;
+}

@@ -6,10 +6,9 @@ namespace fm {
 namespace {
 
 template <typename T>
-void put(std::vector<std::uint8_t>& out, T v) {
-  std::uint8_t buf[sizeof(T)];
-  std::memcpy(buf, &v, sizeof(T));
-  out.insert(out.end(), buf, buf + sizeof(T));
+void put(std::uint8_t*& out, T v) {
+  std::memcpy(out, &v, sizeof(T));
+  out += sizeof(T);
 }
 
 template <typename T>
@@ -21,32 +20,40 @@ T get(const std::uint8_t* p) {
 
 }  // namespace
 
+std::size_t encode_frame_into(std::uint8_t* out, const FrameHeader& h,
+                              const void* payload, const std::uint32_t* acks) {
+  FM_CHECK(h.payload_len == 0 || payload != nullptr);
+  FM_CHECK(h.ack_count == 0 || acks != nullptr);
+  std::uint8_t* p = out;
+  put<std::uint8_t>(p, static_cast<std::uint8_t>(h.type));
+  put<std::uint8_t>(p, h.ack_count);
+  put<std::uint16_t>(p, h.handler);
+  put<std::uint32_t>(p, h.src);
+  put<std::uint32_t>(p, h.seq);
+  put<std::uint16_t>(p, h.payload_len);
+  put<std::uint16_t>(p, h.flags);
+  if (h.fragmented()) {
+    put<std::uint32_t>(p, h.msg_id);
+    put<std::uint16_t>(p, h.frag_index);
+    put<std::uint16_t>(p, h.frag_count);
+  }
+  if (h.payload_len) {
+    std::memcpy(p, payload, h.payload_len);
+    p += h.payload_len;
+  }
+  for (std::size_t i = 0; i < h.ack_count; ++i) put<std::uint32_t>(p, acks[i]);
+  if (h.has_crc())
+    put<std::uint32_t>(p, crc32(out, static_cast<std::size_t>(p - out)));
+  const auto n = static_cast<std::size_t>(p - out);
+  FM_CHECK(n == h.wire_bytes());
+  return n;
+}
+
 std::vector<std::uint8_t> encode_frame(const FrameHeader& h,
                                        const void* payload,
                                        const std::uint32_t* acks) {
-  FM_CHECK(h.payload_len == 0 || payload != nullptr);
-  FM_CHECK(h.ack_count == 0 || acks != nullptr);
-  std::vector<std::uint8_t> out;
-  out.reserve(h.wire_bytes());
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(h.type));
-  put<std::uint8_t>(out, h.ack_count);
-  put<std::uint16_t>(out, h.handler);
-  put<std::uint32_t>(out, h.src);
-  put<std::uint32_t>(out, h.seq);
-  put<std::uint16_t>(out, h.payload_len);
-  put<std::uint16_t>(out, h.flags);
-  if (h.fragmented()) {
-    put<std::uint32_t>(out, h.msg_id);
-    put<std::uint16_t>(out, h.frag_index);
-    put<std::uint16_t>(out, h.frag_count);
-  }
-  if (h.payload_len) {
-    const auto* p = static_cast<const std::uint8_t*>(payload);
-    out.insert(out.end(), p, p + h.payload_len);
-  }
-  for (std::size_t i = 0; i < h.ack_count; ++i) put<std::uint32_t>(out, acks[i]);
-  if (h.has_crc()) put<std::uint32_t>(out, crc32(out.data(), out.size()));
-  FM_CHECK(out.size() == h.wire_bytes());
+  std::vector<std::uint8_t> out(h.wire_bytes());
+  encode_frame_into(out.data(), h, payload, acks);
   return out;
 }
 

@@ -77,8 +77,25 @@ struct FrameHeader {
   }
 };
 
-/// Serializes a frame: header (+ fragment extension), payload, acks.
+/// The largest possible wire frame for a given per-frame payload budget:
+/// header, fragment extension, payload, a full 255-ack trailer, and the CRC.
+/// Sizes SendWindow slabs and SPSC ring slots so any legal frame fits.
+constexpr std::size_t max_wire_bytes(std::size_t frame_payload) {
+  return FrameHeader::kBaseBytes + FrameHeader::kFragExtBytes + frame_payload +
+         4u * 255u + FrameHeader::kCrcBytes;
+}
+
+/// Serializes a frame directly into `out`, which must hold at least
+/// `header.wire_bytes()` bytes (the return value). This is the hot-path
+/// encoder: the shm transport points it at a send-window slab slot or a
+/// ring slot, so frame construction is a single pass with no intermediate
+/// buffer — the PIO-gather idea from §4.3 of the paper.
 /// `payload` may be null when `header.payload_len` is zero.
+std::size_t encode_frame_into(std::uint8_t* out, const FrameHeader& header,
+                              const void* payload, const std::uint32_t* acks);
+
+/// Serializes a frame into a fresh vector (convenience wrapper around
+/// encode_frame_into for cold paths and tests).
 std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
                                        const void* payload,
                                        const std::uint32_t* acks);

@@ -13,7 +13,10 @@
 // the sim backend, steady_clock on shm), so nothing here knows about clocks.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -30,47 +33,111 @@ namespace fm {
 /// reserving space locally for each outstanding packet." Bounded by the
 /// configured window; full() gates FM_send.
 ///
+/// Storage is a fixed slab allocated once at construction — one
+/// `slot_bytes` frame buffer per window slot — because this window IS the
+/// paper's "reserved space locally for each outstanding packet": a frame is
+/// serialized straight into its slot (reserve/commit) and retransmission
+/// re-injects from the slot, so the steady-state send path never touches
+/// the heap. Lookups scan the compact live-slot list; the window is small
+/// (it bounds in-flight frames, 64 by default), so a scan beats a
+/// node-allocating hash map on both cycles and allocations.
+///
 /// Sequence numbers are per destination, so every receiver observes a dense
 /// 1,2,3,... stream from each sender — the property the FM-R DedupFilter's
 /// cumulative cutoff relies on. Entries are therefore keyed by (dest, seq).
 class SendWindow {
  public:
-  explicit SendWindow(std::size_t capacity) : capacity_(capacity) {}
+  /// A retained frame inside the slab. `data` is null when absent.
+  struct Stored {
+    const std::uint8_t* data = nullptr;
+    std::size_t len = 0;
+  };
+
+  /// `capacity` window slots of `slot_bytes` each; `slot_bytes` must admit
+  /// the largest frame the caller can produce (see max_wire_bytes).
+  explicit SendWindow(std::size_t capacity,
+                      std::size_t slot_bytes = max_wire_bytes(kFmFramePayload))
+      : capacity_(capacity),
+        slot_bytes_(slot_bytes),
+        slab_(new std::uint8_t[capacity * slot_bytes]),
+        meta_(capacity) {
+    live_.reserve(capacity);
+    free_.reserve(capacity);
+    for (std::size_t i = capacity; i-- > 0;)
+      free_.push_back(static_cast<std::uint32_t>(i));
+  }
 
   /// True when no more frames may be injected.
-  bool full() const { return pending_.size() >= capacity_; }
+  bool full() const { return live_.size() >= capacity_; }
   /// Outstanding frames.
-  std::size_t in_flight() const { return pending_.size(); }
+  std::size_t in_flight() const { return live_.size(); }
   /// Slots remaining.
-  std::size_t space() const { return capacity_ - pending_.size(); }
+  std::size_t space() const { return capacity_ - live_.size(); }
 
   /// Allocates the next frame sequence number for `dest` (first is 1).
+  /// find-then-emplace, not emplace: libstdc++'s unordered_map::emplace
+  /// allocates its node before probing for the key, which would put one
+  /// heap allocation on every frame sent.
   std::uint32_t next_seq(NodeId dest) {
-    auto [it, inserted] = next_seq_.emplace(dest, 1);
-    (void)inserted;
+    auto it = next_seq_.find(dest);
+    if (it == next_seq_.end()) it = next_seq_.emplace(dest, 1).first;
     return it->second++;
   }
 
-  /// Records an injected frame. `bytes` is the encoded frame (kept for
-  /// retransmission); `dest` its destination.
-  void track(NodeId dest, std::uint32_t seq, std::vector<std::uint8_t> bytes) {
+  /// Claims a slab slot for (`dest`, `seq`) and returns its writable
+  /// storage (`slot_bytes` long): serialize the frame there, then
+  /// commit(len). At most one reservation may be outstanding.
+  std::uint8_t* reserve(NodeId dest, std::uint32_t seq) {
     FM_CHECK_MSG(!full(), "SendWindow overflow");
-    auto [it, inserted] = pending_.emplace(key(dest, seq), std::move(bytes));
-    FM_CHECK_MSG(inserted, "duplicate pending seq");
-    (void)it;
+    FM_CHECK_MSG(reserved_ == kNone, "nested SendWindow reserve");
+    FM_CHECK_MSG(find_slot(dest, seq) == kNone, "duplicate pending seq");
+    const std::uint32_t s = free_.back();
+    free_.pop_back();
+    Meta& m = meta_[s];
+    m.dest = dest;
+    m.seq = seq;
+    m.len = 0;
+    m.live_idx = static_cast<std::uint32_t>(live_.size());
+    live_.push_back(s);
+    reserved_ = s;
+    return slab_.get() + s * slot_bytes_;
+  }
+
+  /// Completes the outstanding reservation: the slot holds a `len`-byte
+  /// frame, now eligible for find()/ack()/retransmission.
+  void commit(std::size_t len) {
+    FM_CHECK_MSG(reserved_ != kNone, "commit without reserve");
+    FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds window slot");
+    meta_[reserved_].len = static_cast<std::uint32_t>(len);
+    reserved_ = kNone;
+  }
+
+  /// Records an injected frame by copying it into the slab (cold-path
+  /// convenience; hot paths serialize in place via reserve/commit).
+  void track(NodeId dest, std::uint32_t seq, const void* bytes,
+             std::size_t len) {
+    FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds window slot");
+    std::uint8_t* dst = reserve(dest, seq);
+    if (len != 0) std::memcpy(dst, bytes, len);
+    commit(len);
   }
 
   /// Releases a slot on acknowledgement from `dest`. Returns false for an
   /// unknown seq (e.g. a re-ack of a retransmitted duplicate) — harmless.
   bool ack(NodeId dest, std::uint32_t seq) {
-    return pending_.erase(key(dest, seq)) > 0;
+    const std::uint32_t s = find_slot(dest, seq);
+    if (s == kNone) return false;
+    release(s);
+    return true;
   }
 
-  /// Looks up the stored copy of (`dest`, `seq`) for retransmission (reject
-  /// path or FM-R timeout).
-  const std::vector<std::uint8_t>* find(NodeId dest, std::uint32_t seq) const {
-    auto it = pending_.find(key(dest, seq));
-    return it == pending_.end() ? nullptr : &it->second;
+  /// Looks up the retained copy of (`dest`, `seq`) for retransmission
+  /// (reject path or FM-R timeout). The view is valid until the entry is
+  /// acked, dropped, or the slab slot is otherwise recycled.
+  Stored find(NodeId dest, std::uint32_t seq) const {
+    const std::uint32_t s = find_slot(dest, seq);
+    if (s == kNone) return Stored{};
+    return Stored{slab_.get() + s * slot_bytes_, meta_[s].len};
   }
 
   /// Drops every pending entry destined to `dest` (FM-R dead-peer cleanup:
@@ -78,24 +145,47 @@ class SendWindow {
   /// Returns the number of entries dropped.
   std::size_t drop_dest(NodeId dest) {
     std::size_t n = 0;
-    for (auto it = pending_.begin(); it != pending_.end();) {
-      if (static_cast<NodeId>(it->first >> 32) == dest) {
-        it = pending_.erase(it);
+    for (std::size_t i = live_.size(); i-- > 0;) {
+      if (meta_[live_[i]].dest == dest) {
+        release(live_[i]);
         ++n;
-      } else {
-        ++it;
       }
     }
     return n;
   }
 
  private:
-  static std::uint64_t key(NodeId dest, std::uint32_t seq) {
-    return (static_cast<std::uint64_t>(dest) << 32) | seq;
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+  struct Meta {
+    NodeId dest = kInvalidNode;
+    std::uint32_t seq = 0;
+    std::uint32_t len = 0;
+    std::uint32_t live_idx = 0;
+  };
+
+  std::uint32_t find_slot(NodeId dest, std::uint32_t seq) const {
+    for (std::uint32_t s : live_)
+      if (meta_[s].dest == dest && meta_[s].seq == seq) return s;
+    return kNone;
   }
+
+  void release(std::uint32_t s) {
+    const std::uint32_t i = meta_[s].live_idx;
+    const std::uint32_t last = live_.back();
+    live_[i] = last;
+    meta_[last].live_idx = i;
+    live_.pop_back();
+    free_.push_back(s);
+  }
+
   std::size_t capacity_;
+  std::size_t slot_bytes_;
+  std::unique_ptr<std::uint8_t[]> slab_;
+  std::vector<Meta> meta_;           // per-slot bookkeeping, slab-parallel
+  std::vector<std::uint32_t> live_;  // in-flight slots, compact (scan order)
+  std::vector<std::uint32_t> free_;  // recycled slots, stack order
+  std::uint32_t reserved_ = kNone;
   std::unordered_map<NodeId, std::uint32_t> next_seq_;
-  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> pending_;
 };
 
 /// FM-R sender-side retransmission deadlines: one armed timer per
@@ -248,24 +338,47 @@ class AckTracker {
     return n;
   }
 
+  /// Removes up to `max` owed acks for `src` into `out` (oldest first);
+  /// returns the count. Allocation-free: the per-peer entry and its buffer
+  /// survive emptying, because the hot path cycles note/take on every frame
+  /// and re-creating the map node each cycle would hit the heap.
+  std::size_t take_into(NodeId src, std::size_t max, std::uint32_t* out) {
+    auto it = due_.find(src);
+    if (it == due_.end()) return 0;
+    auto& v = it->second;
+    const std::size_t n = std::min(max, v.size());
+    std::copy(v.begin(), v.begin() + static_cast<long>(n), out);
+    v.erase(v.begin(), v.begin() + static_cast<long>(n));
+    return n;
+  }
+
   /// Removes and returns up to `max` owed acks for `src` (oldest first).
+  /// Unlike take_into, an emptied entry is erased — the sim backend replays
+  /// bit-exactly against recorded baselines, and keeping dead entries would
+  /// perturb the map's iteration order (and thus simulated event order).
   std::vector<std::uint32_t> take(NodeId src, std::size_t max) {
     std::vector<std::uint32_t> out;
     auto it = due_.find(src);
     if (it == due_.end()) return out;
-    auto& v = it->second;
-    std::size_t n = std::min(max, v.size());
-    out.assign(v.begin(), v.begin() + static_cast<long>(n));
-    v.erase(v.begin(), v.begin() + static_cast<long>(n));
-    if (v.empty()) due_.erase(it);
+    out.resize(std::min(max, it->second.size()));
+    take_into(src, out.size(), out.data());
+    if (it->second.empty()) due_.erase(it);
     return out;
   }
 
-  /// Sources with at least `threshold` owed acks.
+  /// Appends every source owed at least `threshold` acks (and at least one)
+  /// to `out`, cleared first. Caller supplies the vector so a steady-state
+  /// caller can reuse one buffer.
+  void peers_over_into(std::size_t threshold, std::vector<NodeId>& out) const {
+    out.clear();
+    for (const auto& [node, v] : due_)
+      if (!v.empty() && v.size() >= threshold) out.push_back(node);
+  }
+
+  /// Sources owed at least `threshold` acks (and at least one).
   std::vector<NodeId> peers_over(std::size_t threshold) const {
     std::vector<NodeId> out;
-    for (const auto& [node, v] : due_)
-      if (v.size() >= threshold) out.push_back(node);
+    peers_over_into(threshold, out);
     return out;
   }
 
@@ -273,11 +386,13 @@ class AckTracker {
   /// dead node would be injected into the network for nobody).
   void forget(NodeId src) { due_.erase(src); }
 
+  /// Appends every source with any owed acks to `out`, cleared first.
+  void peers_into(std::vector<NodeId>& out) const { peers_over_into(1, out); }
+
   /// All sources with any owed acks.
   std::vector<NodeId> peers() const {
     std::vector<NodeId> out;
-    for (const auto& [node, v] : due_)
-      if (!v.empty()) out.push_back(node);
+    peers_into(out);
     return out;
   }
 

@@ -14,7 +14,7 @@ SimEndpoint::SimEndpoint(hw::Node& node, FmConfig cfg,
       host_rx_(node.nic().lanai().simulator(),
                node.params().queues.host_recv_frames),
       lcp_(node, node.params(), lcp_cfg),
-      window_(cfg.pending_window),
+      window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
       timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
   FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
@@ -135,7 +135,7 @@ sim::Op<Status> SimEndpoint::send_data_frame(
   if (cfg_.crc_frames)
     co_await cpu.exec(hc.fm_crc_cycles_per_byte * static_cast<int>(bytes.size()));
   if (cfg_.flow_control) {
-    window_.track(dest, h.seq, bytes);
+    window_.track(dest, h.seq, bytes.data(), bytes.size());
     if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
   }
   ++stats_.frames_sent;
@@ -266,11 +266,13 @@ sim::Op<> SimEndpoint::reliability_tick() {
       mark_peer_dead(due.dest);
       continue;
     }
-    const std::vector<std::uint8_t>* bytes = window_.find(due.dest, due.seq);
-    if (bytes == nullptr) continue;  // acked while the due list was built
+    const SendWindow::Stored stored = window_.find(due.dest, due.seq);
+    if (stored.data == nullptr) continue;  // acked while the due list was built
     ++stats_.retransmit_timeouts;
     ++stats_.retransmissions;
-    co_await inject(due.dest, *bytes);
+    co_await inject(due.dest,
+                    std::vector<std::uint8_t>(stored.data,
+                                              stored.data + stored.len));
   }
   if (now > cfg_.reassembly_ttl_ns)
     stats_.reassemblies_expired +=

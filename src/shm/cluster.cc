@@ -7,9 +7,7 @@ Cluster::Cluster(std::size_t nodes, FmConfig cfg, std::size_t ring_slots,
   FM_CHECK_MSG(nodes >= 1, "empty cluster");
   // Slot size: one full wire frame (header + fragment extension + payload +
   // maximum piggybacked ack trailer + CRC trailer).
-  const std::size_t slot = FrameHeader::kBaseBytes + FrameHeader::kFragExtBytes +
-                           cfg.frame_payload + 4 * 255 +
-                           FrameHeader::kCrcBytes;
+  const std::size_t slot = max_wire_bytes(cfg.frame_payload);
   rings_.resize(nodes * nodes);
   for (std::size_t i = 0; i < nodes; ++i)
     for (std::size_t j = 0; j < nodes; ++j)

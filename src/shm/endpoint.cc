@@ -14,12 +14,14 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
     : cluster_(cluster),
       id_(id),
       cfg_(cfg),
-      window_(cfg.pending_window),
+      window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
       timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
   FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
                "FM-R requires flow control: the send window holds the frame "
                "copies retransmission needs");
+  for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
+  retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
   if (faults.enabled()) {
     // Each endpoint gets its own injector (the rings must stay
     // single-writer) with a decorrelated seed, so runs remain
@@ -118,27 +120,43 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   h.src = id_;
   h.payload_len = static_cast<std::uint16_t>(len);
   if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
-  std::vector<std::uint32_t> piggy;
-  if (cfg_.flow_control) {
-    h.seq = window_.next_seq(dest);
-    piggy = acks_.take(dest, cfg_.piggyback_acks);
-    h.ack_count = static_cast<std::uint8_t>(piggy.size());
-    stats_.acks_piggybacked += piggy.size();
-  }
   if (fragmented) {
     h.flags |= FrameHeader::kFlagFragmented;
     h.msg_id = msg_id;
     h.frag_index = frag_index;
     h.frag_count = frag_count;
   }
-  std::vector<std::uint8_t> bytes =
-      encode_frame(h, payload, piggy.empty() ? nullptr : piggy.data());
   if (cfg_.flow_control) {
-    window_.track(dest, h.seq, bytes);
+    h.seq = window_.next_seq(dest);
+    std::uint32_t piggy[kMaxAcksPerFrame];
+    const std::size_t n_acks = acks_.take_into(
+        dest, std::min(cfg_.piggyback_acks, kMaxAcksPerFrame), piggy);
+    h.ack_count = static_cast<std::uint8_t>(n_acks);
+    stats_.acks_piggybacked += n_acks;
+    // The window slab slot doubles as the wire staging buffer and the
+    // retained retransmission copy: the frame is serialized exactly once,
+    // in place (the paper's PIO-gather, aimed at the window instead of the
+    // NIC), and injected straight from the slot.
+    std::uint8_t* slot = window_.reserve(dest, h.seq);
+    const std::size_t wire =
+        encode_frame_into(slot, h, payload, n_acks ? piggy : nullptr);
+    window_.commit(wire);
     if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
+    ++stats_.frames_sent;
+    inject(dest, slot, wire);
+    return Status::kOk;
   }
+  // No flow control means no retained copy is needed: serialize into the
+  // depth-indexed scratch. Depth 2 suffices — a posted send drained from a
+  // nested extract() can overlap the app-context send, and drain_posted()'s
+  // re-entrancy guard rules out anything deeper.
+  FM_CHECK_MSG(tx_depth_ < tx_scratch_.size(), "send scratch depth exceeded");
+  std::uint8_t* buf = tx_scratch_[tx_depth_].data();
+  const std::size_t wire = encode_frame_into(buf, h, payload, nullptr);
   ++stats_.frames_sent;
-  inject(dest, bytes.data(), bytes.size());
+  ++tx_depth_;
+  inject(dest, buf, wire);
+  --tx_depth_;
   return Status::kOk;
 }
 
@@ -177,6 +195,11 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len) {
   // waiting so two nodes blasting each other cannot deadlock.
   while (!ring.try_push(frame, len)) {
     if (extract() == 0) idle_pause();
+    // The nested extract may have declared `dest` dead — which releases the
+    // window slab slot `frame` may point into, free for a later send to
+    // recycle. Bail before touching the bytes again; the frame was for a
+    // dead peer anyway.
+    if (cfg_.reliability && dead_peers_.count(dest) > 0) return;
   }
 }
 
@@ -188,21 +211,30 @@ std::size_t Endpoint::extract() {
   if (in_handler_) return 0;  // no re-entrant extraction from handlers
   std::size_t count = 0;
   // Round-robin over every incoming ring, draining bursts. Frames are
-  // popped (head advanced) *before* processing: processing can re-enter
-  // extract() through reject-path backpressure, and the ring must already
-  // be consistent when it does. The local scratch keeps the outer frame's
-  // bytes alive across such nested extraction.
-  std::vector<std::uint8_t> scratch;
+  // processed *in place* in their ring slots, up to kExtractBatch per
+  // cross-core head publish — the paper's receive aggregation, plus the
+  // copy into a local scratch buffer eliminated. Sound only because
+  // process_frame() never re-enters extract(): every transmission it
+  // provokes is deferred (defer_reject) or queued (rejq_, posted_) and
+  // injected between batches, when the consumed slots are published and
+  // the ring is consistent again.
   for (NodeId src = 0; src < cluster_.size(); ++src) {
     if (src == id_) continue;
     SpscRing& ring = cluster_.ring(src, id_);
-    // Bounded drain: a producer refilling as fast as we pop must not trap
-    // this loop and starve the post-loop retransmission/ack work.
+    // Bounded drain: a producer refilling as fast as we consume must not
+    // trap this loop and starve the post-loop retransmission/ack work.
     std::size_t budget = ring.capacity();
-    while (budget-- > 0 && ring.try_pop(scratch)) {
-      ++count;
-      ++stats_.frames_received;
-      process_frame(src, scratch.data(), scratch.size());
+    while (budget > 0) {
+      const std::size_t got = ring.try_consume_batch(
+          std::min(budget, kExtractBatch),
+          [&](const std::uint8_t* frame, std::size_t len) {
+            ++stats_.frames_received;
+            process_frame(src, frame, len);
+          });
+      if (got == 0) break;
+      count += got;
+      budget -= got;
+      flush_deferred_tx();
     }
   }
   // Retransmit rejected frames whose backoff expired. Re-injection re-arms
@@ -217,23 +249,43 @@ std::size_t Endpoint::extract() {
   // half a peer's in-flight allotment (its pending window, or its credit
   // allotment in window mode) or senders stall with their window full
   // while we sit on their acks. Configurations are symmetric (SPMD), so
-  // our own config tells us the peers' limits.
-  if (cfg_.flow_control) {
+  // our own config tells us the peers' limits. The re-entrancy guard keeps
+  // a nested extract (ack-push backpressure) off the shared worklist.
+  if (cfg_.flow_control && !in_ack_flush_) {
+    in_ack_flush_ = true;
     std::size_t limit =
         cfg_.window_mode ? cfg_.window_per_peer : cfg_.pending_window;
     std::size_t threshold =
         std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
-    for (NodeId peer : acks_.peers_over(threshold)) send_standalone_ack(peer);
+    acks_.peers_over_into(threshold, ack_peers_scratch_);
+    for (NodeId peer : ack_peers_scratch_) send_standalone_ack(peer);
+    in_ack_flush_ = false;
   }
   reliability_tick();
   drain_posted();
   return count;
 }
 
+void Endpoint::flush_deferred_tx() {
+  if (flushing_deferred_) return;
+  flushing_deferred_ = true;
+  // Swap before walking: injection can block on a full ring and nest
+  // extract(), whose frames may defer further rejects — those land on the
+  // (now empty) live list and the outer loop picks them up next pass.
+  while (!deferred_tx_.empty()) {
+    deferred_flush_scratch_.clear();
+    std::swap(deferred_tx_, deferred_flush_scratch_);
+    for (auto& t : deferred_flush_scratch_)
+      inject(t.dest, t.bytes.data(), t.bytes.size());
+  }
+  flushing_deferred_ = false;
+}
+
 void Endpoint::drain() {
   for (;;) {
     if (cfg_.flow_control) {
-      for (NodeId peer : acks_.peers()) send_standalone_ack(peer);
+      acks_.peers_into(drain_peers_scratch_);
+      for (NodeId peer : drain_peers_scratch_) send_standalone_ack(peer);
     }
     if ((!cfg_.flow_control || window_.in_flight() == 0) && rejq_.size() == 0)
       return;
@@ -242,15 +294,16 @@ void Endpoint::drain() {
 }
 
 void Endpoint::reliability_tick() {
-  if (!cfg_.reliability) return;
+  if (!cfg_.reliability || in_reliability_tick_) return;
+  in_reliability_tick_ = true;
   const std::uint64_t now = now_ns();
   for (const auto& due : timer_.expired(now)) {
     if (due.exhausted) {
       mark_peer_dead(due.dest);
       continue;
     }
-    const std::vector<std::uint8_t>* bytes = window_.find(due.dest, due.seq);
-    if (bytes == nullptr) {
+    const SendWindow::Stored stored = window_.find(due.dest, due.seq);
+    if (stored.data == nullptr) {
       // Acked (or bounced into the reject queue) between the deadline
       // passing and the timer firing.
       timer_.disarm(due.dest, due.seq);
@@ -259,14 +312,16 @@ void Endpoint::reliability_tick() {
     ++stats_.retransmit_timeouts;
     ++stats_.retransmissions;
     // inject() can re-enter extract() on ring backpressure, which may ack
-    // and erase the window entry — copy before injecting.
-    std::vector<std::uint8_t> copy = *bytes;
-    inject(due.dest, copy.data(), copy.size());
+    // and recycle the slab slot — stage the bytes first. The tick guard
+    // above keeps the nested extract from clobbering the staging buffer.
+    retx_scratch_.assign(stored.data, stored.data + stored.len);
+    inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
   }
   if (reasm_.active() > 0 && cfg_.reassembly_ttl_ns > 0 &&
       now > cfg_.reassembly_ttl_ns)
     stats_.reassemblies_expired +=
         reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+  in_reliability_tick_ = false;
 }
 
 void Endpoint::mark_peer_dead(NodeId peer) {
@@ -341,8 +396,7 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       }
       const std::uint8_t* payload = frame_payload(h, data);
       if (h.fragmented()) {
-        std::vector<std::uint8_t> message;
-        switch (reasm_.feed(from, h, payload, &message, now_ns())) {
+        switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns())) {
           case Reassembler::Feed::kMalformed:
             FM_CHECK_MSG(faults_ != nullptr,
                          "malformed fragment on a lossless shm ring");
@@ -350,15 +404,15 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
             return;  // dropped: no ack, no dedup mark
           case Reassembler::Feed::kRejected:
             ++stats_.rejects_issued;
-            send_reject(from, h, data);
+            defer_reject(from, h, data);
             return;  // not accepted: no ack, no dedup mark
           case Reassembler::Feed::kAccepted:
             break;
           case Reassembler::Feed::kComplete:
             ++stats_.messages_delivered;
             in_handler_ = true;
-            handlers_.dispatch(h.handler, *this, from, message.data(),
-                               message.size());
+            handlers_.dispatch(h.handler, *this, from, reasm_out_.data(),
+                               reasm_out_.size());
             in_handler_ = false;
             break;
         }
@@ -378,38 +432,52 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
 void Endpoint::drain_posted() {
   if (draining_posted_) return;
   draining_posted_ = true;
-  while (!posted_.empty()) {
-    Posted p = std::move(posted_.front());
-    posted_.erase(posted_.begin());
-    Status s = send(p.dest, p.handler, p.payload.data(), p.payload.size());
+  while (posted_head_ < posted_.size()) {
+    // Index on every access: a blocked send nests extract(), and a handler
+    // running there may post more, reallocating posted_. The payload's own
+    // heap buffer is stable across that reallocation (vector move).
+    Status s = send(posted_[posted_head_].dest, posted_[posted_head_].handler,
+                    posted_[posted_head_].payload.data(),
+                    posted_[posted_head_].payload.size());
     // A posted reply to a peer that died while it sat queued is dropped,
     // not a crash.
     FM_CHECK_MSG(ok(s) || s == Status::kPeerDead, "posted send failed");
+    posted_pool_.push_back(std::move(posted_[posted_head_]));
+    ++posted_head_;
   }
+  posted_.clear();
+  posted_head_ = 0;
   draining_posted_ = false;
 }
 
 void Endpoint::send_standalone_ack(NodeId peer) {
-  auto acks = acks_.take(peer, 255);
-  if (acks.empty()) return;
+  std::uint32_t acks[kMaxAcksPerFrame];
+  const std::size_t n = acks_.take_into(peer, kMaxAcksPerFrame, acks);
+  if (n == 0) return;
   FrameHeader h;
   h.type = FrameType::kAck;
   h.src = id_;
   if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
-  h.ack_count = static_cast<std::uint8_t>(acks.size());
+  h.ack_count = static_cast<std::uint8_t>(n);
   ++stats_.acks_standalone;
-  auto bytes = encode_frame(h, nullptr, acks.data());
-  inject(peer, bytes.data(), bytes.size());
+  // Largest possible ack frame fits on the stack, so each nesting level of
+  // extract() gets its own buffer for free.
+  std::uint8_t buf[FrameHeader::kBaseBytes + 4 * kMaxAcksPerFrame +
+                   FrameHeader::kCrcBytes];
+  const std::size_t wire = encode_frame_into(buf, h, nullptr, acks);
+  inject(peer, buf, wire);
 }
 
-void Endpoint::send_reject(NodeId from, const FrameHeader& h,
-                           const std::uint8_t* data) {
+void Endpoint::defer_reject(NodeId from, const FrameHeader& h,
+                            const std::uint8_t* data) {
   FrameHeader rh = h;
   rh.type = FrameType::kReject;
   rh.ack_count = 0;
   // rh inherits the CRC flag, so encode_frame recomputes a valid trailer.
-  auto bytes = encode_frame(rh, frame_payload(h, data), nullptr);
-  inject(from, bytes.data(), bytes.size());
+  // Parked rather than injected: we are inside a consume batch, and the
+  // backpressure a push can hit must not re-enter extract() from here.
+  deferred_tx_.push_back(
+      DeferredTx{from, encode_frame(rh, frame_payload(h, data), nullptr)});
 }
 
 void Endpoint::post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
@@ -422,6 +490,10 @@ void Endpoint::post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
 void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
                          std::size_t len) {
   Posted p;
+  if (!posted_pool_.empty()) {
+    p = std::move(posted_pool_.back());
+    posted_pool_.pop_back();
+  }
   p.dest = dest;
   p.handler = handler;
   const auto* b = static_cast<const std::uint8_t*>(buf);

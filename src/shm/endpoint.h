@@ -14,6 +14,7 @@
 // exactly as with the simulated endpoint.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -121,10 +122,22 @@ class Endpoint {
   Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
            const hw::FaultParams& faults);
 
+  // Frames consumed from a ring per head publish: the shm analogue of the
+  // paper's receive aggregation (one cross-core index update amortized over
+  // a burst), kept modest so a blocked producer sees freed slots promptly.
+  static constexpr std::size_t kExtractBatch = 32;
+  // Wire-format bound on acks per frame (ack_count is a u8).
+  static constexpr std::size_t kMaxAcksPerFrame = 255;
+
   struct Posted {
-    NodeId dest;
-    HandlerId handler;
+    NodeId dest = 0;
+    HandlerId handler = 0;
     std::vector<std::uint8_t> payload;
+  };
+
+  struct DeferredTx {
+    NodeId dest = 0;
+    std::vector<std::uint8_t> bytes;
   };
 
   Status send_data_frame(NodeId dest, HandlerId handler,
@@ -136,8 +149,9 @@ class Endpoint {
   void process_frame(NodeId from, const std::uint8_t* data,
                      std::size_t len);
   void send_standalone_ack(NodeId peer);
-  void send_reject(NodeId from, const FrameHeader& h,
-                   const std::uint8_t* data);
+  void defer_reject(NodeId from, const FrameHeader& h,
+                    const std::uint8_t* data);
+  void flush_deferred_tx();
   void drain_posted();
   void reliability_tick();
   void mark_peer_dead(NodeId peer);
@@ -157,14 +171,35 @@ class Endpoint {
   std::unordered_set<NodeId> dead_peers_;
   Stats stats_;
   std::vector<Posted> posted_;
+  std::vector<Posted> posted_pool_;  // recycled entries, warm payload buffers
+  std::size_t posted_head_ = 0;      // consumed prefix of posted_
   std::unordered_map<NodeId, std::size_t> credits_;  // window mode only
   // Sender-side fault injection (the shm stand-in for the switch fabric's
   // FaultInjector; one per endpoint so the SPSC rings stay single-writer).
   std::unique_ptr<hw::FaultInjector> faults_;
   std::unordered_map<NodeId, std::vector<std::uint8_t>> reorder_held_;
+  // Reusable buffers that keep the steady-state hot path off the heap.
+  // tx_scratch_ holds in-flight frame bytes for sends without a window slab
+  // slot; it is depth-indexed because a posted send drained from a nested
+  // extract() can overlap one app-context send (and only one — drain_posted
+  // is re-entrancy-guarded).
+  std::array<std::vector<std::uint8_t>, 2> tx_scratch_;
+  std::size_t tx_depth_ = 0;
+  std::vector<std::uint8_t> retx_scratch_;   // staged retransmission bytes
+  std::vector<std::uint8_t> reasm_out_;      // completed reassembled message
+  std::vector<NodeId> ack_peers_scratch_;    // extract()'s ack-flush worklist
+  std::vector<NodeId> drain_peers_scratch_;  // drain()'s ack worklist
+  // Rejects owed for frames processed in place inside a ring slot: injecting
+  // mid-batch could re-enter extract() while unpublished frames are live, so
+  // they are encoded at processing time and injected after the batch.
+  std::vector<DeferredTx> deferred_tx_;
+  std::vector<DeferredTx> deferred_flush_scratch_;
   std::uint32_t next_msg_id_ = 1;
   bool in_handler_ = false;
   bool draining_posted_ = false;
+  bool flushing_deferred_ = false;
+  bool in_ack_flush_ = false;
+  bool in_reliability_tick_ = false;
 };
 
 }  // namespace fm::shm

@@ -7,12 +7,32 @@
 // publishes its own with release ordering; no CAS, no locks, no allocation
 // after construction. Indices are monotonically increasing (mod 2^64) so
 // full/empty need no wasted slot.
+//
+// Hot-path design (the paper's §4.3–§4.4 arguments, transplanted):
+//
+//  * reserve()/commit() expose the slot memory itself, so a sender
+//    serializes a frame (header, payload, trailer) straight into the ring —
+//    the shm analogue of FM's programmed-I/O gather, which "eliminates the
+//    need for the [staging] copy" by composing the message at its wire
+//    location.
+//  * try_consume_batch() hands the consumer up to N frames per head
+//    publish — receive aggregation: one cross-core index update amortized
+//    over a burst, exactly why FM's LCP "aggregates receives".
+//  * Each side caches the other's index (producer caches head, consumer
+//    caches tail) and refreshes only when the cached view says full/empty,
+//    so the common-case push/consume does zero cross-core acquire loads.
+//  * Frame lengths live in a 4-byte prefix inside the slot they describe,
+//    not in a separate side array: a shared lengths[] has adjacent entries
+//    written by the producer while the consumer reads its neighbours —
+//    cache-line ping-pong that the alignas(64) on the indices was supposed
+//    to prevent. Slots are padded to a 64-byte stride for the same reason.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <cstring>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "common/check.h"
@@ -22,42 +42,92 @@ namespace fm::shm {
 /// Bounded SPSC queue of byte frames (each at most `slot_bytes` long).
 class SpscRing {
  public:
-  /// `slots` must be a power of two.
-  SpscRing(std::size_t slots, std::size_t slot_bytes)
+  /// `slots` must be a power of two. `start_index` offsets both indices
+  /// (test hook: exercises the mod-2^64 arithmetic near wraparound).
+  SpscRing(std::size_t slots, std::size_t slot_bytes,
+           std::uint64_t start_index = 0)
       : mask_(slots - 1),
         slot_bytes_(slot_bytes),
-        lengths_(slots),
-        data_(new std::uint8_t[slots * slot_bytes]) {
+        stride_((kPrefixBytes + slot_bytes + kSlotAlign - 1) &
+                ~(kSlotAlign - 1)),
+        data_(static_cast<std::uint8_t*>(::operator new[](
+            slots * stride_, std::align_val_t{kSlotAlign}))),
+        head_(start_index),
+        tail_cache_(start_index),
+        tail_(start_index),
+        head_cache_(start_index) {
     FM_CHECK_MSG(slots >= 2 && (slots & (slots - 1)) == 0,
                  "slot count must be a power of two");
+  }
+  ~SpscRing() {
+    ::operator delete[](data_, std::align_val_t{kSlotAlign});
   }
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
-  /// Producer: enqueues one frame. Returns false when the ring is full.
-  bool try_push(const void* frame, std::size_t len) {
+  /// Producer: claims the next slot for in-place frame construction.
+  /// Returns a pointer to `len` writable bytes, or nullptr when the ring is
+  /// full. The claim is invisible to the consumer until commit(); at most
+  /// one reservation may be outstanding, and it must not be held across any
+  /// call that could consume from or push to this ring.
+  std::uint8_t* try_reserve(std::size_t len) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
-    const std::uint64_t head = head_.load(std::memory_order_acquire);
-    if (tail - head > mask_) return false;  // full
-    const std::size_t i = static_cast<std::size_t>(tail) & mask_;
-    if (len != 0) std::memcpy(data_.get() + i * slot_bytes_, frame, len);
-    lengths_[i] = static_cast<std::uint32_t>(len);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return nullptr;  // full
+    }
+    return slot(tail) + kPrefixBytes;
+  }
+
+  /// Producer: publishes the reserved slot as a frame of `len` bytes
+  /// (<= the reserved length).
+  void commit(std::size_t len) {
+    FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const auto n = static_cast<std::uint32_t>(len);
+    std::memcpy(slot(tail), &n, kPrefixBytes);
     tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Producer: enqueues one pre-built frame. Returns false when full.
+  bool try_push(const void* frame, std::size_t len) {
+    std::uint8_t* dst = try_reserve(len);
+    if (dst == nullptr) return false;
+    if (len != 0) std::memcpy(dst, frame, len);
+    commit(len);
     return true;
+  }
+
+  /// Consumer: processes up to `max` frames in place through
+  /// `fn(const std::uint8_t*, size)` and publishes the head once for the
+  /// whole batch. Returns the number of frames consumed. The pointers are
+  /// valid only inside `fn`, and `fn` must not consume from this ring
+  /// re-entrantly (the unpublished frames would be seen twice).
+  template <typename F>
+  std::size_t try_consume_batch(std::size_t max, F&& fn) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (tail_cache_ == head) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (tail_cache_ == head) return 0;  // empty
+    }
+    const std::size_t n =
+        std::min(max, static_cast<std::size_t>(tail_cache_ - head));
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint8_t* s = slot(head + k);
+      std::uint32_t len;
+      std::memcpy(&len, s, kPrefixBytes);
+      fn(s + kPrefixBytes, static_cast<std::size_t>(len));
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   /// Consumer: dequeues one frame through `fn(const std::uint8_t*, size)`.
   /// Returns false when empty. The pointer is valid only inside `fn`.
   template <typename F>
   bool try_consume(F&& fn) {
-    const std::uint64_t head = head_.load(std::memory_order_relaxed);
-    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
-    if (head == tail) return false;  // empty
-    const std::size_t i = static_cast<std::size_t>(head) & mask_;
-    fn(data_.get() + i * slot_bytes_, static_cast<std::size_t>(lengths_[i]));
-    head_.store(head + 1, std::memory_order_release);
-    return true;
+    return try_consume_batch(1, std::forward<F>(fn)) == 1;
   }
 
   /// Consumer-side convenience: pops into a vector.
@@ -81,12 +151,23 @@ class SpscRing {
   std::size_t slot_bytes() const { return slot_bytes_; }
 
  private:
+  static constexpr std::size_t kPrefixBytes = sizeof(std::uint32_t);
+  static constexpr std::size_t kSlotAlign = 64;
+
+  std::uint8_t* slot(std::uint64_t index) const {
+    return data_ + (static_cast<std::size_t>(index) & mask_) * stride_;
+  }
+
   const std::size_t mask_;
   const std::size_t slot_bytes_;
-  std::vector<std::uint32_t> lengths_;
-  std::unique_ptr<std::uint8_t[]> data_;
-  alignas(64) std::atomic<std::uint64_t> head_{0};
-  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  const std::size_t stride_;  // kPrefixBytes + slot_bytes_, cache-aligned
+  std::uint8_t* const data_;
+  // Consumer-owned line: its index plus its cached view of the producer's.
+  alignas(64) std::atomic<std::uint64_t> head_;
+  std::uint64_t tail_cache_;
+  // Producer-owned line, same layout mirrored.
+  alignas(64) std::atomic<std::uint64_t> tail_;
+  std::uint64_t head_cache_;
 };
 
 }  // namespace fm::shm

@@ -15,15 +15,18 @@ TEST(SendWindow, TracksAndAcks) {
   // Sequences are per destination: both peers see a stream starting at 1.
   EXPECT_EQ(s1, 1u);
   EXPECT_EQ(s2, 1u);
-  w.track(1, s1, {1, 2, 3});
-  w.track(2, s2, {4, 5});
+  const std::uint8_t f1[] = {1, 2, 3};
+  const std::uint8_t f2[] = {4, 5};
+  w.track(1, s1, f1, sizeof f1);
+  w.track(2, s2, f2, sizeof f2);
   EXPECT_EQ(w.in_flight(), 2u);
   EXPECT_TRUE(w.ack(1, s1));
   EXPECT_FALSE(w.ack(1, s1));  // duplicate ack is harmless
   EXPECT_EQ(w.in_flight(), 1u);
-  ASSERT_NE(w.find(2, s2), nullptr);
-  EXPECT_EQ(w.find(2, s2)->size(), 2u);
-  EXPECT_EQ(w.find(1, s1), nullptr);
+  ASSERT_NE(w.find(2, s2).data, nullptr);
+  EXPECT_EQ(w.find(2, s2).len, 2u);
+  EXPECT_EQ(w.find(2, s2).data[0], 4);
+  EXPECT_EQ(w.find(1, s1).data, nullptr);
 }
 
 TEST(SendWindow, PerDestinationSequencesAreDense) {
@@ -37,26 +40,27 @@ TEST(SendWindow, PerDestinationSequencesAreDense) {
 
 TEST(SendWindow, DropDestFreesOnlyThatPeer) {
   SendWindow w(8);
-  w.track(1, w.next_seq(1), {1});
-  w.track(1, w.next_seq(1), {2});
-  w.track(2, w.next_seq(2), {3});
+  const std::uint8_t b1 = 1, b2 = 2, b3 = 3;
+  w.track(1, w.next_seq(1), &b1, 1);
+  w.track(1, w.next_seq(1), &b2, 1);
+  w.track(2, w.next_seq(2), &b3, 1);
   EXPECT_EQ(w.drop_dest(1), 2u);
   EXPECT_EQ(w.in_flight(), 1u);
-  ASSERT_NE(w.find(2, 1), nullptr);
+  ASSERT_NE(w.find(2, 1).data, nullptr);
 }
 
 TEST(SendWindow, FullGatesInjection) {
   SendWindow w(2);
-  w.track(0, w.next_seq(0), {});
-  w.track(0, w.next_seq(0), {});
+  w.track(0, w.next_seq(0), nullptr, 0);
+  w.track(0, w.next_seq(0), nullptr, 0);
   EXPECT_TRUE(w.full());
   EXPECT_EQ(w.space(), 0u);
 }
 
 TEST(SendWindowDeathTest, OverflowAborts) {
   SendWindow w(1);
-  w.track(0, w.next_seq(0), {});
-  EXPECT_DEATH(w.track(0, w.next_seq(0), {}), "overflow");
+  w.track(0, w.next_seq(0), nullptr, 0);
+  EXPECT_DEATH(w.track(0, w.next_seq(0), nullptr, 0), "overflow");
 }
 
 TEST(RetransmitTimer, FiresAfterDeadlineWithBackoff) {
