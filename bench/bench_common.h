@@ -11,6 +11,7 @@
 // so regressions show up as a diff instead of a vibe.
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,9 +57,35 @@ struct JsonMetric {
   double value;
 };
 
+/// Escapes a string for use inside a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 /// Writes `{"bench": <name>, "schema": 1, "metrics": {k: v, ...}}` to
 /// `path`. Flat on purpose: a trajectory consumer should be able to diff two
-/// files with `jq .metrics` and nothing else.
+/// files with `jq .metrics` and nothing else. A non-finite value (a failed
+/// OLS fit can produce one) is emitted as `null` — bare nan/inf tokens are
+/// not JSON and would break every consumer of the trajectory file.
 inline void write_bench_json(const std::string& path, const std::string& name,
                              const std::vector<JsonMetric>& metrics) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -67,10 +94,18 @@ inline void write_bench_json(const std::string& path, const std::string& name,
     return;
   }
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"metrics\": {",
-               name.c_str());
-  for (std::size_t i = 0; i < metrics.size(); ++i)
-    std::fprintf(f, "%s\n    \"%s\": %.6g", i == 0 ? "" : ",",
-                 metrics[i].key.c_str(), metrics[i].value);
+               json_escape(name).c_str());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": ", i == 0 ? "" : ",",
+                 json_escape(metrics[i].key).c_str());
+    if (std::isfinite(metrics[i].value)) {
+      std::fprintf(f, "%.6g", metrics[i].value);
+    } else {
+      std::fprintf(f, "null");
+      std::fprintf(stderr, "warning: metric %s is non-finite; wrote null\n",
+                   metrics[i].key.c_str());
+    }
+  }
   std::fprintf(f, "\n  }\n}\n");
   std::fclose(f);
 }

@@ -143,7 +143,7 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     window_.commit(wire);
     if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
     ++stats_.frames_sent;
-    inject(dest, slot, wire);
+    inject(dest, slot, wire, h.seq);
     return Status::kOk;
   }
   // No flow control means no retained copy is needed: serialize into the
@@ -160,12 +160,15 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   return Status::kOk;
 }
 
-void Endpoint::inject(NodeId dest, const std::uint8_t* frame,
-                      std::size_t len) {
+void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
+                      std::uint32_t window_seq) {
   if (!faults_) {
-    push(dest, frame, len);
+    push(dest, frame, len, window_seq);
     return;
   }
+  // The fault paths below copy the frame into stable local storage before
+  // any push, so slab-slot recycling cannot bite them: window_seq is not
+  // forwarded.
   // Sender-side fault injection — the shm stand-in for the sim backend's
   // faulty switch fabric. Same model: drop (single or burst), corrupt,
   // duplicate, hold-and-overtake reorder.
@@ -189,16 +192,23 @@ void Endpoint::inject(NodeId dest, const std::uint8_t* frame,
   if (!release.empty()) push(dest, release.data(), release.size());
 }
 
-void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len) {
+void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
+                    std::uint32_t window_seq) {
   SpscRing& ring = cluster_.ring(id_, dest);
   // A full ring is backpressure: keep servicing our own receive side while
   // waiting so two nodes blasting each other cannot deadlock.
   while (!ring.try_push(frame, len)) {
     if (extract() == 0) idle_pause();
-    // The nested extract may have declared `dest` dead — which releases the
-    // window slab slot `frame` may point into, free for a later send to
-    // recycle. Bail before touching the bytes again; the frame was for a
-    // dead peer anyway.
+    // When `frame` points into the window slab, the nested extract can
+    // invalidate it: a dead-peer declaration drops the slot, and a
+    // reliability_tick() retransmission of this very frame can be acked
+    // mid-spin, releasing the slot — either way the LIFO free list may
+    // hand it to another send (e.g. one drained from posted_), clobbering
+    // the bytes under us. Re-validate the slot still holds this frame
+    // before re-reading it; if it does not, the frame was dropped or has
+    // already been delivered via the retransmission, so nothing is lost.
+    if (window_seq != 0 && window_.find(dest, window_seq).data != frame)
+      return;
     if (cfg_.reliability && dead_peers_.count(dest) > 0) return;
   }
 }

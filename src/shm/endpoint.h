@@ -144,8 +144,14 @@ class Endpoint {
                          const std::uint8_t* payload, std::size_t len,
                          bool fragmented, std::uint32_t msg_id,
                          std::uint16_t frag_index, std::uint16_t frag_count);
-  void inject(NodeId dest, const std::uint8_t* frame, std::size_t len);
-  void push(NodeId dest, const std::uint8_t* frame, std::size_t len);
+  // `window_seq` names the send-window entry when `frame` points into the
+  // window slab (0 — never a valid seq — otherwise): a blocked push must
+  // re-validate the slot after nested extract()s, which can release and
+  // recycle it (see push()).
+  void inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
+              std::uint32_t window_seq = 0);
+  void push(NodeId dest, const std::uint8_t* frame, std::size_t len,
+            std::uint32_t window_seq = 0);
   void process_frame(NodeId from, const std::uint8_t* data,
                      std::size_t len);
   void send_standalone_ack(NodeId peer);

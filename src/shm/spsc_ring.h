@@ -68,15 +68,18 @@ class SpscRing {
   /// Producer: claims the next slot for in-place frame construction.
   /// Returns a pointer to `len` writable bytes, or nullptr when the ring is
   /// full. The claim is invisible to the consumer until commit(); at most
-  /// one reservation may be outstanding, and it must not be held across any
-  /// call that could consume from or push to this ring.
+  /// one reservation may be outstanding (enforced, mirroring SendWindow's
+  /// contract checks), and it must not be held across any call that could
+  /// consume from or push to this ring.
   std::uint8_t* try_reserve(std::size_t len) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
+    FM_CHECK_MSG(!reserved_, "nested ring reserve");
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_cache_ > mask_) {
       head_cache_ = head_.load(std::memory_order_acquire);
       if (tail - head_cache_ > mask_) return nullptr;  // full
     }
+    reserved_ = true;
     return slot(tail) + kPrefixBytes;
   }
 
@@ -84,6 +87,8 @@ class SpscRing {
   /// (<= the reserved length).
   void commit(std::size_t len) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
+    FM_CHECK_MSG(reserved_, "ring commit without reserve");
+    reserved_ = false;
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const auto n = static_cast<std::uint32_t>(len);
     std::memcpy(slot(tail), &n, kPrefixBytes);
@@ -168,6 +173,7 @@ class SpscRing {
   // Producer-owned line, same layout mirrored.
   alignas(64) std::atomic<std::uint64_t> tail_;
   std::uint64_t head_cache_;
+  bool reserved_ = false;  // reserve/commit pairing check (producer-only)
 };
 
 }  // namespace fm::shm

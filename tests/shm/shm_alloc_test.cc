@@ -22,37 +22,57 @@ namespace {
 std::atomic<bool> g_counting{false};
 std::atomic<std::uint64_t> g_allocs{0};
 
-void* counted_alloc(std::size_t size) {
+// Every overridden operator new funnels through these two — including the
+// nothrow and aligned variants, so an allocation on any path bumps the
+// counter and cannot slip past the zero-allocation assertions. They return
+// nullptr on failure; the throwing operators turn that into bad_alloc.
+void* counted_alloc(std::size_t size) noexcept {
   if (g_counting.load(std::memory_order_relaxed))
     g_allocs.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
+  return std::malloc(size);
 }
 
-void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
   if (g_counting.load(std::memory_order_relaxed))
     g_allocs.fetch_add(1, std::memory_order_relaxed);
   // aligned_alloc requires the size to be a multiple of the alignment.
-  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
-  if (p == nullptr) throw std::bad_alloc();
-  return p;
+  return std::aligned_alloc(align, (size + align - 1) / align * align);
 }
 
 }  // namespace
 
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
 void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  return std::malloc(size);
+  return counted_alloc(size);
 }
 void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
-  return std::malloc(size);
+  return counted_alloc(size);
 }
 void* operator new(std::size_t size, std::align_val_t align) {
-  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
 }
 void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
   return counted_aligned_alloc(size, static_cast<std::size_t>(align));
 }
 void operator delete(void* p) noexcept { std::free(p); }
@@ -65,6 +85,17 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
   std::free(p);
 }
 
