@@ -20,6 +20,7 @@
 
 #include "metrics/harness.h"
 #include "metrics/report.h"
+#include "obs/registry.h"
 
 namespace fm::bench {
 
@@ -81,32 +82,50 @@ inline std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Writes `{"bench": <name>, "schema": 1, "metrics": {k: v, ...}}` to
-/// `path`. Flat on purpose: a trajectory consumer should be able to diff two
-/// files with `jq .metrics` and nothing else. A non-finite value (a failed
-/// OLS fit can produce one) is emitted as `null` — bare nan/inf tokens are
-/// not JSON and would break every consumer of the trajectory file.
+/// Writes `{"bench": <name>, "schema": 2, "metrics": {k: v, ...},
+/// "counters": {k: v, ...}}` to `path`. Flat on purpose: a trajectory
+/// consumer should be able to diff two files with `jq .metrics` (or
+/// `jq .counters`) and nothing else. `counters` is an FM-Scope registry
+/// snapshot taken from the benched endpoints — protocol counters and queue
+/// gauges ride along with every perf number, so a regression diff shows
+/// *why* (retransmissions up, rejects up) and not just *how much*. A
+/// non-finite value (a failed OLS fit can produce one) is emitted as `null`
+/// — bare nan/inf tokens are not JSON and would break every consumer of the
+/// trajectory file.
+///
+/// Schema history: 1 had no "counters" object; 2 always emits it (possibly
+/// empty).
 inline void write_bench_json(const std::string& path, const std::string& name,
-                             const std::vector<JsonMetric>& metrics) {
+                             const std::vector<JsonMetric>& metrics,
+                             const std::vector<obs::Sample>& counters = {}) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"metrics\": {",
+  auto emit = [f](const std::string& key, double value) {
+    if (std::isfinite(value)) {
+      std::fprintf(f, "%.6g", value);
+    } else {
+      std::fprintf(f, "null");
+      std::fprintf(stderr, "warning: metric %s is non-finite; wrote null\n",
+                   key.c_str());
+    }
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 2,\n  \"metrics\": {",
                json_escape(name).c_str());
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     std::fprintf(f, "%s\n    \"%s\": ", i == 0 ? "" : ",",
                  json_escape(metrics[i].key).c_str());
-    if (std::isfinite(metrics[i].value)) {
-      std::fprintf(f, "%.6g", metrics[i].value);
-    } else {
-      std::fprintf(f, "null");
-      std::fprintf(stderr, "warning: metric %s is non-finite; wrote null\n",
-                   metrics[i].key.c_str());
-    }
+    emit(metrics[i].key, metrics[i].value);
   }
-  std::fprintf(f, "\n  }\n}\n");
+  std::fprintf(f, "\n  },\n  \"counters\": {");
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": ", i == 0 ? "" : ",",
+                 json_escape(counters[i].name).c_str());
+    emit(counters[i].name, counters[i].value);
+  }
+  std::fprintf(f, "%s}\n}\n", counters.empty() ? "" : "\n  ");
   std::fclose(f);
 }
 

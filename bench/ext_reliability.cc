@@ -62,8 +62,11 @@ struct RunResult {
 // Streams `packets` messages of `bytes` through a two-node fabric injecting
 // `drop`/`corrupt` per-packet fault rates. Never aborts on a stall: raw FM
 // under loss is *expected* to hang, and the caller reports that outcome.
+// With `counters` non-null, both endpoints' FM-Scope registries are
+// snapshotted into it before teardown.
 RunResult stream(const FmConfig& cfg, double drop, double corrupt,
-                 std::size_t bytes, std::size_t packets) {
+                 std::size_t bytes, std::size_t packets,
+                 std::vector<obs::Sample>* counters = nullptr) {
   hw::HwParams params = hw::HwParams::paper();
   params.faults.drop_rate = drop;
   params.faults.corrupt_rate = corrupt;
@@ -110,6 +113,12 @@ RunResult stream(const FmConfig& cfg, double drop, double corrupt,
   r.frames_sent = a.stats().frames_sent;
   r.retransmissions = a.stats().retransmissions;
   r.crc_drops = a.stats().crc_drops + b.stats().crc_drops;
+  if (counters != nullptr) {
+    for (const SimEndpoint* ep : {&a, &b}) {
+      auto snap = ep->registry().snapshot();
+      counters->insert(counters->end(), snap.begin(), snap.end());
+    }
+  }
   a.shutdown();
   b.shutdown();
   c.sim().run();
@@ -167,6 +176,10 @@ int main(int argc, char** argv) {
   std::FILE* csv = std::fopen(args.csv.c_str(), "w");
   if (csv) std::fprintf(csv, "config,drop_rate,t0_us,r_inf_mbs,n_half_bytes\n");
 
+  std::vector<fm::bench::JsonMetric> jm;
+  auto slug = [](const Variant& v) {
+    return !v.reliability ? "raw_fm" : (v.crc ? "fmr_crc" : "fmr_nocrc");
+  };
   const double kLossRates[] = {0.0, 0.001, 0.01};
   for (double loss : kLossRates) {
     std::printf("\nFrame loss rate %.1f%%:\n", loss * 100.0);
@@ -187,16 +200,29 @@ int main(int argc, char** argv) {
       if (csv)
         std::fprintf(csv, "%s,%g,%.3f,%.3f,%.1f\n", v.name, loss, m.t0_us,
                      m.r_inf_mbs, m.n_half);
+      char key[96];
+      std::snprintf(key, sizeof key, "%s_loss%g_t0_us", slug(v), loss * 100);
+      jm.push_back({key, m.t0_us});
+      std::snprintf(key, sizeof key, "%s_loss%g_r_inf_mbs", slug(v),
+                    loss * 100);
+      jm.push_back({key, m.r_inf_mbs});
+      std::snprintf(key, sizeof key, "%s_loss%g_retrans_per_1k", slug(v),
+                    loss * 100);
+      jm.push_back({key, m.retrans_per_1k});
     }
   }
 
-  // CRC necessity: a corrupting fabric, with and without the trailer.
+  // CRC necessity: a corrupting fabric, with and without the trailer. The
+  // CRC run's registry snapshot is the counter set committed with the bench
+  // JSON: it shows the recovery machinery (crc drops, timeouts,
+  // retransmissions) actually exercised.
+  std::vector<fm::obs::Sample> counters;
   std::printf("\nCorruption (1%% of frames, single bit flips):\n");
   {
     RunResult no_crc =
         stream(variant_cfg(kVariants[1]), 0.0, 0.01, 128, packets);
     RunResult with_crc =
-        stream(variant_cfg(kVariants[2]), 0.0, 0.01, 128, packets);
+        stream(variant_cfg(kVariants[2]), 0.0, 0.01, 128, packets, &counters);
     std::printf(
         "%-16s delivered %zu/%zu, silently corrupted payloads: %zu\n",
         "FM-R (no CRC)", no_crc.delivered, packets, no_crc.corrupted);
@@ -205,7 +231,18 @@ int main(int argc, char** argv) {
         " all retransmitted)\n",
         "FM-R + CRC", with_crc.delivered, packets, with_crc.corrupted,
         static_cast<unsigned long long>(with_crc.crc_drops));
+    jm.push_back({"crc_study_delivered",
+                  static_cast<double>(with_crc.delivered)});
+    jm.push_back({"crc_study_silent_corruptions_no_crc",
+                  static_cast<double>(no_crc.corrupted)});
+    jm.push_back({"crc_study_corruptions_with_crc",
+                  static_cast<double>(with_crc.corrupted)});
+    jm.push_back({"crc_study_crc_drops",
+                  static_cast<double>(with_crc.crc_drops)});
   }
+  fm::bench::write_bench_json("results/BENCH_ext_reliability.json",
+                              "ext_reliability", jm, counters);
+  std::printf("\nJSON written to results/BENCH_ext_reliability.json\n");
 
   std::printf(
       "\nWith faults off, the raw-FM and FM-R rows bracket the reliability\n"

@@ -18,6 +18,7 @@
 
 #include "bench/bench_common.h"
 #include "metrics/fit.h"
+#include "obs/chrome_trace.h"
 #include "shm/cluster.h"
 
 namespace {
@@ -34,11 +35,26 @@ struct Options {
   std::size_t rounds = 20000;    // ping-pong round trips
   std::size_t packets = 20000;   // messages per streamed-send point
   std::string json = "results/BENCH_shm.json";
+  std::string trace = "results/TRACE_shm_hotpath.json";
 };
 
-// Half round-trip of an FM_send_4 ping-pong between two threads.
-double run_send4_pingpong(std::size_t rounds) {
+/// FM-Scope output of the traced ping-pong run: one trace dump per endpoint
+/// (Perfetto-loadable via write_chrome_trace) plus the registry snapshots.
+struct ScopeCapture {
+  std::vector<obs::TraceDump> dumps;
+  std::vector<obs::Sample> counters;
+};
+
+// Half round-trip of an FM_send_4 ping-pong between two threads. With
+// `capture` non-null the flight recorders are armed on both endpoints and
+// their dumps + registry snapshots are returned — the timing result then
+// measures the *traced* hot path (tracing-enabled overhead is itself a
+// reported metric).
+double run_send4_pingpong(std::size_t rounds, ScopeCapture* capture = nullptr) {
   shm::Cluster cluster(2);
+  if (capture != nullptr)
+    for (NodeId i = 0; i < 2; ++i)
+      cluster.endpoint(i).trace_ring().enable(1 << 15);
   std::atomic<std::size_t> pongs{0};
   std::atomic<std::size_t> pings{0};
   HandlerId hpong = cluster.register_handler(
@@ -73,6 +89,15 @@ double run_send4_pingpong(std::size_t rounds) {
       ep.drain();
     }
   });
+  if (capture != nullptr) {
+    for (NodeId i = 0; i < 2; ++i) {
+      shm::Endpoint& ep = cluster.endpoint(i);
+      capture->dumps.push_back(ep.trace_ring().dump());
+      auto snap = ep.registry().snapshot();
+      capture->counters.insert(capture->counters.end(), snap.begin(),
+                               snap.end());
+    }
+  }
   return elapsed;
 }
 
@@ -147,13 +172,15 @@ int main(int argc, char** argv) {
       opt.packets = std::strtoull(arg + 10, nullptr, 10);
     } else if (std::strncmp(arg, "--json=", 7) == 0) {
       opt.json = arg + 7;
+    } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+      opt.trace = arg + 8;
     } else if (std::strcmp(arg, "--quick") == 0) {
       opt.rounds = 2000;
       opt.packets = 4000;
     } else if (std::strcmp(arg, "--help") == 0) {
       std::printf(
           "usage: shm_hotpath [--rounds=N] [--packets=N] [--json=PATH] "
-          "[--quick]\n");
+          "[--trace=PATH] [--quick]\n");
       return 0;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
@@ -211,7 +238,27 @@ int main(int argc, char** argv) {
   std::printf("ring floor      : %.1f ns per 128B push+consume\n", ring_ns);
   metrics.push_back({"ring_push_consume_ns", ring_ns});
 
-  fm::bench::write_bench_json(opt.json, "shm_hotpath", metrics);
+  // 4. FM-Scope: rerun the ping-pong with the flight recorders armed. The
+  // traced rtt quantifies tracing-enabled overhead against (1); the dumps
+  // become the Perfetto-loadable trace artifact and the registry snapshot
+  // rides along in the bench JSON as "counters".
+  ScopeCapture capture;
+  const double tpp = run_send4_pingpong(opt.rounds, &capture);
+  const double traced_rtt_us = tpp / static_cast<double>(opt.rounds) * 1e6;
+  std::printf("traced ping-pong: rtt %8.3f us   (+%.1f%% vs untraced)\n",
+              traced_rtt_us, (traced_rtt_us / rtt_us - 1.0) * 100.0);
+  metrics.push_back({"send4_pingpong_traced_rtt_us", traced_rtt_us});
+
+  fm::bench::write_bench_json(opt.json, "shm_hotpath", metrics,
+                              capture.counters);
   std::printf("\nJSON written to %s\n", opt.json.c_str());
+  if (fm::obs::write_chrome_trace_file(opt.trace, capture.dumps,
+                                       capture.counters)) {
+    std::printf("Chrome trace written to %s (load in Perfetto / "
+                "chrome://tracing)\n", opt.trace.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", opt.trace.c_str());
+    return 1;
+  }
   return 0;
 }

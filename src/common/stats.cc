@@ -1,5 +1,6 @@
 #include "common/stats.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <cstdio>
@@ -40,8 +41,12 @@ std::uint64_t LatencyHistogram::quantile(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
+    // Bucket upper bound, clamped to the observed maximum: a single 33 ns
+    // sample must report p50 = 33 ns, not its bucket's 63 ns ceiling.
     if (seen >= target)
-      return i + 1 >= 64 ? max_ : (1ull << (i + 1)) - 1;  // bucket upper bound
+      return i + 1 >= 64
+                 ? max_
+                 : std::min<std::uint64_t>(max_, (1ull << (i + 1)) - 1);
   }
   return max_;
 }

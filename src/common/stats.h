@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -32,8 +33,8 @@ class RunningStat {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
-  double min_ = 1e308;
-  double max_ = -1e308;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
   double sum_ = 0.0;
 };
 
@@ -48,7 +49,8 @@ class LatencyHistogram {
   /// Total number of recorded samples.
   std::uint64_t count() const { return total_; }
   /// Approximate q-quantile (0 <= q <= 1) in nanoseconds; returns the upper
-  /// bound of the bucket containing the quantile.
+  /// bound of the bucket containing the quantile, clamped to the observed
+  /// maximum (a quantile can never exceed the largest recorded sample).
   std::uint64_t quantile(double q) const;
   /// Formats a compact textual summary ("p50=… p99=… max=…").
   std::string summary() const;

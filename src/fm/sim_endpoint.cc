@@ -16,10 +16,37 @@ SimEndpoint::SimEndpoint(hw::Node& node, FmConfig cfg,
       lcp_(node, node.params(), lcp_cfg),
       window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
-      timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
+      timer_(cfg.retransmit_timeout_ns, cfg.max_retries),
+      trace_("sim.node" + std::to_string(node.id())),
+      registry_("sim.node" + std::to_string(node.id())) {
   FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
                "FM-R reliability requires flow control");
   lcp_.attach_host_recv(&host_rx_);
+  // FM-Scope: every Stats field by name, the LCP's counters and Figure 6
+  // queue gauges, and this layer's own occupancy gauges.
+  stats_.register_into(registry_);
+  lcp_.register_obs(registry_);
+  registry_.gauge("q.reject_depth",
+                  [this] { return static_cast<double>(rejq_.size()); });
+  registry_.gauge("window.in_flight",
+                  [this] { return static_cast<double>(window_.in_flight()); });
+  registry_.gauge("reasm.active",
+                  [this] { return static_cast<double>(reasm_.active()); });
+  registry_.gauge("acks.due",
+                  [this] { return static_cast<double>(acks_.total_due()); });
+  registry_.gauge("timers.armed",
+                  [this] { return static_cast<double>(timer_.armed()); });
+  registry_.gauge("credits.available", [this] {
+    double n = 0;
+    for (const auto& [peer, c] : credits_) n += static_cast<double>(c);
+    return n;
+  });
+  cat_send_ = trace_.intern("send");
+  cat_deliver_ = trace_.intern("deliver");
+  cat_retransmit_ = trace_.intern("retransmit");
+  cat_reject_ = trace_.intern("reject");
+  cat_crc_drop_ = trace_.intern("crc_drop");
+  cat_dead_peer_ = trace_.intern("dead_peer");
 }
 
 SimEndpoint::~SimEndpoint() = default;
@@ -53,8 +80,12 @@ sim::Op<Status> SimEndpoint::send(NodeId dest, HandlerId handler,
   ++stats_.messages_sent;
   const auto* bytes = static_cast<const std::uint8_t*>(buf);
   if (len <= cfg_.frame_payload) {
-    co_return co_await send_data_frame(dest, handler, bytes, len,
-                                       /*fragmented=*/false, 0, 0, 1);
+    Status s = co_await send_data_frame(dest, handler, bytes, len,
+                                        /*fragmented=*/false, 0, 0, 1);
+    // Counted sent, then refused by a dead peer: abandoned, for the
+    // conservation invariant (sent == delivered + abandoned).
+    if (s == Status::kPeerDead) ++stats_.messages_abandoned;
+    co_return s;
   }
   // Segmentation: "Larger messages will require segmentation and reassembly
   // into frames of this size" (§5).
@@ -68,7 +99,10 @@ sim::Op<Status> SimEndpoint::send(NodeId dest, HandlerId handler,
     Status s = co_await send_data_frame(
         dest, handler, bytes + off, n, /*fragmented=*/true, msg_id,
         static_cast<std::uint16_t>(i), static_cast<std::uint16_t>(frags));
-    if (!ok(s)) co_return s;
+    if (!ok(s)) {
+      if (s == Status::kPeerDead) ++stats_.messages_abandoned;
+      co_return s;
+    }
   }
   co_return Status::kOk;
 }
@@ -139,6 +173,7 @@ sim::Op<Status> SimEndpoint::send_data_frame(
     if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
   }
   ++stats_.frames_sent;
+  if (trace_.enabled()) trace_.event(now_ns(), cat_send_, 'i', dest, h.seq);
   co_await inject(dest, std::move(bytes));
   co_return Status::kOk;
 }
@@ -215,6 +250,8 @@ sim::Op<std::size_t> SimEndpoint::extract() {
   // retry budget.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
     ++stats_.retransmissions;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
     if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     co_await inject(entry.dest, std::move(entry.bytes));
   }
@@ -270,6 +307,8 @@ sim::Op<> SimEndpoint::reliability_tick() {
     if (stored.data == nullptr) continue;  // acked while the due list was built
     ++stats_.retransmit_timeouts;
     ++stats_.retransmissions;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_retransmit_, 'i', due.dest, due.seq);
     co_await inject(due.dest,
                     std::vector<std::uint8_t>(stored.data,
                                               stored.data + stored.len));
@@ -282,11 +321,12 @@ sim::Op<> SimEndpoint::reliability_tick() {
 void SimEndpoint::mark_peer_dead(NodeId peer) {
   if (!dead_peers_.insert(peer).second) return;
   ++stats_.peers_dead;
+  if (trace_.enabled()) trace_.event(now_ns(), cat_dead_peer_, 'i', peer, 0);
   // Graceful degradation, not a hang: free every resource aimed at (or held
   // for) the dead peer so blocked senders wake up and fail with kPeerDead.
-  window_.drop_dest(peer);
+  stats_.frames_discarded_dead += window_.drop_dest(peer);
   timer_.disarm_all(peer);
-  rejq_.drop_dest(peer);
+  stats_.frames_discarded_dead += rejq_.drop_dest(peer);
   acks_.forget(peer);
   dedup_.forget(peer);
   reasm_.abort(peer);
@@ -320,6 +360,8 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
       // Corruption *detected*: drop without acking — the sender's
       // retransmit timer turns detection into recovery.
       ++stats_.crc_drops;
+      if (trace_.enabled())
+        trace_.event(now_ns(), cat_crc_drop_, 'i', pkt.src, h.seq);
       co_return;
     }
   }
@@ -369,12 +411,16 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
             co_return;
           case Reassembler::Feed::kRejected:
             ++stats_.rejects_issued;
+            if (trace_.enabled())
+              trace_.event(now_ns(), cat_reject_, 'i', pkt.src, h.seq);
             co_await send_reject(pkt.src, h, pkt.bytes.data());
             co_return;  // not accepted: no ack, no dedup mark
           case Reassembler::Feed::kAccepted:
             break;
           case Reassembler::Feed::kComplete:
             ++stats_.messages_delivered;
+            if (trace_.enabled())
+              trace_.event(now_ns(), cat_deliver_, 'i', pkt.src, h.seq);
             handlers_.dispatch(h.handler, *this, pkt.src, message.data(),
                                message.size());
             co_await drain_posted();
@@ -382,6 +428,8 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
         }
       } else {
         ++stats_.messages_delivered;
+        if (trace_.enabled())
+          trace_.event(now_ns(), cat_deliver_, 'i', pkt.src, h.seq);
         handlers_.dispatch(h.handler, *this, pkt.src, payload, h.payload_len);
         co_await drain_posted();
       }

@@ -37,6 +37,9 @@
 #include "fm/protocol.h"
 #include "hw/cluster.h"
 #include "lcp/fm_lcp.h"
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
 #include "sim/op.h"
 
 namespace fm {
@@ -47,25 +50,10 @@ class SimEndpoint {
   /// Handler type: (endpoint, source node, transient payload).
   using Handler = HandlerRegistry<SimEndpoint>::Fn;
 
-  /// Layer statistics (tests and utilization reports).
-  struct Stats {
-    std::uint64_t frames_sent = 0;       ///< Data frames injected (incl. retransmits).
-    std::uint64_t frames_received = 0;   ///< Frames taken from the host queue.
-    std::uint64_t messages_sent = 0;     ///< API-level sends.
-    std::uint64_t messages_delivered = 0;///< Handler dispatches.
-    std::uint64_t acks_piggybacked = 0;  ///< Acks carried on data frames.
-    std::uint64_t acks_standalone = 0;   ///< Standalone ack frames sent.
-    std::uint64_t rejects_issued = 0;    ///< Frames we returned to senders.
-    std::uint64_t rejects_received = 0;  ///< Our frames returned to us.
-    std::uint64_t retransmissions = 0;   ///< Frames re-injected (reject + timeout).
-    std::uint64_t malformed_frames = 0;  ///< Undecodable wire garbage dropped.
-    // FM-R reliability counters (all zero unless cfg.reliability/crc_frames).
-    std::uint64_t retransmit_timeouts = 0;   ///< Timer-driven retransmissions.
-    std::uint64_t duplicates_suppressed = 0; ///< Dup frames acked, not delivered.
-    std::uint64_t crc_drops = 0;             ///< Frames failing CRC verification.
-    std::uint64_t peers_dead = 0;            ///< Peers declared dead (max retries).
-    std::uint64_t reassemblies_expired = 0;  ///< Half-assembled slots reclaimed.
-  };
+  /// Layer statistics (tests and utilization reports): the FM-Scope shared
+  /// counter block, identical across both backends and registered by name
+  /// into this endpoint's registry().
+  using Stats = obs::EndpointCounters;
 
   /// Creates an endpoint on `node`. Call start() before communicating.
   explicit SimEndpoint(hw::Node& node, FmConfig cfg = FmConfig(),
@@ -114,6 +102,13 @@ class SimEndpoint {
 
   const Stats& stats() const { return stats_; }
   const FmConfig& config() const { return cfg_; }
+  /// FM-Scope registry ("sim.node<id>"): every Stats field as a named
+  /// counter, plus queue-depth gauges for the four-queue design.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// FM-Scope trace ring (disabled by default; enable() to record).
+  obs::TraceRing& trace_ring() { return trace_; }
+  const obs::TraceRing& trace_ring() const { return trace_; }
   /// Condition notified when the LANai delivers frames to this host.
   sim::Condition& delivery_cond() { return host_rx_.arrived(); }
   /// The underlying control program (diagnostics).
@@ -198,6 +193,17 @@ class SimEndpoint {
   std::size_t consumed_since_update_ = 0;
   bool draining_posted_ = false;
   bool started_ = false;
+  // FM-Scope. Interned category ids for the hot-path trace events.
+  obs::TraceRing trace_;
+  std::uint16_t cat_send_ = 0;
+  std::uint16_t cat_deliver_ = 0;
+  std::uint16_t cat_retransmit_ = 0;
+  std::uint16_t cat_reject_ = 0;
+  std::uint16_t cat_crc_drop_ = 0;
+  std::uint16_t cat_dead_peer_ = 0;
+  // The registry's gauges reference the members above; it is declared last
+  // so it is destroyed first, while everything they point at is alive.
+  obs::Registry registry_;
 };
 
 }  // namespace fm

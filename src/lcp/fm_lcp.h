@@ -58,6 +58,15 @@ class FmLcp : public Lcp {
                     : 0.0;
   }
 
+  /// FM-Scope: the base queues plus this variant's aggregation counters.
+  void register_obs(obs::Registry& r) override {
+    Lcp::register_obs(r);
+    r.counter("lanai.frames_delivered", &frames_delivered_);
+    r.counter("lanai.dma_ops", &dma_ops_);
+    r.gauge("q.lanai_staged_depth",
+            [this] { return static_cast<double>(batch_.size()); });
+  }
+
  protected:
   sim::Task run() override {
     FM_CHECK_MSG(host_rx_ != nullptr, "FmLcp requires attach_host_recv()");

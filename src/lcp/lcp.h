@@ -24,6 +24,7 @@
 #include "hw/cluster.h"
 #include "hw/packet.h"
 #include "hw/params.h"
+#include "obs/registry.h"
 #include "sim/condition.h"
 #include "sim/task.h"
 
@@ -148,6 +149,26 @@ class Lcp {
   /// Traffic counters.
   std::uint64_t packets_tx() const { return packets_tx_; }
   std::uint64_t packets_rx() const { return packets_rx_; }
+
+  /// FM-Scope: registers the split counters and the queue-depth gauges for
+  /// the LANai-side queues of the four-queue design (Figure 6) into `r`.
+  /// Variants override to add their own instrumentation. The LCP must
+  /// outlive `r` (the owning endpoint declares its Registry last).
+  virtual void register_obs(obs::Registry& r) {
+    r.counter("lanai.hostsent", &hostsent_);
+    r.counter("lanai.lanaisent", &lanaisent_);
+    r.counter("lanai.packets_tx", &packets_tx_);
+    r.counter("lanai.packets_rx", &packets_rx_);
+    r.gauge("q.lanai_send_depth",
+            [this] { return static_cast<double>(send_q_.size()); });
+    r.gauge("q.lanai_recv_depth",
+            [this] { return static_cast<double>(nic().rx_ring().size()); });
+    r.gauge("q.host_recv_depth", [this] {
+      return host_rx_ != nullptr
+                 ? static_cast<double>(host_rx_->ring().size())
+                 : 0.0;
+    });
+  }
 
   hw::Node& node() { return node_; }
   hw::Nic& nic() { return node_.nic(); }

@@ -207,18 +207,21 @@ lcp::FmLcpConfig fm_lcp_config_for(Layer layer) {
 }
 
 double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
-                       std::size_t bytes, std::size_t rounds);
+                       std::size_t bytes, std::size_t rounds,
+                       const ObserveFn& observe = {});
 double fm_bw_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
-                  std::size_t bytes, std::size_t packets);
+                  std::size_t bytes, std::size_t packets,
+                  const ObserveFn& observe = {});
 
 double fm_latency_s(Layer layer, std::size_t bytes, const MeasureOpts& opts) {
   return fm_latency_impl(fm_config_for(layer, bytes, opts),
                          fm_lcp_config_for(layer), bytes,
-                         opts.pingpong_rounds);
+                         opts.pingpong_rounds, opts.observe);
 }
 
 double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
-                       std::size_t bytes, std::size_t rounds_in) {
+                       std::size_t bytes, std::size_t rounds_in,
+                       const ObserveFn& observe) {
   hw::Cluster c(2);
   SimEndpoint a(c.node(0), cfg, lcfg);
   SimEndpoint b(c.node(1), cfg, lcfg);
@@ -250,6 +253,7 @@ double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
   bool done = c.sim().run_while_pending([&] { return pongs >= rounds; });
   FM_CHECK_MSG(done, "fm latency harness stalled");
   double secs = sim::to_s(c.sim().now());
+  if (observe) observe(a, b);
   a.shutdown();
   b.shutdown();
   c.sim().run();
@@ -258,11 +262,13 @@ double fm_latency_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
 
 double fm_bw_mbs(Layer layer, std::size_t bytes, const MeasureOpts& opts) {
   return fm_bw_impl(fm_config_for(layer, bytes, opts),
-                    fm_lcp_config_for(layer), bytes, opts.stream_packets);
+                    fm_lcp_config_for(layer), bytes, opts.stream_packets,
+                    opts.observe);
 }
 
 double fm_bw_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
-                  std::size_t bytes, std::size_t packets_in) {
+                  std::size_t bytes, std::size_t packets_in,
+                  const ObserveFn& observe) {
   hw::Cluster c(2);
   SimEndpoint a(c.node(0), cfg, lcfg);
   SimEndpoint b(c.node(1), cfg, lcfg);
@@ -292,6 +298,7 @@ double fm_bw_impl(const FmConfig& cfg, const lcp::FmLcpConfig& lcfg,
   bool done = c.sim().run_while_pending([&] { return delivered == packets; });
   FM_CHECK_MSG(done, "fm bandwidth harness stalled");
   double secs = sim::to_s(c.sim().now());
+  if (observe) observe(a, b);
   a.shutdown();
   b.shutdown();
   c.sim().run();

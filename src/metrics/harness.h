@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -20,7 +21,16 @@
 #include "lcp/fm_lcp.h"
 #include "metrics/fit.h"
 
+namespace fm {
+class SimEndpoint;
+}
+
 namespace fm::metrics {
+
+/// FM-Scope observation hook: called once per FM-layer measurement, after
+/// the run completed (endpoints quiescent) and before teardown, with the
+/// two endpoints so callers can snapshot registries and counters.
+using ObserveFn = std::function<void(SimEndpoint& tx, SimEndpoint& rx)>;
 
 /// One configuration of the messaging stack.
 enum class Layer {
@@ -50,6 +60,9 @@ struct MeasureOpts {
   /// Packet size used to probe r_inf ("peak bandwidth for infinitely large
   /// packets"); 0 disables the probe (r_inf falls back to the fitted slope).
   std::size_t asymptote_bytes = 16384;
+  /// FM-Scope hook (may be empty). Only the FM layers (kBufMgmt and up)
+  /// construct SimEndpoints, so only they invoke it.
+  ObserveFn observe;
 };
 
 /// One sweep point.

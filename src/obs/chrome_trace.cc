@@ -1,0 +1,157 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace fm::obs {
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+struct FlatEvent {
+  std::uint64_t ts_ns = 0;
+  int tid = 0;
+  char phase = 'i';
+  const TraceDump* dump = nullptr;
+  const TraceRecord* rec = nullptr;  // null for synthetic closing 'E's
+  std::uint16_t cat = 0;             // valid when rec is null
+};
+
+void emit_event(std::FILE* f, bool* first, const FlatEvent& e,
+                std::uint64_t t0_ns) {
+  const std::uint16_t cid = e.rec != nullptr ? e.rec->cat : e.cat;
+  const std::string& name = cid < e.dump->categories.size()
+                                ? e.dump->categories[cid]
+                                : e.dump->scope;
+  std::fprintf(f, "%s\n    {\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+               "\"ts\":%.3f,\"pid\":0,\"tid\":%d",
+               *first ? "" : ",", escape(name).c_str(), escape(name).c_str(),
+               e.phase, static_cast<double>(e.ts_ns - t0_ns) / 1e3, e.tid);
+  *first = false;
+  if (e.phase == 'C') {
+    // Counter events: the sampled values live directly in args.
+    std::fprintf(f, ",\"args\":{\"a\":%u,\"b\":%u}}",
+                 e.rec ? e.rec->a : 0u, e.rec ? e.rec->b : 0u);
+    return;
+  }
+  if (e.rec != nullptr) {
+    std::fprintf(f, ",\"args\":{\"a\":%u,\"b\":%u", e.rec->a, e.rec->b);
+    if (e.rec->detail[0] != '\0')
+      std::fprintf(f, ",\"detail\":\"%s\"",
+                   escape(e.rec->detail).c_str());
+    if (e.rec->clipped()) std::fprintf(f, ",\"clipped\":true");
+    std::fprintf(f, "}");
+  } else {
+    std::fprintf(f, ",\"args\":{\"synthetic_close\":true}");
+  }
+  std::fprintf(f, "}");
+}
+
+}  // namespace
+
+void write_chrome_trace(std::FILE* f, const std::vector<TraceDump>& dumps,
+                        const std::vector<Sample>& counters) {
+  // Flatten, then sort globally by timestamp (stable: intra-track order —
+  // and therefore B-before-E at equal timestamps — survives).
+  std::vector<FlatEvent> events;
+  for (std::size_t d = 0; d < dumps.size(); ++d)
+    for (const TraceRecord& r : dumps[d].records)
+      events.push_back(FlatEvent{r.ts_ns, static_cast<int>(d), r.phase,
+                                 &dumps[d], &r, r.cat});
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlatEvent& x, const FlatEvent& y) {
+                     return x.ts_ns < y.ts_ns;
+                   });
+  std::uint64_t t0 = events.empty() ? 0 : events.front().ts_ns;
+  std::uint64_t t_end = events.empty() ? 0 : events.back().ts_ns;
+
+  // Per-track duration matching: orphaned 'E's (their 'B' was overwritten
+  // by the flight recorder) demote to instants; unclosed 'B's get synthetic
+  // 'E's appended at the final timestamp, keeping ts monotonic.
+  std::vector<std::vector<std::uint16_t>> open(dumps.size());
+  for (FlatEvent& e : events) {
+    if (e.phase == 'B') {
+      open[e.tid].push_back(e.rec->cat);
+    } else if (e.phase == 'E') {
+      if (open[e.tid].empty())
+        e.phase = 'i';
+      else
+        open[e.tid].pop_back();
+    }
+  }
+  std::vector<FlatEvent> closers;
+  for (std::size_t d = 0; d < dumps.size(); ++d)
+    while (!open[d].empty()) {
+      closers.push_back(FlatEvent{t_end, static_cast<int>(d), 'E', &dumps[d],
+                                  nullptr, open[d].back()});
+      open[d].pop_back();
+    }
+
+  std::fprintf(f, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  // Track names first (metadata, ts 0 <= every normalized timestamp).
+  for (std::size_t d = 0; d < dumps.size(); ++d) {
+    std::fprintf(f, "%s\n    {\"name\":\"thread_name\",\"ph\":\"M\","
+                 "\"ts\":0.000,\"pid\":0,\"tid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 first ? "" : ",", static_cast<int>(d),
+                 escape(dumps[d].scope).c_str());
+    first = false;
+  }
+  for (const FlatEvent& e : events) emit_event(f, &first, e, t0);
+  for (const FlatEvent& e : closers) emit_event(f, &first, e, t0);
+  std::fprintf(f, "\n  ]");
+
+  // Loss accounting and registry snapshots ride along as otherData.
+  std::fprintf(f, ",\n  \"otherData\":{");
+  bool ofirst = true;
+  for (std::size_t d = 0; d < dumps.size(); ++d) {
+    std::fprintf(f, "%s\n    \"%s.trace_dropped\":%llu,",
+                 ofirst ? "" : ",", escape(dumps[d].scope).c_str(),
+                 static_cast<unsigned long long>(dumps[d].dropped));
+    std::fprintf(f, "\n    \"%s.trace_clipped\":%llu",
+                 escape(dumps[d].scope).c_str(),
+                 static_cast<unsigned long long>(dumps[d].clipped));
+    ofirst = false;
+  }
+  for (const Sample& s : counters) {
+    double v = std::isfinite(s.value) ? s.value : 0.0;
+    std::fprintf(f, "%s\n    \"%s\":%.17g", ofirst ? "" : ",",
+                 escape(s.name).c_str(), v);
+    ofirst = false;
+  }
+  std::fprintf(f, "\n  }\n}\n");
+}
+
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceDump>& dumps,
+                             const std::vector<Sample>& counters) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  write_chrome_trace(f, dumps, counters);
+  return std::fclose(f) == 0;
+}
+
+}  // namespace fm::obs

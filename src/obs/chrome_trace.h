@@ -1,0 +1,41 @@
+// Chrome trace-event JSON exporter (loadable in Perfetto / chrome://tracing).
+//
+// Consumes TraceDumps (one per track: an endpoint, a node, a thread) and
+// writes the "JSON Array Format" with an object wrapper:
+//
+//   {"displayTimeUnit":"ns","traceEvents":[
+//     {"name":"extract","cat":"extract","ph":"B","ts":1.234,"pid":0,"tid":1,
+//      "args":{"a":3,"b":17}}, ... ]}
+//
+// Guarantees the schema test (tests/obs/chrome_export_test.cc) relies on:
+//   * the output parses as one valid JSON document;
+//   * "ts" is non-decreasing across the whole traceEvents array (events are
+//     globally sorted before emission);
+//   * every 'B' has a matching 'E' on the same tid — an unmatched 'B' at
+//     the end of a dump gets a synthetic closing 'E' at the dump's last
+//     timestamp, and an orphaned 'E' (its 'B' was overwritten by the flight
+//     recorder) is demoted to an instant.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
+
+namespace fm::obs {
+
+/// Writes the dumps as Chrome trace-event JSON; tid is the dump's index,
+/// with a thread_name metadata record carrying its scope. `counters`, when
+/// non-empty, is emitted once as a trailing "otherData" object so registry
+/// snapshots ride along in the same artifact.
+void write_chrome_trace(std::FILE* f, const std::vector<TraceDump>& dumps,
+                        const std::vector<Sample>& counters = {});
+
+/// Convenience: opens `path`, writes, closes. Returns false on I/O error.
+bool write_chrome_trace_file(const std::string& path,
+                             const std::vector<TraceDump>& dumps,
+                             const std::vector<Sample>& counters = {});
+
+}  // namespace fm::obs

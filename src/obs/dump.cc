@@ -1,0 +1,167 @@
+#include "obs/dump.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "obs/chrome_trace.h"
+
+namespace fm::obs {
+namespace {
+
+// One mutex guards all the global observability bookkeeping; every path
+// through here is cold (object construction/destruction, failure dumps).
+std::mutex g_mu;
+std::atomic<bool> g_capture{false};
+std::vector<const Registry*>& live_registries_storage() {
+  static std::vector<const Registry*> v;
+  return v;
+}
+std::vector<const TraceRing*>& live_rings_storage() {
+  static std::vector<const TraceRing*> v;
+  return v;
+}
+std::vector<Sample>& archived_samples_storage() {
+  static std::vector<Sample> v;
+  return v;
+}
+std::vector<TraceDump>& archived_traces_storage() {
+  static std::vector<TraceDump> v;
+  return v;
+}
+
+template <typename T>
+void erase_ptr(std::vector<const T*>& v, const T* p) {
+  v.erase(std::remove(v.begin(), v.end(), p), v.end());
+}
+
+bool ensure_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0777) == 0) return true;
+  struct ::stat st{};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
+
+void begin_capture() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  archived_samples_storage().clear();
+  archived_traces_storage().clear();
+  g_capture.store(true, std::memory_order_release);
+}
+
+void end_capture() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_capture.store(false, std::memory_order_release);
+  archived_samples_storage().clear();
+  archived_traces_storage().clear();
+}
+
+bool capture_enabled() { return g_capture.load(std::memory_order_acquire); }
+
+std::vector<Sample> drain_archived_samples() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::vector<Sample> out = std::move(archived_samples_storage());
+  archived_samples_storage().clear();
+  return out;
+}
+
+std::vector<TraceDump> drain_archived_traces() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  std::vector<TraceDump> out = std::move(archived_traces_storage());
+  archived_traces_storage().clear();
+  return out;
+}
+
+bool write_failure_dump(const std::string& dir, const std::string& name) {
+  if (!ensure_dir(dir)) return false;
+  // Live state first (archives grow at destruction, which already happened
+  // for anything the test body unwound).
+  std::vector<Sample> samples = Registry::snapshot_all();
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto& arch = archived_samples_storage();
+    samples.insert(samples.end(), arch.begin(), arch.end());
+  }
+  std::vector<TraceDump> traces = detail::dump_live_rings();
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto& arch = archived_traces_storage();
+    traces.insert(traces.end(), arch.begin(), arch.end());
+  }
+
+  bool ok = true;
+  const std::string reg_path = dir + "/" + name + ".registry.txt";
+  if (std::FILE* f = std::fopen(reg_path.c_str(), "w")) {
+    for (const auto& s : samples)
+      std::fprintf(f, "%-48s %.17g%s\n", s.name.c_str(), s.value,
+                   s.monotonic ? "" : "  (gauge)");
+    std::fclose(f);
+  } else {
+    ok = false;
+  }
+  const std::string trace_path = dir + "/" + name + ".trace.json";
+  ok = write_chrome_trace_file(trace_path, traces, samples) && ok;
+  return ok;
+}
+
+namespace detail {
+
+void archive_samples(std::vector<Sample> samples) {
+  if (!capture_enabled()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  auto& arch = archived_samples_storage();
+  arch.insert(arch.end(), std::make_move_iterator(samples.begin()),
+              std::make_move_iterator(samples.end()));
+}
+
+void archive_trace(TraceDump dump) {
+  if (!capture_enabled()) return;
+  std::lock_guard<std::mutex> lk(g_mu);
+  archived_traces_storage().push_back(std::move(dump));
+}
+
+void register_live_registry(const Registry* r) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  live_registries_storage().push_back(r);
+}
+
+void unregister_live_registry(const Registry* r) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  erase_ptr(live_registries_storage(), r);
+}
+
+void register_live_ring(const TraceRing* t) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  auto& v = live_rings_storage();
+  if (std::find(v.begin(), v.end(), t) == v.end()) v.push_back(t);
+}
+
+void unregister_live_ring(const TraceRing* t) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  erase_ptr(live_rings_storage(), t);
+}
+
+std::vector<const Registry*> live_registries() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return live_registries_storage();
+}
+
+std::vector<TraceDump> dump_live_rings() {
+  std::vector<const TraceRing*> rings;
+  {
+    std::lock_guard<std::mutex> lk(g_mu);
+    rings = live_rings_storage();
+  }
+  std::vector<TraceDump> out;
+  out.reserve(rings.size());
+  for (const TraceRing* t : rings) out.push_back(t->dump());
+  return out;
+}
+
+}  // namespace detail
+}  // namespace fm::obs

@@ -1,0 +1,54 @@
+// Dump-on-failure support: when a test fails, write every registry
+// snapshot and trace ring the test produced — including ones whose owners
+// were destroyed when the test body unwound — to an artifact directory CI
+// can upload.
+//
+// Flow (driven by the gtest listener in tests/support/fm_test_main.cc):
+//   begin_capture()            — OnTestStart: arm archiving, clear archives
+//   ... test runs; Registry/TraceRing destructors archive their final
+//       state while capture is armed ...
+//   write_failure_dump(...)    — on failure: archived + still-live state
+//                                -> <dir>/<test>.registry.txt
+//                                   <dir>/<test>.trace.json
+//   end_capture()              — OnTestEnd: disarm, clear archives
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
+
+namespace fm::obs {
+
+/// Arms destructor-time archiving and clears previously archived state.
+void begin_capture();
+/// Disarms archiving and clears archives.
+void end_capture();
+/// True between begin_capture() and end_capture().
+bool capture_enabled();
+
+/// Archived state accumulated since begin_capture() (destructor-archived
+/// registries/rings, oldest first). Draining clears the archive.
+std::vector<Sample> drain_archived_samples();
+std::vector<TraceDump> drain_archived_traces();
+
+/// Writes <dir>/<name>.registry.txt (archived + live registry samples) and
+/// <dir>/<name>.trace.json (archived + live trace rings as a Chrome trace),
+/// creating `dir` if needed. Returns true when both files were written.
+bool write_failure_dump(const std::string& dir, const std::string& name);
+
+namespace detail {
+// Destructor hooks (no-ops unless capture is armed).
+void archive_samples(std::vector<Sample> samples);
+void archive_trace(TraceDump dump);
+// Live-object bookkeeping for Registry::snapshot_all() and the failure dump.
+void register_live_registry(const Registry* r);
+void unregister_live_registry(const Registry* r);
+void register_live_ring(const TraceRing* t);
+void unregister_live_ring(const TraceRing* t);
+std::vector<const Registry*> live_registries();
+std::vector<TraceDump> dump_live_rings();
+}  // namespace detail
+
+}  // namespace fm::obs

@@ -1,0 +1,48 @@
+#include "obs/registry.h"
+
+#include "obs/dump.h"
+
+namespace fm::obs {
+
+Registry::Registry(std::string scope) : scope_(std::move(scope)) {
+  detail::register_live_registry(this);
+}
+
+Registry::~Registry() {
+  if (capture_enabled()) detail::archive_samples(snapshot());
+  detail::unregister_live_registry(this);
+}
+
+void Registry::counter(const char* name, const std::uint64_t* cell) {
+  counters_.push_back(CounterEntry{scope_ + "." + name, cell});
+}
+
+void Registry::gauge(const char* name, std::function<double()> fn) {
+  gauges_.push_back(GaugeEntry{scope_ + "." + name, std::move(fn)});
+}
+
+std::vector<Sample> Registry::snapshot() const {
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& c : counters_)
+    out.push_back(Sample{c.name, static_cast<double>(*c.cell), true});
+  for (const auto& g : gauges_) out.push_back(Sample{g.name, g.fn(), false});
+  return out;
+}
+
+void Registry::dump(std::FILE* f) const {
+  for (const auto& s : snapshot())
+    std::fprintf(f, "%-48s %.17g%s\n", s.name.c_str(), s.value,
+                 s.monotonic ? "" : "  (gauge)");
+}
+
+std::vector<Sample> Registry::snapshot_all() {
+  std::vector<Sample> out;
+  for (const Registry* r : detail::live_registries()) {
+    auto s = r->snapshot();
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  return out;
+}
+
+}  // namespace fm::obs

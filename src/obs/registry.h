@@ -1,0 +1,82 @@
+// FM-Scope counter/gauge registry.
+//
+// The paper's evaluation is nothing but instrumented counters (t0, r_inf,
+// n_1/2, queue occupancy in Figs. 7-8), and its hardest bugs "manifest as
+// the numbers looking slightly wrong". This registry makes every number a
+// named, enumerable quantity instead of an ad-hoc struct field:
+//
+//   * A *counter* is a monotonic uint64 cell owned by the instrumented code
+//     (e.g. a Stats field). The hot path keeps incrementing a plain member
+//     — registering it costs nothing per event; the registry only reads the
+//     cell when a snapshot is taken.
+//   * A *gauge* is a sampled quantity (queue depth, frames in flight)
+//     evaluated lazily via a callback at snapshot time.
+//
+// Registries are scoped ("shm.node0", "sim.node1") and join a global live
+// list so tooling — the dump-on-failure gtest listener, the bench JSON
+// writer — can enumerate every instrumented object in the process. Because
+// gauges reference sibling members of their owner, a Registry member must
+// be declared LAST in its owning class: it is then destroyed first, while
+// everything its gauges point at is still alive.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fm::obs {
+
+/// One named value read out of a registry.
+struct Sample {
+  std::string name;  ///< Scope-qualified: "shm.node0.frames_sent".
+  double value = 0.0;
+  bool monotonic = false;  ///< True for counters, false for gauges.
+};
+
+/// A scoped set of counters and gauges. Not thread-safe: register from the
+/// owning thread; snapshot from the owning thread (or after it joined).
+class Registry {
+ public:
+  explicit Registry(std::string scope);
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers a monotonic counter backed by `cell`, which must outlive
+  /// this registry (declare the Registry after — i.e. below — the cell).
+  void counter(const char* name, const std::uint64_t* cell);
+
+  /// Registers a sampled gauge; `fn` is invoked at snapshot time.
+  void gauge(const char* name, std::function<double()> fn);
+
+  const std::string& scope() const { return scope_; }
+
+  /// Reads every counter and samples every gauge.
+  std::vector<Sample> snapshot() const;
+
+  /// Human-readable dump (one "name value" line per sample).
+  void dump(std::FILE* f) const;
+
+  /// Snapshot of every live registry in the process, concatenated.
+  /// Counters are plain loads: only call when instrumented threads are
+  /// quiescent (e.g. after Cluster::run returned).
+  static std::vector<Sample> snapshot_all();
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    const std::uint64_t* cell;
+  };
+  struct GaugeEntry {
+    std::string name;
+    std::function<double()> fn;
+  };
+
+  std::string scope_;
+  std::vector<CounterEntry> counters_;
+  std::vector<GaugeEntry> gauges_;
+};
+
+}  // namespace fm::obs

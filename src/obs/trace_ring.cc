@@ -1,0 +1,68 @@
+#include "obs/trace_ring.h"
+
+#include <cstdio>
+
+#include "obs/dump.h"
+
+namespace fm::obs {
+
+TraceRing::~TraceRing() {
+  if (capture_enabled() && enabled_ && size() > 0)
+    detail::archive_trace(dump());
+  detail::unregister_live_ring(this);
+}
+
+std::uint16_t TraceRing::intern(std::string_view category) {
+  for (std::size_t i = 0; i < categories_.size(); ++i)
+    if (categories_[i] == category) return static_cast<std::uint16_t>(i);
+  categories_.emplace_back(category);
+  return static_cast<std::uint16_t>(categories_.size() - 1);
+}
+
+void TraceRing::enable(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  if (ring_.size() != capacity) {
+    ring_.clear();
+    ring_.resize(capacity);
+  }
+  clear();
+  if (!enabled_) detail::register_live_ring(this);
+  enabled_ = true;
+}
+
+void TraceRing::eventf(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                       std::uint32_t a, std::uint32_t b, const char* fmt,
+                       ...) {
+  if (!enabled_) return;
+  va_list ap;
+  va_start(ap, fmt);
+  eventv(ts_ns, cat, phase, a, b, fmt, ap);
+  va_end(ap);
+}
+
+void TraceRing::eventv(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                       std::uint32_t a, std::uint32_t b, const char* fmt,
+                       va_list ap) {
+  if (!enabled_) return;
+  TraceRecord* r = append(ts_ns, cat, phase, a, b);
+  int n = std::vsnprintf(r->detail, TraceRecord::kDetailBytes, fmt, ap);
+  if (n < 0) {
+    r->detail[0] = '\0';
+  } else if (static_cast<std::size_t>(n) >= TraceRecord::kDetailBytes) {
+    r->flags |= TraceRecord::kClippedFlag;
+    ++clipped_;
+  }
+}
+
+TraceDump TraceRing::dump() const {
+  TraceDump d;
+  d.scope = scope_;
+  d.categories = categories_;
+  d.records.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) d.records.push_back(record(i));
+  d.dropped = dropped();
+  d.clipped = clipped_;
+  return d;
+}
+
+}  // namespace fm::obs

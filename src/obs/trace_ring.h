@@ -1,0 +1,154 @@
+// FM-Scope structured trace sink: a preallocated flight recorder of
+// fixed-size POD records, cheap enough for the shm hot path.
+//
+// The sim-only Trace (sim/trace.h) paid two heap std::strings per record
+// and silently truncated details — fine for a coroutine simulator, fatal
+// for a transport whose steady state is proven allocation-free
+// (tests/shm/shm_alloc_test.cc). This ring fixes both:
+//
+//   * Categories are interned once at setup time; the hot path stores a
+//     16-bit id.
+//   * Records are 64 bytes (one cache line), written in place into a
+//     buffer preallocated by enable(). A disabled ring costs one branch
+//     per event; an enabled ring costs one record write and never touches
+//     the heap.
+//   * The ring is a flight recorder: when full it overwrites the oldest
+//     record and counts the loss in dropped(). Formatted details that do
+//     not fit are clipped, flagged on the record, and counted in
+//     clipped() — truncation is always reported, never silent.
+//
+// Phases follow the Chrome trace-event convention so exports map 1:1:
+// 'B'/'E' bracket a duration, 'i' is an instant, 'C' samples counters.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fm::obs {
+
+/// One fixed-size trace record (exactly one cache line).
+struct TraceRecord {
+  static constexpr std::size_t kDetailBytes = 44;
+
+  std::uint64_t ts_ns = 0;  ///< Timebase owned by the producer (sim or wall).
+  std::uint16_t cat = 0;    ///< Interned category id.
+  char phase = 'i';         ///< 'B', 'E', 'i', or 'C'.
+  std::uint8_t flags = 0;   ///< kClippedFlag.
+  std::uint32_t a = 0;      ///< POD payload (e.g. peer id).
+  std::uint32_t b = 0;      ///< POD payload (e.g. sequence number).
+  char detail[kDetailBytes] = {0};  ///< NUL-terminated text; may be empty.
+
+  static constexpr std::uint8_t kClippedFlag = 1;
+  bool clipped() const { return (flags & kClippedFlag) != 0; }
+};
+static_assert(sizeof(TraceRecord) == 64, "trace records must stay one line");
+
+/// A cold copy of a ring's contents, exportable after the ring is gone.
+struct TraceDump {
+  std::string scope;                    ///< Track name for exporters.
+  std::vector<std::string> categories;  ///< Indexed by TraceRecord::cat.
+  std::vector<TraceRecord> records;     ///< Oldest first.
+  std::uint64_t dropped = 0;
+  std::uint64_t clipped = 0;
+};
+
+/// The trace ring. Single-writer, like the endpoint that owns it.
+class TraceRing {
+ public:
+  TraceRing() = default;
+  explicit TraceRing(std::string scope) : scope_(std::move(scope)) {}
+  ~TraceRing();
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  const std::string& scope() const { return scope_; }
+
+  /// Interns `category` (idempotent), returning its id. Setup-time only:
+  /// may allocate on first sight of a name.
+  std::uint16_t intern(std::string_view category);
+  const std::string& category(std::uint16_t id) const {
+    return categories_[id];
+  }
+
+  /// Preallocates `capacity` records and starts recording. Re-enabling
+  /// clears prior records (and resizes if the capacity changed).
+  void enable(std::size_t capacity = kDefaultCapacity);
+  void disable() { enabled_ = false; }
+  bool enabled() const { return enabled_; }
+
+  /// Hot path: appends one record. Never allocates; overwrites the oldest
+  /// record (counting it dropped) when the ring is full.
+  void event(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+             std::uint32_t a = 0, std::uint32_t b = 0) {
+    if (!enabled_) return;
+    append(ts_ns, cat, phase, a, b)->detail[0] = '\0';
+  }
+
+  /// Cold path: appends a record with printf-formatted detail text. Details
+  /// longer than TraceRecord::kDetailBytes-1 are clipped and counted.
+  void eventf(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+              std::uint32_t a, std::uint32_t b, const char* fmt, ...)
+      __attribute__((format(printf, 7, 8)));
+  void eventv(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+              std::uint32_t a, std::uint32_t b, const char* fmt, va_list ap);
+
+  /// Records currently held (<= capacity once the recorder wraps).
+  std::size_t size() const { return count_ < ring_.size() ? count_ : ring_.size(); }
+  std::size_t capacity() const { return ring_.size(); }
+  /// Oldest-first access: index 0 is the oldest surviving record.
+  const TraceRecord& record(std::size_t i) const {
+    std::size_t oldest = count_ > ring_.size() ? pos_ : 0;
+    std::size_t idx = oldest + i;
+    if (idx >= ring_.size()) idx -= ring_.size();
+    return ring_[idx];
+  }
+
+  /// Records overwritten because the ring was full.
+  std::uint64_t dropped() const {
+    return count_ > ring_.size() ? count_ - ring_.size() : 0;
+  }
+  /// Records whose detail text was truncated.
+  std::uint64_t clipped() const { return clipped_; }
+
+  /// Forgets all records (capacity and categories are kept).
+  void clear() {
+    count_ = 0;
+    pos_ = 0;
+    clipped_ = 0;
+  }
+
+  /// Cold copy of everything an exporter needs.
+  TraceDump dump() const;
+
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+ private:
+  TraceRecord* append(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                      std::uint32_t a, std::uint32_t b) {
+    TraceRecord* r = &ring_[pos_];
+    r->ts_ns = ts_ns;
+    r->cat = cat;
+    r->phase = phase;
+    r->flags = 0;
+    r->a = a;
+    r->b = b;
+    if (++pos_ == ring_.size()) pos_ = 0;
+    ++count_;
+    return r;
+  }
+
+  std::string scope_;
+  std::vector<TraceRecord> ring_;
+  std::vector<std::string> categories_;
+  std::size_t pos_ = 0;       // next write index
+  std::uint64_t count_ = 0;   // total records ever appended
+  std::uint64_t clipped_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace fm::obs

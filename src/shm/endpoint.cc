@@ -16,12 +16,57 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
       cfg_(cfg),
       window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
-      timer_(cfg.retransmit_timeout_ns, cfg.max_retries) {
+      timer_(cfg.retransmit_timeout_ns, cfg.max_retries),
+      trace_("shm.node" + std::to_string(id)),
+      registry_("shm.node" + std::to_string(id)) {
   FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
                "FM-R requires flow control: the send window holds the frame "
                "copies retransmission needs");
   for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
   retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
+  // FM-Scope: every Stats field as a named counter, plus occupancy gauges
+  // for this backend's queue set (SPSC rings stand in for the wire, the
+  // reject/posted queues are the host-side stages).
+  stats_.register_into(registry_);
+  registry_.gauge("q.tx_rings_depth", [this] {
+    double n = 0;
+    for (NodeId dst = 0; dst < cluster_.size(); ++dst)
+      if (dst != id_) n += static_cast<double>(cluster_.ring(id_, dst).size_approx());
+    return n;
+  });
+  registry_.gauge("q.rx_rings_depth", [this] {
+    double n = 0;
+    for (NodeId src = 0; src < cluster_.size(); ++src)
+      if (src != id_) n += static_cast<double>(cluster_.ring(src, id_).size_approx());
+    return n;
+  });
+  registry_.gauge("q.reject_depth",
+                  [this] { return static_cast<double>(rejq_.size()); });
+  registry_.gauge("q.posted_depth", [this] {
+    return static_cast<double>(posted_.size() - posted_head_);
+  });
+  registry_.gauge("window.in_flight",
+                  [this] { return static_cast<double>(window_.in_flight()); });
+  registry_.gauge("reasm.active",
+                  [this] { return static_cast<double>(reasm_.active()); });
+  registry_.gauge("acks.due",
+                  [this] { return static_cast<double>(acks_.total_due()); });
+  registry_.gauge("timers.armed",
+                  [this] { return static_cast<double>(timer_.armed()); });
+  registry_.gauge("credits.available", [this] {
+    double n = 0;
+    for (const auto& [peer, c] : credits_) n += static_cast<double>(c);
+    return n;
+  });
+  cat_send_ = trace_.intern("send");
+  cat_extract_ = trace_.intern("extract");
+  cat_deliver_ = trace_.intern("deliver");
+  cat_retransmit_ = trace_.intern("retransmit");
+  cat_reject_ = trace_.intern("reject");
+  cat_crc_drop_ = trace_.intern("crc_drop");
+  cat_dup_ = trace_.intern("dup");
+  cat_dead_peer_ = trace_.intern("dead_peer");
+  cat_depth_ = trace_.intern("window_rejq_depth");
   if (faults.enabled()) {
     // Each endpoint gets its own injector (the rings must stay
     // single-writer) with a decorrelated seed, so runs remain
@@ -64,8 +109,14 @@ Status Endpoint::send(NodeId dest, HandlerId handler, const void* buf,
     return Status::kPeerDead;
   ++stats_.messages_sent;
   const auto* bytes = static_cast<const std::uint8_t*>(buf);
-  if (len <= cfg_.frame_payload)
-    return send_data_frame(dest, handler, bytes, len, false, 0, 0, 1);
+  if (len <= cfg_.frame_payload) {
+    Status s = send_data_frame(dest, handler, bytes, len, false, 0, 0, 1);
+    // Counted sent, then refused mid-flight by a dead-peer declaration:
+    // abandoned, for the conservation invariant (sent == delivered +
+    // abandoned while no peer is dead).
+    if (s == Status::kPeerDead) ++stats_.messages_abandoned;
+    return s;
+  }
   const std::size_t per = cfg_.frame_payload;
   const std::size_t frags = (len + per - 1) / per;
   if (frags > 0xffff) return Status::kTooLarge;
@@ -76,7 +127,10 @@ Status Endpoint::send(NodeId dest, HandlerId handler, const void* buf,
     Status s = send_data_frame(dest, handler, bytes + off, n, true, msg_id,
                                static_cast<std::uint16_t>(i),
                                static_cast<std::uint16_t>(frags));
-    if (!ok(s)) return s;
+    if (!ok(s)) {
+      if (s == Status::kPeerDead) ++stats_.messages_abandoned;
+      return s;
+    }
   }
   return Status::kOk;
 }
@@ -143,6 +197,7 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     window_.commit(wire);
     if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
     ++stats_.frames_sent;
+    if (trace_.enabled()) trace_.event(now_ns(), cat_send_, 'i', dest, h.seq);
     inject(dest, slot, wire, h.seq);
     return Status::kOk;
   }
@@ -154,6 +209,7 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   std::uint8_t* buf = tx_scratch_[tx_depth_].data();
   const std::size_t wire = encode_frame_into(buf, h, payload, nullptr);
   ++stats_.frames_sent;
+  if (trace_.enabled()) trace_.event(now_ns(), cat_send_, 'i', dest, h.seq);
   ++tx_depth_;
   inject(dest, buf, wire);
   --tx_depth_;
@@ -219,6 +275,12 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
 
 std::size_t Endpoint::extract() {
   if (in_handler_) return 0;  // no re-entrant extraction from handlers
+  // Trace the extract as a B/E span, but only when it consumed something:
+  // recording idle polls would flood the flight recorder while a blocked
+  // sender spins. Both records are appended after the fact with their true
+  // timestamps; the exporter's global sort restores chronological order
+  // (and correct nesting for extracts nested under ring backpressure).
+  const std::uint64_t trace_t0 = trace_.enabled() ? now_ns() : 0;
   std::size_t count = 0;
   // Round-robin over every incoming ring, draining bursts. Frames are
   // processed *in place* in their ring slots, up to kExtractBatch per
@@ -252,6 +314,8 @@ std::size_t Endpoint::extract() {
   // alive, so the dead-peer countdown restarts.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
     ++stats_.retransmissions;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
     if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     inject(entry.dest, entry.bytes.data(), entry.bytes.size());
   }
@@ -273,6 +337,15 @@ std::size_t Endpoint::extract() {
   }
   reliability_tick();
   drain_posted();
+  if (trace_.enabled() && count > 0) {
+    const std::uint64_t now = now_ns();
+    trace_.event(trace_t0, cat_extract_, 'B', static_cast<std::uint32_t>(count));
+    trace_.event(now, cat_extract_, 'E', static_cast<std::uint32_t>(count));
+    // Occupancy sample for Perfetto's counter track.
+    trace_.event(now, cat_depth_, 'C',
+                 static_cast<std::uint32_t>(window_.in_flight()),
+                 static_cast<std::uint32_t>(rejq_.size()));
+  }
   return count;
 }
 
@@ -321,6 +394,8 @@ void Endpoint::reliability_tick() {
     }
     ++stats_.retransmit_timeouts;
     ++stats_.retransmissions;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_retransmit_, 'i', due.dest, due.seq);
     // inject() can re-enter extract() on ring backpressure, which may ack
     // and recycle the slab slot — stage the bytes first. The tick guard
     // above keeps the nested extract from clobbering the staging buffer.
@@ -337,11 +412,12 @@ void Endpoint::reliability_tick() {
 void Endpoint::mark_peer_dead(NodeId peer) {
   if (!dead_peers_.insert(peer).second) return;
   ++stats_.peers_dead;
+  if (trace_.enabled()) trace_.event(now_ns(), cat_dead_peer_, 'i', peer, 0);
   // Drop every piece of state aimed at (or held for) the dead peer so
   // blocked senders unblock and no slot stays pinned.
-  window_.drop_dest(peer);
+  stats_.frames_discarded_dead += window_.drop_dest(peer);
   timer_.disarm_all(peer);
-  rejq_.drop_dest(peer);
+  stats_.frames_discarded_dead += rejq_.drop_dest(peer);
   acks_.forget(peer);
   dedup_.forget(peer);
   reasm_.abort(peer);
@@ -362,6 +438,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
   const FrameHeader& h = *hdr;
   if (h.has_crc() && !frame_crc_ok(h, data)) {
     ++stats_.crc_drops;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_crc_drop_, 'i', from, h.seq);
     return;  // no ack — the sender's retransmit timer recovers the frame
   }
   // Acks are attributed to the ring the frame arrived on (`from`), not the
@@ -401,6 +479,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
         // Already accepted once: suppress delivery but re-ack, since the
         // duplicate usually means our first ack was lost with the original.
         ++stats_.duplicates_suppressed;
+        if (trace_.enabled())
+          trace_.event(now_ns(), cat_dup_, 'i', from, h.seq);
         acks_.note(from, h.seq);
         break;
       }
@@ -414,12 +494,16 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
             return;  // dropped: no ack, no dedup mark
           case Reassembler::Feed::kRejected:
             ++stats_.rejects_issued;
+            if (trace_.enabled())
+              trace_.event(now_ns(), cat_reject_, 'i', from, h.seq);
             defer_reject(from, h, data);
             return;  // not accepted: no ack, no dedup mark
           case Reassembler::Feed::kAccepted:
             break;
           case Reassembler::Feed::kComplete:
             ++stats_.messages_delivered;
+            if (trace_.enabled())
+              trace_.event(now_ns(), cat_deliver_, 'i', from, h.seq);
             in_handler_ = true;
             handlers_.dispatch(h.handler, *this, from, reasm_out_.data(),
                                reasm_out_.size());
@@ -428,6 +512,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
         }
       } else {
         ++stats_.messages_delivered;
+        if (trace_.enabled())
+          trace_.event(now_ns(), cat_deliver_, 'i', from, h.seq);
         in_handler_ = true;
         handlers_.dispatch(h.handler, *this, from, payload, h.payload_len);
         in_handler_ = false;

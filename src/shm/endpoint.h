@@ -28,6 +28,9 @@
 #include "fm/handler_registry.h"
 #include "fm/protocol.h"
 #include "hw/fault.h"
+#include "obs/counters.h"
+#include "obs/registry.h"
+#include "obs/trace_ring.h"
 #include "shm/spsc_ring.h"
 
 namespace fm::shm {
@@ -39,25 +42,10 @@ class Endpoint {
  public:
   using Handler = HandlerRegistry<Endpoint>::Fn;
 
-  /// Layer statistics (mirrors fm::SimEndpoint::Stats).
-  struct Stats {
-    std::uint64_t frames_sent = 0;
-    std::uint64_t frames_received = 0;
-    std::uint64_t messages_sent = 0;
-    std::uint64_t messages_delivered = 0;
-    std::uint64_t acks_piggybacked = 0;
-    std::uint64_t acks_standalone = 0;
-    std::uint64_t rejects_issued = 0;
-    std::uint64_t rejects_received = 0;
-    std::uint64_t retransmissions = 0;
-    std::uint64_t malformed_frames = 0;
-    // FM-R reliability counters (all zero unless cfg.reliability/crc_frames).
-    std::uint64_t retransmit_timeouts = 0;
-    std::uint64_t duplicates_suppressed = 0;
-    std::uint64_t crc_drops = 0;
-    std::uint64_t peers_dead = 0;
-    std::uint64_t reassemblies_expired = 0;
-  };
+  /// Layer statistics: the FM-Scope shared counter block — one definition
+  /// for both backends (fm::SimEndpoint uses the same alias), registered by
+  /// name into this endpoint's registry().
+  using Stats = obs::EndpointCounters;
 
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
@@ -116,6 +104,16 @@ class Endpoint {
   const FmConfig& config() const { return cfg_; }
   /// This endpoint's sender-side fault source (null when faults are off).
   const hw::FaultInjector* faults() const { return faults_.get(); }
+  /// FM-Scope registry ("shm.node<id>"): every Stats field as a named
+  /// counter plus ring/queue occupancy gauges. Sample from the owning
+  /// thread, or after Cluster::run() returned.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
+  /// FM-Scope trace ring. Disabled by default (one branch per hot-path
+  /// event site); trace_ring().enable(n) starts the flight recorder —
+  /// still allocation-free on the hot path (shm_alloc_test enforces it).
+  obs::TraceRing& trace_ring() { return trace_; }
+  const obs::TraceRing& trace_ring() const { return trace_; }
 
  private:
   friend class Cluster;
@@ -206,6 +204,21 @@ class Endpoint {
   bool flushing_deferred_ = false;
   bool in_ack_flush_ = false;
   bool in_reliability_tick_ = false;
+  // FM-Scope. Category ids are interned at construction so the hot path
+  // stores 16-bit ids, never strings.
+  obs::TraceRing trace_;
+  std::uint16_t cat_send_ = 0;
+  std::uint16_t cat_extract_ = 0;
+  std::uint16_t cat_deliver_ = 0;
+  std::uint16_t cat_retransmit_ = 0;
+  std::uint16_t cat_reject_ = 0;
+  std::uint16_t cat_crc_drop_ = 0;
+  std::uint16_t cat_dup_ = 0;
+  std::uint16_t cat_dead_peer_ = 0;
+  std::uint16_t cat_depth_ = 0;
+  // Declared last on purpose: the registry's gauges reference the members
+  // above, so it must be destroyed first (reverse declaration order).
+  obs::Registry registry_;
 };
 
 }  // namespace fm::shm

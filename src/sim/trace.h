@@ -4,6 +4,13 @@
 // (time, category, detail) tuples that tests can assert on and humans can
 // dump — invaluable when a flow-control bug manifests as "the numbers look
 // slightly wrong".
+//
+// This is now a thin veneer over the FM-Scope trace ring (obs/trace_ring.h):
+// records are fixed-size PODs in a preallocated flight recorder, categories
+// are interned, and truncation is *reported* — details longer than a record
+// slot are clipped and counted in clipped(), records overwritten after the
+// ring fills are counted in dropped() — instead of the old behaviour of two
+// heap strings per record and a silent 256-byte vsnprintf cutoff.
 #pragma once
 
 #include <cstdarg>
@@ -11,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace_ring.h"
 #include "sim/time.h"
 
 namespace fm::sim {
@@ -18,52 +26,85 @@ namespace fm::sim {
 /// In-memory trace sink.
 class Trace {
  public:
+  /// A decoded record (materialized view of the POD ring slot).
   struct Record {
     Time at;
     std::string category;
     std::string detail;
+    bool clipped = false;  ///< True when detail lost its tail.
   };
 
-  /// Enables or disables recording.
-  void set_enabled(bool on) { enabled_ = on; }
-  bool enabled() const { return enabled_; }
+  /// Enables or disables recording. Enabling preallocates the ring (see
+  /// set_capacity); re-enabling a cleared trace keeps its capacity.
+  void set_enabled(bool on) {
+    if (on)
+      ring_.enable(capacity_);
+    else
+      ring_.disable();
+  }
+  bool enabled() const { return ring_.enabled(); }
+
+  /// Ring capacity used at the next enable (records beyond it overwrite the
+  /// oldest and count as dropped()).
+  void set_capacity(std::size_t records) { capacity_ = records; }
 
   /// Records an event (no-op when disabled).
   void add(Time at, const char* category, const char* fmt, ...)
       __attribute__((format(printf, 4, 5))) {
-    if (!enabled_) return;
-    char buf[256];
+    if (!ring_.enabled()) return;
     va_list ap;
     va_start(ap, fmt);
-    std::vsnprintf(buf, sizeof buf, fmt, ap);
+    ring_.eventv(static_cast<std::uint64_t>(at), ring_.intern(category), 'i',
+                 0, 0, fmt, ap);
     va_end(ap);
-    records_.push_back(Record{at, category, buf});
   }
 
-  /// All records so far.
-  const std::vector<Record>& records() const { return records_; }
+  /// All surviving records, oldest first.
+  std::vector<Record> records() const {
+    std::vector<Record> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      const obs::TraceRecord& r = ring_.record(i);
+      out.push_back(Record{static_cast<Time>(r.ts_ns),
+                           ring_.category(r.cat), r.detail, r.clipped()});
+    }
+    return out;
+  }
 
   /// Records whose category matches exactly.
   std::vector<Record> by_category(const std::string& cat) const {
     std::vector<Record> out;
-    for (const auto& r : records_)
-      if (r.category == cat) out.push_back(r);
+    for (auto& r : records())
+      if (r.category == cat) out.push_back(std::move(r));
     return out;
   }
 
-  /// Clears all records.
-  void clear() { records_.clear(); }
+  /// Records overwritten because the ring filled (0 = nothing lost).
+  std::uint64_t dropped() const { return ring_.dropped(); }
+  /// Records whose detail text was truncated to fit the slot.
+  std::uint64_t clipped() const { return ring_.clipped(); }
+
+  /// Clears all records (keeps enablement and capacity).
+  void clear() { ring_.clear(); }
+
+  /// The underlying FM-Scope ring (exporters take dumps from here).
+  const obs::TraceRing& ring() const { return ring_; }
+  obs::TraceRing& ring() { return ring_; }
 
   /// Writes a human-readable dump to `f`.
   void dump(std::FILE* f) const {
-    for (const auto& r : records_)
-      std::fprintf(f, "%12.3fus  %-12s %s\n", to_us(r.at), r.category.c_str(),
-                   r.detail.c_str());
+    for (const auto& r : records())
+      std::fprintf(f, "%12.3fus  %-12s %s%s\n", to_us(r.at),
+                   r.category.c_str(), r.detail.c_str(),
+                   r.clipped ? " [clipped]" : "");
+    if (dropped() > 0)
+      std::fprintf(f, "  (%llu older records overwritten)\n",
+                   static_cast<unsigned long long>(dropped()));
   }
 
  private:
-  bool enabled_ = false;
-  std::vector<Record> records_;
+  obs::TraceRing ring_{"sim"};
+  std::size_t capacity_ = obs::TraceRing::kDefaultCapacity;
 };
 
 }  // namespace fm::sim

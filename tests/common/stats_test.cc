@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 namespace fm {
 namespace {
@@ -12,6 +13,17 @@ TEST(RunningStat, EmptyDefaults) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.mean(), 0.0);
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, EmptyMinMaxAreInfinities) {
+  // Documented contract: min() is +inf and max() is -inf until the first
+  // add(), so min-of-mins / max-of-maxes folds work without sentinels.
+  RunningStat s;
+  EXPECT_EQ(s.min(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(s.max(), -std::numeric_limits<double>::infinity());
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
 }
 
 TEST(RunningStat, MeanMinMaxSum) {
@@ -45,6 +57,21 @@ TEST(LatencyHistogram, CountsAndQuantiles) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_LE(h.quantile(0.5), 127u);
   EXPECT_GE(h.quantile(0.99), 8191u);
+}
+
+TEST(LatencyHistogram, QuantileNeverExceedsObservedMax) {
+  // A single 33ns sample lands in bucket [32,64); the bucket upper bound is
+  // 63 but no observed latency exceeded 33, so every quantile reports 33.
+  LatencyHistogram h;
+  h.add(33);
+  EXPECT_EQ(h.quantile(0.5), 33u);
+  EXPECT_EQ(h.quantile(1.0), 33u);
+
+  LatencyHistogram h2;
+  h2.add(33);
+  h2.add(40);
+  EXPECT_LE(h2.quantile(0.5), 40u);
+  EXPECT_LE(h2.quantile(0.99), 40u);
 }
 
 TEST(LatencyHistogram, ZeroAndHugeValuesClamp) {

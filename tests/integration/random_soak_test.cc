@@ -13,6 +13,7 @@
 #include "common/random.h"
 #include "fm/sim_endpoint.h"
 #include "hw/cluster.h"
+#include "obs/counters.h"
 
 namespace fm {
 namespace {
@@ -98,6 +99,20 @@ SoakResult run_soak(std::uint64_t seed, std::size_t nodes, int msgs_per_node,
   });
   EXPECT_TRUE(done) << "soak stalled";
   result.end_time = c.sim().now();
+  // Standing FM-Scope invariant: the cluster is closed and drained, so
+  // every message counted sent was delivered somewhere or abandoned at a
+  // dead peer. Strict equality holds whenever no peer died (true for every
+  // soak here); the weak form must hold unconditionally.
+  obs::Conservation conservation;
+  for (auto& ep : eps) conservation.add(ep->stats());
+  EXPECT_TRUE(conservation.no_spontaneous_messages())
+      << "delivered+abandoned exceeds sent by " << -conservation.imbalance();
+  if (conservation.peers_dead == 0)
+    EXPECT_TRUE(conservation.balanced())
+        << "messages lost without accounting: imbalance="
+        << conservation.imbalance() << " (sent=" << conservation.sent
+        << " delivered=" << conservation.delivered
+        << " abandoned=" << conservation.abandoned << ")";
   for (auto& ep : eps) {
     result.rejects += ep->stats().rejects_issued;
     result.retransmissions += ep->stats().retransmissions;

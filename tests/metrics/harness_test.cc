@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "fm/sim_endpoint.h"
 #include "metrics/report.h"
 
 namespace fm::metrics {
@@ -63,6 +64,39 @@ TEST(Harness, FramePayloadOverrideCapsFrameSize) {
   double segmented = measure_bandwidth_mbs(Layer::kFm, 512, capped);
   double native = measure_bandwidth_mbs(Layer::kFm, 512, quick());
   EXPECT_LT(segmented, native);
+}
+
+TEST(Harness, ObserveHookSeesEndpointCountersBeforeTeardown) {
+  // The FM-Scope hook fires once per FM-layer measurement, after the run
+  // completed but before shutdown — the counters it reads must reflect the
+  // finished workload, and the conservation invariant must hold across the
+  // measured pair.
+  MeasureOpts o = quick();
+  int calls = 0;
+  o.observe = [&](SimEndpoint& tx, SimEndpoint& rx) {
+    ++calls;
+    EXPECT_EQ(tx.stats().messages_sent, o.stream_packets);
+    EXPECT_EQ(rx.stats().messages_delivered, o.stream_packets);
+    obs::Conservation k;
+    k.add(tx.stats());
+    k.add(rx.stats());
+    EXPECT_TRUE(k.balanced()) << "imbalance=" << k.imbalance();
+    // The registry enumerates the same numbers by name.
+    bool found = false;
+    for (const obs::Sample& s : tx.registry().snapshot())
+      if (s.name.find("messages_sent") != std::string::npos) {
+        found = true;
+        EXPECT_DOUBLE_EQ(s.value,
+                         static_cast<double>(o.stream_packets));
+      }
+    EXPECT_TRUE(found);
+  };
+  (void)measure_bandwidth_mbs(Layer::kFm, 128, o);
+  EXPECT_EQ(calls, 1);
+  // Layers below kBufMgmt run no SimEndpoints; the hook must not fire.
+  calls = 0;
+  (void)measure_bandwidth_mbs(Layer::kLanaiStreamed, 128, o);
+  EXPECT_EQ(calls, 0);
 }
 
 TEST(Report, CsvRoundTrip) {

@@ -1,0 +1,335 @@
+// Schema test for the Chrome trace-event exporter: the output must parse as
+// one valid JSON document, timestamps must be non-decreasing across the
+// whole traceEvents array, and every 'B' must have a matching 'E' on its
+// tid. A minimal recursive-descent JSON parser lives here so the test
+// depends on the JSON grammar, not on the exporter's pretty-printing.
+#include "obs/chrome_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_ring.h"
+
+namespace fm::obs {
+namespace {
+
+// ---- minimal JSON DOM ------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject } kind =
+      Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool parse(JsonValue* out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();  // trailing garbage is a failure
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  bool literal(const char* lit) {
+    std::size_t n = std::string(lit).size();
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(JsonValue* out) {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(out);
+      case '[': return array(out);
+      case '"': out->kind = JsonValue::Kind::kString; return string(&out->str);
+      case 't': out->kind = JsonValue::Kind::kBool; out->boolean = true;
+        return literal("true");
+      case 'f': out->kind = JsonValue::Kind::kBool; out->boolean = false;
+        return literal("false");
+      case 'n': out->kind = JsonValue::Kind::kNull; return literal("null");
+      default: out->kind = JsonValue::Kind::kNumber; return number(&out->number);
+    }
+  }
+  bool string(std::string* out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_];
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // unescaped ctrl
+      if (c == '\\') {
+        if (pos_ + 1 >= s_.size()) return false;
+        char e = s_[pos_ + 1];
+        switch (e) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 5 >= s_.size()) return false;
+            for (int i = 2; i < 6; ++i)
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])))
+                return false;
+            *out += '?';  // fidelity of non-ASCII escapes is not under test
+            pos_ += 4;
+            break;
+          }
+          default: return false;
+        }
+        pos_ += 2;
+      } else {
+        *out += c;
+        ++pos_;
+      }
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number(double* out) {
+    std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) return false;
+    try {
+      *out = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    return true;
+  }
+  bool array(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue v;
+      skip_ws();
+      if (!value(&v)) return false;
+      out->array.push_back(std::move(v));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool object(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (pos_ >= s_.size() || s_[pos_] != '"' || !string(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!value(&v)) return false;
+      out->object[key] = std::move(v);
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---- helpers ---------------------------------------------------------------
+
+std::string export_to_string(const std::vector<TraceDump>& dumps,
+                             const std::vector<Sample>& counters = {}) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* f = ::open_memstream(&buf, &len);
+  EXPECT_NE(f, nullptr);
+  write_chrome_trace(f, dumps, counters);
+  std::fclose(f);
+  std::string out(buf, len);
+  ::free(buf);
+  return out;
+}
+
+struct Ev {
+  std::string ph;
+  double ts = 0.0;
+  int tid = 0;
+  const JsonValue* raw = nullptr;
+};
+
+std::vector<Ev> events_of(const JsonValue& doc) {
+  std::vector<Ev> out;
+  const JsonValue* arr = doc.find("traceEvents");
+  EXPECT_NE(arr, nullptr);
+  if (arr == nullptr) return out;
+  EXPECT_EQ(arr->kind, JsonValue::Kind::kArray);
+  for (const JsonValue& e : arr->array) {
+    EXPECT_EQ(e.kind, JsonValue::Kind::kObject);
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* tid = e.find("tid");
+    EXPECT_NE(ph, nullptr);
+    EXPECT_NE(ts, nullptr);
+    EXPECT_NE(tid, nullptr);
+    if (!ph || !ts || !tid) continue;
+    out.push_back(Ev{ph->str, ts->number, static_cast<int>(tid->number), &e});
+  }
+  return out;
+}
+
+// ---- tests -----------------------------------------------------------------
+
+TEST(ChromeExport, EmptyDumpSetIsStillValidJson) {
+  JsonValue doc;
+  std::string text = export_to_string({});
+  EXPECT_TRUE(JsonParser(text).parse(&doc)) << text;
+  EXPECT_NE(doc.find("traceEvents"), nullptr);
+}
+
+TEST(ChromeExport, ParsesTimestampsMonotonicPairsMatched) {
+  // Two tracks with interleaved spans, an orphaned 'E' (its 'B' was lost to
+  // the flight recorder), an unclosed 'B', counter samples, and a detail
+  // with JSON-hostile characters.
+  TraceRing t0("node0"), t1("node1");
+  std::uint16_t s0 = t0.intern("send"), x0 = t0.intern("extract");
+  std::uint16_t s1 = t1.intern("send");
+  t0.enable(64);
+  t1.enable(64);
+  t0.event(50, x0, 'E');            // orphan: no matching B survived
+  t0.event(100, x0, 'B', 4, 0);
+  t0.event(130, s0, 'i', 1, 7);
+  t0.eventf(140, s0, 'i', 1, 8, "quote \" backslash \\ tab \t");
+  t0.event(180, x0, 'E', 4, 0);
+  t0.event(200, x0, 'C', 3, 2);
+  t1.event(90, s1, 'B', 0, 1);
+  t1.event(300, s1, 'B', 0, 2);     // left unclosed on purpose
+  t1.event(310, s1, 'E', 0, 1);
+
+  std::vector<Sample> counters = {{"node0.frames_sent", 12.0, true}};
+  std::string text = export_to_string({t0.dump(), t1.dump()}, counters);
+
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(text).parse(&doc)) << text;
+
+  std::vector<Ev> evs = events_of(doc);
+  ASSERT_FALSE(evs.empty());
+
+  // Timestamps non-decreasing over the whole array.
+  for (std::size_t i = 1; i < evs.size(); ++i)
+    EXPECT_GE(evs[i].ts, evs[i - 1].ts) << "at event " << i;
+
+  // Every B matched by an E on the same tid; no E without an open B.
+  std::map<int, int> open;
+  for (const Ev& e : evs) {
+    if (e.ph == "B") ++open[e.tid];
+    if (e.ph == "E") {
+      EXPECT_GT(open[e.tid], 0) << "orphan E at ts " << e.ts;
+      --open[e.tid];
+    }
+  }
+  for (const auto& [tid, n] : open) EXPECT_EQ(n, 0) << "unclosed B on tid " << tid;
+
+  // The orphaned E was demoted, not dropped: its instant survives at ts 0
+  // (earliest event) on tid 0.
+  bool orphan_as_instant = false;
+  for (const Ev& e : evs)
+    if (e.ph == "i" && e.tid == 0 && e.ts == 0.0) orphan_as_instant = true;
+  EXPECT_TRUE(orphan_as_instant);
+
+  // Counter samples ride along in otherData.
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  const JsonValue* fs = other->find("node0.frames_sent");
+  ASSERT_NE(fs, nullptr);
+  EXPECT_DOUBLE_EQ(fs->number, 12.0);
+  EXPECT_NE(other->find("node0.trace_dropped"), nullptr);
+  EXPECT_NE(other->find("node1.trace_clipped"), nullptr);
+
+  // Track names are present as metadata.
+  bool named = false;
+  for (const Ev& e : evs)
+    if (e.ph == "M") {
+      const JsonValue* name = e.raw->find("name");
+      ASSERT_NE(name, nullptr);
+      EXPECT_EQ(name->str, "thread_name");
+      named = true;
+    }
+  EXPECT_TRUE(named);
+}
+
+TEST(ChromeExport, CounterEventsCarryArgs) {
+  TraceRing t("n");
+  std::uint16_t c = t.intern("depth");
+  t.enable(8);
+  t.event(10, c, 'C', 5, 9);
+  std::string text = export_to_string({t.dump()});
+  JsonValue doc;
+  ASSERT_TRUE(JsonParser(text).parse(&doc)) << text;
+  for (const Ev& e : events_of(doc)) {
+    if (e.ph != "C") continue;
+    const JsonValue* args = e.raw->find("args");
+    ASSERT_NE(args, nullptr);
+    ASSERT_NE(args->find("a"), nullptr);
+    EXPECT_DOUBLE_EQ(args->find("a")->number, 5.0);
+    EXPECT_DOUBLE_EQ(args->find("b")->number, 9.0);
+  }
+}
+
+TEST(ChromeExport, FileWriterRoundTrips) {
+  TraceRing t("n");
+  std::uint16_t c = t.intern("ev");
+  t.enable(8);
+  t.event(1, c, 'i');
+  std::string path = ::testing::TempDir() + "chrome_export_test.json";
+  ASSERT_TRUE(write_chrome_trace_file(path, {t.dump()}));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+  JsonValue doc;
+  EXPECT_TRUE(JsonParser(text).parse(&doc)) << text;
+}
+
+}  // namespace
+}  // namespace fm::obs

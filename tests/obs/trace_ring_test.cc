@@ -1,0 +1,103 @@
+#include "obs/trace_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace fm::obs {
+namespace {
+
+TEST(TraceRing, DisabledRecordsNothing) {
+  TraceRing t("x");
+  std::uint16_t cat = t.intern("send");
+  t.event(1, cat, 'i', 3, 4);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.enabled());
+}
+
+TEST(TraceRing, InternIsIdempotent) {
+  TraceRing t("x");
+  std::uint16_t a = t.intern("send");
+  std::uint16_t b = t.intern("recv");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("send"), a);
+  EXPECT_EQ(t.category(a), "send");
+  EXPECT_EQ(t.category(b), "recv");
+}
+
+TEST(TraceRing, RecordsCarryThePodPayload) {
+  TraceRing t("x");
+  std::uint16_t cat = t.intern("send");
+  t.enable(16);
+  t.event(100, cat, 'B', 7, 42);
+  t.event(200, cat, 'E', 7, 42);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.record(0).ts_ns, 100u);
+  EXPECT_EQ(t.record(0).phase, 'B');
+  EXPECT_EQ(t.record(0).a, 7u);
+  EXPECT_EQ(t.record(0).b, 42u);
+  EXPECT_EQ(t.record(0).cat, cat);
+  EXPECT_EQ(t.record(1).phase, 'E');
+}
+
+TEST(TraceRing, FormattedDetailClipsAndCounts) {
+  TraceRing t("x");
+  std::uint16_t cat = t.intern("c");
+  t.enable(8);
+  std::string tail(100, 'y');
+  t.eventf(1, cat, 'i', 0, 0, "ok");
+  t.eventf(2, cat, 'i', 0, 0, "long-%s", tail.c_str());
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_FALSE(t.record(0).clipped());
+  EXPECT_STREQ(t.record(0).detail, "ok");
+  EXPECT_TRUE(t.record(1).clipped());
+  EXPECT_EQ(t.clipped(), 1u);
+  // Clipped detail keeps its prefix and stays NUL-terminated in the slot.
+  EXPECT_EQ(std::string(t.record(1).detail).substr(0, 5), "long-");
+  EXPECT_LT(std::string(t.record(1).detail).size(),
+            TraceRecord::kDetailBytes);
+}
+
+TEST(TraceRing, FlightRecorderOverwritesOldest) {
+  TraceRing t("x");
+  std::uint16_t cat = t.intern("c");
+  t.enable(4);
+  for (std::uint64_t i = 0; i < 10; ++i) t.event(i, cat, 'i', 0, 0);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  EXPECT_EQ(t.record(0).ts_ns, 6u);
+  EXPECT_EQ(t.record(3).ts_ns, 9u);
+}
+
+TEST(TraceRing, ReenableClears) {
+  TraceRing t("x");
+  std::uint16_t cat = t.intern("c");
+  t.enable(4);
+  t.event(1, cat, 'i');
+  t.disable();
+  t.event(2, cat, 'i');  // ignored
+  t.enable(4);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.dropped(), 0u);
+  t.event(3, cat, 'i');
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.record(0).ts_ns, 3u);
+}
+
+TEST(TraceRing, DumpIsAFaithfulColdCopy) {
+  TraceRing t("scope-name");
+  std::uint16_t cat = t.intern("c");
+  t.enable(2);
+  for (std::uint64_t i = 0; i < 3; ++i) t.event(i, cat, 'i', 0, 0);
+  TraceDump d = t.dump();
+  EXPECT_EQ(d.scope, "scope-name");
+  ASSERT_EQ(d.records.size(), 2u);
+  EXPECT_EQ(d.records[0].ts_ns, 1u);
+  EXPECT_EQ(d.records[1].ts_ns, 2u);
+  EXPECT_EQ(d.dropped, 1u);
+  ASSERT_GT(d.categories.size(), cat);
+  EXPECT_EQ(d.categories[cat], "c");
+}
+
+}  // namespace
+}  // namespace fm::obs

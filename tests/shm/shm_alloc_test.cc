@@ -147,6 +147,64 @@ TEST(ShmAllocFree, Send4PingPongSteadyState) {
          "allocation-free)";
 }
 
+TEST(ShmAllocFree, Send4PingPongSteadyStateWithTracingEnabled) {
+  // FM-Scope must not cost the hot path its heap discipline: with the
+  // flight recorder armed on both endpoints, the measured cycle still
+  // performs zero allocations — events are written in place into the ring
+  // preallocated by enable(), and a full ring overwrites rather than grows.
+  Cluster cluster(2);
+  cluster.endpoint(0).trace_ring().enable(1024);
+  cluster.endpoint(1).trace_ring().enable(1024);
+  std::atomic<std::size_t> pongs{0};
+  std::atomic<std::size_t> pings{0};
+  HandlerId hpong = cluster.register_handler(
+      [&](Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hping = cluster.register_handler(
+      [&](Endpoint& ep, NodeId src, const void*, std::size_t) {
+        ++pings;
+        ep.post_send4(src, hpong, 1, 2, 3, 4);
+      });
+  constexpr std::size_t kWarmup = 200;
+  constexpr std::size_t kMeasured = 2000;
+  std::uint64_t measured = ~0ull;
+  cluster.run([&](Endpoint& ep) {
+    if (ep.id() == 0) {
+      for (std::size_t i = 0; i < kWarmup; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs.load() >= i + 1; });
+      }
+      cluster.barrier();
+      g_allocs.store(0);
+      g_counting.store(true);
+      for (std::size_t i = 0; i < kMeasured; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs.load() >= kWarmup + i + 1; });
+      }
+      g_counting.store(false);
+      measured = g_allocs.load();
+      cluster.barrier();
+      ep.drain();
+    } else {
+      ep.extract_until([&] { return pings.load() >= kWarmup; });
+      cluster.barrier();
+      ep.extract_until([&] { return pings.load() >= kWarmup + kMeasured; });
+      cluster.barrier();
+      ep.drain();
+    }
+  });
+  EXPECT_EQ(measured, 0u)
+      << measured << " heap allocations in " << kMeasured
+      << " steady-state send4 round trips with tracing ENABLED (the trace "
+         "ring must be preallocated and overwrite-on-full)";
+  // The recorder was demonstrably live, not silently disabled: far more
+  // events fired than fit in 1024 slots, so both rings are full and count
+  // their overwritten records.
+  for (NodeId i = 0; i < 2; ++i) {
+    EXPECT_EQ(cluster.endpoint(i).trace_ring().size(), 1024u);
+    EXPECT_GT(cluster.endpoint(i).trace_ring().dropped(), 0u);
+  }
+}
+
 TEST(ShmAllocFree, StreamedSendSteadyState) {
   Cluster cluster(2);
   std::atomic<std::size_t> got{0};

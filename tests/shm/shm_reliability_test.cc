@@ -10,10 +10,27 @@
 #include <thread>
 
 #include "common/random.h"
+#include "obs/counters.h"
 #include "shm/cluster.h"
 
 namespace fm::shm {
 namespace {
+
+// Standing FM-Scope invariant over a drained cluster: every message counted
+// sent was delivered somewhere or abandoned at a dead peer. Strict equality
+// is only meaningful when no peer died.
+void expect_conservation(Cluster& cluster, std::size_t nodes) {
+  obs::Conservation k;
+  for (std::size_t i = 0; i < nodes; ++i)
+    k.add(cluster.endpoint(static_cast<NodeId>(i)).stats());
+  EXPECT_TRUE(k.no_spontaneous_messages())
+      << "delivered+abandoned exceeds sent by " << -k.imbalance();
+  if (k.peers_dead == 0)
+    EXPECT_TRUE(k.balanced())
+        << "messages lost without accounting: imbalance=" << k.imbalance()
+        << " (sent=" << k.sent << " delivered=" << k.delivered
+        << " abandoned=" << k.abandoned << ")";
+}
 
 FmConfig reliable_cfg() {
   FmConfig cfg;
@@ -101,6 +118,7 @@ TEST(ShmReliability, LossySoakExactlyOnce) {
   EXPECT_EQ(dead, 0u);          // healthy peers never misdeclared dead
   EXPECT_GT(timeouts, 0u);      // losses actually recovered by the timer
   EXPECT_GT(crc_drops, 0u);     // corruption actually caught by the CRC
+  expect_conservation(cluster, kNodes);
 }
 
 TEST(ShmReliability, ExtendedFaultModelExactlyOnce) {
@@ -159,6 +177,7 @@ TEST(ShmReliability, ExtendedFaultModelExactlyOnce) {
   EXPECT_EQ(distinct, kTotal);
   EXPECT_EQ(dead, 0u);
   EXPECT_GT(dups_suppressed, 0u);
+  expect_conservation(cluster, kNodes);
 }
 
 TEST(ShmReliability, BackpressureRetransmitKeepsFramesIntact) {
@@ -251,6 +270,11 @@ TEST(ShmReliability, DeadPeerFailsFastAfterMaxRetries) {
     EXPECT_EQ(ep.unacked(), 0u);
     EXPECT_EQ(ep.stats().peers_dead, 1u);
   });
+  // With a dead peer only the weak conservation form holds: the in-flight
+  // message vanished, but nothing was delivered that was never sent, and
+  // the frame-level purge is visible in frames_discarded_dead.
+  expect_conservation(cluster, 2);
+  EXPECT_GT(cluster.endpoint(0).stats().frames_discarded_dead, 0u);
 }
 
 TEST(ShmReliability, FmROffPaysNothingWhenNetworkClean) {

@@ -41,5 +41,31 @@ TEST(Trace, ClearEmpties) {
   EXPECT_TRUE(tr.records().empty());
 }
 
+TEST(Trace, TruncationIsReportedNotSilent) {
+  Trace tr;
+  tr.set_enabled(true);
+  std::string longtail(200, 'x');
+  tr.add(1, "a", "short");
+  tr.add(2, "a", "head-%s", longtail.c_str());
+  ASSERT_EQ(tr.records().size(), 2u);
+  EXPECT_FALSE(tr.records()[0].clipped);
+  EXPECT_TRUE(tr.records()[1].clipped);
+  EXPECT_EQ(tr.clipped(), 1u);
+  // The surviving prefix is still useful.
+  EXPECT_EQ(tr.records()[1].detail.substr(0, 5), "head-");
+}
+
+TEST(Trace, RingFullDropsOldestAndCounts) {
+  Trace tr;
+  tr.set_capacity(4);
+  tr.set_enabled(true);
+  for (int i = 0; i < 10; ++i) tr.add(i, "a", "ev %d", i);
+  ASSERT_EQ(tr.records().size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  // Flight-recorder semantics: the newest records survive, oldest first.
+  EXPECT_EQ(tr.records()[0].detail, "ev 6");
+  EXPECT_EQ(tr.records()[3].detail, "ev 9");
+}
+
 }  // namespace
 }  // namespace fm::sim

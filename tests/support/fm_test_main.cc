@@ -1,0 +1,59 @@
+// Shared gtest main with FM-Scope dump-on-failure.
+//
+// Every test binary links this instead of GTest::gtest_main. Around each
+// test it arms FM-Scope capture, so registries and trace rings destroyed
+// while the test body unwinds archive their final state; when the test
+// FAILS, everything observable — live and archived — is written to an
+// artifact directory ($FM_OBS_DUMP_DIR, default "obs-dump" under the test's
+// working directory) that CI uploads:
+//
+//   obs-dump/<Suite>.<Test>.registry.txt   every counter/gauge, one per line
+//   obs-dump/<Suite>.<Test>.trace.json     Chrome trace (Perfetto-loadable)
+//
+// A red CI run thus comes with the counters and the flight recording of the
+// failing scenario, not just an assertion message.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/dump.h"
+
+namespace {
+
+class ObsDumpListener : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo&) override {
+    fm::obs::begin_capture();
+  }
+
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    if (info.result() != nullptr && info.result()->Failed()) {
+      const char* env = std::getenv("FM_OBS_DUMP_DIR");
+      const std::string dir = env != nullptr && env[0] != '\0' ? env
+                                                               : "obs-dump";
+      std::string name =
+          std::string(info.test_suite_name()) + "." + info.name();
+      // Parameterized test names contain '/'; keep the dump flat.
+      for (char& c : name)
+        if (c == '/') c = '_';
+      if (fm::obs::write_failure_dump(dir, name))
+        std::fprintf(stderr,
+                     "[FM-Scope] observability dump written to %s/%s.*\n",
+                     dir.c_str(), name.c_str());
+      else
+        std::fprintf(stderr, "[FM-Scope] failed to write dump to %s\n",
+                     dir.c_str());
+    }
+    fm::obs::end_capture();
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  // The listener list owns the pointer.
+  ::testing::UnitTest::GetInstance()->listeners().Append(new ObsDumpListener);
+  return RUN_ALL_TESTS();
+}
