@@ -1,0 +1,237 @@
+// Hot-path benchmark of the net (multi-process UDP) transport — the same
+// workloads as bench/shm_hotpath, so the two backends' trajectories are
+// directly comparable:
+//
+//   1. send4 ping-pong       — t0 over a real kernel socket round trip
+//   2. streamed send sweep   — r_inf / n_1/2 over message sizes
+//   3. traced ping-pong      — FM-Scope-enabled overhead + counter snapshot
+//
+// Ranks are forked processes, so every timing is measured inside the rank
+// that owns the clock and crosses back through Cluster::report(); the
+// counter snapshot in the JSON is the merged per-rank registry samples
+// (fm::metrics::with_rank_totals). There is no chrome-trace artifact here:
+// the flight recorders live and die with the child processes (failure
+// forensics go through FM_OBS_DUMP_DIR instead).
+//
+// This backend mandates FM-R, so the numbers include the reliability
+// stack's cost (CRC trailers, timers, dedup) — that IS this backend's hot
+// path, not an overhead to subtract.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "metrics/fit.h"
+#include "metrics/multiproc.h"
+#include "net/cluster.h"
+
+namespace {
+
+using namespace fm;
+
+double now_sec() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Options {
+  std::size_t rounds = 20000;   // ping-pong round trips
+  std::size_t packets = 20000;  // messages per streamed-send point
+  std::string json = "results/BENCH_net.json";
+};
+
+FmConfig bench_cfg() {
+  FmConfig cfg;
+  cfg.reliability = true;  // mandatory on this backend
+  cfg.crc_frames = true;
+  return cfg;
+}
+
+// Half round-trip of an FM_send_4 ping-pong between two forked processes.
+// With `samples` non-null the flight recorders are armed pre-fork (the
+// children inherit them enabled) and the run's merged registry snapshot is
+// returned alongside the rank-0-measured elapsed seconds.
+double run_send4_pingpong(std::size_t rounds,
+                          std::vector<obs::Sample>* samples = nullptr) {
+  net::Cluster cluster(2, bench_cfg());
+  if (samples != nullptr)
+    for (NodeId i = 0; i < 2; ++i)
+      cluster.endpoint(i).trace_ring().enable(1 << 15);
+  std::size_t pings = 0, pongs = 0;  // child-local
+  HandlerId hpong = cluster.register_handler(
+      [&](net::Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hping = cluster.register_handler(
+      [&](net::Endpoint& ep, NodeId src, const void*, std::size_t) {
+        ++pings;
+        ep.post_send4(src, hpong, 1, 2, 3, 4);
+      });
+  const std::size_t warmup = rounds / 10 + 1;
+  RunReport r = cluster.run([&](net::Endpoint& ep) {
+    if (ep.id() == 0) {
+      for (std::size_t i = 0; i < warmup; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= i + 1; });
+      }
+      ep.drain();  // start the timed section with an empty window
+      cluster.barrier();
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < rounds; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= warmup + i + 1; });
+      }
+      cluster.report("elapsed_s", now_sec() - t0);
+      ep.drain();
+      // Servicing barrier: stay responsive until every window is empty, so
+      // a lost final ack can't strand the peer retransmitting into a
+      // closing socket.
+      barrier_serviced(cluster, ep);
+    } else {
+      ep.extract_until([&] { return pings >= warmup; });
+      ep.drain();
+      cluster.barrier();
+      ep.extract_until([&] { return pings >= warmup + rounds; });
+      ep.drain();
+      barrier_serviced(cluster, ep);
+    }
+  });
+  if (!r.all_clean() || r.timed_out || r.metrics.count("elapsed_s") == 0) {
+    std::fprintf(stderr, "net ping-pong run failed\n");
+    std::exit(1);
+  }
+  if (samples != nullptr) *samples = metrics::with_rank_totals(r.samples);
+  return r.metrics.at("elapsed_s");
+}
+
+// One-way streamed send of `packets` messages of `bytes` each; returns the
+// sender-observed seconds from first send to fully drained (acks home).
+double run_streamed(std::size_t packets, std::size_t bytes) {
+  net::Cluster cluster(2, bench_cfg());
+  std::size_t got = 0;  // child-local
+  HandlerId h = cluster.register_handler(
+      [&](net::Endpoint&, NodeId, const void*, std::size_t) { ++got; });
+  const std::size_t warmup = packets / 10 + 1;
+  RunReport r = cluster.run([&](net::Endpoint& ep) {
+    if (ep.id() == 0) {
+      std::vector<std::uint8_t> buf(bytes, 0x5A);
+      for (std::size_t i = 0; i < warmup; ++i) {
+        (void)ep.send(1, h, buf.data(), buf.size());
+        if ((i & 31) == 31) ep.extract();
+      }
+      ep.drain();
+      cluster.barrier();
+      const double t0 = now_sec();
+      for (std::size_t i = 0; i < packets; ++i) {
+        (void)ep.send(1, h, buf.data(), buf.size());
+        if ((i & 31) == 31) ep.extract();
+      }
+      ep.drain();
+      cluster.report("elapsed_s", now_sec() - t0);
+      barrier_serviced(cluster, ep);
+    } else {
+      ep.extract_until([&] { return got >= warmup; });
+      ep.drain();
+      cluster.barrier();
+      ep.extract_until([&] { return got >= warmup + packets; });
+      // Drain BEFORE the barrier: the last received frames may carry acks
+      // still owed below the batching threshold, and the sender's timed
+      // drain() blocks until they arrive.
+      ep.drain();
+      barrier_serviced(cluster, ep);
+    }
+  });
+  if (!r.all_clean() || r.timed_out || r.metrics.count("elapsed_s") == 0) {
+    std::fprintf(stderr, "net streamed run (%zu B) failed\n", bytes);
+    std::exit(1);
+  }
+  return r.metrics.at("elapsed_s");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--rounds=", 9) == 0) {
+      opt.rounds = std::strtoull(arg + 9, nullptr, 10);
+    } else if (std::strncmp(arg, "--packets=", 10) == 0) {
+      opt.packets = std::strtoull(arg + 10, nullptr, 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      opt.json = arg + 7;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.rounds = 2000;
+      opt.packets = 4000;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf(
+          "usage: net_hotpath [--rounds=N] [--packets=N] [--json=PATH] "
+          "[--quick]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      return 2;
+    }
+  }
+
+  std::vector<fm::bench::JsonMetric> metrics;
+  std::printf("==== net hot path (%zu rounds, %zu packets/point) ====\n",
+              opt.rounds, opt.packets);
+
+  // 1. send4 ping-pong.
+  const double pp = run_send4_pingpong(opt.rounds);
+  const double rtt_us = pp / static_cast<double>(opt.rounds) * 1e6;
+  const double pp_rate = 2.0 * static_cast<double>(opt.rounds) / pp;
+  std::printf("send4 ping-pong : rtt %8.3f us   t0 %8.3f us   %10.0f msgs/s\n",
+              rtt_us, rtt_us / 2, pp_rate);
+  metrics.push_back({"send4_pingpong_rtt_us", rtt_us});
+  metrics.push_back({"send4_t0_us", rtt_us / 2});
+  metrics.push_back({"send4_pingpong_msgs_per_sec", pp_rate});
+
+  // 2. streamed send sweep: bandwidth curve, OLS fit for t0/r_inf, n_1/2.
+  const std::size_t sizes[] = {16, 64, 128, 256, 512, 1024, 2048, 4096};
+  std::vector<fm::metrics::TimePoint> points;
+  std::vector<fm::metrics::BwPoint> curve;
+  std::printf("streamed send   :\n");
+  for (std::size_t bytes : sizes) {
+    const double dt = run_streamed(opt.packets, bytes);
+    const double per_msg = dt / static_cast<double>(opt.packets);
+    const double mbs =
+        static_cast<double>(opt.packets * bytes) / dt / 1048576.0;
+    const double rate = static_cast<double>(opt.packets) / dt;
+    std::printf("  %5zu B       : %8.3f us/msg  %9.1f MB/s  %10.0f msgs/s\n",
+                bytes, per_msg * 1e6, mbs, rate);
+    points.push_back({static_cast<double>(bytes), per_msg});
+    curve.push_back({static_cast<double>(bytes), mbs});
+    char key[64];
+    std::snprintf(key, sizeof key, "stream_%zuB_mb_per_sec", bytes);
+    metrics.push_back({key, mbs});
+    std::snprintf(key, sizeof key, "stream_%zuB_msgs_per_sec", bytes);
+    metrics.push_back({key, rate});
+  }
+  const fm::metrics::LinearFit fit = fm::metrics::fit_linear(points);
+  const double nh = fm::metrics::n_half(curve, fit.r_inf_mbs());
+  std::printf("fit             : t0 %.3f us   r_inf %.1f MB/s   n1/2 %s%.0f B\n",
+              fit.t0_us(), fit.r_inf_mbs(), nh < 0 ? ">" : "",
+              nh < 0 ? static_cast<double>(sizes[7]) : nh);
+  metrics.push_back({"stream_fit_t0_us", fit.t0_us()});
+  metrics.push_back({"stream_r_inf_mb_per_sec", fit.r_inf_mbs()});
+  metrics.push_back({"stream_n_half_bytes",
+                     nh < 0 ? static_cast<double>(sizes[7]) : nh});
+
+  // 3. FM-Scope: rerun the ping-pong with the flight recorders armed (the
+  // forked ranks inherit them enabled). The traced rtt quantifies
+  // tracing-enabled overhead against (1); the merged per-rank registry
+  // snapshot rides along in the bench JSON as "counters".
+  std::vector<fm::obs::Sample> counters;
+  const double tpp = run_send4_pingpong(opt.rounds, &counters);
+  const double traced_rtt_us = tpp / static_cast<double>(opt.rounds) * 1e6;
+  std::printf("traced ping-pong: rtt %8.3f us   (+%.1f%% vs untraced)\n",
+              traced_rtt_us, (traced_rtt_us / rtt_us - 1.0) * 100.0);
+  metrics.push_back({"send4_pingpong_traced_rtt_us", traced_rtt_us});
+
+  fm::bench::write_bench_json(opt.json, "net_hotpath", metrics, counters);
+  std::printf("\nJSON written to %s\n", opt.json.c_str());
+  return 0;
+}

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite, every figure/table bench,
-# and all examples. This is the repository's one-command verification.
+# both hot-path trajectory benches, and all examples. This is the
+# repository's one-command verification.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -8,13 +9,21 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-echo "==== benches ===================================================="
+echo "==== figure/table benches ========================================"
 for b in build/bench/*; do
   [ -f "$b" ] && [ -x "$b" ] || continue
   case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
+  # The hot-path benches run explicitly below, with their JSON outputs.
+  case "$b" in */shm_hotpath|*/net_hotpath) continue ;; esac
   echo "---- $b"
   "$b"
 done
+
+echo "==== hot-path benches (perf trajectory) =========================="
+# Full-length runs refresh the committed machine-readable trajectory
+# files; CI re-runs both with --quick on every PR and validates the JSON.
+./build/bench/shm_hotpath --json=results/BENCH_shm.json --trace=results/TRACE_shm_hotpath.json
+./build/bench/net_hotpath --json=results/BENCH_net.json
 
 echo "==== examples ===================================================="
 ./build/examples/quickstart

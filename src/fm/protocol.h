@@ -199,20 +199,40 @@ class RetransmitTimer {
       : timeout_ns_(timeout_ns), max_retries_(max_retries) {}
 
   /// Arms (or re-arms, resetting the retry count) the timer for a frame.
+  /// Storage is a flat vector: armed timers are bounded by the pending
+  /// window (one per in-flight frame), so a linear scan beats a node-based
+  /// map — and, crucially for the allocation-free steady state, re-arming
+  /// into the vector's warmed-up capacity never touches the heap, where an
+  /// unordered_map would allocate a node per arm and free it per ack.
   void arm(NodeId dest, std::uint32_t seq, std::uint64_t now_ns) {
-    armed_[key(dest, seq)] = Entry{now_ns + timeout_ns_, 0};
+    for (Entry& e : armed_) {
+      if (e.dest == dest && e.seq == seq) {
+        e.deadline_ns = now_ns + timeout_ns_;
+        e.retries = 0;
+        return;
+      }
+    }
+    armed_.push_back(Entry{now_ns + timeout_ns_, dest, seq, 0});
   }
 
   /// Cancels the timer (frame acknowledged). Unknown entries are ignored.
-  void disarm(NodeId dest, std::uint32_t seq) { armed_.erase(key(dest, seq)); }
+  void disarm(NodeId dest, std::uint32_t seq) {
+    for (std::size_t i = 0; i < armed_.size(); ++i) {
+      if (armed_[i].dest == dest && armed_[i].seq == seq) {
+        armed_[i] = armed_.back();
+        armed_.pop_back();
+        return;
+      }
+    }
+  }
 
   /// Cancels every timer aimed at `dest` (dead-peer cleanup).
   void disarm_all(NodeId dest) {
-    for (auto it = armed_.begin(); it != armed_.end();) {
-      if (static_cast<NodeId>(it->first >> 32) == dest)
-        it = armed_.erase(it);
-      else
-        ++it;
+    for (std::size_t i = armed_.size(); i-- > 0;) {
+      if (armed_[i].dest == dest) {
+        armed_[i] = armed_.back();
+        armed_.pop_back();
+      }
     }
   }
 
@@ -225,30 +245,37 @@ class RetransmitTimer {
     bool exhausted;
   };
 
-  /// Collects every armed timer with deadline <= now. Survivors are
-  /// re-armed at now + timeout * 2^retries (shift capped so the backoff
-  /// stays bounded).
-  std::vector<Due> expired(std::uint64_t now_ns) {
-    std::vector<Due> due;
-    for (auto it = armed_.begin(); it != armed_.end();) {
-      Entry& e = it->second;
+  /// Collects every armed timer with deadline <= now into `due` (cleared
+  /// first; caller supplies the vector so a steady-state caller reuses one
+  /// buffer — in the common nothing-expired case this never allocates).
+  /// Survivors are re-armed at now + timeout * 2^retries (shift capped so
+  /// the backoff stays bounded).
+  void expired_into(std::uint64_t now_ns, std::vector<Due>& due) {
+    due.clear();
+    for (std::size_t i = 0; i < armed_.size();) {
+      Entry& e = armed_[i];
       if (e.deadline_ns > now_ns) {
-        ++it;
+        ++i;
         continue;
       }
-      NodeId dest = static_cast<NodeId>(it->first >> 32);
-      auto seq = static_cast<std::uint32_t>(it->first & 0xffffffffu);
       ++e.retries;
       if (e.retries > max_retries_) {
-        due.push_back(Due{dest, seq, e.retries, true});
-        it = armed_.erase(it);
+        due.push_back(Due{e.dest, e.seq, e.retries, true});
+        armed_[i] = armed_.back();
+        armed_.pop_back();
       } else {
         std::size_t shift = std::min(e.retries, kBackoffShiftCap);
         e.deadline_ns = now_ns + (timeout_ns_ << shift);
-        due.push_back(Due{dest, seq, e.retries, false});
-        ++it;
+        due.push_back(Due{e.dest, e.seq, e.retries, false});
+        ++i;
       }
     }
+  }
+
+  /// Convenience wrapper over expired_into (tests and cold callers).
+  std::vector<Due> expired(std::uint64_t now_ns) {
+    std::vector<Due> due;
+    expired_into(now_ns, due);
     return due;
   }
 
@@ -263,14 +290,13 @@ class RetransmitTimer {
 
   struct Entry {
     std::uint64_t deadline_ns;
+    NodeId dest;
+    std::uint32_t seq;
     std::size_t retries;
   };
-  static std::uint64_t key(NodeId dest, std::uint32_t seq) {
-    return (static_cast<std::uint64_t>(dest) << 32) | seq;
-  }
   std::uint64_t timeout_ns_;
   std::size_t max_retries_;
-  std::unordered_map<std::uint64_t, Entry> armed_;
+  std::vector<Entry> armed_;
 };
 
 /// FM-R receiver-side duplicate suppression. Relies on per-destination
@@ -296,7 +322,17 @@ class DedupFilter {
   void mark(NodeId src, std::uint32_t seq) {
     Peer& p = peers_[src];
     if (seq < p.cutoff) return;
-    p.ahead.insert(seq);
+    if (seq == p.cutoff) {
+      // In-order fast path: the common case once the stream is flowing.
+      // Advancing the cutoff directly keeps the steady state off the heap
+      // (an insert-then-erase round trip through the set would allocate a
+      // node per frame); the drain loop below only runs while previously
+      // buffered out-of-order seqs become contiguous.
+      ++p.cutoff;
+      if (p.ahead.empty()) return;
+    } else {
+      p.ahead.insert(seq);
+    }
     while (p.ahead.erase(p.cutoff) > 0) ++p.cutoff;
   }
 

@@ -1,0 +1,80 @@
+// Multi-process measurement merging.
+//
+// The net backend's ranks live in separate address spaces, so a run's
+// FM-Scope state arrives as a flat list of per-rank samples
+// ("net.node0.frames_sent", "net.node1.frames_sent", ...) collected over
+// the control channel (fm::RunReport::samples). Benches and soak tests
+// usually want the cluster-wide view; these helpers roll the per-rank
+// samples up without losing the per-rank ones (both go into the bench
+// JSON: totals for trajectory diffs, per-rank for debugging a skewed run).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace fm::metrics {
+
+/// Sum of every sample whose scope-qualified name ends in ".<suffix>".
+inline double sum_suffix(const std::vector<obs::Sample>& samples,
+                         std::string_view suffix) {
+  std::string dotted = std::string(".") += std::string(suffix);
+  double total = 0;
+  for (const obs::Sample& s : samples) {
+    if (s.name.size() > dotted.size() &&
+        s.name.compare(s.name.size() - dotted.size(), dotted.size(), dotted) ==
+            0)
+      total += s.value;
+  }
+  return total;
+}
+
+/// Collapses per-rank samples into cluster totals: every name of the form
+/// "<backend>.node<id>.<counter>" contributes to "<backend>.total.<counter>"
+/// (summed; gauges too — a total occupancy is still meaningful). Names that
+/// do not match the per-rank scheme pass through unchanged. Input order is
+/// preserved for the first occurrence of each output name.
+inline std::vector<obs::Sample> merge_rank_samples(
+    const std::vector<obs::Sample>& samples) {
+  std::vector<obs::Sample> out;
+  auto find = [&out](const std::string& name) -> obs::Sample* {
+    for (obs::Sample& s : out)
+      if (s.name == name) return &s;
+    return nullptr;
+  };
+  for (const obs::Sample& s : samples) {
+    std::string merged_name = s.name;
+    const std::size_t node = merged_name.find(".node");
+    if (node != std::string::npos) {
+      std::size_t digits = node + 5;
+      while (digits < merged_name.size() &&
+             merged_name[digits] >= '0' && merged_name[digits] <= '9')
+        ++digits;
+      if (digits > node + 5 && digits < merged_name.size() &&
+          merged_name[digits] == '.')
+        merged_name =
+            merged_name.substr(0, node) + ".total" + merged_name.substr(digits);
+    }
+    if (obs::Sample* existing = find(merged_name)) {
+      existing->value += s.value;
+    } else {
+      out.push_back(obs::Sample{merged_name, s.value, s.monotonic});
+    }
+  }
+  return out;
+}
+
+/// Per-rank samples plus their cluster totals, concatenated — the standard
+/// "counters" payload for a multi-process bench JSON.
+inline std::vector<obs::Sample> with_rank_totals(
+    const std::vector<obs::Sample>& samples) {
+  std::vector<obs::Sample> out = samples;
+  std::vector<obs::Sample> merged = merge_rank_samples(samples);
+  out.insert(out.end(), merged.begin(), merged.end());
+  return out;
+}
+
+}  // namespace fm::metrics

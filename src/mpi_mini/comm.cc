@@ -1,198 +1,11 @@
 #include "mpi_mini/comm.h"
 
-#include <cstring>
-
 namespace fm::mpi {
-namespace {
 
-// Internal tag space (user tags are >= 0).
-constexpr int kBarrierTagBase = -1000;  // - round
-constexpr int kBcastTag = -2;
-constexpr int kReduceTag = -3;
-constexpr int kGatherTag = -4;
-constexpr int kScatterTag = -5;
-
-// Wire layout: [i32 tag][u32 seq][payload...]
-constexpr std::size_t kHeader = 8;
-
-}  // namespace
-
-Comm::Comm(shm::Endpoint& ep)
-    : ep_(ep),
-      next_send_seq_(ep.cluster_size(), 0),
-      next_recv_seq_(ep.cluster_size(), 0) {
-  handler_ = ep_.register_handler(
-      [this](shm::Endpoint&, NodeId src, const void* data, std::size_t len) {
-        on_message(src, data, len);
-      });
-}
-
-void Comm::on_message(NodeId src, const void* data, std::size_t len) {
-  FM_CHECK_MSG(len >= kHeader, "runt mpi_mini message");
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  Msg m;
-  m.src = static_cast<int>(src);
-  std::int32_t tag;
-  std::uint32_t seq;
-  std::memcpy(&tag, bytes, 4);
-  std::memcpy(&seq, bytes + 4, 4);
-  m.tag = tag;
-  m.data.assign(bytes + kHeader, bytes + len);
-  // Restore per-peer ordering: FM does not guarantee it (Table 3), MPI
-  // semantics require it.
-  if (seq != next_recv_seq_[src]) {
-    FM_CHECK_MSG(seq > next_recv_seq_[src], "duplicate mpi_mini sequence");
-    reorder_.emplace(std::make_pair(m.src, seq), std::move(m));
-    return;
-  }
-  inbox_.push_back(std::move(m));
-  ++next_recv_seq_[src];
-  // Drain any now-contiguous parked messages.
-  for (;;) {
-    auto it = reorder_.find({static_cast<int>(src), next_recv_seq_[src]});
-    if (it == reorder_.end()) break;
-    inbox_.push_back(std::move(it->second));
-    reorder_.erase(it);
-    ++next_recv_seq_[src];
-  }
-}
-
-void Comm::send(int dest, int tag, const void* buf, std::size_t len) {
-  FM_CHECK_MSG(tag >= 0, "user tags must be non-negative");
-  send_internal(dest, tag, buf, len);
-}
-
-void Comm::send_internal(int dest, int tag, const void* buf,
-                         std::size_t len) {
-  FM_CHECK_MSG(dest >= 0 && dest < size(), "bad destination rank");
-  FM_CHECK_MSG(dest != rank(), "self-send not supported");
-  std::vector<std::uint8_t> wire(kHeader + len);
-  std::int32_t t = tag;
-  std::uint32_t seq = next_send_seq_[static_cast<std::size_t>(dest)]++;
-  std::memcpy(wire.data(), &t, 4);
-  std::memcpy(wire.data() + 4, &seq, 4);
-  if (len) std::memcpy(wire.data() + kHeader, buf, len);
-  Status s = ep_.send(static_cast<NodeId>(dest), handler_, wire.data(),
-                      wire.size());
-  FM_CHECK_MSG(ok(s), "mpi_mini send failed");
-}
-
-int Comm::recv(int src, int tag, std::vector<std::uint8_t>& out) {
-  for (;;) {
-    for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
-      if ((src == kAnySource || it->src == src) && it->tag == tag) {
-        out = std::move(it->data);
-        int from = it->src;
-        inbox_.erase(it);
-        return from;
-      }
-    }
-    if (ep_.extract() == 0) std::this_thread::yield();
-  }
-}
-
-bool Comm::iprobe(int src, int tag) {
-  ep_.extract();
-  for (const auto& m : inbox_)
-    if ((src == kAnySource || m.src == src) && m.tag == tag) return true;
-  return false;
-}
-
-void Comm::barrier() {
-  // Dissemination barrier: ceil(log2 n) rounds; in round k talk to the
-  // neighbours 2^k away. O(log n) critical path with no root hotspot.
-  const int n = size();
-  if (n == 1) return;
-  std::vector<std::uint8_t> token;
-  for (int k = 0, dist = 1; dist < n; ++k, dist <<= 1) {
-    int to = (rank() + dist) % n;
-    int from = (rank() - dist % n + n) % n;
-    send_internal(to, kBarrierTagBase - k, "", 0);
-    (void)recv(from, kBarrierTagBase - k, token);
-  }
-}
-
-void Comm::bcast(void* buf, std::size_t len, int root) {
-  // Textbook binomial broadcast on root-relative ranks: wait for the bit
-  // below our lowest set bit, then fan out to increasingly distant children.
-  const int n = size();
-  if (n == 1) return;
-  const int vrank = (rank() - root + n) % n;
-  int mask = 1;
-  while (mask < n) {
-    if (vrank & mask) {
-      std::vector<std::uint8_t> data;
-      (void)recv(((vrank - mask) + root) % n, kBcastTag, data);
-      FM_CHECK_MSG(data.size() == len, "bcast length mismatch");
-      std::memcpy(buf, data.data(), len);
-      break;
-    }
-    mask <<= 1;
-  }
-  mask >>= 1;
-  while (mask > 0) {
-    int child = vrank + mask;
-    if (child < n) send_internal((child + root) % n, kBcastTag, buf, len);
-    mask >>= 1;
-  }
-}
-
-void Comm::reduce_bytes(
-    std::uint8_t* buf, std::size_t len, int root,
-    const std::function<void(std::uint8_t*, const std::uint8_t*)>& combine) {
-  const int n = size();
-  if (n == 1) return;
-  const int vrank = (rank() - root + n) % n;
-  // Binomial tree, leaves inward: at step `dist`, ranks with that bit set
-  // send to (vrank - dist); others receive from (vrank + dist) if present.
-  for (int dist = 1; dist < n; dist <<= 1) {
-    if (vrank & dist) {
-      send_internal(((vrank - dist) + root) % n, kReduceTag, buf, len);
-      return;  // contribution handed off; done
-    }
-    int peer = vrank + dist;
-    if (peer < n) {
-      std::vector<std::uint8_t> data;
-      (void)recv((peer + root) % n, kReduceTag, data);
-      FM_CHECK_MSG(data.size() == len, "reduce length mismatch");
-      combine(buf, data.data());
-    }
-  }
-}
-
-void Comm::gather(const void* sendbuf, std::size_t len, void* recvbuf,
-                  int root) {
-  if (rank() == root) {
-    auto* out = static_cast<std::uint8_t*>(recvbuf);
-    std::memcpy(out + static_cast<std::size_t>(rank()) * len, sendbuf, len);
-    for (int r = 0; r < size(); ++r) {
-      if (r == rank()) continue;
-      std::vector<std::uint8_t> data;
-      int from = recv(r, kGatherTag, data);
-      FM_CHECK(from == r && data.size() == len);
-      std::memcpy(out + static_cast<std::size_t>(r) * len, data.data(), len);
-    }
-  } else {
-    send_internal(root, kGatherTag, sendbuf, len);
-  }
-}
-
-void Comm::scatter(const void* sendbuf, std::size_t len, void* recvbuf,
-                   int root) {
-  if (rank() == root) {
-    const auto* in = static_cast<const std::uint8_t*>(sendbuf);
-    for (int r = 0; r < size(); ++r) {
-      if (r == rank()) continue;
-      send_internal(r, kScatterTag, in + static_cast<std::size_t>(r) * len,
-                    len);
-    }
-    std::memcpy(recvbuf, in + static_cast<std::size_t>(rank()) * len, len);
-  } else {
-    std::vector<std::uint8_t> data;
-    (void)recv(root, kScatterTag, data);
-    FM_CHECK_MSG(data.size() == len, "scatter length mismatch");
-    std::memcpy(recvbuf, data.data(), len);
-  }
-}
+// The shm instantiation every existing user links against (fm::mpi::Comm).
+// The net backend instantiates BasicComm<net::Endpoint> from the header in
+// the translation units that use it, keeping mpi_mini free of a hard
+// dependency on the net transport.
+template class BasicComm<shm::Endpoint>;
 
 }  // namespace fm::mpi

@@ -1,0 +1,358 @@
+#include "net/cluster.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fm::net {
+namespace {
+
+// Control-channel packet tags (one SOCK_SEQPACKET message per packet).
+constexpr char kReady = 'Y';    // child -> parent: forked, socket owned
+constexpr char kGo = 'G';       // parent -> child: every rank is ready, run
+constexpr char kBarrier = 'B';  // child -> parent: waiting at barrier()
+constexpr char kRelease = 'R';  // parent -> child: everyone arrived, go on
+constexpr char kSample = 'S';   // child -> parent: one registry sample
+constexpr char kMetric = 'M';   // child -> parent: one report()ed scalar
+constexpr char kDone = 'D';     // child -> parent: node_main returned
+
+constexpr std::size_t kMaxPacket = 512;
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool send_packet(int fd, const void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<std::size_t>(n) == len;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+/// Blocking single-packet read (child side). Returns the byte count, 0 on
+/// EOF, -1 on error.
+long recv_packet(int fd, void* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n >= 0) return static_cast<long>(n);
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+}  // namespace
+
+Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
+                 hw::FaultParams faults)
+    : net_(net) {
+  FM_CHECK_MSG(nodes >= 1, "empty cluster");
+  // Bind every node's socket first: the full address map must exist before
+  // any endpoint is constructed, and both must exist before fork() so the
+  // children inherit identical state.
+  for (std::size_t i = 0; i < nodes; ++i) {
+    socks_.push_back(std::make_unique<UdpSocket>());
+    socks_.back()->set_buffer_sizes(net_.so_rcvbuf, net_.so_sndbuf);
+    addrs_.push_back(UdpSocket::loopback_addr(socks_.back()->port()));
+    port_to_node_[socks_.back()->port()] = static_cast<NodeId>(i);
+  }
+  for (std::size_t i = 0; i < nodes; ++i)
+    endpoints_.push_back(std::unique_ptr<Endpoint>(
+        new Endpoint(*this, static_cast<NodeId>(i), cfg, faults, *socks_[i],
+                     net_.extract_budget)));
+  // One control channel per future child.
+  ctl_parent_.resize(nodes, -1);
+  ctl_child_.resize(nodes, -1);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    int sv[2];
+    FM_CHECK_MSG(::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, sv) == 0,
+                 "socketpair(AF_UNIX, SOCK_SEQPACKET) failed");
+    ctl_parent_[i] = sv[0];
+    ctl_child_[i] = sv[1];
+  }
+}
+
+Cluster::~Cluster() {
+  for (int fd : ctl_parent_)
+    if (fd >= 0) ::close(fd);
+  for (int fd : ctl_child_)
+    if (fd >= 0) ::close(fd);
+}
+
+RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
+  FM_CHECK_MSG(!in_child_, "net::Cluster::run() from inside a rank");
+  FM_CHECK_MSG(!ran_, "net::Cluster::run() is one-shot; build a new cluster");
+  ran_ = true;
+  const std::size_t n = size();
+  std::vector<pid_t> pids(n, -1);
+  // stdio buffers are duplicated by fork(); flush now so a child's _Exit
+  // cannot re-emit the parent's pending output.
+  std::fflush(nullptr);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const pid_t pid = ::fork();
+    FM_CHECK_MSG(pid >= 0, "fork() failed");
+    if (pid == 0) child_main(static_cast<NodeId>(rank), node_main);
+    pids[rank] = pid;
+  }
+  // Parent: drop the child ends so an exiting child produces EOF on the
+  // parent end (crash detection depends on being the only other holder).
+  for (int& fd : ctl_child_) {
+    ::close(fd);
+    fd = -1;
+  }
+  RunReport report;
+  report.metrics = reported_;
+  parent_collect(report, pids);
+  return report;
+}
+
+void Cluster::child_main(NodeId rank,
+                         const std::function<void(Endpoint&)>& body) {
+  in_child_ = true;
+  my_rank_ = rank;
+  // Own exactly one data socket and one control end; close every inherited
+  // fd that belongs to another rank or to the parent side. Closing the
+  // parent ends here is what makes parent-side EOF mean "that child died".
+  for (std::size_t i = 0; i < socks_.size(); ++i)
+    if (i != rank) socks_[i].reset();
+  for (std::size_t i = 0; i < ctl_parent_.size(); ++i) {
+    ::close(ctl_parent_[i]);
+    ctl_parent_[i] = -1;
+    if (i != rank && ctl_child_[i] >= 0) {
+      ::close(ctl_child_[i]);
+      ctl_child_[i] = -1;
+    }
+  }
+  const int ctl = ctl_child_[rank];
+  char tag = kReady;
+  FM_CHECK_MSG(send_packet(ctl, &tag, 1), "child READY send failed");
+  char buf[kMaxPacket];
+  const long n = recv_packet(ctl, buf, sizeof buf);
+  FM_CHECK_MSG(n == 1 && buf[0] == kGo, "child GO rendezvous failed");
+
+  body(*endpoints_[rank]);
+
+  // Quiescent now: stream this rank's FM-Scope state to the parent — the
+  // only path counters take across the address-space boundary.
+  for (const obs::Sample& s : endpoints_[rank]->registry().snapshot()) {
+    char pkt[kMaxPacket];
+    const std::size_t name_len = std::min(s.name.size(), kMaxPacket - 10);
+    pkt[0] = kSample;
+    pkt[1] = s.monotonic ? 1 : 0;
+    std::memcpy(pkt + 2, &s.value, sizeof s.value);
+    std::memcpy(pkt + 10, s.name.data(), name_len);
+    (void)send_packet(ctl, pkt, 10 + name_len);
+  }
+  tag = kDone;
+  (void)send_packet(ctl, &tag, 1);
+  std::fflush(nullptr);
+  // _Exit, not exit: the child shares the parent's atexit handlers and
+  // gtest listeners, none of which may run twice.
+  std::_Exit(child_exit_code_);
+}
+
+void Cluster::barrier() {
+  FM_CHECK_MSG(in_child_,
+               "net::Cluster::barrier() is only callable from node_main "
+               "inside run()");
+  const int ctl = ctl_child_[my_rank_];
+  char tag = kBarrier;
+  FM_CHECK_MSG(send_packet(ctl, &tag, 1), "barrier request failed");
+  char buf[kMaxPacket];
+  const long n = recv_packet(ctl, buf, sizeof buf);
+  FM_CHECK_MSG(n == 1 && buf[0] == kRelease, "barrier release failed");
+}
+
+void Cluster::barrier_begin() {
+  FM_CHECK_MSG(in_child_,
+               "net::Cluster::barrier() is only callable from node_main "
+               "inside run()");
+  char tag = kBarrier;
+  FM_CHECK_MSG(send_packet(ctl_child_[my_rank_], &tag, 1),
+               "barrier request failed");
+}
+
+bool Cluster::barrier_try_release() {
+  char buf[kMaxPacket];
+  for (;;) {
+    const ssize_t n = ::recv(ctl_child_[my_rank_], buf, sizeof buf,
+                             MSG_DONTWAIT);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return false;
+    }
+    FM_CHECK_MSG(n == 1 && buf[0] == kRelease, "barrier release failed");
+    return true;
+  }
+}
+
+void Cluster::report(const std::string& key, double value) {
+  if (!in_child_) {
+    reported_[key] = value;
+    return;
+  }
+  char pkt[kMaxPacket];
+  const std::size_t name_len = std::min(key.size(), kMaxPacket - 9);
+  pkt[0] = kMetric;
+  std::memcpy(pkt + 1, &value, sizeof value);
+  std::memcpy(pkt + 9, key.data(), name_len);
+  (void)send_packet(ctl_child_[my_rank_], pkt, 9 + name_len);
+}
+
+void Cluster::parent_collect(RunReport& report,
+                             const std::vector<pid_t>& pids) {
+  const std::size_t n = pids.size();
+  enum class St { kWaitReady, kRunning, kGone };
+  std::vector<St> state(n, St::kWaitReady);
+  std::vector<bool> at_barrier(n, false);
+  std::vector<bool> sent_done(n, false);
+  std::size_t open = n;
+  bool go_sent = false;
+
+  auto alive = [&](std::size_t i) { return state[i] != St::kGone; };
+  auto maybe_send_go = [&] {
+    if (go_sent) return;
+    for (std::size_t i = 0; i < n; ++i)
+      if (state[i] == St::kWaitReady) return;
+    go_sent = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive(i)) continue;
+      char tag = kGo;
+      (void)send_packet(ctl_parent_[i], &tag, 1);
+    }
+  };
+  // Release a barrier once every *surviving* rank that has not finished is
+  // waiting at it: a crashed or completed rank must not hang the rest.
+  auto maybe_release_barrier = [&] {
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive(i) || sent_done[i]) continue;
+      if (!at_barrier[i]) return;
+      any = true;
+    }
+    if (!any) return;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive(i) || !at_barrier[i]) continue;
+      at_barrier[i] = false;
+      char tag = kRelease;
+      (void)send_packet(ctl_parent_[i], &tag, 1);
+    }
+  };
+
+  const std::uint64_t deadline =
+      now_ms() + net_.run_timeout_ns / 1'000'000ull;
+  std::vector<pollfd> fds;
+  char buf[kMaxPacket];
+  while (open > 0) {
+    const std::uint64_t now = now_ms();
+    if (now >= deadline) {
+      // Watchdog: a hung multi-process run must die here, not in CI's
+      // global timeout with no diagnostics.
+      report.timed_out = true;
+      for (std::size_t i = 0; i < n; ++i)
+        if (alive(i)) ::kill(pids[i], SIGKILL);
+      break;
+    }
+    fds.clear();
+    for (std::size_t i = 0; i < n; ++i)
+      if (alive(i)) fds.push_back(pollfd{ctl_parent_[i], POLLIN, 0});
+    const int timeout_ms = static_cast<int>(
+        std::min<std::uint64_t>(deadline - now, 1000));
+    const int r = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      FM_CHECK_MSG(false, "poll() on control channels failed");
+    }
+    std::size_t fi = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!alive(i)) continue;
+      const pollfd& p = fds[fi++];
+      if ((p.revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      for (;;) {  // drain every queued packet for this rank
+        const ssize_t m = ::recv(p.fd, buf, sizeof buf, MSG_DONTWAIT);
+        if (m < 0) {
+          if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+            break;
+          // Treat a hard error like EOF: the rank is unreachable.
+          state[i] = St::kGone;
+          --open;
+          break;
+        }
+        if (m == 0) {  // EOF: the child exited (cleanly or not)
+          state[i] = St::kGone;
+          --open;
+          break;
+        }
+        switch (buf[0]) {
+          case kReady:
+            state[i] = St::kRunning;
+            break;
+          case kBarrier:
+            at_barrier[i] = true;
+            break;
+          case kDone:
+            sent_done[i] = true;
+            break;
+          case kSample: {
+            if (m < 10) break;
+            obs::Sample s;
+            s.monotonic = buf[1] != 0;
+            std::memcpy(&s.value, buf + 2, sizeof s.value);
+            s.name.assign(buf + 10, static_cast<std::size_t>(m) - 10);
+            report.samples.push_back(std::move(s));
+            break;
+          }
+          case kMetric: {
+            if (m < 9) break;
+            double value = 0;
+            std::memcpy(&value, buf + 1, sizeof value);
+            std::string key(buf + 9, static_cast<std::size_t>(m) - 9);
+            report.metrics[key] = value;
+            break;
+          }
+          default:
+            break;  // unknown tag: ignore (forward compatibility)
+        }
+      }
+      if (!alive(i)) continue;
+    }
+    maybe_send_go();
+    maybe_release_barrier();
+  }
+  // Harvest every child's wait status (blocking: by now each child has
+  // exited, crashed, or been SIGKILLed by the watchdog above).
+  for (std::size_t i = 0; i < n; ++i) {
+    int status = 0;
+    pid_t got;
+    do {
+      got = ::waitpid(pids[i], &status, 0);
+    } while (got < 0 && errno == EINTR);
+    RankStatus rs;
+    rs.id = static_cast<NodeId>(i);
+    if (got == pids[i] && WIFEXITED(status)) {
+      rs.exited = true;
+      rs.exit_code = WEXITSTATUS(status);
+    } else if (got == pids[i] && WIFSIGNALED(status)) {
+      rs.exited = false;
+      rs.term_signal = WTERMSIG(status);
+    } else {
+      rs.exited = false;
+      rs.term_signal = -1;  // waitpid itself failed; count as unclean
+    }
+    report.ranks.push_back(rs);
+  }
+}
+
+}  // namespace fm::net

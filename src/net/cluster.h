@@ -1,0 +1,171 @@
+// net::Cluster — N FM endpoints as N forked OS processes talking UDP.
+//
+// The multi-process SPMD harness. The parent binds every node's UDP socket
+// and constructs every Endpoint *before* forking, so the children inherit
+// identical handler tables and peer address maps (the same SPMD
+// registration discipline the other backends enforce, implemented by
+// fork() instead of convention). Each child then owns exactly one endpoint
+// and one socket; the parent never touches the data path — it runs the
+// control plane over per-child Unix-domain SOCK_SEQPACKET channels:
+//
+//   child:  READY ─▶ ◀─ GO ─ node_main runs ─ BARRIER ⇄ RELEASE ...
+//           ─ registry samples ─▶ ─ DONE ─▶ exit
+//   parent: rendezvous, barrier brokering, sample/metric collection,
+//           crash detection (EOF on the channel), kill-on-timeout,
+//           wait(2) status harvesting.
+//
+// Because ranks are real processes, a soak test can SIGKILL one and watch
+// the survivors' FM-R declare it dead — the degradation story tested
+// against an actual process death instead of a simulated one. All
+// cross-rank results flow through the RunReport (merged registry
+// snapshots + report()ed metrics): the parent's endpoint objects never see
+// the children's counter values.
+//
+// Models fm::ClusterBackend (fm/cluster_runner.h) — the same contract as
+// shm::Cluster, so backend-parameterized programs compile against both.
+#pragma once
+
+#include <netinet/in.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fm/cluster_runner.h"
+#include "fm/config.h"
+#include "hw/fault.h"
+#include "net/endpoint.h"
+#include "net/socket.h"
+
+namespace fm::net {
+
+/// Transport knobs below the FM protocol (the FM knobs stay in FmConfig).
+struct NetConfig {
+  /// Socket buffer sizes in bytes (0: kernel default). A small receive
+  /// buffer is how soak tests force *real* kernel drops.
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
+  /// Harness watchdog: when node_main bodies run longer than this, the
+  /// parent SIGKILLs every surviving child and the RunReport carries
+  /// timed_out = true. A multi-process hang must never outlive its test.
+  std::uint64_t run_timeout_ns = 120'000'000'000ull;
+  /// Datagrams drained per extract() call (the receive-aggregation batch).
+  std::size_t extract_budget = 64;
+};
+
+/// A multi-process UDP FM cluster.
+class Cluster {
+ public:
+  using EndpointType = Endpoint;
+
+  /// Builds `nodes` endpoints on freshly bound loopback sockets. `cfg`
+  /// must have reliability on (the endpoint constructor enforces it).
+  explicit Cluster(std::size_t nodes, FmConfig cfg = FmConfig(),
+                   NetConfig net = NetConfig(),
+                   hw::FaultParams faults = hw::FaultParams());
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Number of nodes.
+  std::size_t size() const { return endpoints_.size(); }
+
+  /// Endpoint `i`. Before run(): configuration (handlers, trace enable).
+  /// Inside run(): each child uses only its own rank's endpoint.
+  Endpoint& endpoint(NodeId i) {
+    FM_CHECK(i < endpoints_.size());
+    return *endpoints_[i];
+  }
+
+  /// Registers `fn` on every endpoint; all must agree on the returned id.
+  HandlerId register_handler(Endpoint::Handler fn) {
+    return register_handler_agreed(
+        size(), [this](NodeId i) -> Endpoint& { return *endpoints_[i]; },
+        std::move(fn));
+  }
+
+  /// Forks one child per rank, runs `node_main(endpoint)` in each, and
+  /// collects the per-rank exit statuses plus every child's registry
+  /// snapshot into the RunReport. Callable once per Cluster.
+  RunReport run(const std::function<void(Endpoint&)>& node_main);
+
+  /// Cross-process barrier, callable only from inside node_main: the child
+  /// asks the parent, which releases everyone once every *surviving* rank
+  /// is waiting (a crashed rank must not hang the others forever).
+  void barrier();
+
+  /// Barrier that calls `service()` while waiting for the parent's release
+  /// instead of parking in recv(). Rationale: with FM-R mandatory here, a
+  /// rank that stops extracting starves any peer whose last ack datagram
+  /// was lost — the peer retransmits into a deaf socket until its retry
+  /// budget declares this rank dead. Pass a service that keeps the
+  /// endpoint responsive (see fm::barrier_serviced).
+  template <class Service>
+  void barrier(Service&& service) {
+    barrier_begin();
+    while (!barrier_try_release()) service();
+  }
+
+  /// Publishes a named scalar into the RunReport. From inside node_main it
+  /// crosses the process boundary over the control channel; rank-qualify
+  /// the key if ranks must not collide.
+  void report(const std::string& key, double value);
+
+  /// Flags this rank's run as failed: the child exits nonzero, which the
+  /// parent surfaces in RunReport::ranks. For test harnesses whose
+  /// assertion state (e.g. gtest's) is per-process and would otherwise be
+  /// lost with the child.
+  void mark_child_failed() { child_exit_code_ = 1; }
+
+  /// True in a forked rank, false in the parent (and before run()).
+  bool in_child() const { return in_child_; }
+
+  /// The UDP address of node `i` (loopback + its bound port).
+  const sockaddr_in& addr(NodeId i) const {
+    FM_CHECK(i < addrs_.size());
+    return addrs_[i];
+  }
+
+  /// Maps a datagram's source port back to a rank. False for strays.
+  bool node_for_port(std::uint16_t port, NodeId* node) const {
+    auto it = port_to_node_.find(port);
+    if (it == port_to_node_.end()) return false;
+    *node = it->second;
+    return true;
+  }
+
+  const NetConfig& net_config() const { return net_; }
+
+ private:
+  /// Sends this rank's barrier request to the parent (servicing flavor).
+  void barrier_begin();
+  /// Nonblocking check for the parent's release packet.
+  bool barrier_try_release();
+
+  [[noreturn]] void child_main(NodeId rank,
+                               const std::function<void(Endpoint&)>& body);
+  void parent_collect(RunReport& report, const std::vector<pid_t>& pids);
+
+  NetConfig net_;
+  std::vector<std::unique_ptr<UdpSocket>> socks_;
+  std::vector<sockaddr_in> addrs_;
+  std::unordered_map<std::uint16_t, NodeId> port_to_node_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::vector<int> ctl_parent_;  ///< Parent's end of each control channel.
+  std::vector<int> ctl_child_;   ///< Child's end (closed in parent post-fork).
+  bool ran_ = false;
+  bool in_child_ = false;
+  NodeId my_rank_ = kInvalidNode;
+  int child_exit_code_ = 0;
+  std::map<std::string, double> reported_;  ///< Parent-side report() calls.
+};
+
+static_assert(ClusterBackend<Cluster>,
+              "net::Cluster must model the shared SPMD contract");
+
+}  // namespace fm::net

@@ -1,45 +1,47 @@
-#include "shm/endpoint.h"
+#include "net/endpoint.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <thread>
 
-#include "shm/cluster.h"
+#include "net/cluster.h"
 
-namespace fm::shm {
+namespace fm::net {
 
 Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
-                   const hw::FaultParams& faults)
+                   const hw::FaultParams& faults, UdpSocket& sock,
+                   std::size_t extract_budget)
     : cluster_(cluster),
       id_(id),
       cfg_(cfg),
+      sock_(sock),
+      extract_budget_(extract_budget),
       window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
       timer_(cfg.retransmit_timeout_ns, cfg.max_retries),
-      trace_("shm.node" + std::to_string(id)),
-      registry_("shm.node" + std::to_string(id)) {
-  FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
+      trace_("net.node" + std::to_string(id)),
+      registry_("net.node" + std::to_string(id)) {
+  // UDP loses, duplicates, and reorders datagrams as a matter of course;
+  // running the FM surface without FM-R here would silently violate the
+  // API's delivery semantics, so the backend refuses the configuration
+  // outright instead of degrading.
+  FM_CHECK_MSG(cfg.reliability,
+               "the net backend requires FM-R (cfg.reliability): UDP is a "
+               "genuinely lossy substrate");
+  FM_CHECK_MSG(cfg.flow_control,
                "FM-R requires flow control: the send window holds the frame "
                "copies retransmission needs");
+  rx_buf_.resize(max_wire_bytes(cfg.frame_payload));
   for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
   retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
-  // FM-Scope: every Stats field as a named counter, plus occupancy gauges
-  // for this backend's queue set (SPSC rings stand in for the wire, the
-  // reject/posted queues are the host-side stages).
   stats_.register_into(registry_);
-  registry_.gauge("q.tx_rings_depth", [this] {
-    double n = 0;
-    for (NodeId dst = 0; dst < cluster_.size(); ++dst)
-      if (dst != id_) n += static_cast<double>(cluster_.ring(id_, dst).size_approx());
-    return n;
-  });
-  registry_.gauge("q.rx_rings_depth", [this] {
-    double n = 0;
-    for (NodeId src = 0; src < cluster_.size(); ++src)
-      if (src != id_) n += static_cast<double>(cluster_.ring(src, id_).size_approx());
-    return n;
-  });
+  // The socket layer beneath the protocol counters: what the "NIC" did.
+  registry_.counter("datagrams_tx", &datagrams_tx_);
+  registry_.counter("datagrams_rx", &datagrams_rx_);
+  registry_.counter("ewouldblock_stalls", &ewouldblock_stalls_);
+  registry_.counter("send_errors", &send_errors_);
+  registry_.counter("stray_datagrams", &stray_datagrams_);
+  registry_.counter("kernel_drops", &kernel_drops_);
   registry_.gauge("q.reject_depth",
                   [this] { return static_cast<double>(rejq_.size()); });
   registry_.gauge("q.posted_depth", [this] {
@@ -67,17 +69,25 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   cat_dup_ = trace_.intern("dup");
   cat_dead_peer_ = trace_.intern("dead_peer");
   cat_depth_ = trace_.intern("window_rejq_depth");
-  if (faults.enabled()) {
-    // Each endpoint gets its own injector (the rings must stay
-    // single-writer) with a decorrelated seed, so runs remain
-    // bit-reproducible yet the nodes do not fail in lockstep.
+  cat_stall_ = trace_.intern("tx_stall");
+  if (faults.enabled())
+    // On top of whatever the kernel loses, tests can still inject
+    // deterministic sender-side faults — same model as the other backends,
+    // same decorrelated per-node seeding.
     faults_ = std::make_unique<hw::FaultInjector>(decorrelate_faults(faults, id));
-  }
 }
 
 std::size_t Endpoint::cluster_size() const { return cluster_.size(); }
 
-void Endpoint::idle_pause() { std::this_thread::yield(); }
+void Endpoint::idle_pause() {
+  // The poll loop that drives this backend: park on the socket instead of
+  // spinning, but never longer than a fraction of the retransmit timeout —
+  // the FM-R timers only tick inside extract(), so sleeping past a
+  // deadline would stretch every recovery.
+  const int timeout_ms = std::max(
+      1, static_cast<int>(cfg_.retransmit_timeout_ns / 4'000'000ull));
+  (void)sock_.wait_readable(std::min(timeout_ms, 10));
+}
 
 std::uint64_t Endpoint::now_ns() {
   return static_cast<std::uint64_t>(
@@ -103,15 +113,11 @@ Status Endpoint::send(NodeId dest, HandlerId handler, const void* buf,
   if (dest >= cluster_.size()) return Status::kBadArgument;
   if (!handlers_.valid(handler) || (len > 0 && buf == nullptr))
     return Status::kBadArgument;
-  if (cfg_.reliability && dead_peers_.count(dest) > 0)
-    return Status::kPeerDead;
+  if (dead_peers_.count(dest) > 0) return Status::kPeerDead;
   ++stats_.messages_sent;
   const auto* bytes = static_cast<const std::uint8_t*>(buf);
   if (len <= cfg_.frame_payload) {
     Status s = send_data_frame(dest, handler, bytes, len, false, 0, 0, 1);
-    // Counted sent, then refused mid-flight by a dead-peer declaration:
-    // abandoned, for the conservation invariant (sent == delivered +
-    // abandoned while no peer is dead).
     if (s == Status::kPeerDead) ++stats_.messages_abandoned;
     return s;
   }
@@ -141,7 +147,6 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   // Window gate — and, in window mode, a per-destination credit gate —
   // servicing the network while blocked (the FM discipline).
   auto blocked = [&] {
-    if (!cfg_.flow_control) return false;
     if (window_.full()) return true;
     if (cfg_.window_mode) {
       auto it = credits_.find(dest);
@@ -154,15 +159,11 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     return false;
   };
   while (blocked()) {
-    // A peer declared dead while we were blocked frees its window slots;
-    // the caller learns immediately instead of spinning forever.
-    if (cfg_.reliability && dead_peers_.count(dest) > 0)
-      return Status::kPeerDead;
+    if (dead_peers_.count(dest) > 0) return Status::kPeerDead;
     if (extract() == 0) idle_pause();
   }
-  if (cfg_.reliability && dead_peers_.count(dest) > 0)
-    return Status::kPeerDead;
-  if (cfg_.flow_control && cfg_.window_mode) {
+  if (dead_peers_.count(dest) > 0) return Status::kPeerDead;
+  if (cfg_.window_mode) {
     FM_CHECK(credits_[dest] > 0);
     --credits_[dest];
   }
@@ -178,39 +179,24 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     h.frag_index = frag_index;
     h.frag_count = frag_count;
   }
-  if (cfg_.flow_control) {
-    h.seq = window_.next_seq(dest);
-    std::uint32_t piggy[kMaxAcksPerFrame];
-    const std::size_t n_acks = acks_.take_into(
-        dest, std::min(cfg_.piggyback_acks, kMaxAcksPerFrame), piggy);
-    h.ack_count = static_cast<std::uint8_t>(n_acks);
-    stats_.acks_piggybacked += n_acks;
-    // The window slab slot doubles as the wire staging buffer and the
-    // retained retransmission copy: the frame is serialized exactly once,
-    // in place (the paper's PIO-gather, aimed at the window instead of the
-    // NIC), and injected straight from the slot.
-    std::uint8_t* slot = window_.reserve(dest, h.seq);
-    const std::size_t wire =
-        encode_frame_into(slot, h, payload, n_acks ? piggy : nullptr);
-    window_.commit(wire);
-    if (cfg_.reliability) timer_.arm(dest, h.seq, now_ns());
-    ++stats_.frames_sent;
-    if (trace_.enabled()) trace_.event(now_ns(), cat_send_, 'i', dest, h.seq);
-    inject(dest, slot, wire, h.seq);
-    return Status::kOk;
-  }
-  // No flow control means no retained copy is needed: serialize into the
-  // depth-indexed scratch. Depth 2 suffices — a posted send drained from a
-  // nested extract() can overlap the app-context send, and drain_posted()'s
-  // re-entrancy guard rules out anything deeper.
-  FM_CHECK_MSG(tx_depth_ < tx_scratch_.size(), "send scratch depth exceeded");
-  std::uint8_t* buf = tx_scratch_[tx_depth_].data();
-  const std::size_t wire = encode_frame_into(buf, h, payload, nullptr);
+  h.seq = window_.next_seq(dest);
+  std::uint32_t piggy[kMaxAcksPerFrame];
+  const std::size_t n_acks = acks_.take_into(
+      dest, std::min(cfg_.piggyback_acks, kMaxAcksPerFrame), piggy);
+  h.ack_count = static_cast<std::uint8_t>(n_acks);
+  stats_.acks_piggybacked += n_acks;
+  // The window slab slot doubles as the datagram staging buffer and the
+  // retained retransmission copy: serialized exactly once, in place, and
+  // handed to sendto() straight from the slot (PR 2's PIO-gather aimed at
+  // the socket instead of the ring).
+  std::uint8_t* slot = window_.reserve(dest, h.seq);
+  const std::size_t wire =
+      encode_frame_into(slot, h, payload, n_acks ? piggy : nullptr);
+  window_.commit(wire);
+  timer_.arm(dest, h.seq, now_ns());
   ++stats_.frames_sent;
   if (trace_.enabled()) trace_.event(now_ns(), cat_send_, 'i', dest, h.seq);
-  ++tx_depth_;
-  inject(dest, buf, wire);
-  --tx_depth_;
+  inject(dest, slot, wire, h.seq);
   return Status::kOk;
 }
 
@@ -220,12 +206,9 @@ void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
     push(dest, frame, len, window_seq);
     return;
   }
-  // The fault paths below copy the frame into stable local storage before
-  // any push, so slab-slot recycling cannot bite them: window_seq is not
-  // forwarded.
-  // Sender-side fault injection — the shm stand-in for the sim backend's
-  // faulty switch fabric. Same model: drop (single or burst), corrupt,
-  // duplicate, hold-and-overtake reorder.
+  // Injected faults layered on top of the kernel's organic ones (the fault
+  // paths copy the frame into stable local storage before any push, so
+  // slab-slot recycling cannot bite them: window_seq is not forwarded).
   if (faults_->should_drop()) return;
   std::vector<std::uint8_t> bytes(frame, frame + len);
   faults_->maybe_corrupt(bytes);
@@ -236,8 +219,6 @@ void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
     release = std::move(held->second);
     reorder_held_.erase(held);
   } else if (faults_->should_reorder()) {
-    // Held until the next frame to this peer overtakes it (a timeout
-    // retransmission counts, so a held frame cannot be stuck forever).
     reorder_held_[dest] = std::move(bytes);
     return;
   }
@@ -248,22 +229,30 @@ void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
 
 void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
                     std::uint32_t window_seq) {
-  SpscRing& ring = cluster_.ring(id_, dest);
-  // A full ring is backpressure: keep servicing our own receive side while
-  // waiting so two nodes blasting each other cannot deadlock.
-  while (!ring.try_push(frame, len)) {
+  const sockaddr_in& addr = cluster_.addr(dest);
+  for (;;) {
+    const UdpSocket::SendResult r = sock_.send_to(addr, frame, len);
+    if (r == UdpSocket::SendResult::kOk) {
+      ++datagrams_tx_;
+      return;
+    }
+    if (r == UdpSocket::SendResult::kError) {
+      // The kernel refused the datagram for good: count it and let the
+      // retransmit timer recover the frame, exactly as if the wire ate it.
+      ++send_errors_;
+      return;
+    }
+    // EWOULDBLOCK / ENOBUFS is backpressure: service our own receive side
+    // while waiting, as a blocked FM sender must.
+    ++ewouldblock_stalls_;
+    if (trace_.enabled())
+      trace_.event(now_ns(), cat_stall_, 'i', dest, window_seq);
     if (extract() == 0) idle_pause();
-    // When `frame` points into the window slab, the nested extract can
-    // invalidate it: a dead-peer declaration drops the slot, and a
-    // reliability_tick() retransmission of this very frame can be acked
-    // mid-spin, releasing the slot — either way the LIFO free list may
-    // hand it to another send (e.g. one drained from posted_), clobbering
-    // the bytes under us. Re-validate the slot still holds this frame
-    // before re-reading it; if it does not, the frame was dropped or has
-    // already been delivered via the retransmission, so nothing is lost.
+    // The nested extract can invalidate a slab-backed frame (ack or
+    // dead-peer purge recycles the slot); re-validate before re-reading it.
     if (window_seq != 0 && window_.find(dest, window_seq).data != frame)
       return;
-    if (cfg_.reliability && dead_peers_.count(dest) > 0) return;
+    if (dead_peers_.count(dest) > 0) return;
   }
 }
 
@@ -273,57 +262,43 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
 
 std::size_t Endpoint::extract() {
   if (in_handler_) return 0;  // no re-entrant extraction from handlers
-  // Trace the extract as a B/E span, but only when it consumed something:
-  // recording idle polls would flood the flight recorder while a blocked
-  // sender spins. Both records are appended after the fact with their true
-  // timestamps; the exporter's global sort restores chronological order
-  // (and correct nesting for extracts nested under ring backpressure).
   const std::uint64_t trace_t0 = trace_.enabled() ? now_ns() : 0;
   std::size_t count = 0;
-  // Round-robin over every incoming ring, draining bursts. Frames are
-  // processed *in place* in their ring slots, up to kExtractBatch per
-  // cross-core head publish — the paper's receive aggregation, plus the
-  // copy into a local scratch buffer eliminated. Sound only because
-  // process_frame() never re-enters extract(): every transmission it
-  // provokes is deferred (defer_reject) or queued (rejq_, posted_) and
-  // injected between batches, when the consumed slots are published and
-  // the ring is consistent again.
-  for (NodeId src = 0; src < cluster_.size(); ++src) {
-    if (src == id_) continue;
-    SpscRing& ring = cluster_.ring(src, id_);
-    // Bounded drain: a producer refilling as fast as we consume must not
-    // trap this loop and starve the post-loop retransmission/ack work.
-    std::size_t budget = ring.capacity();
-    while (budget > 0) {
-      const std::size_t got = ring.try_consume_batch(
-          std::min(budget, kExtractBatch),
-          [&](const std::uint8_t* frame, std::size_t len) {
-            ++stats_.frames_received;
-            process_frame(src, frame, len);
-          });
-      if (got == 0) break;
-      count += got;
-      budget -= got;
-      flush_deferred_tx();
+  // Bounded drain of the socket: one datagram is one frame, processed in
+  // place in the preallocated receive buffer. The budget keeps a peer
+  // blasting datagrams at us from starving the post-loop retransmission
+  // and ack work (the same discipline as the shm ring budget).
+  for (std::size_t i = 0; i < extract_budget_; ++i) {
+    std::uint16_t src_port = 0;
+    const long n =
+        sock_.recv_one(rx_buf_.data(), rx_buf_.size(), &src_port,
+                       &kernel_drops_);
+    if (n < 0) break;
+    ++datagrams_rx_;
+    NodeId from = kInvalidNode;
+    if (!cluster_.node_for_port(src_port, &from)) {
+      // Real networks deliver strays (a late datagram from a previous run,
+      // a port scan): count and drop, never crash.
+      ++stray_datagrams_;
+      continue;
     }
+    ++stats_.frames_received;
+    ++count;
+    process_frame(from, rx_buf_.data(), static_cast<std::size_t>(n));
+    flush_deferred_tx();
   }
-  // Retransmit rejected frames whose backoff expired. Re-injection re-arms
-  // the FM-R timer with a fresh retry budget: a rejection proved the peer
-  // alive, so the dead-peer countdown restarts.
+  // Retransmit rejected frames whose backoff expired (a rejection proved
+  // the peer alive, so the timer re-arms with a fresh retry budget).
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
     ++stats_.retransmissions;
     if (trace_.enabled())
       trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
-    if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
+    timer_.arm(entry.dest, entry.seq, now_ns());
     inject(entry.dest, entry.bytes.data(), entry.bytes.size());
   }
-  // Standalone acks for peers owed a batch. The threshold must stay below
-  // half a peer's in-flight allotment (its pending window, or its credit
-  // allotment in window mode) or senders stall with their window full
-  // while we sit on their acks. Configurations are symmetric (SPMD), so
-  // our own config tells us the peers' limits. The re-entrancy guard keeps
-  // a nested extract (ack-push backpressure) off the shared worklist.
-  if (cfg_.flow_control && !in_ack_flush_) {
+  // Standalone acks for peers owed a batch (threshold below half a peer's
+  // in-flight allotment, same reasoning as the shm backend).
+  if (!in_ack_flush_) {
     in_ack_flush_ = true;
     std::size_t limit =
         cfg_.window_mode ? cfg_.window_per_peer : cfg_.pending_window;
@@ -339,7 +314,6 @@ std::size_t Endpoint::extract() {
     const std::uint64_t now = now_ns();
     trace_.event(trace_t0, cat_extract_, 'B', static_cast<std::uint32_t>(count));
     trace_.event(now, cat_extract_, 'E', static_cast<std::uint32_t>(count));
-    // Occupancy sample for Perfetto's counter track.
     trace_.event(now, cat_depth_, 'C',
                  static_cast<std::uint32_t>(window_.in_flight()),
                  static_cast<std::uint32_t>(rejq_.size()));
@@ -350,9 +324,6 @@ std::size_t Endpoint::extract() {
 void Endpoint::flush_deferred_tx() {
   if (flushing_deferred_) return;
   flushing_deferred_ = true;
-  // Swap before walking: injection can block on a full ring and nest
-  // extract(), whose frames may defer further rejects — those land on the
-  // (now empty) live list and the outer loop picks them up next pass.
   while (!deferred_tx_.empty()) {
     deferred_flush_scratch_.clear();
     std::swap(deferred_tx_, deferred_flush_scratch_);
@@ -364,18 +335,15 @@ void Endpoint::flush_deferred_tx() {
 
 void Endpoint::drain() {
   for (;;) {
-    if (cfg_.flow_control) {
-      acks_.peers_into(drain_peers_scratch_);
-      for (NodeId peer : drain_peers_scratch_) send_standalone_ack(peer);
-    }
-    if ((!cfg_.flow_control || window_.in_flight() == 0) && rejq_.size() == 0)
-      return;
+    acks_.peers_into(drain_peers_scratch_);
+    for (NodeId peer : drain_peers_scratch_) send_standalone_ack(peer);
+    if (window_.in_flight() == 0 && rejq_.size() == 0) return;
     if (extract() == 0) idle_pause();
   }
 }
 
 void Endpoint::reliability_tick() {
-  if (!cfg_.reliability || in_reliability_tick_) return;
+  if (in_reliability_tick_) return;
   in_reliability_tick_ = true;
   const std::uint64_t now = now_ns();
   timer_.expired_into(now, due_scratch_);
@@ -386,8 +354,6 @@ void Endpoint::reliability_tick() {
     }
     const SendWindow::Stored stored = window_.find(due.dest, due.seq);
     if (stored.data == nullptr) {
-      // Acked (or bounced into the reject queue) between the deadline
-      // passing and the timer firing.
       timer_.disarm(due.dest, due.seq);
       continue;
     }
@@ -395,9 +361,8 @@ void Endpoint::reliability_tick() {
     ++stats_.retransmissions;
     if (trace_.enabled())
       trace_.event(now_ns(), cat_retransmit_, 'i', due.dest, due.seq);
-    // inject() can re-enter extract() on ring backpressure, which may ack
-    // and recycle the slab slot — stage the bytes first. The tick guard
-    // above keeps the nested extract from clobbering the staging buffer.
+    // inject() can re-enter extract() on socket backpressure, which may ack
+    // and recycle the slab slot — stage the bytes first.
     retx_scratch_.assign(stored.data, stored.data + stored.len);
     inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
   }
@@ -412,8 +377,6 @@ void Endpoint::mark_peer_dead(NodeId peer) {
   if (!dead_peers_.insert(peer).second) return;
   ++stats_.peers_dead;
   if (trace_.enabled()) trace_.event(now_ns(), cat_dead_peer_, 'i', peer, 0);
-  // Drop every piece of state aimed at (or held for) the dead peer so
-  // blocked senders unblock and no slot stays pinned.
   stats_.frames_discarded_dead += window_.drop_dest(peer);
   timer_.disarm_all(peer);
   stats_.frames_discarded_dead += rejq_.drop_dest(peer);
@@ -428,9 +391,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
                              std::size_t len) {
   auto hdr = decode_header(data, len);
   if (!hdr.has_value()) {
-    // Only injected corruption can produce wire garbage here; on a
-    // lossless ring a malformed frame is a protocol bug.
-    FM_CHECK_MSG(faults_ != nullptr, "malformed frame on ring");
+    // On a real network wire garbage is weather, not a protocol bug (the
+    // shm backend can afford to FM_CHECK here; a socket cannot).
     ++stats_.malformed_frames;
     return;
   }
@@ -441,9 +403,9 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       trace_.event(now_ns(), cat_crc_drop_, 'i', from, h.seq);
     return;  // no ack — the sender's retransmit timer recovers the frame
   }
-  // Acks are attributed to the ring the frame arrived on (`from`), not the
-  // header's src field: the transport source is ground truth even when the
-  // payload bytes are suspect.
+  // Acks are attributed to the datagram's transport source (`from`), not
+  // the header's src field: the kernel-reported address is ground truth
+  // even when the payload bytes are suspect.
   for (std::size_t i = 0; i < h.ack_count; ++i) {
     std::uint32_t seq = frame_ack(h, data, i);
     timer_.disarm(from, seq);
@@ -453,28 +415,22 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
     case FrameType::kAck:
       break;
     case FrameType::kReject: {
-      // One of our data frames bounced off `from`; park a cleaned copy
-      // (type restored, stale piggybacked acks stripped) for retransmission.
       if (h.src != id_) {
-        FM_CHECK_MSG(faults_ != nullptr, "reject for a frame we never sent");
+        // A reject for a frame we never sent: stray or corrupted. Drop.
         ++stats_.malformed_frames;
         return;
       }
       ++stats_.rejects_received;
-      // The rejection proved the peer alive; the reject-queue backoff now
-      // owns this frame and the timer re-arms at re-injection.
-      if (cfg_.reliability) timer_.disarm(from, h.seq);
+      timer_.disarm(from, h.seq);
       FrameHeader clean = h;
       clean.type = FrameType::kData;
       clean.ack_count = 0;
-      // clean inherits the CRC flag, so encode_frame recomputes a valid
-      // trailer over the cleaned frame.
       rejq_.add(from, h.seq,
                 encode_frame(clean, frame_payload(h, data), nullptr));
       break;
     }
     case FrameType::kData: {
-      if (cfg_.reliability && dedup_.seen(from, h.seq)) {
+      if (dedup_.seen(from, h.seq)) {
         // Already accepted once: suppress delivery but re-ack, since the
         // duplicate usually means our first ack was lost with the original.
         ++stats_.duplicates_suppressed;
@@ -487,8 +443,6 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       if (h.fragmented()) {
         switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns())) {
           case Reassembler::Feed::kMalformed:
-            FM_CHECK_MSG(faults_ != nullptr,
-                         "malformed fragment on a lossless shm ring");
             ++stats_.malformed_frames;
             return;  // dropped: no ack, no dedup mark
           case Reassembler::Feed::kRejected:
@@ -517,8 +471,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
         handlers_.dispatch(h.handler, *this, from, payload, h.payload_len);
         in_handler_ = false;
       }
-      if (cfg_.reliability) dedup_.mark(from, h.seq);
-      if (cfg_.flow_control) acks_.note(from, h.seq);
+      dedup_.mark(from, h.seq);
+      acks_.note(from, h.seq);
       break;
     }
   }
@@ -529,13 +483,10 @@ void Endpoint::drain_posted() {
   draining_posted_ = true;
   while (posted_head_ < posted_.size()) {
     // Index on every access: a blocked send nests extract(), and a handler
-    // running there may post more, reallocating posted_. The payload's own
-    // heap buffer is stable across that reallocation (vector move).
+    // running there may post more, reallocating posted_.
     Status s = send(posted_[posted_head_].dest, posted_[posted_head_].handler,
                     posted_[posted_head_].payload.data(),
                     posted_[posted_head_].payload.size());
-    // A posted reply to a peer that died while it sat queued is dropped,
-    // not a crash.
     FM_CHECK_MSG(ok(s) || s == Status::kPeerDead, "posted send failed");
     posted_pool_.push_back(std::move(posted_[posted_head_]));
     ++posted_head_;
@@ -555,8 +506,6 @@ void Endpoint::send_standalone_ack(NodeId peer) {
   if (cfg_.crc_frames) h.flags |= FrameHeader::kFlagCrc;
   h.ack_count = static_cast<std::uint8_t>(n);
   ++stats_.acks_standalone;
-  // Largest possible ack frame fits on the stack, so each nesting level of
-  // extract() gets its own buffer for free.
   std::uint8_t buf[FrameHeader::kBaseBytes + 4 * kMaxAcksPerFrame +
                    FrameHeader::kCrcBytes];
   const std::size_t wire = encode_frame_into(buf, h, nullptr, acks);
@@ -568,9 +517,9 @@ void Endpoint::defer_reject(NodeId from, const FrameHeader& h,
   FrameHeader rh = h;
   rh.type = FrameType::kReject;
   rh.ack_count = 0;
-  // rh inherits the CRC flag, so encode_frame recomputes a valid trailer.
-  // Parked rather than injected: we are inside a consume batch, and the
-  // backpressure a push can hit must not re-enter extract() from here.
+  // Parked rather than injected: the receive buffer is being processed in
+  // place, and the backpressure a push can hit must not re-enter extract()
+  // from here.
   deferred_tx_.push_back(
       DeferredTx{from, encode_frame(rh, frame_payload(h, data), nullptr)});
 }
@@ -596,4 +545,4 @@ void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
   posted_.push_back(std::move(p));
 }
 
-}  // namespace fm::shm
+}  // namespace fm::net

@@ -1,17 +1,26 @@
-// shm::Endpoint — the FM API over shared memory, for real.
+// net::Endpoint — the FM API over real (lossy) UDP, one process per node.
 //
-// The simulated endpoint reproduces the paper's *numbers*; this endpoint
-// runs the same protocol (frames, return-to-sender, piggybacked acks,
-// segmentation) between OS threads over lock-free SPSC rings, moving real
-// bytes. It is what a downstream user of this library links against to get
-// FM semantics on a modern shared-memory machine — the closest commodity
-// stand-in for the paper's Myrinet testbed available here (see DESIGN.md's
-// substitution table).
+// The third backend. The sim endpoint reproduces the paper's numbers, the
+// shm endpoint runs the protocol between threads over lossless rings; this
+// endpoint runs the identical protocol between *separate OS processes*
+// over the kernel's UDP/loopback path, where drops, reorders, and
+// duplicates are supplied by a genuinely unreliable substrate instead of a
+// fault injector: one datagram is one FM frame (≈ one Myrinet packet), the
+// socket receive buffer is the NIC receive ring, and a kernel drop on a
+// full buffer is a link fault (docs/PROTOCOL.md §9 maps the layers).
 //
-// Threading: each Endpoint belongs to exactly one thread (FM was
-// single-threaded per node too). Handlers run inside extract() on the
-// owning thread; a handler that wants to communicate uses post_send*()
-// exactly as with the simulated endpoint.
+// Consequently FM-R is mandatory here — the constructor rejects a config
+// without `reliability` — because UDP offers none of the delivery
+// guarantees the lossless shm rings gave for free. The PR 1 protocol
+// stack (SendWindow / RetransmitTimer / DedupFilter / CRC trailer) is
+// reused unchanged, and the hot path keeps the PR 2 discipline: frames are
+// serialized once, straight into the send-window slab, and handed to
+// sendto() from there — zero heap allocations per steady-state cycle
+// (tests/net/net_alloc_test.cc enforces it).
+//
+// Threading: each Endpoint belongs to exactly one process (its fork()ed
+// node). Handlers run inside extract() on that process, as on the other
+// backends.
 #pragma once
 
 #include <array>
@@ -28,23 +37,19 @@
 #include "fm/handler_registry.h"
 #include "fm/protocol.h"
 #include "hw/fault.h"
+#include "net/socket.h"
 #include "obs/counters.h"
 #include "obs/registry.h"
 #include "obs/trace_ring.h"
-#include "shm/spsc_ring.h"
 
-namespace fm::shm {
+namespace fm::net {
 
 class Cluster;
 
-/// One node of the shared-memory FM cluster.
+/// One node of the UDP FM cluster.
 class Endpoint {
  public:
   using Handler = HandlerRegistry<Endpoint>::Fn;
-
-  /// Layer statistics: the FM-Scope shared counter block — one definition
-  /// for both backends (fm::SimEndpoint uses the same alias), registered by
-  /// name into this endpoint's registry().
   using Stats = obs::EndpointCounters;
 
   Endpoint(const Endpoint&) = delete;
@@ -59,9 +64,9 @@ class Endpoint {
   /// FM_send (segments beyond one frame).
   Status send(NodeId dest, HandlerId handler, const void* buf,
               std::size_t len);
-  /// FM_extract: processes currently deliverable frames; returns count.
+  /// FM_extract: processes currently deliverable datagrams; returns count.
   std::size_t extract();
-  /// Extracts until `pred()` holds (spins with yields while idle).
+  /// Extracts until `pred()` holds (poll()s the socket while idle).
   template <typename Pred>
   void extract_until(Pred&& pred) {
     while (!pred()) {
@@ -78,9 +83,7 @@ class Endpoint {
   void post_send(NodeId dest, HandlerId handler, const void* buf,
                  std::size_t len);
 
-  /// Context-aware send for layered protocols whose code runs both from
-  /// application context and from handler context: sends immediately when
-  /// legal, otherwise posts (injected when the running extract() finishes).
+  /// Context-aware send for layered protocols (see shm::Endpoint).
   Status send_or_post(NodeId dest, HandlerId handler, const void* buf,
                       std::size_t len) {
     if (!in_handler_) return send(dest, handler, buf, len);
@@ -102,28 +105,30 @@ class Endpoint {
   bool peer_dead(NodeId peer) const { return dead_peers_.count(peer) > 0; }
   const Stats& stats() const { return stats_; }
   const FmConfig& config() const { return cfg_; }
-  /// This endpoint's sender-side fault source (null when faults are off).
   const hw::FaultInjector* faults() const { return faults_.get(); }
-  /// FM-Scope registry ("shm.node<id>"): every Stats field as a named
-  /// counter plus ring/queue occupancy gauges. Sample from the owning
-  /// thread, or after Cluster::run() returned.
+
+  /// Socket-level counters (beneath the protocol's Stats).
+  std::uint64_t datagrams_tx() const { return datagrams_tx_; }
+  std::uint64_t datagrams_rx() const { return datagrams_rx_; }
+  std::uint64_t ewouldblock_stalls() const { return ewouldblock_stalls_; }
+  /// Datagrams from ports no rank owns (counted, dropped, never dispatched).
+  std::uint64_t stray_datagrams() const { return stray_datagrams_; }
+  /// Datagrams the kernel dropped on our full receive buffer (cumulative,
+  /// from SO_RXQ_OVFL; stays 0 where the option is unavailable).
+  std::uint64_t kernel_drops() const { return kernel_drops_; }
+
+  /// FM-Scope registry ("net.node<id>").
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
-  /// FM-Scope trace ring. Disabled by default (one branch per hot-path
-  /// event site); trace_ring().enable(n) starts the flight recorder —
-  /// still allocation-free on the hot path (shm_alloc_test enforces it).
   obs::TraceRing& trace_ring() { return trace_; }
   const obs::TraceRing& trace_ring() const { return trace_; }
 
  private:
   friend class Cluster;
   Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
-           const hw::FaultParams& faults);
+           const hw::FaultParams& faults, UdpSocket& sock,
+           std::size_t extract_budget);
 
-  // Frames consumed from a ring per head publish: the shm analogue of the
-  // paper's receive aggregation (one cross-core index update amortized over
-  // a burst), kept modest so a blocked producer sees freed slots promptly.
-  static constexpr std::size_t kExtractBatch = 32;
   // Wire-format bound on acks per frame (ack_count is a u8).
   static constexpr std::size_t kMaxAcksPerFrame = 255;
 
@@ -142,16 +147,11 @@ class Endpoint {
                          const std::uint8_t* payload, std::size_t len,
                          bool fragmented, std::uint32_t msg_id,
                          std::uint16_t frag_index, std::uint16_t frag_count);
-  // `window_seq` names the send-window entry when `frame` points into the
-  // window slab (0 — never a valid seq — otherwise): a blocked push must
-  // re-validate the slot after nested extract()s, which can release and
-  // recycle it (see push()).
   void inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
               std::uint32_t window_seq = 0);
   void push(NodeId dest, const std::uint8_t* frame, std::size_t len,
             std::uint32_t window_seq = 0);
-  void process_frame(NodeId from, const std::uint8_t* data,
-                     std::size_t len);
+  void process_frame(NodeId from, const std::uint8_t* data, std::size_t len);
   void send_standalone_ack(NodeId peer);
   void defer_reject(NodeId from, const FrameHeader& h,
                     const std::uint8_t* data);
@@ -165,6 +165,8 @@ class Endpoint {
   Cluster& cluster_;
   NodeId id_;
   FmConfig cfg_;
+  UdpSocket& sock_;
+  std::size_t extract_budget_;
   HandlerRegistry<Endpoint> handlers_;
   SendWindow window_;
   AckTracker acks_;
@@ -174,29 +176,29 @@ class Endpoint {
   DedupFilter dedup_;
   std::unordered_set<NodeId> dead_peers_;
   Stats stats_;
+  // Socket counters (the layer below Stats: what the "NIC" actually did).
+  std::uint64_t datagrams_tx_ = 0;
+  std::uint64_t datagrams_rx_ = 0;
+  std::uint64_t ewouldblock_stalls_ = 0;
+  std::uint64_t send_errors_ = 0;
+  std::uint64_t stray_datagrams_ = 0;  ///< From ports no node owns.
+  std::uint64_t kernel_drops_ = 0;     ///< Cumulative SO_RXQ_OVFL reading.
   std::vector<Posted> posted_;
-  std::vector<Posted> posted_pool_;  // recycled entries, warm payload buffers
-  std::size_t posted_head_ = 0;      // consumed prefix of posted_
+  std::vector<Posted> posted_pool_;
+  std::size_t posted_head_ = 0;
   std::unordered_map<NodeId, std::size_t> credits_;  // window mode only
-  // Sender-side fault injection (the shm stand-in for the switch fabric's
-  // FaultInjector; one per endpoint so the SPSC rings stay single-writer).
   std::unique_ptr<hw::FaultInjector> faults_;
   std::unordered_map<NodeId, std::vector<std::uint8_t>> reorder_held_;
-  // Reusable buffers that keep the steady-state hot path off the heap.
-  // tx_scratch_ holds in-flight frame bytes for sends without a window slab
-  // slot; it is depth-indexed because a posted send drained from a nested
-  // extract() can overlap one app-context send (and only one — drain_posted
-  // is re-entrancy-guarded).
+  // Preallocated buffers that keep the steady-state hot path off the heap
+  // (same inventory as shm::Endpoint, plus the datagram receive buffer).
+  std::vector<std::uint8_t> rx_buf_;  ///< One inbound datagram, in place.
   std::array<std::vector<std::uint8_t>, 2> tx_scratch_;
   std::size_t tx_depth_ = 0;
-  std::vector<std::uint8_t> retx_scratch_;   // staged retransmission bytes
-  std::vector<std::uint8_t> reasm_out_;      // completed reassembled message
-  std::vector<NodeId> ack_peers_scratch_;    // extract()'s ack-flush worklist
-  std::vector<NodeId> drain_peers_scratch_;  // drain()'s ack worklist
-  std::vector<RetransmitTimer::Due> due_scratch_;  // reliability_tick()'s
-  // Rejects owed for frames processed in place inside a ring slot: injecting
-  // mid-batch could re-enter extract() while unpublished frames are live, so
-  // they are encoded at processing time and injected after the batch.
+  std::vector<std::uint8_t> retx_scratch_;
+  std::vector<std::uint8_t> reasm_out_;
+  std::vector<NodeId> ack_peers_scratch_;
+  std::vector<NodeId> drain_peers_scratch_;
+  std::vector<RetransmitTimer::Due> due_scratch_;
   std::vector<DeferredTx> deferred_tx_;
   std::vector<DeferredTx> deferred_flush_scratch_;
   std::uint32_t next_msg_id_ = 1;
@@ -205,8 +207,6 @@ class Endpoint {
   bool flushing_deferred_ = false;
   bool in_ack_flush_ = false;
   bool in_reliability_tick_ = false;
-  // FM-Scope. Category ids are interned at construction so the hot path
-  // stores 16-bit ids, never strings.
   obs::TraceRing trace_;
   std::uint16_t cat_send_ = 0;
   std::uint16_t cat_extract_ = 0;
@@ -217,9 +217,10 @@ class Endpoint {
   std::uint16_t cat_dup_ = 0;
   std::uint16_t cat_dead_peer_ = 0;
   std::uint16_t cat_depth_ = 0;
-  // Declared last on purpose: the registry's gauges reference the members
-  // above, so it must be destroyed first (reverse declaration order).
+  std::uint16_t cat_stall_ = 0;
+  // Declared last on purpose: gauges reference the members above, so the
+  // registry must be destroyed first (reverse declaration order).
   obs::Registry registry_;
 };
 
-}  // namespace fm::shm
+}  // namespace fm::net

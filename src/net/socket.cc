@@ -1,0 +1,129 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace fm::net {
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  FM_CHECK_MSG(fd_ >= 0, "socket(AF_INET, SOCK_DGRAM) failed");
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  FM_CHECK(flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0);
+#ifdef SO_RXQ_OVFL
+  // Ask the kernel to attach its cumulative receive-queue drop count to
+  // every received datagram — the ground truth for "the link lost frames".
+  int on = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_RXQ_OVFL, &on, sizeof on);
+#endif
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // OS-assigned
+  FM_CHECK_MSG(
+      ::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) == 0,
+      "bind(127.0.0.1:0) failed");
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  FM_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0);
+  port_ = ntohs(bound.sin_port);
+  FM_CHECK(port_ != 0);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpSocket::set_buffer_sizes(int rcvbuf_bytes, int sndbuf_bytes) {
+  // Best-effort: the kernel clamps to [SOCK_MIN_*BUF, *mem_max] anyway, and
+  // the tests that depend on a small buffer assert on observed drops, not
+  // on the buffer size they asked for.
+  if (rcvbuf_bytes > 0)
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                       sizeof rcvbuf_bytes);
+  if (sndbuf_bytes > 0)
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDBUF, &sndbuf_bytes,
+                       sizeof sndbuf_bytes);
+}
+
+UdpSocket::SendResult UdpSocket::send_to(const sockaddr_in& addr,
+                                         const void* buf, std::size_t len) {
+  for (;;) {
+    const ssize_t n =
+        ::sendto(fd_, buf, len, 0, reinterpret_cast<const sockaddr*>(&addr),
+                 sizeof addr);
+    if (n >= 0) return SendResult::kOk;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+      return SendResult::kWouldBlock;
+    // ECONNREFUSED etc.: the datagram is lost exactly like a dropped
+    // packet; FM-R's retransmit timer owns recovery.
+    return SendResult::kError;
+  }
+}
+
+long UdpSocket::recv_one(void* buf, std::size_t cap, std::uint16_t* src_port,
+                         std::uint64_t* rxq_drops) {
+  sockaddr_in src{};
+  iovec iov{buf, cap};
+  msghdr msg{};
+  msg.msg_name = &src;
+  msg.msg_namelen = sizeof src;
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+#ifdef SO_RXQ_OVFL
+  alignas(cmsghdr) char ctl[CMSG_SPACE(sizeof(std::uint32_t))];
+  msg.msg_control = ctl;
+  msg.msg_controllen = sizeof ctl;
+#endif
+  for (;;) {
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;  // EAGAIN or a transient error: nothing deliverable now
+    }
+#ifdef SO_RXQ_OVFL
+    if (rxq_drops != nullptr) {
+      for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+           c = CMSG_NXTHDR(&msg, c)) {
+        if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+          std::uint32_t dropped = 0;
+          std::memcpy(&dropped, CMSG_DATA(c), sizeof dropped);
+          *rxq_drops = dropped;
+        }
+      }
+    }
+#else
+    (void)rxq_drops;
+#endif
+    if (src_port != nullptr) *src_port = ntohs(src.sin_port);
+    return static_cast<long>(n);
+  }
+}
+
+bool UdpSocket::wait_readable(int timeout_ms) {
+  pollfd p{fd_, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r < 0 && errno == EINTR) continue;
+    return r > 0 && (p.revents & POLLIN) != 0;
+  }
+}
+
+sockaddr_in UdpSocket::loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace fm::net

@@ -1,0 +1,66 @@
+// A thin RAII wrapper over one nonblocking loopback UDP socket — the
+// net backend's "network interface". One datagram carries one FM frame
+// (the UDP analogue of one Myrinet packet; see docs/PROTOCOL.md §9), so
+// the socket API is deliberately datagram-shaped: send one frame to a
+// peer address, receive one frame with its source port, and surface the
+// kernel's own receive-queue overflow count (SO_RXQ_OVFL) — the real
+// "link fault" this backend is built to exercise.
+#pragma once
+
+#include <netinet/in.h>
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fm::net {
+
+/// One bound, nonblocking UDP/IPv4 socket on 127.0.0.1 with an
+/// OS-assigned port. Construction aborts (FM_CHECK) on any socket-layer
+/// failure: a harness that cannot even open its NIC has nothing to test.
+class UdpSocket {
+ public:
+  UdpSocket();
+  ~UdpSocket();
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  int fd() const { return fd_; }
+  /// The OS-assigned port (host byte order) — the node's "network address".
+  std::uint16_t port() const { return port_; }
+
+  /// Shrinks/grows the kernel buffers (0 leaves the default). Small receive
+  /// buffers are how soak tests force *real* kernel drops instead of
+  /// injected ones.
+  void set_buffer_sizes(int rcvbuf_bytes, int sndbuf_bytes);
+
+  enum class SendResult {
+    kOk,          ///< Datagram handed to the kernel.
+    kWouldBlock,  ///< EWOULDBLOCK / ENOBUFS: transient backpressure.
+    kError,       ///< Anything else; the datagram is gone (retransmit path).
+  };
+
+  /// Sends one datagram to `addr` (nonblocking).
+  SendResult send_to(const sockaddr_in& addr, const void* buf,
+                     std::size_t len);
+
+  /// Receives one datagram into `buf` (nonblocking). Returns the byte
+  /// count, or -1 when nothing is queued. `src_port` gets the sender's
+  /// port; `rxq_drops` (when SO_RXQ_OVFL is available) is updated with the
+  /// kernel's cumulative count of datagrams dropped on this socket's
+  /// receive queue.
+  long recv_one(void* buf, std::size_t cap, std::uint16_t* src_port,
+                std::uint64_t* rxq_drops);
+
+  /// Blocks up to `timeout_ms` for the socket to become readable.
+  /// Returns true when it did.
+  bool wait_readable(int timeout_ms);
+
+  /// The loopback sockaddr for a given port (host byte order).
+  static sockaddr_in loopback_addr(std::uint16_t port);
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace fm::net

@@ -18,12 +18,23 @@ Cluster::Cluster(std::size_t nodes, FmConfig cfg, std::size_t ring_slots,
   barrier_ = std::make_unique<std::barrier<>>(static_cast<long>(nodes));
 }
 
-void Cluster::run(const std::function<void(Endpoint&)>& node_main) {
+RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
   std::vector<std::thread> threads;
   threads.reserve(endpoints_.size());
   for (auto& ep : endpoints_)
     threads.emplace_back([&node_main, &ep] { node_main(*ep); });
   for (auto& t : threads) t.join();
+  RunReport report;
+  for (NodeId i = 0; i < endpoints_.size(); ++i) {
+    report.ranks.push_back(RankStatus{i, true, 0, 0});
+    auto snap = endpoints_[i]->registry().snapshot();
+    report.samples.insert(report.samples.end(), snap.begin(), snap.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    report.metrics = reported_;
+  }
+  return report;
 }
 
 }  // namespace fm::shm

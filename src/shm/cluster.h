@@ -9,14 +9,24 @@
 //     if (ep.id() == 0) ep.send4(1, h, 1, 2, 3, 4);
 //     ep.extract_until([&] { ...; });
 //   });
+//
+// Models fm::ClusterBackend (see fm/cluster_runner.h), the same contract
+// the multi-process net::Cluster presents, so programs and tests can be
+// written once against the concept and run over either substrate.
 #pragma once
 
+#include <atomic>
 #include <barrier>
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "fm/cluster_runner.h"
 #include "fm/config.h"
 #include "hw/fault.h"
 #include "shm/endpoint.h"
@@ -26,6 +36,8 @@ namespace fm::shm {
 /// A shared-memory FM cluster.
 class Cluster {
  public:
+  using EndpointType = Endpoint;
+
   /// Builds `nodes` endpoints. Ring geometry: `ring_slots` frames of
   /// wire size (frame payload + header + ack trailer) per ordered pair.
   /// `faults` turns on sender-side fault injection (drop/corrupt/duplicate/
@@ -48,23 +60,44 @@ class Cluster {
 
   /// Registers `fn` on every endpoint; all must agree on the returned id.
   HandlerId register_handler(Endpoint::Handler fn) {
-    HandlerId id = 0;
-    for (std::size_t i = 0; i < endpoints_.size(); ++i) {
-      HandlerId got = endpoints_[i]->register_handler(fn);
-      if (i == 0)
-        id = got;
-      else
-        FM_CHECK_MSG(got == id, "handler registration diverged across nodes");
-    }
-    return id;
+    return register_handler_agreed(
+        size(), [this](NodeId i) -> Endpoint& { return *endpoints_[i]; },
+        std::move(fn));
   }
 
-  /// Runs `node_main(endpoint)` on one thread per node and joins them all.
-  void run(const std::function<void(Endpoint&)>& node_main);
+  /// Runs `node_main(endpoint)` on one thread per node, joins them all,
+  /// and returns the per-rank outcomes plus the merged registry snapshots
+  /// (threads share the address space, so the snapshots are taken directly
+  /// after the join).
+  RunReport run(const std::function<void(Endpoint&)>& node_main);
 
   /// Thread barrier usable from inside node_main (phase synchronization
   /// for benchmarks/examples; not part of the FM API).
   void barrier() { barrier_->arrive_and_wait(); }
+
+  /// Barrier that calls `service()` while waiting instead of parking.
+  /// Rationale: with FM-R on, a rank that stops extracting can starve
+  /// peers whose last ack was lost — they retransmit into a parked node
+  /// until the retry budget declares it dead. Pass a service that keeps
+  /// the endpoint responsive (see fm::barrier_serviced).
+  template <class Service>
+  void barrier(Service&& service) {
+    const std::uint64_t gen = svc_gen_.load(std::memory_order_acquire);
+    if (svc_arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == size()) {
+      svc_arrived_.store(0, std::memory_order_relaxed);
+      svc_gen_.fetch_add(1, std::memory_order_release);
+    } else {
+      while (svc_gen_.load(std::memory_order_acquire) == gen) service();
+    }
+  }
+
+  /// Publishes a named scalar into the RunReport (callable from node_main
+  /// bodies; thread-safe). Keys are cluster-global — rank-qualify the name
+  /// if ranks must not collide.
+  void report(const std::string& key, double value) {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    reported_[key] = value;
+  }
 
   /// The ring carrying frames from `src` to `dst`.
   SpscRing& ring(NodeId src, NodeId dst) {
@@ -76,6 +109,15 @@ class Cluster {
   std::vector<std::unique_ptr<SpscRing>> rings_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
   std::unique_ptr<std::barrier<>> barrier_;
+  // Sense-reversing state for the servicing barrier (independent of the
+  // parking std::barrier so the two flavors can interleave freely).
+  std::atomic<std::size_t> svc_arrived_{0};
+  std::atomic<std::uint64_t> svc_gen_{0};
+  std::mutex report_mu_;
+  std::map<std::string, double> reported_;
 };
+
+static_assert(ClusterBackend<Cluster>,
+              "shm::Cluster must model the shared SPMD contract");
 
 }  // namespace fm::shm

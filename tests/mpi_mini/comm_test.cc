@@ -1,39 +1,51 @@
 // Tests of the FM-MPI layer (point-to-point matching, ordering restoration,
-// and all collectives) on real threads.
+// and all collectives), typed over the transport backend: every test runs
+// once on shm threads and once on the net backend's forked UDP processes.
+// The test bodies are SPMD and share no memory across ranks, which is what
+// lets one body serve both worlds.
 #include "mpi_mini/comm.h"
 
 #include <gtest/gtest.h>
 
-#include <atomic>
 #include <cstring>
 #include <numeric>
 
-#include "shm/cluster.h"
+#include "support/backends.h"
 
-namespace fm::mpi {
+namespace fm {
 namespace {
 
-// Runs `body(comm)` on every rank of an n-node cluster.
-void spmd(std::size_t n, const std::function<void(Comm&)>& body,
-          FmConfig cfg = FmConfig()) {
-  shm::Cluster cluster(n, cfg);
-  cluster.run([&](shm::Endpoint& ep) {
-    Comm comm(ep);
-    body(comm);
-    comm.endpoint().drain();
-  });
-}
+template <class B>
+class CommOn : public ::testing::Test {
+ protected:
+  using C = mpi::BasicComm<typename B::Endpoint>;
 
-TEST(Comm, RankAndSize) {
-  spmd(3, [](Comm& c) {
+  // Runs `body(comm)` on every rank of an n-node cluster.
+  static RunReport spmd(std::size_t n, const std::function<void(C&)>& body,
+                        FmConfig cfg = FmConfig()) {
+    auto cluster = B::make(n, cfg);
+    return B::run(*cluster, [&body](typename B::Endpoint& ep) {
+      C comm(ep);
+      body(comm);
+      comm.endpoint().drain();
+    });
+  }
+};
+
+TYPED_TEST_SUITE(CommOn, testing::BothBackends, testing::BackendNames);
+
+TYPED_TEST(CommOn, RankAndSize) {
+  using C = typename TestFixture::C;
+  this->spmd(3, [](C& c) {
     EXPECT_GE(c.rank(), 0);
     EXPECT_LT(c.rank(), 3);
     EXPECT_EQ(c.size(), 3);
   });
 }
 
-TEST(Comm, SendRecvTaggedMatching) {
-  spmd(2, [](Comm& c) {
+TYPED_TEST(CommOn, SendRecvTaggedMatching) {
+  using C = typename TestFixture::C;
+  this->spmd(2, [](C& c) {
     if (c.rank() == 0) {
       int a = 111, b = 222;
       c.send(1, /*tag=*/7, &a, sizeof a);
@@ -52,12 +64,13 @@ TEST(Comm, SendRecvTaggedMatching) {
   });
 }
 
-TEST(Comm, AnySourceReceivesFromBoth) {
-  spmd(3, [](Comm& c) {
+TYPED_TEST(CommOn, AnySourceReceivesFromBoth) {
+  using C = typename TestFixture::C;
+  this->spmd(3, [](C& c) {
     if (c.rank() == 0) {
       std::vector<std::uint8_t> data;
-      int s1 = c.recv(kAnySource, 5, data);
-      int s2 = c.recv(kAnySource, 5, data);
+      int s1 = c.recv(mpi::kAnySource, 5, data);
+      int s2 = c.recv(mpi::kAnySource, 5, data);
       EXPECT_NE(s1, s2);
       EXPECT_TRUE((s1 == 1 || s1 == 2) && (s2 == 1 || s2 == 2));
     } else {
@@ -67,29 +80,30 @@ TEST(Comm, AnySourceReceivesFromBoth) {
   });
 }
 
-TEST(Comm, PerPeerOrderingIsRestored) {
+TYPED_TEST(CommOn, PerPeerOrderingIsRestored) {
+  using C = typename TestFixture::C;
   // Force FM-level reordering with a tiny reassembly pool and large
   // messages interleaved with small ones, then check the MPI layer delivers
   // per-peer messages in send order.
   FmConfig cfg;
   cfg.reassembly_slots = 1;
   cfg.reject_retry_delay = 1;
-  spmd(
+  this->spmd(
       3,
-      [](Comm& c) {
+      [](C& c) {
         const int kMsgs = 30;
         if (c.rank() == 2) {
           // Drain both peers; per peer the payload counter must ascend.
           int expect[2] = {0, 0};
           for (int i = 0; i < 2 * kMsgs; ++i) {
             std::vector<std::uint8_t> data;
-            int src = c.recv(kAnySource, 1, data);
+            int src = c.recv(mpi::kAnySource, 1, data);
             int v;
             std::memcpy(&v, data.data(), 4);
             EXPECT_EQ(v, expect[src == 1 ? 0 : 1]) << "src " << src;
             ++expect[src == 1 ? 0 : 1];
           }
-        } else if (c.rank() != 2) {
+        } else {
           std::vector<std::uint8_t> big(700, 0);
           for (int i = 0; i < kMsgs; ++i) {
             std::memcpy(big.data(), &i, 4);
@@ -101,25 +115,38 @@ TEST(Comm, PerPeerOrderingIsRestored) {
       cfg);
 }
 
-TEST(Comm, BarrierSynchronizes) {
+TYPED_TEST(CommOn, BarrierOrdersCrossRankEvents) {
+  using C = typename TestFixture::C;
+  // Ranks share no memory (the net backend forks), so the barrier check is
+  // message-based: each rank posts a phase-stamped message to its successor
+  // BEFORE the barrier. The mpi layer restores per-peer order, and the
+  // dissemination barrier's round-0 token to that same successor is sent
+  // after the payload — so once the barrier completes, the payload must
+  // already be matchable without further progress. A barrier that released
+  // early would let iprobe miss it.
   for (std::size_t n : {2u, 3u, 5u}) {
-    std::atomic<int> phase_done{0};
-    spmd(n, [&](Comm& c) {
+    this->spmd(n, [](C& c) {
+      const int next = (c.rank() + 1) % c.size();
+      const int prev = (c.rank() - 1 + c.size()) % c.size();
       for (int phase = 0; phase < 4; ++phase) {
-        ++phase_done;
+        c.send(next, /*tag=*/42, &phase, sizeof phase);
         c.barrier();
-        // After the barrier every rank must have finished this phase.
-        EXPECT_GE(phase_done.load(), (phase + 1) * static_cast<int>(c.size()));
+        EXPECT_TRUE(c.iprobe(prev, 42)) << "phase " << phase;
+        std::vector<std::uint8_t> data;
+        c.recv(prev, 42, data);
+        int got = -1;
+        std::memcpy(&got, data.data(), 4);
+        EXPECT_EQ(got, phase);
       }
     });
-    EXPECT_EQ(phase_done.load(), 4 * static_cast<int>(n));
   }
 }
 
-TEST(Comm, BcastFromEveryRoot) {
+TYPED_TEST(CommOn, BcastFromEveryRoot) {
+  using C = typename TestFixture::C;
   for (std::size_t n : {2u, 4u, 5u}) {
     for (int root = 0; root < static_cast<int>(n); ++root) {
-      spmd(n, [root](Comm& c) {
+      this->spmd(n, [root](C& c) {
         std::uint64_t value = c.rank() == root ? 0xfeedfacecafe + root : 0;
         c.bcast(&value, sizeof value, root);
         EXPECT_EQ(value, 0xfeedfacecafeull + root);
@@ -128,12 +155,14 @@ TEST(Comm, BcastFromEveryRoot) {
   }
 }
 
-TEST(Comm, ReduceSum) {
-  spmd(4, [](Comm& c) {
+TYPED_TEST(CommOn, ReduceSum) {
+  using C = typename TestFixture::C;
+  this->spmd(4, [](C& c) {
     std::int64_t in[3] = {c.rank() + 1, 10 * (c.rank() + 1), 0};
     std::int64_t out[3] = {-1, -1, -1};
-    c.reduce<std::int64_t>(in, out, 3, /*root=*/0,
-                           [](std::int64_t a, std::int64_t b) { return a + b; });
+    c.template reduce<std::int64_t>(
+        in, out, 3, /*root=*/0,
+        [](std::int64_t a, std::int64_t b) { return a + b; });
     if (c.rank() == 0) {
       EXPECT_EQ(out[0], 1 + 2 + 3 + 4);
       EXPECT_EQ(out[1], 10 + 20 + 30 + 40);
@@ -142,30 +171,33 @@ TEST(Comm, ReduceSum) {
   });
 }
 
-TEST(Comm, ReduceMaxToNonzeroRoot) {
-  spmd(5, [](Comm& c) {
+TYPED_TEST(CommOn, ReduceMaxToNonzeroRoot) {
+  using C = typename TestFixture::C;
+  this->spmd(5, [](C& c) {
     double in = 1.5 * c.rank();
     double out = -1;
-    c.reduce<double>(&in, &out, 1, /*root=*/3,
-                     [](double a, double b) { return a > b ? a : b; });
+    c.template reduce<double>(&in, &out, 1, /*root=*/3,
+                              [](double a, double b) { return a > b ? a : b; });
     if (c.rank() == 3) {
       EXPECT_DOUBLE_EQ(out, 6.0);
     }
   });
 }
 
-TEST(Comm, AllreduceGivesEveryRankTheResult) {
-  spmd(4, [](Comm& c) {
+TYPED_TEST(CommOn, AllreduceGivesEveryRankTheResult) {
+  using C = typename TestFixture::C;
+  this->spmd(4, [](C& c) {
     std::int32_t in = 1 << c.rank();
     std::int32_t out = 0;
-    c.allreduce<std::int32_t>(&in, &out, 1, 0,
-                              [](std::int32_t a, std::int32_t b) { return a | b; });
+    c.template allreduce<std::int32_t>(
+        &in, &out, 1, 0, [](std::int32_t a, std::int32_t b) { return a | b; });
     EXPECT_EQ(out, 0b1111);
   });
 }
 
-TEST(Comm, GatherCollectsRankMajor) {
-  spmd(4, [](Comm& c) {
+TYPED_TEST(CommOn, GatherCollectsRankMajor) {
+  using C = typename TestFixture::C;
+  this->spmd(4, [](C& c) {
     std::int32_t mine = 100 + c.rank();
     std::vector<std::int32_t> all(4, -1);
     c.gather(&mine, sizeof mine, all.data(), /*root=*/1);
@@ -175,8 +207,9 @@ TEST(Comm, GatherCollectsRankMajor) {
   });
 }
 
-TEST(Comm, ScatterDistributesBlocks) {
-  spmd(3, [](Comm& c) {
+TYPED_TEST(CommOn, ScatterDistributesBlocks) {
+  using C = typename TestFixture::C;
+  this->spmd(3, [](C& c) {
     std::vector<std::int32_t> blocks = {7, 8, 9};
     std::int32_t mine = -1;
     c.scatter(blocks.data(), sizeof(std::int32_t), &mine, /*root=*/0);
@@ -184,7 +217,8 @@ TEST(Comm, ScatterDistributesBlocks) {
   });
 }
 
-TEST(Comm, PipelineOfCollectivesStaysCoherent) {
+TYPED_TEST(CommOn, PipelineOfCollectivesStaysCoherent) {
+  using C = typename TestFixture::C;
   // A small "application": iterative allreduce rounds, as a fine-grained
   // solver would issue them — verified against a serial recomputation.
   const int kRanks = 4, kIters = 10;
@@ -195,12 +229,12 @@ TEST(Comm, PipelineOfCollectivesStaysCoherent) {
     double sum = std::accumulate(model.begin(), model.end(), 0.0);
     for (int r = 0; r < kRanks; ++r) model[r] = sum / kRanks + r;
   }
-  spmd(kRanks, [&](Comm& c) {
+  this->spmd(kRanks, [&model](C& c) {
     double x = c.rank() + 1.0;
     for (int iter = 0; iter < kIters; ++iter) {
       double sum = 0;
-      c.allreduce<double>(&x, &sum, 1, 0,
-                          [](double a, double b) { return a + b; });
+      c.template allreduce<double>(&x, &sum, 1, 0,
+                                   [](double a, double b) { return a + b; });
       x = sum / kRanks + c.rank();
     }
     EXPECT_DOUBLE_EQ(x, model[c.rank()]);
@@ -208,4 +242,4 @@ TEST(Comm, PipelineOfCollectivesStaysCoherent) {
 }
 
 }  // namespace
-}  // namespace fm::mpi
+}  // namespace fm

@@ -1,0 +1,168 @@
+// Heap discipline of the net transport's steady state: after warmup, a
+// send4 ping-pong over real UDP sockets — with the full FM-R stack on, as
+// this backend mandates — must perform ZERO heap allocations. The frame is
+// serialized once into the send-window slab and handed to sendto() from
+// there; the receive path processes each datagram in place in the
+// preallocated receive buffer; timers, dedup, acks, and posted replies all
+// run out of pooled or warmed storage.
+//
+// The measurement runs inside rank 0's forked child (the counters are
+// process-global, which is exactly right: each rank is a process), and the
+// result crosses back to the asserting parent via Cluster::report().
+//
+// The global operator new/delete overrides are why this lives in its own
+// test binary: the counters must see every allocation in the process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "net/cluster.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+// Every overridden operator new funnels through these two — including the
+// nothrow and aligned variants, so an allocation on any path bumps the
+// counter and cannot slip past the zero-allocation assertions. They return
+// nullptr on failure; the throwing operators turn that into bad_alloc.
+void* counted_alloc(std::size_t size) noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  return std::aligned_alloc(align, (size + align - 1) / align * align);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace fm::net {
+namespace {
+
+TEST(NetAllocFree, Send4PingPongSteadyStateWithReliabilityOn) {
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  // Lockstep ping-pong over loopback never legitimately loses a datagram;
+  // park the retransmit timers far away so the measured window contains
+  // only the true steady-state cycle (a fired timer would be recovery, not
+  // steady state — and its scratch is pooled anyway).
+  cfg.retransmit_timeout_ns = 10'000'000'000ull;  // 10 s
+  Cluster cluster(2, cfg);
+  std::size_t pings = 0, pongs = 0;  // child-local
+  HandlerId hpong = cluster.register_handler(
+      [&](Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
+  HandlerId hping = cluster.register_handler(
+      [&](Endpoint& ep, NodeId src, const void*, std::size_t) {
+        ++pings;
+        ep.post_send4(src, hpong, 1, 2, 3, 4);
+      });
+  constexpr std::size_t kWarmup = 200;
+  constexpr std::size_t kMeasured = 2000;
+  RunReport r = cluster.run([&](Endpoint& ep) {
+    if (ep.id() == 0) {
+      for (std::size_t i = 0; i < kWarmup; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= i + 1; });
+      }
+      cluster.barrier();
+      g_allocs.store(0);
+      g_counting.store(true);
+      for (std::size_t i = 0; i < kMeasured; ++i) {
+        (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= kWarmup + i + 1; });
+      }
+      g_counting.store(false);
+      const std::uint64_t measured = g_allocs.load();
+      cluster.barrier();
+      ep.drain();
+      EXPECT_EQ(measured, 0u)
+          << measured << " heap allocations in " << kMeasured
+          << " steady-state send4 round trips over UDP (send + extract with "
+             "FM-R on must be allocation-free)";
+      cluster.report("rank0.allocs", static_cast<double>(measured));
+      if (::testing::Test::HasFailure()) cluster.mark_child_failed();
+    } else {
+      ep.extract_until([&] { return pings >= kWarmup; });
+      cluster.barrier();
+      ep.extract_until([&] { return pings >= kWarmup + kMeasured; });
+      cluster.barrier();
+      ep.drain();
+    }
+  });
+  // The forked rank did the measuring; the exit status carries its verdict
+  // and the reported metric carries the number.
+  EXPECT_TRUE(r.all_clean());
+  ASSERT_EQ(r.metrics.count("rank0.allocs"), 1u);
+  EXPECT_EQ(r.metrics.at("rank0.allocs"), 0.0);
+}
+
+}  // namespace
+}  // namespace fm::net

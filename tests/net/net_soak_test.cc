@@ -1,0 +1,192 @@
+// The acceptance soaks for the net backend: the FM-R stack surviving a
+// substrate that genuinely loses datagrams (small socket buffers make the
+// kernel drop under load — no fault injector in the loop), and degrading
+// correctly when a rank is SIGKILLed mid-run (a real process death, which
+// only a multi-process backend can stage).
+//
+// Ranks are forked processes: all completion signalling runs over FM
+// itself (done-marker messages) and the harness barrier — no shared
+// atomics, unlike the shm soaks.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "net/cluster.h"
+#include "support/backends.h"
+
+namespace fm::net {
+namespace {
+
+TEST(NetSoak, KernelDropSoakExactlyOnce) {
+  // Many-to-many random traffic through receive buffers far too small for
+  // the offered load: the kernel drops datagrams on the floor (SO_RXQ_OVFL
+  // counts them), and the retransmission timers must recover every one.
+  const std::size_t kNodes = 4;
+  const int kMsgsPerNode = 1000;
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  cfg.retransmit_timeout_ns = 2'000'000;  // 2 ms
+  cfg.max_retries = 30;  // heavy loss must never read as a dead peer
+  // The reassembly TTL must exceed the full backed-off retransmission
+  // horizon (~3.3 s at 2 ms x 30 retries), or a slot can expire while a
+  // lost fragment is still legitimately retrying and the message is lost.
+  cfg.reassembly_ttl_ns = 20'000'000'000ull;
+  NetConfig nc;
+  nc.so_rcvbuf = 2048;  // the kernel clamps to its floor — still tiny
+  nc.run_timeout_ns = 90'000'000'000ull;
+  Cluster cluster(kNodes, cfg, nc);
+  // Child-local (each rank's COW copy): exactly-once bookkeeping.
+  std::map<std::pair<NodeId, std::uint32_t>, int> delivered;
+  std::size_t my_delivered = 0;
+  int done_from = 0;
+  HandlerId h = cluster.register_handler(
+      [&](Endpoint&, NodeId src, const void* data, std::size_t len) {
+        ASSERT_GE(len, 8u);
+        std::uint32_t tag, fill;
+        std::memcpy(&tag, data, 4);
+        std::memcpy(&fill, static_cast<const std::uint8_t*>(data) + 4, 4);
+        const auto* p = static_cast<const std::uint8_t*>(data);
+        for (std::size_t i = 8; i < len; ++i)
+          ASSERT_EQ(p[i], static_cast<std::uint8_t>(fill));
+        ++delivered[{src, tag}];
+        ++my_delivered;
+      });
+  HandlerId hdone = cluster.register_handler(
+      [&](Endpoint&, NodeId, const void*, std::size_t) { ++done_from; });
+  RunReport r = testing::NetBackend::run(cluster, [&](Endpoint& ep) {
+    Xoshiro256 rng(ep.id() * 31 + 7);
+    std::vector<std::uint8_t> buf(2048);
+    for (int m = 0; m < kMsgsPerNode; ++m) {
+      NodeId dest;
+      do {
+        dest = static_cast<NodeId>(rng.below(kNodes));
+      } while (dest == ep.id());
+      // Mostly single-frame, some segmented.
+      std::size_t len =
+          8 + (rng.chance(0.2) ? rng.below(1200) : rng.below(100));
+      std::uint32_t tag = static_cast<std::uint32_t>(m);
+      std::uint32_t fill = static_cast<std::uint32_t>(rng());
+      std::memcpy(buf.data(), &tag, 4);
+      std::memcpy(buf.data() + 4, &fill, 4);
+      for (std::size_t i = 8; i < len; ++i)
+        buf[i] = static_cast<std::uint8_t>(fill);
+      ASSERT_TRUE(ok(ep.send(dest, h, buf.data(), len)));
+      if ((m & 3) == 3) ep.extract();
+    }
+    ep.drain();
+    // All our data is acked (= delivered at its receivers); tell everyone.
+    for (NodeId peer = 0; peer < kNodes; ++peer)
+      if (peer != ep.id()) ASSERT_TRUE(ok(ep.send4(peer, hdone, 0, 0, 0, 0)));
+    // Stay responsive until every rank has drained: their retransmissions
+    // still need our acks (drain() inside the predicate flushes what we
+    // owe), and the done markers arrive over FM like any other message.
+    ep.extract_until([&] {
+      ep.drain();
+      return done_from >= static_cast<int>(kNodes) - 1;
+    });
+    // Exactly-once, intact, at this rank.
+    for (const auto& [key, count] : delivered)
+      EXPECT_EQ(count, 1) << "src " << key.first << " tag " << key.second;
+    ep.drain();
+    cluster.report("rank" + std::to_string(ep.id()) + ".delivered",
+                   static_cast<double>(my_delivered));
+    // Stay responsive until every window in the cluster is empty (a peer's
+    // retransmission of a kernel-dropped final ack must find us extracting,
+    // not parked), and close no socket while a peer could still retry.
+    barrier_serviced(cluster, ep);
+  });
+  EXPECT_FALSE(r.timed_out);
+  // Global conservation from the merged per-rank counters: every message
+  // counted sent was delivered exactly somewhere, none abandoned.
+  obs::Conservation k = r.conservation();
+  EXPECT_TRUE(k.balanced())
+      << "messages lost without accounting: sent=" << k.sent
+      << " delivered=" << k.delivered << " abandoned=" << k.abandoned;
+  EXPECT_EQ(r.sum_counter("peers_dead"), 0.0);
+  const double kTotal = kNodes * static_cast<double>(kMsgsPerNode) +
+                        kNodes * (kNodes - 1.0);  // data + done markers
+  EXPECT_EQ(r.sum_counter("messages_delivered"), kTotal);
+  // The per-rank report() metrics count data deliveries only (the done
+  // markers go to a different handler).
+  double reported = 0;
+  for (const auto& [key, value] : r.metrics) reported += value;
+  EXPECT_EQ(reported, kNodes * static_cast<double>(kMsgsPerNode));
+  // The run was genuinely lossy and the timers genuinely recovered it.
+  EXPECT_GT(r.sum_counter("retransmit_timeouts"), 0.0);
+  EXPECT_GT(r.sum_counter("duplicates_suppressed"), 0.0);
+#ifdef SO_RXQ_OVFL
+  EXPECT_GT(r.sum_counter("kernel_drops"), 0.0)
+      << "the tiny receive buffers should have forced real kernel drops";
+#endif
+}
+
+TEST(NetSoak, SigkilledRankIsDeclaredDeadBySurvivors) {
+  const std::size_t kNodes = 3;
+  const NodeId kVictim = 2;
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  cfg.retransmit_timeout_ns = 1'000'000;  // 1 ms
+  cfg.max_retries = 5;                    // dead after ~60 ms of silence
+  Cluster cluster(kNodes, cfg);
+  int got = 0;
+  HandlerId h = cluster.register_handler(
+      [&](Endpoint&, NodeId, const void*, std::size_t) { ++got; });
+  RunReport r = cluster.run([&](Endpoint& ep) {
+    if (ep.id() == kVictim) {
+      raise(SIGKILL);  // an actual process death, mid-protocol
+      return;          // unreachable
+    }
+    const NodeId buddy = ep.id() == 0 ? 1 : 0;
+    // Hammer the dead rank until FM-R gives up on it. The send window fills
+    // and blocks; the blocked sender keeps servicing the network until the
+    // retry budget is exhausted and the peer is declared dead.
+    std::uint32_t m = 0;
+    for (;;) {
+      Status s = ep.send4(kVictim, h, m++, 0, 0, 0);
+      if (s == Status::kPeerDead) break;
+      ASSERT_TRUE(ok(s));
+      ep.extract();
+    }
+    EXPECT_TRUE(ep.peer_dead(kVictim));
+    // Fail-fast semantics: once dead, sends error immediately instead of
+    // hanging on a window that will never drain.
+    EXPECT_EQ(ep.send4(kVictim, h, 0, 0, 0, 0), Status::kPeerDead);
+    EXPECT_GT(ep.stats().messages_abandoned, 0u);
+    // The surviving pair still communicates normally.
+    ASSERT_TRUE(ok(ep.send4(buddy, h, 7, 0, 0, 0)));
+    ep.extract_until([&] {
+      ep.drain();
+      return got >= 1;
+    });
+    ep.drain();
+    // Parent releases it for the survivors alone; stay responsive in case
+    // the buddy's last ack needs another round trip.
+    barrier_serviced(cluster, ep);
+    if (::testing::Test::HasFailure()) cluster.mark_child_failed();
+  });
+  ASSERT_EQ(r.ranks.size(), kNodes);
+  EXPECT_TRUE(r.ranks[0].clean());
+  EXPECT_TRUE(r.ranks[1].clean());
+  EXPECT_TRUE(!r.ranks[kVictim].exited &&
+              r.ranks[kVictim].term_signal == SIGKILL)
+      << "victim should have died by SIGKILL, got exit=" << r.ranks[kVictim].exited
+      << " code=" << r.ranks[kVictim].exit_code
+      << " sig=" << r.ranks[kVictim].term_signal;
+  EXPECT_FALSE(r.timed_out);
+  // Both survivors independently declared the victim dead, and the traffic
+  // parked for it was abandoned with accounting (nothing delivered out of
+  // thin air, even though the victim's own counters died with it).
+  EXPECT_EQ(r.sum_counter("peers_dead"), 2.0);
+  EXPECT_GT(r.sum_counter("messages_abandoned"), 0.0);
+  EXPECT_TRUE(r.conservation().no_spontaneous_messages());
+}
+
+}  // namespace
+}  // namespace fm::net
