@@ -1,0 +1,12 @@
+// Fixture: malformed allow comments are themselves findings.
+#include <cstdint>
+
+namespace fixture {
+
+// fm-lint: allow(hotpath-alloc)
+inline void no_justification() {}
+
+// fm-lint: allow(not-a-rule): the rule name must be real
+inline void unknown_rule() {}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: raw assert() trips no-assert; static_assert and the capability
+// claims do not.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+struct Checker {
+  void assert_owner() const {}
+};
+
+inline void check(std::uint32_t n) {
+  assert(n > 0);  // no-assert: vanishes under NDEBUG
+  static_assert(sizeof(std::uint32_t) == 4, "fine");
+  Checker c;
+  c.assert_owner();  // fine: capability claim, not assert()
+}
+
+}  // namespace fixture

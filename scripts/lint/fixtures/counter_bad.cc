@@ -1,0 +1,24 @@
+// Fixture: counter-scope violations — a name breaking the grammar, a name
+// missing from the docs, and a registry scope outside the known backends.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Registry {
+  explicit Registry(std::string scope);
+  void counter(const char* name, const std::uint64_t* cell);
+  void gauge(const char* name, double (*fn)());
+};
+
+inline void wire(Registry& r, const std::uint64_t* cell) {
+  r.counter("Frames.Sent", cell);     // counter-scope: uppercase grammar
+  r.counter("undocumented_xyz", cell);  // counter-scope: not in docs
+  r.counter("frames_sent", cell);     // fine: documented
+}
+
+inline Registry make() {
+  return Registry("gpu.node0");  // counter-scope: unknown backend scope
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Fixture: every hotpath rule fires. Expected findings are asserted by
+// scripts/lint/fm_lint_selftest.py — keep line numbers stable when editing.
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#define FM_HOT_PATH __attribute__((hot))
+
+namespace fixture {
+
+void untracked_helper(int x);
+
+class Queue {
+ public:
+  FM_HOT_PATH void push(std::uint32_t v) {
+    buf_.push_back(v);            // hotpath-alloc: vector growth
+    auto* p = new std::uint32_t;  // hotpath-alloc: operator new
+    std::lock_guard<std::mutex> lk(mu_);  // hotpath-alloc: lock
+    untracked_helper(*p);         // hotpath-call: unmarked callee
+  }
+
+  void untracked_helper(int x) { (void)x; }
+
+ private:
+  std::vector<std::uint32_t> buf_;
+  std::mutex mu_;
+};
+
+void untracked_helper_def() {}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Fixture: a well-behaved hot path — no findings expected. Demonstrates
+// the allow-comment escape hatch and the cold-boundary pattern.
+#include <cstdint>
+#include <vector>
+
+#define FM_HOT_PATH __attribute__((hot))
+#define FM_COLD_PATH __attribute__((cold))
+
+namespace fixture {
+
+class Queue {
+ public:
+  FM_HOT_PATH void push(std::uint32_t v) {
+    if (pos_ < buf_.size()) {
+      buf_[pos_++] = v;
+      return;
+    }
+    overflow(v);  // cold boundary: the hot closure stops here
+  }
+
+  FM_HOT_PATH std::uint32_t warm_push(std::uint32_t v) {
+    // fm-lint: allow(hotpath-alloc): capacity reserved at construction;
+    // steady state never grows the vector.
+    buf_.push_back(v);
+    return v;
+  }
+
+  FM_COLD_PATH void overflow(std::uint32_t v) {
+    buf_.push_back(v);  // cold code may allocate freely
+  }
+
+ private:
+  std::vector<std::uint32_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace fixture

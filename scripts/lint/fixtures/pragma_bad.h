@@ -1,0 +1,9 @@
+// Fixture: a header with include guards but no '#pragma once'.
+#ifndef FIXTURE_PRAGMA_BAD_H_
+#define FIXTURE_PRAGMA_BAD_H_
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture
+
+#endif  // FIXTURE_PRAGMA_BAD_H_

@@ -1,0 +1,6 @@
+// Fixture: a compliant header.
+#pragma once
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# One entry point for every static gate (docs/STATIC_ANALYSIS.md).
+#
+# Runs whatever is installed and says what it skipped; CI installs the full
+# toolchain and therefore runs everything. fm_lint and its self-test need
+# only python3, so they always run — locally and in CI.
+#
+# Usage: scripts/lint/run_lints.sh [build-dir]
+#   build-dir: an existing CMake build tree with compile_commands.json
+#              (default: build). Only clang-tidy needs it.
+set -uo pipefail
+cd "$(dirname "$0")/../.."
+
+BUILD_DIR="${1:-build}"
+failed=0
+skipped=""
+
+run_gate() {
+  local name="$1"
+  shift
+  echo "==== ${name} ===================================================="
+  if "$@"; then
+    echo "---- ${name}: ok"
+  else
+    echo "---- ${name}: FAILED"
+    failed=1
+  fi
+}
+
+# Gate 1: fm_lint (always available — stdlib python only).
+run_gate "fm_lint" python3 scripts/lint/fm_lint.py
+run_gate "fm_lint self-test" python3 scripts/lint/fm_lint_selftest.py
+
+# Gate 2: clang thread-safety analysis (needs clang++).
+if command -v clang++ >/dev/null 2>&1; then
+  run_gate "thread-safety build" bash -c '
+    tsdir=$(mktemp -d)
+    trap "rm -rf $tsdir" EXIT
+    cmake -B "$tsdir" -S . -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" \
+      >/dev/null &&
+    cmake --build "$tsdir" --target fm_common fm_obs fm_fm fm_api fm_shm \
+      fm_net fm_metrics fm_mpi_mini fm_stream fm_rpc -j "$(nproc)"'
+else
+  skipped="${skipped} thread-safety(clang++)"
+fi
+
+# Gate 3: clang-tidy over the compilation database.
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ -f "${BUILD_DIR}/compile_commands.json" ]; then
+    run_gate "clang-tidy" bash -c "
+      find src -name '*.cc' -print0 |
+      xargs -0 -P \"\$(nproc)\" -n 4 clang-tidy -p '${BUILD_DIR}' --quiet"
+  else
+    skipped="${skipped} clang-tidy(no ${BUILD_DIR}/compile_commands.json)"
+  fi
+else
+  skipped="${skipped} clang-tidy"
+fi
+
+# Gate 4: format check (changed files only — never a mass reformat).
+if command -v clang-format >/dev/null 2>&1; then
+  merge_base=$(git merge-base HEAD origin/main 2>/dev/null ||
+               git rev-parse 'HEAD~1' 2>/dev/null || echo "")
+  changed=$(git diff --name-only "${merge_base:-HEAD}" -- 'src/*.h' \
+            'src/*.cc' 'tests/*.h' 'tests/*.cc' 2>/dev/null | sort -u)
+  if [ -n "${changed}" ]; then
+    run_gate "clang-format (changed files)" bash -c "
+      status=0
+      for f in ${changed}; do
+        if [ -f \"\$f\" ] && ! clang-format --dry-run -Werror \"\$f\"; then
+          status=1
+        fi
+      done
+      exit \$status"
+  else
+    echo "==== clang-format: no changed C++ files"
+  fi
+else
+  skipped="${skipped} clang-format"
+fi
+
+# Gate 5: shellcheck on the repo's shell scripts.
+if command -v shellcheck >/dev/null 2>&1; then
+  run_gate "shellcheck" shellcheck scripts/run_all.sh scripts/lint/run_lints.sh
+else
+  skipped="${skipped} shellcheck"
+fi
+
+if [ -n "${skipped}" ]; then
+  echo "==== skipped (tool not installed):${skipped}"
+fi
+exit "${failed}"

@@ -11,7 +11,7 @@ ctest --test-dir build --output-on-failure
 
 echo "==== figure/table benches ========================================"
 for b in build/bench/*; do
-  [ -f "$b" ] && [ -x "$b" ] || continue
+  if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
   case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
   # The hot-path benches run explicitly below, with their JSON outputs.
   case "$b" in */shm_hotpath|*/net_hotpath) continue ;; esac

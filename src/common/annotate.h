@@ -1,0 +1,160 @@
+// FM-Lint layer 1: thread-safety capabilities and hot/cold path markers.
+//
+// The paper's performance argument rests on discipline the compiler never
+// sees: each side of a matched queue pair is touched by exactly one thread
+// (host vs. LANai there, producer vs. consumer here), handlers run only
+// inside extract(), and the steady-state send/extract cycle never allocates
+// or blocks. This header turns those conventions into annotations three
+// tools can check:
+//
+//   * Clang's -Wthread-safety analysis consumes the FM_CAPABILITY /
+//     FM_GUARDED_BY / FM_REQUIRES family (no-ops on other compilers), so a
+//     consumer-side ring call from producer-role code is a compile error in
+//     the CI thread-safety build.
+//   * scripts/lint/fm_lint.py consumes FM_HOT_PATH / FM_COLD_PATH lexically:
+//     hot-marked functions (and everything they call inside this repo) may
+//     not allocate, lock, or make blocking syscalls; cold-marked functions
+//     are the explicit recovery/setup boundaries where the closure stops.
+//   * Humans read both as documentation with teeth.
+//
+// Everything here is zero-cost at runtime: attributes and empty inline
+// functions only.
+#pragma once
+
+// Clang implements the analysis; GCC and MSVC see empty macros. The
+// __has_attribute probe (rather than a bare __clang__ test) keeps the file
+// honest if the attribute set ever moves.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FM_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FM_THREAD_ANNOTATION
+#define FM_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability (a mutex, or a pure role such as
+/// "the producer side of this ring"). `name` appears in diagnostics.
+#define FM_CAPABILITY(name) FM_THREAD_ANNOTATION(capability(name))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (e.g. fm::MutexLock).
+#define FM_SCOPED_CAPABILITY FM_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read or written while holding `x`.
+#define FM_GUARDED_BY(x) FM_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define FM_PT_GUARDED_BY(x) FM_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and does
+/// not release them).
+#define FM_REQUIRES(...) \
+  FM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define FM_REQUIRES_SHARED(...) \
+  FM_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it past return.
+#define FM_ACQUIRE(...) FM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a held capability.
+#define FM_RELEASE(...) FM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `result`.
+#define FM_TRY_ACQUIRE(result, ...) \
+  FM_THREAD_ANNOTATION(try_acquire_capability(result, __VA_ARGS__))
+
+/// Asserts (to the analysis, at zero runtime cost) that the capability is
+/// held at this point — the idiom for role capabilities, where "holding"
+/// means "this code runs on the owning side by construction": the thread
+/// that enters a producer-side function claims the producer role here, and
+/// any path that never claims it cannot call producer-side code.
+#define FM_ASSERT_CAPABILITY(...) \
+  FM_THREAD_ANNOTATION(assert_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock prevention).
+#define FM_EXCLUDES(...) FM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the capability protecting its result.
+#define FM_RETURN_CAPABILITY(x) FM_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model; every use must carry a
+/// comment saying why.
+#define FM_NO_THREAD_SAFETY_ANALYSIS \
+  FM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Hot/cold path markers (consumed by scripts/lint/fm_lint.py)
+// ---------------------------------------------------------------------------
+
+/// Marks a function as part of the steady-state hot path. fm_lint enforces,
+/// over the hot call closure: no allocation, no locks, no blocking
+/// syscalls. Every repo function a hot function calls must itself be
+/// FM_HOT_PATH, FM_COLD_PATH, or [[noreturn]] (abort paths are exempt).
+/// Expands to the real `hot` attribute where supported, so the marker also
+/// nudges code layout.
+#if defined(__GNUC__) || defined(__clang__)
+#define FM_HOT_PATH __attribute__((hot))
+#else
+#define FM_HOT_PATH
+#endif
+
+/// Marks a function as explicitly off the steady state (recovery, fault
+/// injection, setup, segmentation): hot code may branch into it, but
+/// fm_lint's allocation closure stops at the boundary. The `cold` attribute
+/// keeps these out of the hot instruction stream as a bonus.
+#if defined(__GNUC__) || defined(__clang__)
+#define FM_COLD_PATH __attribute__((cold))
+#else
+#define FM_COLD_PATH
+#endif
+
+// ---------------------------------------------------------------------------
+// Annotated synchronization primitives
+// ---------------------------------------------------------------------------
+
+#include <mutex>
+
+namespace fm {
+
+/// std::mutex with capability annotations. libstdc++'s std::mutex carries
+/// none, so guarding a member with a raw std::mutex teaches the analysis
+/// nothing; this wrapper is the annotated front door (the abseil pattern).
+class FM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() FM_ACQUIRE() { mu_.lock(); }
+  void unlock() FM_RELEASE() { mu_.unlock(); }
+  bool try_lock() FM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock for fm::Mutex (std::lock_guard is as unannotated as
+/// std::mutex, so it gets a wrapper too).
+class FM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FM_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() FM_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// A capability with no runtime state: a *role*. Where a mutex capability
+/// means "this lock is held", a role capability means "this code runs on
+/// the side that owns this state by construction" — the SPSC ring's
+/// producer/consumer split, a registry's owning thread. Roles are claimed
+/// with an FM_ASSERT_CAPABILITY-annotated assert function at the owning
+/// side's entry points; code that never claims the role cannot call into
+/// functions requiring it (a compile error under -Wthread-safety).
+struct FM_CAPABILITY("role") Role {};
+
+}  // namespace fm

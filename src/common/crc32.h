@@ -9,10 +9,13 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/annotate.h"
+
 namespace fm {
 
 /// Computes CRC-32 over `len` bytes starting at `data`, continuing from
 /// `seed` (pass 0 for a fresh checksum; chain calls to checksum fragments).
-std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+FM_HOT_PATH std::uint32_t crc32(const void* data, std::size_t len,
+                                std::uint32_t seed = 0);
 
 }  // namespace fm

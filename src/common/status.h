@@ -9,6 +9,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/annotate.h"
 #include "common/check.h"
 
 namespace fm {
@@ -38,8 +39,9 @@ constexpr std::string_view to_string(Status s) {
   return "unknown";
 }
 
-/// True when `s` signals success.
-constexpr bool ok(Status s) { return s == Status::kOk; }
+/// True when `s` signals success. Hot by construction: every send path
+/// branches on it.
+FM_HOT_PATH constexpr bool ok(Status s) { return s == Status::kOk; }
 
 /// A value-or-status pair for APIs that produce a value on success.
 /// Intentionally tiny (no std::expected in GCC 12's libstdc++ for C++20).

@@ -6,13 +6,13 @@ namespace fm {
 namespace {
 
 template <typename T>
-void put(std::uint8_t*& out, T v) {
+FM_HOT_PATH void put(std::uint8_t*& out, T v) {
   std::memcpy(out, &v, sizeof(T));
   out += sizeof(T);
 }
 
 template <typename T>
-T get(const std::uint8_t* p) {
+FM_HOT_PATH T get(const std::uint8_t* p) {
   T v;
   std::memcpy(&v, p, sizeof(T));
   return v;

@@ -25,8 +25,10 @@
 #include <cstdint>
 #include <cstring>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/check.h"
 #include "common/types.h"
 
@@ -77,6 +79,19 @@ struct FrameHeader {
   }
 };
 
+// Wire-format pins: the encoder writes these byte counts field by field and
+// every slab/ring slot is sized from them, so drift must fail the build
+// here, not corrupt frames at runtime.
+static_assert(std::is_trivially_copyable_v<FrameHeader>,
+              "decoded headers are passed and copied as plain data");
+static_assert(FrameHeader::kBaseBytes == 16,
+              "base header layout is fixed on the wire");
+static_assert(FrameHeader::kFragExtBytes == 8,
+              "fragment extension layout is fixed on the wire");
+static_assert(FrameHeader::kCrcBytes == 4, "CRC-32 trailer is four bytes");
+static_assert(sizeof(std::uint32_t) == 4 && sizeof(std::uint16_t) == 2,
+              "wire fields assume exact-width integer sizes");
+
 /// The largest possible wire frame for a given per-frame payload budget:
 /// header, fragment extension, payload, a full 255-ack trailer, and the CRC.
 /// Sizes SendWindow slabs and SPSC ring slots so any legal frame fits.
@@ -91,33 +106,36 @@ constexpr std::size_t max_wire_bytes(std::size_t frame_payload) {
 /// ring slot, so frame construction is a single pass with no intermediate
 /// buffer — the PIO-gather idea from §4.3 of the paper.
 /// `payload` may be null when `header.payload_len` is zero.
-std::size_t encode_frame_into(std::uint8_t* out, const FrameHeader& header,
-                              const void* payload, const std::uint32_t* acks);
+FM_HOT_PATH std::size_t encode_frame_into(std::uint8_t* out,
+                                          const FrameHeader& header,
+                                          const void* payload,
+                                          const std::uint32_t* acks);
 
 /// Serializes a frame into a fresh vector (convenience wrapper around
 /// encode_frame_into for cold paths and tests).
-std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
-                                       const void* payload,
-                                       const std::uint32_t* acks);
+FM_COLD_PATH std::vector<std::uint8_t> encode_frame(const FrameHeader& header,
+                                                    const void* payload,
+                                                    const std::uint32_t* acks);
 
 /// Parses the header of an encoded frame. Returns std::nullopt on a
 /// malformed buffer (too short / inconsistent lengths).
-std::optional<FrameHeader> decode_header(const std::uint8_t* data,
-                                         std::size_t len);
+FM_HOT_PATH std::optional<FrameHeader> decode_header(const std::uint8_t* data,
+                                                     std::size_t len);
 
 /// Pointer to the payload region of an encoded frame.
-inline const std::uint8_t* frame_payload(const FrameHeader& h,
-                                         const std::uint8_t* data) {
+FM_HOT_PATH inline const std::uint8_t* frame_payload(
+    const FrameHeader& h, const std::uint8_t* data) {
   return data + h.header_bytes();
 }
 
 /// Extracts the i-th piggybacked ack (i < ack_count).
-std::uint32_t frame_ack(const FrameHeader& h, const std::uint8_t* data,
-                        std::size_t i);
+FM_HOT_PATH std::uint32_t frame_ack(const FrameHeader& h,
+                                    const std::uint8_t* data, std::size_t i);
 
 /// Verifies the CRC-32 trailer of a decoded frame. Frames without the CRC
 /// flag trivially pass (there is nothing to check); frames with it pass only
 /// when the stored trailer matches a fresh CRC over the preceding bytes.
-bool frame_crc_ok(const FrameHeader& h, const std::uint8_t* data);
+FM_HOT_PATH bool frame_crc_ok(const FrameHeader& h,
+                              const std::uint8_t* data);
 
 }  // namespace fm

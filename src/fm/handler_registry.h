@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/check.h"
 #include "common/types.h"
 
@@ -35,11 +36,15 @@ class HandlerRegistry {
   }
 
   /// True when `id` names a registered handler.
-  bool valid(HandlerId id) const { return id >= 1 && id <= table_.size(); }
+  FM_HOT_PATH bool valid(HandlerId id) const {
+    return id >= 1 && id <= table_.size();
+  }
 
-  /// Invokes handler `id`.
-  void dispatch(HandlerId id, E& ep, NodeId src, const void* data,
-                std::size_t len) const {
+  /// Invokes handler `id`. Hot, but the handler body itself is user code —
+  /// the handler-context rules (post_send only, no blocking) are what keep
+  /// the paper's t0 bound honest there.
+  FM_HOT_PATH void dispatch(HandlerId id, E& ep, NodeId src, const void* data,
+                            std::size_t len) const {
     FM_CHECK_MSG(valid(id), "dispatch of unregistered handler");
     table_[id - 1](ep, src, data, len);
   }

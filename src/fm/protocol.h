@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/check.h"
 #include "common/types.h"
 #include "fm/frame.h"
@@ -78,8 +79,10 @@ class SendWindow {
   /// find-then-emplace, not emplace: libstdc++'s unordered_map::emplace
   /// allocates its node before probing for the key, which would put one
   /// heap allocation on every frame sent.
-  std::uint32_t next_seq(NodeId dest) {
+  FM_HOT_PATH std::uint32_t next_seq(NodeId dest) {
     auto it = next_seq_.find(dest);
+    // fm-lint: allow(hotpath-alloc): first contact with a peer allocates its
+    // counter node once; the steady state always takes the find() hit above.
     if (it == next_seq_.end()) it = next_seq_.emplace(dest, 1).first;
     return it->second++;
   }
@@ -87,7 +90,7 @@ class SendWindow {
   /// Claims a slab slot for (`dest`, `seq`) and returns its writable
   /// storage (`slot_bytes` long): serialize the frame there, then
   /// commit(len). At most one reservation may be outstanding.
-  std::uint8_t* reserve(NodeId dest, std::uint32_t seq) {
+  FM_HOT_PATH std::uint8_t* reserve(NodeId dest, std::uint32_t seq) {
     FM_CHECK_MSG(!full(), "SendWindow overflow");
     FM_CHECK_MSG(reserved_ == kNone, "nested SendWindow reserve");
     FM_CHECK_MSG(find_slot(dest, seq) == kNone, "duplicate pending seq");
@@ -98,6 +101,8 @@ class SendWindow {
     m.seq = seq;
     m.len = 0;
     m.live_idx = static_cast<std::uint32_t>(live_.size());
+    // fm-lint: allow(hotpath-alloc): capacity reserved at construction; the
+    // live list can never outgrow the slab it indexes.
     live_.push_back(s);
     reserved_ = s;
     return slab_.get() + s * slot_bytes_;
@@ -105,7 +110,7 @@ class SendWindow {
 
   /// Completes the outstanding reservation: the slot holds a `len`-byte
   /// frame, now eligible for find()/ack()/retransmission.
-  void commit(std::size_t len) {
+  FM_HOT_PATH void commit(std::size_t len) {
     FM_CHECK_MSG(reserved_ != kNone, "commit without reserve");
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds window slot");
     meta_[reserved_].len = static_cast<std::uint32_t>(len);
@@ -114,8 +119,8 @@ class SendWindow {
 
   /// Records an injected frame by copying it into the slab (cold-path
   /// convenience; hot paths serialize in place via reserve/commit).
-  void track(NodeId dest, std::uint32_t seq, const void* bytes,
-             std::size_t len) {
+  FM_COLD_PATH void track(NodeId dest, std::uint32_t seq, const void* bytes,
+                          std::size_t len) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds window slot");
     std::uint8_t* dst = reserve(dest, seq);
     if (len != 0) std::memcpy(dst, bytes, len);
@@ -124,7 +129,7 @@ class SendWindow {
 
   /// Releases a slot on acknowledgement from `dest`. Returns false for an
   /// unknown seq (e.g. a re-ack of a retransmitted duplicate) — harmless.
-  bool ack(NodeId dest, std::uint32_t seq) {
+  FM_HOT_PATH bool ack(NodeId dest, std::uint32_t seq) {
     const std::uint32_t s = find_slot(dest, seq);
     if (s == kNone) return false;
     release(s);
@@ -134,7 +139,7 @@ class SendWindow {
   /// Looks up the retained copy of (`dest`, `seq`) for retransmission
   /// (reject path or FM-R timeout). The view is valid until the entry is
   /// acked, dropped, or the slab slot is otherwise recycled.
-  Stored find(NodeId dest, std::uint32_t seq) const {
+  FM_HOT_PATH Stored find(NodeId dest, std::uint32_t seq) const {
     const std::uint32_t s = find_slot(dest, seq);
     if (s == kNone) return Stored{};
     return Stored{slab_.get() + s * slot_bytes_, meta_[s].len};
@@ -143,7 +148,7 @@ class SendWindow {
   /// Drops every pending entry destined to `dest` (FM-R dead-peer cleanup:
   /// frees the slots so senders blocked on a full window make progress).
   /// Returns the number of entries dropped.
-  std::size_t drop_dest(NodeId dest) {
+  FM_COLD_PATH std::size_t drop_dest(NodeId dest) {
     std::size_t n = 0;
     for (std::size_t i = live_.size(); i-- > 0;) {
       if (meta_[live_[i]].dest == dest) {
@@ -163,18 +168,20 @@ class SendWindow {
     std::uint32_t live_idx = 0;
   };
 
-  std::uint32_t find_slot(NodeId dest, std::uint32_t seq) const {
+  FM_HOT_PATH std::uint32_t find_slot(NodeId dest, std::uint32_t seq) const {
     for (std::uint32_t s : live_)
       if (meta_[s].dest == dest && meta_[s].seq == seq) return s;
     return kNone;
   }
 
-  void release(std::uint32_t s) {
+  FM_HOT_PATH void release(std::uint32_t s) {
     const std::uint32_t i = meta_[s].live_idx;
     const std::uint32_t last = live_.back();
     live_[i] = last;
     meta_[last].live_idx = i;
     live_.pop_back();
+    // fm-lint: allow(hotpath-alloc): capacity reserved at construction; the
+    // free list holds at most every slab slot.
     free_.push_back(s);
   }
 
@@ -204,7 +211,7 @@ class RetransmitTimer {
   /// map — and, crucially for the allocation-free steady state, re-arming
   /// into the vector's warmed-up capacity never touches the heap, where an
   /// unordered_map would allocate a node per arm and free it per ack.
-  void arm(NodeId dest, std::uint32_t seq, std::uint64_t now_ns) {
+  FM_HOT_PATH void arm(NodeId dest, std::uint32_t seq, std::uint64_t now_ns) {
     for (Entry& e : armed_) {
       if (e.dest == dest && e.seq == seq) {
         e.deadline_ns = now_ns + timeout_ns_;
@@ -212,11 +219,13 @@ class RetransmitTimer {
         return;
       }
     }
+    // fm-lint: allow(hotpath-alloc): armed timers are bounded by the pending
+    // window, so the vector's capacity warms up once and stays.
     armed_.push_back(Entry{now_ns + timeout_ns_, dest, seq, 0});
   }
 
   /// Cancels the timer (frame acknowledged). Unknown entries are ignored.
-  void disarm(NodeId dest, std::uint32_t seq) {
+  FM_HOT_PATH void disarm(NodeId dest, std::uint32_t seq) {
     for (std::size_t i = 0; i < armed_.size(); ++i) {
       if (armed_[i].dest == dest && armed_[i].seq == seq) {
         armed_[i] = armed_.back();
@@ -227,7 +236,7 @@ class RetransmitTimer {
   }
 
   /// Cancels every timer aimed at `dest` (dead-peer cleanup).
-  void disarm_all(NodeId dest) {
+  FM_COLD_PATH void disarm_all(NodeId dest) {
     for (std::size_t i = armed_.size(); i-- > 0;) {
       if (armed_[i].dest == dest) {
         armed_[i] = armed_.back();
@@ -250,7 +259,7 @@ class RetransmitTimer {
   /// buffer — in the common nothing-expired case this never allocates).
   /// Survivors are re-armed at now + timeout * 2^retries (shift capped so
   /// the backoff stays bounded).
-  void expired_into(std::uint64_t now_ns, std::vector<Due>& due) {
+  FM_HOT_PATH void expired_into(std::uint64_t now_ns, std::vector<Due>& due) {
     due.clear();
     for (std::size_t i = 0; i < armed_.size();) {
       Entry& e = armed_[i];
@@ -260,12 +269,15 @@ class RetransmitTimer {
       }
       ++e.retries;
       if (e.retries > max_retries_) {
+        // fm-lint: allow(hotpath-alloc): an expiry is already the recovery
+        // path, and the caller-owned buffer keeps its capacity across ticks.
         due.push_back(Due{e.dest, e.seq, e.retries, true});
         armed_[i] = armed_.back();
         armed_.pop_back();
       } else {
         std::size_t shift = std::min(e.retries, kBackoffShiftCap);
         e.deadline_ns = now_ns + (timeout_ns_ << shift);
+        // fm-lint: allow(hotpath-alloc): same recovery-path buffer as above.
         due.push_back(Due{e.dest, e.seq, e.retries, false});
         ++i;
       }
@@ -273,7 +285,7 @@ class RetransmitTimer {
   }
 
   /// Convenience wrapper over expired_into (tests and cold callers).
-  std::vector<Due> expired(std::uint64_t now_ns) {
+  FM_COLD_PATH std::vector<Due> expired(std::uint64_t now_ns) {
     std::vector<Due> due;
     expired_into(now_ns, due);
     return due;
@@ -310,7 +322,7 @@ class RetransmitTimer {
 class DedupFilter {
  public:
   /// True when (src, seq) was already accepted.
-  bool seen(NodeId src, std::uint32_t seq) const {
+  FM_HOT_PATH bool seen(NodeId src, std::uint32_t seq) const {
     auto it = peers_.find(src);
     if (it == peers_.end()) return false;
     return seq < it->second.cutoff || it->second.ahead.count(seq) > 0;
@@ -319,7 +331,9 @@ class DedupFilter {
   /// Records the acceptance of (src, seq). Call only after the frame is
   /// actually accepted — a rejected (returned-to-sender) frame must stay
   /// unknown so its retransmission is delivered.
-  void mark(NodeId src, std::uint32_t seq) {
+  FM_HOT_PATH void mark(NodeId src, std::uint32_t seq) {
+    // fm-lint: allow(hotpath-alloc): first frame from a peer creates its
+    // filter node once; every later mark finds the bucket in place.
     Peer& p = peers_[src];
     if (seq < p.cutoff) return;
     if (seq == p.cutoff) {
@@ -331,6 +345,8 @@ class DedupFilter {
       ++p.cutoff;
       if (p.ahead.empty()) return;
     } else {
+      // fm-lint: allow(hotpath-alloc): out-of-order arrival only — the gap
+      // set is bounded by the peer's pending window and drains back below.
       p.ahead.insert(seq);
     }
     while (p.ahead.erase(p.cutoff) > 0) ++p.cutoff;
@@ -359,7 +375,12 @@ class DedupFilter {
 class AckTracker {
  public:
   /// Notes that `seq` from `src` was accepted and must be acknowledged.
-  void note(NodeId src, std::uint32_t seq) { due_[src].push_back(seq); }
+  FM_HOT_PATH void note(NodeId src, std::uint32_t seq) {
+    // fm-lint: allow(hotpath-alloc): the per-peer buffer and its map node
+    // survive emptying (see take_into), so the steady state reuses warm
+    // capacity; only first contact with a peer allocates.
+    due_[src].push_back(seq);
+  }
 
   /// Acks currently owed to `src`.
   std::size_t due(NodeId src) const {
@@ -378,7 +399,8 @@ class AckTracker {
   /// returns the count. Allocation-free: the per-peer entry and its buffer
   /// survive emptying, because the hot path cycles note/take on every frame
   /// and re-creating the map node each cycle would hit the heap.
-  std::size_t take_into(NodeId src, std::size_t max, std::uint32_t* out) {
+  FM_HOT_PATH std::size_t take_into(NodeId src, std::size_t max,
+                                    std::uint32_t* out) {
     auto it = due_.find(src);
     if (it == due_.end()) return 0;
     auto& v = it->second;
@@ -392,7 +414,7 @@ class AckTracker {
   /// Unlike take_into, an emptied entry is erased — the sim backend replays
   /// bit-exactly against recorded baselines, and keeping dead entries would
   /// perturb the map's iteration order (and thus simulated event order).
-  std::vector<std::uint32_t> take(NodeId src, std::size_t max) {
+  FM_COLD_PATH std::vector<std::uint32_t> take(NodeId src, std::size_t max) {
     std::vector<std::uint32_t> out;
     auto it = due_.find(src);
     if (it == due_.end()) return out;
@@ -405,14 +427,17 @@ class AckTracker {
   /// Appends every source owed at least `threshold` acks (and at least one)
   /// to `out`, cleared first. Caller supplies the vector so a steady-state
   /// caller can reuse one buffer.
-  void peers_over_into(std::size_t threshold, std::vector<NodeId>& out) const {
+  FM_HOT_PATH void peers_over_into(std::size_t threshold,
+                                   std::vector<NodeId>& out) const {
     out.clear();
     for (const auto& [node, v] : due_)
+      // fm-lint: allow(hotpath-alloc): caller-owned worklist, reused across
+      // extracts; bounded by the number of peers.
       if (!v.empty() && v.size() >= threshold) out.push_back(node);
   }
 
   /// Sources owed at least `threshold` acks (and at least one).
-  std::vector<NodeId> peers_over(std::size_t threshold) const {
+  FM_COLD_PATH std::vector<NodeId> peers_over(std::size_t threshold) const {
     std::vector<NodeId> out;
     peers_over_into(threshold, out);
     return out;
@@ -455,8 +480,10 @@ class Reassembler {
   /// cannot occur on a reliable network but can under fault injection —
   /// yields kMalformed rather than undefined behaviour. `now_ns` stamps the
   /// slot for expire_older_than (pass 0 when expiry is unused).
-  Feed feed(NodeId src, const FrameHeader& h, const std::uint8_t* payload,
-            std::vector<std::uint8_t>* out, std::uint64_t now_ns = 0) {
+  FM_COLD_PATH Feed feed(NodeId src, const FrameHeader& h,
+                         const std::uint8_t* payload,
+                         std::vector<std::uint8_t>* out,
+                         std::uint64_t now_ns = 0) {
     FM_CHECK(h.fragmented());
     if (h.frag_count < 1 || h.frag_index >= h.frag_count)
       return Feed::kMalformed;
@@ -492,7 +519,7 @@ class Reassembler {
   /// Frees every slot not fed since `cutoff_ns` — a half-assembled message
   /// from a peer that lost interest (or the network lost its fragments)
   /// must not pin a receive-pool slot forever. Returns slots freed.
-  std::size_t expire_older_than(std::uint64_t cutoff_ns) {
+  FM_COLD_PATH std::size_t expire_older_than(std::uint64_t cutoff_ns) {
     std::size_t n = 0;
     for (auto it = active_.begin(); it != active_.end();) {
       if (it->second.touched_ns < cutoff_ns) {
@@ -507,7 +534,7 @@ class Reassembler {
 
   /// Frees every slot holding fragments from `src` (peer shutdown / FM-R
   /// dead-peer cleanup). Returns slots freed.
-  std::size_t abort(NodeId src) {
+  FM_COLD_PATH std::size_t abort(NodeId src) {
     std::size_t n = 0;
     for (auto it = active_.begin(); it != active_.end();) {
       if (it->first.src == src) {
@@ -557,7 +584,8 @@ class RejectQueue {
   /// Parks a returned frame. A (dest, seq) already parked is ignored: with
   /// FM-R a timeout retransmission and its original can both bounce off an
   /// overloaded receiver, and parking both would retransmit twice forever.
-  void add(NodeId dest, std::uint32_t seq, std::vector<std::uint8_t> bytes) {
+  FM_COLD_PATH void add(NodeId dest, std::uint32_t seq,
+                        std::vector<std::uint8_t> bytes) {
     for (const auto& e : entries_)
       if (e.dest == dest && e.seq == seq) return;
     entries_.push_back(Entry{dest, seq, std::move(bytes), 0});
@@ -565,7 +593,7 @@ class RejectQueue {
 
   /// Discards every parked frame aimed at `dest` (dead-peer cleanup).
   /// Returns the number discarded.
-  std::size_t drop_dest(NodeId dest) {
+  FM_COLD_PATH std::size_t drop_dest(NodeId dest) {
     std::size_t n = 0;
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->dest == dest) {
@@ -580,12 +608,16 @@ class RejectQueue {
 
   /// Ages all entries by one extract tick and removes/returns those whose
   /// age reached `delay`.
-  std::vector<Entry> tick(std::size_t delay) {
+  FM_HOT_PATH std::vector<Entry> tick(std::size_t delay) {
+    // Called every extract(); an empty queue returns an empty vector, which
+    // never touches the heap — entries exist only after a reject bounced.
     std::vector<Entry> ready;
     for (auto& e : entries_) ++e.age;
     auto it = entries_.begin();
     while (it != entries_.end()) {
       if (it->age >= delay) {
+        // fm-lint: allow(hotpath-alloc): a due reject is the recovery path;
+        // the steady state never reaches this branch.
         ready.push_back(std::move(*it));
         it = entries_.erase(it);
       } else {

@@ -22,6 +22,10 @@ SimEndpoint::SimEndpoint(hw::Node& node, FmConfig cfg,
   FM_CHECK_MSG(!cfg.reliability || cfg.flow_control,
                "FM-R reliability requires flow control");
   lcp_.attach_host_recv(&host_rx_);
+  // Construction runs on the simulator's driving thread before any
+  // coroutine fires: the constructing context owns registry and trace.
+  registry_.assert_owner();
+  trace_.assert_writer();
   // FM-Scope: every Stats field by name, the LCP's counters and Figure 6
   // queue gauges, and this layer's own occupancy gauges.
   stats_.register_into(registry_);
@@ -111,6 +115,7 @@ sim::Op<Status> SimEndpoint::send_data_frame(
     NodeId dest, HandlerId handler, const std::uint8_t* payload,
     std::size_t len, bool fragmented, std::uint32_t msg_id,
     std::uint16_t frag_index, std::uint16_t frag_count) {
+  trace_.assert_writer();  // one simulator thread drives every coroutine
   auto& cpu = node_.cpu();
   const auto& hc = node_.params().hostsw;
   // Flow control: wait for a pending-store slot — and, in window mode, a
@@ -219,6 +224,7 @@ sim::Op<> SimEndpoint::inject(NodeId dest, std::vector<std::uint8_t> bytes) {
 // ---------------------------------------------------------------------------
 
 sim::Op<std::size_t> SimEndpoint::extract() {
+  trace_.assert_writer();  // one simulator thread drives every coroutine
   auto& cpu = node_.cpu();
   auto& sbus = node_.sbus();
   const auto& hc = node_.params().hostsw;
@@ -297,6 +303,7 @@ sim::Op<> SimEndpoint::drain() {
 }
 
 sim::Op<> SimEndpoint::reliability_tick() {
+  trace_.assert_writer();  // one simulator thread drives every coroutine
   const std::uint64_t now = now_ns();
   for (const auto& due : timer_.expired(now)) {
     if (due.exhausted) {
@@ -320,6 +327,7 @@ sim::Op<> SimEndpoint::reliability_tick() {
 
 void SimEndpoint::mark_peer_dead(NodeId peer) {
   if (!dead_peers_.insert(peer).second) return;
+  trace_.assert_writer();  // one simulator thread drives every coroutine
   ++stats_.peers_dead;
   if (trace_.enabled()) trace_.event(now_ns(), cat_dead_peer_, 'i', peer, 0);
   // Graceful degradation, not a hang: free every resource aimed at (or held
@@ -338,6 +346,7 @@ std::uint64_t SimEndpoint::now_ns() {
 }
 
 sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
+  trace_.assert_writer();  // one simulator thread drives every coroutine
   auto& cpu = node_.cpu();
   const auto& hc = node_.params().hostsw;
   auto hdr = decode_header(pkt.bytes.data(), pkt.bytes.size());

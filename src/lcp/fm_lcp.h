@@ -60,6 +60,7 @@ class FmLcp : public Lcp {
 
   /// FM-Scope: the base queues plus this variant's aggregation counters.
   void register_obs(obs::Registry& r) override {
+    r.assert_owner();  // the claim is per-function: restate it here
     Lcp::register_obs(r);
     r.counter("lanai.frames_delivered", &frames_delivered_);
     r.counter("lanai.dma_ops", &dma_ops_);

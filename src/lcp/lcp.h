@@ -155,6 +155,9 @@ class Lcp {
   /// Variants override to add their own instrumentation. The LCP must
   /// outlive `r` (the owning endpoint declares its Registry last).
   virtual void register_obs(obs::Registry& r) {
+    // Registration happens from the owning endpoint's constructor; claim
+    // the registry's owner role for the thread-safety build.
+    r.assert_owner();
     r.counter("lanai.hostsent", &hostsent_);
     r.counter("lanai.lanaisent", &lanaisent_);
     r.counter("lanai.packets_tx", &packets_tx_);

@@ -145,7 +145,9 @@ void Cluster::child_main(NodeId rank,
   body(*endpoints_[rank]);
 
   // Quiescent now: stream this rank's FM-Scope state to the parent — the
-  // only path counters take across the address-space boundary.
+  // only path counters take across the address-space boundary. This child
+  // process is the registry's single owner, so the claim is trivially true.
+  endpoints_[rank]->registry().assert_owner();
   for (const obs::Sample& s : endpoints_[rank]->registry().snapshot()) {
     char pkt[kMaxPacket];
     const std::size_t name_len = std::min(s.name.size(), kMaxPacket - 10);

@@ -30,6 +30,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "fm/config.h"
@@ -59,13 +60,14 @@ class Endpoint {
   HandlerId register_handler(Handler fn) { return handlers_.add(std::move(fn)); }
 
   /// FM_send_4.
-  Status send4(NodeId dest, HandlerId handler, std::uint32_t w0,
-               std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+  FM_HOT_PATH Status send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                           std::uint32_t w1, std::uint32_t w2,
+                           std::uint32_t w3);
   /// FM_send (segments beyond one frame).
-  Status send(NodeId dest, HandlerId handler, const void* buf,
-              std::size_t len);
+  FM_HOT_PATH Status send(NodeId dest, HandlerId handler, const void* buf,
+                          std::size_t len);
   /// FM_extract: processes currently deliverable datagrams; returns count.
-  std::size_t extract();
+  FM_HOT_PATH std::size_t extract();
   /// Extracts until `pred()` holds (poll()s the socket while idle).
   template <typename Pred>
   void extract_until(Pred&& pred) {
@@ -78,10 +80,11 @@ class Endpoint {
   void drain();
 
   /// Posted sends (the only legal way to send from handler context).
-  void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
-                  std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
-  void post_send(NodeId dest, HandlerId handler, const void* buf,
-                 std::size_t len);
+  FM_HOT_PATH void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                              std::uint32_t w1, std::uint32_t w2,
+                              std::uint32_t w3);
+  FM_HOT_PATH void post_send(NodeId dest, HandlerId handler, const void* buf,
+                             std::size_t len);
 
   /// Context-aware send for layered protocols (see shm::Endpoint).
   Status send_or_post(NodeId dest, HandlerId handler, const void* buf,
@@ -143,24 +146,39 @@ class Endpoint {
     std::vector<std::uint8_t> bytes;
   };
 
-  Status send_data_frame(NodeId dest, HandlerId handler,
-                         const std::uint8_t* payload, std::size_t len,
-                         bool fragmented, std::uint32_t msg_id,
-                         std::uint16_t frag_index, std::uint16_t frag_count);
-  void inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
-              std::uint32_t window_seq = 0);
-  void push(NodeId dest, const std::uint8_t* frame, std::size_t len,
-            std::uint32_t window_seq = 0);
-  void process_frame(NodeId from, const std::uint8_t* data, std::size_t len);
-  void send_standalone_ack(NodeId peer);
-  void defer_reject(NodeId from, const FrameHeader& h,
-                    const std::uint8_t* data);
-  void flush_deferred_tx();
-  void drain_posted();
-  void reliability_tick();
-  void mark_peer_dead(NodeId peer);
-  void idle_pause();
-  static std::uint64_t now_ns();
+  FM_HOT_PATH Status send_data_frame(NodeId dest, HandlerId handler,
+                                     const std::uint8_t* payload,
+                                     std::size_t len, bool fragmented,
+                                     std::uint32_t msg_id,
+                                     std::uint16_t frag_index,
+                                     std::uint16_t frag_count);
+  FM_HOT_PATH void inject(NodeId dest, const std::uint8_t* frame,
+                          std::size_t len, std::uint32_t window_seq = 0);
+  /// Fault-injection arm of inject(): copies the frame into stable local
+  /// storage before mutating it. Testing-only machinery, so it is the cold
+  /// boundary the hot closure stops at.
+  FM_COLD_PATH void inject_faulty(NodeId dest, const std::uint8_t* frame,
+                                  std::size_t len);
+  FM_HOT_PATH void push(NodeId dest, const std::uint8_t* frame,
+                        std::size_t len, std::uint32_t window_seq = 0);
+  FM_HOT_PATH void process_frame(NodeId from, const std::uint8_t* data,
+                                 std::size_t len);
+  FM_HOT_PATH void send_standalone_ack(NodeId peer);
+  /// Re-encodes a rejected frame for delayed retransmission. Recovery
+  /// path: runs only after a peer rejected a fragment, so its heap use is
+  /// outside the steady-state hot closure.
+  FM_COLD_PATH void park_reject(NodeId from, const FrameHeader& h,
+                                const std::uint8_t* data);
+  FM_COLD_PATH void defer_reject(NodeId from, const FrameHeader& h,
+                                 const std::uint8_t* data);
+  FM_HOT_PATH void flush_deferred_tx();
+  FM_HOT_PATH void drain_posted();
+  FM_HOT_PATH void reliability_tick();
+  FM_COLD_PATH void mark_peer_dead(NodeId peer);
+  /// Parking on the socket is the one blocking act this endpoint performs,
+  /// and only when there is no work at all — a cold boundary by design.
+  FM_COLD_PATH void idle_pause();
+  FM_HOT_PATH static std::uint64_t now_ns();
 
   Cluster& cluster_;
   NodeId id_;

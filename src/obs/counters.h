@@ -40,6 +40,10 @@ struct EndpointCounters {
   /// Registers every field as a named counter in `r`. The counters struct
   /// must outlive the registry (declare the Registry after it).
   void register_into(Registry& r) const {
+    // The registering code registers into a registry it owns; claim the
+    // role here so every backend constructor passes the thread-safety
+    // build without each repeating the claim.
+    r.assert_owner();
     r.counter("frames_sent", &frames_sent);
     r.counter("frames_received", &frames_received);
     r.counter("messages_sent", &messages_sent);

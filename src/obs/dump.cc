@@ -6,8 +6,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
+#include "common/annotate.h"
 #include "obs/chrome_trace.h"
 
 namespace fm::obs {
@@ -15,21 +15,25 @@ namespace {
 
 // One mutex guards all the global observability bookkeeping; every path
 // through here is cold (object construction/destruction, failure dumps).
-std::mutex g_mu;
+// The storage lives in function-local statics (first-use initialization —
+// registries constructed before main() must find live storage), so the
+// guarded_by relation is expressed on the accessors: each one requires
+// g_mu, and the thread-safety build rejects unlocked access.
+fm::Mutex g_mu;
 std::atomic<bool> g_capture{false};
-std::vector<const Registry*>& live_registries_storage() {
+std::vector<const Registry*>& live_registries_storage() FM_REQUIRES(g_mu) {
   static std::vector<const Registry*> v;
   return v;
 }
-std::vector<const TraceRing*>& live_rings_storage() {
+std::vector<const TraceRing*>& live_rings_storage() FM_REQUIRES(g_mu) {
   static std::vector<const TraceRing*> v;
   return v;
 }
-std::vector<Sample>& archived_samples_storage() {
+std::vector<Sample>& archived_samples_storage() FM_REQUIRES(g_mu) {
   static std::vector<Sample> v;
   return v;
 }
-std::vector<TraceDump>& archived_traces_storage() {
+std::vector<TraceDump>& archived_traces_storage() FM_REQUIRES(g_mu) {
   static std::vector<TraceDump> v;
   return v;
 }
@@ -48,14 +52,14 @@ bool ensure_dir(const std::string& dir) {
 }  // namespace
 
 void begin_capture() {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   archived_samples_storage().clear();
   archived_traces_storage().clear();
   g_capture.store(true, std::memory_order_release);
 }
 
 void end_capture() {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   g_capture.store(false, std::memory_order_release);
   archived_samples_storage().clear();
   archived_traces_storage().clear();
@@ -64,14 +68,14 @@ void end_capture() {
 bool capture_enabled() { return g_capture.load(std::memory_order_acquire); }
 
 std::vector<Sample> drain_archived_samples() {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   std::vector<Sample> out = std::move(archived_samples_storage());
   archived_samples_storage().clear();
   return out;
 }
 
 std::vector<TraceDump> drain_archived_traces() {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   std::vector<TraceDump> out = std::move(archived_traces_storage());
   archived_traces_storage().clear();
   return out;
@@ -83,13 +87,13 @@ bool write_failure_dump(const std::string& dir, const std::string& name) {
   // for anything the test body unwound).
   std::vector<Sample> samples = Registry::snapshot_all();
   {
-    std::lock_guard<std::mutex> lk(g_mu);
+    fm::MutexLock lk(g_mu);
     auto& arch = archived_samples_storage();
     samples.insert(samples.end(), arch.begin(), arch.end());
   }
   std::vector<TraceDump> traces = detail::dump_live_rings();
   {
-    std::lock_guard<std::mutex> lk(g_mu);
+    fm::MutexLock lk(g_mu);
     auto& arch = archived_traces_storage();
     traces.insert(traces.end(), arch.begin(), arch.end());
   }
@@ -113,7 +117,7 @@ namespace detail {
 
 void archive_samples(std::vector<Sample> samples) {
   if (!capture_enabled()) return;
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   auto& arch = archived_samples_storage();
   arch.insert(arch.end(), std::make_move_iterator(samples.begin()),
               std::make_move_iterator(samples.end()));
@@ -121,40 +125,40 @@ void archive_samples(std::vector<Sample> samples) {
 
 void archive_trace(TraceDump dump) {
   if (!capture_enabled()) return;
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   archived_traces_storage().push_back(std::move(dump));
 }
 
 void register_live_registry(const Registry* r) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   live_registries_storage().push_back(r);
 }
 
 void unregister_live_registry(const Registry* r) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   erase_ptr(live_registries_storage(), r);
 }
 
 void register_live_ring(const TraceRing* t) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   auto& v = live_rings_storage();
   if (std::find(v.begin(), v.end(), t) == v.end()) v.push_back(t);
 }
 
 void unregister_live_ring(const TraceRing* t) {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   erase_ptr(live_rings_storage(), t);
 }
 
 std::vector<const Registry*> live_registries() {
-  std::lock_guard<std::mutex> lk(g_mu);
+  fm::MutexLock lk(g_mu);
   return live_registries_storage();
 }
 
 std::vector<TraceDump> dump_live_rings() {
   std::vector<const TraceRing*> rings;
   {
-    std::lock_guard<std::mutex> lk(g_mu);
+    fm::MutexLock lk(g_mu);
     rings = live_rings_storage();
   }
   std::vector<TraceDump> out;

@@ -9,6 +9,8 @@ Registry::Registry(std::string scope) : scope_(std::move(scope)) {
 }
 
 Registry::~Registry() {
+  // Destruction is an owner-side act by definition.
+  assert_owner();
   if (capture_enabled()) detail::archive_samples(snapshot());
   detail::unregister_live_registry(this);
 }
@@ -39,6 +41,9 @@ void Registry::dump(std::FILE* f) const {
 std::vector<Sample> Registry::snapshot_all() {
   std::vector<Sample> out;
   for (const Registry* r : detail::live_registries()) {
+    // Documented precondition: instrumented threads are quiescent, so the
+    // caller holds every owner role at once.
+    r->assert_owner();
     auto s = r->snapshot();
     out.insert(out.end(), s.begin(), s.end());
   }

@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/annotate.h"
+
 namespace fm::obs {
 
 /// One named value read out of a registry.
@@ -37,6 +39,10 @@ struct Sample {
 
 /// A scoped set of counters and gauges. Not thread-safe: register from the
 /// owning thread; snapshot from the owning thread (or after it joined).
+/// That single-owner contract is an `owner_role_` capability — callers
+/// claim it with assert_owner() at the owning side's entry point, and the
+/// thread-safety build rejects registration/snapshot calls from code that
+/// never established ownership.
 class Registry {
  public:
   explicit Registry(std::string scope);
@@ -44,20 +50,27 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
+  /// Claims the owner role for the calling context: "this code runs on the
+  /// thread that owns this registry, or after that thread joined". Zero
+  /// runtime cost; see common/annotate.h.
+  void assert_owner() const FM_ASSERT_CAPABILITY(owner_role_) {}
+
   /// Registers a monotonic counter backed by `cell`, which must outlive
   /// this registry (declare the Registry after — i.e. below — the cell).
-  void counter(const char* name, const std::uint64_t* cell);
+  void counter(const char* name, const std::uint64_t* cell)
+      FM_REQUIRES(owner_role_);
 
   /// Registers a sampled gauge; `fn` is invoked at snapshot time.
-  void gauge(const char* name, std::function<double()> fn);
+  void gauge(const char* name, std::function<double()> fn)
+      FM_REQUIRES(owner_role_);
 
   const std::string& scope() const { return scope_; }
 
   /// Reads every counter and samples every gauge.
-  std::vector<Sample> snapshot() const;
+  std::vector<Sample> snapshot() const FM_REQUIRES(owner_role_);
 
   /// Human-readable dump (one "name value" line per sample).
-  void dump(std::FILE* f) const;
+  void dump(std::FILE* f) const FM_REQUIRES(owner_role_);
 
   /// Snapshot of every live registry in the process, concatenated.
   /// Counters are plain loads: only call when instrumented threads are
@@ -75,8 +88,10 @@ class Registry {
   };
 
   std::string scope_;
-  std::vector<CounterEntry> counters_;
-  std::vector<GaugeEntry> gauges_;
+  /// The single-owner contract as a static capability (no runtime state).
+  fm::Role owner_role_;
+  std::vector<CounterEntry> counters_ FM_GUARDED_BY(owner_role_);
+  std::vector<GaugeEntry> gauges_ FM_GUARDED_BY(owner_role_);
 };
 
 }  // namespace fm::obs

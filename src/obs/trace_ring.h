@@ -22,11 +22,15 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
+
+#include "common/annotate.h"
 
 namespace fm::obs {
 
@@ -46,6 +50,15 @@ struct TraceRecord {
   bool clipped() const { return (flags & kClippedFlag) != 0; }
 };
 static_assert(sizeof(TraceRecord) == 64, "trace records must stay one line");
+// Records are memcpy'd into dumps and written raw into the preallocated
+// ring; both moves assume plain-old-data layout with no padding surprises.
+static_assert(std::is_trivially_copyable_v<TraceRecord>,
+              "trace records are copied as raw bytes");
+static_assert(alignof(TraceRecord) <= 64,
+              "record alignment must not exceed the cache-line stride");
+static_assert(offsetof(TraceRecord, detail) + TraceRecord::kDetailBytes ==
+                  sizeof(TraceRecord),
+              "detail text must be the trailing field, packed to the end");
 
 /// A cold copy of a ring's contents, exportable after the ring is gone.
 struct TraceDump {
@@ -56,7 +69,13 @@ struct TraceDump {
   std::uint64_t clipped = 0;
 };
 
-/// The trace ring. Single-writer, like the endpoint that owns it.
+/// The trace ring. Single-writer, like the endpoint that owns it. The
+/// writer side is a `writer_role_` capability (common/annotate.h): every
+/// mutating entry point requires it, the owning thread claims it once via
+/// assert_writer(), and the thread-safety build rejects writes from code
+/// that never established ownership. Reads (size/record/dump) stay
+/// unannotated — the documented pattern is to read only from the writer
+/// or after it quiesced, which exporters do via the cold dump() copy.
 class TraceRing {
  public:
   TraceRing() = default;
@@ -65,37 +84,47 @@ class TraceRing {
   TraceRing(const TraceRing&) = delete;
   TraceRing& operator=(const TraceRing&) = delete;
 
-  void set_scope(std::string scope) { scope_ = std::move(scope); }
+  /// Claims the writer role for the calling context (the single thread
+  /// that owns this ring). Zero runtime cost; see common/annotate.h.
+  void assert_writer() const FM_ASSERT_CAPABILITY(writer_role_) {}
+
+  void set_scope(std::string scope) FM_REQUIRES(writer_role_) {
+    scope_ = std::move(scope);
+  }
   const std::string& scope() const { return scope_; }
 
   /// Interns `category` (idempotent), returning its id. Setup-time only:
   /// may allocate on first sight of a name.
-  std::uint16_t intern(std::string_view category);
+  std::uint16_t intern(std::string_view category) FM_REQUIRES(writer_role_);
   const std::string& category(std::uint16_t id) const {
     return categories_[id];
   }
 
   /// Preallocates `capacity` records and starts recording. Re-enabling
   /// clears prior records (and resizes if the capacity changed).
-  void enable(std::size_t capacity = kDefaultCapacity);
-  void disable() { enabled_ = false; }
+  void enable(std::size_t capacity = kDefaultCapacity)
+      FM_REQUIRES(writer_role_);
+  void disable() FM_REQUIRES(writer_role_) { enabled_ = false; }
   bool enabled() const { return enabled_; }
 
   /// Hot path: appends one record. Never allocates; overwrites the oldest
   /// record (counting it dropped) when the ring is full.
-  void event(std::uint64_t ts_ns, std::uint16_t cat, char phase,
-             std::uint32_t a = 0, std::uint32_t b = 0) {
+  FM_HOT_PATH void event(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                         std::uint32_t a = 0, std::uint32_t b = 0)
+      FM_REQUIRES(writer_role_) {
     if (!enabled_) return;
     append(ts_ns, cat, phase, a, b)->detail[0] = '\0';
   }
 
   /// Cold path: appends a record with printf-formatted detail text. Details
   /// longer than TraceRecord::kDetailBytes-1 are clipped and counted.
-  void eventf(std::uint64_t ts_ns, std::uint16_t cat, char phase,
-              std::uint32_t a, std::uint32_t b, const char* fmt, ...)
+  FM_COLD_PATH void eventf(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                           std::uint32_t a, std::uint32_t b, const char* fmt,
+                           ...) FM_REQUIRES(writer_role_)
       __attribute__((format(printf, 7, 8)));
-  void eventv(std::uint64_t ts_ns, std::uint16_t cat, char phase,
-              std::uint32_t a, std::uint32_t b, const char* fmt, va_list ap);
+  FM_COLD_PATH void eventv(std::uint64_t ts_ns, std::uint16_t cat, char phase,
+                           std::uint32_t a, std::uint32_t b, const char* fmt,
+                           va_list ap) FM_REQUIRES(writer_role_);
 
   /// Records currently held (<= capacity once the recorder wraps).
   std::size_t size() const { return count_ < ring_.size() ? count_ : ring_.size(); }
@@ -116,7 +145,7 @@ class TraceRing {
   std::uint64_t clipped() const { return clipped_; }
 
   /// Forgets all records (capacity and categories are kept).
-  void clear() {
+  void clear() FM_REQUIRES(writer_role_) {
     count_ = 0;
     pos_ = 0;
     clipped_ = 0;
@@ -128,8 +157,9 @@ class TraceRing {
   static constexpr std::size_t kDefaultCapacity = 4096;
 
  private:
-  TraceRecord* append(std::uint64_t ts_ns, std::uint16_t cat, char phase,
-                      std::uint32_t a, std::uint32_t b) {
+  FM_HOT_PATH TraceRecord* append(std::uint64_t ts_ns, std::uint16_t cat,
+                                  char phase, std::uint32_t a, std::uint32_t b)
+      FM_REQUIRES(writer_role_) {
     TraceRecord* r = &ring_[pos_];
     r->ts_ns = ts_ns;
     r->cat = cat;
@@ -143,6 +173,8 @@ class TraceRing {
   }
 
   std::string scope_;
+  /// Single-writer discipline as a static capability (no runtime state).
+  fm::Role writer_role_;
   std::vector<TraceRecord> ring_;
   std::vector<std::string> categories_;
   std::size_t pos_ = 0;       // next write index

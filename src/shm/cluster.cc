@@ -27,11 +27,13 @@ RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
   RunReport report;
   for (NodeId i = 0; i < endpoints_.size(); ++i) {
     report.ranks.push_back(RankStatus{i, true, 0, 0});
+    // The node threads joined above: every registry's owner is quiescent.
+    endpoints_[i]->registry().assert_owner();
     auto snap = endpoints_[i]->registry().snapshot();
     report.samples.insert(report.samples.end(), snap.begin(), snap.end());
   }
   {
-    std::lock_guard<std::mutex> lock(report_mu_);
+    fm::MutexLock lock(report_mu_);
     report.metrics = reported_;
   }
   return report;

@@ -21,11 +21,11 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/annotate.h"
 #include "fm/cluster_runner.h"
 #include "fm/config.h"
 #include "hw/fault.h"
@@ -94,13 +94,13 @@ class Cluster {
   /// Publishes a named scalar into the RunReport (callable from node_main
   /// bodies; thread-safe). Keys are cluster-global — rank-qualify the name
   /// if ranks must not collide.
-  void report(const std::string& key, double value) {
-    std::lock_guard<std::mutex> lock(report_mu_);
+  void report(const std::string& key, double value) FM_EXCLUDES(report_mu_) {
+    fm::MutexLock lock(report_mu_);
     reported_[key] = value;
   }
 
   /// The ring carrying frames from `src` to `dst`.
-  SpscRing& ring(NodeId src, NodeId dst) {
+  FM_HOT_PATH SpscRing& ring(NodeId src, NodeId dst) {
     FM_CHECK(src < size() && dst < size());
     return *rings_[src * size() + dst];
   }
@@ -113,8 +113,9 @@ class Cluster {
   // parking std::barrier so the two flavors can interleave freely).
   std::atomic<std::size_t> svc_arrived_{0};
   std::atomic<std::uint64_t> svc_gen_{0};
-  std::mutex report_mu_;
-  std::map<std::string, double> reported_;
+  /// Guards report() calls racing in from concurrent node_main bodies.
+  fm::Mutex report_mu_;
+  std::map<std::string, double> reported_ FM_GUARDED_BY(report_mu_);
 };
 
 static_assert(ClusterBackend<Cluster>,

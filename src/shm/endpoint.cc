@@ -24,6 +24,10 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
                "copies retransmission needs");
   for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
   retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
+  // Construction happens on the cluster's setup thread before any node
+  // thread exists, so this context owns both FM-Scope structures.
+  registry_.assert_owner();
+  trace_.assert_writer();
   // FM-Scope: every Stats field as a named counter, plus occupancy gauges
   // for this backend's queue set (SPSC rings stand in for the wire, the
   // reject/posted queues are the host-side stages).
@@ -138,6 +142,7 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
                                  bool fragmented, std::uint32_t msg_id,
                                  std::uint16_t frag_index,
                                  std::uint16_t frag_count) {
+  trace_.assert_writer();  // single-threaded endpoint: we are the writer
   // Window gate — and, in window mode, a per-destination credit gate —
   // servicing the network while blocked (the FM discipline).
   auto blocked = [&] {
@@ -146,6 +151,8 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     if (cfg_.window_mode) {
       auto it = credits_.find(dest);
       if (it == credits_.end()) {
+        // fm-lint: allow(hotpath-alloc): first send to a peer creates its
+        // credit bucket once; every later send takes the find() above.
         credits_[dest] = cfg_.window_per_peer;
         return false;
       }
@@ -189,6 +196,9 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     // retained retransmission copy: the frame is serialized exactly once,
     // in place (the paper's PIO-gather, aimed at the window instead of the
     // NIC), and injected straight from the slot.
+    // fm-lint: allow(hotpath-alloc): SendWindow::reserve claims a
+    // preallocated slab slot; it shares a name with vector::reserve, not
+    // its behaviour.
     std::uint8_t* slot = window_.reserve(dest, h.seq);
     const std::size_t wire =
         encode_frame_into(slot, h, payload, n_acks ? piggy : nullptr);
@@ -216,10 +226,17 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
 
 void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
                       std::uint32_t window_seq) {
-  if (!faults_) {
-    push(dest, frame, len, window_seq);
+  if (faults_) {
+    // Fault-injection runs only in test configurations; the copies it makes
+    // are off the steady state by construction (hence the cold boundary).
+    inject_faulty(dest, frame, len);
     return;
   }
+  push(dest, frame, len, window_seq);
+}
+
+void Endpoint::inject_faulty(NodeId dest, const std::uint8_t* frame,
+                             std::size_t len) {
   // The fault paths below copy the frame into stable local storage before
   // any push, so slab-slot recycling cannot bite them: window_seq is not
   // forwarded.
@@ -249,6 +266,9 @@ void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
 void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
                     std::uint32_t window_seq) {
   SpscRing& ring = cluster_.ring(id_, dest);
+  // This endpoint is, by cluster construction, the only writer of its
+  // outgoing rings: claim the producer side for the ownership analysis.
+  ring.assert_producer();
   // A full ring is backpressure: keep servicing our own receive side while
   // waiting so two nodes blasting each other cannot deadlock.
   while (!ring.try_push(frame, len)) {
@@ -278,6 +298,7 @@ std::size_t Endpoint::extract() {
   // sender spins. Both records are appended after the fact with their true
   // timestamps; the exporter's global sort restores chronological order
   // (and correct nesting for extracts nested under ring backpressure).
+  trace_.assert_writer();  // single-threaded endpoint: we are the writer
   const std::uint64_t trace_t0 = trace_.enabled() ? now_ns() : 0;
   std::size_t count = 0;
   // Round-robin over every incoming ring, draining bursts. Frames are
@@ -291,6 +312,8 @@ std::size_t Endpoint::extract() {
   for (NodeId src = 0; src < cluster_.size(); ++src) {
     if (src == id_) continue;
     SpscRing& ring = cluster_.ring(src, id_);
+    // Mirror of push(): we are the only consumer of our incoming rings.
+    ring.assert_consumer();
     // Bounded drain: a producer refilling as fast as we consume must not
     // trap this loop and starve the post-loop retransmission/ack work.
     std::size_t budget = ring.capacity();
@@ -376,6 +399,7 @@ void Endpoint::drain() {
 
 void Endpoint::reliability_tick() {
   if (!cfg_.reliability || in_reliability_tick_) return;
+  trace_.assert_writer();  // single-threaded endpoint: we are the writer
   in_reliability_tick_ = true;
   const std::uint64_t now = now_ns();
   timer_.expired_into(now, due_scratch_);
@@ -398,6 +422,8 @@ void Endpoint::reliability_tick() {
     // inject() can re-enter extract() on ring backpressure, which may ack
     // and recycle the slab slot — stage the bytes first. The tick guard
     // above keeps the nested extract from clobbering the staging buffer.
+    // fm-lint: allow(hotpath-alloc): scratch capacity was reserved at
+    // construction, and a timeout retransmission is already recovery.
     retx_scratch_.assign(stored.data, stored.data + stored.len);
     inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
   }
@@ -409,6 +435,7 @@ void Endpoint::reliability_tick() {
 }
 
 void Endpoint::mark_peer_dead(NodeId peer) {
+  trace_.assert_writer();  // single-threaded endpoint: we are the writer
   if (!dead_peers_.insert(peer).second) return;
   ++stats_.peers_dead;
   if (trace_.enabled()) trace_.event(now_ns(), cat_dead_peer_, 'i', peer, 0);
@@ -426,6 +453,7 @@ void Endpoint::mark_peer_dead(NodeId peer) {
 
 void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
                              std::size_t len) {
+  trace_.assert_writer();  // single-threaded endpoint: we are the writer
   auto hdr = decode_header(data, len);
   if (!hdr.has_value()) {
     // Only injected corruption can produce wire garbage here; on a
@@ -447,6 +475,8 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
   for (std::size_t i = 0; i < h.ack_count; ++i) {
     std::uint32_t seq = frame_ack(h, data, i);
     timer_.disarm(from, seq);
+    // fm-lint: allow(hotpath-alloc): the credit bucket already exists for
+    // any peer we sent to; operator[] only inserts on first contact.
     if (window_.ack(from, seq) && cfg_.window_mode) ++credits_[from];
   }
   switch (h.type) {
@@ -464,13 +494,7 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       // The rejection proved the peer alive; the reject-queue backoff now
       // owns this frame and the timer re-arms at re-injection.
       if (cfg_.reliability) timer_.disarm(from, h.seq);
-      FrameHeader clean = h;
-      clean.type = FrameType::kData;
-      clean.ack_count = 0;
-      // clean inherits the CRC flag, so encode_frame recomputes a valid
-      // trailer over the cleaned frame.
-      rejq_.add(from, h.seq,
-                encode_frame(clean, frame_payload(h, data), nullptr));
+      park_reject(from, h, data);
       break;
     }
     case FrameType::kData: {
@@ -537,6 +561,8 @@ void Endpoint::drain_posted() {
     // A posted reply to a peer that died while it sat queued is dropped,
     // not a crash.
     FM_CHECK_MSG(ok(s) || s == Status::kPeerDead, "posted send failed");
+    // fm-lint: allow(hotpath-alloc): recycles the entry (and its warm
+    // payload buffer) into the pool; amortizes to zero allocations.
     posted_pool_.push_back(std::move(posted_[posted_head_]));
     ++posted_head_;
   }
@@ -561,6 +587,19 @@ void Endpoint::send_standalone_ack(NodeId peer) {
                    FrameHeader::kCrcBytes];
   const std::size_t wire = encode_frame_into(buf, h, nullptr, acks);
   inject(peer, buf, wire);
+}
+
+void Endpoint::park_reject(NodeId from, const FrameHeader& h,
+                           const std::uint8_t* data) {
+  // One of our data frames bounced: park a cleaned copy (type restored,
+  // stale piggybacked acks stripped) for backoff retransmission. Cold by
+  // definition — a reject means a receive pool overflowed somewhere.
+  FrameHeader clean = h;
+  clean.type = FrameType::kData;
+  clean.ack_count = 0;
+  // clean inherits the CRC flag, so encode_frame recomputes a valid
+  // trailer over the cleaned frame.
+  rejq_.add(from, h.seq, encode_frame(clean, frame_payload(h, data), nullptr));
 }
 
 void Endpoint::defer_reject(NodeId from, const FrameHeader& h,
@@ -592,7 +631,11 @@ void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
   p.dest = dest;
   p.handler = handler;
   const auto* b = static_cast<const std::uint8_t*>(buf);
+  // fm-lint: allow(hotpath-alloc): assigns into the recycled entry's warm
+  // buffer; only a first-time larger payload grows it.
   p.payload.assign(b, b + len);
+  // fm-lint: allow(hotpath-alloc): the posted list's capacity warms up and
+  // is kept by drain_posted()'s clear().
   posted_.push_back(std::move(p));
 }
 

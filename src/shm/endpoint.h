@@ -21,6 +21,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "fm/config.h"
@@ -54,13 +55,14 @@ class Endpoint {
   HandlerId register_handler(Handler fn) { return handlers_.add(std::move(fn)); }
 
   /// FM_send_4.
-  Status send4(NodeId dest, HandlerId handler, std::uint32_t w0,
-               std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
+  FM_HOT_PATH Status send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                           std::uint32_t w1, std::uint32_t w2,
+                           std::uint32_t w3);
   /// FM_send (segments beyond one frame).
-  Status send(NodeId dest, HandlerId handler, const void* buf,
-              std::size_t len);
+  FM_HOT_PATH Status send(NodeId dest, HandlerId handler, const void* buf,
+                          std::size_t len);
   /// FM_extract: processes currently deliverable frames; returns count.
-  std::size_t extract();
+  FM_HOT_PATH std::size_t extract();
   /// Extracts until `pred()` holds (spins with yields while idle).
   template <typename Pred>
   void extract_until(Pred&& pred) {
@@ -73,10 +75,11 @@ class Endpoint {
   void drain();
 
   /// Posted sends (the only legal way to send from handler context).
-  void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
-                  std::uint32_t w1, std::uint32_t w2, std::uint32_t w3);
-  void post_send(NodeId dest, HandlerId handler, const void* buf,
-                 std::size_t len);
+  FM_HOT_PATH void post_send4(NodeId dest, HandlerId handler, std::uint32_t w0,
+                              std::uint32_t w1, std::uint32_t w2,
+                              std::uint32_t w3);
+  FM_HOT_PATH void post_send(NodeId dest, HandlerId handler, const void* buf,
+                             std::size_t len);
 
   /// Context-aware send for layered protocols whose code runs both from
   /// application context and from handler context: sends immediately when
@@ -138,29 +141,42 @@ class Endpoint {
     std::vector<std::uint8_t> bytes;
   };
 
-  Status send_data_frame(NodeId dest, HandlerId handler,
-                         const std::uint8_t* payload, std::size_t len,
-                         bool fragmented, std::uint32_t msg_id,
-                         std::uint16_t frag_index, std::uint16_t frag_count);
+  FM_HOT_PATH Status send_data_frame(NodeId dest, HandlerId handler,
+                                     const std::uint8_t* payload,
+                                     std::size_t len, bool fragmented,
+                                     std::uint32_t msg_id,
+                                     std::uint16_t frag_index,
+                                     std::uint16_t frag_count);
   // `window_seq` names the send-window entry when `frame` points into the
   // window slab (0 — never a valid seq — otherwise): a blocked push must
   // re-validate the slot after nested extract()s, which can release and
   // recycle it (see push()).
-  void inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
-              std::uint32_t window_seq = 0);
-  void push(NodeId dest, const std::uint8_t* frame, std::size_t len,
-            std::uint32_t window_seq = 0);
-  void process_frame(NodeId from, const std::uint8_t* data,
-                     std::size_t len);
-  void send_standalone_ack(NodeId peer);
-  void defer_reject(NodeId from, const FrameHeader& h,
-                    const std::uint8_t* data);
-  void flush_deferred_tx();
-  void drain_posted();
-  void reliability_tick();
-  void mark_peer_dead(NodeId peer);
-  void idle_pause();
-  static std::uint64_t now_ns();
+  FM_HOT_PATH void inject(NodeId dest, const std::uint8_t* frame,
+                          std::size_t len, std::uint32_t window_seq = 0);
+  // The fault-model detour: copies the frame to stable storage, then
+  // drops/corrupts/duplicates/reorders. Test-configuration-only, so it is
+  // an explicit cold boundary off the allocation-free steady state.
+  FM_COLD_PATH void inject_faulty(NodeId dest, const std::uint8_t* frame,
+                                  std::size_t len);
+  FM_HOT_PATH void push(NodeId dest, const std::uint8_t* frame,
+                        std::size_t len, std::uint32_t window_seq = 0);
+  FM_HOT_PATH void process_frame(NodeId from, const std::uint8_t* data,
+                                 std::size_t len);
+  FM_HOT_PATH void send_standalone_ack(NodeId peer);
+  // Reject handling (both directions) only runs once a receive pool
+  // overflowed — the §4.5 recovery path, kept off the hot closure.
+  FM_COLD_PATH void park_reject(NodeId from, const FrameHeader& h,
+                                const std::uint8_t* data);
+  FM_COLD_PATH void defer_reject(NodeId from, const FrameHeader& h,
+                                 const std::uint8_t* data);
+  FM_HOT_PATH void flush_deferred_tx();
+  FM_HOT_PATH void drain_posted();
+  FM_HOT_PATH void reliability_tick();
+  FM_COLD_PATH void mark_peer_dead(NodeId peer);
+  // The explicit idle primitive: yielding is the one "blocking" act the
+  // steady state is allowed, and only when there was no work at all.
+  FM_COLD_PATH void idle_pause();
+  FM_HOT_PATH static std::uint64_t now_ns();
 
   Cluster& cluster_;
   NodeId id_;

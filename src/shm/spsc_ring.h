@@ -26,6 +26,14 @@
 //    written by the producer while the consumer reads its neighbours —
 //    cache-line ping-pong that the alignas(64) on the indices was supposed
 //    to prevent. Slots are padded to a 64-byte stride for the same reason.
+//
+// Ownership is enforced statically (common/annotate.h): the producer and
+// consumer sides are two distinct role capabilities. Producer entry points
+// require `prod_role_`, consumer entry points require `cons_role_`; the
+// owning thread claims its side once via assert_producer()/assert_consumer()
+// at its entry point, and under clang's -Wthread-safety a consumer-side call
+// from producer-role code (or vice versa) is a compile error, not a data
+// race waiting for TSan to catch it.
 #pragma once
 
 #include <atomic>
@@ -35,6 +43,7 @@
 #include <new>
 #include <vector>
 
+#include "common/annotate.h"
 #include "common/check.h"
 
 namespace fm::shm {
@@ -65,13 +74,23 @@ class SpscRing {
   SpscRing(const SpscRing&) = delete;
   SpscRing& operator=(const SpscRing&) = delete;
 
+  /// Claims the producer role for the calling context. Call once where the
+  /// owning side enters ring code (e.g. at the top of Endpoint::push); the
+  /// thread-safety analysis then admits producer-side calls below it.
+  /// Zero-cost: the ownership claim is structural, not checked at runtime.
+  void assert_producer() const FM_ASSERT_CAPABILITY(prod_role_) {}
+
+  /// Claims the consumer role — the receive side's counterpart.
+  void assert_consumer() const FM_ASSERT_CAPABILITY(cons_role_) {}
+
   /// Producer: claims the next slot for in-place frame construction.
   /// Returns a pointer to `len` writable bytes, or nullptr when the ring is
   /// full. The claim is invisible to the consumer until commit(); at most
   /// one reservation may be outstanding (enforced, mirroring SendWindow's
   /// contract checks), and it must not be held across any call that could
   /// consume from or push to this ring.
-  std::uint8_t* try_reserve(std::size_t len) {
+  FM_HOT_PATH std::uint8_t* try_reserve(std::size_t len)
+      FM_REQUIRES(prod_role_) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
     FM_CHECK_MSG(!reserved_, "nested ring reserve");
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
@@ -85,7 +104,7 @@ class SpscRing {
 
   /// Producer: publishes the reserved slot as a frame of `len` bytes
   /// (<= the reserved length).
-  void commit(std::size_t len) {
+  FM_HOT_PATH void commit(std::size_t len) FM_REQUIRES(prod_role_) {
     FM_CHECK_MSG(len <= slot_bytes_, "frame exceeds slot size");
     FM_CHECK_MSG(reserved_, "ring commit without reserve");
     reserved_ = false;
@@ -96,7 +115,8 @@ class SpscRing {
   }
 
   /// Producer: enqueues one pre-built frame. Returns false when full.
-  bool try_push(const void* frame, std::size_t len) {
+  FM_HOT_PATH bool try_push(const void* frame, std::size_t len)
+      FM_REQUIRES(prod_role_) {
     std::uint8_t* dst = try_reserve(len);
     if (dst == nullptr) return false;
     if (len != 0) std::memcpy(dst, frame, len);
@@ -110,7 +130,8 @@ class SpscRing {
   /// valid only inside `fn`, and `fn` must not consume from this ring
   /// re-entrantly (the unpublished frames would be seen twice).
   template <typename F>
-  std::size_t try_consume_batch(std::size_t max, F&& fn) {
+  FM_HOT_PATH std::size_t try_consume_batch(std::size_t max, F&& fn)
+      FM_REQUIRES(cons_role_) {
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     if (tail_cache_ == head) {
       tail_cache_ = tail_.load(std::memory_order_acquire);
@@ -131,12 +152,13 @@ class SpscRing {
   /// Consumer: dequeues one frame through `fn(const std::uint8_t*, size)`.
   /// Returns false when empty. The pointer is valid only inside `fn`.
   template <typename F>
-  bool try_consume(F&& fn) {
+  FM_HOT_PATH bool try_consume(F&& fn) FM_REQUIRES(cons_role_) {
     return try_consume_batch(1, std::forward<F>(fn)) == 1;
   }
 
-  /// Consumer-side convenience: pops into a vector.
-  bool try_pop(std::vector<std::uint8_t>& out) {
+  /// Consumer-side convenience: pops into a vector. Off the hot path — the
+  /// assign may grow the destination.
+  bool try_pop(std::vector<std::uint8_t>& out) FM_REQUIRES(cons_role_) {
     return try_consume([&](const std::uint8_t* p, std::size_t n) {
       out.assign(p, p + n);
     });
@@ -159,7 +181,7 @@ class SpscRing {
   static constexpr std::size_t kPrefixBytes = sizeof(std::uint32_t);
   static constexpr std::size_t kSlotAlign = 64;
 
-  std::uint8_t* slot(std::uint64_t index) const {
+  FM_HOT_PATH std::uint8_t* slot(std::uint64_t index) const {
     return data_ + (static_cast<std::size_t>(index) & mask_) * stride_;
   }
 
@@ -167,13 +189,19 @@ class SpscRing {
   const std::size_t slot_bytes_;
   const std::size_t stride_;  // kPrefixBytes + slot_bytes_, cache-aligned
   std::uint8_t* const data_;
+  // The two sides as distinct static capabilities (no runtime state).
+  fm::Role prod_role_;
+  fm::Role cons_role_;
   // Consumer-owned line: its index plus its cached view of the producer's.
+  // head_ itself is an atomic (both sides load it) so only the cache —
+  // touched by exactly one side, never synchronized — is role-guarded.
   alignas(64) std::atomic<std::uint64_t> head_;
-  std::uint64_t tail_cache_;
+  std::uint64_t tail_cache_ FM_GUARDED_BY(cons_role_);
   // Producer-owned line, same layout mirrored.
   alignas(64) std::atomic<std::uint64_t> tail_;
-  std::uint64_t head_cache_;
-  bool reserved_ = false;  // reserve/commit pairing check (producer-only)
+  std::uint64_t head_cache_ FM_GUARDED_BY(prod_role_);
+  // reserve/commit pairing check (producer-only).
+  bool reserved_ FM_GUARDED_BY(prod_role_) = false;
 };
 
 }  // namespace fm::shm

@@ -36,7 +36,10 @@ class Trace {
 
   /// Enables or disables recording. Enabling preallocates the ring (see
   /// set_capacity); re-enabling a cleared trace keeps its capacity.
+  /// Like the underlying ring, this veneer is single-writer: the owning
+  /// simulator thread claims the writer role at each mutating entry.
   void set_enabled(bool on) {
+    ring_.assert_writer();
     if (on)
       ring_.enable(capacity_);
     else
@@ -52,6 +55,7 @@ class Trace {
   void add(Time at, const char* category, const char* fmt, ...)
       __attribute__((format(printf, 4, 5))) {
     if (!ring_.enabled()) return;
+    ring_.assert_writer();
     va_list ap;
     va_start(ap, fmt);
     ring_.eventv(static_cast<std::uint64_t>(at), ring_.intern(category), 'i',
@@ -85,7 +89,10 @@ class Trace {
   std::uint64_t clipped() const { return ring_.clipped(); }
 
   /// Clears all records (keeps enablement and capacity).
-  void clear() { ring_.clear(); }
+  void clear() {
+    ring_.assert_writer();
+    ring_.clear();
+  }
 
   /// The underlying FM-Scope ring (exporters take dumps from here).
   const obs::TraceRing& ring() const { return ring_; }
