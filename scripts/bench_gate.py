@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""bench_gate: the perf-regression gate over the committed bench trajectory.
+
+The hot-path benches emit machine-readable trajectory files (schema 2:
+{"bench": ..., "metrics": {...}, "counters": {...}}) that are committed
+under results/. CI re-runs the benches in --quick mode on every PR and this
+gate diffs the fresh metrics against the committed baseline:
+
+  bench_gate.py check  --fresh BENCH_shm.json [--fresh BENCH_net.json ...]
+  bench_gate.py derive --out results/BENCH_bands.json sample1.json ...
+  bench_gate.py selftest
+
+Only *directional* metrics are gated — the direction is read off the
+metric name (see classify()): lower-is-better latencies/intercepts
+(..._us, ..._ns, ..._n_half...) and higher-is-better rates (..._per_sec,
+..._r_inf..., ..._mbs). Everything else (delivered counts, retransmit
+tallies) is workload bookkeeping, not performance, and is ignored.
+
+A metric regresses when it degrades past its noise band. Bands are
+ratios: with band b, a lower-is-better metric may grow to baseline*(1+b)
+and a higher-is-better metric may shrink to baseline/(1+b) before the
+gate goes red. Quick-mode runs on shared CI hardware are noisy, so the
+committed results/BENCH_bands.json (written by `derive` from repeated
+quick runs) is deliberately generous: this gate exists to catch cliffs,
+not 10% drift — the committed full-length trajectory is the record of
+drift.
+
+Waivers: a known, justified regression rides along in the waiver file
+(results/BENCH_waivers.txt by default), one per line:
+
+  allow(<bench>.<metric>): <justification>
+
+e.g.  allow(shm_hotpath.send4_t0_us): ring doorbell batching trades t0
+for stream rate, accepted in PR #6.  Malformed waiver lines fail the
+gate — an unparseable waiver silently waiving nothing is worse than a
+red run. Stale waivers (matching no gated metric) are reported but not
+fatal, so a waiver can land one PR ahead of the bench change it excuses.
+
+Exit codes: 0 clean (or waived), 1 regression, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import os
+import re
+import sys
+import tempfile
+
+DEFAULT_BAND = 1.5  # ratio: 2.5x slower / 2.5x less throughput trips it
+DEFAULT_BANDS_FILE = "results/BENCH_bands.json"
+DEFAULT_WAIVERS_FILE = "results/BENCH_waivers.txt"
+
+LOWER_BETTER = ("_us", "_ns")  # suffixes: latencies, fitted intercepts
+LOWER_BETTER_INFIX = ("n_half",)  # N1/2: smaller message reaches half-rate
+HIGHER_BETTER = ("_per_sec", "_mbs")  # rates
+HIGHER_BETTER_INFIX = ("r_inf",)  # asymptotic bandwidth
+
+WAIVER_RE = re.compile(r"^allow\(([A-Za-z0-9_][A-Za-z0-9_.]*)\)\s*:\s*(\S.*)$")
+
+
+def classify(metric):
+    """'lower', 'higher', or None (not a performance direction)."""
+    for infix in LOWER_BETTER_INFIX:
+        if infix in metric:
+            return "lower"
+    for infix in HIGHER_BETTER_INFIX:
+        if infix in metric:
+            return "higher"
+    if metric.endswith(LOWER_BETTER):
+        return "lower"
+    if metric.endswith(HIGHER_BETTER):
+        return "higher"
+    return None
+
+
+def load_trajectory(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "bench" not in doc or "metrics" not in doc:
+        raise ValueError(f"{path}: not a schema-2 trajectory file")
+    return doc["bench"], doc["metrics"]
+
+
+def index_baselines(results_dir):
+    """Maps bench name -> metrics for every BENCH_*.json under results/."""
+    out = {}
+    for name in sorted(os.listdir(results_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        if name == os.path.basename(DEFAULT_BANDS_FILE):
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            bench, metrics = load_trajectory(path)
+        except (ValueError, json.JSONDecodeError):
+            continue
+        out[bench] = metrics
+    return out
+
+
+def load_bands(path):
+    if not path or not os.path.exists(path):
+        return DEFAULT_BAND, {}
+    with open(path) as f:
+        doc = json.load(f)
+    return float(doc.get("default_band", DEFAULT_BAND)), {
+        k: float(v) for k, v in doc.get("bands", {}).items()
+    }
+
+
+def load_waivers(path):
+    """Returns {key: justification}; raises ValueError on bad grammar."""
+    waivers = {}
+    if not path or not os.path.exists(path):
+        return waivers
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            m = WAIVER_RE.match(line)
+            if not m:
+                raise ValueError(
+                    f"{path}:{lineno}: bad waiver (want "
+                    f"'allow(<bench>.<metric>): <justification>'): {line}"
+                )
+            waivers[m.group(1)] = m.group(2)
+    return waivers
+
+
+def degradation(direction, base, fresh):
+    """Degradation ratio >= 0 (0 = at or better than baseline)."""
+    if base <= 0 or fresh <= 0 or not (math.isfinite(base) and
+                                       math.isfinite(fresh)):
+        return 0.0  # degenerate values carry no perf signal
+    if direction == "lower":
+        return max(0.0, fresh / base - 1.0)
+    return max(0.0, base / fresh - 1.0)
+
+
+def check(fresh_paths, baselines, bands_path, waivers_path, default_band,
+          out=sys.stdout):
+    """Returns (regressions, waived, gated_count). Raises ValueError on
+    unusable inputs (missing baseline, bad waiver grammar)."""
+    band_default, bands = load_bands(bands_path)
+    if default_band is not None:
+        band_default = default_band
+    waivers = load_waivers(waivers_path)
+    used_waivers = set()
+    regressions, waived, gated = [], [], 0
+
+    for path in fresh_paths:
+        bench, fresh = load_trajectory(path)
+        if bench not in baselines:
+            raise ValueError(f"{path}: no committed baseline for bench "
+                             f"'{bench}' (known: {sorted(baselines)})")
+        base = baselines[bench]
+        for metric in sorted(fresh):
+            direction = classify(metric)
+            if direction is None or metric not in base:
+                continue
+            gated += 1
+            key = f"{bench}.{metric}"
+            band = bands.get(key, band_default)
+            deg = degradation(direction, base[metric], fresh[metric])
+            if deg <= band:
+                continue
+            line = (f"{key}: {base[metric]:.4g} -> {fresh[metric]:.4g} "
+                    f"({direction}-is-better, degraded {deg:.0%}, "
+                    f"band {band:.0%})")
+            if key in waivers:
+                used_waivers.add(key)
+                waived.append(f"{line} — WAIVED: {waivers[key]}")
+            else:
+                regressions.append(line)
+
+    for line in waived:
+        print(f"[bench_gate] waived   {line}", file=out)
+    for line in regressions:
+        print(f"[bench_gate] REGRESSED {line}", file=out)
+    for key in sorted(set(waivers) - used_waivers):
+        print(f"[bench_gate] note: waiver for '{key}' matched no regression "
+              f"(stale, or riding ahead of its bench change)", file=out)
+    print(f"[bench_gate] {gated} metric(s) gated, "
+          f"{len(regressions)} regression(s), {len(waived)} waived", file=out)
+    return regressions, waived, gated
+
+
+def derive(sample_paths, baselines, out_path, floor, safety, out=sys.stdout):
+    """Widens per-metric bands so every supplied sample run would pass."""
+    _, bands = load_bands(out_path)
+    for path in sample_paths:
+        bench, fresh = load_trajectory(path)
+        if bench not in baselines:
+            raise ValueError(f"{path}: no committed baseline for '{bench}'")
+        base = baselines[bench]
+        for metric, value in fresh.items():
+            direction = classify(metric)
+            if direction is None or metric not in base:
+                continue
+            deg = degradation(direction, base[metric], value)
+            need = max(floor, math.ceil(deg * safety * 10) / 10)
+            key = f"{bench}.{metric}"
+            if need > bands.get(key, 0.0):
+                bands[key] = need
+    doc = {
+        "_comment": "Noise bands for scripts/bench_gate.py: max allowed "
+                    "degradation ratio per metric (derived from repeated "
+                    "--quick runs; regenerate with bench_gate.py derive).",
+        "default_band": DEFAULT_BAND,
+        "bands": {k: bands[k] for k in sorted(bands)},
+    }
+    with open(out_path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"[bench_gate] wrote {len(bands)} band(s) to {out_path}", file=out)
+
+
+def selftest():
+    """The gate proves its own rules fire, on synthetic trajectories."""
+    failures = []
+
+    def expect(name, cond):
+        if not cond:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as td:
+        def write(name, bench, metrics):
+            path = os.path.join(td, name)
+            with open(path, "w") as f:
+                json.dump({"bench": bench, "schema": 2, "metrics": metrics,
+                           "counters": {"x.frames_sent": 1}}, f)
+            return path
+
+        base_metrics = {
+            "send4_t0_us": 2.0,            # lower is better
+            "stream_r_inf_mb_per_sec": 40, # higher is better
+            "stream_n_half_bytes": 256,    # lower is better (infix)
+            "crc_study_delivered": 2048,   # directionless: never gated
+        }
+        results = os.path.join(td, "results")
+        os.mkdir(results)
+        with open(os.path.join(results, "BENCH_fake.json"), "w") as f:
+            json.dump({"bench": "fake", "schema": 2,
+                       "metrics": base_metrics, "counters": {"c": 1}}, f)
+        baselines = index_baselines(results)
+        expect("baseline indexed by bench name", "fake" in baselines)
+        sink = open(os.devnull, "w")
+
+        # Identical run: clean.
+        same = write("same.json", "fake", dict(base_metrics))
+        r, w, gated = check([same], baselines, None, None, 0.5, out=sink)
+        expect("identical run passes", not r and not w)
+        expect("directionless metrics not gated", gated == 3)
+
+        # Improvements never trip the gate.
+        better = write("better.json", "fake", {
+            "send4_t0_us": 0.5, "stream_r_inf_mb_per_sec": 400,
+            "stream_n_half_bytes": 16, "crc_study_delivered": 1})
+        r, _, _ = check([better], baselines, None, None, 0.5, out=sink)
+        expect("improvement passes", not r)
+
+        # A latency cliff past the band fails; a throughput cliff too.
+        slow = write("slow.json", "fake", {"send4_t0_us": 4.0})
+        r, _, _ = check([slow], baselines, None, None, 0.5, out=sink)
+        expect("latency regression fails", len(r) == 1)
+        thin = write("thin.json", "fake", {"stream_r_inf_mb_per_sec": 10})
+        r, _, _ = check([thin], baselines, None, None, 0.5, out=sink)
+        expect("throughput regression fails", len(r) == 1)
+
+        # Inside the band: noise, not regression.
+        noisy = write("noisy.json", "fake", {"send4_t0_us": 2.9})
+        r, _, _ = check([noisy], baselines, None, None, 0.5, out=sink)
+        expect("in-band noise passes", not r)
+
+        # Per-metric band overrides the default.
+        bands_path = os.path.join(td, "bands.json")
+        with open(bands_path, "w") as f:
+            json.dump({"default_band": 0.5,
+                       "bands": {"fake.send4_t0_us": 2.0}}, f)
+        r, _, _ = check([slow], baselines, bands_path, None, None, out=sink)
+        expect("per-metric band overrides default", not r)
+
+        # A well-formed waiver turns the regression into a note...
+        waivers_path = os.path.join(td, "waivers.txt")
+        with open(waivers_path, "w") as f:
+            f.write("# accepted tradeoff\n"
+                    "allow(fake.send4_t0_us): doubled on purpose in PR #6\n")
+        r, w, _ = check([slow], baselines, None, waivers_path, 0.5, out=sink)
+        expect("waiver rescues the run", not r and len(w) == 1)
+        # ...but bad waiver grammar is itself a failure.
+        with open(waivers_path, "w") as f:
+            f.write("allow fake.send4_t0_us: missing parens\n")
+        try:
+            check([slow], baselines, None, waivers_path, 0.5, out=sink)
+            expect("malformed waiver raises", False)
+        except ValueError:
+            pass
+        # A justification is not optional.
+        with open(waivers_path, "w") as f:
+            f.write("allow(fake.send4_t0_us):\n")
+        try:
+            check([slow], baselines, None, waivers_path, 0.5, out=sink)
+            expect("empty justification raises", False)
+        except ValueError:
+            pass
+
+        # derive widens bands until the supplied samples pass.
+        out_bands = os.path.join(td, "derived.json")
+        derive([slow, thin], baselines, out_bands, floor=0.2, safety=1.5,
+               out=sink)
+        r, _, _ = check([slow, thin], baselines, out_bands, None, None,
+                        out=sink)
+        expect("derived bands cover the samples", not r)
+
+        # An unknown bench has no baseline to gate against: hard error.
+        stranger = write("stranger.json", "unknown_bench", {"x_us": 1.0})
+        try:
+            check([stranger], baselines, None, None, 0.5, out=sink)
+            expect("unknown bench raises", False)
+        except ValueError:
+            pass
+        sink.close()
+
+    for name in failures:
+        print(f"[bench_gate selftest] FAILED: {name}", file=sys.stderr)
+    if not failures:
+        print("[bench_gate selftest] all rules fire; gate is live")
+    return 1 if failures else 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    c = sub.add_parser("check", help="diff fresh runs against the baseline")
+    c.add_argument("--fresh", action="append", required=True,
+                   help="fresh trajectory JSON (repeatable)")
+    c.add_argument("--results-dir", default="results")
+    c.add_argument("--bands", default=DEFAULT_BANDS_FILE)
+    c.add_argument("--waivers", default=DEFAULT_WAIVERS_FILE)
+    c.add_argument("--default-band", type=float, default=None,
+                   help="override the bands file's default ratio")
+
+    d = sub.add_parser("derive", help="widen bands from repeated sample runs")
+    d.add_argument("samples", nargs="+")
+    d.add_argument("--results-dir", default="results")
+    d.add_argument("--out", default=DEFAULT_BANDS_FILE)
+    d.add_argument("--floor", type=float, default=1.0,
+                   help="minimum band ratio written")
+    d.add_argument("--safety", type=float, default=2.5,
+                   help="multiplier over the worst observed deviation")
+
+    sub.add_parser("selftest", help="prove the gate's rules still fire")
+
+    args = ap.parse_args(argv)
+    if args.cmd == "selftest":
+        return selftest()
+    try:
+        baselines = index_baselines(args.results_dir)
+        if args.cmd == "check":
+            regressions, _, _ = check(args.fresh, baselines, args.bands,
+                                      args.waivers, args.default_band)
+            return 1 if regressions else 0
+        derive(args.samples, baselines, args.out, args.floor, args.safety)
+        return 0
+    except (ValueError, OSError, json.JSONDecodeError) as e:
+        print(f"[bench_gate] error: {e}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,7 +40,7 @@ if command -v clang++ >/dev/null 2>&1; then
       -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" \
       >/dev/null &&
     cmake --build "$tsdir" --target fm_common fm_obs fm_fm fm_api fm_shm \
-      fm_net fm_metrics fm_mpi_mini fm_stream fm_rpc -j "$(nproc)"'
+      fm_net fm_metrics fm_san fm_mpi_mini fm_stream fm_rpc -j "$(nproc)"'
 else
   skipped="${skipped} thread-safety(clang++)"
 fi

@@ -1,34 +1,95 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite, every figure/table bench,
-# both hot-path trajectory benches, and all examples. This is the
-# repository's one-command verification.
-set -euo pipefail
-cd "$(dirname "$0")/.."
+# both hot-path trajectory benches (gated against the committed perf
+# trajectory), and all examples. This is the repository's one-command
+# verification.
+#
+# Every step runs even if an earlier one failed — a mid-sequence bench
+# failure used to be easy to scroll past — and the script exits nonzero
+# with a summary naming each failed step.
+set -uo pipefail
+cd "$(dirname "$0")/.." || exit 2
 
-cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build --output-on-failure
+failed_steps=()
 
-echo "==== figure/table benches ========================================"
-for b in build/bench/*; do
-  if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
-  case "$b" in *.cmake|*CMakeFiles*) continue ;; esac
-  # The hot-path benches run explicitly below, with their JSON outputs.
-  case "$b" in */shm_hotpath|*/net_hotpath) continue ;; esac
-  echo "---- $b"
-  "$b"
-done
+# Runs a named step, recording (not aborting on) failure.
+step() {
+  local name="$1"
+  shift
+  echo "==== ${name} ===================================================="
+  if ! "$@"; then
+    echo "FAILED: ${name}" >&2
+    failed_steps+=("${name}")
+    return 1
+  fi
+}
 
-echo "==== hot-path benches (perf trajectory) =========================="
-# Full-length runs refresh the committed machine-readable trajectory
-# files; CI re-runs both with --quick on every PR and validates the JSON.
-./build/bench/shm_hotpath --json=results/BENCH_shm.json --trace=results/TRACE_shm_hotpath.json
-./build/bench/net_hotpath --json=results/BENCH_net.json
+# The build is the one hard prerequisite: nothing below can run without it.
+step "configure" cmake -B build -G Ninja || exit 1
+step "build" cmake --build build || exit 1
 
-echo "==== examples ===================================================="
-./build/examples/quickstart
-./build/examples/pingpong_cluster
-./build/examples/stencil_halo
-./build/examples/mpi_collectives
-./build/examples/stream_transfer 2
-./build/examples/bandwidth_probe 5000
+step "tests" ctest --test-dir build --output-on-failure
+
+run_figure_benches() {
+  local b ok=0
+  for b in build/bench/*; do
+    if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
+    case "$b" in *.cmake | *CMakeFiles*) continue ;;
+    # The hot-path benches run explicitly below, with their JSON outputs.
+    */shm_hotpath | */net_hotpath) continue ;; esac
+    echo "---- $b"
+    if ! "$b"; then
+      echo "FAILED: $b" >&2
+      ok=1
+    fi
+  done
+  return "$ok"
+}
+step "figure/table benches" run_figure_benches
+
+# Hot-path trajectory: full-length runs land in a staging directory, the
+# perf gate diffs them against the committed results/BENCH_*.json, and
+# only a green gate refreshes the committed files. A red gate leaves the
+# fresh runs as results/BENCH_*.fresh.json for inspection (and for a
+# deliberate `bench_gate.py derive` / waiver, see docs/VALIDATION.md).
+run_trajectory_benches() {
+  local stage
+  stage="$(mktemp -d)" || return 1
+  ./build/bench/shm_hotpath --json="${stage}/BENCH_shm.json" \
+    --trace=results/TRACE_shm_hotpath.json || return 1
+  ./build/bench/net_hotpath --json="${stage}/BENCH_net.json" || return 1
+  if python3 scripts/bench_gate.py check \
+    --fresh "${stage}/BENCH_shm.json" --fresh "${stage}/BENCH_net.json"; then
+    mv "${stage}/BENCH_shm.json" results/BENCH_shm.json
+    mv "${stage}/BENCH_net.json" results/BENCH_net.json
+    rmdir "${stage}"
+  else
+    mv "${stage}/BENCH_shm.json" results/BENCH_shm.fresh.json
+    mv "${stage}/BENCH_net.json" results/BENCH_net.fresh.json
+    rmdir "${stage}"
+    echo "perf gate red: fresh runs kept as results/BENCH_*.fresh.json" >&2
+    return 1
+  fi
+}
+step "hot-path benches + perf gate" run_trajectory_benches
+
+run_examples() {
+  local ok=0
+  ./build/examples/quickstart || ok=1
+  ./build/examples/pingpong_cluster || ok=1
+  ./build/examples/stencil_halo || ok=1
+  ./build/examples/mpi_collectives || ok=1
+  ./build/examples/stream_transfer 2 || ok=1
+  ./build/examples/bandwidth_probe 5000 || ok=1
+  return "$ok"
+}
+step "examples" run_examples
+
+if [ "${#failed_steps[@]}" -gt 0 ]; then
+  echo ""
+  echo "run_all: ${#failed_steps[@]} step(s) FAILED:" >&2
+  printf '  - %s\n' "${failed_steps[@]}" >&2
+  exit 1
+fi
+echo ""
+echo "run_all: all steps passed"

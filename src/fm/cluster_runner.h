@@ -36,6 +36,14 @@ struct RankStatus {
   bool exited = true;    ///< Normal exit (false: killed by a signal).
   int exit_code = 0;     ///< Valid when `exited`.
   int term_signal = 0;   ///< Valid when !`exited` (e.g. SIGKILL).
+  /// Last progress marker the rank announced via Cluster::note_phase()
+  /// (e.g. "round 12" from the FM-San soak driver). When the watchdog
+  /// SIGKILLs a hung run, this is where each rank was last seen.
+  std::string last_phase;
+  /// Barriers the harness saw this rank enter (net backend: counted by the
+  /// parent; shm backend: always 0 — threads share a fate, so the phase
+  /// marker carries the story there).
+  std::uint64_t barriers_seen = 0;
   bool clean() const { return exited && exit_code == 0; }
 };
 
@@ -94,7 +102,8 @@ template <class C>
 concept ClusterBackend = requires(
     C& c, NodeId i, typename C::EndpointType::Handler h,
     const std::function<void(typename C::EndpointType&)>& body,
-    const char* key, double value) {
+    const char* key, double value, const obs::Registry& reg,
+    const std::string& phase) {
   { c.size() } -> std::convertible_to<std::size_t>;
   { c.endpoint(i) } -> std::same_as<typename C::EndpointType&>;
   { c.register_handler(h) } -> std::same_as<HandlerId>;
@@ -102,6 +111,13 @@ concept ClusterBackend = requires(
   c.barrier();
   c.barrier([] {});  // servicing flavor (see barrier_serviced)
   c.report(key, value);
+  // Merges an extra registry snapshot (e.g. a node_main-local "san.node3"
+  // scope) into RunReport::samples alongside the endpoint registries.
+  c.publish(reg);
+  // Progress marker for rank `i`: surfaces in RankStatus::last_phase and in
+  // the watchdog kill report, so a hung or killed run says where each rank
+  // was last seen.
+  c.note_phase(i, phase);
 };
 
 /// Barrier that keeps `ep` network-responsive while waiting: extract()

@@ -84,10 +84,13 @@ struct FmConfig {
   std::size_t max_retries = 10;
 
   /// A partially reassembled message whose fragments stop arriving frees
-  /// its receive-pool slot after this long. Must comfortably exceed the
-  /// full retransmission horizon (sum of backed-off timeouts), or a slot
-  /// could expire while the sender is still legitimately retrying and the
-  /// message would be lost.
+  /// its receive-pool slot after this long — unreliable profiles only,
+  /// where a genuinely lost fragment would otherwise pin the slot forever.
+  /// Under `reliability` the sweep never runs: expiring a partial erases
+  /// fragments the sender already saw acked (silent message loss, since
+  /// nothing is retained to retransmit), while FM-R guarantees a live
+  /// peer's partial completes and a dead peer's slots are freed by the
+  /// dead-peer purge. 0 disables.
   std::uint64_t reassembly_ttl_ns = 1'000'000'000;  // 1 s
 };
 

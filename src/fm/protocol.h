@@ -136,6 +136,18 @@ class SendWindow {
     return true;
   }
 
+  /// Releases a slot whose frame bounced back via return-to-sender. A
+  /// returned frame is no longer outstanding in the network and the reject
+  /// queue now retains its bytes, so keeping it here would only pin window
+  /// capacity: a window full of bounced frames head-of-line blocks
+  /// fragments bound for *other* peers, and two senders doing that to each
+  /// other deadlock (each waits for window space only the other's rejected
+  /// retries could free). Re-injection re-reserves a slot so FM-R timeout
+  /// retransmission can still re-source the retry.
+  FM_COLD_PATH bool bounce(NodeId dest, std::uint32_t seq) {
+    return ack(dest, seq);
+  }
+
   /// Looks up the retained copy of (`dest`, `seq`) for retransmission
   /// (reject path or FM-R timeout). The view is valid until the entry is
   /// acked, dropped, or the slab slot is otherwise recycled.
@@ -204,6 +216,19 @@ class RetransmitTimer {
  public:
   RetransmitTimer(std::uint64_t timeout_ns, std::size_t max_retries)
       : timeout_ns_(timeout_ns), max_retries_(max_retries) {}
+
+  /// Upper bound on the time from a peer going silent to this timer
+  /// exhausting its retries and declaring the frame abandoned: the sum of
+  /// every backed-off deadline (shift capped exactly as expired_into caps
+  /// it). FM-San's chaos scenarios assert dead-peer detection completes
+  /// within a small multiple of this horizon.
+  static constexpr std::uint64_t detection_horizon_ns(
+      std::uint64_t timeout_ns, std::size_t max_retries) {
+    std::uint64_t total = 0;
+    for (std::size_t r = 0; r <= max_retries; ++r)
+      total += timeout_ns << (r < kBackoffShiftCap ? r : kBackoffShiftCap);
+    return total;
+  }
 
   /// Arms (or re-arms, resetting the retry count) the timer for a frame.
   /// Storage is a flat vector: armed timers are bounded by the pending

@@ -137,7 +137,13 @@ sim::Op<Status> SimEndpoint::send_data_frame(
   while (blocked()) {
     // A dead destination frees no window slots; fail instead of hanging.
     if (cfg_.reliability && peer_dead(dest)) co_return Status::kPeerDead;
+    // Flag the spin so the reject-queue tick inside extract() leaves one
+    // window slot for this frame (bounce-release + retry-re-track inside a
+    // single extract() call would otherwise starve the blocked sender).
+    const bool outer_spin = send_blocked_spin_;  // nested sends restore it
+    send_blocked_spin_ = true;
     std::size_t n = co_await extract();
+    send_blocked_spin_ = outer_spin;
     if (blocked() && n == 0) co_await idle_wait();
   }
   if (cfg_.reliability && peer_dead(dest)) co_return Status::kPeerDead;
@@ -254,14 +260,40 @@ sim::Op<std::size_t> SimEndpoint::extract() {
   // Retransmit rejected frames whose backoff expired. With FM-R the timer
   // is re-armed fresh: a rejection proves the peer alive, so it resets the
   // retry budget.
+  // The retry re-enters the pending window (its bounce released the slot)
+  // so a lost retry can be re-sourced by timeout retransmission; when the
+  // window is momentarily full the entry waits out another backoff period.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
+    if (cfg_.reliability && dead_peers_.count(entry.dest) > 0) {
+      ++stats_.frames_discarded_dead;
+      continue;
+    }
+    // Leave one slot for a sender spinning in the blocked-send loop: its
+    // fresh fragment may be the one that completes an admitted reassembly
+    // at the rejecting peer, unwedging everyone bouncing off that slot.
+    if (window_.space() <= (send_blocked_spin_ ? 1u : 0u)) {
+      rejq_.add(entry.dest, entry.seq, std::move(entry.bytes));
+      continue;
+    }
     ++stats_.retransmissions;
     if (trace_.enabled())
       trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
+    window_.track(entry.dest, entry.seq, entry.bytes.data(),
+                  entry.bytes.size());
     if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     co_await inject(entry.dest, std::move(entry.bytes));
   }
   if (cfg_.reliability) co_await reliability_tick();
+  // Lossy reclamation for unreliable profiles only: a genuinely lost
+  // fragment would otherwise pin a receive-pool slot forever. Under FM-R
+  // the sweep would instead *cause* loss (see reliability_tick()).
+  if (!cfg_.reliability && cfg_.reassembly_ttl_ns > 0 &&
+      reasm_.active() > 0) {
+    const std::uint64_t now = now_ns();
+    if (now > cfg_.reassembly_ttl_ns)
+      stats_.reassemblies_expired +=
+          reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+  }
   // Standalone acks for peers owed a batch. The threshold must stay below
   // half a peer's in-flight allotment (its pending window, or its credit
   // allotment in window mode) or senders stall with their window full
@@ -320,9 +352,11 @@ sim::Op<> SimEndpoint::reliability_tick() {
                     std::vector<std::uint8_t>(stored.data,
                                               stored.data + stored.len));
   }
-  if (now > cfg_.reassembly_ttl_ns)
-    stats_.reassemblies_expired +=
-        reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+  // No reassembly-TTL sweep under FM-R: expiring a partial here is silent
+  // message loss — the erased fragments were already acked, so their
+  // sender retains nothing to retransmit. Live peers' partials always
+  // complete; dead peers' slots are freed by mark_peer_dead(). The
+  // unreliable-profile sweep lives in extract().
 }
 
 void SimEndpoint::mark_peer_dead(NodeId peer) {
@@ -387,10 +421,15 @@ sim::Op<> SimEndpoint::process_frame(hw::Packet pkt) {
       break;  // nothing beyond the acks themselves
     case FrameType::kReject: {
       // One of our frames came back: park it for retransmission. Its timer
-      // is suspended while parked (the rejq tick re-arms on re-injection).
+      // is suspended while parked (the rejq tick re-arms on re-injection),
+      // and its window slot is freed with it — a bounced frame is not in
+      // the network, and leaving it pinned head-of-line blocks fragments
+      // bound for other peers (two senders bouncing off each other's full
+      // receive pools would deadlock waiting for window space).
       ++stats_.rejects_received;
       if (cfg_.reliability) timer_.disarm(pkt.src, h.seq);
       rejq_.add(pkt.src, h.seq, strip_acks(h, pkt.bytes.data()));
+      window_.bounce(pkt.src, h.seq);
       break;
     }
     case FrameType::kData: {

@@ -193,6 +193,11 @@ class SimEndpoint {
   std::size_t consumed_since_update_ = 0;
   bool draining_posted_ = false;
   bool started_ = false;
+  // Set while send() spins on a full window so the reject-queue tick inside
+  // extract() leaves one slot free for the blocked frame (otherwise
+  // bounce-release + retry-re-track inside one extract() call starves the
+  // sender forever at reject_retry_delay 1).
+  bool send_blocked_spin_ = false;
   // FM-Scope. Interned category ids for the hot-path trace events.
   obs::TraceRing trace_;
   std::uint16_t cat_send_ = 0;

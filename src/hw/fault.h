@@ -50,6 +50,10 @@ struct FaultParams {
     return drop_rate > 0 || corrupt_rate > 0 || duplicate_rate > 0 ||
            reorder_rate > 0 || burst_rate > 0;
   }
+
+  /// Field-wise equality (FM-San asserts that re-materializing a chaos
+  /// schedule from the same seed yields identical fault parameters).
+  bool operator==(const FaultParams&) const = default;
 };
 
 /// Per-network fault source.
@@ -114,6 +118,16 @@ class FaultInjector {
   std::uint64_t bursts() const { return bursts_; }
 
   const FaultParams& params() const { return params_; }
+
+  /// Swaps in new rates mid-run (chaos storms/ramps) without touching the
+  /// PRNG stream or the fault counters, so a reseeded replay that applies
+  /// the same ramp at the same point reproduces the same fault pattern.
+  /// The seed field of `p` is ignored — reseeding would fork the replay.
+  void set_params(const FaultParams& p) {
+    const std::uint64_t seed = params_.seed;
+    params_ = p;
+    params_.seed = seed;
+  }
 
  private:
   FaultParams params_;

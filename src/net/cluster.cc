@@ -22,6 +22,7 @@ constexpr char kBarrier = 'B';  // child -> parent: waiting at barrier()
 constexpr char kRelease = 'R';  // parent -> child: everyone arrived, go on
 constexpr char kSample = 'S';   // child -> parent: one registry sample
 constexpr char kMetric = 'M';   // child -> parent: one report()ed scalar
+constexpr char kPhase = 'P';    // child -> parent: progress marker string
 constexpr char kDone = 'D';     // child -> parent: node_main returned
 
 constexpr std::size_t kMaxPacket = 512;
@@ -53,12 +54,36 @@ long recv_packet(int fd, void* buf, std::size_t cap) {
   }
 }
 
+/// Streams one registry sample to the parent (child side): the only path
+/// counter values take across the address-space boundary.
+void send_sample(int ctl, const obs::Sample& s) {
+  char pkt[kMaxPacket];
+  const std::size_t name_len = std::min(s.name.size(), kMaxPacket - 10);
+  pkt[0] = kSample;
+  pkt[1] = s.monotonic ? 1 : 0;
+  std::memcpy(pkt + 2, &s.value, sizeof s.value);
+  std::memcpy(pkt + 10, s.name.data(), name_len);
+  (void)send_packet(ctl, pkt, 10 + name_len);
+}
+
+/// FM_NET_WATCHDOG_MS override of the configured watchdog deadline
+/// (0/garbage: keep the config value).
+std::uint64_t watchdog_override_ns(std::uint64_t config_ns) {
+  const char* env = std::getenv("FM_NET_WATCHDOG_MS");
+  if (env == nullptr || *env == '\0') return config_ns;
+  char* end = nullptr;
+  const unsigned long long ms = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || ms == 0) return config_ns;
+  return static_cast<std::uint64_t>(ms) * 1'000'000ull;
+}
+
 }  // namespace
 
 Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
                  hw::FaultParams faults)
     : net_(net) {
   FM_CHECK_MSG(nodes >= 1, "empty cluster");
+  net_.run_timeout_ns = watchdog_override_ns(net_.run_timeout_ns);
   // Bind every node's socket first: the full address map must exist before
   // any endpoint is constructed, and both must exist before fork() so the
   // children inherit identical state.
@@ -114,6 +139,7 @@ RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
   }
   RunReport report;
   report.metrics = reported_;
+  report.samples = published_;
   parent_collect(report, pids);
   return report;
 }
@@ -148,15 +174,8 @@ void Cluster::child_main(NodeId rank,
   // only path counters take across the address-space boundary. This child
   // process is the registry's single owner, so the claim is trivially true.
   endpoints_[rank]->registry().assert_owner();
-  for (const obs::Sample& s : endpoints_[rank]->registry().snapshot()) {
-    char pkt[kMaxPacket];
-    const std::size_t name_len = std::min(s.name.size(), kMaxPacket - 10);
-    pkt[0] = kSample;
-    pkt[1] = s.monotonic ? 1 : 0;
-    std::memcpy(pkt + 2, &s.value, sizeof s.value);
-    std::memcpy(pkt + 10, s.name.data(), name_len);
-    (void)send_packet(ctl, pkt, 10 + name_len);
-  }
+  for (const obs::Sample& s : endpoints_[rank]->registry().snapshot())
+    send_sample(ctl, s);
   tag = kDone;
   (void)send_packet(ctl, &tag, 1);
   std::fflush(nullptr);
@@ -213,6 +232,32 @@ void Cluster::report(const std::string& key, double value) {
   (void)send_packet(ctl_child_[my_rank_], pkt, 9 + name_len);
 }
 
+void Cluster::publish(const obs::Registry& reg) {
+  reg.assert_owner();
+  if (!in_child_) {
+    auto snap = reg.snapshot();
+    published_.insert(published_.end(), snap.begin(), snap.end());
+    return;
+  }
+  for (const obs::Sample& s : reg.snapshot())
+    send_sample(ctl_child_[my_rank_], s);
+}
+
+void Cluster::note_phase(NodeId i, const std::string& phase) {
+  FM_CHECK(i < size());
+  if (!in_child_) {
+    parent_phases_[i] = phase;
+    return;
+  }
+  FM_CHECK_MSG(i == my_rank_,
+               "a net rank can only announce its own phase");
+  char pkt[kMaxPacket];
+  const std::size_t len = std::min(phase.size(), kMaxPacket - 1);
+  pkt[0] = kPhase;
+  std::memcpy(pkt + 1, phase.data(), len);
+  (void)send_packet(ctl_child_[my_rank_], pkt, 1 + len);
+}
+
 void Cluster::parent_collect(RunReport& report,
                              const std::vector<pid_t>& pids) {
   const std::size_t n = pids.size();
@@ -220,6 +265,11 @@ void Cluster::parent_collect(RunReport& report,
   std::vector<St> state(n, St::kWaitReady);
   std::vector<bool> at_barrier(n, false);
   std::vector<bool> sent_done(n, false);
+  // Progress bookkeeping for the watchdog kill report and RankStatus.
+  std::vector<std::string> last_phase(n);
+  std::vector<std::uint64_t> barriers_seen(n, 0);
+  for (const auto& [rank, phase] : parent_phases_)
+    if (rank < n) last_phase[rank] = phase;
   std::size_t open = n;
   bool go_sent = false;
 
@@ -261,10 +311,25 @@ void Cluster::parent_collect(RunReport& report,
     const std::uint64_t now = now_ms();
     if (now >= deadline) {
       // Watchdog: a hung multi-process run must die here, not in CI's
-      // global timeout with no diagnostics.
+      // global timeout with no diagnostics — and the kill report must say
+      // where every rank was last seen, or the hang is undebuggable.
       report.timed_out = true;
-      for (std::size_t i = 0; i < n; ++i)
+      std::fprintf(stderr,
+                   "[net::Cluster] watchdog: run exceeded %llu ms; killing "
+                   "surviving ranks\n",
+                   static_cast<unsigned long long>(net_.run_timeout_ns /
+                                                   1'000'000ull));
+      for (std::size_t i = 0; i < n; ++i) {
+        std::fprintf(
+            stderr,
+            "[net::Cluster]   rank %zu: %s, last phase \"%s\", %llu "
+            "barrier(s) entered%s\n",
+            i, alive(i) ? (sent_done[i] ? "done" : "running") : "gone",
+            last_phase[i].empty() ? "(none)" : last_phase[i].c_str(),
+            static_cast<unsigned long long>(barriers_seen[i]),
+            at_barrier[i] ? ", waiting at a barrier" : "");
         if (alive(i)) ::kill(pids[i], SIGKILL);
+      }
       break;
     }
     fds.clear();
@@ -303,6 +368,10 @@ void Cluster::parent_collect(RunReport& report,
             break;
           case kBarrier:
             at_barrier[i] = true;
+            ++barriers_seen[i];
+            break;
+          case kPhase:
+            last_phase[i].assign(buf + 1, static_cast<std::size_t>(m) - 1);
             break;
           case kDone:
             sent_done[i] = true;
@@ -353,6 +422,8 @@ void Cluster::parent_collect(RunReport& report,
       rs.exited = false;
       rs.term_signal = -1;  // waitpid itself failed; count as unclean
     }
+    rs.last_phase = last_phase[i];
+    rs.barriers_seen = barriers_seen[i];
     report.ranks.push_back(rs);
   }
 }

@@ -53,6 +53,9 @@ struct NetConfig {
   /// Harness watchdog: when node_main bodies run longer than this, the
   /// parent SIGKILLs every surviving child and the RunReport carries
   /// timed_out = true. A multi-process hang must never outlive its test.
+  /// The FM_NET_WATCHDOG_MS environment variable overrides this at Cluster
+  /// construction (CI shortens it for chaos runs without a rebuild), and
+  /// the kill report says which phase/barrier each rank was last seen in.
   std::uint64_t run_timeout_ns = 120'000'000'000ull;
   /// Datagrams drained per extract() call (the receive-aggregation batch).
   std::size_t extract_budget = 64;
@@ -116,6 +119,18 @@ class Cluster {
   /// the key if ranks must not collide.
   void report(const std::string& key, double value);
 
+  /// Merges a snapshot of `reg` into the RunReport samples (e.g. a
+  /// node_main-local FM-San "san.node<i>" registry). From inside node_main
+  /// each sample crosses the process boundary over the control channel,
+  /// exactly like the endpoint registry snapshot at child exit.
+  void publish(const obs::Registry& reg);
+
+  /// Announces where rank `i` currently is. The parent records the latest
+  /// marker per rank; it surfaces in RankStatus::last_phase and in the
+  /// watchdog's kill report. From inside node_main, `i` must be the
+  /// calling rank.
+  void note_phase(NodeId i, const std::string& phase);
+
   /// Flags this rank's run as failed: the child exits nonzero, which the
   /// parent surfaces in RunReport::ranks. For test harnesses whose
   /// assertion state (e.g. gtest's) is per-process and would otherwise be
@@ -163,6 +178,8 @@ class Cluster {
   NodeId my_rank_ = kInvalidNode;
   int child_exit_code_ = 0;
   std::map<std::string, double> reported_;  ///< Parent-side report() calls.
+  std::vector<obs::Sample> published_;      ///< Parent-side publish() calls.
+  std::map<NodeId, std::string> parent_phases_;  ///< Pre-run note_phase().
 };
 
 static_assert(ClusterBackend<Cluster>,

@@ -167,7 +167,14 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
   };
   while (blocked()) {
     if (dead_peers_.count(dest) > 0) return Status::kPeerDead;
-    if (extract() == 0) idle_pause();
+    // Flag the spin so the reject-queue tick inside extract() leaves one
+    // window slot for this frame (bounce-release + retry-re-track inside a
+    // single extract() call would otherwise starve the blocked sender).
+    const bool outer_spin = send_blocked_spin_;  // nested sends restore it
+    send_blocked_spin_ = true;
+    const std::size_t n = extract();
+    send_blocked_spin_ = outer_spin;
+    if (n == 0) idle_pause();
   }
   if (dead_peers_.count(dest) > 0) return Status::kPeerDead;
   if (cfg_.window_mode) {
@@ -305,11 +312,27 @@ std::size_t Endpoint::extract() {
     flush_deferred_tx();
   }
   // Retransmit rejected frames whose backoff expired (a rejection proved
-  // the peer alive, so the timer re-arms with a fresh retry budget).
+  // the peer alive, so the timer re-arms with a fresh retry budget). The
+  // retry re-enters the pending window (its bounce released the slot) so a
+  // lost retry can be re-sourced by timeout retransmission; when the
+  // window is momentarily full the entry waits out another backoff period.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
+    if (dead_peers_.count(entry.dest) > 0) {
+      ++stats_.frames_discarded_dead;
+      continue;
+    }
+    // Leave one slot for a sender spinning in the blocked-send loop: its
+    // fresh fragment may be the one that completes an admitted reassembly
+    // at the rejecting peer, unwedging everyone bouncing off that slot.
+    if (window_.space() <= (send_blocked_spin_ ? 1u : 0u)) {
+      rejq_.add(entry.dest, entry.seq, std::move(entry.bytes));
+      continue;
+    }
     ++stats_.retransmissions;
     if (trace_.enabled())
       trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
+    window_.track(entry.dest, entry.seq, entry.bytes.data(),
+                  entry.bytes.size());
     timer_.arm(entry.dest, entry.seq, now_ns());
     inject(entry.dest, entry.bytes.data(), entry.bytes.size());
   }
@@ -386,10 +409,12 @@ void Endpoint::reliability_tick() {
     retx_scratch_.assign(stored.data, stored.data + stored.len);
     inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
   }
-  if (reasm_.active() > 0 && cfg_.reassembly_ttl_ns > 0 &&
-      now > cfg_.reassembly_ttl_ns)
-    stats_.reassemblies_expired +=
-        reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+  // No reassembly-TTL sweep here: this backend always runs FM-R, where
+  // expiring a partial is silent message loss — the erased fragments were
+  // already acked, so their sender retains nothing to retransmit. A live
+  // peer's partial always completes (timeouts re-source lost frames,
+  // bounced frames retry from the reject queue); a dead peer's slots are
+  // freed by mark_peer_dead().
   in_reliability_tick_ = false;
 }
 
@@ -445,8 +470,13 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
         return;
       }
       ++stats_.rejects_received;
+      // Timer disarmed and window slot freed together: the reject queue now
+      // retains the bytes, and a bounced frame pinning window capacity
+      // head-of-line blocks fragments bound for other peers (deadlock fuel
+      // when two senders bounce off each other's full receive pools).
       timer_.disarm(from, h.seq);
       park_reject(from, h, data);
+      window_.bounce(from, h.seq);
       break;
     }
     case FrameType::kData: {

@@ -109,6 +109,10 @@ class Endpoint {
   const Stats& stats() const { return stats_; }
   const FmConfig& config() const { return cfg_; }
   const hw::FaultInjector* faults() const { return faults_.get(); }
+  /// Mutable fault source for mid-run rate changes (FM-San chaos storms /
+  /// ramps). Each forked rank owns its endpoint outright, so the child may
+  /// call set_params() on it freely.
+  hw::FaultInjector* mutable_faults() { return faults_.get(); }
 
   /// Socket-level counters (beneath the protocol's Stats).
   std::uint64_t datagrams_tx() const { return datagrams_tx_; }
@@ -225,6 +229,11 @@ class Endpoint {
   bool flushing_deferred_ = false;
   bool in_ack_flush_ = false;
   bool in_reliability_tick_ = false;
+  // Set while send_data_frame() spins on a full window so the reject-queue
+  // tick inside extract() leaves one slot free for the blocked frame
+  // (otherwise bounce-release + retry-re-track inside one extract() call
+  // starves the sender forever at reject_retry_delay 1).
+  bool send_blocked_spin_ = false;
   obs::TraceRing trace_;
   std::uint16_t cat_send_ = 0;
   std::uint16_t cat_extract_ = 0;

@@ -21,6 +21,12 @@ namespace {
 // g_mu, and the thread-safety build rejects unlocked access.
 fm::Mutex g_mu;
 std::atomic<bool> g_capture{false};
+// Effective chaos/soak seed of the current run (FM-San replayability).
+// Plain atomics, not mutex-guarded state — the recording side may be any
+// rank/thread mid-run; the flag is released after the value so a reader
+// that sees it set also sees the seed.
+std::atomic<std::uint64_t> g_run_seed{0};
+std::atomic<bool> g_run_seed_set{false};
 std::vector<const Registry*>& live_registries_storage() FM_REQUIRES(g_mu) {
   static std::vector<const Registry*> v;
   return v;
@@ -55,6 +61,7 @@ void begin_capture() {
   fm::MutexLock lk(g_mu);
   archived_samples_storage().clear();
   archived_traces_storage().clear();
+  g_run_seed_set.store(false, std::memory_order_release);
   g_capture.store(true, std::memory_order_release);
 }
 
@@ -81,6 +88,17 @@ std::vector<TraceDump> drain_archived_traces() {
   return out;
 }
 
+void set_run_seed(std::uint64_t seed) {
+  g_run_seed.store(seed, std::memory_order_relaxed);
+  g_run_seed_set.store(true, std::memory_order_release);
+}
+
+bool run_seed(std::uint64_t* seed) {
+  if (!g_run_seed_set.load(std::memory_order_acquire)) return false;
+  *seed = g_run_seed.load(std::memory_order_relaxed);
+  return true;
+}
+
 bool write_failure_dump(const std::string& dir, const std::string& name) {
   if (!ensure_dir(dir)) return false;
   // Live state first (archives grow at destruction, which already happened
@@ -101,6 +119,13 @@ bool write_failure_dump(const std::string& dir, const std::string& name) {
   bool ok = true;
   const std::string reg_path = dir + "/" + name + ".registry.txt";
   if (std::FILE* f = std::fopen(reg_path.c_str(), "w")) {
+    std::uint64_t seed = 0;
+    if (run_seed(&seed))
+      std::fprintf(f,
+                   "# effective chaos seed: %llu (replay with "
+                   "FM_SAN_SEED=%llu)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed));
     for (const auto& s : samples)
       std::fprintf(f, "%-48s %.17g%s\n", s.name.c_str(), s.value,
                    s.monotonic ? "" : "  (gauge)");

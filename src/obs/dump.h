@@ -21,7 +21,8 @@
 
 namespace fm::obs {
 
-/// Arms destructor-time archiving and clears previously archived state.
+/// Arms destructor-time archiving and clears previously archived state
+/// (including any recorded run seed).
 void begin_capture();
 /// Disarms archiving and clears archives.
 void end_capture();
@@ -32,6 +33,15 @@ bool capture_enabled();
 /// registries/rings, oldest first). Draining clears the archive.
 std::vector<Sample> drain_archived_samples();
 std::vector<TraceDump> drain_archived_traces();
+
+/// Records the effective chaos/soak RNG seed of the current run. The
+/// failure dump embeds it and the gtest listener prints it, so any chaos
+/// failure is replayable with FM_SAN_SEED=<seed>. Thread-safe; the latest
+/// call wins (a run has one effective seed).
+void set_run_seed(std::uint64_t seed);
+/// Reads the recorded seed; false when none was recorded since the last
+/// begin_capture().
+bool run_seed(std::uint64_t* seed);
 
 /// Writes <dir>/<name>.registry.txt (archived + live registry samples) and
 /// <dir>/<name>.trace.json (archived + live trace rings as a Chrome trace),

@@ -1,0 +1,172 @@
+#include "san/chaos.h"
+
+#include "common/check.h"
+#include "common/random.h"
+
+namespace fm::san {
+namespace {
+
+/// One seeded stream per (scenario kind, seed): scenario materialization
+/// must not depend on call order elsewhere.
+Xoshiro256 scenario_rng(std::uint64_t seed, std::uint64_t kind_salt) {
+  return Xoshiro256(seed ^ (0x9e3779b97f4a7c15ull * (kind_salt + 1)));
+}
+
+}  // namespace
+
+ChaosDirective directive_for(const ChaosScenario& s, NodeId self,
+                             std::size_t round) {
+  ChaosDirective d;
+  for (const ChaosEvent& e : s.events) {
+    switch (e.kind) {
+      case ChaosKind::kKillRank:
+        if (e.round == round && e.victim == self) d.kill_self = true;
+        break;
+      case ChaosKind::kSlowReceiver:
+        if (e.active(round) && e.victim == self) d.stall_us = e.stall_us;
+        break;
+      case ChaosKind::kPacketStorm:
+      case ChaosKind::kFaultRamp:
+        if (e.active(round)) {
+          d.storm_active = true;
+          d.faults = e.faults;
+        }
+        break;
+    }
+  }
+  return d;
+}
+
+ChaosScenario make_kill_scenario(std::size_t nodes, std::size_t rounds,
+                                 std::uint64_t seed) {
+  FM_CHECK_MSG(rounds >= nodes + 2,
+               "kill scenarios need rounds >= nodes + 2 so every survivor's "
+               "schedule reaches the victim after the kill");
+  ChaosScenario s;
+  s.name = "kill-rank-mid-collective";
+  s.seed = seed;
+  s.nodes = nodes;
+  s.rounds = rounds;
+  Xoshiro256 rng = scenario_rng(seed, 1);
+  ChaosEvent e;
+  e.kind = ChaosKind::kKillRank;
+  e.victim = static_cast<NodeId>(rng.below(nodes));
+  // Mid-collective by construction: after round 1 (everyone is exchanging)
+  // and early enough that nodes-1 shift rounds remain post-kill.
+  e.round = 1 + rng.below(rounds - nodes);
+  s.events.push_back(e);
+  return s;
+}
+
+ChaosScenario make_slow_receiver_scenario(std::size_t nodes,
+                                          std::size_t rounds,
+                                          std::uint64_t seed,
+                                          std::uint64_t stall_us) {
+  FM_CHECK_MSG(rounds >= 4, "slow-receiver scenarios need a few rounds");
+  ChaosScenario s;
+  s.name = "slow-receiver";
+  s.seed = seed;
+  s.nodes = nodes;
+  s.rounds = rounds;
+  Xoshiro256 rng = scenario_rng(seed, 2);
+  ChaosEvent e;
+  e.kind = ChaosKind::kSlowReceiver;
+  e.victim = static_cast<NodeId>(rng.below(nodes));
+  e.stall_us = stall_us;
+  // A contiguous stalled window covering at least half the schedule, so
+  // every inbound link of the victim accumulates inflated RTTs.
+  e.round = 1 + rng.below(rounds / 4);
+  e.duration = rounds - e.round;
+  s.events.push_back(e);
+  return s;
+}
+
+ChaosScenario make_packet_storm_scenario(std::size_t nodes,
+                                         std::size_t rounds,
+                                         std::uint64_t seed,
+                                         const hw::FaultParams& storm) {
+  FM_CHECK_MSG(rounds >= 4, "packet-storm scenarios need a few rounds");
+  ChaosScenario s;
+  s.name = "packet-storm";
+  s.seed = seed;
+  s.nodes = nodes;
+  s.rounds = rounds;
+  Xoshiro256 rng = scenario_rng(seed, 3);
+  ChaosEvent e;
+  e.kind = ChaosKind::kPacketStorm;
+  e.faults = storm;
+  e.round = 1 + rng.below(rounds / 4);
+  // The storm ends before the schedule does: the calm tail proves the
+  // stack recovers to a conserved, fully delivered state.
+  e.duration = 1 + (rounds - e.round) / 2;
+  s.events.push_back(e);
+  return s;
+}
+
+ChaosScenario make_fault_ramp_scenario(std::size_t nodes, std::size_t rounds,
+                                       std::uint64_t seed,
+                                       const hw::FaultParams& peak,
+                                       std::size_t steps) {
+  FM_CHECK_MSG(steps >= 1 && rounds >= 2 * steps,
+               "fault ramps need rounds >= 2 * steps");
+  ChaosScenario s;
+  s.name = "fault-ramp";
+  s.seed = seed;
+  s.nodes = nodes;
+  s.rounds = rounds;
+  Xoshiro256 rng = scenario_rng(seed, 4);
+  // Staircase: `steps` consecutive windows with linearly escalating rates,
+  // ending before the final round so the tail drains at base rates.
+  const std::size_t start = 1 + rng.below(rounds / 4 > 0 ? rounds / 4 : 1);
+  const std::size_t span = (rounds - 1 - start) / steps;
+  for (std::size_t k = 0; k < steps; ++k) {
+    ChaosEvent e;
+    e.kind = ChaosKind::kFaultRamp;
+    const double scale = static_cast<double>(k + 1) / steps;
+    e.faults = peak;
+    e.faults.drop_rate = peak.drop_rate * scale;
+    e.faults.corrupt_rate = peak.corrupt_rate * scale;
+    e.faults.duplicate_rate = peak.duplicate_rate * scale;
+    e.faults.reorder_rate = peak.reorder_rate * scale;
+    e.faults.burst_rate = peak.burst_rate * scale;
+    e.round = start + k * (span > 0 ? span : 1);
+    e.duration = span > 0 ? span : 1;
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+std::string describe(const ChaosScenario& s) {
+  std::string out = "scenario \"" + s.name + "\" seed=" +
+                    std::to_string(s.seed) + " nodes=" +
+                    std::to_string(s.nodes) + " rounds=" +
+                    std::to_string(s.rounds) + ":";
+  for (const ChaosEvent& e : s.events) {
+    out += "\n  ";
+    switch (e.kind) {
+      case ChaosKind::kKillRank:
+        out += "kill rank " + std::to_string(e.victim) + " at round " +
+               std::to_string(e.round);
+        break;
+      case ChaosKind::kSlowReceiver:
+        out += "stall rank " + std::to_string(e.victim) + " by " +
+               std::to_string(e.stall_us) + "us over rounds " +
+               std::to_string(e.round) + ".." +
+               std::to_string(e.round + e.duration - 1);
+        break;
+      case ChaosKind::kPacketStorm:
+      case ChaosKind::kFaultRamp:
+        out += std::string(e.kind == ChaosKind::kPacketStorm
+                               ? "packet storm"
+                               : "fault ramp step") +
+               " (drop=" + std::to_string(e.faults.drop_rate) +
+               " burst=" + std::to_string(e.faults.burst_rate) +
+               ") over rounds " + std::to_string(e.round) + ".." +
+               std::to_string(e.round + e.duration - 1);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace fm::san

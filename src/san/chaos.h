@@ -1,0 +1,96 @@
+// FM-San chaos scheduler: declarative, seeded, replayable failure scripts.
+//
+// A ChaosScenario is a value: a name, the effective seed, and the event
+// schedule materialized from that seed. Materializing the same scenario
+// kind with the same (nodes, rounds, seed) yields an identical schedule —
+// that is the replay guarantee behind "re-run the failure with the printed
+// FM_SAN_SEED". The events are interpreted by the all-to-all soak driver
+// (san/alltoall.h) at round boundaries:
+//
+//   kKillRank      the victim dies mid-collective (SIGKILL on the process
+//                  backend, silent thread exit on shm) while every other
+//                  rank is mid-schedule,
+//   kSlowReceiver  the victim stalls between extract() calls for a window
+//                  of rounds (the failure mode per-link attribution must
+//                  isolate),
+//   kPacketStorm   every rank's fault injector is cranked to storm rates
+//                  for a window, then restored,
+//   kFaultRamp     storm, but as a staircase of escalating rates.
+//
+// Under every schedule the driver still asserts exactly-once delivery, the
+// sent == delivered + abandoned conservation invariant, and — after a kill
+// — dead-peer detection within the RetransmitTimer's bounded horizon.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "hw/fault.h"
+
+namespace fm::san {
+
+enum class ChaosKind { kKillRank, kSlowReceiver, kPacketStorm, kFaultRamp };
+
+/// One scheduled chaos event.
+struct ChaosEvent {
+  ChaosKind kind = ChaosKind::kKillRank;
+  std::size_t round = 0;     ///< First round the event is active.
+  std::size_t duration = 1;  ///< Rounds it stays active (kill: moot).
+  NodeId victim = 0;         ///< Kill / slow target (storms hit every rank).
+  std::uint64_t stall_us = 0;       ///< Slow receiver: stall per wait poll.
+  hw::FaultParams faults;           ///< Storm/ramp rates while active.
+
+  bool operator==(const ChaosEvent&) const = default;
+  bool active(std::size_t r) const { return r >= round && r < round + duration; }
+};
+
+/// A materialized scenario (deterministic function of its inputs).
+struct ChaosScenario {
+  std::string name;
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  std::size_t rounds = 0;
+  std::vector<ChaosEvent> events;
+
+  bool operator==(const ChaosScenario&) const = default;
+};
+
+/// What the chaos schedule asks of rank `self` at the start of `round`
+/// (the soak driver consumes this; pure function of the scenario).
+struct ChaosDirective {
+  bool kill_self = false;      ///< Die now, mid-collective.
+  std::uint64_t stall_us = 0;  ///< Active slow-receiver stall for this rank.
+  bool storm_active = false;   ///< Apply `faults` to this rank's injector
+                               ///< (driver restores base rates when it ends).
+  hw::FaultParams faults;
+};
+ChaosDirective directive_for(const ChaosScenario& s, NodeId self,
+                             std::size_t round);
+
+/// Scenario builders. Victims and timing derive from `seed` alone (given
+/// nodes/rounds), so two materializations with equal arguments are equal.
+/// Kill scenarios require rounds >= nodes + 2: after the kill round, every
+/// survivor's shift schedule must still reach the victim so each survivor
+/// independently observes the death.
+ChaosScenario make_kill_scenario(std::size_t nodes, std::size_t rounds,
+                                 std::uint64_t seed);
+ChaosScenario make_slow_receiver_scenario(std::size_t nodes,
+                                          std::size_t rounds,
+                                          std::uint64_t seed,
+                                          std::uint64_t stall_us);
+ChaosScenario make_packet_storm_scenario(std::size_t nodes,
+                                         std::size_t rounds,
+                                         std::uint64_t seed,
+                                         const hw::FaultParams& storm);
+ChaosScenario make_fault_ramp_scenario(std::size_t nodes, std::size_t rounds,
+                                       std::uint64_t seed,
+                                       const hw::FaultParams& peak,
+                                       std::size_t steps = 4);
+
+/// Human-readable schedule, printed next to failures so the log says what
+/// chaos was in flight ("kill rank 2 at round 5", ...).
+std::string describe(const ChaosScenario& s);
+
+}  // namespace fm::san

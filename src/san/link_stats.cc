@@ -1,0 +1,99 @@
+#include "san/link_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace fm::san {
+namespace {
+
+/// Ranks flagged as the common endpoint of bad inbound links: rank r is
+/// isolated when at least half of its measured inbound links are in `bad`
+/// (and at least one is). A single bad link never isolates a rank in a
+/// cluster of 4+, which is exactly the distinction between "one noisy
+/// path" and "that receiver is the problem".
+std::vector<NodeId> isolate_ranks(const std::vector<LinkSample>& all,
+                                  const std::vector<LinkSample>& bad) {
+  std::map<NodeId, std::size_t> inbound, flagged;
+  for (const LinkSample& l : all)
+    if (l.echoes + l.lost > 0) ++inbound[l.dst];
+  for (const LinkSample& l : bad) ++flagged[l.dst];
+  std::vector<NodeId> out;
+  for (const auto& [dst, n_bad] : flagged)
+    if (n_bad * 2 >= inbound[dst]) out.push_back(dst);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool contains(const std::vector<NodeId>& v, NodeId r) {
+  return std::find(v.begin(), v.end(), r) != v.end();
+}
+
+}  // namespace
+
+bool LinkAnalysis::rank_is_slow(NodeId r) const {
+  return contains(slow_ranks, r);
+}
+
+bool LinkAnalysis::rank_is_lossy(NodeId r) const {
+  return contains(lossy_ranks, r);
+}
+
+LinkAnalysis analyze_links(const std::vector<LinkSample>& links,
+                           double factor) {
+  LinkAnalysis a;
+  std::vector<double> means;
+  for (const LinkSample& l : links)
+    if (l.echoes > 0) means.push_back(l.rtt_mean_us);
+  if (!means.empty()) {
+    std::sort(means.begin(), means.end());
+    a.median_rtt_us = means[means.size() / 2];
+  }
+  for (const LinkSample& l : links) {
+    if (l.echoes > 0 && a.median_rtt_us > 0 &&
+        l.rtt_mean_us > factor * a.median_rtt_us)
+      a.slow_links.push_back(l);
+    if (l.lost > 0) a.lossy_links.push_back(l);
+  }
+  a.slow_ranks = isolate_ranks(links, a.slow_links);
+  a.lossy_ranks = isolate_ranks(links, a.lossy_links);
+  return a;
+}
+
+std::string link_metric_key(NodeId src, NodeId dst, const char* field) {
+  return "san.link." + std::to_string(src) + "." + std::to_string(dst) +
+         "." + field;
+}
+
+std::vector<LinkSample> links_from_metrics(
+    const std::map<std::string, double>& metrics) {
+  // Key shape: san.link.<src>.<dst>.<field>
+  std::map<std::pair<NodeId, NodeId>, LinkSample> by_pair;
+  const std::string prefix = "san.link.";
+  for (const auto& [key, value] : metrics) {
+    if (key.compare(0, prefix.size(), prefix) != 0) continue;
+    unsigned src = 0, dst = 0;
+    char field[32] = {0};
+    if (std::sscanf(key.c_str() + prefix.size(), "%u.%u.%31s", &src, &dst,
+                    field) != 3)
+      continue;
+    LinkSample& l = by_pair[{static_cast<NodeId>(src),
+                             static_cast<NodeId>(dst)}];
+    l.src = static_cast<NodeId>(src);
+    l.dst = static_cast<NodeId>(dst);
+    if (std::strcmp(field, "echoes") == 0)
+      l.echoes = static_cast<std::uint64_t>(value);
+    else if (std::strcmp(field, "lost") == 0)
+      l.lost = static_cast<std::uint64_t>(value);
+    else if (std::strcmp(field, "rtt_mean_us") == 0)
+      l.rtt_mean_us = value;
+    else if (std::strcmp(field, "rtt_max_us") == 0)
+      l.rtt_max_us = value;
+  }
+  std::vector<LinkSample> out;
+  out.reserve(by_pair.size());
+  for (auto& [pair, l] : by_pair) out.push_back(l);
+  return out;
+}
+
+}  // namespace fm::san

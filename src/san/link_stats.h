@@ -1,0 +1,65 @@
+// FM-San per-link attribution: turning an all-to-all's request/echo
+// timings into a verdict about *which rank pair* (and which rank) is slow
+// or lossy.
+//
+// A "link" is an ordered rank pair (src, dst): src's requests to dst and
+// the echoes that came back. The analysis is pure — it sees only the
+// LinkSample matrix, so it is unit-testable with synthetic inputs and
+// reusable on any backend (the soak driver publishes the matrix through
+// Cluster::report(), and links_from_metrics() reassembles it on the test
+// side of the process boundary).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace fm::san {
+
+/// Accumulated request/echo observations for one directed link.
+struct LinkSample {
+  NodeId src = 0;
+  NodeId dst = 0;
+  std::uint64_t echoes = 0;  ///< Completed request/echo round trips.
+  std::uint64_t lost = 0;    ///< Requests never echoed (dead peer, abort).
+  double rtt_mean_us = 0;
+  double rtt_max_us = 0;
+};
+
+/// What the matrix says: outlier links and the ranks they isolate.
+struct LinkAnalysis {
+  /// Median of the per-link mean RTTs (the cluster's "normal").
+  double median_rtt_us = 0;
+  /// Links whose mean RTT exceeds factor x median.
+  std::vector<LinkSample> slow_links;
+  /// Links that lost at least one request.
+  std::vector<LinkSample> lossy_links;
+  /// Ranks isolated as the problem: destination of at least half of their
+  /// measured inbound links' flagged entries (a slow *receiver* inflates
+  /// every link pointing at it; one slow link inflates only itself).
+  std::vector<NodeId> slow_ranks;
+  std::vector<NodeId> lossy_ranks;
+
+  bool rank_is_slow(NodeId r) const;
+  bool rank_is_lossy(NodeId r) const;
+};
+
+/// Pure outlier analysis over the link matrix. `factor` is the slow-link
+/// threshold as a multiple of the median link RTT.
+LinkAnalysis analyze_links(const std::vector<LinkSample>& links,
+                           double factor = 4.0);
+
+/// Metric key for one field of one link, e.g.
+/// "san.link.0.2.rtt_mean_us" (shared by the soak driver that writes it
+/// and links_from_metrics() that reads it back).
+std::string link_metric_key(NodeId src, NodeId dst, const char* field);
+
+/// Rebuilds the link matrix from RunReport::metrics (inverse of the soak
+/// driver's report() calls; unknown keys are ignored).
+std::vector<LinkSample> links_from_metrics(
+    const std::map<std::string, double>& metrics);
+
+}  // namespace fm::san

@@ -1,0 +1,94 @@
+// FM-San round schedules: deterministic all-to-all traffic shapes.
+//
+// The NIC-based collective work (Yu et al.) motivates round-structured
+// all-to-all as the stress shape that exposes slow or lossy ranks which
+// pairwise pingpong hides: in a *shift* round every rank i sends to
+// (i + s) mod N, a permutation, so N-1 consecutive shift rounds cover every
+// ordered pair exactly once with no receiver ever oversubscribed. An
+// *incast* round deliberately oversubscribes one receiver — the other N-1
+// ranks all target it — to exercise the return-to-sender admission path
+// (§4.5 rejects under reassembly pressure).
+//
+// Everything here is pure arithmetic on (nodes, round): no clock, no RNG,
+// no endpoint. Two ranks agree on the whole schedule by construction, which
+// is what lets the soak driver run without per-round barriers.
+#pragma once
+
+#include <cstddef>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fm::san {
+
+enum class RoundKind { kShift, kIncast };
+
+/// One round of the schedule, fully determined by (nodes, round index).
+struct RoundPlan {
+  RoundKind kind = RoundKind::kShift;
+  /// kShift: rank i sends to (i + shift) mod nodes (1 <= shift < nodes).
+  std::size_t shift = 1;
+  /// kIncast: every other rank sends to this target; the target answers.
+  NodeId target = 0;
+};
+
+/// The deterministic round scheduler shared by every rank of a soak.
+class RoundSchedule {
+ public:
+  /// `incast_every` > 0 makes every incast_every-th round an incast round
+  /// (targets rotate); 0 disables incast rounds. Needs >= 2 nodes.
+  RoundSchedule(std::size_t nodes, std::size_t rounds,
+                std::size_t incast_every = 0)
+      : nodes_(nodes), rounds_(rounds), incast_every_(incast_every) {
+    FM_CHECK_MSG(nodes >= 2, "an all-to-all needs at least two ranks");
+  }
+
+  std::size_t nodes() const { return nodes_; }
+  std::size_t rounds() const { return rounds_; }
+
+  RoundPlan plan(std::size_t round) const {
+    FM_CHECK(round < rounds_);
+    RoundPlan p;
+    if (is_incast(round)) {
+      p.kind = RoundKind::kIncast;
+      p.target = static_cast<NodeId>((round / incast_every_) % nodes_);
+      return p;
+    }
+    // Count only shift rounds so consecutive shift rounds walk the shifts
+    // 1..nodes-1 in order: any window of nodes-1 shift rounds covers every
+    // ordered pair exactly once.
+    std::size_t shift_index = round;
+    if (incast_every_ > 0) shift_index -= round / incast_every_;
+    p.kind = RoundKind::kShift;
+    p.shift = 1 + shift_index % (nodes_ - 1);
+    return p;
+  }
+
+  /// Destination `self` sends its requests to in `round`; kInvalidNode when
+  /// it sends nothing (it is the incast target).
+  NodeId dest_of(std::size_t round, NodeId self) const {
+    const RoundPlan p = plan(round);
+    if (p.kind == RoundKind::kIncast)
+      return self == p.target ? kInvalidNode : p.target;
+    return static_cast<NodeId>((self + p.shift) % nodes_);
+  }
+
+  /// Number of peers whose `round` requests `self` must answer.
+  std::size_t expected_sources(std::size_t round, NodeId self) const {
+    const RoundPlan p = plan(round);
+    if (p.kind == RoundKind::kIncast)
+      return self == p.target ? nodes_ - 1 : 0;
+    return 1;
+  }
+
+ private:
+  bool is_incast(std::size_t round) const {
+    return incast_every_ > 0 && (round + 1) % incast_every_ == 0;
+  }
+
+  std::size_t nodes_;
+  std::size_t rounds_;
+  std::size_t incast_every_;
+};
+
+}  // namespace fm::san

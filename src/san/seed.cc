@@ -1,0 +1,26 @@
+#include "san/seed.h"
+
+#include <cstdlib>
+
+#include "obs/dump.h"
+
+namespace fm::san {
+
+bool env_seed(std::uint64_t* seed) {
+  const char* env = std::getenv("FM_SAN_SEED");
+  if (env == nullptr || *env == '\0') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || *end != '\0') return false;
+  *seed = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+std::uint64_t effective_seed(std::uint64_t fallback) {
+  std::uint64_t seed = fallback;
+  (void)env_seed(&seed);
+  obs::set_run_seed(seed);
+  return seed;
+}
+
+}  // namespace fm::san

@@ -1,0 +1,24 @@
+// FM-San seed plumbing.
+//
+// Every chaos schedule and payload pattern in FM-San derives from one
+// effective seed, and a failure is only as good as its replay: the seed is
+// injectable from outside (FM_SAN_SEED), recorded with FM-Scope so the
+// dump-on-failure listener prints it next to the red test, and embedded in
+// the $FM_OBS_DUMP_DIR registry dump. Re-running with the printed seed
+// reproduces the exact round schedule, chaos event timing, and fault
+// pattern.
+#pragma once
+
+#include <cstdint>
+
+namespace fm::san {
+
+/// The run's effective chaos/soak seed: FM_SAN_SEED (env) when set to a
+/// parseable nonzero integer, else `fallback`. Records the result via
+/// fm::obs::set_run_seed() so failure output and obs dumps carry it.
+std::uint64_t effective_seed(std::uint64_t fallback);
+
+/// Parses FM_SAN_SEED only (no recording); false when unset/unparseable.
+bool env_seed(std::uint64_t* seed);
+
+}  // namespace fm::san

@@ -26,7 +26,13 @@ RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
   for (auto& t : threads) t.join();
   RunReport report;
   for (NodeId i = 0; i < endpoints_.size(); ++i) {
-    report.ranks.push_back(RankStatus{i, true, 0, 0});
+    RankStatus rs;
+    rs.id = i;
+    {
+      fm::MutexLock lock(report_mu_);
+      if (i < phases_.size()) rs.last_phase = phases_[i];
+    }
+    report.ranks.push_back(std::move(rs));
     // The node threads joined above: every registry's owner is quiescent.
     endpoints_[i]->registry().assert_owner();
     auto snap = endpoints_[i]->registry().snapshot();
@@ -35,6 +41,8 @@ RunReport Cluster::run(const std::function<void(Endpoint&)>& node_main) {
   {
     fm::MutexLock lock(report_mu_);
     report.metrics = reported_;
+    report.samples.insert(report.samples.end(), published_.begin(),
+                          published_.end());
   }
   return report;
 }

@@ -99,6 +99,25 @@ class Cluster {
     reported_[key] = value;
   }
 
+  /// Merges a snapshot of `reg` into the RunReport samples (callable from
+  /// node_main bodies for thread-local registries like the FM-San "san.*"
+  /// scope; the caller's thread must own the registry).
+  void publish(const obs::Registry& reg) FM_EXCLUDES(report_mu_) {
+    reg.assert_owner();
+    auto snap = reg.snapshot();
+    fm::MutexLock lock(report_mu_);
+    published_.insert(published_.end(), snap.begin(), snap.end());
+  }
+
+  /// Records where rank `i` currently is (surfaces in
+  /// RankStatus::last_phase). Thread-safe; callable from node_main bodies.
+  void note_phase(NodeId i, const std::string& phase) FM_EXCLUDES(report_mu_) {
+    FM_CHECK(i < size());
+    fm::MutexLock lock(report_mu_);
+    if (phases_.size() < size()) phases_.resize(size());
+    phases_[i] = phase;
+  }
+
   /// The ring carrying frames from `src` to `dst`.
   FM_HOT_PATH SpscRing& ring(NodeId src, NodeId dst) {
     FM_CHECK(src < size() && dst < size());
@@ -113,9 +132,12 @@ class Cluster {
   // parking std::barrier so the two flavors can interleave freely).
   std::atomic<std::size_t> svc_arrived_{0};
   std::atomic<std::uint64_t> svc_gen_{0};
-  /// Guards report() calls racing in from concurrent node_main bodies.
+  /// Guards report()/publish()/note_phase() calls racing in from
+  /// concurrent node_main bodies.
   fm::Mutex report_mu_;
   std::map<std::string, double> reported_ FM_GUARDED_BY(report_mu_);
+  std::vector<obs::Sample> published_ FM_GUARDED_BY(report_mu_);
+  std::vector<std::string> phases_ FM_GUARDED_BY(report_mu_);
 };
 
 static_assert(ClusterBackend<Cluster>,

@@ -165,7 +165,18 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
     // the caller learns immediately instead of spinning forever.
     if (cfg_.reliability && dead_peers_.count(dest) > 0)
       return Status::kPeerDead;
-    if (extract() == 0) idle_pause();
+    // Flag the spin so the reject-queue tick inside extract() leaves one
+    // window slot for this frame. Without the reservation a bounced
+    // frame's release and its retry's re-entry both land inside one
+    // extract() call (at reject_retry_delay 1), so this loop's recheck
+    // always sees the window full again — and a fresh fragment that would
+    // complete an admitted reassembly (unwedging every peer bouncing off
+    // that pool slot) is starved forever by its own sibling's retries.
+    const bool outer_spin = send_blocked_spin_;  // nested sends restore it
+    send_blocked_spin_ = true;
+    const std::size_t n = extract();
+    send_blocked_spin_ = outer_spin;
+    if (n == 0) idle_pause();
   }
   if (cfg_.reliability && dead_peers_.count(dest) > 0)
     return Status::kPeerDead;
@@ -332,11 +343,27 @@ std::size_t Endpoint::extract() {
   }
   // Retransmit rejected frames whose backoff expired. Re-injection re-arms
   // the FM-R timer with a fresh retry budget: a rejection proved the peer
-  // alive, so the dead-peer countdown restarts.
+  // alive, so the dead-peer countdown restarts. The retry re-enters the
+  // pending window (its bounce released the slot) so a lost retry can be
+  // re-sourced by timeout retransmission; when the window is momentarily
+  // full the entry just waits out another backoff period.
   for (auto& entry : rejq_.tick(cfg_.reject_retry_delay)) {
+    if (cfg_.reliability && dead_peers_.count(entry.dest) > 0) {
+      ++stats_.frames_discarded_dead;
+      continue;
+    }
+    // Leave one slot for a sender spinning in the blocked-send loop: its
+    // fresh fragment may be the one that completes an admitted reassembly
+    // at the rejecting peer, unwedging everyone bouncing off that slot.
+    if (window_.space() <= (send_blocked_spin_ ? 1u : 0u)) {
+      rejq_.add(entry.dest, entry.seq, std::move(entry.bytes));
+      continue;
+    }
     ++stats_.retransmissions;
     if (trace_.enabled())
       trace_.event(now_ns(), cat_retransmit_, 'i', entry.dest, entry.seq);
+    window_.track(entry.dest, entry.seq, entry.bytes.data(),
+                  entry.bytes.size());
     if (cfg_.reliability) timer_.arm(entry.dest, entry.seq, now_ns());
     inject(entry.dest, entry.bytes.data(), entry.bytes.size());
   }
@@ -357,6 +384,21 @@ std::size_t Endpoint::extract() {
     in_ack_flush_ = false;
   }
   reliability_tick();
+  // Reassembly TTL is a *lossy* reclamation: erasing a partial forgets
+  // fragments whose sender already saw them acked, so under FM-R it
+  // silently loses the whole message (nothing retained to retransmit, no
+  // one left retrying — the run goes quiescent with the message missing).
+  // With reliability on, a live peer's partial always completes (timeouts
+  // re-source lost frames, bounced frames retry from the reject queue) and
+  // a dead peer's slots are freed by mark_peer_dead(); the sweep therefore
+  // only runs in unreliable profiles, where a genuinely lost fragment
+  // would otherwise pin a receive-pool slot forever.
+  if (!cfg_.reliability && cfg_.reassembly_ttl_ns > 0 && reasm_.active() > 0) {
+    const std::uint64_t now = now_ns();
+    if (now > cfg_.reassembly_ttl_ns)
+      stats_.reassemblies_expired +=
+          reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
+  }
   drain_posted();
   if (trace_.enabled() && count > 0) {
     const std::uint64_t now = now_ns();
@@ -427,10 +469,6 @@ void Endpoint::reliability_tick() {
     retx_scratch_.assign(stored.data, stored.data + stored.len);
     inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
   }
-  if (reasm_.active() > 0 && cfg_.reassembly_ttl_ns > 0 &&
-      now > cfg_.reassembly_ttl_ns)
-    stats_.reassemblies_expired +=
-        reasm_.expire_older_than(now - cfg_.reassembly_ttl_ns);
   in_reliability_tick_ = false;
 }
 
@@ -492,9 +530,14 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       }
       ++stats_.rejects_received;
       // The rejection proved the peer alive; the reject-queue backoff now
-      // owns this frame and the timer re-arms at re-injection.
+      // owns this frame and the timer re-arms at re-injection. The window
+      // slot is freed with it: a bounced frame is not in the network, and
+      // leaving it pinned head-of-line blocks fragments bound for other
+      // peers (two senders bouncing off each other's full receive pools
+      // would deadlock waiting for window space).
       if (cfg_.reliability) timer_.disarm(from, h.seq);
       park_reject(from, h, data);
+      window_.bounce(from, h.seq);
       break;
     }
     case FrameType::kData: {

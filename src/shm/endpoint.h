@@ -107,6 +107,10 @@ class Endpoint {
   const FmConfig& config() const { return cfg_; }
   /// This endpoint's sender-side fault source (null when faults are off).
   const hw::FaultInjector* faults() const { return faults_.get(); }
+  /// Mutable fault source for mid-run rate changes (FM-San chaos storms /
+  /// ramps). Only the thread running this endpoint's node_main may call
+  /// set_params() on it.
+  hw::FaultInjector* mutable_faults() { return faults_.get(); }
   /// FM-Scope registry ("shm.node<id>"): every Stats field as a named
   /// counter plus ring/queue occupancy gauges. Sample from the owning
   /// thread, or after Cluster::run() returned.
@@ -221,6 +225,11 @@ class Endpoint {
   bool flushing_deferred_ = false;
   bool in_ack_flush_ = false;
   bool in_reliability_tick_ = false;
+  // Set while send_data_frame() spins on a full window so the reject-queue
+  // tick inside extract() leaves one slot free for the blocked frame
+  // (otherwise bounce-release + retry-re-track inside one extract() call
+  // starves the sender forever at reject_retry_delay 1).
+  bool send_blocked_spin_ = false;
   // FM-Scope. Category ids are interned at construction so the hot path
   // stores 16-bit ids, never strings.
   obs::TraceRing trace_;

@@ -72,6 +72,60 @@ TEST(FaultInjector, DuplicateAndReorderRatesHonored) {
   EXPECT_EQ(inj.reordered(), static_cast<std::uint64_t>(reo));
 }
 
+TEST(FaultInjector, BurstRateStatisticsPinnedAtFixedSeed) {
+  FaultParams fp;
+  fp.burst_rate = 0.01;
+  fp.burst_len = 5;
+  FaultInjector inj(fp);
+  for (int i = 0; i < 20000; ++i) (void)inj.should_drop();
+  // Each burst destroys its trigger plus burst_len-1 followers, and a new
+  // burst can only start after the previous one drains: expect roughly
+  // rate * N bursts and burst_len drops per burst.
+  EXPECT_NEAR(static_cast<double>(inj.bursts()) / 20000.0, 0.01, 0.004);
+  EXPECT_NEAR(static_cast<double>(inj.dropped()) /
+                  static_cast<double>(inj.bursts()),
+              5.0, 0.5);
+}
+
+TEST(FaultInjector, SetParamsSwapsRatesWithoutForkingTheReplayStream) {
+  // The chaos scheduler's contract: cranking rates mid-run (a storm) and
+  // restoring them must leave the PRNG stream exactly where an untouched
+  // injector's stream would be — a replayed run crosses the same swap
+  // points and must see the same faults after them.
+  FaultParams base;
+  base.drop_rate = 0.25;
+  FaultInjector steady(base), stormed(base);
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(steady.should_drop(), stormed.should_drop());
+
+  FaultParams storm = base;
+  storm.drop_rate = 0.9;
+  stormed.set_params(storm);
+  int storm_drops = 0;
+  for (int i = 0; i < 500; ++i) {
+    (void)steady.should_drop();
+    if (stormed.should_drop()) ++storm_drops;
+  }
+  EXPECT_GT(storm_drops, 350);  // the new rate really applied
+
+  stormed.set_params(base);  // storm over: same rates, same stream...
+  for (int i = 0; i < 500; ++i)
+    EXPECT_EQ(steady.should_drop(), stormed.should_drop());
+  // ...and the fault counters accumulated across the swap.
+  EXPECT_GE(stormed.dropped(), static_cast<std::uint64_t>(storm_drops));
+}
+
+TEST(FaultInjector, SetParamsIgnoresTheSeedField) {
+  FaultParams base;
+  base.drop_rate = 0.5;
+  base.seed = 7;
+  FaultInjector a(base), b(base);
+  FaultParams reseeded = base;
+  reseeded.seed = 99999;  // must NOT take effect: reseeding forks the replay
+  b.set_params(reseeded);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.should_drop(), b.should_drop());
+}
+
 TEST(FaultNetwork, DuplicatesDeliverTwice) {
   HwParams p = HwParams::paper();
   p.faults.duplicate_rate = 1.0;

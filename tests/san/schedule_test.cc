@@ -1,0 +1,309 @@
+// FM-San pure units: the round schedule's coverage guarantees, the
+// per-link outlier analysis, the chaos scenarios' replay determinism, and
+// the seed plumbing. No cluster, no clock — everything here must be exact.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fm/protocol.h"
+#include "obs/dump.h"
+#include "san/chaos.h"
+#include "san/link_stats.h"
+#include "san/schedule.h"
+#include "san/seed.h"
+
+namespace fm::san {
+namespace {
+
+TEST(RoundSchedule, ShiftRoundsCoverEveryOrderedPairExactlyOnce) {
+  const std::size_t n = 5;
+  RoundSchedule sched(n, n - 1);
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (std::size_t r = 0; r < n - 1; ++r) {
+    for (NodeId self = 0; self < n; ++self) {
+      const NodeId dst = sched.dest_of(r, self);
+      ASSERT_NE(dst, self) << "self-send in round " << r;
+      ASSERT_NE(dst, kInvalidNode);
+      EXPECT_TRUE(pairs.emplace(self, dst).second)
+          << "pair (" << self << "," << dst << ") repeated";
+    }
+  }
+  EXPECT_EQ(pairs.size(), n * (n - 1));  // every ordered pair, exactly once
+}
+
+TEST(RoundSchedule, EveryShiftRoundIsAPermutation) {
+  const std::size_t n = 6;
+  RoundSchedule sched(n, 10);
+  for (std::size_t r = 0; r < 10; ++r) {
+    std::set<NodeId> dests;
+    for (NodeId self = 0; self < n; ++self) {
+      dests.insert(sched.dest_of(r, self));
+      // In a shift round exactly one peer targets each rank.
+      EXPECT_EQ(sched.expected_sources(r, self), 1u);
+    }
+    EXPECT_EQ(dests.size(), n) << "round " << r << " oversubscribes a rank";
+  }
+}
+
+TEST(RoundSchedule, IncastRoundsRotateTargetsAndOversubscribe) {
+  const std::size_t n = 4;
+  RoundSchedule sched(n, 12, /*incast_every=*/3);
+  // Rounds 2, 5, 8, 11 are incast; targets rotate 0, 1, 2, 3.
+  const std::size_t incast_rounds[] = {2, 5, 8, 11};
+  NodeId expect_target = 0;
+  for (std::size_t r : incast_rounds) {
+    ASSERT_EQ(sched.plan(r).kind, RoundKind::kIncast) << "round " << r;
+    EXPECT_EQ(sched.plan(r).target, expect_target);
+    EXPECT_EQ(sched.dest_of(r, expect_target), kInvalidNode)
+        << "the incast target must sit the round out";
+    EXPECT_EQ(sched.expected_sources(r, expect_target), n - 1);
+    for (NodeId self = 0; self < n; ++self) {
+      if (self == expect_target) continue;
+      EXPECT_EQ(sched.dest_of(r, self), expect_target);
+      EXPECT_EQ(sched.expected_sources(r, self), 0u);
+    }
+    ++expect_target;
+  }
+}
+
+TEST(RoundSchedule, ShiftSequenceSkipsIncastRounds) {
+  // Interleaving incast rounds must not eat shifts: the shift sequence
+  // walks 1, 2, 3, 1, ... over the *shift* rounds only, so coverage of
+  // every ordered pair survives the interleaving.
+  RoundSchedule sched(4, 9, /*incast_every=*/3);
+  EXPECT_EQ(sched.plan(0).shift, 1u);
+  EXPECT_EQ(sched.plan(1).shift, 2u);
+  ASSERT_EQ(sched.plan(2).kind, RoundKind::kIncast);
+  EXPECT_EQ(sched.plan(3).shift, 3u);
+  EXPECT_EQ(sched.plan(4).shift, 1u);
+  ASSERT_EQ(sched.plan(5).kind, RoundKind::kIncast);
+  EXPECT_EQ(sched.plan(6).shift, 2u);
+}
+
+std::vector<LinkSample> full_matrix(std::size_t n, double rtt_us) {
+  std::vector<LinkSample> links;
+  for (NodeId s = 0; s < n; ++s)
+    for (NodeId d = 0; d < n; ++d) {
+      if (s == d) continue;
+      LinkSample l;
+      l.src = s;
+      l.dst = d;
+      l.echoes = 10;
+      l.rtt_mean_us = rtt_us;
+      l.rtt_max_us = rtt_us * 2;
+      links.push_back(l);
+    }
+  return links;
+}
+
+TEST(LinkAnalysis, SlowReceiverInflatesEveryInboundLinkAndIsIsolated) {
+  auto links = full_matrix(4, 10.0);
+  for (LinkSample& l : links)
+    if (l.dst == 2) l.rtt_mean_us = 200.0;  // every link INTO rank 2
+  const LinkAnalysis a = analyze_links(links, 4.0);
+  EXPECT_NEAR(a.median_rtt_us, 10.0, 1e-9);
+  EXPECT_EQ(a.slow_links.size(), 3u);
+  ASSERT_EQ(a.slow_ranks.size(), 1u);
+  EXPECT_EQ(a.slow_ranks[0], 2u);
+  EXPECT_TRUE(a.rank_is_slow(2));
+  EXPECT_FALSE(a.rank_is_slow(0));
+}
+
+TEST(LinkAnalysis, OneSlowLinkBlamesTheLinkNotTheRank) {
+  auto links = full_matrix(4, 10.0);
+  for (LinkSample& l : links)
+    if (l.src == 0 && l.dst == 2) l.rtt_mean_us = 500.0;
+  const LinkAnalysis a = analyze_links(links, 4.0);
+  ASSERT_EQ(a.slow_links.size(), 1u);
+  EXPECT_EQ(a.slow_links[0].src, 0u);
+  EXPECT_EQ(a.slow_links[0].dst, 2u);
+  // One bad link of rank 2's three inbound links: a link problem, not a
+  // rank problem.
+  EXPECT_TRUE(a.slow_ranks.empty());
+}
+
+TEST(LinkAnalysis, LossIsolatesTheLossyRank) {
+  auto links = full_matrix(5, 10.0);
+  for (LinkSample& l : links)
+    if (l.dst == 1) l.lost = 3;
+  const LinkAnalysis a = analyze_links(links, 4.0);
+  EXPECT_EQ(a.lossy_links.size(), 4u);
+  ASSERT_EQ(a.lossy_ranks.size(), 1u);
+  EXPECT_EQ(a.lossy_ranks[0], 1u);
+  EXPECT_TRUE(a.rank_is_lossy(1));
+  EXPECT_FALSE(a.rank_is_lossy(0));
+  EXPECT_TRUE(a.slow_ranks.empty());
+}
+
+TEST(LinkStats, MetricKeysRoundTripThroughAReport) {
+  std::map<std::string, double> metrics;
+  metrics[link_metric_key(0, 2, "echoes")] = 12;
+  metrics[link_metric_key(0, 2, "lost")] = 1;
+  metrics[link_metric_key(0, 2, "rtt_mean_us")] = 42.5;
+  metrics[link_metric_key(0, 2, "rtt_max_us")] = 99.0;
+  metrics[link_metric_key(3, 1, "echoes")] = 7;
+  metrics["bench.unrelated"] = 1.0;           // ignored
+  metrics["san.link.bogus"] = 1.0;            // unparseable: ignored
+  const auto links = links_from_metrics(metrics);
+  ASSERT_EQ(links.size(), 2u);
+  const LinkSample* l02 = nullptr;
+  const LinkSample* l31 = nullptr;
+  for (const LinkSample& l : links) {
+    if (l.src == 0 && l.dst == 2) l02 = &l;
+    if (l.src == 3 && l.dst == 1) l31 = &l;
+  }
+  ASSERT_NE(l02, nullptr);
+  ASSERT_NE(l31, nullptr);
+  EXPECT_EQ(l02->echoes, 12u);
+  EXPECT_EQ(l02->lost, 1u);
+  EXPECT_NEAR(l02->rtt_mean_us, 42.5, 1e-9);
+  EXPECT_NEAR(l02->rtt_max_us, 99.0, 1e-9);
+  EXPECT_EQ(l31->echoes, 7u);
+}
+
+TEST(ChaosScenario, SameSeedMaterializesTheSameSchedule) {
+  hw::FaultParams storm;
+  storm.drop_rate = 0.1;
+  for (std::uint64_t seed : {1ull, 42ull, 0xdeadbeefull}) {
+    EXPECT_EQ(make_kill_scenario(4, 8, seed), make_kill_scenario(4, 8, seed));
+    EXPECT_EQ(make_slow_receiver_scenario(4, 8, seed, 500),
+              make_slow_receiver_scenario(4, 8, seed, 500));
+    EXPECT_EQ(make_packet_storm_scenario(4, 8, seed, storm),
+              make_packet_storm_scenario(4, 8, seed, storm));
+    EXPECT_EQ(make_fault_ramp_scenario(4, 8, seed, storm, 2),
+              make_fault_ramp_scenario(4, 8, seed, storm, 2));
+  }
+}
+
+TEST(ChaosScenario, SeedActuallySteersTheSchedule) {
+  // Not a fixed schedule wearing a seed: across a handful of seeds the
+  // kill placement must vary.
+  const ChaosScenario base = make_kill_scenario(4, 12, 0);
+  bool varied = false;
+  for (std::uint64_t seed = 1; seed <= 16 && !varied; ++seed)
+    varied = !(make_kill_scenario(4, 12, seed) == base);
+  EXPECT_TRUE(varied);
+}
+
+TEST(ChaosScenario, KillPlacementIsMidCollective) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const std::size_t nodes = 4, rounds = 10;
+    const ChaosScenario s = make_kill_scenario(nodes, rounds, seed);
+    ASSERT_EQ(s.events.size(), 1u);
+    const ChaosEvent& e = s.events[0];
+    EXPECT_LT(e.victim, nodes);
+    EXPECT_GE(e.round, 1u) << "kill before anyone exchanged anything";
+    // Enough rounds remain for every survivor's shift schedule to reach
+    // the victim and observe the death.
+    EXPECT_LE(e.round, rounds - nodes + 1);
+  }
+}
+
+TEST(ChaosScenario, DirectivesHitOnlyTheVictimAtTheScheduledRound) {
+  ChaosScenario s;
+  s.nodes = 4;
+  s.rounds = 8;
+  ChaosEvent kill;
+  kill.kind = ChaosKind::kKillRank;
+  kill.victim = 2;
+  kill.round = 3;
+  s.events.push_back(kill);
+  ChaosEvent stall;
+  stall.kind = ChaosKind::kSlowReceiver;
+  stall.victim = 1;
+  stall.round = 2;
+  stall.duration = 3;
+  stall.stall_us = 700;
+  s.events.push_back(stall);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (NodeId self = 0; self < 4; ++self) {
+      const ChaosDirective d = directive_for(s, self, r);
+      EXPECT_EQ(d.kill_self, self == 2 && r == 3);
+      EXPECT_EQ(d.stall_us, (self == 1 && r >= 2 && r < 5) ? 700u : 0u);
+      EXPECT_FALSE(d.storm_active);
+    }
+  }
+}
+
+TEST(ChaosScenario, StormDirectiveCoversItsWindowForEveryRank) {
+  hw::FaultParams storm;
+  storm.drop_rate = 0.2;
+  ChaosScenario s;
+  s.nodes = 3;
+  s.rounds = 8;
+  ChaosEvent e;
+  e.kind = ChaosKind::kPacketStorm;
+  e.round = 2;
+  e.duration = 3;
+  e.faults = storm;
+  s.events.push_back(e);
+  for (NodeId self = 0; self < 3; ++self) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      const ChaosDirective d = directive_for(s, self, r);
+      EXPECT_EQ(d.storm_active, r >= 2 && r < 5) << "rank " << self;
+      if (d.storm_active) {
+        EXPECT_NEAR(d.faults.drop_rate, 0.2, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ChaosScenario, FaultRampEscalatesAndEndsBeforeTheFinalRound) {
+  hw::FaultParams peak;
+  peak.drop_rate = 0.3;
+  peak.corrupt_rate = 0.06;
+  const ChaosScenario s = make_fault_ramp_scenario(4, 16, 7, peak, 3);
+  ASSERT_EQ(s.events.size(), 3u);
+  double last_rate = 0;
+  for (const ChaosEvent& e : s.events) {
+    EXPECT_GT(e.faults.drop_rate, last_rate);  // staircase goes up
+    last_rate = e.faults.drop_rate;
+    EXPECT_LT(e.round + e.duration, 16u) << "no calm tail to recover in";
+  }
+  EXPECT_NEAR(s.events.back().faults.drop_rate, 0.3, 1e-12);
+  EXPECT_NEAR(s.events.back().faults.corrupt_rate, 0.06, 1e-12);
+}
+
+TEST(ChaosScenario, DescribeNamesTheChaos) {
+  const ChaosScenario s = make_kill_scenario(4, 8, 99);
+  const std::string d = describe(s);
+  EXPECT_NE(d.find("kill rank"), std::string::npos);
+  EXPECT_NE(d.find("seed=99"), std::string::npos);
+}
+
+TEST(SanSeed, EnvOverridesAndIsRecordedForReplay) {
+  ASSERT_EQ(setenv("FM_SAN_SEED", "12345", 1), 0);
+  EXPECT_EQ(effective_seed(7), 12345u);
+  std::uint64_t recorded = 0;
+  ASSERT_TRUE(obs::run_seed(&recorded));  // the dump/failure path reads this
+  EXPECT_EQ(recorded, 12345u);
+
+  ASSERT_EQ(setenv("FM_SAN_SEED", "0x20", 1), 0);  // base-0: hex accepted
+  EXPECT_EQ(effective_seed(7), 0x20u);
+
+  ASSERT_EQ(setenv("FM_SAN_SEED", "zebra", 1), 0);  // garbage: fall back
+  EXPECT_EQ(effective_seed(7), 7u);
+
+  ASSERT_EQ(unsetenv("FM_SAN_SEED"), 0);
+  EXPECT_EQ(effective_seed(7), 7u);
+  ASSERT_TRUE(obs::run_seed(&recorded));
+  EXPECT_EQ(recorded, 7u);
+}
+
+TEST(DetectionHorizon, SumsTheCappedBackoffSchedule) {
+  // 1ms base, 5 retries: 1 + 2 + 4 + 8 + 16 + 32 = 63 ms of silence before
+  // the peer is declared dead.
+  EXPECT_EQ(RetransmitTimer::detection_horizon_ns(1'000'000, 5),
+            63'000'000u);
+  // Beyond the shift cap the per-try timeout pins at base << 6.
+  EXPECT_EQ(RetransmitTimer::detection_horizon_ns(1'000'000, 7),
+            (63 + 64 + 64) * 1'000'000u);
+}
+
+}  // namespace
+}  // namespace fm::san

@@ -64,6 +64,10 @@ struct ShmBackend {
   using Cluster = shm::Cluster;
   using Endpoint = shm::Endpoint;
   static constexpr const char* kName = "shm";
+  /// Ranks are threads: a "killed" rank can only exit silently, and the
+  /// cluster barrier (which waits for ALL ranks) must not be used after a
+  /// kill. Chaos scenarios branch on this.
+  static constexpr bool kProcessRanks = false;
 
   /// Backend-legal variant of a test's config (identity for shm).
   static FmConfig adapt(FmConfig cfg) { return cfg; }
@@ -88,6 +92,9 @@ struct NetBackend {
   using Cluster = net::Cluster;
   using Endpoint = net::Endpoint;
   static constexpr const char* kName = "net";
+  /// Ranks are forked processes: a chaos kill is a literal SIGKILL, and
+  /// the parent-brokered barrier releases survivors without the victim.
+  static constexpr bool kProcessRanks = true;
 
   static FmConfig adapt(FmConfig cfg) {
     cfg.flow_control = true;

@@ -14,6 +14,7 @@
 // failing scenario, not just an assertion message.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +30,15 @@ class ObsDumpListener : public ::testing::EmptyTestEventListener {
 
   void OnTestEnd(const ::testing::TestInfo& info) override {
     if (info.result() != nullptr && info.result()->Failed()) {
+      // Chaos/soak failures must be replayable: surface the effective seed
+      // (recorded via fm::obs::set_run_seed) next to the failure.
+      std::uint64_t seed = 0;
+      if (fm::obs::run_seed(&seed))
+        std::fprintf(stderr,
+                     "[FM-San] effective chaos seed: %llu — replay with "
+                     "FM_SAN_SEED=%llu\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(seed));
       const char* env = std::getenv("FM_OBS_DUMP_DIR");
       const std::string dir = env != nullptr && env[0] != '\0' ? env
                                                                : "obs-dump";

@@ -1,0 +1,196 @@
+// The FM-San named scenario library.
+//
+// Each factory returns a complete, self-contained ScenarioSpec — cluster
+// shape, FM config, base fault rates, soak schedule, chaos script — for
+// one validation story. Tests (tests/san/) and the nightly chaos CI job
+// run the same specs; the only per-run variance is the effective seed
+// (FM_SAN_SEED overrides the built-in default, and the seed in use is
+// recorded so any failure replays).
+//
+// Backend asymmetries are resolved here, once:
+//   * a chaos kill is raise(SIGKILL) on process backends and a silent
+//     return on thread backends,
+//   * the end-of-run barrier is skipped on thread backends after a kill
+//     (shm's barrier waits for ALL ranks, dead ones included),
+//   * kill scenarios keep the per-peer in-flight window small so survivor
+//     retransmissions into a dead thread's ring can never fill it.
+#pragma once
+
+#include <csignal>
+#include <string>
+
+#include "fm/config.h"
+#include "hw/fault.h"
+#include "san/alltoall.h"
+#include "san/chaos.h"
+#include "san/seed.h"
+#include "support/backends.h"
+
+namespace fm::testing::scenarios {
+
+template <class B>
+struct ScenarioSpec {
+  std::string name;
+  std::size_t nodes = 4;
+  FmConfig cfg;
+  hw::FaultParams faults;  ///< Base rates at cluster construction.
+  san::SoakParams<typename B::Cluster> soak;
+};
+
+/// Builds the cluster from the spec and runs the soak.
+template <class B>
+san::SoakOutcome run_scenario(const ScenarioSpec<B>& spec) {
+  auto cluster = B::make(spec.nodes, spec.cfg, spec.faults);
+  return san::run_all_to_all(*cluster, spec.soak);
+}
+
+/// Plain all-to-all: every ordered pair exercised, nothing injected.
+template <class B>
+ScenarioSpec<B> baseline(std::uint64_t seed = 0x5a10ull) {
+  ScenarioSpec<B> s;
+  s.name = "baseline-alltoall";
+  s.nodes = 4;
+  s.cfg.reliability = true;
+  s.soak.rounds = 9;  // 3 full shift sweeps over the ordered pairs
+  s.soak.msgs_per_round = 3;
+  s.soak.payload_bytes = 64;
+  s.soak.seed = san::effective_seed(seed);
+  return s;
+}
+
+/// Incast rounds: N-1 ranks target one receiver with fragmented payloads
+/// through a tiny reassembly pool, exercising return-to-sender admission.
+template <class B>
+ScenarioSpec<B> incast(std::uint64_t seed = 0x10ca57ull) {
+  ScenarioSpec<B> s;
+  s.name = "incast-admission";
+  s.nodes = 4;
+  s.cfg.reliability = true;
+  s.cfg.flow_control = true;
+  s.cfg.reassembly_slots = 1;  // concurrent senders MUST collide
+  s.cfg.reject_retry_delay = 1;
+  // Window smaller than the fragment count: every sender stalls mid-message
+  // waiting for acks, so fragments from the N-1 incast senders interleave at
+  // the target instead of arriving as contiguous per-ring batches — without
+  // this the single reassembly slot is freed between messages and the
+  // return-to-sender path never fires.
+  s.cfg.pending_window = 2;
+  s.soak.rounds = 9;
+  s.soak.incast_every = 3;
+  s.soak.msgs_per_round = 3;
+  s.soak.payload_bytes = 512;  // several frames: reassembly under pressure
+  s.soak.seed = san::effective_seed(seed);
+  return s;
+}
+
+/// SIGKILL of a random rank mid-collective: survivors must declare it
+/// dead within the bounded horizon and stay conserved.
+template <class B>
+ScenarioSpec<B> kill_rank(std::uint64_t seed = 0x4111ull) {
+  ScenarioSpec<B> s;
+  s.name = "kill-rank";
+  s.nodes = 3;
+  s.cfg.reliability = true;
+  s.cfg.crc_frames = true;
+  s.cfg.retransmit_timeout_ns = 1'000'000;  // 1 ms
+  s.cfg.max_retries = 5;                    // dead after ~63 ms of silence
+  // Window smaller than the per-round burst, for two reasons: survivor
+  // retransmissions into the dead rank's ring stay far below the ring
+  // capacity on the thread backend, and a survivor's first post-kill burst
+  // deterministically wedges mid-flight — the unacked frames to the victim
+  // pin the window, the burst's last message blocks in the send spin, and
+  // the dead-peer declaration fails it with kPeerDead. That mid-flight
+  // failure is what messages_abandoned accounts (a message that was fully
+  // injected before the death vanishes without sender-side accounting, so
+  // a purely timing-lucky run would otherwise report abandoned == 0).
+  s.cfg.pending_window = 2;
+  s.soak.rounds = 8;  // >= nodes + 2: every survivor meets the victim again
+  s.soak.msgs_per_round = 3;
+  s.soak.payload_bytes = 48;
+  const std::uint64_t eff = san::effective_seed(seed);
+  s.soak.seed = eff;
+  s.soak.chaos = san::make_kill_scenario(s.nodes, s.soak.rounds, eff);
+  s.soak.end_barrier = B::kProcessRanks;  // shm barrier would wait on the dead
+  if (B::kProcessRanks)
+    s.soak.on_kill = [](typename B::Endpoint&) { raise(SIGKILL); };
+  return s;
+}
+
+/// One rank stalls between extract() calls for most of the schedule: the
+/// per-link attribution must isolate it, and nothing may be lost.
+template <class B>
+ScenarioSpec<B> slow_receiver(std::uint64_t seed = 0x510e7ull) {
+  ScenarioSpec<B> s;
+  s.name = "slow-receiver";
+  // 5 ranks, not fewer: the victim taints its in- AND outbound links (8 of
+  // 20); the 12 healthy links keep the median RTT honest so the outlier
+  // threshold still has teeth.
+  s.nodes = 5;
+  s.cfg.reliability = true;
+  s.cfg.retransmit_timeout_ns = 2'000'000;  // stalls are not deaths
+  s.cfg.max_retries = 30;
+  s.soak.rounds = 10;
+  s.soak.msgs_per_round = 2;
+  s.soak.payload_bytes = 64;
+  const std::uint64_t eff = san::effective_seed(seed);
+  s.soak.seed = eff;
+  s.soak.chaos = san::make_slow_receiver_scenario(s.nodes, s.soak.rounds,
+                                                  eff, /*stall_us=*/5000);
+  return s;
+}
+
+/// Burst-loss packet storm over a window of rounds, calm tail after:
+/// exactly-once and conservation must survive the storm.
+template <class B>
+ScenarioSpec<B> packet_storm(std::uint64_t seed = 0x5704full) {
+  ScenarioSpec<B> s;
+  s.name = "packet-storm";
+  s.nodes = 3;
+  s.cfg.reliability = true;
+  s.cfg.crc_frames = true;
+  s.cfg.retransmit_timeout_ns = 2'000'000;
+  s.cfg.max_retries = 30;  // heavy loss must never read as a dead peer
+  // Base rates are barely-on so each endpoint owns a (seeded) injector the
+  // storm directive can crank and restore.
+  s.faults.drop_rate = 0.001;
+  hw::FaultParams storm;
+  storm.drop_rate = 0.15;
+  storm.burst_rate = 0.05;
+  storm.burst_len = 4;
+  s.soak.rounds = 10;
+  s.soak.msgs_per_round = 4;
+  s.soak.payload_bytes = 64;
+  s.soak.base_faults = s.faults;
+  const std::uint64_t eff = san::effective_seed(seed);
+  s.soak.seed = eff;
+  s.soak.chaos =
+      san::make_packet_storm_scenario(s.nodes, s.soak.rounds, eff, storm);
+  return s;
+}
+
+/// Escalating fault-rate staircase (drop + corrupt), then a calm tail.
+template <class B>
+ScenarioSpec<B> fault_ramp(std::uint64_t seed = 0x4a3cull) {
+  ScenarioSpec<B> s;
+  s.name = "fault-ramp";
+  s.nodes = 3;
+  s.cfg.reliability = true;
+  s.cfg.crc_frames = true;
+  s.cfg.retransmit_timeout_ns = 2'000'000;
+  s.cfg.max_retries = 30;
+  s.faults.drop_rate = 0.001;
+  hw::FaultParams peak;
+  peak.drop_rate = 0.1;
+  peak.corrupt_rate = 0.05;
+  s.soak.rounds = 12;
+  s.soak.msgs_per_round = 3;
+  s.soak.payload_bytes = 64;
+  s.soak.base_faults = s.faults;
+  const std::uint64_t eff = san::effective_seed(seed);
+  s.soak.seed = eff;
+  s.soak.chaos = san::make_fault_ramp_scenario(s.nodes, s.soak.rounds, eff,
+                                               peak, /*steps=*/3);
+  return s;
+}
+
+}  // namespace fm::testing::scenarios
