@@ -6,6 +6,22 @@
 //   2. streamed send sweep   — r_inf / n_1/2 over message sizes
 //   3. traced ping-pong      — FM-Scope-enabled overhead + counter snapshot
 //
+// FM-Burst turns this into a transport-mode MATRIX. The headline
+// (unprefixed) metrics run the full batched configuration — sendmmsg/
+// recvmmsg staging plus UDP_SEGMENT/GRO trains — so the committed
+// trajectory tracks the tentpole's ceiling (where the kernel lacks GSO the
+// run silently measures plain batching, exactly like production). Three
+// reduced-sweep comparison legs ride along under metric prefixes:
+//
+//   baseline_        one sendto/recvfrom syscall per frame (pre-Burst path)
+//   batch_           sendmmsg/recvmmsg staging only (the runtime default)
+//   batch_busypoll_  batching + a 50us busy-poll spin before parking. On a
+//                    dedicated core the spin shaves the poll() wakeup off
+//                    t0; on an oversubscribed host (CI: often 1 core for 3
+//                    processes) the spin blocks the peer and ADDS ~spin to
+//                    the rtt — committing that number is the point: it
+//                    documents why busy-poll is opt-in.
+//
 // Ranks are forked processes, so every timing is measured inside the rank
 // that owns the clock and crosses back through Cluster::report(); the
 // counter snapshot in the JSON is the merged per-rank registry samples
@@ -50,13 +66,32 @@ FmConfig bench_cfg() {
   return cfg;
 }
 
+// One transport mode of the matrix: a metric-name prefix plus the
+// NetConfig that selects the mode. Explicit values everywhere so the bench
+// measures what it says regardless of FM_NET_* in the environment.
+struct Mode {
+  const char* prefix;  // "" = the headline (as-shipped) configuration
+  const char* label;
+  int tx_batch;
+  int gso;
+  long busy_poll_spin_us;
+};
+
+net::NetConfig mode_net_config(const Mode& m) {
+  net::NetConfig nc;
+  nc.tx_batch = m.tx_batch;
+  nc.gso = m.gso;
+  nc.busy_poll_spin_us = m.busy_poll_spin_us;
+  return nc;
+}
+
 // Half round-trip of an FM_send_4 ping-pong between two forked processes.
 // With `samples` non-null the flight recorders are armed pre-fork (the
 // children inherit them enabled) and the run's merged registry snapshot is
 // returned alongside the rank-0-measured elapsed seconds.
-double run_send4_pingpong(std::size_t rounds,
+double run_send4_pingpong(std::size_t rounds, const net::NetConfig& nc,
                           std::vector<obs::Sample>* samples = nullptr) {
-  net::Cluster cluster(2, bench_cfg());
+  net::Cluster cluster(2, bench_cfg(), nc);
   if (samples != nullptr)
     for (NodeId i = 0; i < 2; ++i)
       cluster.endpoint(i).trace_ring().enable(1 << 15);
@@ -107,8 +142,9 @@ double run_send4_pingpong(std::size_t rounds,
 
 // One-way streamed send of `packets` messages of `bytes` each; returns the
 // sender-observed seconds from first send to fully drained (acks home).
-double run_streamed(std::size_t packets, std::size_t bytes) {
-  net::Cluster cluster(2, bench_cfg());
+double run_streamed(std::size_t packets, std::size_t bytes,
+                    const net::NetConfig& nc) {
+  net::Cluster cluster(2, bench_cfg(), nc);
   std::size_t got = 0;  // child-local
   HandlerId h = cluster.register_handler(
       [&](net::Endpoint&, NodeId, const void*, std::size_t) { ++got; });
@@ -175,61 +211,114 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The transport-mode matrix. The headline ("") leg is the full FM-Burst
+  // configuration — batched syscalls plus GSO/GRO trains — and its
+  // unprefixed metrics are what the committed trajectory and the perf gate
+  // track. The prefixed legs isolate each accelerator's contribution.
+  const Mode kModes[] = {
+      {"", "batch+gso     ", 1, 1, 0},
+      {"baseline_", "single-shot   ", 0, 0, 0},
+      {"batch_", "batch         ", 1, 0, 0},
+      {"batch_busypoll_", "batch+busypoll", 1, 0, 50},
+  };
+  // Reduced sweep for the comparison legs: the latency-bound end and the
+  // bandwidth-bound end of the curve. The headline runs the full sweep.
+  const std::size_t kSizes[] = {16, 64, 128, 256, 512, 1024, 2048, 4096};
+  const std::size_t kCompareSizes[] = {16, 4096};
+
   std::vector<fm::bench::JsonMetric> metrics;
   std::printf("==== net hot path (%zu rounds, %zu packets/point) ====\n",
               opt.rounds, opt.packets);
 
-  // 1. send4 ping-pong.
-  const double pp = run_send4_pingpong(opt.rounds);
-  const double rtt_us = pp / static_cast<double>(opt.rounds) * 1e6;
-  const double pp_rate = 2.0 * static_cast<double>(opt.rounds) / pp;
-  std::printf("send4 ping-pong : rtt %8.3f us   t0 %8.3f us   %10.0f msgs/s\n",
-              rtt_us, rtt_us / 2, pp_rate);
-  metrics.push_back({"send4_pingpong_rtt_us", rtt_us});
-  metrics.push_back({"send4_t0_us", rtt_us / 2});
-  metrics.push_back({"send4_pingpong_msgs_per_sec", pp_rate});
+  double headline_rtt_us = 0;
+  double mode_t0_us[4] = {0, 0, 0, 0};
+  double mode_16b_rate[4] = {0, 0, 0, 0};
+  for (std::size_t mi = 0; mi < 4; ++mi) {
+    const Mode& mode = kModes[mi];
+    const net::NetConfig nc = mode_net_config(mode);
+    const bool headline = mode.prefix[0] == '\0';
+    char key[96];
 
-  // 2. streamed send sweep: bandwidth curve, OLS fit for t0/r_inf, n_1/2.
-  const std::size_t sizes[] = {16, 64, 128, 256, 512, 1024, 2048, 4096};
-  std::vector<fm::metrics::TimePoint> points;
-  std::vector<fm::metrics::BwPoint> curve;
-  std::printf("streamed send   :\n");
-  for (std::size_t bytes : sizes) {
-    const double dt = run_streamed(opt.packets, bytes);
-    const double per_msg = dt / static_cast<double>(opt.packets);
-    const double mbs =
-        static_cast<double>(opt.packets * bytes) / dt / 1048576.0;
-    const double rate = static_cast<double>(opt.packets) / dt;
-    std::printf("  %5zu B       : %8.3f us/msg  %9.1f MB/s  %10.0f msgs/s\n",
-                bytes, per_msg * 1e6, mbs, rate);
-    points.push_back({static_cast<double>(bytes), per_msg});
-    curve.push_back({static_cast<double>(bytes), mbs});
-    char key[64];
-    std::snprintf(key, sizeof key, "stream_%zuB_mb_per_sec", bytes);
-    metrics.push_back({key, mbs});
-    std::snprintf(key, sizeof key, "stream_%zuB_msgs_per_sec", bytes);
-    metrics.push_back({key, rate});
+    // 1. send4 ping-pong (every mode: t0 is where busy-poll pays).
+    const double pp = run_send4_pingpong(opt.rounds, nc);
+    const double rtt_us = pp / static_cast<double>(opt.rounds) * 1e6;
+    const double pp_rate = 2.0 * static_cast<double>(opt.rounds) / pp;
+    std::printf("[%s] send4 ping-pong : rtt %8.3f us   t0 %8.3f us   "
+                "%10.0f msgs/s\n",
+                mode.label, rtt_us, rtt_us / 2, pp_rate);
+    std::snprintf(key, sizeof key, "%ssend4_pingpong_rtt_us", mode.prefix);
+    metrics.push_back({key, rtt_us});
+    std::snprintf(key, sizeof key, "%ssend4_t0_us", mode.prefix);
+    metrics.push_back({key, rtt_us / 2});
+    std::snprintf(key, sizeof key, "%ssend4_pingpong_msgs_per_sec",
+                  mode.prefix);
+    metrics.push_back({key, pp_rate});
+    if (headline) headline_rtt_us = rtt_us;
+    mode_t0_us[mi] = rtt_us / 2;
+
+    // 2. streamed send sweep: the full curve (with OLS fit for t0/r_inf
+    // and n_1/2) on the headline; the two sweep endpoints elsewhere.
+    std::vector<fm::metrics::TimePoint> points;
+    std::vector<fm::metrics::BwPoint> curve;
+    std::printf("[%s] streamed send   :\n", mode.label);
+    const std::size_t* sweep = headline ? kSizes : kCompareSizes;
+    const std::size_t nsweep = headline ? 8 : 2;
+    for (std::size_t si = 0; si < nsweep; ++si) {
+      const std::size_t bytes = sweep[si];
+      const double dt = run_streamed(opt.packets, bytes, nc);
+      const double per_msg = dt / static_cast<double>(opt.packets);
+      const double mbs =
+          static_cast<double>(opt.packets * bytes) / dt / 1048576.0;
+      const double rate = static_cast<double>(opt.packets) / dt;
+      std::printf("  %5zu B         : %8.3f us/msg  %9.1f MB/s  "
+                  "%10.0f msgs/s\n",
+                  bytes, per_msg * 1e6, mbs, rate);
+      points.push_back({static_cast<double>(bytes), per_msg});
+      curve.push_back({static_cast<double>(bytes), mbs});
+      std::snprintf(key, sizeof key, "%sstream_%zuB_mb_per_sec", mode.prefix,
+                    bytes);
+      metrics.push_back({key, mbs});
+      std::snprintf(key, sizeof key, "%sstream_%zuB_msgs_per_sec",
+                    mode.prefix, bytes);
+      metrics.push_back({key, rate});
+      if (bytes == 16) mode_16b_rate[mi] = rate;
+    }
+    if (headline) {
+      const fm::metrics::LinearFit fit = fm::metrics::fit_linear(points);
+      const double nh = fm::metrics::n_half(curve, fit.r_inf_mbs());
+      std::printf(
+          "fit               : t0 %.3f us   r_inf %.1f MB/s   n1/2 %s%.0f B\n",
+          fit.t0_us(), fit.r_inf_mbs(), nh < 0 ? ">" : "",
+          nh < 0 ? static_cast<double>(kSizes[7]) : nh);
+      metrics.push_back({"stream_fit_t0_us", fit.t0_us()});
+      metrics.push_back({"stream_r_inf_mb_per_sec", fit.r_inf_mbs()});
+      metrics.push_back({"stream_n_half_bytes",
+                         nh < 0 ? static_cast<double>(kSizes[7]) : nh});
+    }
   }
-  const fm::metrics::LinearFit fit = fm::metrics::fit_linear(points);
-  const double nh = fm::metrics::n_half(curve, fit.r_inf_mbs());
-  std::printf("fit             : t0 %.3f us   r_inf %.1f MB/s   n1/2 %s%.0f B\n",
-              fit.t0_us(), fit.r_inf_mbs(), nh < 0 ? ">" : "",
-              nh < 0 ? static_cast<double>(sizes[7]) : nh);
-  metrics.push_back({"stream_fit_t0_us", fit.t0_us()});
-  metrics.push_back({"stream_r_inf_mb_per_sec", fit.r_inf_mbs()});
-  metrics.push_back({"stream_n_half_bytes",
-                     nh < 0 ? static_cast<double>(sizes[7]) : nh});
 
-  // 3. FM-Scope: rerun the ping-pong with the flight recorders armed (the
-  // forked ranks inherit them enabled). The traced rtt quantifies
-  // tracing-enabled overhead against (1); the merged per-rank registry
-  // snapshot rides along in the bench JSON as "counters".
+  // 3. FM-Scope: rerun the headline ping-pong with the flight recorders
+  // armed (the forked ranks inherit them enabled). The traced rtt
+  // quantifies tracing-enabled overhead; the merged per-rank registry
+  // snapshot rides along in the bench JSON as "counters" — including the
+  // FM-Burst batching counters.
   std::vector<fm::obs::Sample> counters;
-  const double tpp = run_send4_pingpong(opt.rounds, &counters);
+  const double tpp =
+      run_send4_pingpong(opt.rounds, mode_net_config(kModes[0]), &counters);
   const double traced_rtt_us = tpp / static_cast<double>(opt.rounds) * 1e6;
-  std::printf("traced ping-pong: rtt %8.3f us   (+%.1f%% vs untraced)\n",
-              traced_rtt_us, (traced_rtt_us / rtt_us - 1.0) * 100.0);
+  std::printf("traced ping-pong  : rtt %8.3f us   (+%.1f%% vs untraced)\n",
+              traced_rtt_us, (traced_rtt_us / headline_rtt_us - 1.0) * 100.0);
   metrics.push_back({"send4_pingpong_traced_rtt_us", traced_rtt_us});
+
+  // Matrix summary: what each accelerator buys over the single-shot path.
+  std::printf("\nmode matrix (vs single-shot):\n");
+  for (std::size_t mi = 0; mi < 4; ++mi) {
+    const std::size_t base = 1;  // baseline_ leg
+    std::printf("  %-14s t0 %8.3f us (%.2fx)   16B %10.0f msgs/s (%.2fx)\n",
+                kModes[mi].label, mode_t0_us[mi],
+                mode_t0_us[base] / mode_t0_us[mi], mode_16b_rate[mi],
+                mode_16b_rate[mi] / mode_16b_rate[base]);
+  }
 
   fm::bench::write_bench_json(opt.json, "net_hotpath", metrics, counters);
   std::printf("\nJSON written to %s\n", opt.json.c_str());

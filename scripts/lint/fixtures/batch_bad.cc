@@ -1,0 +1,49 @@
+// Fixture: the hotpath rules fire on a BATCHED send path that allocates.
+// FM-Burst's contract is that the mmsghdr/iovec fill loops run out of
+// preallocated slabs; this fixture builds them on the heap per burst —
+// exactly the regression the linter must keep impossible. Expected
+// findings are asserted by scripts/lint/fm_lint_selftest.py — keep line
+// numbers stable when editing.
+#include <cstddef>
+#include <vector>
+
+#define FM_HOT_PATH __attribute__((hot))
+
+namespace fixture {
+
+// Stand-ins for the kernel structs so the fixture needs no <sys/socket.h>.
+struct IoVec {
+  void* iov_base;
+  std::size_t iov_len;
+};
+struct MMsgHdr {
+  IoVec* msg_iov;
+  std::size_t msg_iovlen;
+};
+
+void cold_metrics_flush();
+
+class BatchSender {
+ public:
+  FM_HOT_PATH std::size_t flush_burst(const void* const* frames,
+                                      const std::size_t* lens,
+                                      std::size_t n) {
+    auto* hdrs = new MMsgHdr[n];      // hotpath-alloc: per-burst heap slab
+    iovs_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      iovs_.push_back({const_cast<void*>(frames[i]), lens[i]});
+      hdrs[i].msg_iov = &iovs_[i];    // hotpath-alloc: vector growth above
+      hdrs[i].msg_iovlen = 1;
+    }
+    cold_metrics_flush();             // hotpath-call: unmarked callee
+    delete[] hdrs;
+    return n;
+  }
+
+ private:
+  std::vector<IoVec> iovs_;
+};
+
+void cold_metrics_flush() {}
+
+}  // namespace fixture

@@ -343,8 +343,10 @@ BUILTIN_CALLEES = {
     "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
     # time (the hot paths timestamp events)
     "now", "time_since_epoch", "duration_cast",
-    # sockets: the nonblocking datagram verbs the net hot path is made of
+    # sockets: the nonblocking datagram verbs the net hot path is made of,
+    # including the FM-Burst batched forms
     "send_to", "recv_one", "sendto", "recvfrom", "recvmsg", "sendmsg",
+    "sendmmsg", "recvmmsg",
     # misc project accessors that appear inside hot bodies
     "enabled", "valid", "full", "in_flight", "total_due", "armed",
     "active", "addr", "node_for_port", "ring", "id", "next_seq",

@@ -56,6 +56,16 @@ def main() -> int:
     expect(rc == 0, "clean hot path passes (allow comment honored, cold "
            "boundary respected)", out, failures)
 
+    print("fixture: batch_bad.cc")
+    rc, out = run_lint(os.path.join(FIXTURES, "batch_bad.cc"))
+    expect(rc != 0, "exits nonzero", out, failures)
+    expect("hotpath-alloc" in out and "new" in out,
+           "flags per-burst heap mmsghdr slab", out, failures)
+    expect("push_back" in out.replace(" ", ""),
+           "flags iovec vector growth", out, failures)
+    expect("hotpath-call" in out and "cold_metrics_flush" in out,
+           "flags unmarked callee from the batch path", out, failures)
+
     print("fixture: assert_bad.cc")
     rc, out = run_lint(os.path.join(FIXTURES, "assert_bad.cc"))
     expect(rc != 0 and "no-assert" in out, "flags raw assert()",

@@ -13,6 +13,19 @@ struct FmConfig {
   /// Maximum user payload per frame. §5: "we chose a 128-byte frame size
   /// for FM 1.0" (the benches sweep this to reproduce the frame-size
   /// tradeoff study).
+  ///
+  /// Bench note (shm_hotpath, results/BENCH_shm.json): this constant is the
+  /// fragmentation threshold behind the msgs/s cliff between the 128 B and
+  /// 256 B stream points (~9.0 M -> ~2.9 M msgs/s). A message one byte over
+  /// frame_payload becomes two frames, so per-message cost jumps by a full
+  /// extra reserve/inject/ack/reassemble cycle — and with pending_window
+  /// counted in frames, the effective message window also halves. The cliff
+  /// is the paper's frame-size tradeoff showing up exactly where it should,
+  /// not a bug: raising the default would just move it (and grow every
+  /// ring slot and send-window slab), so FM 1.0's 128 stays. The
+  /// SendWindow (dest, seq) -> slot index (protocol.h) exists because
+  /// fragmented traffic doubles in-flight entries; it recovered ~25% of the
+  /// send-side profile at 256 B (2.3 M -> 2.9 M msgs/s).
   std::size_t frame_payload = kFmFramePayload;
 
   /// Enable the return-to-sender reliable-delivery protocol (§4.5). Off

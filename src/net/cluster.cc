@@ -77,6 +77,20 @@ std::uint64_t watchdog_override_ns(std::uint64_t config_ns) {
   return static_cast<std::uint64_t>(ms) * 1'000'000ull;
 }
 
+/// Resolves one FM-Burst sentinel knob: an explicit config value (>= 0)
+/// wins, otherwise a well-formed environment variable, otherwise the
+/// built-in default (garbage in the variable keeps the default — same
+/// forgiving grammar as FM_NET_WATCHDOG_MS).
+long resolve_burst_knob(long config_val, const char* env_name, long def) {
+  if (config_val >= 0) return config_val;
+  const char* env = std::getenv(env_name);
+  if (env == nullptr || *env == '\0') return def;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v < 0) return def;
+  return v;
+}
+
 }  // namespace
 
 Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
@@ -84,6 +98,13 @@ Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
     : net_(net) {
   FM_CHECK_MSG(nodes >= 1, "empty cluster");
   net_.run_timeout_ns = watchdog_override_ns(net_.run_timeout_ns);
+  // Resolve the FM-Burst sentinels before any endpoint is constructed so
+  // every rank inherits the same already-decided transport mode.
+  net_.tx_batch = static_cast<int>(
+      resolve_burst_knob(net_.tx_batch, "FM_NET_BATCH", 1));
+  net_.gso = static_cast<int>(resolve_burst_knob(net_.gso, "FM_NET_GSO", 0));
+  net_.busy_poll_spin_us =
+      resolve_burst_knob(net_.busy_poll_spin_us, "FM_NET_BUSY_POLL_US", 0);
   // Bind every node's socket first: the full address map must exist before
   // any endpoint is constructed, and both must exist before fork() so the
   // children inherit identical state.
@@ -94,9 +115,8 @@ Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
     port_to_node_[socks_.back()->port()] = static_cast<NodeId>(i);
   }
   for (std::size_t i = 0; i < nodes; ++i)
-    endpoints_.push_back(std::unique_ptr<Endpoint>(
-        new Endpoint(*this, static_cast<NodeId>(i), cfg, faults, *socks_[i],
-                     net_.extract_budget)));
+    endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(
+        *this, static_cast<NodeId>(i), cfg, faults, *socks_[i], net_, nodes)));
   // One control channel per future child.
   ctl_parent_.resize(nodes, -1);
   ctl_child_.resize(nodes, -1);

@@ -40,26 +40,10 @@
 #include "fm/config.h"
 #include "hw/fault.h"
 #include "net/endpoint.h"
+#include "net/net_config.h"
 #include "net/socket.h"
 
 namespace fm::net {
-
-/// Transport knobs below the FM protocol (the FM knobs stay in FmConfig).
-struct NetConfig {
-  /// Socket buffer sizes in bytes (0: kernel default). A small receive
-  /// buffer is how soak tests force *real* kernel drops.
-  int so_rcvbuf = 0;
-  int so_sndbuf = 0;
-  /// Harness watchdog: when node_main bodies run longer than this, the
-  /// parent SIGKILLs every surviving child and the RunReport carries
-  /// timed_out = true. A multi-process hang must never outlive its test.
-  /// The FM_NET_WATCHDOG_MS environment variable overrides this at Cluster
-  /// construction (CI shortens it for chaos runs without a rebuild), and
-  /// the kill report says which phase/barrier each rank was last seen in.
-  std::uint64_t run_timeout_ns = 120'000'000'000ull;
-  /// Datagrams drained per extract() call (the receive-aggregation batch).
-  std::size_t extract_budget = 64;
-};
 
 /// A multi-process UDP FM cluster.
 class Cluster {

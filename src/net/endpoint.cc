@@ -10,12 +10,12 @@ namespace fm::net {
 
 Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
                    const hw::FaultParams& faults, UdpSocket& sock,
-                   std::size_t extract_budget)
+                   const NetConfig& net, std::size_t nodes)
     : cluster_(cluster),
       id_(id),
       cfg_(cfg),
       sock_(sock),
-      extract_budget_(extract_budget),
+      extract_budget_(net.extract_budget),
       window_(cfg.pending_window, max_wire_bytes(cfg.frame_payload)),
       reasm_(cfg.reassembly_slots),
       timer_(cfg.retransmit_timeout_ns, cfg.max_retries),
@@ -34,6 +34,42 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   rx_buf_.resize(max_wire_bytes(cfg.frame_payload));
   for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
   retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
+  last_heard_ns_.resize(nodes, 0);
+  alive_grace_ns_ = RetransmitTimer::detection_horizon_ns(
+      cfg.retransmit_timeout_ns, cfg.max_retries);
+  // FM-Burst mode resolution. The test hooks are installed first so the
+  // GSO capability probe below sees a forced-unsupported socket.
+  sock_.set_debug_wouldblock_every(net.debug_wouldblock_every);
+  if (net.debug_force_no_gso) sock_.force_gso_unsupported();
+  tx_batch_on_ = net.tx_batch > 0;
+  busy_poll_spin_us_ = net.busy_poll_spin_us > 0 ? net.busy_poll_spin_us : 0;
+  tx_wire_max_ = max_wire_bytes(cfg.frame_payload);
+  if (tx_batch_on_) {
+    // GSO is only honoured on top of batching (the coalescing window IS
+    // the staging ring), and only when the kernel passes the probe AND
+    // accepts UDP_GRO — a sender-side train needs every receiver ready for
+    // coalesced buffers, and all ranks resolve this identically from the
+    // same config. Anything short of full support falls back to sendmmsg.
+    gso_on_ = net.gso > 0 && sock_.gso_supported() && sock_.enable_gro();
+    tx_cap_ = net.max_tx_burst;
+    if (tx_cap_ < 1) tx_cap_ = 1;
+    if (tx_cap_ > UdpSocket::kMaxBatch) tx_cap_ = UdpSocket::kMaxBatch;
+    tx_stage_.resize(tx_cap_ * tx_wire_max_);
+    tx_ring_.resize(tx_cap_);
+    // RX slab: with GRO each buffer must hold a worst-case train (64
+    // coalesced segments, capped by the 64 KiB datagram ceiling), so take
+    // fewer, bigger slots; without it one buffer is one frame.
+    if (gso_on_) {
+      rx_stride_ = std::min<std::size_t>(65535,
+                                         tx_wire_max_ * UdpSocket::kMaxBatch);
+      rx_slots_ = 8;
+    } else {
+      rx_stride_ = tx_wire_max_;
+      rx_slots_ = UdpSocket::kMaxBatch;
+    }
+    rx_slab_.resize(rx_slots_ * rx_stride_);
+    rx_msgs_.resize(rx_slots_);
+  }
   // Construction runs in this node's process before any frame moves:
   // the constructing context owns both the registry and the trace ring.
   registry_.assert_owner();
@@ -46,6 +82,12 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   registry_.counter("send_errors", &send_errors_);
   registry_.counter("stray_datagrams", &stray_datagrams_);
   registry_.counter("kernel_drops", &kernel_drops_);
+  // FM-Burst counters: registered in every mode (all-zero when batching is
+  // off) so the bench/CI artifact schema is uniform across the mode matrix.
+  registry_.counter("batch_tx_frames", &batch_tx_frames_);
+  registry_.counter("batch_syscalls", &batch_syscalls_);
+  registry_.counter("gso_segments", &gso_segments_);
+  registry_.counter("busy_poll_hits", &busy_poll_hits_);
   registry_.gauge("q.reject_depth",
                   [this] { return static_cast<double>(rejq_.size()); });
   registry_.gauge("q.posted_depth", [this] {
@@ -84,6 +126,23 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
 std::size_t Endpoint::cluster_size() const { return cluster_.size(); }
 
 void Endpoint::idle_pause() {
+  // Never park with frames staged: the peer we are waiting on may be
+  // waiting on exactly those bytes.
+  if (tx_batch_on_ && tx_staged_ > 0) flush_tx_batch();
+  // Busy-poll hybrid: burn the spin budget on zero-timeout readiness
+  // checks first. A ping-pong peer answers in microseconds — catching the
+  // reply here skips the sleep/wakeup round trip that otherwise dominates
+  // t0 on an idle socket.
+  if (busy_poll_spin_us_ > 0) {
+    const std::uint64_t deadline =
+        now_ns() + static_cast<std::uint64_t>(busy_poll_spin_us_) * 1000ull;
+    do {
+      if (sock_.readable_now()) {
+        ++busy_poll_hits_;
+        return;
+      }
+    } while (now_ns() < deadline);
+  }
   // The poll loop that drives this backend: park on the socket instead of
   // spinning, but never longer than a fraction of the retransmit timeout —
   // the FM-R timers only tick inside extract(), so sleeping past a
@@ -252,6 +311,41 @@ void Endpoint::inject_faulty(NodeId dest, const std::uint8_t* frame,
 void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
                     std::uint32_t window_seq) {
   trace_.assert_writer();
+  // Latency bypass inside batched mode: with the staging ring empty and no
+  // other frame in flight (in_flight counts this one — it is already in
+  // the window), there is no burst to amortize. Staging would add a copy
+  // and defer the wire-out to the next flush point for nothing, so a
+  // latency-sensitive lone frame (the send4 ping-pong t0, a standalone
+  // ack, a solo retransmission) takes the single-shot path below instead.
+  // The first frame of a pipelined stream escapes the batch the same way;
+  // every subsequent one sees in_flight > 1 and stages.
+  if (tx_batch_on_ && (tx_staged_ > 0 || window_.in_flight() > 1)) {
+    // Batched mode: stage a copy and let the next flush point carry it out
+    // with the rest of the burst (extract() entry/exit, a full ring, or
+    // idle_pause — a frame is never parked on across a poll()).
+    while (tx_staged_ == tx_cap_) {
+      flush_tx_batch();
+      if (tx_staged_ < tx_cap_) break;
+      // Ring still full: the kernel would not take the burst. Service our
+      // own receive side while waiting, as a blocked FM sender must.
+      if (trace_.enabled())
+        trace_.event(now_ns(), cat_stall_, 'i', dest, window_seq);
+      if (extract() == 0) idle_pause();
+      // The nested extract can invalidate a slab-backed frame (ack or
+      // dead-peer purge recycles the slot); re-validate before copying it.
+      if (window_seq != 0 && window_.find(dest, window_seq).data != frame)
+        return;
+      if (dead_peers_.count(dest) > 0) return;
+    }
+    const std::size_t idx = (tx_head_ + tx_staged_) % tx_cap_;
+    std::uint8_t* slot = tx_stage_.data() + idx * tx_wire_max_;
+    std::memcpy(slot, frame, len);
+    tx_ring_[idx] = UdpSocket::TxFrame{slot, static_cast<std::uint32_t>(len),
+                                       &cluster_.addr(dest)};
+    ++tx_staged_;
+    if (tx_staged_ == tx_cap_) flush_tx_batch();
+    return;
+  }
   const sockaddr_in& addr = cluster_.addr(dest);
   for (;;) {
     const UdpSocket::SendResult r = sock_.send_to(addr, frame, len);
@@ -279,6 +373,80 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
   }
 }
 
+void Endpoint::flush_tx_batch() {
+  if (in_tx_flush_ || tx_staged_ == 0) return;
+  in_tx_flush_ = true;
+  while (tx_staged_ > 0) {
+    bool blocked = false;
+    std::size_t gso_run = 0;
+    if (gso_on_) {
+      // A run of equal-size frames to one destination at the ring head can
+      // travel as a single UDP_SEGMENT train. Address comparison is by
+      // pointer: every staged addr points into the Cluster's per-node
+      // table, so same pointer ⇔ same destination.
+      const UdpSocket::TxFrame& head = tx_ring_[tx_head_];
+      gso_run = 1;
+      while (gso_run < tx_staged_ && gso_run < UdpSocket::kMaxBatch) {
+        const UdpSocket::TxFrame& f = tx_ring_[(tx_head_ + gso_run) % tx_cap_];
+        if (f.addr != head.addr || f.len != head.len) break;
+        ++gso_run;
+      }
+    }
+    if (gso_run >= 2) {
+      const UdpSocket::TxFrame& head = tx_ring_[tx_head_];
+      for (std::size_t i = 0; i < gso_run; ++i) {
+        const UdpSocket::TxFrame& f = tx_ring_[(tx_head_ + i) % tx_cap_];
+        gso_iov_[i].iov_base = const_cast<void*>(f.data);
+        gso_iov_[i].iov_len = f.len;
+      }
+      const UdpSocket::SendResult s = sock_.send_gso(
+          *head.addr, gso_iov_, gso_run, static_cast<std::uint16_t>(head.len));
+      ++batch_syscalls_;
+      if (s == UdpSocket::SendResult::kWouldBlock) {
+        blocked = true;
+      } else {
+        if (s == UdpSocket::SendResult::kOk) {
+          datagrams_tx_ += gso_run;
+          batch_tx_frames_ += gso_run;
+          gso_segments_ += gso_run;
+        } else {
+          // The kernel refused the whole train for good: every segment is
+          // gone, exactly as if the wire ate the burst; FM-R recovers.
+          send_errors_ += gso_run;
+        }
+        tx_head_ = (tx_head_ + gso_run) % tx_cap_;
+        tx_staged_ -= gso_run;
+      }
+    } else {
+      // sendmmsg over the contiguous span at the head (a wrapped ring is
+      // two spans; the loop comes round for the second). In GSO mode a
+      // lone head frame goes out by itself so the next iteration can
+      // re-examine the run forming behind it.
+      std::size_t span = std::min(tx_staged_, tx_cap_ - tx_head_);
+      if (gso_on_) span = 1;
+      const UdpSocket::BatchResult r =
+          sock_.send_batch(&tx_ring_[tx_head_], span);
+      datagrams_tx_ += r.sent;
+      batch_tx_frames_ += r.sent;
+      send_errors_ += r.errors;
+      batch_syscalls_ += r.syscalls;
+      tx_head_ = (tx_head_ + r.consumed) % tx_cap_;
+      tx_staged_ -= r.consumed;
+      blocked = r.would_block;
+    }
+    if (blocked) {
+      // Transient backpressure mid-burst: the unsent tail stays staged (in
+      // order, still owned by us) and a later flush point retries it. No
+      // frame is lost and none is sent twice — the short-count tests pin
+      // this down.
+      ++ewouldblock_stalls_;
+      if (trace_.enabled()) trace_.event(now_ns(), cat_stall_, 'i', 0, 0);
+      break;
+    }
+  }
+  in_tx_flush_ = false;
+}
+
 // ---------------------------------------------------------------------------
 // Receive path
 // ---------------------------------------------------------------------------
@@ -286,30 +454,53 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
 std::size_t Endpoint::extract() {
   if (in_handler_) return 0;  // no re-entrant extraction from handlers
   trace_.assert_writer();
+  // Flush points bracket the extract cycle: staged frames from before the
+  // call go out before we read (the peer may be waiting on them), and the
+  // acks/retries generated while processing go out before we return.
+  if (tx_batch_on_) flush_tx_batch();
   const std::uint64_t trace_t0 = trace_.enabled() ? now_ns() : 0;
   std::size_t count = 0;
   // Bounded drain of the socket: one datagram is one frame, processed in
   // place in the preallocated receive buffer. The budget keeps a peer
   // blasting datagrams at us from starving the post-loop retransmission
   // and ack work (the same discipline as the shm ring budget).
-  for (std::size_t i = 0; i < extract_budget_; ++i) {
-    std::uint16_t src_port = 0;
-    const long n =
-        sock_.recv_one(rx_buf_.data(), rx_buf_.size(), &src_port,
-                       &kernel_drops_);
-    if (n < 0) break;
-    ++datagrams_rx_;
-    NodeId from = kInvalidNode;
-    if (!cluster_.node_for_port(src_port, &from)) {
-      // Real networks deliver strays (a late datagram from a previous run,
-      // a port scan): count and drop, never crash.
-      ++stray_datagrams_;
-      continue;
+  if (tx_batch_on_) {
+    // Batched drain: one recvmmsg fills the slab with up to rx_slots_
+    // buffers (each possibly a GRO train), amortizing the kernel crossing
+    // over the burst.
+    std::size_t seen = 0;
+    while (seen < extract_budget_) {
+      const std::size_t want = std::min(rx_slots_, extract_budget_ - seen);
+      const std::size_t m =
+          sock_.recv_batch(rx_slab_.data(), rx_stride_, want, rx_msgs_.data());
+      if (m == 0) break;
+      ++batch_syscalls_;
+      for (std::size_t i = 0; i < m; ++i)
+        process_rx_buffer(rx_msgs_[i], rx_slab_.data() + i * rx_stride_,
+                          &seen, &count);
+      if (m < want) break;  // queue ran dry mid-burst
     }
-    ++stats_.frames_received;
-    ++count;
-    process_frame(from, rx_buf_.data(), static_cast<std::size_t>(n));
-    flush_deferred_tx();
+    kernel_drops_ = sock_.kernel_drops();
+  } else {
+    for (std::size_t i = 0; i < extract_budget_; ++i) {
+      std::uint16_t src_port = 0;
+      const long n = sock_.recv_one(rx_buf_.data(), rx_buf_.size(), &src_port);
+      if (n < 0) break;
+      ++datagrams_rx_;
+      NodeId from = kInvalidNode;
+      if (!cluster_.node_for_port(src_port, &from)) {
+        // Real networks deliver strays (a late datagram from a previous
+        // run, a port scan): count and drop, never crash.
+        ++stray_datagrams_;
+        continue;
+      }
+      last_heard_ns_[from] = now_ns();
+      ++stats_.frames_received;
+      ++count;
+      process_frame(from, rx_buf_.data(), static_cast<std::size_t>(n));
+      flush_deferred_tx();
+    }
+    kernel_drops_ = sock_.kernel_drops();
   }
   // Retransmit rejected frames whose backoff expired (a rejection proved
   // the peer alive, so the timer re-arms with a fresh retry budget). The
@@ -350,6 +541,7 @@ std::size_t Endpoint::extract() {
   }
   reliability_tick();
   drain_posted();
+  if (tx_batch_on_) flush_tx_batch();
   if (trace_.enabled() && count > 0) {
     const std::uint64_t now = now_ns();
     trace_.event(trace_t0, cat_extract_, 'B', static_cast<std::uint32_t>(count));
@@ -359,6 +551,43 @@ std::size_t Endpoint::extract() {
                  static_cast<std::uint32_t>(rejq_.size()));
   }
   return count;
+}
+
+void Endpoint::process_rx_buffer(const UdpSocket::RxMsg& m,
+                                 const std::uint8_t* base, std::size_t* seen,
+                                 std::size_t* count) {
+  NodeId from = kInvalidNode;
+  const bool known = cluster_.node_for_port(m.src_port, &from);
+  if (known) last_heard_ns_[from] = now_ns();
+  if (m.len == 0) {
+    // An empty datagram carries no frame; account for it and move on (the
+    // GRO split below would otherwise make no progress on it).
+    ++*seen;
+    ++datagrams_rx_;
+    if (known)
+      ++stats_.malformed_frames;
+    else
+      ++stray_datagrams_;
+    return;
+  }
+  // A GRO buffer is a train: every gro_seg_len bytes is one original wire
+  // datagram (the last may be shorter). A plain datagram is a train of one.
+  const std::size_t seg = m.gro_seg_len != 0 ? m.gro_seg_len : m.len;
+  for (std::size_t off = 0; off < m.len; off += seg) {
+    const std::size_t flen = std::min<std::size_t>(seg, m.len - off);
+    ++*seen;
+    ++datagrams_rx_;
+    if (!known) {
+      // Real networks deliver strays (a late datagram from a previous run,
+      // a port scan): count and drop, never crash.
+      ++stray_datagrams_;
+      continue;
+    }
+    ++stats_.frames_received;
+    ++*count;
+    process_frame(from, base + off, flen);
+    flush_deferred_tx();
+  }
 }
 
 void Endpoint::flush_deferred_tx() {
@@ -377,7 +606,11 @@ void Endpoint::drain() {
   for (;;) {
     acks_.peers_into(drain_peers_scratch_);
     for (NodeId peer : drain_peers_scratch_) send_standalone_ack(peer);
-    if (window_.in_flight() == 0 && rejq_.size() == 0) return;
+    // Staged frames count as outstanding: returning with bytes still in
+    // the ring would leave a peer waiting on acks we never sent.
+    if (tx_batch_on_ && tx_staged_ > 0) flush_tx_batch();
+    if (window_.in_flight() == 0 && rejq_.size() == 0 && tx_staged_ == 0)
+      return;
     if (extract() == 0) idle_pause();
   }
 }
@@ -390,6 +623,30 @@ void Endpoint::reliability_tick() {
   timer_.expired_into(now, due_scratch_);
   for (const auto& due : due_scratch_) {
     if (due.exhausted) {
+      // Liveness guard: a retry budget exhausted against a peer we are
+      // still hearing from is congestion, not death. A batched burst into
+      // a saturated receive queue can strike the same frame out
+      // max_retries times while the peer's own data and acks keep
+      // arriving; killing it then forgets the dedup state and breaks
+      // exactly-once. Death needs a full detection horizon of *silence* —
+      // a SIGKILLed rank goes quiet and is declared dead exactly as fast
+      // as before; a congested one gets its frame re-armed with a fresh
+      // budget and recovery continues.
+      const std::uint64_t heard = last_heard_ns_[due.dest];
+      if (heard != 0 && now - heard < alive_grace_ns_) {
+        const SendWindow::Stored stored = window_.find(due.dest, due.seq);
+        if (stored.data == nullptr) continue;  // acked since expiry
+        ++stats_.retransmit_timeouts;
+        ++stats_.retransmissions;
+        if (trace_.enabled())
+          trace_.event(now_ns(), cat_retransmit_, 'i', due.dest, due.seq);
+        timer_.arm(due.dest, due.seq, now);
+        // fm-lint: allow(hotpath-alloc): capacity reserved at construction;
+        // the assign copies into warm storage without growing it.
+        retx_scratch_.assign(stored.data, stored.data + stored.len);
+        inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
+        continue;
+      }
       mark_peer_dead(due.dest);
       continue;
     }

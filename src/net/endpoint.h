@@ -21,6 +21,18 @@
 // Threading: each Endpoint belongs to exactly one process (its fork()ed
 // node). Handlers run inside extract() on that process, as on the other
 // backends.
+//
+// FM-Burst (PR 7): in batched mode (NetConfig::tx_batch, the default) the
+// steady state gathers every pending frame — data, piggybacked acks,
+// reject retries, retransmissions — into a preallocated staging ring and
+// hands the whole burst to sendmmsg(2) at the next flush point, while the
+// receive side drains the socket in recvmmsg(2) bursts into one slab.
+// That is the syscall analogue of the paper's PIO gather / receive
+// aggregation: the expensive boundary (kernel crossing ≈ host/NIC I/O
+// bus) is amortized over the burst, the per-frame path stays lean. Two
+// opt-in accelerators ride on top: UDP GSO/GRO (a run of equal-size
+// same-destination frames becomes ONE datagram train) and busy-poll
+// receive (spin-then-poll hybrid that cuts wakeup latency out of t0).
 #pragma once
 
 #include <array>
@@ -38,6 +50,7 @@
 #include "fm/handler_registry.h"
 #include "fm/protocol.h"
 #include "hw/fault.h"
+#include "net/net_config.h"
 #include "net/socket.h"
 #include "obs/counters.h"
 #include "obs/registry.h"
@@ -124,6 +137,22 @@ class Endpoint {
   /// from SO_RXQ_OVFL; stays 0 where the option is unavailable).
   std::uint64_t kernel_drops() const { return kernel_drops_; }
 
+  /// FM-Burst counters (all 0 when batching is off).
+  /// Frames that left through a batched TX path (sendmmsg or GSO train).
+  std::uint64_t batch_tx_frames() const { return batch_tx_frames_; }
+  /// Kernel crossings the batched paths spent, TX and RX combined — the
+  /// amortization denominator for batch_tx_frames / datagrams_rx.
+  std::uint64_t batch_syscalls() const { return batch_syscalls_; }
+  /// Frames that traveled inside a UDP_SEGMENT train.
+  std::uint64_t gso_segments() const { return gso_segments_; }
+  /// Idle pauses resolved by the busy-poll spin, without parking in poll().
+  std::uint64_t busy_poll_hits() const { return busy_poll_hits_; }
+  /// True when this endpoint is running the batched (sendmmsg/recvmmsg)
+  /// steady state; false means every frame takes the single-shot path.
+  bool batching() const { return tx_batch_on_; }
+  /// True when TX coalesces runs into GSO trains and RX accepts GRO trains.
+  bool gso_active() const { return gso_on_; }
+
   /// FM-Scope registry ("net.node<id>").
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
@@ -132,9 +161,13 @@ class Endpoint {
 
  private:
   friend class Cluster;
+  /// `net` must be fully resolved (no -1 sentinels): the Cluster applies
+  /// the FM_NET_* environment overrides before constructing endpoints.
+  /// `nodes` is the cluster size (the Cluster's endpoint list is still
+  /// growing while this runs, so it is passed explicitly).
   Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
            const hw::FaultParams& faults, UdpSocket& sock,
-           std::size_t extract_budget);
+           const NetConfig& net, std::size_t nodes);
 
   // Wire-format bound on acks per frame (ack_count is a u8).
   static constexpr std::size_t kMaxAcksPerFrame = 255;
@@ -165,6 +198,18 @@ class Endpoint {
                                   std::size_t len);
   FM_HOT_PATH void push(NodeId dest, const std::uint8_t* frame,
                         std::size_t len, std::uint32_t window_seq = 0);
+  /// Sends every staged frame with as few syscalls as the kernel allows
+  /// (GSO trains for equal-size same-destination runs, sendmmsg for the
+  /// rest). Transient backpressure leaves the unsent tail staged, in
+  /// order; a later flush point retries it.
+  FM_HOT_PATH void flush_tx_batch();
+  /// One received buffer from the batched RX path: splits a GRO train into
+  /// its frames and feeds each through process_frame. `seen` counts wire
+  /// datagrams against the extract budget, `count` counts frames from
+  /// known peers (extract()'s return value).
+  FM_HOT_PATH void process_rx_buffer(const UdpSocket::RxMsg& m,
+                                     const std::uint8_t* base,
+                                     std::size_t* seen, std::size_t* count);
   FM_HOT_PATH void process_frame(NodeId from, const std::uint8_t* data,
                                  std::size_t len);
   FM_HOT_PATH void send_standalone_ack(NodeId peer);
@@ -197,6 +242,14 @@ class Endpoint {
   RetransmitTimer timer_;
   DedupFilter dedup_;
   std::unordered_set<NodeId> dead_peers_;
+  // Liveness ledger: when each peer's datagrams were last seen (0: never).
+  // A retry budget exhausted against a peer heard within alive_grace_ns_
+  // is congestion, not death — the frame re-arms with a fresh budget
+  // instead of killing the peer (see reliability_tick). Matters most in
+  // batched mode, where a sendmmsg burst into a saturated receive queue
+  // can strike out max_retries times against a verifiably live peer.
+  std::vector<std::uint64_t> last_heard_ns_;
+  std::uint64_t alive_grace_ns_ = 0;
   Stats stats_;
   // Socket counters (the layer below Stats: what the "NIC" actually did).
   std::uint64_t datagrams_tx_ = 0;
@@ -205,6 +258,11 @@ class Endpoint {
   std::uint64_t send_errors_ = 0;
   std::uint64_t stray_datagrams_ = 0;  ///< From ports no node owns.
   std::uint64_t kernel_drops_ = 0;     ///< Cumulative SO_RXQ_OVFL reading.
+  // FM-Burst counters (see the public accessors for semantics).
+  std::uint64_t batch_tx_frames_ = 0;
+  std::uint64_t batch_syscalls_ = 0;
+  std::uint64_t gso_segments_ = 0;
+  std::uint64_t busy_poll_hits_ = 0;
   std::vector<Posted> posted_;
   std::vector<Posted> posted_pool_;
   std::size_t posted_head_ = 0;
@@ -214,6 +272,28 @@ class Endpoint {
   // Preallocated buffers that keep the steady-state hot path off the heap
   // (same inventory as shm::Endpoint, plus the datagram receive buffer).
   std::vector<std::uint8_t> rx_buf_;  ///< One inbound datagram, in place.
+  // FM-Burst mode state (resolved once at construction, fixed for life).
+  bool tx_batch_on_ = false;
+  bool gso_on_ = false;
+  long busy_poll_spin_us_ = 0;
+  // TX staging ring: slot i of tx_ring_ describes the frame copied into
+  // tx_stage_[i * tx_wire_max_ ..]; a circular [tx_head_, tx_head_ +
+  // tx_staged_) window is pending. Frames survive a partial flush in
+  // place — the unsent tail just stays staged.
+  std::size_t tx_cap_ = 0;
+  std::size_t tx_wire_max_ = 0;
+  std::vector<std::uint8_t> tx_stage_;
+  std::vector<UdpSocket::TxFrame> tx_ring_;
+  std::size_t tx_head_ = 0;
+  std::size_t tx_staged_ = 0;
+  bool in_tx_flush_ = false;
+  iovec gso_iov_[UdpSocket::kMaxBatch];  ///< Scatter list for one GSO train.
+  // RX burst slab: rx_slots_ buffers of rx_stride_ bytes (train-sized when
+  // GRO may coalesce) plus their descriptors, filled by one recvmmsg.
+  std::size_t rx_stride_ = 0;
+  std::size_t rx_slots_ = 0;
+  std::vector<std::uint8_t> rx_slab_;
+  std::vector<UdpSocket::RxMsg> rx_msgs_;
   std::array<std::vector<std::uint8_t>, 2> tx_scratch_;
   std::size_t tx_depth_ = 0;
   std::vector<std::uint8_t> retx_scratch_;

@@ -1,0 +1,68 @@
+// Transport-layer knobs for the net backend (the FM protocol knobs stay in
+// fm::FmConfig). Split out of cluster.h so net::Endpoint — which cluster.h
+// includes — can consume the resolved configuration too.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fm::net {
+
+/// Transport knobs below the FM protocol. The three FM-Burst accelerator
+/// fields use a -1 sentinel: an explicit value (>= 0) always wins, a
+/// sentinel is filled from the matching FM_NET_* environment variable at
+/// Cluster construction, and an absent/invalid variable falls back to the
+/// built-in default. (This differs from FM_NET_WATCHDOG_MS, which
+/// overrides even explicit configuration: a bench pinning its mode matrix
+/// must not be reconfigured from the environment underneath itself.)
+struct NetConfig {
+  /// Socket buffer sizes in bytes (0: kernel default). A small receive
+  /// buffer is how soak tests force *real* kernel drops.
+  int so_rcvbuf = 0;
+  int so_sndbuf = 0;
+  /// Harness watchdog: when node_main bodies run longer than this, the
+  /// parent SIGKILLs every surviving child and the RunReport carries
+  /// timed_out = true. A multi-process hang must never outlive its test.
+  /// The FM_NET_WATCHDOG_MS environment variable overrides this at Cluster
+  /// construction (CI shortens it for chaos runs without a rebuild), and
+  /// the kill report says which phase/barrier each rank was last seen in.
+  std::uint64_t run_timeout_ns = 120'000'000'000ull;
+  /// Datagrams drained per extract() call (the receive-aggregation batch).
+  std::size_t extract_budget = 64;
+
+  // --- FM-Burst: syscall batching and its opt-in accelerators ---
+
+  /// Gather pending TX frames (data, acks, reject retries) into sendmmsg
+  /// bursts and drain the socket with recvmmsg (the syscall analogue of the
+  /// paper's PIO gather / receive aggregation). Default ON — it is the
+  /// steady-state hot path. Env: FM_NET_BATCH (0/1).
+  int tx_batch = -1;
+  /// UDP segmentation offload: a staged run of same-destination equal-size
+  /// frames goes to the kernel as ONE UDP_SEGMENT datagram train, and the
+  /// receive side accepts UDP_GRO-coalesced trains. Runtime-probed; when
+  /// the kernel lacks support the backend silently falls back to plain
+  /// sendmmsg. Only honoured when tx_batch is on (the GRO receive path
+  /// needs the batched RX slab's train-sized buffers). Default OFF.
+  /// Env: FM_NET_GSO (0/1).
+  int gso = -1;
+  /// Busy-poll receive: before parking in poll(), spin on a zero-timeout
+  /// readiness check for up to this many microseconds. Cuts the
+  /// wakeup latency out of ping-pong t0 at the price of burning a core
+  /// while idle. 0 disables. Env: FM_NET_BUSY_POLL_US.
+  long busy_poll_spin_us = -1;
+  /// Upper bound on frames staged per TX burst (clamped to the socket
+  /// layer's mmsghdr slab capacity, UdpSocket::kMaxBatch).
+  std::size_t max_tx_burst = 64;
+
+  // --- Test hooks (deterministic failure injection at the socket layer) ---
+
+  /// When > 0, every Nth datagram send attempt reports EWOULDBLOCK once
+  /// (clearing itself on retry) — exercises partial sendmmsg bursts and the
+  /// blocked-sender path without needing a full kernel buffer.
+  std::size_t debug_wouldblock_every = 0;
+  /// Forces the GSO capability probe to report "unsupported", covering the
+  /// graceful-fallback path on kernels that do support it.
+  bool debug_force_no_gso = false;
+};
+
+}  // namespace fm::net

@@ -11,6 +11,21 @@
 
 #include "common/check.h"
 
+// UDP_SEGMENT / UDP_GRO arrived in Linux 4.18 / 5.0; define the sockopt
+// numbers when building against older uapi headers. The runtime probe is
+// what actually decides whether they are used.
+#if defined(__linux__)
+#ifndef UDP_SEGMENT
+#define UDP_SEGMENT 103
+#endif
+#ifndef UDP_GRO
+#define UDP_GRO 104
+#endif
+#ifndef SOL_UDP
+#define SOL_UDP 17
+#endif
+#endif
+
 namespace fm::net {
 
 UdpSocket::UdpSocket() {
@@ -36,6 +51,14 @@ UdpSocket::UdpSocket() {
   FM_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0);
   port_ = ntohs(bound.sin_port);
   FM_CHECK(port_ != 0);
+#if defined(__linux__)
+  // Probe UDP_SEGMENT support: setting the per-socket segment size to 0
+  // (= "no default segmentation") succeeds iff the kernel knows the
+  // option, and changes nothing either way — send_gso passes the real
+  // segment size per call via cmsg.
+  int zero = 0;
+  gso_ok_ = ::setsockopt(fd_, SOL_UDP, UDP_SEGMENT, &zero, sizeof zero) == 0;
+#endif
 }
 
 UdpSocket::~UdpSocket() {
@@ -54,24 +77,252 @@ void UdpSocket::set_buffer_sizes(int rcvbuf_bytes, int sndbuf_bytes) {
                        sizeof sndbuf_bytes);
 }
 
+bool UdpSocket::enable_gro() {
+#if defined(__linux__)
+  if (!gso_ok_) return false;  // forced-unsupported hook covers GRO too
+  int on = 1;
+  return ::setsockopt(fd_, SOL_UDP, UDP_GRO, &on, sizeof on) == 0;
+#else
+  return false;
+#endif
+}
+
+bool UdpSocket::debug_block_now() {
+  if (debug_wouldblock_every_ == 0) return false;
+  if ((debug_send_attempts_ + 1) % debug_wouldblock_every_ == 0) {
+    // Consume the block so the retry goes through — forced backpressure is
+    // transient, like the kernel buffer draining underneath a real
+    // EWOULDBLOCK.
+    ++debug_send_attempts_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t UdpSocket::debug_frames_until_block(std::size_t want) const {
+  if (debug_wouldblock_every_ == 0) return want;
+  const std::size_t until =
+      debug_wouldblock_every_ -
+      (debug_send_attempts_ % debug_wouldblock_every_) - 1;
+  return until < want ? until : want;
+}
+
 UdpSocket::SendResult UdpSocket::send_to(const sockaddr_in& addr,
                                          const void* buf, std::size_t len) {
+  if (debug_block_now()) return SendResult::kWouldBlock;
   for (;;) {
     const ssize_t n =
         ::sendto(fd_, buf, len, 0, reinterpret_cast<const sockaddr*>(&addr),
                  sizeof addr);
-    if (n >= 0) return SendResult::kOk;
+    if (n >= 0) {
+      ++debug_send_attempts_;
+      return SendResult::kOk;
+    }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
       return SendResult::kWouldBlock;
     // ECONNREFUSED etc.: the datagram is lost exactly like a dropped
     // packet; FM-R's retransmit timer owns recovery.
+    ++debug_send_attempts_;
     return SendResult::kError;
   }
 }
 
+UdpSocket::BatchResult UdpSocket::send_batch(const TxFrame* frames,
+                                             std::size_t n) {
+  BatchResult r;
+#ifdef __linux__
+  while (r.consumed < n) {
+    if (debug_block_now()) {
+      r.would_block = true;
+      return r;
+    }
+    std::size_t vlen = n - r.consumed;
+    if (vlen > kMaxBatch) vlen = kMaxBatch;
+    vlen = debug_frames_until_block(vlen);
+    for (std::size_t i = 0; i < vlen; ++i) {
+      const TxFrame& f = frames[r.consumed + i];
+      tx_iov_[i].iov_base = const_cast<void*>(f.data);
+      tx_iov_[i].iov_len = f.len;
+      std::memset(&tx_mmsg_[i], 0, sizeof tx_mmsg_[i]);
+      tx_mmsg_[i].msg_hdr.msg_name = const_cast<sockaddr_in*>(f.addr);
+      tx_mmsg_[i].msg_hdr.msg_namelen = sizeof(sockaddr_in);
+      tx_mmsg_[i].msg_hdr.msg_iov = &tx_iov_[i];
+      tx_mmsg_[i].msg_hdr.msg_iovlen = 1;
+    }
+    int sent = ::sendmmsg(fd_, tx_mmsg_, static_cast<unsigned>(vlen), 0);
+    ++r.syscalls;
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+        r.would_block = true;
+        return r;
+      }
+      // A hard per-datagram error (e.g. ECONNREFUSED bounced back from a
+      // dead peer's port) poisons the FIRST frame of the burst: count it
+      // gone and move past it so the rest of the burst still flows.
+      r.consumed += 1;
+      r.errors += 1;
+      continue;
+    }
+    r.consumed += static_cast<std::size_t>(sent);
+    r.sent += static_cast<std::size_t>(sent);
+    debug_send_attempts_ += static_cast<std::uint64_t>(sent);
+    if (static_cast<std::size_t>(sent) < vlen) {
+      // Short count: the kernel took a prefix and ran out of room.
+      r.would_block = true;
+      return r;
+    }
+  }
+#else
+  // Portable fallback: the same ownership contract, one syscall per frame.
+  while (r.consumed < n) {
+    const TxFrame& f = frames[r.consumed];
+    const SendResult s = send_to(*f.addr, f.data, f.len);
+    ++r.syscalls;
+    if (s == SendResult::kWouldBlock) {
+      r.would_block = true;
+      return r;
+    }
+    ++r.consumed;
+    if (s == SendResult::kOk)
+      ++r.sent;
+    else
+      ++r.errors;
+  }
+#endif
+  return r;
+}
+
+UdpSocket::SendResult UdpSocket::send_gso(const sockaddr_in& addr,
+                                          const iovec* iov, std::size_t iovcnt,
+                                          std::uint16_t seg_len) {
+#ifdef __linux__
+  FM_CHECK_MSG(gso_ok_, "send_gso without gso_supported()");
+  FM_CHECK(iovcnt >= 1 && iovcnt <= kMaxBatch);
+  if (debug_block_now()) return SendResult::kWouldBlock;
+  msghdr msg{};
+  msg.msg_name = const_cast<sockaddr_in*>(&addr);
+  msg.msg_namelen = sizeof addr;
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = iovcnt;
+  alignas(alignof(cmsghdr)) char ctl[CMSG_SPACE(sizeof(std::uint16_t))] = {};
+  msg.msg_control = ctl;
+  msg.msg_controllen = sizeof ctl;
+  cmsghdr* c = CMSG_FIRSTHDR(&msg);
+  c->cmsg_level = SOL_UDP;
+  c->cmsg_type = UDP_SEGMENT;
+  c->cmsg_len = CMSG_LEN(sizeof(std::uint16_t));
+  std::memcpy(CMSG_DATA(c), &seg_len, sizeof seg_len);
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_, &msg, 0);
+    if (n >= 0) {
+      debug_send_attempts_ += iovcnt;
+      return SendResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS)
+      return SendResult::kWouldBlock;
+    debug_send_attempts_ += iovcnt;
+    return SendResult::kError;
+  }
+#else
+  (void)addr;
+  (void)iov;
+  (void)iovcnt;
+  (void)seg_len;
+  FM_CHECK_MSG(false, "send_gso without gso_supported()");
+  return SendResult::kError;
+#endif
+}
+
+void UdpSocket::absorb_cmsgs(const msghdr& msg, std::uint32_t* gro_seg_len) {
+  if (gro_seg_len != nullptr) *gro_seg_len = 0;
+  for (const cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
+       c = CMSG_NXTHDR(const_cast<msghdr*>(&msg), const_cast<cmsghdr*>(c))) {
+#ifdef SO_RXQ_OVFL
+    if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
+      std::uint32_t dropped = 0;
+      std::memcpy(&dropped, CMSG_DATA(c), sizeof dropped);
+      rxq_meter_.feed(dropped);
+    }
+#endif
+#ifdef __linux__
+    if (c->cmsg_level == SOL_UDP && c->cmsg_type == UDP_GRO &&
+        gro_seg_len != nullptr) {
+      int seg = 0;
+      std::memcpy(&seg, CMSG_DATA(c), sizeof seg);
+      if (seg > 0) *gro_seg_len = static_cast<std::uint32_t>(seg);
+    }
+#endif
+  }
+}
+
+std::size_t UdpSocket::recv_batch(std::uint8_t* slab, std::size_t stride,
+                                  std::size_t max_msgs, RxMsg* out) {
+#ifdef __linux__
+  const std::size_t vlen = max_msgs < kMaxBatch ? max_msgs : kMaxBatch;
+  if (slab != rx_init_slab_ || stride != rx_init_stride_ ||
+      vlen != rx_init_vlen_) {
+    // New slab layout: build every entry once. The steady state (the
+    // endpoint always drains into the same preallocated slab with the
+    // same budget) never takes this branch after the first call.
+    for (std::size_t i = 0; i < vlen; ++i) {
+      rx_iov_[i].iov_base = slab + i * stride;
+      rx_iov_[i].iov_len = stride;
+      std::memset(&rx_mmsg_[i], 0, sizeof rx_mmsg_[i]);
+      rx_mmsg_[i].msg_hdr.msg_name = &rx_src_[i];
+      rx_mmsg_[i].msg_hdr.msg_namelen = sizeof rx_src_[i];
+      rx_mmsg_[i].msg_hdr.msg_iov = &rx_iov_[i];
+      rx_mmsg_[i].msg_hdr.msg_iovlen = 1;
+      rx_mmsg_[i].msg_hdr.msg_control = rx_ctl_[i].bytes;
+      rx_mmsg_[i].msg_hdr.msg_controllen = kCtlBytes;
+    }
+    rx_init_slab_ = slab;
+    rx_init_stride_ = stride;
+    rx_init_vlen_ = vlen;
+  } else {
+    // Same layout as last time: the kernel only mutated the entries that
+    // actually received a datagram ([0, last count)), and only the
+    // length fields it reports results through (namelen, controllen,
+    // flags). Repair just those entries, so an idle or one-datagram poll
+    // costs O(1) setup instead of O(kMaxBatch).
+    for (std::size_t i = 0; i < rx_dirty_; ++i) {
+      rx_mmsg_[i].msg_hdr.msg_namelen = sizeof rx_src_[i];
+      rx_mmsg_[i].msg_hdr.msg_controllen = kCtlBytes;
+    }
+  }
+  rx_dirty_ = 0;
+  int got;
+  for (;;) {
+    got = ::recvmmsg(fd_, rx_mmsg_, static_cast<unsigned>(vlen), 0, nullptr);
+    if (got >= 0) break;
+    if (errno == EINTR) continue;
+    return 0;  // EAGAIN or a transient error: nothing deliverable now
+  }
+  rx_dirty_ = static_cast<std::size_t>(got);
+  for (int i = 0; i < got; ++i) {
+    out[i].len = rx_mmsg_[i].msg_len;
+    absorb_cmsgs(rx_mmsg_[i].msg_hdr, &out[i].gro_seg_len);
+    out[i].src_port = ntohs(rx_src_[i].sin_port);
+  }
+  return static_cast<std::size_t>(got);
+#else
+  // Portable fallback: one recv_one per slot until the queue runs dry.
+  std::size_t got = 0;
+  while (got < max_msgs) {
+    const long n = recv_one(slab + got * stride, stride, &out[got].src_port,
+                            &out[got].gro_seg_len);
+    if (n < 0) break;
+    out[got].len = static_cast<std::uint32_t>(n);
+    ++got;
+  }
+  return got;
+#endif
+}
+
 long UdpSocket::recv_one(void* buf, std::size_t cap, std::uint16_t* src_port,
-                         std::uint64_t* rxq_drops) {
+                         std::uint32_t* gro_seg_len) {
   sockaddr_in src{};
   iovec iov{buf, cap};
   msghdr msg{};
@@ -79,31 +330,16 @@ long UdpSocket::recv_one(void* buf, std::size_t cap, std::uint16_t* src_port,
   msg.msg_namelen = sizeof src;
   msg.msg_iov = &iov;
   msg.msg_iovlen = 1;
-#ifdef SO_RXQ_OVFL
-  alignas(cmsghdr) char ctl[CMSG_SPACE(sizeof(std::uint32_t))];
+  alignas(alignof(cmsghdr)) char ctl[kCtlBytes];
   msg.msg_control = ctl;
   msg.msg_controllen = sizeof ctl;
-#endif
   for (;;) {
     const ssize_t n = ::recvmsg(fd_, &msg, 0);
     if (n < 0) {
       if (errno == EINTR) continue;
       return -1;  // EAGAIN or a transient error: nothing deliverable now
     }
-#ifdef SO_RXQ_OVFL
-    if (rxq_drops != nullptr) {
-      for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c != nullptr;
-           c = CMSG_NXTHDR(&msg, c)) {
-        if (c->cmsg_level == SOL_SOCKET && c->cmsg_type == SO_RXQ_OVFL) {
-          std::uint32_t dropped = 0;
-          std::memcpy(&dropped, CMSG_DATA(c), sizeof dropped);
-          *rxq_drops = dropped;
-        }
-      }
-    }
-#else
-    (void)rxq_drops;
-#endif
+    absorb_cmsgs(msg, gro_seg_len);
     if (src_port != nullptr) *src_port = ntohs(src.sin_port);
     return static_cast<long>(n);
   }
@@ -116,6 +352,12 @@ bool UdpSocket::wait_readable(int timeout_ms) {
     if (r < 0 && errno == EINTR) continue;
     return r > 0 && (p.revents & POLLIN) != 0;
   }
+}
+
+bool UdpSocket::readable_now() {
+  pollfd p{fd_, POLLIN, 0};
+  const int r = ::poll(&p, 1, 0);
+  return r > 0 && (p.revents & POLLIN) != 0;
 }
 
 sockaddr_in UdpSocket::loopback_addr(std::uint16_t port) {

@@ -1,9 +1,11 @@
 // Heap discipline of the net transport's steady state: after warmup, a
 // send4 ping-pong over real UDP sockets — with the full FM-R stack on, as
-// this backend mandates — must perform ZERO heap allocations. The frame is
-// serialized once into the send-window slab and handed to sendto() from
-// there; the receive path processes each datagram in place in the
-// preallocated receive buffer; timers, dedup, acks, and posted replies all
+// this backend mandates — must perform ZERO heap allocations, in every
+// transport mode (single-shot sendto, batched sendmmsg/recvmmsg, GSO/GRO,
+// busy-poll). The frame is serialized once into the send-window slab and
+// handed to the kernel from there (sendto or the staging ring + sendmmsg);
+// the receive path processes each datagram in place in the preallocated
+// receive buffer or RX slab; timers, dedup, acks, and posted replies all
 // run out of pooled or warmed storage.
 //
 // The measurement runs inside rank 0's forked child (the counters are
@@ -106,7 +108,11 @@ void operator delete[](void* p, std::align_val_t,
 namespace fm::net {
 namespace {
 
-TEST(NetAllocFree, Send4PingPongSteadyStateWithReliabilityOn) {
+// One steady-state measurement under a given transport mode. FM-Burst adds
+// batched TX/RX, GSO/GRO, and busy-poll paths to the steady state; each
+// mode must hold the same zero-allocation bar as the single-shot path (the
+// mmsghdr/iovec slabs, staging ring, and RX slab are all preallocated).
+void run_pingpong_alloc_check(NetConfig nc) {
   FmConfig cfg;
   cfg.reliability = true;
   cfg.crc_frames = true;
@@ -115,7 +121,7 @@ TEST(NetAllocFree, Send4PingPongSteadyStateWithReliabilityOn) {
   // only the true steady-state cycle (a fired timer would be recovery, not
   // steady state — and its scratch is pooled anyway).
   cfg.retransmit_timeout_ns = 10'000'000'000ull;  // 10 s
-  Cluster cluster(2, cfg);
+  Cluster cluster(2, cfg, nc);
   std::size_t pings = 0, pongs = 0;  // child-local
   HandlerId hpong = cluster.register_handler(
       [&](Endpoint&, NodeId, const void*, std::size_t) { ++pongs; });
@@ -126,18 +132,26 @@ TEST(NetAllocFree, Send4PingPongSteadyStateWithReliabilityOn) {
       });
   constexpr std::size_t kWarmup = 200;
   constexpr std::size_t kMeasured = 2000;
+  // Pipelined bursts: 8 sends in flight before waiting for the replies.
+  // A lone send4 with an empty window takes the batched mode's latency
+  // bypass (single-shot, no staging); keeping several frames in flight
+  // drives the staging ring + sendmmsg/GSO flush machinery, so the
+  // measured window covers BOTH batched-mode paths.
+  constexpr std::size_t kBurst = 8;
   RunReport r = cluster.run([&](Endpoint& ep) {
     if (ep.id() == 0) {
-      for (std::size_t i = 0; i < kWarmup; ++i) {
-        (void)ep.send4(1, hping, 1, 2, 3, 4);
-        ep.extract_until([&] { return pongs >= i + 1; });
+      for (std::size_t i = 0; i < kWarmup; i += kBurst) {
+        for (std::size_t j = 0; j < kBurst; ++j)
+          (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= i + kBurst; });
       }
       cluster.barrier();
       g_allocs.store(0);
       g_counting.store(true);
-      for (std::size_t i = 0; i < kMeasured; ++i) {
-        (void)ep.send4(1, hping, 1, 2, 3, 4);
-        ep.extract_until([&] { return pongs >= kWarmup + i + 1; });
+      for (std::size_t i = 0; i < kMeasured; i += kBurst) {
+        for (std::size_t j = 0; j < kBurst; ++j)
+          (void)ep.send4(1, hping, 1, 2, 3, 4);
+        ep.extract_until([&] { return pongs >= kWarmup + i + kBurst; });
       }
       g_counting.store(false);
       const std::uint64_t measured = g_allocs.load();
@@ -162,6 +176,33 @@ TEST(NetAllocFree, Send4PingPongSteadyStateWithReliabilityOn) {
   EXPECT_TRUE(r.all_clean());
   ASSERT_EQ(r.metrics.count("rank0.allocs"), 1u);
   EXPECT_EQ(r.metrics.at("rank0.allocs"), 0.0);
+}
+
+TEST(NetAllocFree, SingleShotSteadyStateWithReliabilityOn) {
+  NetConfig nc;
+  nc.tx_batch = 0;  // pre-Burst path: one sendto/recvfrom per frame
+  run_pingpong_alloc_check(nc);
+}
+
+TEST(NetAllocFree, BatchedSteadyState) {
+  NetConfig nc;
+  nc.tx_batch = 1;
+  run_pingpong_alloc_check(nc);
+}
+
+TEST(NetAllocFree, BatchedGsoSteadyState) {
+  NetConfig nc;
+  nc.tx_batch = 1;
+  nc.gso = 1;  // silently falls back where the kernel lacks UDP_SEGMENT —
+               // the fallback path must be allocation-free too
+  run_pingpong_alloc_check(nc);
+}
+
+TEST(NetAllocFree, BatchedBusyPollSteadyState) {
+  NetConfig nc;
+  nc.tx_batch = 1;
+  nc.busy_poll_spin_us = 50;
+  run_pingpong_alloc_check(nc);
 }
 
 }  // namespace
