@@ -19,7 +19,7 @@ Checks the conventions the compilers cannot:
   counter-scope   Every obs::Registry counter/gauge name must fit the
                   lowercase dotted grammar, every registry/trace scope
                   literal must start with a known backend prefix
-                  (sim|shm|net|lanai|san), and every registered name must be
+                  (sim|shm|net|lanai|san|rma), and every registered name must be
                   documented in docs/OBSERVABILITY.md.
   pragma-once     Headers under src/ must carry `#pragma once`.
 
@@ -230,7 +230,7 @@ def check_no_assert(sf: SourceFile) -> list[Finding]:
 # ---------------------------------------------------------------------------
 
 NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
-SCOPE_PREFIX = re.compile(r"^(sim|shm|net|lanai|san)(\.|$)")
+SCOPE_PREFIX = re.compile(r"^(sim|shm|net|lanai|san|rma)(\.|$)")
 REG_CALL_RE = re.compile(r"\.\s*(counter|gauge)\s*\(")
 SCOPE_CTOR_RE = re.compile(
     r"\b(?:Registry|TraceRing)\s*(?:\(|\{)")
@@ -284,7 +284,7 @@ def check_counter_scope(sf: SourceFile, documented: str) -> list[Finding]:
             findings.append(Finding(
                 sf.path, idx, "counter-scope",
                 f"scope literal '{literal}' must start with one of "
-                "sim|shm|net|lanai|san (docs/OBSERVABILITY.md §1)"))
+                "sim|shm|net|lanai|san|rma (docs/OBSERVABILITY.md §1)"))
     return findings
 
 

@@ -1,0 +1,60 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fm::env {
+namespace {
+
+[[noreturn]] void bad_knob(const char* name, const char* value,
+                           const char* why, std::uint64_t min,
+                           std::uint64_t max) {
+  std::fprintf(stderr,
+               "fatal: %s=\"%s\" %s (accepted: integer in [%llu, %llu]; "
+               "unset the variable to use the default)\n",
+               name, value, why, static_cast<unsigned long long>(min),
+               static_cast<unsigned long long>(max));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+bool read_u64(const char* name, std::uint64_t* out, std::uint64_t min,
+              std::uint64_t max) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  // strtoull is too forgiving for a knob: it skips leading whitespace and
+  // wraps negative input into a huge unsigned value. Reject both up front
+  // so what remains is a bare magnitude (decimal or 0x-hex).
+  if (std::isspace(static_cast<unsigned char>(value[0])) ||
+      value[0] == '-' || value[0] == '+')
+    bad_knob(name, value, "must be a bare non-negative integer", min, max);
+  // Base is explicit (10, or 16 behind a 0x prefix): base-0 strtoull would
+  // silently read "010" as octal 8, one more way for a knob to lie.
+  const int base =
+      (value[0] == '0' && (value[1] == 'x' || value[1] == 'X')) ? 16 : 10;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value, &end, base);
+  if (end == value || *end != '\0')
+    bad_knob(name, value, "has trailing garbage", min, max);
+  if (errno == ERANGE)
+    bad_knob(name, value, "overflows 64 bits", min, max);
+  if (v < min || v > max)
+    bad_knob(name, value, "is out of range", min, max);
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool read_flag(const char* name, bool* out) {
+  std::uint64_t v = 0;
+  if (!read_u64(name, &v, 0, 1)) return false;
+  *out = (v != 0);
+  return true;
+}
+
+}  // namespace fm::env

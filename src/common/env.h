@@ -1,0 +1,30 @@
+// Strict parsing of FM_* environment knobs.
+//
+// Every FM_* variable used to be parsed ad hoc with strtoul-style
+// forgiveness: "FM_NET_BATCH=1x" silently became the default,
+// "FM_SAN_SEED=-1" silently wrapped, and a typo in a CI matrix leg ran the
+// wrong configuration while looking green. A knob the operator set is a
+// statement of intent — if it cannot be honored exactly, the run must die
+// loudly, not proceed with a guess. This is the one shared parser: unset
+// (or empty) means "use the default" and returns false; anything else
+// either parses completely and in range, or aborts with a message naming
+// the variable, the offending value, and the accepted range.
+#pragma once
+
+#include <cstdint>
+
+namespace fm::env {
+
+/// Reads `name` as an unsigned integer: decimal, or hex with a 0x/0X
+/// prefix. Returns false when the variable is unset or empty (`*out`
+/// untouched). A set variable that has trailing garbage, a sign, leading
+/// whitespace, or a value outside [`min`, `max`] is a fatal configuration
+/// error.
+bool read_u64(const char* name, std::uint64_t* out, std::uint64_t min = 0,
+              std::uint64_t max = ~std::uint64_t{0});
+
+/// Reads `name` as a boolean knob: exactly "0" or "1". Returns false when
+/// unset or empty; anything else non-boolean is fatal.
+bool read_flag(const char* name, bool* out);
+
+}  // namespace fm::env

@@ -105,6 +105,40 @@ struct FmConfig {
   /// peer's partial completes and a dead peer's slots are freed by the
   /// dead-peer purge. 0 disables.
   std::uint64_t reassembly_ttl_ns = 1'000'000'000;  // 1 s
+
+  // --- FM-RMA (one-sided put/get/accumulate, src/rma/) ---
+
+  /// Eager/rendezvous split. A put/get of at most this many bytes rides a
+  /// single FM message (header + payload, fragmented by the FM layer as
+  /// usual); anything larger negotiates a rendezvous where the *target*
+  /// pulls the data in chunks — the paper's sender-side flow control,
+  /// inverted, so a large transfer never floods a receiver that has not
+  /// granted buffer space (PROTOCOL.md §10).
+  std::size_t rma_eager_max = 2048;
+
+  /// Rendezvous pull window, in chunks: the target grants the origin up to
+  /// `rma_pull_depth * rma_chunk_bytes` outstanding bytes per transfer.
+  /// Mirrors `pending_window` one layer up — it bounds per-transfer
+  /// buffering exactly as FM's window bounds per-link frames. The grant is
+  /// requested as a range (one kPullReq covers the whole window, topped up
+  /// in at-least-half-window batches), so a transfer costs O(len / window)
+  /// request messages. 4 × the 16 KiB chunk = 64 KiB granted per transfer:
+  /// a 64 KiB put is one request message, and the per-message dispatch
+  /// overhead that made the pull path trail eager at depth 8 is gone.
+  std::size_t rma_pull_depth = 4;
+
+  /// Rendezvous/get chunk size in bytes (one kPullData / kGetRep message
+  /// per chunk; must be >= 8). With the deposit receive path (chunks land
+  /// straight in the exposed region, no receive-pool staging) the pull
+  /// path's residual cost is per-message dispatch, so fewer, larger chunks
+  /// win: 16 KiB measured best on bench/rma_hotpath's 64 KiB ladder point.
+  std::size_t rma_chunk_bytes = 16384;
+
+  /// When true, the shm backend ignores peer-exposed base pointers and
+  /// routes every put through the message path like net does. Used by
+  /// tests (chaos legs kill ranks whose exposed regions die with them) and
+  /// by the bench to measure the emulated path on shm.
+  bool rma_force_emulation = false;
 };
 
 }  // namespace fm

@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -552,6 +553,29 @@ class AckTracker {
   std::unordered_map<NodeId, std::vector<std::uint32_t>> due_;
 };
 
+/// Committed landing area for a deposited (solicited) message — see
+/// DepositSinkFn.
+struct DepositTarget {
+  std::uint8_t* dst = nullptr;  ///< message bytes [head_len, head_len+body_len)
+  std::size_t head_len = 0;     ///< leading bytes retained for the handler
+  std::size_t body_len = 0;     ///< exact body length the receiver granted
+};
+
+/// Receive-side zero-copy hook — the paper's §4 claim ("a handler could
+/// deposit data directly into application data structures without
+/// intermediate copies") as an API. Offered the FIRST fragment of a
+/// fragmented message bound for the registered handler; the callback
+/// inspects the leading bytes and either commits a landing area (return
+/// true: the body reassembles straight into dst, the handler later fires
+/// with only the retained head) or declines (return false: normal
+/// receive-pool reassembly). Only commit memory whose bytes this rank
+/// solicited — a partial deposit from a peer that dies mid-message is left
+/// in place, which is only sound when the receiver granted exactly that
+/// range.
+using DepositSinkFn = std::function<bool(
+    NodeId src, const std::uint8_t* head, std::size_t head_avail,
+    DepositTarget* out)>;
+
 /// Reassembly of segmented messages (this library's extension past FM 1.0's
 /// 32-word FM_send limit). Slots are the receive pool whose exhaustion
 /// triggers return-to-sender.
@@ -579,10 +603,20 @@ class Reassembler {
   /// cannot occur on a reliable network but can under fault injection —
   /// yields kMalformed rather than undefined behaviour. `now_ns` stamps the
   /// slot for expire_older_than (pass 0 when expiry is unused).
+  ///
+  /// When `sink` is non-null it is offered fragment 0 of each NEW message
+  /// (see DepositSinkFn). If the sink commits, the slot goes into deposit
+  /// mode: fragment payloads are placed straight into the committed landing
+  /// area (their message offset is frag_index times fragment 0's payload
+  /// length — every fragment but the last is full-sized), only the head
+  /// bytes are retained, and kComplete delivers just that head in *out. A
+  /// message whose fragment 0 was not the first to arrive reassembles the
+  /// normal way — the landing area is only knowable from the head.
   FM_HOT_PATH Feed feed(NodeId src, const FrameHeader& h,
                          const std::uint8_t* payload,
                          std::vector<std::uint8_t>* out,
-                         std::uint64_t now_ns = 0) {
+                         std::uint64_t now_ns = 0,
+                         const DepositSinkFn* sink = nullptr) {
     FM_CHECK(h.fragmented());
     if (h.frag_count < 1 || h.frag_index >= h.frag_count)
       return Feed::kMalformed;
@@ -606,30 +640,71 @@ class Reassembler {
       slot->msg_id = h.msg_id;
       slot->frag_count = h.frag_count;
       slot->got = 0;
+      slot->depositing = false;
       // fm-lint: allow(hotpath-alloc): bitmap capacity is retained across
       // slot reuse; only the first message with a larger frag_count grows it.
       slot->received.assign(h.frag_count, false);
-      // Chunk buffers are retained from previous occupants (the vector only
-      // ever grows), so a recycled slot assembles without allocating.
-      // fm-lint: allow(hotpath-alloc): grows once per new high-water
-      // frag_count, then reused forever.
-      if (slot->chunks.size() < h.frag_count) slot->chunks.resize(h.frag_count);
+      if (sink != nullptr && h.frag_index == 0) {
+        DepositTarget t;
+        if ((*sink)(src, payload, h.payload_len, &t) && t.dst != nullptr &&
+            t.head_len <= h.payload_len) {
+          slot->depositing = true;
+          slot->dst = t.dst;
+          slot->head_len = t.head_len;
+          slot->body_len = t.body_len;
+          slot->frag0_len = h.payload_len;
+          // fm-lint: allow(hotpath-alloc): head capacity (a wire header's
+          // worth of bytes) is retained across slot reuse.
+          slot->head.assign(payload, payload + t.head_len);
+        }
+      }
+      if (!slot->depositing) {
+        // Chunk buffers are retained from previous occupants (the vector
+        // only ever grows), so a recycled slot assembles without allocating.
+        // fm-lint: allow(hotpath-alloc): grows once per new high-water
+        // frag_count, then reused forever.
+        if (slot->chunks.size() < h.frag_count) slot->chunks.resize(h.frag_count);
+      }
     }
     if (slot->frag_count != h.frag_count) return Feed::kMalformed;
     if (slot->received[h.frag_index]) return Feed::kMalformed;
+    if (slot->depositing) {
+      // Deposit: the fragment's body bytes go straight to their final
+      // address. Every write is bounds-checked against the committed
+      // body_len, so corrupt fragment metadata cannot scribble past the
+      // landing area the sink granted.
+      if (h.frag_index == 0) {
+        const std::size_t n = h.payload_len - slot->head_len;
+        if (n > slot->body_len) return Feed::kMalformed;
+        std::memcpy(slot->dst, payload + slot->head_len, n);
+      } else {
+        const std::uint64_t msg_off =
+            std::uint64_t{h.frag_index} * slot->frag0_len;
+        if (msg_off < slot->head_len) return Feed::kMalformed;
+        const std::uint64_t off = msg_off - slot->head_len;
+        if (off + h.payload_len > slot->body_len) return Feed::kMalformed;
+        std::memcpy(slot->dst + off, payload, h.payload_len);
+      }
+    } else {
+      // fm-lint: allow(hotpath-alloc): chunk capacity is retained across
+      // slot reuse (see above); the steady-state assign is a pure copy.
+      slot->chunks[h.frag_index].assign(payload, payload + h.payload_len);
+    }
     slot->received[h.frag_index] = true;
-    // fm-lint: allow(hotpath-alloc): chunk capacity is retained across slot
-    // reuse (see above); the steady-state assign is a pure copy.
-    slot->chunks[h.frag_index].assign(payload, payload + h.payload_len);
     slot->touched_ns = now_ns;
     ++slot->got;
     if (slot->got < h.frag_count) return Feed::kAccepted;
-    // Complete: concatenate in order. `out` keeps its capacity across calls
-    // (every endpoint passes a long-lived scratch vector), so this copies
-    // without allocating in steady state.
+    // Complete. `out` keeps its capacity across calls (every endpoint
+    // passes a long-lived scratch vector), so this copies without
+    // allocating in steady state. Deposit mode delivers only the head —
+    // the body is already at its final address.
     out->clear();
-    for (std::uint16_t i = 0; i < slot->frag_count; ++i)
-      out->insert(out->end(), slot->chunks[i].begin(), slot->chunks[i].end());
+    if (slot->depositing) {
+      out->insert(out->end(), slot->head.begin(), slot->head.end());
+    } else {
+      for (std::uint16_t i = 0; i < slot->frag_count; ++i)
+        out->insert(out->end(), slot->chunks[i].begin(), slot->chunks[i].end());
+    }
     slot->in_use = false;
     return Feed::kComplete;
   }
@@ -675,7 +750,13 @@ class Reassembler {
     std::uint16_t frag_count = 0;
     std::uint16_t got = 0;
     bool in_use = false;
+    bool depositing = false;          ///< body goes straight to `dst`
     std::uint64_t touched_ns = 0;
+    std::uint8_t* dst = nullptr;      ///< committed landing area (deposit)
+    std::size_t head_len = 0;         ///< leading bytes kept for the handler
+    std::size_t body_len = 0;         ///< committed deposit window
+    std::uint16_t frag0_len = 0;      ///< frame payload stride (deposit)
+    std::vector<std::uint8_t> head;   ///< retained head bytes (deposit)
     std::vector<bool> received;
     std::vector<std::vector<std::uint8_t>> chunks;
   };

@@ -12,6 +12,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
+
 namespace fm::net {
 namespace {
 
@@ -66,29 +68,26 @@ void send_sample(int ctl, const obs::Sample& s) {
   (void)send_packet(ctl, pkt, 10 + name_len);
 }
 
-/// FM_NET_WATCHDOG_MS override of the configured watchdog deadline
-/// (0/garbage: keep the config value).
+/// FM_NET_WATCHDOG_MS override of the configured watchdog deadline. Unset
+/// keeps the config value; a set value is parsed strictly (fm::env) and
+/// must be a positive millisecond count — a typo'd watchdog that silently
+/// kept the default was how a hung soak once ran 100x longer than its CI
+/// slot.
 std::uint64_t watchdog_override_ns(std::uint64_t config_ns) {
-  const char* env = std::getenv("FM_NET_WATCHDOG_MS");
-  if (env == nullptr || *env == '\0') return config_ns;
-  char* end = nullptr;
-  const unsigned long long ms = std::strtoull(env, &end, 10);
-  if (end == env || *end != '\0' || ms == 0) return config_ns;
-  return static_cast<std::uint64_t>(ms) * 1'000'000ull;
+  std::uint64_t ms = 0;
+  if (!env::read_u64("FM_NET_WATCHDOG_MS", &ms, 1, 86'400'000)) return config_ns;
+  return ms * 1'000'000ull;
 }
 
 /// Resolves one FM-Burst sentinel knob: an explicit config value (>= 0)
-/// wins, otherwise a well-formed environment variable, otherwise the
-/// built-in default (garbage in the variable keeps the default — same
-/// forgiving grammar as FM_NET_WATCHDOG_MS).
-long resolve_burst_knob(long config_val, const char* env_name, long def) {
+/// wins, otherwise the environment variable (strict grammar, fatal on
+/// garbage), otherwise the built-in default.
+long resolve_burst_knob(long config_val, const char* env_name, long def,
+                        std::uint64_t max) {
   if (config_val >= 0) return config_val;
-  const char* env = std::getenv(env_name);
-  if (env == nullptr || *env == '\0') return def;
-  char* end = nullptr;
-  const long v = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || v < 0) return def;
-  return v;
+  std::uint64_t v = 0;
+  if (!env::read_u64(env_name, &v, 0, max)) return def;
+  return static_cast<long>(v);
 }
 
 }  // namespace
@@ -101,10 +100,11 @@ Cluster::Cluster(std::size_t nodes, FmConfig cfg, NetConfig net,
   // Resolve the FM-Burst sentinels before any endpoint is constructed so
   // every rank inherits the same already-decided transport mode.
   net_.tx_batch = static_cast<int>(
-      resolve_burst_knob(net_.tx_batch, "FM_NET_BATCH", 1));
-  net_.gso = static_cast<int>(resolve_burst_knob(net_.gso, "FM_NET_GSO", 0));
-  net_.busy_poll_spin_us =
-      resolve_burst_knob(net_.busy_poll_spin_us, "FM_NET_BUSY_POLL_US", 0);
+      resolve_burst_knob(net_.tx_batch, "FM_NET_BATCH", 1, 1));
+  net_.gso =
+      static_cast<int>(resolve_burst_knob(net_.gso, "FM_NET_GSO", 0, 1));
+  net_.busy_poll_spin_us = resolve_burst_knob(
+      net_.busy_poll_spin_us, "FM_NET_BUSY_POLL_US", 0, 10'000'000);
   // Bind every node's socket first: the full address map must exist before
   // any endpoint is constructed, and both must exist before fork() so the
   // children inherit identical state.

@@ -34,6 +34,7 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   rx_buf_.resize(max_wire_bytes(cfg.frame_payload));
   for (auto& buf : tx_scratch_) buf.resize(max_wire_bytes(cfg.frame_payload));
   retx_scratch_.reserve(max_wire_bytes(cfg.frame_payload));
+  dup_ack_due_.assign(nodes, 0);
   last_heard_ns_.resize(nodes, 0);
   alive_grace_ns_ = RetransmitTimer::detection_horizon_ns(
       cfg.retransmit_timeout_ns, cfg.max_retries);
@@ -41,6 +42,7 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   // GSO capability probe below sees a forced-unsupported socket.
   sock_.set_debug_wouldblock_every(net.debug_wouldblock_every);
   if (net.debug_force_no_gso) sock_.force_gso_unsupported();
+  sock_.set_debug_gso_fail_after(net.debug_gso_fail_after);
   tx_batch_on_ = net.tx_batch > 0;
   busy_poll_spin_us_ = net.busy_poll_spin_us > 0 ? net.busy_poll_spin_us : 0;
   tx_wire_max_ = max_wire_bytes(cfg.frame_payload);
@@ -88,6 +90,7 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   registry_.counter("batch_syscalls", &batch_syscalls_);
   registry_.counter("gso_segments", &gso_segments_);
   registry_.counter("busy_poll_hits", &busy_poll_hits_);
+  registry_.counter("gso_fallbacks", &gso_fallbacks_);
   registry_.gauge("q.reject_depth",
                   [this] { return static_cast<double>(rejq_.size()); });
   registry_.gauge("q.posted_depth", [this] {
@@ -404,18 +407,23 @@ void Endpoint::flush_tx_batch() {
       ++batch_syscalls_;
       if (s == UdpSocket::SendResult::kWouldBlock) {
         blocked = true;
-      } else {
-        if (s == UdpSocket::SendResult::kOk) {
-          datagrams_tx_ += gso_run;
-          batch_tx_frames_ += gso_run;
-          gso_segments_ += gso_run;
-        } else {
-          // The kernel refused the whole train for good: every segment is
-          // gone, exactly as if the wire ate the burst; FM-R recovers.
-          send_errors_ += gso_run;
-        }
+      } else if (s == UdpSocket::SendResult::kOk) {
+        datagrams_tx_ += gso_run;
+        batch_tx_frames_ += gso_run;
+        gso_segments_ += gso_run;
         tx_head_ = (tx_head_ + gso_run) % tx_cap_;
         tx_staged_ -= gso_run;
+      } else {
+        // kError on a train the probe said the kernel could segment: some
+        // kernels accept the zero-size UDP_SEGMENT probe yet EIO/EINVAL a
+        // live train later. No segment touched the wire, so every staged
+        // frame is still ours — discarding the train here (the old
+        // behaviour) silently lost up to kMaxBatch frames per burst and
+        // leaned on FM-R to re-earn them. Instead: disable GSO for the
+        // rest of this endpoint's life and come round the loop, where the
+        // sendmmsg branch resends the same frames single-shot.
+        gso_on_ = false;
+        ++gso_fallbacks_;
       }
     } else {
       // sendmmsg over the contiguous span at the head (a wrapped ring is
@@ -537,6 +545,13 @@ std::size_t Endpoint::extract() {
         std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
     acks_.peers_over_into(threshold, ack_peers_scratch_);
     for (NodeId peer : ack_peers_scratch_) send_standalone_ack(peer);
+    // Duplicate frames seen this pass force an immediate flush to their
+    // senders, bypassing the batch threshold (see the dedup branch).
+    for (NodeId peer = 0; peer < dup_ack_due_.size(); ++peer) {
+      if (dup_ack_due_[peer] == 0) continue;
+      dup_ack_due_[peer] = 0;
+      send_standalone_ack(peer);
+    }
     in_ack_flush_ = false;
   }
   reliability_tick();
@@ -740,15 +755,22 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       if (dedup_.seen(from, h.seq)) {
         // Already accepted once: suppress delivery but re-ack, since the
         // duplicate usually means our first ack was lost with the original.
+        // The re-ack is *threshold-exempt* (see extract()): a peer owed
+        // fewer acks than the batch threshold, with no reverse data to
+        // piggyback on, would otherwise starve a retransmitting sender
+        // into falsely declaring this live endpoint dead.
         ++stats_.duplicates_suppressed;
         if (trace_.enabled())
           trace_.event(now_ns(), cat_dup_, 'i', from, h.seq);
         acks_.note(from, h.seq);
+        dup_ack_due_[from] = 1;
         break;
       }
       const std::uint8_t* payload = frame_payload(h, data);
       if (h.fragmented()) {
-        switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns())) {
+        switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns(),
+                            h.handler == deposit_hid_ ? &deposit_sink_
+                                                      : nullptr)) {
           case Reassembler::Feed::kMalformed:
             ++stats_.malformed_frames;
             return;  // dropped: no ack, no dedup mark
@@ -862,6 +884,28 @@ void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
   // fm-lint: allow(hotpath-alloc): pooled entries carry warm payload
   // capacity; the assign reuses it after the pool has been primed.
   p.payload.assign(b, b + len);
+  // fm-lint: allow(hotpath-alloc): bounded by the number of posts a single
+  // handler batch issues; the vector's capacity is retained across drains.
+  posted_.push_back(std::move(p));
+}
+
+void Endpoint::post_send2(NodeId dest, HandlerId handler, const void* hdr,
+                          std::size_t hdr_len, const void* body,
+                          std::size_t body_len) {
+  Posted p;
+  if (!posted_pool_.empty()) {
+    p = std::move(posted_pool_.back());
+    posted_pool_.pop_back();
+  }
+  p.dest = dest;
+  p.handler = handler;
+  const auto* h = static_cast<const std::uint8_t*>(hdr);
+  const auto* b = static_cast<const std::uint8_t*>(body);
+  // fm-lint: allow(hotpath-alloc): pooled entries carry warm payload
+  // capacity; the assign reuses it after the pool has been primed.
+  p.payload.assign(h, h + hdr_len);
+  // fm-lint: allow(hotpath-alloc): appends within the same warm capacity.
+  p.payload.insert(p.payload.end(), b, b + body_len);
   // fm-lint: allow(hotpath-alloc): bounded by the number of posts a single
   // handler batch issues; the vector's capacity is retained across drains.
   posted_.push_back(std::move(p));

@@ -98,6 +98,21 @@ class Endpoint {
                               std::uint32_t w3);
   FM_HOT_PATH void post_send(NodeId dest, HandlerId handler, const void* buf,
                              std::size_t len);
+  /// Two-part posted send (header + body gathered into one message); see
+  /// shm::Endpoint::post_send2 — the body is copied once, straight into the
+  /// posted payload.
+  FM_HOT_PATH void post_send2(NodeId dest, HandlerId handler, const void* hdr,
+                              std::size_t hdr_len, const void* body,
+                              std::size_t body_len);
+
+  /// Registers (or, with an empty fn, clears) the receive-side deposit sink
+  /// for fragmented messages bound for `hid` — see DepositSinkFn
+  /// (fm/protocol.h). One sink per endpoint; the layered protocol that owns
+  /// `hid` must clear it before it is destroyed.
+  void set_deposit_sink(HandlerId hid, DepositSinkFn fn) {
+    deposit_hid_ = fn ? hid : kInvalidHandler;
+    deposit_sink_ = std::move(fn);
+  }
 
   /// Context-aware send for layered protocols (see shm::Endpoint).
   Status send_or_post(NodeId dest, HandlerId handler, const void* buf,
@@ -147,6 +162,10 @@ class Endpoint {
   std::uint64_t gso_segments() const { return gso_segments_; }
   /// Idle pauses resolved by the busy-poll spin, without parking in poll().
   std::uint64_t busy_poll_hits() const { return busy_poll_hits_; }
+  /// Times a live GSO train came back kError from a kernel whose probe said
+  /// yes — each one drops this endpoint to single-shot sends for good, with
+  /// the refused train kept staged and resent (never discarded).
+  std::uint64_t gso_fallbacks() const { return gso_fallbacks_; }
   /// True when this endpoint is running the batched (sendmmsg/recvmmsg)
   /// steady state; false means every frame takes the single-shot path.
   bool batching() const { return tx_batch_on_; }
@@ -238,6 +257,8 @@ class Endpoint {
   SendWindow window_;
   AckTracker acks_;
   Reassembler reasm_;
+  HandlerId deposit_hid_ = kInvalidHandler;
+  DepositSinkFn deposit_sink_;
   RejectQueue rejq_;
   RetransmitTimer timer_;
   DedupFilter dedup_;
@@ -263,6 +284,7 @@ class Endpoint {
   std::uint64_t batch_syscalls_ = 0;
   std::uint64_t gso_segments_ = 0;
   std::uint64_t busy_poll_hits_ = 0;
+  std::uint64_t gso_fallbacks_ = 0;
   std::vector<Posted> posted_;
   std::vector<Posted> posted_pool_;
   std::size_t posted_head_ = 0;
@@ -272,7 +294,9 @@ class Endpoint {
   // Preallocated buffers that keep the steady-state hot path off the heap
   // (same inventory as shm::Endpoint, plus the datagram receive buffer).
   std::vector<std::uint8_t> rx_buf_;  ///< One inbound datagram, in place.
-  // FM-Burst mode state (resolved once at construction, fixed for life).
+  // FM-Burst mode state (resolved once at construction). tx_batch_on_ is
+  // fixed for life; gso_on_ can additionally drop to false mid-run when a
+  // live train fails on a kernel whose probe lied (see flush_tx_batch).
   bool tx_batch_on_ = false;
   bool gso_on_ = false;
   long busy_poll_spin_us_ = 0;
@@ -299,6 +323,7 @@ class Endpoint {
   std::vector<std::uint8_t> retx_scratch_;
   std::vector<std::uint8_t> reasm_out_;
   std::vector<NodeId> ack_peers_scratch_;
+  std::vector<std::uint8_t> dup_ack_due_;  // peers that resent this pass
   std::vector<NodeId> drain_peers_scratch_;
   std::vector<RetransmitTimer::Due> due_scratch_;
   std::vector<DeferredTx> deferred_tx_;

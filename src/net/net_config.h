@@ -63,6 +63,11 @@ struct NetConfig {
   /// Forces the GSO capability probe to report "unsupported", covering the
   /// graceful-fallback path on kernels that do support it.
   bool debug_force_no_gso = false;
+  /// When > 0, send_gso succeeds `n` times and then reports kError forever
+  /// — models a kernel that accepts the UDP_SEGMENT probe but EIO/EINVALs
+  /// live trains mid-run. Exercises the keep-the-train, drop-to-single-shot
+  /// fallback in flush_tx_batch.
+  std::uint64_t debug_gso_fail_after = 0;
 };
 
 }  // namespace fm::net

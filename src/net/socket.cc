@@ -200,6 +200,8 @@ UdpSocket::SendResult UdpSocket::send_gso(const sockaddr_in& addr,
 #ifdef __linux__
   FM_CHECK_MSG(gso_ok_, "send_gso without gso_supported()");
   FM_CHECK(iovcnt >= 1 && iovcnt <= kMaxBatch);
+  if (debug_gso_fail_after_ > 0 && debug_gso_trains_ >= debug_gso_fail_after_)
+    return SendResult::kError;  // forced mid-run EIO/EINVAL (see header)
   if (debug_block_now()) return SendResult::kWouldBlock;
   msghdr msg{};
   msg.msg_name = const_cast<sockaddr_in*>(&addr);
@@ -218,6 +220,7 @@ UdpSocket::SendResult UdpSocket::send_gso(const sockaddr_in& addr,
     const ssize_t n = ::sendmsg(fd_, &msg, 0);
     if (n >= 0) {
       debug_send_attempts_ += iovcnt;
+      ++debug_gso_trains_;
       return SendResult::kOk;
     }
     if (errno == EINTR) continue;

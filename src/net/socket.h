@@ -179,6 +179,13 @@ class UdpSocket {
   /// every GSO consumer down the graceful-fallback path.
   void force_gso_unsupported() { gso_ok_ = false; }
 
+  /// Test hook: after `n` successful send_gso trains, every later send_gso
+  /// reports kError without touching the wire — models a kernel that
+  /// accepts the UDP_SEGMENT probe but fails live trains mid-run
+  /// (EIO/EINVAL from a driver that lies about segmentation support).
+  /// 0 disables.
+  void set_debug_gso_fail_after(std::uint64_t n) { debug_gso_fail_after_ = n; }
+
   /// The loopback sockaddr for a given port (host byte order).
   static sockaddr_in loopback_addr(std::uint16_t port);
 
@@ -198,6 +205,8 @@ class UdpSocket {
   RxqDropMeter rxq_meter_;
   std::size_t debug_wouldblock_every_ = 0;
   std::uint64_t debug_send_attempts_ = 0;
+  std::uint64_t debug_gso_fail_after_ = 0;
+  std::uint64_t debug_gso_trains_ = 0;
 
   // Preallocated scatter/gather slabs for the batched paths. Sized for
   // kMaxBatch messages each; the RX control slab leaves room for both the

@@ -1,0 +1,11 @@
+// Explicit instantiations of the RMA engine for the two real transports.
+// (The sim backend's coroutine ops don't fit the blocking engine; see the
+// backend matrix in README.md.)
+#include "rma/engine.h"
+
+namespace fm::rma {
+
+template class Engine<shm::Endpoint>;
+template class Engine<net::Endpoint>;
+
+}  // namespace fm::rma

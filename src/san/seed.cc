@@ -1,19 +1,15 @@
 #include "san/seed.h"
 
-#include <cstdlib>
-
+#include "common/env.h"
 #include "obs/dump.h"
 
 namespace fm::san {
 
 bool env_seed(std::uint64_t* seed) {
-  const char* env = std::getenv("FM_SAN_SEED");
-  if (env == nullptr || *env == '\0') return false;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(env, &end, 0);
-  if (end == env || *end != '\0') return false;
-  *seed = static_cast<std::uint64_t>(v);
-  return true;
+  // Strict grammar: a malformed FM_SAN_SEED used to silently fall back to
+  // the time-derived seed, making the "reproduce with this seed" workflow
+  // lie. Now it aborts instead.
+  return env::read_u64("FM_SAN_SEED", seed);
 }
 
 std::uint64_t effective_seed(std::uint64_t fallback) {

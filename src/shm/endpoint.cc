@@ -381,6 +381,13 @@ std::size_t Endpoint::extract() {
         std::min(cfg_.ack_batch, std::max<std::size_t>(1, limit / 2));
     acks_.peers_over_into(threshold, ack_peers_scratch_);
     for (NodeId peer : ack_peers_scratch_) send_standalone_ack(peer);
+    // Duplicate frames seen this pass force an immediate flush to their
+    // senders, bypassing the batch threshold (see the dedup branch).
+    for (NodeId peer = 0; peer < dup_ack_due_.size(); ++peer) {
+      if (dup_ack_due_[peer] == 0) continue;
+      dup_ack_due_[peer] = 0;
+      send_standalone_ack(peer);
+    }
     in_ack_flush_ = false;
   }
   reliability_tick();
@@ -544,15 +551,28 @@ void Endpoint::process_frame(NodeId from, const std::uint8_t* data,
       if (cfg_.reliability && dedup_.seen(from, h.seq)) {
         // Already accepted once: suppress delivery but re-ack, since the
         // duplicate usually means our first ack was lost with the original.
+        // The re-ack must be *threshold-exempt*: a retransmission proves
+        // the sender is burning FM-R retries waiting on us, and a peer
+        // owed fewer acks than the batch threshold, with no reverse data
+        // to piggyback on, would otherwise starve the sender into falsely
+        // declaring this live endpoint dead.
         ++stats_.duplicates_suppressed;
         if (trace_.enabled())
           trace_.event(now_ns(), cat_dup_, 'i', from, h.seq);
         acks_.note(from, h.seq);
+        // Sized here, not at construction: the cluster's endpoint vector is
+        // still filling while each Endpoint constructs, so size() is short.
+        // fm-lint: allow(hotpath-alloc): duplicates only arrive on the
+        // retransmission recovery path, never in the lossless steady state.
+        if (from >= dup_ack_due_.size()) dup_ack_due_.resize(cluster_size(), 0);
+        dup_ack_due_[from] = 1;
         break;
       }
       const std::uint8_t* payload = frame_payload(h, data);
       if (h.fragmented()) {
-        switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns())) {
+        switch (reasm_.feed(from, h, payload, &reasm_out_, now_ns(),
+                            h.handler == deposit_hid_ ? &deposit_sink_
+                                                      : nullptr)) {
           case Reassembler::Feed::kMalformed:
             FM_CHECK_MSG(faults_ != nullptr,
                          "malformed fragment on a lossless shm ring");
@@ -677,6 +697,28 @@ void Endpoint::post_send(NodeId dest, HandlerId handler, const void* buf,
   // fm-lint: allow(hotpath-alloc): assigns into the recycled entry's warm
   // buffer; only a first-time larger payload grows it.
   p.payload.assign(b, b + len);
+  // fm-lint: allow(hotpath-alloc): the posted list's capacity warms up and
+  // is kept by drain_posted()'s clear().
+  posted_.push_back(std::move(p));
+}
+
+void Endpoint::post_send2(NodeId dest, HandlerId handler, const void* hdr,
+                          std::size_t hdr_len, const void* body,
+                          std::size_t body_len) {
+  Posted p;
+  if (!posted_pool_.empty()) {
+    p = std::move(posted_pool_.back());
+    posted_pool_.pop_back();
+  }
+  p.dest = dest;
+  p.handler = handler;
+  const auto* h = static_cast<const std::uint8_t*>(hdr);
+  const auto* b = static_cast<const std::uint8_t*>(body);
+  // fm-lint: allow(hotpath-alloc): assigns into the recycled entry's warm
+  // buffer; only a first-time larger payload grows it.
+  p.payload.assign(h, h + hdr_len);
+  // fm-lint: allow(hotpath-alloc): appends within the same warm capacity.
+  p.payload.insert(p.payload.end(), b, b + body_len);
   // fm-lint: allow(hotpath-alloc): the posted list's capacity warms up and
   // is kept by drain_posted()'s clear().
   posted_.push_back(std::move(p));

@@ -80,6 +80,22 @@ class Endpoint {
                               std::uint32_t w3);
   FM_HOT_PATH void post_send(NodeId dest, HandlerId handler, const void* buf,
                              std::size_t len);
+  /// Two-part posted send (header + body gathered into one message): spares
+  /// layered protocols the intermediate buffer that stitching the parts
+  /// together before posting would need — the body is copied once, from its
+  /// source straight into the posted payload.
+  FM_HOT_PATH void post_send2(NodeId dest, HandlerId handler, const void* hdr,
+                              std::size_t hdr_len, const void* body,
+                              std::size_t body_len);
+
+  /// Registers (or, with an empty fn, clears) the receive-side deposit sink
+  /// for fragmented messages bound for `hid` — see DepositSinkFn
+  /// (fm/protocol.h). One sink per endpoint; the layered protocol that owns
+  /// `hid` must clear it before it is destroyed.
+  void set_deposit_sink(HandlerId hid, DepositSinkFn fn) {
+    deposit_hid_ = fn ? hid : kInvalidHandler;
+    deposit_sink_ = std::move(fn);
+  }
 
   /// Context-aware send for layered protocols whose code runs both from
   /// application context and from handler context: sends immediately when
@@ -189,6 +205,8 @@ class Endpoint {
   SendWindow window_;
   AckTracker acks_;
   Reassembler reasm_;
+  HandlerId deposit_hid_ = kInvalidHandler;
+  DepositSinkFn deposit_sink_;
   RejectQueue rejq_;
   RetransmitTimer timer_;
   DedupFilter dedup_;
@@ -212,6 +230,7 @@ class Endpoint {
   std::vector<std::uint8_t> retx_scratch_;   // staged retransmission bytes
   std::vector<std::uint8_t> reasm_out_;      // completed reassembled message
   std::vector<NodeId> ack_peers_scratch_;    // extract()'s ack-flush worklist
+  std::vector<std::uint8_t> dup_ack_due_;    // peers that resent this pass
   std::vector<NodeId> drain_peers_scratch_;  // drain()'s ack worklist
   std::vector<RetransmitTimer::Due> due_scratch_;  // reliability_tick()'s
   // Rejects owed for frames processed in place inside a ring slot: injecting

@@ -1,0 +1,158 @@
+// Unit tests for the strict FM_* environment-knob parser (fm::env).
+//
+// The contract under test: unset/empty means "default" (returns false,
+// output untouched); a set variable either parses exactly and in range, or
+// the process dies with a message naming the variable. Death cases use
+// EXPECT_DEATH so the abort happens in a forked child.
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace fm::env {
+namespace {
+
+// Scoped setenv so one test's knob can't leak into the next.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr)
+      ::unsetenv(name);
+    else
+      ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+};
+
+constexpr char kKnob[] = "FM_TEST_ENV_KNOB";
+
+TEST(EnvReadU64, UnsetReturnsFalseAndLeavesOutputUntouched) {
+  ScopedEnv e(kKnob, nullptr);
+  std::uint64_t v = 123;
+  EXPECT_FALSE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, 123u);
+}
+
+TEST(EnvReadU64, EmptyMeansUnset) {
+  ScopedEnv e(kKnob, "");
+  std::uint64_t v = 123;
+  EXPECT_FALSE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, 123u);
+}
+
+TEST(EnvReadU64, ParsesDecimal) {
+  ScopedEnv e(kKnob, "42");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, 42u);
+}
+
+TEST(EnvReadU64, ParsesHexWithPrefix) {
+  ScopedEnv e(kKnob, "0x10");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, 16u);
+}
+
+TEST(EnvReadU64, LeadingZeroIsDecimalNotOctal) {
+  ScopedEnv e(kKnob, "010");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, 10u);
+}
+
+TEST(EnvReadU64, BoundsAreInclusive) {
+  ScopedEnv e(kKnob, "7");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(read_u64(kKnob, &v, 7, 7));
+  EXPECT_EQ(v, 7u);
+}
+
+TEST(EnvReadU64, Max64BitValueParses) {
+  ScopedEnv e(kKnob, "18446744073709551615");
+  std::uint64_t v = 0;
+  EXPECT_TRUE(read_u64(kKnob, &v));
+  EXPECT_EQ(v, ~std::uint64_t{0});
+}
+
+using EnvDeathTest = ::testing::Test;
+
+TEST(EnvDeathTest, TrailingGarbageIsFatal) {
+  ScopedEnv e(kKnob, "12abc");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v), "FM_TEST_ENV_KNOB.*trailing");
+}
+
+TEST(EnvDeathTest, NegativeIsFatalNotWrapped) {
+  // strtoull would wrap "-3" into 2^64-3; the knob parser must die instead.
+  ScopedEnv e(kKnob, "-3");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v), "bare non-negative integer");
+}
+
+TEST(EnvDeathTest, ExplicitPlusSignIsFatal) {
+  ScopedEnv e(kKnob, "+5");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v), "bare non-negative integer");
+}
+
+TEST(EnvDeathTest, LeadingWhitespaceIsFatal) {
+  ScopedEnv e(kKnob, " 5");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v), "bare non-negative integer");
+}
+
+TEST(EnvDeathTest, BelowMinIsFatal) {
+  ScopedEnv e(kKnob, "0");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v, 1, 100), "out of range");
+}
+
+TEST(EnvDeathTest, AboveMaxIsFatal) {
+  ScopedEnv e(kKnob, "101");
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v, 1, 100), "out of range");
+}
+
+TEST(EnvDeathTest, OverflowIsFatal) {
+  ScopedEnv e(kKnob, "18446744073709551616");  // 2^64
+  std::uint64_t v = 0;
+  EXPECT_DEATH((void)read_u64(kKnob, &v), "overflows");
+}
+
+TEST(EnvReadFlag, ZeroAndOneParse) {
+  bool b = true;
+  {
+    ScopedEnv e(kKnob, "0");
+    EXPECT_TRUE(read_flag(kKnob, &b));
+    EXPECT_FALSE(b);
+  }
+  {
+    ScopedEnv e(kKnob, "1");
+    EXPECT_TRUE(read_flag(kKnob, &b));
+    EXPECT_TRUE(b);
+  }
+}
+
+TEST(EnvReadFlag, UnsetReturnsFalse) {
+  ScopedEnv e(kKnob, nullptr);
+  bool b = true;
+  EXPECT_FALSE(read_flag(kKnob, &b));
+  EXPECT_TRUE(b);  // untouched
+}
+
+TEST(EnvDeathTest, NonBooleanFlagIsFatal) {
+  ScopedEnv e(kKnob, "2");
+  bool b = false;
+  EXPECT_DEATH((void)read_flag(kKnob, &b), "out of range");
+}
+
+}  // namespace
+}  // namespace fm::env

@@ -1,0 +1,212 @@
+// Randomized differential test of the SendWindow (dest, seq) -> slot index
+// (open addressing, linear probing, backward-shift deletion) against a
+// trivially correct linear-scan oracle.
+//
+// The index is private, so the differential surface is the public API:
+// every find()/ack() answer must agree with a std::map oracle that records
+// exactly which (dest, seq) entries are pending and what bytes they hold.
+// A divergence in the probe machinery shows up as one of:
+//   - find() returning absent for a pending entry (lookup terminated early
+//     at a hole backward-shift deletion should have filled),
+//   - find() returning a stale slot's bytes (shift moved the wrong entry),
+//   - ack() returning false for a pending entry or true for an absent one.
+//
+// The workload is tuned at the index's weak points: a tiny table (capacity
+// 8 -> 64 buckets) so probe chains wrap the table end cyclically, dense
+// per-dest seqs (Fibonacci-hashed neighbours), heavy ack/reuse churn so
+// slots recycle without tombstones, and drop_dest sweeps that erase many
+// entries in one call.
+#include "fm/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace fm {
+namespace {
+
+struct OracleEntry {
+  std::vector<std::uint8_t> bytes;
+};
+
+using Oracle = std::map<std::pair<NodeId, std::uint32_t>, OracleEntry>;
+
+std::vector<std::uint8_t> stamp(NodeId dest, std::uint32_t seq,
+                                std::size_t len) {
+  std::vector<std::uint8_t> b(len);
+  for (std::size_t i = 0; i < len; ++i)
+    b[i] = static_cast<std::uint8_t>(dest * 131 + seq * 31 + i);
+  return b;
+}
+
+/// Full-state cross-check: every oracle entry must be findable with its
+/// exact bytes, and the window must report the oracle's cardinality.
+void expect_agreement(const SendWindow& w, const Oracle& oracle,
+                      std::uint64_t step) {
+  ASSERT_EQ(w.in_flight(), oracle.size()) << "step " << step;
+  for (const auto& [key, ent] : oracle) {
+    const SendWindow::Stored s = w.find(key.first, key.second);
+    ASSERT_NE(s.data, nullptr)
+        << "step " << step << ": pending (" << key.first << ", " << key.second
+        << ") vanished from the index";
+    ASSERT_EQ(s.len, ent.bytes.size()) << "step " << step;
+    ASSERT_EQ(std::memcmp(s.data, ent.bytes.data(), s.len), 0)
+        << "step " << step << ": index points at another entry's slot";
+  }
+}
+
+TEST(SendWindowIndex, RandomizedDifferentialAgainstLinearOracle) {
+  // Several independent trials with different seeds; each runs thousands
+  // of operations over a deliberately tiny window so wraparound and
+  // backward-shift chains happen constantly rather than occasionally.
+  for (std::uint64_t trial = 0; trial < 8; ++trial) {
+    constexpr std::size_t kCapacity = 8;
+    constexpr std::size_t kSlotBytes = 64;
+    constexpr int kDests = 3;
+    SendWindow w(kCapacity, kSlotBytes);
+    Oracle oracle;
+    std::mt19937_64 rng(0xF00D0000u + trial);
+    std::uniform_int_distribution<int> op_pick(0, 99);
+    std::uniform_int_distribution<int> dest_pick(0, kDests - 1);
+    std::uniform_int_distribution<std::size_t> len_pick(1, kSlotBytes);
+
+    for (std::uint64_t step = 0; step < 4000; ++step) {
+      const int op = op_pick(rng);
+      if (op < 45 && !w.full()) {
+        // Insert: next dense seq for a random dest, bytes stamped so a
+        // misdirected lookup is detectable by content, not just presence.
+        const NodeId dest = static_cast<NodeId>(dest_pick(rng));
+        const std::uint32_t seq = w.next_seq(dest);
+        const auto bytes = stamp(dest, seq, len_pick(rng));
+        if (rng() & 1) {
+          std::uint8_t* slot = w.reserve(dest, seq);
+          std::memcpy(slot, bytes.data(), bytes.size());
+          w.commit(bytes.size());
+        } else {
+          w.track(dest, seq, bytes.data(), bytes.size());
+        }
+        oracle[{dest, seq}] = OracleEntry{bytes};
+      } else if (op < 80 && !oracle.empty()) {
+        // Ack a random pending entry (releases the slot, erases from the
+        // index, backward-shifts its probe chain).
+        std::uniform_int_distribution<std::size_t> pick(0, oracle.size() - 1);
+        auto it = oracle.begin();
+        std::advance(it, pick(rng));
+        const auto key = it->first;
+        oracle.erase(it);
+        ASSERT_TRUE(w.ack(key.first, key.second)) << "step " << step;
+      } else if (op < 90) {
+        // Negative lookups: an acked/never-sent (dest, seq) must be absent
+        // — this is where a broken backward shift leaves stale entries.
+        const NodeId dest = static_cast<NodeId>(dest_pick(rng));
+        const std::uint32_t seq = static_cast<std::uint32_t>(rng() % 700) + 1;
+        if (oracle.count({dest, seq}) == 0) {
+          EXPECT_EQ(w.find(dest, seq).data, nullptr) << "step " << step;
+          EXPECT_FALSE(w.ack(dest, seq)) << "step " << step;
+        }
+      } else if (op < 95) {
+        // Dead-peer sweep: drop everything for one dest in one call.
+        const NodeId dest = static_cast<NodeId>(dest_pick(rng));
+        std::size_t expected = 0;
+        for (auto it = oracle.begin(); it != oracle.end();) {
+          if (it->first.first == dest) {
+            it = oracle.erase(it);
+            ++expected;
+          } else {
+            ++it;
+          }
+        }
+        EXPECT_EQ(w.drop_dest(dest), expected) << "step " << step;
+      } else {
+        expect_agreement(w, oracle, step);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+    // Drain in random order, cross-checking to the last entry.
+    while (!oracle.empty()) {
+      std::uniform_int_distribution<std::size_t> pick(0, oracle.size() - 1);
+      auto it = oracle.begin();
+      std::advance(it, pick(rng));
+      const auto key = it->first;
+      oracle.erase(it);
+      ASSERT_TRUE(w.ack(key.first, key.second));
+      expect_agreement(w, oracle, ~std::uint64_t{0});
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+    EXPECT_EQ(w.in_flight(), 0u);
+    EXPECT_TRUE(w.space() == kCapacity);
+  }
+}
+
+// Minimized regression shape for the cyclic shiftable rule: force a probe
+// chain that wraps the table end, then delete its first element so the
+// shift must decide correctly for entries whose home lies "behind" the
+// wrap. With capacity 8 the table has 64 buckets; rather than hunt for
+// colliding keys analytically, drive dense seqs for one dest (Fibonacci
+// spreads them, but 4000-step trials above prove coverage; this test pins
+// the smallest deterministic sequence that exercises erase-then-find on
+// every element of a full window).
+TEST(SendWindowIndex, EraseKeepsEveryRemainingEntryFindable) {
+  constexpr std::size_t kCapacity = 16;
+  SendWindow w(kCapacity, 32);
+  const NodeId dest = 1;
+  // Fill the window completely: 16 live index entries.
+  std::vector<std::uint32_t> seqs;
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    const std::uint32_t seq = w.next_seq(dest);
+    const auto bytes = stamp(dest, seq, 8);
+    w.track(dest, seq, bytes.data(), bytes.size());
+    seqs.push_back(seq);
+  }
+  // Erase one entry at a time (front, back, middle alternating) and verify
+  // every survivor after each erase — any wrong shift decision surfaces as
+  // a vanished or misdirected survivor immediately.
+  bool front = true;
+  std::size_t mid_toggle = 0;
+  while (!seqs.empty()) {
+    std::size_t pick;
+    if (front)
+      pick = 0;
+    else if (mid_toggle++ & 1)
+      pick = seqs.size() - 1;
+    else
+      pick = seqs.size() / 2;
+    front = !front;
+    const std::uint32_t victim = seqs[pick];
+    seqs.erase(seqs.begin() + static_cast<std::ptrdiff_t>(pick));
+    ASSERT_TRUE(w.ack(dest, victim));
+    EXPECT_EQ(w.find(dest, victim).data, nullptr);
+    for (const std::uint32_t s : seqs) {
+      const SendWindow::Stored got = w.find(dest, s);
+      ASSERT_NE(got.data, nullptr) << "survivor seq " << s << " vanished";
+      const auto bytes = stamp(dest, s, 8);
+      ASSERT_EQ(got.len, bytes.size());
+      ASSERT_EQ(std::memcmp(got.data, bytes.data(), got.len), 0);
+    }
+  }
+}
+
+// Tombstone-free reuse: a slot acked and immediately re-reserved for a new
+// (dest, seq) must serve lookups for the new key only. (With tombstones a
+// stale marker could alias the old key; backward shift must leave no trace.)
+TEST(SendWindowIndex, AckedSlotReusesCleanly) {
+  SendWindow w(4, 32);
+  for (int round = 0; round < 200; ++round) {
+    const NodeId dest = static_cast<NodeId>(round % 3);
+    const std::uint32_t seq = w.next_seq(dest);
+    const auto bytes = stamp(dest, seq, 16);
+    w.track(dest, seq, bytes.data(), bytes.size());
+    ASSERT_NE(w.find(dest, seq).data, nullptr);
+    ASSERT_TRUE(w.ack(dest, seq));
+    ASSERT_EQ(w.find(dest, seq).data, nullptr)
+        << "acked (dest, seq) still resolves — stale index entry";
+    ASSERT_EQ(w.in_flight(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace fm

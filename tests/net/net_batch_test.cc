@@ -190,6 +190,25 @@ TEST(UdpSocketBatch, GsoTrainArrivesIntactWhereSupported) {
   for (std::uint8_t i = 0; i < 6; ++i) EXPECT_EQ(got.at(i), frames[i]);
 }
 
+TEST(UdpSocketBatch, GsoFailAfterHookFailsLaterTrainsOnly) {
+  UdpSocket tx_sock, rx_sock;
+  if (!tx_sock.gso_supported())
+    GTEST_SKIP() << "kernel lacks UDP_SEGMENT; fallback path covered above";
+  tx_sock.set_debug_gso_fail_after(1);
+  const sockaddr_in dst = UdpSocket::loopback_addr(rx_sock.port());
+  std::vector<std::vector<std::uint8_t>> frames;
+  iovec iov[2];
+  for (std::uint8_t i = 0; i < 2; ++i) {
+    frames.push_back(pattern_frame(i, 96));
+    iov[i] = {frames.back().data(), frames.back().size()};
+  }
+  // The probe passed and the first live train goes through...
+  EXPECT_EQ(tx_sock.send_gso(dst, iov, 2, 96), UdpSocket::SendResult::kOk);
+  // ...then the "kernel" starts refusing trains for good, not transiently.
+  EXPECT_EQ(tx_sock.send_gso(dst, iov, 2, 96), UdpSocket::SendResult::kError);
+  EXPECT_EQ(tx_sock.send_gso(dst, iov, 2, 96), UdpSocket::SendResult::kError);
+}
+
 // ---------------------------------------------------------------------------
 // Endpoint-level: the batched steady state under forced partial bursts.
 // ---------------------------------------------------------------------------
@@ -307,6 +326,70 @@ TEST(NetBatch, ModeMatrixDeliversAndCountsCoherently) {
     if (mode.force_no_gso || mode.gso == 0)
       EXPECT_EQ(r.sum_counter("gso_segments"), 0.0);
   }
+}
+
+TEST(NetBatch, GsoMidRunFailureFallsBackWithoutLosingATrain) {
+  // A kernel that accepts the UDP_SEGMENT probe but EIO/EINVALs a live
+  // train mid-run: the endpoint must keep the refused train staged, drop
+  // to single-shot for the rest of the run, and deliver every message
+  // exactly once WITHOUT burning a send error (the old code discarded the
+  // whole train and made FM-R re-earn up to kMaxBatch frames).
+  {
+    UdpSocket probe;
+    if (!probe.gso_supported())
+      GTEST_SKIP() << "kernel lacks UDP_SEGMENT; probe-fallback covered above";
+  }
+  constexpr int kMsgs = 300;
+  FmConfig cfg = testing::NetBackend::adapt(FmConfig());
+  NetConfig nc;
+  nc.tx_batch = 1;
+  nc.gso = 1;
+  // One train is allowed out (proving GSO really engaged), then every
+  // later train fails hard.
+  nc.debug_gso_fail_after = 1;
+  Cluster cluster(2, cfg, nc);
+  std::vector<int> seen(kMsgs, 0);
+  int got = 0;
+  HandlerId h = cluster.register_handler(
+      [&](Endpoint&, NodeId, const void* data, std::size_t len) {
+        ASSERT_EQ(len, 16u);
+        std::uint32_t w[4];
+        std::memcpy(w, data, 16);
+        ASSERT_LT(w[0], static_cast<std::uint32_t>(kMsgs));
+        ++seen[w[0]];
+        ++got;
+      });
+  RunReport r = testing::NetBackend::run(cluster, [&](Endpoint& ep) {
+    if (ep.id() == 0) {
+      EXPECT_TRUE(ep.gso_active()) << "probe passed; GSO should start on";
+      for (int m = 0; m < kMsgs; ++m) {
+        const auto u = static_cast<std::uint32_t>(m);
+        ASSERT_TRUE(ok(ep.send4(1, h, u, u, 0, 0)));
+        if ((m & 7) == 7) ep.extract();
+      }
+      ep.drain();
+      EXPECT_FALSE(ep.gso_active())
+          << "the forced mid-run failure should have disabled GSO";
+      EXPECT_GT(ep.gso_fallbacks(), 0u);
+    } else {
+      ep.extract_until([&] { return got >= kMsgs; });
+      for (int m = 0; m < kMsgs; ++m) EXPECT_EQ(seen[m], 1) << "tag " << m;
+      ep.drain();
+    }
+    if (::testing::Test::HasFailure()) cluster.mark_child_failed();
+    fm::barrier_serviced(cluster, ep);
+  });
+  EXPECT_FALSE(r.timed_out);
+  for (const auto& rank : r.ranks) EXPECT_TRUE(rank.clean());
+  EXPECT_TRUE(r.conservation().balanced());
+  EXPECT_EQ(r.sum_counter("messages_delivered"), static_cast<double>(kMsgs));
+  // The heart of the fix: the refused train was resent from staging, not
+  // discarded — so nothing was "lost on the wire" and no retransmission
+  // was needed to repair a local decision.
+  EXPECT_EQ(r.sum_counter("send_errors"), 0.0);
+  EXPECT_GT(r.sum_counter("gso_fallbacks"), 0.0);
+  EXPECT_GT(r.sum_counter("gso_segments"), 0.0)
+      << "exactly one train should have gone out before the failure";
 }
 
 TEST(NetBatch, BusyPollSpinCatchesALateArrival) {

@@ -1,0 +1,116 @@
+// FM-San chaos leg for FM-RMA: a rank dies in the middle of an exposure
+// epoch. The invariant under test is the fence's failure mode — survivors'
+// epoch_close() must surface Status::kPeerDead (FM-R detects the death via
+// the fence's own retransmissions) instead of hanging, and the puts the
+// survivors exchanged among themselves must still be applied exactly once.
+#include "rma/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "support/backends.h"
+
+namespace fm {
+namespace {
+
+constexpr std::uint32_t kBuf = 1;
+constexpr std::size_t kRanks = 3;
+constexpr NodeId kVictim = 2;
+constexpr std::size_t kSlice = 2048;
+
+std::uint8_t fill(NodeId src, std::size_t j) {
+  return static_cast<std::uint8_t>(src * 131 + j * 3 + 1);
+}
+
+template <class B>
+class RmaChaos : public ::testing::Test {};
+
+TYPED_TEST_SUITE(RmaChaos, testing::BothBackends, testing::BackendNames);
+
+TYPED_TEST(RmaChaos, KillRankMidEpochSurfacesPeerDeadNotAHungFence) {
+  using B = TypeParam;
+  using E = typename B::Endpoint;
+
+  FmConfig cfg;
+  // Death is only detectable through FM-R (mandatory on net; opted into on
+  // shm): tight retransmit budget so the fence's retries exhaust fast.
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  cfg.retransmit_timeout_ns = 1'000'000;  // 1 ms
+  cfg.max_retries = 5;
+  // The direct path is unsafe once a killed shm rank's exposed vectors are
+  // freed with its stack; chaos runs message-emulated everywhere.
+  cfg.rma_force_emulation = true;
+
+  auto cluster = B::make(kRanks, cfg);
+  auto* c = cluster.get();
+  const RunReport r = c->run([c](E& ep) {
+    const NodeId me = ep.id();
+    rma::Engine<E> eng(ep);
+    std::vector<std::uint8_t> region(kRanks * kSlice, 0);
+    eng.expose(kBuf, region.data(), region.size());
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+    // Pin the schedule: every rank is inside the epoch (tables exchanged,
+    // open returned kOk everywhere) before the victim is allowed to die.
+    barrier_serviced(*c, ep);
+
+    std::vector<std::uint8_t> src(kSlice);
+    for (std::size_t j = 0; j < kSlice; ++j) src[j] = fill(me, j);
+
+    if (me == kVictim) {
+      // Participate just enough to be mid-epoch, then die the backend's
+      // death: SIGKILL for a forked net rank, a silent return for an shm
+      // thread (which never extracts again — protocol death).
+      (void)eng.put(0, kBuf, me * kSlice, src.data(), 64);
+      if (B::kProcessRanks) std::raise(SIGKILL);
+      return;
+    }
+
+    // Survivors put to every rank, the victim included: sends toward the
+    // dying rank may fail — that is allowed; hanging is not.
+    for (NodeId d = 0; d < kRanks; ++d)
+      (void)eng.put(d, kBuf, me * kSlice, src.data(), kSlice);
+
+    // The acceptance criterion: the fence detects the death and reports
+    // it; it must not hang (the net watchdog would turn a hang into a
+    // timed-out report).
+    EXPECT_EQ(eng.epoch_close(), Status::kPeerDead);
+    EXPECT_TRUE(ep.peer_dead(kVictim));
+
+    // Survivor-to-survivor traffic is fence-complete despite the death.
+    const NodeId other = (me == 0) ? 1 : 0;
+    for (std::size_t j = 0; j < kSlice; ++j)
+      ASSERT_EQ(region[other * kSlice + j], fill(other, j)) << "byte " << j;
+    for (std::size_t j = 0; j < kSlice; ++j)
+      ASSERT_EQ(region[me * kSlice + j], fill(me, j)) << "self byte " << j;
+    EXPECT_EQ(eng.epoch_conflicts(), 0u);
+
+    ep.drain();
+    c->publish(eng.registry());
+    if constexpr (B::kProcessRanks) {
+      if (::testing::Test::HasFailure()) {
+        testing::detail::dump_rank_failure(ep.id());
+        c->mark_child_failed();
+      }
+    }
+  });
+
+  ASSERT_FALSE(r.timed_out) << "survivors hung instead of detecting death";
+  for (const RankStatus& rs : r.ranks) {
+    if (rs.id == kVictim && B::kProcessRanks) {
+      EXPECT_FALSE(rs.exited) << "victim was not killed";
+      EXPECT_EQ(rs.term_signal, SIGKILL);
+    } else if (rs.id != kVictim) {
+      EXPECT_TRUE(rs.clean()) << "rank " << rs.id;
+    }
+  }
+  // Both survivors declared exactly the victim dead.
+  EXPECT_EQ(r.sum_counter("peers_dead"), 2.0);
+}
+
+}  // namespace
+}  // namespace fm

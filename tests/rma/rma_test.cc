@@ -1,0 +1,388 @@
+// FM-RMA functional suite, typed over the transport backend: every test
+// runs once on shm threads and once on the net backend's forked UDP
+// processes. Bodies are SPMD; ranks share nothing but the engine protocol
+// (on shm the direct put path shares the address space — that IS the
+// feature under test there).
+#include "rma/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include "support/backends.h"
+
+namespace fm {
+namespace {
+
+constexpr std::uint32_t kBuf = 1;   // bulk data region id
+constexpr std::uint32_t kCtr = 7;   // counter/accumulator region id
+
+/// Deterministic fill: byte j of a transfer from `src` tagged `salt`.
+std::uint8_t fill(NodeId src, std::uint32_t salt, std::size_t j) {
+  return static_cast<std::uint8_t>(src * 131 + salt * 17 + j * 3 + 1);
+}
+
+template <class B>
+class RmaOn : public ::testing::Test {
+ protected:
+  using E = typename B::Endpoint;
+  using Eng = rma::Engine<E>;
+
+  /// Runs `body(engine, endpoint)` on every rank; publishes each rank's
+  /// rma registry into the report so counter assertions work across the
+  /// net process boundary too.
+  static RunReport spmd(std::size_t n,
+                        const std::function<void(Eng&, E&)>& body,
+                        FmConfig cfg = FmConfig()) {
+    auto cluster = B::make(n, cfg);
+    auto* c = cluster.get();
+    return B::run(*cluster, [&body, c](E& ep) {
+      Eng eng(ep);
+      body(eng, ep);
+      ep.drain();
+      c->publish(eng.registry());
+    });
+  }
+};
+
+TYPED_TEST_SUITE(RmaOn, testing::BothBackends, testing::BackendNames);
+
+TYPED_TEST(RmaOn, EagerPutLandsAfterFence) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kLen = 4096;
+  const RunReport r = this->spmd(2, [](Eng& eng, E& ep) {
+    const NodeId me = ep.id();
+    const NodeId peer = 1 - me;
+    std::vector<std::uint8_t> region(kLen, 0);
+    eng.expose(kBuf, region.data(), region.size());
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+
+    // Three eager puts into disjoint windows of the peer's region, plus a
+    // self-put into my own third window.
+    std::vector<std::uint8_t> msg(512);
+    for (std::uint32_t k = 0; k < 2; ++k) {
+      for (std::size_t j = 0; j < msg.size(); ++j) msg[j] = fill(me, k, j);
+      ASSERT_EQ(eng.put(peer, kBuf, k * 1024, msg.data(), msg.size()),
+                Status::kOk);
+    }
+    for (std::size_t j = 0; j < msg.size(); ++j) msg[j] = fill(me, 2, j);
+    ASSERT_EQ(eng.put(me, kBuf, 2 * 1024, msg.data(), msg.size()),
+              Status::kOk);
+
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+
+    // The close is a full fence: the peer's writes are in my region NOW.
+    for (std::uint32_t k = 0; k < 2; ++k)
+      for (std::size_t j = 0; j < 512; ++j)
+        ASSERT_EQ(region[k * 1024 + j], fill(peer, k, j))
+            << "window " << k << " byte " << j;
+    for (std::size_t j = 0; j < 512; ++j)
+      ASSERT_EQ(region[2 * 1024 + j], fill(me, 2, j)) << "self byte " << j;
+    EXPECT_EQ(eng.epoch_conflicts(), 0u);
+  });
+  EXPECT_EQ(r.sum_counter("puts_issued"), 6.0);
+  EXPECT_EQ(r.sum_counter("puts_completed"), 6.0);
+  // 4 remote eager puts applied (self-puts don't cross the wire).
+  EXPECT_EQ(r.sum_counter("ops_applied"), 4.0);
+  EXPECT_EQ(r.sum_counter("epoch_conflicts"), 0.0);
+}
+
+TYPED_TEST(RmaOn, RendezvousPutMovesLargeTransfersExactlyOnce) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kLen = 96 * 1024;
+  FmConfig cfg;
+  cfg.rma_eager_max = 256;
+  cfg.rma_chunk_bytes = 1024;
+  cfg.rma_pull_depth = 4;
+  cfg.rma_force_emulation = true;  // shm must walk the pull protocol here
+  const RunReport r = this->spmd(
+      2,
+      [](Eng& eng, E& ep) {
+        const NodeId me = ep.id();
+        const NodeId peer = 1 - me;
+        std::vector<std::uint8_t> region(kLen, 0);
+        std::vector<std::uint8_t> src(kLen - 64);
+        for (std::size_t j = 0; j < src.size(); ++j) src[j] = fill(me, 9, j);
+        eng.expose(kBuf, region.data(), region.size());
+        ASSERT_EQ(eng.epoch_open(), Status::kOk);
+        ASSERT_EQ(eng.put(peer, kBuf, 64, src.data(), src.size()),
+                  Status::kOk);
+        ASSERT_EQ(eng.epoch_close(), Status::kOk);
+        for (std::size_t j = 0; j < src.size(); ++j)
+          ASSERT_EQ(region[64 + j], fill(peer, 9, j)) << "byte " << j;
+        for (std::size_t j = 0; j < 64; ++j)
+          ASSERT_EQ(region[j], 0u) << "leading pad clobbered at " << j;
+      },
+      cfg);
+  EXPECT_EQ(r.sum_counter("puts_completed"), 2.0);
+  EXPECT_EQ(r.sum_counter("rendezvous_bytes"), 2.0 * (kLen - 64));
+  EXPECT_EQ(r.sum_counter("eager_bytes"), 0.0);
+  EXPECT_EQ(r.sum_counter("epoch_conflicts"), 0.0);
+}
+
+TYPED_TEST(RmaOn, DirectPathServesLargePutsWhereAvailable) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kLen = 64 * 1024;
+  const RunReport r = this->spmd(2, [](Eng& eng, E& ep) {
+    const NodeId me = ep.id();
+    const NodeId peer = 1 - me;
+    std::vector<std::uint8_t> region(kLen, 0);
+    std::vector<std::uint8_t> src(kLen);
+    for (std::size_t j = 0; j < src.size(); ++j) src[j] = fill(me, 3, j);
+    eng.expose(kBuf, region.data(), region.size());
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+    ASSERT_EQ(eng.put(peer, kBuf, 0, src.data(), src.size()), Status::kOk);
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+    for (std::size_t j = 0; j < kLen; ++j)
+      ASSERT_EQ(region[j], fill(peer, 3, j)) << "byte " << j;
+  });
+  // Whether the bytes moved zero-copy (shm) or by rendezvous pull (net),
+  // the accounting class is the same.
+  EXPECT_EQ(r.sum_counter("rendezvous_bytes"), 2.0 * kLen);
+  EXPECT_EQ(r.sum_counter("puts_completed"), 2.0);
+}
+
+TYPED_TEST(RmaOn, GetReadsBackWhatTheOwnerWrote) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kLen = 24 * 1024;
+  FmConfig cfg;
+  cfg.rma_eager_max = 512;
+  cfg.rma_chunk_bytes = 768;  // deliberately not a divisor of the length
+  cfg.rma_force_emulation = true;
+  const RunReport r = this->spmd(
+      2,
+      [](Eng& eng, E& ep) {
+        const NodeId me = ep.id();
+        const NodeId peer = 1 - me;
+        std::vector<std::uint8_t> region(kLen);
+        for (std::size_t j = 0; j < kLen; ++j) region[j] = fill(me, 5, j);
+        eng.expose(kBuf, region.data(), region.size());
+        ASSERT_EQ(eng.epoch_open(), Status::kOk);
+
+        // Chunked pull of the peer's whole region, then a small
+        // single-chunk get, then a self-get.
+        std::vector<std::uint8_t> dst(kLen, 0);
+        ASSERT_EQ(eng.get(peer, kBuf, 0, dst.data(), kLen), Status::kOk);
+        for (std::size_t j = 0; j < kLen; ++j)
+          ASSERT_EQ(dst[j], fill(peer, 5, j)) << "byte " << j;
+
+        std::uint8_t small[100];
+        ASSERT_EQ(eng.get(peer, kBuf, 1000, small, sizeof small), Status::kOk);
+        for (std::size_t j = 0; j < sizeof small; ++j)
+          ASSERT_EQ(small[j], fill(peer, 5, 1000 + j));
+
+        ASSERT_EQ(eng.get(me, kBuf, 8, small, sizeof small), Status::kOk);
+        for (std::size_t j = 0; j < sizeof small; ++j)
+          ASSERT_EQ(small[j], fill(me, 5, 8 + j));
+
+        ASSERT_EQ(eng.epoch_close(), Status::kOk);
+      },
+      cfg);
+  EXPECT_EQ(r.sum_counter("gets_issued"), 6.0);
+  EXPECT_EQ(r.sum_counter("gets_completed"), 6.0);
+  EXPECT_EQ(r.sum_counter("epoch_conflicts"), 0.0);
+}
+
+TYPED_TEST(RmaOn, StridedPutAndGetPreserveLayout) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kBlock = 192;
+  constexpr std::size_t kBlocks = 10;
+  constexpr std::size_t kDstStride = 512;
+  constexpr std::size_t kLen = kBlocks * kDstStride;
+  const RunReport r = this->spmd(2, [](Eng& eng, E& ep) {
+    const NodeId me = ep.id();
+    const NodeId peer = 1 - me;
+    std::vector<std::uint8_t> region(kLen, 0);
+    eng.expose(kBuf, region.data(), region.size());
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+
+    // Dense source -> strided destination (a matrix column, essentially).
+    std::vector<std::uint8_t> src(kBlocks * kBlock);
+    for (std::size_t j = 0; j < src.size(); ++j) src[j] = fill(me, 11, j);
+    ASSERT_EQ(eng.put_strided(peer, kBuf, /*dst_off=*/0, kDstStride,
+                              src.data(), kBlock, kBlock, kBlocks),
+              Status::kOk);
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+
+    for (std::size_t b = 0; b < kBlocks; ++b)
+      for (std::size_t j = 0; j < kDstStride; ++j) {
+        const std::uint8_t got = region[b * kDstStride + j];
+        if (j < kBlock)
+          ASSERT_EQ(got, fill(peer, 11, b * kBlock + j))
+              << "block " << b << " byte " << j;
+        else
+          ASSERT_EQ(got, 0u) << "stride gap clobbered: block " << b
+                             << " byte " << j;
+      }
+
+    // Read the strided layout back into a dense buffer and compare.
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+    std::vector<std::uint8_t> back(kBlocks * kBlock, 0);
+    ASSERT_EQ(eng.get_strided(peer, kBuf, /*src_off=*/0, kDstStride,
+                              back.data(), kBlock, kBlock, kBlocks),
+              Status::kOk);
+    for (std::size_t j = 0; j < back.size(); ++j)
+      ASSERT_EQ(back[j], fill(me, 11, j)) << "readback byte " << j;
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+  });
+  EXPECT_EQ(r.sum_counter("puts_issued"), 2.0 * kBlocks);
+  EXPECT_EQ(r.sum_counter("gets_issued"), 2.0 * kBlocks);
+}
+
+TYPED_TEST(RmaOn, FetchAndAddSerializesAndAccumulateCommutes) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kRanks = 3;
+  constexpr std::size_t kRounds = 40;
+  constexpr std::size_t kVec = 16;
+  const RunReport r = this->spmd(kRanks, [](Eng& eng, E& ep) {
+    const NodeId me = ep.id();
+    // Region kCtr on rank 0: [0] the faa counter, [1..kVec] the vector.
+    std::vector<std::uint64_t> ctr(1 + kVec, 0);
+    eng.expose(kCtr, ctr.data(), ctr.size() * 8);
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+
+    // Everyone (rank 0 included, via the self path) bumps rank 0's counter;
+    // each rank's observed priors must be strictly increasing — handler
+    // serialization at the target is the atomicity.
+    std::uint64_t prev = 0;
+    bool first = true;
+    for (std::size_t i = 0; i < kRounds; ++i) {
+      std::uint64_t old = 0;
+      ASSERT_EQ(eng.fetch_and_add(0, kCtr, 0, me + 1, &old), Status::kOk);
+      if (!first) {
+        ASSERT_GT(old, prev) << "fetch_and_add went backwards";
+      }
+      prev = old;
+      first = false;
+    }
+
+    // Element-wise accumulate of a rank-stamped vector, twice.
+    std::vector<std::uint64_t> add(kVec);
+    for (std::size_t j = 0; j < kVec; ++j) add[j] = (me + 1) * 1000 + j;
+    ASSERT_EQ(eng.accumulate(0, kCtr, 8, add.data(), kVec), Status::kOk);
+    ASSERT_EQ(eng.accumulate(0, kCtr, 8, add.data(), kVec), Status::kOk);
+
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+
+    if (me == 0) {
+      std::uint64_t expect_ctr = 0;
+      for (std::size_t k = 0; k < kRanks; ++k)
+        expect_ctr += (k + 1) * kRounds;
+      EXPECT_EQ(ctr[0], expect_ctr);
+      for (std::size_t j = 0; j < kVec; ++j) {
+        std::uint64_t expect = 0;
+        for (std::size_t k = 0; k < kRanks; ++k)
+          expect += 2 * ((k + 1) * 1000 + j);
+        EXPECT_EQ(ctr[1 + j], expect) << "element " << j;
+      }
+    }
+  });
+  EXPECT_EQ(r.sum_counter("accs_issued"), 3.0 * (kRounds + 2));
+  EXPECT_EQ(r.sum_counter("accs_completed"), 3.0 * (kRounds + 2));
+}
+
+TYPED_TEST(RmaOn, StaleEpochOpIsShedAndCounted) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  const RunReport r = this->spmd(2, [](Eng& eng, E& ep) {
+    const NodeId me = ep.id();
+    const NodeId peer = 1 - me;
+    std::vector<std::uint8_t> region(1024, 0);
+    eng.expose(kBuf, region.data(), region.size());
+
+    // Epoch 1: clean open/close to establish history.
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+
+    // Epoch 2: rank 0 injects an op stamped with epoch 1. The target must
+    // shed it (count it, apply nothing, keep the fence balanced).
+    ASSERT_EQ(eng.epoch_open(), Status::kOk);
+    if (me == 0) eng.debug_inject_stale(peer);
+    ASSERT_EQ(eng.epoch_close(), Status::kOk);
+
+    if (me == 1)
+      ep.extract_until([&eng] { return eng.epoch_conflicts() >= 1; });
+    EXPECT_EQ(eng.epoch_conflicts(), me == 1 ? 1u : 0u);
+  });
+  EXPECT_EQ(r.sum_counter("epoch_conflicts"), 1.0);
+  EXPECT_EQ(r.sum_counter("ops_applied"), 0.0);
+}
+
+// Multi-epoch soak: every rank scatters deterministic slices into every
+// peer's region across several epochs with a mixed eager/rendezvous diet,
+// then everything is verified byte-for-byte and the issue/complete/apply
+// ledgers must balance exactly — the one-sided analogue of the FM-San
+// exactly-once + conservation soaks.
+TYPED_TEST(RmaOn, MultiEpochSoakIsExactlyOnceAndConserved) {
+  using Eng = typename TestFixture::Eng;
+  using E = typename TestFixture::E;
+  constexpr std::size_t kRanks = 3;
+  constexpr std::size_t kSlice = 12 * 1024;  // per-origin slice of my region
+  constexpr std::size_t kEpochs = 3;
+  FmConfig cfg;
+  cfg.rma_eager_max = 512;
+  cfg.rma_chunk_bytes = 640;
+  const RunReport r = this->spmd(
+      kRanks,
+      [](Eng& eng, E& ep) {
+        const NodeId me = ep.id();
+        std::vector<std::uint8_t> region(kRanks * kSlice, 0);
+        eng.expose(kBuf, region.data(), region.size());
+        // Transfer sizes straddling the eager/rendezvous split.
+        const std::size_t sizes[] = {1, 96, 512, 513, 2048, 7000};
+        for (std::uint32_t e = 0; e < kEpochs; ++e) {
+          ASSERT_EQ(eng.epoch_open(), Status::kOk);
+          std::size_t off = 0;
+          std::uint32_t salt = e * 100;
+          for (const std::size_t len : sizes) {
+            std::vector<std::uint8_t> src(len);
+            for (NodeId d = 0; d < kRanks; ++d) {
+              for (std::size_t j = 0; j < len; ++j)
+                src[j] = fill(me, salt, j);
+              ASSERT_EQ(eng.put(d, kBuf, me * kSlice + off, src.data(), len),
+                        Status::kOk);
+            }
+            off += len;
+            ++salt;
+          }
+          ASSERT_EQ(eng.epoch_close(), Status::kOk);
+          // Fence-complete: every origin's slice of MY region is fully
+          // current for this epoch.
+          for (NodeId s = 0; s < kRanks; ++s) {
+            std::size_t voff = 0;
+            std::uint32_t vsalt = e * 100;
+            for (const std::size_t len : sizes) {
+              for (std::size_t j = 0; j < len; ++j)
+                ASSERT_EQ(region[s * kSlice + voff + j], fill(s, vsalt, j))
+                    << "epoch " << e << " origin " << s << " byte " << j;
+              voff += len;
+              ++vsalt;
+            }
+          }
+        }
+        EXPECT_EQ(eng.epoch_conflicts(), 0u);
+      },
+      cfg);
+  // Ledger: every issued put completed; every wire-crossing put applied
+  // exactly once at its target (self-puts stay local).
+  const double issued = r.sum_counter("puts_issued");
+  EXPECT_EQ(issued, 1.0 * kRanks * kRanks * 6 * kEpochs);
+  EXPECT_EQ(r.sum_counter("puts_completed"), issued);
+  EXPECT_EQ(r.sum_counter("ops_applied"),
+            1.0 * kRanks * (kRanks - 1) * 6 * kEpochs);
+  EXPECT_EQ(r.sum_counter("epoch_conflicts"), 0.0);
+  EXPECT_GT(r.sum_counter("eager_bytes"), 0.0);
+  EXPECT_GT(r.sum_counter("rendezvous_bytes"), 0.0);
+}
+
+}  // namespace
+}  // namespace fm

@@ -1,0 +1,126 @@
+// san::analyze_links unit coverage on degenerate matrices — the shapes a
+// real soak produces at the edges (single rank, uniform cluster, a link
+// that never completed a round trip), previously exercised only through
+// full soaks where a misattribution would read as flakiness.
+#include "san/link_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fm::san {
+namespace {
+
+LinkSample link(NodeId src, NodeId dst, std::uint64_t echoes,
+                std::uint64_t lost, double rtt_mean_us) {
+  LinkSample l;
+  l.src = src;
+  l.dst = dst;
+  l.echoes = echoes;
+  l.lost = lost;
+  l.rtt_mean_us = rtt_mean_us;
+  l.rtt_max_us = rtt_mean_us;
+  return l;
+}
+
+TEST(AnalyzeLinks, EmptyMatrixFlagsNothing) {
+  // A 1-rank cluster has no directed links at all: the analysis must come
+  // back clean (median 0) rather than divide by an empty set.
+  const LinkAnalysis a = analyze_links({});
+  EXPECT_EQ(a.median_rtt_us, 0.0);
+  EXPECT_TRUE(a.slow_links.empty());
+  EXPECT_TRUE(a.lossy_links.empty());
+  EXPECT_TRUE(a.slow_ranks.empty());
+  EXPECT_TRUE(a.lossy_ranks.empty());
+}
+
+TEST(AnalyzeLinks, AllIdenticalRttsFlagNoOutlier) {
+  // Uniform cluster: every mean equals the median, so nothing exceeds
+  // factor x median — regardless of the absolute RTT level.
+  std::vector<LinkSample> m;
+  for (NodeId s = 0; s < 4; ++s)
+    for (NodeId d = 0; d < 4; ++d)
+      if (s != d) m.push_back(link(s, d, 100, 0, 250.0));
+  const LinkAnalysis a = analyze_links(m);
+  EXPECT_DOUBLE_EQ(a.median_rtt_us, 250.0);
+  EXPECT_TRUE(a.slow_links.empty());
+  EXPECT_TRUE(a.slow_ranks.empty());
+  EXPECT_TRUE(a.lossy_links.empty());
+}
+
+TEST(AnalyzeLinks, ZeroEchoLinkNeverEntersTheMedianOrSlowSet) {
+  // A link with zero completed samples has rtt_mean_us == 0 (nothing was
+  // measured). It must neither drag the median down nor be flagged slow —
+  // but its losses still count as lossy.
+  std::vector<LinkSample> m = {
+      link(0, 1, 50, 0, 100.0),
+      link(1, 0, 50, 0, 100.0),
+      link(0, 2, 0, 10, 0.0),  // never completed a round trip
+      link(2, 0, 50, 0, 100.0),
+      link(1, 2, 50, 0, 100.0),
+      link(2, 1, 50, 0, 100.0),
+  };
+  const LinkAnalysis a = analyze_links(m);
+  // Median over MEASURED links only: 100, not dragged toward 0.
+  EXPECT_DOUBLE_EQ(a.median_rtt_us, 100.0);
+  EXPECT_TRUE(a.slow_links.empty());
+  ASSERT_EQ(a.lossy_links.size(), 1u);
+  EXPECT_EQ(a.lossy_links[0].src, 0u);
+  EXPECT_EQ(a.lossy_links[0].dst, 2u);
+  // Rank 2 has two measured inbound links (0->2 counts: echoes+lost > 0),
+  // one flagged -> half -> isolated as lossy.
+  EXPECT_TRUE(a.rank_is_lossy(2));
+  EXPECT_FALSE(a.rank_is_slow(2));
+}
+
+TEST(AnalyzeLinks, SingleMeasuredLinkIsItsOwnMedian) {
+  // Degenerate 2-rank matrix where only one direction completed: the lone
+  // mean IS the median, so it cannot be 4x itself — no self-flagging.
+  std::vector<LinkSample> m = {
+      link(0, 1, 10, 0, 4000.0),
+      link(1, 0, 0, 0, 0.0),  // no traffic at all
+  };
+  const LinkAnalysis a = analyze_links(m);
+  EXPECT_DOUBLE_EQ(a.median_rtt_us, 4000.0);
+  EXPECT_TRUE(a.slow_links.empty());
+  EXPECT_TRUE(a.lossy_links.empty());
+}
+
+TEST(AnalyzeLinks, AllZeroEchoMatrixYieldsZeroMedianAndNoSlowLinks) {
+  // Every link lost everything (total partition): median stays 0 and the
+  // slow-link rule must not fire on the 0-means; every link is lossy and
+  // every rank is isolated.
+  std::vector<LinkSample> m = {
+      link(0, 1, 0, 5, 0.0),
+      link(1, 0, 0, 5, 0.0),
+  };
+  const LinkAnalysis a = analyze_links(m);
+  EXPECT_EQ(a.median_rtt_us, 0.0);
+  EXPECT_TRUE(a.slow_links.empty());
+  EXPECT_EQ(a.lossy_links.size(), 2u);
+  EXPECT_TRUE(a.rank_is_lossy(0));
+  EXPECT_TRUE(a.rank_is_lossy(1));
+}
+
+TEST(AnalyzeLinks, OneSlowReceiverIsIsolatedOneSlowLinkIsNot) {
+  // Contrast case guarding the isolation threshold at the degenerate edge:
+  // every link into rank 3 is slow -> rank 3 isolated; only one link into
+  // rank 1 slow (of three measured) -> rank 1 not isolated.
+  std::vector<LinkSample> m;
+  for (NodeId s = 0; s < 4; ++s)
+    for (NodeId d = 0; d < 4; ++d) {
+      if (s == d) continue;
+      double rtt = 100.0;
+      if (d == 3) rtt = 900.0;            // slow receiver
+      if (s == 3 && d == 1) rtt = 900.0;  // one noisy path
+      m.push_back(link(s, d, 100, 0, rtt));
+    }
+  const LinkAnalysis a = analyze_links(m);
+  EXPECT_DOUBLE_EQ(a.median_rtt_us, 100.0);
+  EXPECT_EQ(a.slow_links.size(), 4u);  // 3 into rank 3 + 1 into rank 1
+  EXPECT_TRUE(a.rank_is_slow(3));
+  EXPECT_FALSE(a.rank_is_slow(1));
+}
+
+}  // namespace
+}  // namespace fm::san

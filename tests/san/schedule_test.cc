@@ -286,8 +286,10 @@ TEST(SanSeed, EnvOverridesAndIsRecordedForReplay) {
   ASSERT_EQ(setenv("FM_SAN_SEED", "0x20", 1), 0);  // base-0: hex accepted
   EXPECT_EQ(effective_seed(7), 0x20u);
 
-  ASSERT_EQ(setenv("FM_SAN_SEED", "zebra", 1), 0);  // garbage: fall back
-  EXPECT_EQ(effective_seed(7), 7u);
+  // Garbage no longer silently falls back to the time-derived seed (which
+  // made "reproduce with this seed" lie): it is a fatal knob error.
+  ASSERT_EQ(setenv("FM_SAN_SEED", "zebra", 1), 0);
+  EXPECT_DEATH((void)effective_seed(7), "FM_SAN_SEED");
 
   ASSERT_EQ(unsetenv("FM_SAN_SEED"), 0);
   EXPECT_EQ(effective_seed(7), 7u);
