@@ -24,9 +24,11 @@ struct MixResult {
 };
 
 // Streams `count` messages with sizes drawn from `mix` through the full FM
-// layer on the simulated cluster.
+// layer on the simulated cluster. With `counters` non-null, both endpoints'
+// FM-Scope registries are snapshotted into it before teardown.
 MixResult run_fm_mix(const TrafficMix& mix, std::size_t count,
-                     std::uint64_t seed) {
+                     std::uint64_t seed,
+                     std::vector<obs::Sample>* counters = nullptr) {
   hw::Cluster c(2);
   FmConfig cfg;  // FM 1.0 defaults: 128 B frames, segmentation beyond
   SimEndpoint a(c.node(0), cfg), b(c.node(1), cfg);
@@ -60,6 +62,12 @@ MixResult run_fm_mix(const TrafficMix& mix, std::size_t count,
   bool done = c.sim().run_while_pending([&] { return delivered == count; });
   FM_CHECK(done);
   double secs = sim::to_s(c.sim().now());
+  if (counters != nullptr) {
+    for (const SimEndpoint* ep : {&a, &b}) {
+      auto snap = ep->registry().snapshot();
+      counters->insert(counters->end(), snap.begin(), snap.end());
+    }
+  }
   a.shutdown();
   b.shutdown();
   c.sim().run();
@@ -103,6 +111,14 @@ MixResult run_api_mix(const TrafficMix& mix, std::size_t count,
           static_cast<double>(bytes_total) / 1048576.0 / secs};
 }
 
+// JSON keys are lowercase [a-z0-9_]: "tcp-ip" → "tcp_ip".
+std::string slug(const std::string& name) {
+  std::string s = name;
+  for (char& c : s)
+    if (c == '-') c = '_';
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,15 +131,32 @@ int main(int argc, char** argv) {
       "\n%-12s %10s %14s | %14s %12s | %14s %12s | %8s\n", "mix",
       "mean (B)", "<=128B frac", "FM msg/s", "FM MB/s", "API msg/s",
       "API MB/s", "speedup");
+  std::vector<fm::bench::JsonMetric> jm;
+  // The tcp-ip run's registry snapshot is the counter set committed with
+  // the bench JSON: frames sent/delivered and segmentation activity for the
+  // Internet-style mix the §5 claim is about.
+  std::vector<fm::obs::Sample> counters;
   for (const auto& mix : {tcp_ip_mix(), finegrain_mix(), bulk_mix()}) {
-    MixResult fmres = run_fm_mix(mix, kFmMsgs, 42);
+    const bool snapshot = counters.empty();  // first mix = tcp-ip
+    MixResult fmres =
+        run_fm_mix(mix, kFmMsgs, 42, snapshot ? &counters : nullptr);
     MixResult apires = run_api_mix(mix, kApiMsgs, 42);
     std::printf("%-12s %10.0f %13.0f%% | %14.0f %12.2f | %14.0f %12.2f | %7.1fx\n",
                 mix.name().c_str(), mix.mean_bytes(),
                 100 * mix.fraction_at_most(128), fmres.msgs_per_s, fmres.mbs,
                 apires.msgs_per_s, apires.mbs,
                 fmres.msgs_per_s / apires.msgs_per_s);
+    const std::string k = slug(mix.name());
+    jm.push_back({k + "_fm_msgs_per_s", fmres.msgs_per_s});
+    jm.push_back({k + "_fm_mbs", fmres.mbs});
+    jm.push_back({k + "_api_msgs_per_s", apires.msgs_per_s});
+    jm.push_back({k + "_api_mbs", apires.mbs});
+    jm.push_back({k + "_fm_speedup", fmres.msgs_per_s / apires.msgs_per_s});
   }
+  jm.push_back({"tcp_ip_frac_single_frame", tcp_ip_mix().fraction_at_most(128)});
+  fm::bench::write_bench_json("results/BENCH_workload_mix.json",
+                              "workload_mix", jm, counters);
+  std::printf("\nJSON written to results/BENCH_workload_mix.json\n");
   std::printf(
       "\nThe tcp-ip row quantifies §5's claim: ~%.0f%% of Internet-style\n"
       "messages fit one 128 B FM frame, so one low-level layer serves both\n"

@@ -1,0 +1,30 @@
+// Fixture: the `serve` counter scope. The serve.node<id> scope is a known
+// backend prefix (passes), its documented counters pass, an undocumented
+// serve counter still fails, and a scope that merely *starts with* the
+// letters "serve" is not grandfathered in.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Registry {
+  explicit Registry(std::string scope);
+  void counter(const char* name, const std::uint64_t* cell);
+  void gauge(const char* name, double (*fn)());
+};
+
+inline void wire(Registry& r, const std::uint64_t* cell) {
+  r.counter("requests_admitted", cell);   // fine: documented serve counter
+  r.counter("calls_shed_remote", cell);   // fine: documented serve counter
+  r.counter("serve_undocumented_xyz", cell);  // counter-scope: not in docs
+}
+
+inline Registry make() {
+  return Registry("serve.node0");  // fine: known backend scope
+}
+
+inline Registry make_bad() {
+  return Registry("servette.node0");  // counter-scope: unknown scope
+}
+
+}  // namespace fixture

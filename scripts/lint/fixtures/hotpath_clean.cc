@@ -29,6 +29,16 @@ class Queue {
     buf_.push_back(v);  // cold code may allocate freely
   }
 
+  // A hot function legitimately named like a blocking verb: its signature
+  // and self-recursion must not trip the poll(2) token (the serve plane's
+  // Server::poll / Client::poll are exactly this shape).
+  FM_HOT_PATH void poll() {
+    if (pos_ > 0) {
+      --pos_;
+      poll();
+    }
+  }
+
  private:
   std::vector<std::uint32_t> buf_;
   std::size_t pos_ = 0;

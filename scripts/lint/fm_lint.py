@@ -19,8 +19,8 @@ Checks the conventions the compilers cannot:
   counter-scope   Every obs::Registry counter/gauge name must fit the
                   lowercase dotted grammar, every registry/trace scope
                   literal must start with a known backend prefix
-                  (sim|shm|net|lanai|san|rma), and every registered name must be
-                  documented in docs/OBSERVABILITY.md.
+                  (sim|shm|net|lanai|san|rma|serve), and every registered name
+                  must be documented in docs/OBSERVABILITY.md.
   pragma-once     Headers under src/ must carry `#pragma once`.
 
 Suppression: a finding on line N is waived by a comment on line N (or on
@@ -230,7 +230,7 @@ def check_no_assert(sf: SourceFile) -> list[Finding]:
 # ---------------------------------------------------------------------------
 
 NAME_GRAMMAR = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
-SCOPE_PREFIX = re.compile(r"^(sim|shm|net|lanai|san|rma)(\.|$)")
+SCOPE_PREFIX = re.compile(r"^(sim|shm|net|lanai|san|rma|serve)(\.|$)")
 REG_CALL_RE = re.compile(r"\.\s*(counter|gauge)\s*\(")
 SCOPE_CTOR_RE = re.compile(
     r"\b(?:Registry|TraceRing)\s*(?:\(|\{)")
@@ -284,7 +284,7 @@ def check_counter_scope(sf: SourceFile, documented: str) -> list[Finding]:
             findings.append(Finding(
                 sf.path, idx, "counter-scope",
                 f"scope literal '{literal}' must start with one of "
-                "sim|shm|net|lanai|san|rma (docs/OBSERVABILITY.md §1)"))
+                "sim|shm|net|lanai|san|rma|serve (docs/OBSERVABILITY.md §1)"))
     return findings
 
 
@@ -499,15 +499,27 @@ def check_hot_bodies(sf: SourceFile, hot: set[str], cold: set[str],
     cold_bare = bare(cold)
     unmarked_bare = bare(defined) - hot_bare - cold_bare
     findings = []
+    ident_re = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
     for fn in scan_functions(sf):
         if fn.body is None or fn.qual not in hot:
             continue
+        fn_bare = fn.qual.split("::")[-1]
         start, end = fn.body
         for idx in range(start, end + 1):
             code = sf.code_lines[idx - 1]
             for pattern, label in BANNED_IN_HOT + BANNED_LOCK + \
                     BANNED_BLOCKING:
-                if pattern.search(code):
+                hit = False
+                for m in pattern.finditer(code):
+                    # A hot function legitimately named like a banned verb
+                    # (Server::poll) must not trip on its own signature or
+                    # self-recursion — only on a call to the foreign name.
+                    im = ident_re.search(m.group(0))
+                    if im and im.group(0) == fn_bare:
+                        continue
+                    hit = True
+                    break
+                if hit:
                     if sf.allowed("hotpath-alloc", idx):
                         continue
                     findings.append(Finding(

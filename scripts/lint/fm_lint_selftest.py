@@ -83,6 +83,20 @@ def main() -> int:
     expect("'frames_sent'" not in out, "documented name passes",
            out, failures)
 
+    print("fixture: counter_serve.cc")
+    rc, out = run_lint(os.path.join(FIXTURES, "counter_serve.cc"))
+    expect(rc != 0, "exits nonzero", out, failures)
+    expect("serve_undocumented_xyz" in out,
+           "flags undocumented serve counter", out, failures)
+    expect("servette.node0" in out,
+           "serve prefix is a whole path segment, not a substring",
+           out, failures)
+    expect("'serve.node0'" not in out, "serve.node scope passes",
+           out, failures)
+    expect("'requests_admitted'" not in out and
+           "'calls_shed_remote'" not in out,
+           "documented serve counters pass", out, failures)
+
     print("fixture: pragma_bad.h + pragma_clean.h")
     rc, out = run_lint(os.path.join(FIXTURES, "pragma_bad.h"),
                        os.path.join(FIXTURES, "pragma_clean.h"))

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Builds everything, runs the full test suite, every figure/table bench,
-# both hot-path trajectory benches (gated against the committed perf
-# trajectory), and all examples. This is the repository's one-command
+# the hot-path/serving trajectory benches (gated against the committed
+# perf trajectory), and all examples. This is the repository's one-command
 # verification.
 #
 # Every step runs even if an earlier one failed — a mid-sequence bench
@@ -36,7 +36,7 @@ run_figure_benches() {
     if [ ! -f "$b" ] || [ ! -x "$b" ]; then continue; fi
     case "$b" in *.cmake | *CMakeFiles*) continue ;;
     # The hot-path benches run explicitly below, with their JSON outputs.
-    */shm_hotpath | */net_hotpath | */rma_hotpath) continue ;; esac
+    */shm_hotpath | */net_hotpath | */rma_hotpath | */serve_loadgen) continue ;; esac
     echo "---- $b"
     if ! "$b"; then
       echo "FAILED: $b" >&2
@@ -59,17 +59,21 @@ run_trajectory_benches() {
     --trace=results/TRACE_shm_hotpath.json || return 1
   ./build/bench/net_hotpath --json="${stage}/BENCH_net.json" || return 1
   ./build/bench/rma_hotpath --json="${stage}/BENCH_rma.json" || return 1
+  ./build/bench/serve_loadgen --backend=shm \
+    --json="${stage}/BENCH_serve.json" || return 1
   if python3 scripts/bench_gate.py check \
     --fresh "${stage}/BENCH_shm.json" --fresh "${stage}/BENCH_net.json" \
-    --fresh "${stage}/BENCH_rma.json"; then
+    --fresh "${stage}/BENCH_rma.json" --fresh "${stage}/BENCH_serve.json"; then
     mv "${stage}/BENCH_shm.json" results/BENCH_shm.json
     mv "${stage}/BENCH_net.json" results/BENCH_net.json
     mv "${stage}/BENCH_rma.json" results/BENCH_rma.json
+    mv "${stage}/BENCH_serve.json" results/BENCH_serve.json
     rmdir "${stage}"
   else
     mv "${stage}/BENCH_shm.json" results/BENCH_shm.fresh.json
     mv "${stage}/BENCH_net.json" results/BENCH_net.fresh.json
     mv "${stage}/BENCH_rma.json" results/BENCH_rma.fresh.json
+    mv "${stage}/BENCH_serve.json" results/BENCH_serve.fresh.json
     rmdir "${stage}"
     echo "perf gate red: fresh runs kept as results/BENCH_*.fresh.json" >&2
     return 1

@@ -23,6 +23,10 @@ enum class Status : int {
   kClosed,          ///< Endpoint has been shut down.
   kPeerDead,        ///< FM-R declared the destination dead (max retries).
   kInternal,        ///< Invariant violation inside the layer (bug).
+  // --- serving-plane admission vocabulary (src/serve, src/rpc) ---
+  kOverload,        ///< Admission control shed the request; retry later.
+  kDeadline,        ///< The caller's deadline expired before completion.
+  kCancelled,       ///< The operation was cancelled by its issuer.
 };
 
 /// Human-readable name for a Status value.
@@ -35,6 +39,9 @@ constexpr std::string_view to_string(Status s) {
     case Status::kClosed: return "closed";
     case Status::kPeerDead: return "peer-dead";
     case Status::kInternal: return "internal";
+    case Status::kOverload: return "overload";
+    case Status::kDeadline: return "deadline";
+    case Status::kCancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -1,5 +1,6 @@
 #include "rpc/rpc.h"
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 
@@ -19,9 +20,17 @@ std::vector<std::uint8_t> pack(std::uint8_t kind, std::uint16_t method,
   return wire;
 }
 
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
-RpcEngine::RpcEngine(shm::Endpoint& ep) : ep_(ep) {
+RpcEngine::RpcEngine(shm::Endpoint& ep, const RpcConfig& cfg)
+    : ep_(ep), cfg_(cfg) {
   handler_ = ep_.register_handler(
       [this](shm::Endpoint&, NodeId src, const void* data, std::size_t len) {
         on_message(src, data, len);
@@ -30,11 +39,33 @@ RpcEngine::RpcEngine(shm::Endpoint& ep) : ep_(ep) {
 
 Future RpcEngine::call(NodeId target, std::uint16_t method, const void* args,
                        std::size_t len) {
+  return call_deadline(target, method, args, len, cfg_.default_deadline_ns);
+}
+
+Future RpcEngine::call_deadline(NodeId target, std::uint16_t method,
+                                const void* args, std::size_t len,
+                                std::uint64_t deadline_ns) {
   FM_CHECK_MSG(method < methods_.size(), "unregistered method");
+  // Bounded window: service the endpoint until a slot frees. The deadline
+  // sweep inside poll() releases slots of overdue calls, so progress is
+  // guaranteed whenever deadlines are in use.
+  while (inflight_ >= cfg_.max_inflight) {
+    poll();
+    std::this_thread::yield();
+  }
   std::uint32_t id = next_call_++;
-  reply_ready_[id] = false;
+  PendingCall& pc = pending_[id];
+  pc.target = target;
+  pc.status = Status::kAgain;
+  pc.deadline_abs_ns = deadline_ns == 0 ? 0 : now_ns() + deadline_ns;
+  ++inflight_;
+  ++stats_.calls_sent;
   auto wire = pack(kRequest, method, id, args, len);
   Status s = ep_.send(target, handler_, wire.data(), wire.size());
+  if (s == Status::kPeerDead) {
+    abandon(id, Status::kPeerDead);
+    return Future(*this, id);
+  }
   FM_CHECK_MSG(ok(s), "rpc request send failed");
   return Future(*this, id);
 }
@@ -45,6 +76,37 @@ void RpcEngine::cast(NodeId target, std::uint16_t method, const void* args,
   auto wire = pack(kCast, method, 0, args, len);
   Status s = ep_.send_or_post(target, handler_, wire.data(), wire.size());
   FM_CHECK_MSG(ok(s), "rpc cast send failed");
+}
+
+void RpcEngine::poll() {
+  ep_.extract();
+  sweep();
+}
+
+void RpcEngine::sweep() {
+  if (inflight_ == 0) return;
+  const std::uint64_t t = now_ns();
+  for (auto& [id, pc] : pending_) {
+    if (pc.status != Status::kAgain) continue;
+    if (pc.deadline_abs_ns != 0 && t >= pc.deadline_abs_ns) {
+      abandon(id, Status::kDeadline);
+    } else if (ep_.peer_dead(pc.target)) {
+      abandon(id, Status::kPeerDead);
+    }
+  }
+}
+
+void RpcEngine::abandon(std::uint32_t call_id, Status why) {
+  PendingCall* pc = find(call_id);
+  FM_CHECK(pc != nullptr && pc->status == Status::kAgain);
+  pc->status = why;
+  --inflight_;
+  ++stats_.calls_abandoned;
+}
+
+RpcEngine::PendingCall* RpcEngine::find(std::uint32_t call_id) {
+  auto it = pending_.find(call_id);
+  return it == pending_.end() ? nullptr : &it->second;
 }
 
 void RpcEngine::on_message(NodeId src, const void* data, std::size_t len) {
@@ -74,13 +136,20 @@ void RpcEngine::on_message(NodeId src, const void* data, std::size_t len) {
       break;
     }
     case kReply: {
-      auto it = reply_ready_.find(call_id);
-      FM_CHECK_MSG(it != reply_ready_.end() && !it->second,
-                   "reply for unknown or completed call");
-      it->second = true;
-      replies_[call_id].assign(static_cast<const std::uint8_t*>(payload),
-                               static_cast<const std::uint8_t*>(payload) +
-                                   payload_len);
+      PendingCall* pc = find(call_id);
+      if (pc == nullptr || pc->status != Status::kAgain) {
+        // The slot was released (deadline, cancel, dead-peer verdict) or
+        // the id was never ours: a late reply racing FM-R's retransmit
+        // horizon. Tolerated, counted, dropped.
+        ++stats_.orphan_replies;
+        break;
+      }
+      pc->status = Status::kOk;
+      pc->reply.assign(static_cast<const std::uint8_t*>(payload),
+                       static_cast<const std::uint8_t*>(payload) +
+                           payload_len);
+      --inflight_;
+      ++stats_.replies_delivered;
       break;
     }
     default:
@@ -88,27 +157,44 @@ void RpcEngine::on_message(NodeId src, const void* data, std::size_t len) {
   }
 }
 
-bool RpcEngine::take_reply(std::uint32_t call_id,
-                           std::vector<std::uint8_t>& out) {
-  auto it = reply_ready_.find(call_id);
-  FM_CHECK_MSG(it != reply_ready_.end(), "future already consumed");
-  if (!it->second) return false;
-  out = std::move(replies_[call_id]);
-  return true;
-}
-
 bool Future::ready() {
   engine_->poll();
-  auto it = engine_->reply_ready_.find(call_id_);
-  return it != engine_->reply_ready_.end() && it->second;
+  const RpcEngine::PendingCall* pc = engine_->find(call_id_);
+  FM_CHECK_MSG(pc != nullptr, "future already consumed");
+  return pc->status != Status::kAgain;
+}
+
+Status Future::status() const {
+  const RpcEngine::PendingCall* pc = engine_->find(call_id_);
+  FM_CHECK_MSG(pc != nullptr, "future already consumed");
+  return pc->status;
+}
+
+void Future::cancel() {
+  RpcEngine::PendingCall* pc = engine_->find(call_id_);
+  if (pc == nullptr || pc->status != Status::kAgain) return;  // resolved
+  engine_->abandon(call_id_, Status::kCancelled);
 }
 
 std::vector<std::uint8_t>& Future::wait() {
-  // Service the network until the reply lands.
-  while (!engine_->reply_ready_.at(call_id_)) {
+  while (!ready()) {
     if (engine_->ep_.extract() == 0) std::this_thread::yield();
   }
-  return engine_->replies_.at(call_id_);
+  RpcEngine::PendingCall* pc = engine_->find(call_id_);
+  FM_CHECK_MSG(pc->status == Status::kOk,
+               "rpc call failed; use wait_result() for fallible calls");
+  return pc->reply;
+}
+
+Status Future::wait_result(std::vector<std::uint8_t>& out) {
+  while (!ready()) {
+    if (engine_->ep_.extract() == 0) std::this_thread::yield();
+  }
+  auto it = engine_->pending_.find(call_id_);
+  const Status st = it->second.status;
+  if (st == Status::kOk) out = std::move(it->second.reply);
+  engine_->pending_.erase(it);
+  return st;
 }
 
 }  // namespace fm::rpc

@@ -9,6 +9,21 @@
 // call-ids matching replies to pending calls, and a poll-driven Future.
 // Everything rides the three-call FM API.
 //
+// Serving-plane hardening (used by src/serve's API contract):
+//   * deadlines    — a call may carry one; when it expires the Future
+//     resolves kDeadline and the call's window slot is released, so one
+//     lost peer cannot wedge the caller. A reply that arrives after the
+//     slot was released is an *orphan*: tolerated and counted, never a
+//     crash (the FM-R retransmit horizon can legitimately outlast a tight
+//     deadline).
+//   * cancellation — cancel() resolves a pending Future kCancelled and
+//     releases its slot; the late reply, if any, is an orphan.
+//   * bounded window — at most RpcConfig::max_inflight calls outstanding;
+//     call() services the endpoint until a slot frees (deadline expiry
+//     guarantees progress when deadlines are set).
+//   * conservation — calls_sent == replies_delivered + calls_abandoned +
+//     pending() at every quiescent point (tests/rpc/rpc_deadline_test).
+//
 // One RpcEngine per node thread, wrapping that thread's shm::Endpoint.
 #pragma once
 
@@ -19,6 +34,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "shm/cluster.h"
 
@@ -26,14 +42,42 @@ namespace fm::rpc {
 
 class RpcEngine;
 
+/// RPC-layer tunables.
+struct RpcConfig {
+  /// Outstanding calls before call() blocks servicing the endpoint.
+  std::size_t max_inflight = 64;
+  /// Deadline applied by the two-argument call(); 0 = none.
+  std::uint64_t default_deadline_ns = 0;
+};
+
+/// Conservation ledger: calls_sent == replies_delivered + calls_abandoned
+/// + pending slots, always.
+struct RpcStats {
+  std::uint64_t calls_sent = 0;         ///< Requests issued (reply expected).
+  std::uint64_t replies_delivered = 0;  ///< Futures resolved kOk.
+  std::uint64_t calls_abandoned = 0;    ///< Resolved kDeadline / kCancelled /
+                                        ///< kPeerDead (slot released early).
+  std::uint64_t orphan_replies = 0;     ///< Replies for released slots.
+};
+
 /// Handle to an outstanding remote call. Poll-driven (FM style): ready()
 /// and wait() service the endpoint.
 class Future {
  public:
-  /// True once the reply has arrived (services the network).
+  /// True once the call resolved — with a reply OR a failure (services the
+  /// network and the deadline sweep).
   bool ready();
-  /// Blocks (polling) until the reply arrives; returns the reply bytes.
+  /// Blocks (polling) until the call resolves with a reply; returns the
+  /// reply bytes. Checks-fails if it resolved kDeadline / kCancelled /
+  /// kPeerDead — use wait_result() when failure is an expected outcome.
   std::vector<std::uint8_t>& wait();
+  /// Blocks (polling) until the call resolves either way. kOk fills `out`.
+  Status wait_result(std::vector<std::uint8_t>& out);
+  /// Resolution so far: kAgain while pending, else the final status.
+  Status status() const;
+  /// Cancels the call if still pending (resolves it kCancelled and tells
+  /// nobody — the reply, if one comes, is an orphan).
+  void cancel();
 
  private:
   friend class RpcEngine;
@@ -53,7 +97,7 @@ class RpcEngine {
 
   /// Wraps `ep`. Construct at the same handler-registration point on every
   /// node (SPMD).
-  explicit RpcEngine(shm::Endpoint& ep);
+  explicit RpcEngine(shm::Endpoint& ep, const RpcConfig& cfg = RpcConfig());
   RpcEngine(const RpcEngine&) = delete;
   RpcEngine& operator=(const RpcEngine&) = delete;
 
@@ -64,33 +108,59 @@ class RpcEngine {
     return static_cast<std::uint16_t>(methods_.size() - 1);
   }
 
-  /// Starts a remote invocation; the Future resolves with the reply.
+  /// Starts a remote invocation; the Future resolves with the reply (or,
+  /// under the config's default deadline, kDeadline).
   Future call(NodeId target, std::uint16_t method, const void* args,
               std::size_t len);
+
+  /// As call(), with an explicit deadline this many ns from now (0 = no
+  /// deadline).
+  Future call_deadline(NodeId target, std::uint16_t method, const void* args,
+                       std::size_t len, std::uint64_t deadline_ns);
 
   /// Fire-and-forget invocation (reply, if any, is discarded).
   void cast(NodeId target, std::uint16_t method, const void* args,
             std::size_t len);
 
-  /// Services the endpoint once.
-  void poll() { ep_.extract(); }
+  /// Services the endpoint once and sweeps deadlines / dead peers.
+  void poll();
+
+  /// Calls whose slots are still held (unresolved).
+  std::size_t pending() const { return inflight_; }
+  const RpcStats& stats() const { return stats_; }
 
   shm::Endpoint& endpoint() { return ep_; }
 
  private:
   friend class Future;
 
+  struct PendingCall {
+    NodeId target = 0;
+    Status status = Status::kAgain;  ///< kAgain = unresolved.
+    std::uint64_t deadline_abs_ns = 0;  ///< 0 = none.
+    std::vector<std::uint8_t> reply;
+  };
+
   // Wire: [u8 kind][u16 method][u32 call_id][payload]
   //   kind 0 = request expecting a reply, 1 = reply, 2 = one-way cast
   void on_message(NodeId src, const void* data, std::size_t len);
-  bool take_reply(std::uint32_t call_id, std::vector<std::uint8_t>& out);
+  /// Fails overdue / dead-peer calls, releasing their window slots.
+  void sweep();
+  /// Resolves a pending call with a failure and releases its window slot;
+  /// the entry stays until the Future consumes the status.
+  void abandon(std::uint32_t call_id, Status why);
+  PendingCall* find(std::uint32_t call_id);
 
   shm::Endpoint& ep_;
+  RpcConfig cfg_;
   HandlerId handler_;
   std::vector<Method> methods_;
   std::uint32_t next_call_ = 1;
-  std::map<std::uint32_t, std::vector<std::uint8_t>> replies_;
-  std::map<std::uint32_t, bool> reply_ready_;
+  /// Unresolved calls (holding window slots) and resolved-but-unconsumed
+  /// results; erased when the Future consumes them.
+  std::map<std::uint32_t, PendingCall> pending_;
+  std::size_t inflight_ = 0;  ///< Unresolved subset of pending_.
+  RpcStats stats_;
 };
 
 }  // namespace fm::rpc

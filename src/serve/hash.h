@@ -1,0 +1,57 @@
+// Session -> shard placement: rendezvous (highest-random-weight) hashing.
+//
+// The serving plane presents one logical ingress over N shards; the
+// "ingress" is this pure function, computed identically by every client,
+// so no directory service sits on the request path. Rendezvous hashing
+// gives the property the rebalancing story needs: when a shard leaves the
+// live set (drain or death), only the sessions that lived on it move, and
+// each lands on the shard that was its runner-up — no global reshuffle.
+#pragma once
+
+#include <cstdint>
+
+#include "common/annotate.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace fm::serve {
+
+/// Mixes (session, shard) into a comparable weight. SplitMix64 finisher:
+/// cheap, and the avalanche is plenty for placement.
+FM_HOT_PATH inline std::uint64_t placement_weight(std::uint64_t session,
+                                                  std::uint32_t shard) {
+  std::uint64_t x = session ^ (0x9e3779b97f4a7c15ull * (shard + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// The owning shard for `session` among the live shards named by
+/// `live_mask` (bit i = shard i is accepting). At least one bit must be
+/// set. Shards are ranks [0, n_shards) of the cluster.
+FM_HOT_PATH inline std::uint32_t shard_for(std::uint64_t session,
+                                           std::uint32_t n_shards,
+                                           std::uint64_t live_mask) {
+  FM_CHECK_MSG(n_shards >= 1 && n_shards <= 64, "shard count out of range");
+  FM_CHECK_MSG((live_mask & ((n_shards == 64 ? ~0ull
+                                             : (1ull << n_shards) - 1))) != 0,
+               "no live shards");
+  std::uint32_t best = 0;
+  std::uint64_t best_w = 0;
+  bool found = false;
+  for (std::uint32_t s = 0; s < n_shards; ++s) {
+    if ((live_mask & (1ull << s)) == 0) continue;
+    std::uint64_t w = placement_weight(session, s);
+    if (!found || w > best_w) {
+      best = s;
+      best_w = w;
+      found = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace fm::serve

@@ -1,0 +1,16 @@
+// Explicit instantiations of the serving plane for the two real
+// transports. (The sim backend's coroutine scheduler has no preemptive
+// shard loop to serve from; see the backend matrix in README.md.)
+#include "net/endpoint.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "shm/endpoint.h"
+
+namespace fm::serve {
+
+template class Server<shm::Endpoint>;
+template class Server<net::Endpoint>;
+template class Client<shm::Endpoint>;
+template class Client<net::Endpoint>;
+
+}  // namespace fm::serve

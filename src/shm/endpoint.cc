@@ -236,18 +236,18 @@ Status Endpoint::send_data_frame(NodeId dest, HandlerId handler,
 }
 
 void Endpoint::inject(NodeId dest, const std::uint8_t* frame, std::size_t len,
-                      std::uint32_t window_seq) {
+                      std::uint32_t window_seq, bool nonblocking) {
   if (faults_) {
     // Fault-injection runs only in test configurations; the copies it makes
     // are off the steady state by construction (hence the cold boundary).
-    inject_faulty(dest, frame, len);
+    inject_faulty(dest, frame, len, nonblocking);
     return;
   }
-  push(dest, frame, len, window_seq);
+  push(dest, frame, len, window_seq, nonblocking);
 }
 
 void Endpoint::inject_faulty(NodeId dest, const std::uint8_t* frame,
-                             std::size_t len) {
+                             std::size_t len, bool nonblocking) {
   // The fault paths below copy the frame into stable local storage before
   // any push, so slab-slot recycling cannot bite them: window_seq is not
   // forwarded.
@@ -269,13 +269,14 @@ void Endpoint::inject_faulty(NodeId dest, const std::uint8_t* frame,
     reorder_held_[dest] = std::move(bytes);
     return;
   }
-  push(dest, bytes.data(), bytes.size());
-  if (dup) push(dest, bytes.data(), bytes.size());
-  if (!release.empty()) push(dest, release.data(), release.size());
+  push(dest, bytes.data(), bytes.size(), 0, nonblocking);
+  if (dup) push(dest, bytes.data(), bytes.size(), 0, nonblocking);
+  if (!release.empty())
+    push(dest, release.data(), release.size(), 0, nonblocking);
 }
 
 void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
-                    std::uint32_t window_seq) {
+                    std::uint32_t window_seq, bool nonblocking) {
   SpscRing& ring = cluster_.ring(id_, dest);
   // This endpoint is, by cluster construction, the only writer of its
   // outgoing rings: claim the producer side for the ownership analysis.
@@ -283,6 +284,12 @@ void Endpoint::push(NodeId dest, const std::uint8_t* frame, std::size_t len,
   // A full ring is backpressure: keep servicing our own receive side while
   // waiting so two nodes blasting each other cannot deadlock.
   while (!ring.try_push(frame, len)) {
+    // Nonblocking pushes drop on backpressure instead: the caller holds a
+    // retained copy (FM-R) and must not spin here — notably the tick's
+    // retransmissions, where the nested extract below cannot escalate the
+    // very timers whose expiry is the only way out of a dead peer's
+    // permanently full ring.
+    if (nonblocking) return;
     if (extract() == 0) idle_pause();
     // When `frame` points into the window slab, the nested extract can
     // invalidate it: a dead-peer declaration drops the slot, and a
@@ -474,7 +481,13 @@ void Endpoint::reliability_tick() {
     // fm-lint: allow(hotpath-alloc): scratch capacity was reserved at
     // construction, and a timeout retransmission is already recovery.
     retx_scratch_.assign(stored.data, stored.data + stored.len);
-    inject(due.dest, retx_scratch_.data(), retx_scratch_.size());
+    // Nonblocking: a full ring to an unresponsive peer must not spin this
+    // tick (the re-entrancy guard means a nested extract can never run the
+    // escalation that declares the peer dead — the only exit). The frame
+    // stays retained and armed; the next expiry retries, and an exhausted
+    // budget still produces the dead-peer verdict.
+    inject(due.dest, retx_scratch_.data(), retx_scratch_.size(), 0,
+           /*nonblocking=*/true);
   }
   in_reliability_tick_ = false;
 }

@@ -170,16 +170,20 @@ class Endpoint {
   // `window_seq` names the send-window entry when `frame` points into the
   // window slab (0 — never a valid seq — otherwise): a blocked push must
   // re-validate the slot after nested extract()s, which can release and
-  // recycle it (see push()).
+  // recycle it (see push()). `nonblocking` turns a full destination ring
+  // into a silent drop instead of a backpressure spin — only sound for
+  // frames FM-R retains elsewhere (retransmissions; see reliability_tick).
   FM_HOT_PATH void inject(NodeId dest, const std::uint8_t* frame,
-                          std::size_t len, std::uint32_t window_seq = 0);
+                          std::size_t len, std::uint32_t window_seq = 0,
+                          bool nonblocking = false);
   // The fault-model detour: copies the frame to stable storage, then
   // drops/corrupts/duplicates/reorders. Test-configuration-only, so it is
   // an explicit cold boundary off the allocation-free steady state.
   FM_COLD_PATH void inject_faulty(NodeId dest, const std::uint8_t* frame,
-                                  std::size_t len);
+                                  std::size_t len, bool nonblocking);
   FM_HOT_PATH void push(NodeId dest, const std::uint8_t* frame,
-                        std::size_t len, std::uint32_t window_seq = 0);
+                        std::size_t len, std::uint32_t window_seq = 0,
+                        bool nonblocking = false);
   FM_HOT_PATH void process_frame(NodeId from, const std::uint8_t* data,
                                  std::size_t len);
   FM_HOT_PATH void send_standalone_ack(NodeId peer);

@@ -1,12 +1,21 @@
 #include "stream/stream.h"
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 
 namespace fm::stream {
 namespace {
 constexpr std::size_t kMsgHeader = 9;  // u8 type + u32 conn + u32 arg
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Connection
@@ -24,9 +33,10 @@ bool Connection::write(const void* buf, std::size_t len) {
     if (fin_sent_) return false;
     std::size_t n = std::min(chunk, len - off);
     // Respect the peer's window: block (servicing the endpoint) until the
-    // receiver grants more credit.
+    // receiver grants more credit. A dead-peer verdict breaks the wait —
+    // credit from a dead receiver is never coming.
     while (tx_credit_ < n) {
-      if (peer_fin_) return false;  // peer went away
+      if (peer_fin_ || peer_dead()) return false;  // peer went away
       mgr_.poll();
       if (tx_credit_ < n) std::this_thread::yield();
     }
@@ -38,10 +48,12 @@ bool Connection::write(const void* buf, std::size_t len) {
   return true;
 }
 
+bool Connection::peer_dead() const { return mgr_.ep_.peer_dead(peer_); }
+
 std::size_t Connection::read(void* buf, std::size_t maxlen) {
   if (maxlen == 0) return 0;
   while (rx_buffer_.empty()) {
-    if (peer_fin_) return 0;  // EOF
+    if (peer_fin_ || peer_dead()) return 0;  // EOF (orderly or broken)
     mgr_.poll();
     if (rx_buffer_.empty()) std::this_thread::yield();
   }
@@ -60,6 +72,22 @@ std::size_t Connection::read(void* buf, std::size_t maxlen) {
     credit_owed_ = 0;
   }
   return n;
+}
+
+Status Connection::read_deadline(void* buf, std::size_t maxlen,
+                                 std::size_t* n, std::uint64_t deadline_ns) {
+  *n = 0;
+  if (maxlen == 0) return Status::kOk;
+  const std::uint64_t limit = now_ns() + deadline_ns;
+  while (rx_buffer_.empty()) {
+    if (peer_fin_) return Status::kOk;  // EOF, *n = 0
+    if (peer_dead()) return Status::kPeerDead;
+    if (now_ns() >= limit) return Status::kDeadline;
+    mgr_.poll();
+    if (rx_buffer_.empty()) std::this_thread::yield();
+  }
+  *n = read(buf, maxlen);  // buffered data: completes without blocking
+  return Status::kOk;
 }
 
 std::size_t Connection::read_exact(void* buf, std::size_t len) {
@@ -105,12 +133,30 @@ Connection& StreamMgr::alloc_connection(NodeId peer, std::uint32_t peer_id) {
 Connection& StreamMgr::connect(NodeId peer, std::uint16_t port) {
   Connection& conn = alloc_connection(peer, /*peer_id=*/0);
   send_msg(peer, Type::kSyn, port, conn.id_, nullptr, 0);
-  // Block until the SYN_ACK fills in the peer's connection id.
+  // Block until the SYN_ACK fills in the peer's connection id. A dead-peer
+  // verdict turns an infinite hang into a diagnosable failure.
   while (conn.peer_id_ == 0) {
+    FM_CHECK_MSG(!ep_.peer_dead(peer), "connect(): peer declared dead");
     poll();
     if (conn.peer_id_ == 0) std::this_thread::yield();
   }
   return conn;
+}
+
+Connection* StreamMgr::try_connect(NodeId peer, std::uint16_t port,
+                                   std::uint64_t deadline_ns) {
+  Connection& conn = alloc_connection(peer, /*peer_id=*/0);
+  send_msg(peer, Type::kSyn, port, conn.id_, nullptr, 0);
+  const std::uint64_t limit = now_ns() + deadline_ns;
+  while (conn.peer_id_ == 0) {
+    if (ep_.peer_dead(peer) || now_ns() >= limit) {
+      connections_.erase(conn.id_);
+      return nullptr;
+    }
+    poll();
+    if (conn.peer_id_ == 0) std::this_thread::yield();
+  }
+  return &conn;
 }
 
 Connection& StreamMgr::accept(std::uint16_t port) {
@@ -166,15 +212,16 @@ void StreamMgr::on_message(NodeId src, const void* data, std::size_t len) {
       break;
     }
     case Type::kSynAck: {
-      // conn_field = our connection id, arg = peer's connection id.
+      // conn_field = our connection id, arg = peer's connection id. An
+      // unknown id is a handshake try_connect() abandoned: drop it.
       auto it = connections_.find(conn_field);
-      FM_CHECK_MSG(it != connections_.end(), "SYN_ACK for unknown connection");
+      if (it == connections_.end()) break;
       it->second->peer_id_ = arg;
       break;
     }
     case Type::kData: {
       auto it = connections_.find(conn_field);
-      FM_CHECK_MSG(it != connections_.end(), "DATA for unknown connection");
+      if (it == connections_.end()) break;  // abandoned handshake straggler
       Connection& c = *it->second;
       if (arg == c.rx_seq_) {
         c.rx_buffer_.insert(c.rx_buffer_.end(), payload,
@@ -198,13 +245,13 @@ void StreamMgr::on_message(NodeId src, const void* data, std::size_t len) {
     }
     case Type::kWindow: {
       auto it = connections_.find(conn_field);
-      FM_CHECK_MSG(it != connections_.end(), "WINDOW for unknown connection");
+      if (it == connections_.end()) break;  // abandoned handshake straggler
       it->second->tx_credit_ += arg;
       break;
     }
     case Type::kFin: {
       auto it = connections_.find(conn_field);
-      FM_CHECK_MSG(it != connections_.end(), "FIN for unknown connection");
+      if (it == connections_.end()) break;  // abandoned handshake straggler
       it->second->peer_fin_ = true;
       break;
     }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/status.h"
 #include "common/types.h"
 #include "shm/cluster.h"
 
@@ -37,15 +38,28 @@ class StreamMgr;
 class Connection {
  public:
   /// Writes all `len` bytes (blocking while the peer's window is closed).
-  /// Returns false if the connection is closed before everything is sent.
+  /// Returns false if the connection is closed — or the peer is declared
+  /// dead — before everything is sent (no infinite block on a dead peer).
   bool write(const void* buf, std::size_t len);
 
-  /// Reads 1..maxlen bytes (blocking until data or EOF). Returns the byte
-  /// count, or 0 on EOF (peer closed and buffer drained).
+  /// Reads 1..maxlen bytes (blocking until data, EOF, or a dead-peer
+  /// verdict). Returns the byte count, or 0 on EOF (peer closed — or died —
+  /// and buffer drained).
   std::size_t read(void* buf, std::size_t maxlen);
 
   /// Reads exactly `len` bytes unless EOF intervenes; returns bytes read.
   std::size_t read_exact(void* buf, std::size_t len);
+
+  /// Deadline-bounded read: as read(), but gives up after `deadline_ns`
+  /// nanoseconds without data. kOk fills *n (0 = EOF); kDeadline means no
+  /// data arrived in time (*n = 0); kPeerDead means FM-R declared the peer
+  /// dead with the buffer drained.
+  Status read_deadline(void* buf, std::size_t maxlen, std::size_t* n,
+                       std::uint64_t deadline_ns);
+
+  /// True when FM-R declared the peer dead (reads drain then return 0;
+  /// writes fail).
+  bool peer_dead() const;
 
   /// Sends FIN. Reading may continue until the peer's data is drained.
   void close();
@@ -91,8 +105,14 @@ class StreamMgr {
   /// Starts accepting connections on `port`.
   void listen(std::uint16_t port);
 
-  /// Connects to `port` on `peer`; blocks until established.
+  /// Connects to `port` on `peer`; blocks until established (checks-fails
+  /// if the peer is declared dead while connecting).
   Connection& connect(NodeId peer, std::uint16_t port);
+
+  /// As connect(), but returns nullptr instead of blocking forever when
+  /// the peer dies or `deadline_ns` nanoseconds pass unanswered.
+  Connection* try_connect(NodeId peer, std::uint16_t port,
+                          std::uint64_t deadline_ns);
 
   /// Blocks until a connection arrives on listening `port`.
   Connection& accept(std::uint16_t port);

@@ -1,0 +1,281 @@
+// The serving-plane hardening of fm::rpc under the PR-1 fault model
+// (hw::FaultParams): dropped replies resolve kDeadline instead of wedging,
+// deadline expiry releases window slots so a bounded-window caller keeps
+// making progress through total loss, late replies for released slots are
+// counted orphans (never a crash), cancel() frees a slot the same way, and
+// through all of it the ledger conserves:
+//
+//   calls_sent == replies_delivered + calls_abandoned + pending()
+//
+// The last test closes the loop with the paper's layering argument: the
+// SAME lossy fabric with FM-R underneath delivers every call — the fault
+// model is survivable one layer down, so the RPC deadline machinery is
+// policy, not a correctness crutch.
+#include "rpc/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "hw/fault.h"
+#include "shm/cluster.h"
+
+namespace fm::rpc {
+namespace {
+
+constexpr std::uint64_t kMs = 1'000'000;
+
+/// Echo method: reply = request bytes, each incremented (so a reply that
+/// matched the wrong call would be caught by content, not just by id).
+std::uint16_t register_echo_inc(RpcEngine& rpc,
+                                std::atomic<std::uint64_t>* served = nullptr) {
+  return rpc.register_method(
+      [served](NodeId, const void* data, std::size_t len) {
+        std::vector<std::uint8_t> out(len);
+        const auto* in = static_cast<const std::uint8_t*>(data);
+        for (std::size_t i = 0; i < len; ++i)
+          out[i] = static_cast<std::uint8_t>(in[i] + 1);
+        if (served) served->fetch_add(1);
+        return out;
+      });
+}
+
+TEST(RpcDeadline, DroppedTrafficResolvesDeadlineAndLedgerConserves) {
+  // 20% of frames vanish; reliability stays OFF, so a dropped request or
+  // reply is simply gone and only the deadline can resolve the call. Flow
+  // control must be off too: with acks on but no retransmit timer, every
+  // dropped frame would leak a send-window slot forever and the sender
+  // would eventually spin on a window that can never drain — the lossy
+  // profile is FM 1.0's plain streamed mode.
+  hw::FaultParams faults;
+  faults.drop_rate = 0.20;
+  faults.seed = 0xd15ea5e;
+  FmConfig cfg;
+  cfg.flow_control = false;
+  shm::Cluster cluster(2, cfg, 256, faults);
+
+  constexpr std::size_t kCalls = 200;
+  std::atomic<bool> done{false};
+  std::uint64_t oks = 0, deadlines = 0, bad_payload = 0;
+  const RunReport r = cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t echo = register_echo_inc(rpc);
+    if (ep.id() != 0) {
+      while (!done.load()) rpc.poll();
+      return;
+    }
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      std::uint32_t v = static_cast<std::uint32_t>(i);
+      Future f = rpc.call_deadline(1, echo, &v, sizeof v, 2 * kMs);
+      switch (f.wait_result(out)) {
+        case Status::kOk: {
+          ++oks;
+          std::uint32_t got;
+          ASSERT_EQ(out.size(), sizeof got);
+          std::memcpy(&got, out.data(), sizeof got);
+          std::uint32_t want = v;
+          for (std::size_t b = 0; b < sizeof want; ++b)
+            reinterpret_cast<std::uint8_t*>(&want)[b] += 1;
+          if (got != want) ++bad_payload;
+          break;
+        }
+        case Status::kDeadline:
+          ++deadlines;
+          break;
+        default:
+          ADD_FAILURE() << "unexpected resolution for call " << i;
+      }
+    }
+    // Quiescent point: every Future consumed, so pending() must be zero
+    // and the ledger must balance exactly.
+    const RpcStats& s = rpc.stats();
+    EXPECT_EQ(rpc.pending(), 0u);
+    EXPECT_EQ(s.calls_sent, kCalls);
+    EXPECT_EQ(s.calls_sent,
+              s.replies_delivered + s.calls_abandoned + rpc.pending());
+    EXPECT_EQ(s.replies_delivered, oks);
+    EXPECT_EQ(s.calls_abandoned, deadlines);
+    done = true;
+  });
+  EXPECT_TRUE(r.all_clean());
+  EXPECT_EQ(oks + deadlines, kCalls);
+  EXPECT_EQ(bad_payload, 0u);
+  // With a 20% per-frame loss each call survives with p = 0.8^2; across
+  // 200 seeded-PRNG calls both outcomes are certain to occur.
+  EXPECT_GT(oks, 0u) << "every call was dropped";
+  EXPECT_GT(deadlines, 0u) << "fault injection never dropped a call";
+}
+
+TEST(RpcDeadline, WindowSlotsReleaseUnderTotalLoss) {
+  // Every frame is destroyed. With max_inflight = 4 and 12 calls, the
+  // caller can only finish if deadline expiry releases window slots —
+  // call_deadline() blocks servicing the endpoint until a slot frees, so a
+  // sweep that failed to abandon overdue calls would wedge this test.
+  hw::FaultParams faults;
+  faults.burst_rate = 1.0;
+  faults.burst_len = 1u << 20;
+  faults.seed = 0xb1ac;
+  FmConfig cfg;
+  cfg.flow_control = false;  // lossy profile: see the previous test
+  shm::Cluster cluster(2, cfg, 256, faults);
+
+  constexpr std::size_t kCalls = 12;
+  RpcConfig rcfg;
+  rcfg.max_inflight = 4;
+  const RunReport r = cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep, rcfg);
+    std::uint16_t echo = register_echo_inc(rpc);
+    if (ep.id() != 0) {
+      // Nothing ever arrives; rendezvous without servicing.
+      cluster.barrier();
+      return;
+    }
+    std::vector<Future> calls;
+    calls.reserve(kCalls);
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      std::uint32_t v = static_cast<std::uint32_t>(i);
+      calls.push_back(rpc.call_deadline(1, echo, &v, sizeof v, kMs));
+    }
+    std::vector<std::uint8_t> out;
+    for (Future& f : calls) EXPECT_EQ(f.wait_result(out), Status::kDeadline);
+    const RpcStats& s = rpc.stats();
+    EXPECT_EQ(s.calls_sent, kCalls);
+    EXPECT_EQ(s.calls_abandoned, kCalls);
+    EXPECT_EQ(s.replies_delivered, 0u);
+    EXPECT_EQ(rpc.pending(), 0u);
+    EXPECT_EQ(s.calls_sent,
+              s.replies_delivered + s.calls_abandoned + rpc.pending());
+    cluster.barrier();
+  });
+  EXPECT_TRUE(r.all_clean());
+  EXPECT_FALSE(r.timed_out);
+}
+
+TEST(RpcDeadline, LateReplyAfterDeadlineIsACountedOrphan) {
+  // The responder stalls at a plain (non-servicing) barrier, so the
+  // request sits undelivered past the caller's deadline; once released,
+  // the responder serves it and the reply lands on a released slot.
+  shm::Cluster cluster(2);
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> done{false};
+  const RunReport r = cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t echo = register_echo_inc(rpc, &served);
+    if (ep.id() != 0) {
+      cluster.barrier();  // stall: the deadline fires while we sit here
+      while (!done.load()) rpc.poll();
+      ep.drain();
+      return;
+    }
+    std::uint32_t v = 7;
+    Future f = rpc.call_deadline(1, echo, &v, sizeof v, kMs);
+    std::vector<std::uint8_t> out{0xEE};
+    EXPECT_EQ(f.wait_result(out), Status::kDeadline);
+    EXPECT_EQ(out.size(), 1u) << "a failed call must not touch the output";
+    EXPECT_EQ(rpc.pending(), 0u) << "deadline expiry must release the slot";
+    EXPECT_EQ(rpc.stats().calls_abandoned, 1u);
+    cluster.barrier();  // wake the responder; its reply is now an orphan
+    while (rpc.stats().orphan_replies < 1) rpc.poll();
+    EXPECT_EQ(served.load(), 1u);
+    EXPECT_EQ(rpc.stats().replies_delivered, 0u);
+    const RpcStats& s = rpc.stats();
+    EXPECT_EQ(s.calls_sent,
+              s.replies_delivered + s.calls_abandoned + rpc.pending());
+    done = true;
+    ep.drain();
+  });
+  EXPECT_TRUE(r.all_clean());
+}
+
+TEST(RpcDeadline, CancelReleasesTheSlotAndItsReplyIsAnOrphan) {
+  shm::Cluster cluster(2);
+  std::atomic<std::uint64_t> served{0};
+  std::atomic<bool> done{false};
+  const RunReport r = cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t echo = register_echo_inc(rpc, &served);
+    if (ep.id() != 0) {
+      cluster.barrier();  // stall until the caller has cancelled
+      while (!done.load()) rpc.poll();
+      ep.drain();
+      return;
+    }
+    std::uint32_t v = 9;
+    Future f = rpc.call(1, echo, &v, sizeof v);  // no deadline at all
+    EXPECT_EQ(f.status(), Status::kAgain);
+    f.cancel();
+    EXPECT_EQ(f.status(), Status::kCancelled);
+    EXPECT_TRUE(f.ready());
+    std::vector<std::uint8_t> out;
+    EXPECT_EQ(f.wait_result(out), Status::kCancelled);
+    EXPECT_EQ(rpc.pending(), 0u) << "cancel must release the window slot";
+    EXPECT_EQ(rpc.stats().calls_abandoned, 1u);
+    cluster.barrier();
+    while (rpc.stats().orphan_replies < 1) rpc.poll();
+    EXPECT_EQ(served.load(), 1u)
+        << "cancel is caller-local; the callee still executes the method";
+    const RpcStats& s = rpc.stats();
+    EXPECT_EQ(s.calls_sent,
+              s.replies_delivered + s.calls_abandoned + rpc.pending());
+    done = true;
+    ep.drain();
+  });
+  EXPECT_TRUE(r.all_clean());
+}
+
+TEST(RpcDeadline, ReliabilityLayerAbsorbsTheSameFaultModel) {
+  // The contrast case: identical loss plus duplication and reordering, but
+  // FM-R underneath. Every call completes and the deadline machinery never
+  // fires — the layer below restores the lossless-network assumption the
+  // RPC layer was written against (§4.5's "fault-tolerance must be
+  // provided by a higher level protocol").
+  hw::FaultParams faults;
+  faults.drop_rate = 0.15;
+  faults.duplicate_rate = 0.05;
+  faults.reorder_rate = 0.05;
+  faults.seed = 0xf417;
+  FmConfig cfg;
+  cfg.reliability = true;
+  cfg.crc_frames = true;
+  shm::Cluster cluster(2, cfg, 256, faults);
+
+  constexpr std::size_t kCalls = 100;
+  std::atomic<bool> done{false};
+  const RunReport r = cluster.run([&](shm::Endpoint& ep) {
+    RpcEngine rpc(ep);
+    std::uint16_t echo = register_echo_inc(rpc);
+    if (ep.id() != 0) {
+      while (!done.load()) rpc.poll();
+      ep.drain();
+      return;
+    }
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 0; i < kCalls; ++i) {
+      std::uint32_t v = static_cast<std::uint32_t>(i * 13 + 1);
+      Future f = rpc.call_deadline(1, echo, &v, sizeof v, 250 * kMs);
+      ASSERT_EQ(f.wait_result(out), Status::kOk) << "call " << i;
+      std::uint32_t got;
+      ASSERT_EQ(out.size(), sizeof got);
+      std::memcpy(&got, out.data(), sizeof got);
+      std::uint32_t want = v;
+      for (std::size_t b = 0; b < sizeof want; ++b)
+        reinterpret_cast<std::uint8_t*>(&want)[b] += 1;
+      EXPECT_EQ(got, want);
+    }
+    const RpcStats& s = rpc.stats();
+    EXPECT_EQ(s.replies_delivered, kCalls);
+    EXPECT_EQ(s.calls_abandoned, 0u);
+    EXPECT_EQ(s.orphan_replies, 0u);
+    EXPECT_EQ(s.calls_sent,
+              s.replies_delivered + s.calls_abandoned + rpc.pending());
+    done = true;
+    ep.drain();
+  });
+  EXPECT_TRUE(r.all_clean());
+}
+
+}  // namespace
+}  // namespace fm::rpc

@@ -1,0 +1,169 @@
+// Heap discipline of the FM-Serve steady state: after warmup, a closed-loop
+// call/response cycle — client call() + poll() AND the shard's extract/
+// execute/respond loop, which runs concurrently in this process — performs
+// ZERO heap allocations. Every serve table (session slots, call slots,
+// parking pool, stream buffers, wire staging) is preallocated at engine
+// construction, and the endpoint layers beneath were already proven
+// allocation-free (tests/shm/shm_alloc_test), so a std::vector sneaking
+// into the request path fails here instead of quietly costing microseconds
+// per call.
+//
+// The global operator new/delete overrides are why this lives in its own
+// test binary: the counters must see every allocation in the process.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "serve/client.h"
+#include "serve/server.h"
+#include "shm/cluster.h"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) noexcept {
+  if (g_counting.load(std::memory_order_relaxed))
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::aligned_alloc(align, (size + align - 1) / align * align);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace fm::serve {
+namespace {
+
+TEST(ServeAllocFree, ClosedLoopCallResponseSteadyState) {
+  shm::Cluster cluster(2);
+  std::atomic<std::uint32_t> halt{0};
+  HandlerId halt_id = cluster.register_handler(
+      [&halt](shm::Endpoint&, NodeId, const void*, std::size_t) { ++halt; });
+  constexpr std::size_t kWarmup = 500;
+  constexpr std::size_t kMeasured = 2000;
+  std::uint64_t measured = ~0ull;
+  std::uint64_t bad_payload = 0;
+  cluster.run([&](shm::Endpoint& ep) {
+    if (ep.id() == 0) {
+      // The shard: echo server, polled straight through both the warmup and
+      // the measured window — its execute/respond path is inside the
+      // counted region exactly like production.
+      Server<shm::Endpoint> srv(ep);
+      srv.register_method([](NodeId, std::uint64_t, const void* d,
+                             std::size_t n,
+                             Server<shm::Endpoint>::ResponseWriter& w) {
+        w.reply(d, n);
+      });
+      while (halt.load() < 1) srv.poll();
+      cluster.barrier();
+      ep.drain();
+      return;
+    }
+    Client<shm::Endpoint> cli(ep, 1);
+    std::size_t done = 0;
+    std::uint8_t body[16];
+    for (std::size_t j = 0; j < sizeof body; ++j)
+      body[j] = static_cast<std::uint8_t>(j * 3 + 1);
+    // The completion is installed once and captures plain references — a
+    // per-call allocation in the callback would show up in the counter.
+    cli.set_completion([&](const CallResult& r) {
+      if (r.status != Status::kOk || r.len != sizeof body) ++bad_payload;
+      ++done;
+    });
+    auto cycle = [&](std::size_t target) {
+      while (done < target) {
+        if (cli.call(77, 0, body, sizeof body, done,
+                     /*deadline_ns=*/0) == Status::kOk) {
+          const std::size_t want = done + 1;
+          while (done < want) cli.poll();
+        } else {
+          cli.poll();
+        }
+      }
+    };
+    cycle(kWarmup);  // grows the posted-send pool etc. to steady state
+    g_allocs.store(0);
+    g_counting.store(true);
+    cycle(kWarmup + kMeasured);
+    g_counting.store(false);
+    measured = g_allocs.load();
+    while (ep.send4(0, halt_id, 0, 0, 0, 0) == Status::kAgain) ep.extract();
+    cluster.barrier();
+    ep.drain();
+  });
+  EXPECT_EQ(bad_payload, 0u);
+  EXPECT_EQ(measured, 0u)
+      << measured << " heap allocations in " << kMeasured
+      << " steady-state serve round trips (call + poll + the shard's "
+         "extract/execute/respond must all be allocation-free)";
+}
+
+}  // namespace
+}  // namespace fm::serve
