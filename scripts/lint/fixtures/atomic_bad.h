@@ -1,0 +1,29 @@
+// Fixture for the chk-atomic rule (run with --chk-atomic-dirs pointing at
+// this directory): bare std::atomic members must fire, the dotted allow
+// spelling must suppress, and seam-typed state must pass untouched.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "chk/shim.h"
+
+namespace fixture {
+
+struct RingIndices {
+  // BAD: invisible to FM-Check — the explorer can never model this race.
+  std::atomic<std::uint64_t> head{0};
+
+  // BAD: qualifier spacing does not dodge the rule.
+  std :: atomic<std::uint64_t> tail{0};
+
+  // OK: waived with a justification, dotted rule spelling normalized.
+  // fm-lint: allow(chk.atomic): ABI-frozen mapping shared with a C tool
+  std::atomic<std::uint32_t> frozen{0};
+
+  // OK: the seam type — instrumented under FM_CHK_MODEL, std::atomic in
+  // production.
+  fm::chk::atomic<std::uint64_t> seq{0};
+};
+
+}  // namespace fixture

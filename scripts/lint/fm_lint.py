@@ -22,6 +22,11 @@ Checks the conventions the compilers cannot:
                   (sim|shm|net|lanai|san|rma|serve), and every registered name
                   must be documented in docs/OBSERVABILITY.md.
   pragma-once     Headers under src/ must carry `#pragma once`.
+  chk-atomic      Bare `std::atomic` is banned in the model-checked zones
+                  (src/shm, src/fm): shared state there must go through
+                  the fm::chk::atomic seam (src/chk/shim.h) so FM-Check
+                  can instrument it. In production builds the seam is a
+                  type alias for std::atomic — zero cost, full coverage.
 
 Suppression: a finding on line N is waived by a comment on line N (or on
 an immediately preceding comment-only line):
@@ -52,6 +57,7 @@ RULES = (
     "no-assert",
     "counter-scope",
     "pragma-once",
+    "chk-atomic",
     "bad-allow",
 )
 
@@ -59,7 +65,10 @@ RULES = (
 # Source model: comment/string-stripped lines plus allow-comment bookkeeping.
 # ---------------------------------------------------------------------------
 
-ALLOW_RE = re.compile(r"fm-lint:\s*allow\(([a-z-]+)\)(:?\s*(\S.*)?)?")
+# Dotted rule spellings are accepted and normalized to the dashed form, so
+# the allow grammar matches the C++ namespace spelling developers reach for
+# (allow(chk.atomic) ≡ allow(chk-atomic)).
+ALLOW_RE = re.compile(r"fm-lint:\s*allow\(([a-z.-]+)\)(:?\s*(\S.*)?)?")
 
 
 @dataclass
@@ -160,7 +169,7 @@ def load_source(path: str) -> SourceFile:
         m = ALLOW_RE.search(raw)
         if not m:
             continue
-        rule, justification = m.group(1), m.group(3)
+        rule, justification = m.group(1).replace(".", "-"), m.group(3)
         if rule not in RULES or not justification:
             sf.bad_allows.append(idx)
             continue
@@ -285,6 +294,42 @@ def check_counter_scope(sf: SourceFile, documented: str) -> list[Finding]:
                 sf.path, idx, "counter-scope",
                 f"scope literal '{literal}' must start with one of "
                 "sim|shm|net|lanai|san|rma|serve (docs/OBSERVABILITY.md §1)"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule: chk-atomic.
+# ---------------------------------------------------------------------------
+
+STD_ATOMIC_RE = re.compile(r"\bstd\s*::\s*atomic\b")
+
+
+def check_chk_atomic(sf: SourceFile, scoped_dirs: list[str]) -> list[Finding]:
+    """Bare std::atomic inside a model-checked zone must use the seam.
+
+    FM-Check (src/chk) explores thread interleavings by routing every
+    atomic access through a cooperative scheduler — but only for state
+    declared as fm::chk::atomic<T>. A bare std::atomic in src/shm or
+    src/fm is invisible to the explorer: its races are simply never
+    modeled. The seam costs nothing in production (chk::atomic IS
+    std::atomic there, proven by static_assert in tests/chk), so there is
+    no reason to opt out silently.
+    """
+    abs_path = os.path.abspath(sf.path)
+    if not any(abs_path.startswith(d.rstrip(os.sep) + os.sep)
+               for d in scoped_dirs):
+        return []
+    findings = []
+    for idx, code in enumerate(sf.code_lines, start=1):
+        if not STD_ATOMIC_RE.search(code):
+            continue
+        if sf.allowed("chk-atomic", idx):
+            continue
+        findings.append(Finding(
+            sf.path, idx, "chk-atomic",
+            "bare std::atomic in a model-checked zone; use fm::chk::atomic "
+            "(src/chk/shim.h) so FM-Check can explore its interleavings — "
+            "it is std::atomic in production builds"))
     return findings
 
 
@@ -646,6 +691,10 @@ def main(argv: list[str]) -> int:
                     default="text")
     ap.add_argument("--obs-doc", default=None,
                     help="override path to docs/OBSERVABILITY.md")
+    ap.add_argument("--chk-atomic-dirs", default=None,
+                    help="comma-separated dirs (relative to root) where "
+                         "bare std::atomic is banned "
+                         "(default: src/shm,src/fm)")
     ap.add_argument("--list-rules", action="store_true")
     args = ap.parse_args(argv)
 
@@ -667,11 +716,17 @@ def main(argv: list[str]) -> int:
     hot, cold = collect_markers(files)
     defined = collect_defined_names(files)
 
+    chk_dirs_arg = args.chk_atomic_dirs or "src/shm,src/fm"
+    scoped_dirs = [os.path.abspath(d) if os.path.isabs(d)
+                   else os.path.abspath(os.path.join(root, d))
+                   for d in chk_dirs_arg.split(",") if d]
+
     findings: list[Finding] = []
     for sf in files:
         findings.extend(check_pragma_once(sf))
         findings.extend(check_no_assert(sf))
         findings.extend(check_counter_scope(sf, documented))
+        findings.extend(check_chk_atomic(sf, scoped_dirs))
         findings.extend(check_hot_bodies(sf, hot, cold, defined))
         for idx in sf.bad_allows:
             findings.append(Finding(

@@ -21,9 +21,10 @@ LINT = os.path.join(HERE, "fm_lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
 
 
-def run_lint(*paths: str) -> tuple[int, str]:
+def run_lint(*args: str) -> tuple[int, str]:
+    """args may mix file paths and extra fm_lint flags."""
     proc = subprocess.run(
-        [sys.executable, LINT, "--root", ROOT, "--engine", "text", *paths],
+        [sys.executable, LINT, "--root", ROOT, "--engine", "text", *args],
         capture_output=True, text=True)
     return proc.returncode, proc.stdout
 
@@ -103,6 +104,29 @@ def main() -> int:
     expect(rc != 0 and "pragma-once" in out and "pragma_bad.h" in out,
            "flags missing pragma once", out, failures)
     expect("pragma_clean.h" not in out, "compliant header passes",
+           out, failures)
+
+    print("fixture: atomic_bad.h")
+    atomic_fixture = os.path.join(FIXTURES, "atomic_bad.h")
+    rc, out = run_lint("--chk-atomic-dirs", FIXTURES, atomic_fixture)
+    expect(rc != 0, "exits nonzero", out, failures)
+    expect(out.count("chk-atomic") == 2,
+           "flags both bare std::atomic members (plain and spaced "
+           "qualifier), and only those", out, failures)
+    expect("fm::chk::atomic" in out,
+           "message points at the seam type", out, failures)
+    # The dotted allow spelling normalizes to chk-atomic and suppresses
+    # (frozen member), and the seam-typed member never matches; neither
+    # may add a finding beyond the two above, and the allow itself must
+    # not be flagged as malformed.
+    expect("bad-allow" not in out,
+           "allow(chk.atomic) with justification is well-formed",
+           out, failures)
+
+    print("fixture: atomic_bad.h outside the scoped dirs")
+    rc, out = run_lint(atomic_fixture)
+    expect(rc == 0,
+           "rule stays silent for files outside --chk-atomic-dirs",
            out, failures)
 
     print("fixture: allow_bad.cc")

@@ -1,0 +1,64 @@
+// Depth-first enumeration over a tree of bounded choices — the shared core
+// of both FM-Check engines. The concurrency scheduler (chk/model.h) asks it
+// which enabled action to perform next; the protocol explorer
+// (chk/explore.h) asks it which fault/delivery decision to take. Either
+// way the contract is the same: the choice sequence fully determines the
+// run, so replaying a recorded prefix and extending it with first-choice
+// defaults enumerates every path exactly once (stateless search, no
+// memoization — small models keep the tree tractable, caps keep runaways
+// loud).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+
+namespace fm::chk {
+
+class Chooser {
+ public:
+  /// Returns the choice (0..n-1) for the current decision point, replaying
+  /// the recorded prefix and defaulting new depths to 0. The arity of a
+  /// decision point must be a pure function of the choices before it; a
+  /// mismatch on replay means the model is nondeterministic, which would
+  /// silently corrupt the enumeration — so it aborts.
+  std::size_t choose(std::size_t n) {
+    FM_CHECK_MSG(n > 0, "Chooser::choose with no options");
+    if (depth_ < stack_.size()) {
+      FM_CHECK_MSG(stack_[depth_].arity == n,
+                   "nondeterministic model: decision arity changed on replay");
+      return stack_[depth_++].chosen;
+    }
+    stack_.push_back(Frame{0, n});
+    ++depth_;
+    return 0;
+  }
+
+  /// Marks the end of one complete run and rewinds for the next.
+  void end_run() { depth_ = 0; }
+
+  /// Advances to the next unexplored path: backtracks exhausted suffixes
+  /// and bumps the deepest non-exhausted choice. False when the whole tree
+  /// has been enumerated.
+  bool advance() {
+    while (!stack_.empty() && stack_.back().chosen + 1 >= stack_.back().arity)
+      stack_.pop_back();
+    if (stack_.empty()) return false;
+    ++stack_.back().chosen;
+    return true;
+  }
+
+  /// Choices taken so far in the current run (for schedule strings).
+  std::size_t depth() const { return depth_; }
+
+ private:
+  struct Frame {
+    std::size_t chosen;
+    std::size_t arity;
+  };
+  std::vector<Frame> stack_;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace fm::chk

@@ -1,0 +1,122 @@
+#include "chk/explore.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "chk/chooser.h"
+#include "chk/report.h"
+#include "common/check.h"
+
+namespace fm::chk {
+namespace {
+
+std::vector<std::size_t> parse_trail(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find(',', pos);
+    if (end == std::string::npos) end = s.size();
+    FM_CHECK_MSG(end > pos, "empty choice in FM-Check trail");
+    out.push_back(static_cast<std::size_t>(
+        std::strtoull(s.substr(pos, end - pos).c_str(), nullptr, 10)));
+    pos = end + 1;
+  }
+  return out;
+}
+
+std::string join_trail(const std::vector<std::size_t>& trail) {
+  std::string out;
+  for (std::size_t i = 0; i < trail.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(trail[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::size_t Explorer::choose(std::size_t n) {
+  FM_CHECK_MSG(n > 0, "Explorer::choose with no options");
+  std::size_t c;
+  if (forced_ != nullptr) {
+    // Replay: follow the recorded trail; past its end take first-choice
+    // defaults (a truncated trail still replays a determinate path).
+    c = forced_idx_ < forced_->size() ? (*forced_)[forced_idx_++] : 0;
+    FM_CHECK_MSG(c < n, "FM-Check trail choice out of range for this model");
+  } else {
+    c = chooser_->choose(n);
+  }
+  trail_.push_back(c);
+  return c;
+}
+
+void Explorer::fail(const std::string& msg) { throw PathViolation{msg}; }
+
+std::string Explorer::trail() const { return join_trail(trail_); }
+
+Explorer::Result Explorer::run_impl(
+    const Options& opts, const std::function<void(Explorer&)>& path,
+    const std::vector<std::size_t>* forced) {
+  Result res;
+  Chooser chooser;
+  for (;;) {
+    FM_CHECK_MSG(res.paths_explored < opts.max_paths,
+                 "FM-Check explorer path cap hit: model too big to enumerate");
+    Explorer ex;
+    if (forced != nullptr) {
+      ex.forced_ = forced;
+    } else {
+      ex.chooser_ = &chooser;
+    }
+    bool violated = false;
+    std::string message;
+    try {
+      path(ex);
+    } catch (const PathViolation& v) {
+      violated = true;
+      message = v.msg;
+    }
+    ++res.paths_explored;
+    if (violated) {
+      res.violation = true;
+      res.message = message;
+      res.schedule = std::string(opts.name) + ":" + ex.trail();
+      report_counterexample("explore", opts.name, res.schedule, res.message,
+                            res.paths_explored);
+      return res;
+    }
+    if (forced != nullptr) return res;  // replay runs exactly one path
+    chooser.end_run();
+    if (!chooser.advance()) return res;
+  }
+}
+
+Explorer::Result Explorer::run_all(const Options& opts,
+                                   const std::function<void(Explorer&)>& path) {
+  if (const char* env = std::getenv("FM_CHK_SCHEDULE");
+      env != nullptr && env[0] != '\0') {
+    const char* colon = std::strchr(env, ':');
+    if (colon != nullptr &&
+        std::strncmp(env, opts.name, static_cast<std::size_t>(colon - env)) ==
+            0 &&
+        std::strlen(opts.name) == static_cast<std::size_t>(colon - env)) {
+      return replay(opts, path, env);
+    }
+  }
+  return run_impl(opts, path, nullptr);
+}
+
+Explorer::Result Explorer::replay(const Options& opts,
+                                  const std::function<void(Explorer&)>& path,
+                                  const std::string& schedule) {
+  std::string tokens = schedule;
+  if (std::size_t colon = tokens.find(':'); colon != std::string::npos) {
+    FM_CHECK_MSG(tokens.substr(0, colon) == opts.name,
+                 "FM_CHK_SCHEDULE names a different model");
+    tokens = tokens.substr(colon + 1);
+  }
+  const std::vector<std::size_t> trail = parse_trail(tokens);
+  return run_impl(opts, path, &trail);
+}
+
+}  // namespace fm::chk

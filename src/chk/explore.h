@@ -1,0 +1,86 @@
+// FM-Check engine 2: exhaustive enumeration over explicit decision trees.
+//
+// Where FM-San draws its fault decisions (drop / duplicate / reorder /
+// deliver / tick) from a seeded RNG and *samples* the schedule space, the
+// Explorer walks that space systematically: a model function calls
+// choose(n) at every decision point, and run_all() re-executes the
+// function once per path until the whole bounded tree has been visited —
+// the protocol analogue of the concurrency engine in chk/model.h, sharing
+// its Chooser and its replayable-counterexample discipline. A violation
+// (check()/fail() inside the model) stops the search and reports the
+// decision trail ("proto-basic:3,0,2,..."), replayable via the
+// FM_CHK_SCHEDULE environment variable or the API, and drops a
+// counterexample artifact into $FM_OBS_DUMP_DIR when set.
+//
+// The model function must be deterministic given its choices (no RNG, no
+// wall clock): the arity at each depth is re-checked on replay and a
+// mismatch aborts loudly, because a nondeterministic model silently
+// invalidates the enumeration.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fm::chk {
+
+class Explorer {
+ public:
+  struct Options {
+    /// Names the model in trails, artifacts and FM_CHK_SCHEDULE matching.
+    const char* name = "explore";
+    /// Paths before the enumeration aborts loudly (shrink the model).
+    std::uint64_t max_paths = 2'000'000;
+  };
+
+  struct Result {
+    std::uint64_t paths_explored = 0;
+    bool violation = false;
+    std::string schedule;  ///< "<name>:<choices>" when violated
+    std::string message;
+  };
+
+  /// Runs `path` once per path of its decision tree, depth-first, until
+  /// exhausted or a violation stops the search. Honors FM_CHK_SCHEDULE
+  /// ("<name>:<c0>,<c1>,...") by replaying exactly that path.
+  static Result run_all(const Options& opts,
+                        const std::function<void(Explorer&)>& path);
+
+  /// Replays a single recorded decision trail.
+  static Result replay(const Options& opts,
+                       const std::function<void(Explorer&)>& path,
+                       const std::string& schedule);
+
+  /// Returns this path's decision (0..n-1) for the current decision point.
+  std::size_t choose(std::size_t n);
+
+  /// Records a violation for this path and unwinds it.
+  [[noreturn]] void fail(const std::string& msg);
+
+  /// fail(msg) unless cond.
+  void check(bool cond, const char* msg) {
+    if (!cond) fail(msg);
+  }
+
+  /// The decisions taken so far on this path, comma-joined.
+  std::string trail() const;
+
+ private:
+  struct PathViolation {
+    std::string msg;
+  };
+
+  Explorer() = default;
+  static Result run_impl(const Options& opts,
+                         const std::function<void(Explorer&)>& path,
+                         const std::vector<std::size_t>* forced);
+
+  class Chooser* chooser_ = nullptr;           // DFS mode
+  const std::vector<std::size_t>* forced_ = nullptr;  // replay mode
+  std::size_t forced_idx_ = 0;
+  std::vector<std::size_t> trail_;
+};
+
+}  // namespace fm::chk

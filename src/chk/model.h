@@ -1,0 +1,102 @@
+// FM-Check engine 1: loom/relacy-style exhaustive exploration of small
+// concurrent models.
+//
+// An *episode* is a fresh instance of a small model: two or three thread
+// bodies closing over freshly constructed shared state (a capacity-2 ring,
+// a 2-slot send window) plus an optional final invariant check. explore()
+// runs the episode under a cooperative scheduler — the real std::threads
+// only ever run one at a time, handing off at every instrumented operation
+// (chk/shim.h) — and enumerates every schedule the bounds admit:
+//
+//  * thread interleavings, with a bounded number of preemptions
+//    (max_preemptions): switching away from a thread that could still run
+//    costs budget; forced switches (current thread blocked in chk::yield
+//    or finished) are free. Small preemption bounds find almost all real
+//    concurrency bugs at a fraction of the unbounded search space.
+//  * weak-memory effects, with a bounded number of delayed stores
+//    (max_delayed_stores): a relaxed atomic store or a plain shared_write
+//    may be parked in the writing thread's store buffer and drained to
+//    shared memory at any later point (each drain is itself a scheduled,
+//    explored action). Release/seq_cst stores first drain the buffer —
+//    so a missing release edge is observable as a torn read, while a
+//    correct one provably never is. Loads forward from the thread's own
+//    buffer. Acquire loads are modeled like relaxed loads (a TSO-like
+//    approximation: it catches missing-release publication bugs, the
+//    dominant failure mode on x86 and in compiler reordering, but not
+//    pure missing-acquire bugs on genuinely weak hardware — TSan's job).
+//
+// Every explored schedule is a token string ("s1,b0,s1,f0,..."); a
+// violation (chk::fail / chk::require in a model body or the final check,
+// a deadlock, or a step-cap livelock) stops the search and reports the
+// schedule, which replays bit-for-bit via replay() or the FM_CHK_SCHEDULE
+// environment variable — the FM_SAN_SEED idea, made exact. Violations
+// also write a counterexample artifact into $FM_OBS_DUMP_DIR when set.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fm::chk {
+
+/// One run of a small model: fresh state, its threads, a final check.
+struct Episode {
+  /// Thread bodies. Shared state must be owned by the closures (e.g. via
+  /// shared_ptr captured by every body) and freshly constructed per
+  /// episode — explore() calls the episode factory once per schedule.
+  std::vector<std::function<void()>> threads;
+  /// Runs after all threads finished and every store buffer drained
+  /// (sequentially consistent view); chk::require violations here are
+  /// reported like in-thread ones. May be empty.
+  std::function<void()> finally;
+};
+
+struct ModelOptions {
+  /// Names the model in schedule strings, artifacts and FM_CHK_SCHEDULE
+  /// matching.
+  const char* name = "model";
+  /// Context switches away from a runnable thread per schedule.
+  std::size_t max_preemptions = 2;
+  /// Relaxed/plain stores that may be buffered per schedule (0 = explore
+  /// sequentially consistent interleavings only).
+  std::size_t max_delayed_stores = 1;
+  /// Store-buffer entries a single thread may hold at once.
+  std::size_t max_buffered = 4;
+  /// Scheduled actions per schedule before the run is declared a livelock.
+  std::size_t max_steps = 10000;
+  /// Total schedules before the search aborts loudly (a model that hits
+  /// this is too big to be exhaustively checked — shrink it).
+  std::uint64_t max_schedules = 2'000'000;
+};
+
+struct ModelResult {
+  std::uint64_t schedules_explored = 0;
+  bool violation = false;
+  std::string schedule;  ///< replay string "<name>:<tokens>" when violated
+  std::string message;   ///< violation diagnostic
+};
+
+/// Exhaustively explores every schedule of the episodes `make` produces.
+/// Stops at the first violation. If FM_CHK_SCHEDULE is set to
+/// "<name>:<tokens>" with a matching name, runs exactly that schedule
+/// instead (replay mode).
+ModelResult explore(const ModelOptions& opts,
+                    const std::function<Episode()>& make);
+
+/// Replays one recorded schedule ("<name>:<tokens>" or bare tokens).
+ModelResult replay(const ModelOptions& opts,
+                   const std::function<Episode()>& make,
+                   const std::string& schedule);
+
+/// Reports a model invariant violation from a thread body or final check.
+/// Outside an active exploration this aborts (FM_CHECK discipline).
+[[noreturn]] void fail(const std::string& msg);
+
+/// fail(msg) unless cond.
+inline void require(bool cond, const char* msg) {
+  if (!cond) fail(msg);
+}
+
+}  // namespace fm::chk

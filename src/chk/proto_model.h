@@ -1,0 +1,77 @@
+// A 2-rank small model of the FM-R protocol stack, driven by the FM-Check
+// decision-tree Explorer (chk/explore.h).
+//
+// The model wires the REAL protocol state machines — SendWindow,
+// RetransmitTimer, DedupFilter, AckTracker, Reassembler, RejectQueue
+// (fm/protocol.h), the exact objects the sim and shm endpoints run — into a
+// tiny closed world: node 0 sends `msgs` messages of `frags` fragments each
+// to node 1 over a network vector whose every fault decision (deliver which
+// frame / drop / duplicate / expire timers) is an Explorer choice instead
+// of FM-San's seeded RNG. run_proto_model() executes ONE path: an
+// adversarial prefix of `depth` explored decisions, then a deterministic
+// fair suffix that drives delivery, ack flushing, reject re-injection and
+// timer expiry until the system quiesces. Along the way it asserts the four
+// FM-R safety/liveness properties:
+//
+//  * exactly-once: the DedupFilter never lets a frame (or a reassembled
+//    message) be accepted twice, cross-checked against reference sets;
+//  * conservation: every unique frame sent is eventually acked or
+//    abandoned — sent == resolved_acked + abandoned at quiescence;
+//  * no deadlock: the fair suffix reaches quiescence within a bounded
+//    number of rounds from ANY adversarial prefix;
+//  * dead-peer convergence (kill_node1 variant): a silent receiver is
+//    declared dead, nothing is delivered, and every sent frame is
+//    abandoned — the sender's window, timers and reject queue all drain.
+//
+// A violation unwinds via Explorer::fail, so the enumerating test gets a
+// replayable decision trail (FM_CHK_SCHEDULE) pointing at the exact fault
+// schedule that broke the invariant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "chk/explore.h"
+
+namespace fm::chk {
+
+struct ProtoParams {
+  /// Sender window slots (keep tiny: 2 explores full/bounce pressure).
+  std::size_t window = 2;
+  /// Receiver reassembly slots (1 + two fragmented messages = reject path).
+  std::size_t reasm_slots = 1;
+  /// Messages node 0 sends to node 1.
+  std::uint32_t msgs = 1;
+  /// Fragments per message (1 = unfragmented fast path, no Reassembler).
+  std::uint16_t frags = 1;
+  /// Drops + duplications the adversary may spend across the prefix.
+  std::size_t fault_budget = 1;
+  /// Explored adversarial decisions before the fair suffix takes over.
+  std::size_t depth = 5;
+  /// FM-R retransmit retries before a peer is declared dead.
+  std::size_t max_retries = 2;
+  /// RejectQueue extract ticks before a bounced frame re-injects.
+  std::size_t reject_delay = 1;
+  /// Receiver processes nothing: frames to it vanish (dead-peer variant).
+  bool kill_node1 = false;
+  /// Base retransmit timeout (model time is a plain counter).
+  std::uint64_t timeout_ns = 1000;
+};
+
+/// Per-path outcome, for aggregation across an enumeration (e.g. asserting
+/// the reject path was actually exercised somewhere in the tree).
+struct ProtoStats {
+  std::uint32_t sent_frames = 0;     ///< unique (dest, seq) injected
+  std::uint32_t delivered_msgs = 0;  ///< complete messages handed up
+  std::uint32_t resolved_acked = 0;  ///< frames retired by an arriving ack
+  std::uint32_t abandoned = 0;       ///< frames dropped by dead-peer cleanup
+  std::uint32_t rejected_frames = 0; ///< return-to-sender bounces observed
+  std::uint32_t retransmits = 0;     ///< timer-driven re-sends
+  bool dead_declared = false;
+};
+
+/// Runs one explored path of the model (call from Explorer::run_all).
+/// Invariant violations unwind via ex.fail with a replayable trail.
+ProtoStats run_proto_model(Explorer& ex, const ProtoParams& p);
+
+}  // namespace fm::chk

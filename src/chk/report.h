@@ -1,0 +1,42 @@
+// Counterexample reporting shared by both FM-Check engines: print the
+// replay line (FM_SAN_SEED's exact-replay idea, applied to schedules) and
+// drop an artifact into $FM_OBS_DUMP_DIR so a red CI run ships the
+// schedule alongside the FM-Scope dumps.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fm::chk {
+
+inline void report_counterexample(const char* engine, const char* name,
+                                  const std::string& schedule,
+                                  const std::string& message,
+                                  std::uint64_t explored) {
+  std::fprintf(stderr,
+               "FM-Check[%s]: violation in model '%s' after %llu explored "
+               "schedule(s)\n  %s\n  replay: FM_CHK_SCHEDULE='%s'\n",
+               engine, name, static_cast<unsigned long long>(explored),
+               message.c_str(), schedule.c_str());
+  std::fflush(stderr);
+  const char* dir = std::getenv("FM_OBS_DUMP_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return;
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (std::string(name) + ".chk.txt");
+  std::ofstream f(path);
+  if (!f) return;
+  f << "engine: " << engine << "\n"
+    << "model: " << name << "\n"
+    << "schedules_explored: " << explored << "\n"
+    << "violation: " << message << "\n"
+    << "replay: FM_CHK_SCHEDULE='" << schedule << "'\n";
+}
+
+}  // namespace fm::chk

@@ -1,0 +1,47 @@
+// FM-Check runtime hooks: the narrow interface chk/shim.h instruments
+// against. Implemented in sched.cc; compiled unconditionally into fm_chk
+// (the hooks are ordinary functions — only translation units built with
+// -DFM_CHK_MODEL ever call them).
+//
+// Each hook is a scheduler decision point. When the calling thread is a
+// model thread inside chk::explore(), the hook parks the thread, hands
+// control to the exploration controller, and performs the memory operation
+// only once this thread is granted its next step. Outside a model (or on
+// the controller thread itself, e.g. inside an episode's final invariant
+// check) the hooks degrade to plain memory accesses.
+#pragma once
+
+#include <cstddef>
+
+namespace fm::chk::rt {
+
+/// Memory-order classification the store-buffer simulation distinguishes.
+/// kPlain marks non-atomic shared byte copies (ring slot payloads): for
+/// buffering purposes they behave like relaxed stores, which is exactly the
+/// freedom the compiler and CPU have with them around non-release atomics.
+enum class Order { kPlain, kRelaxed, kAcquire, kRelease, kSeqCst };
+
+/// Read `len` bytes from shared `addr` into private `out`, overlaying the
+/// calling thread's buffered (not yet drained) stores — store-to-load
+/// forwarding, so a thread always sees its own writes in order.
+void on_load(const void* addr, void* out, std::size_t len, Order o);
+
+/// Write `len` bytes from private `bytes` to shared `addr`. Relaxed/plain
+/// stores may be buffered (a per-schedule exploration choice); release and
+/// seq_cst stores first drain every earlier buffered store of this thread,
+/// which is the release fence the fixed SPSC ring relies on — and the edge
+/// whose absence the buggy-ring counterexample fixture demonstrates.
+void on_store(void* addr, const void* bytes, std::size_t len, Order o);
+
+/// Serialization point before a read-modify-write; drains the calling
+/// thread's store buffer (RMWs are globally ordered). The caller then
+/// applies the RMW directly — all other model threads are parked.
+void on_rmw(void* addr);
+
+/// Spin-wait park: the thread is not runnable again until some other
+/// scheduler action (another thread's step, or a store-buffer drain) has
+/// happened. Collapses fruitless spin iterations so exhaustive exploration
+/// of a spinning producer/consumer pair terminates.
+void on_yield();
+
+}  // namespace fm::chk::rt

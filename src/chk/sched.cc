@@ -1,0 +1,567 @@
+// FM-Check engine 1 implementation: the cooperative scheduler, per-thread
+// store buffers, and the DFS over schedules. See chk/model.h for the model
+// and semantics; chk/runtime.h documents the hooks chk/shim.h calls.
+//
+// Concurrency discipline: model threads are real std::threads, but at most
+// one ever runs at a time — every handoff (controller -> thread, thread ->
+// controller) goes through one mutex/condvar pair, so the "interleavings"
+// are purely logical. That makes the engine itself sanitizer-clean (the
+// mutex gives every handoff a happens-before edge) and lets model bodies
+// touch shared state directly between schedule points without real races.
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chk/chooser.h"
+#include "chk/model.h"
+#include "chk/report.h"
+#include "chk/runtime.h"
+#include "common/check.h"
+
+namespace fm::chk {
+namespace {
+
+struct ViolationError {
+  std::string msg;
+};
+struct KilledError {};
+
+/// A store parked in its thread's buffer, not yet visible to other threads.
+struct StoreEntry {
+  void* addr;
+  std::vector<std::uint8_t> bytes;
+};
+
+struct PendingOp {
+  enum class Kind { kNone, kLoad, kStore, kRmw, kYield };
+  Kind kind = Kind::kNone;
+  rt::Order order = rt::Order::kSeqCst;
+};
+
+enum class WState { kIdle, kLaunch, kRunning, kAtPoint, kYielded, kDone };
+enum class Grant { kNone, kApply, kDelay, kKill };
+
+struct Worker {
+  int id = 0;
+  WState st = WState::kIdle;
+  std::function<void()> body;
+  PendingOp op;
+  Grant grant = Grant::kNone;
+  std::vector<StoreEntry> buffer;  // FIFO, front = oldest
+  std::uint64_t yield_seq = 0;     // action count when the thread yielded
+  std::condition_variable cv;
+  std::thread thr;
+};
+
+struct Action {
+  enum class Kind { kStep, kDelay, kDrain };
+  Kind kind;
+  int t;
+};
+
+std::string token_of(const Action& a) {
+  const char prefix = a.kind == Action::Kind::kStep    ? 's'
+                      : a.kind == Action::Kind::kDelay ? 'b'
+                                                       : 'f';
+  std::string tok(1, prefix);
+  tok += std::to_string(a.t);
+  return tok;
+}
+
+class Engine;
+Engine* g_engine = nullptr;
+thread_local Worker* tls_worker = nullptr;
+
+class Engine {
+ public:
+  Engine(const ModelOptions& opts, const std::function<Episode()>& make)
+      : opts_(opts), make_(make) {}
+
+  ~Engine() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      shutdown_ = true;
+      for (auto& w : workers_) w->cv.notify_one();
+    }
+    for (auto& w : workers_) {
+      if (w->thr.joinable()) w->thr.join();
+    }
+  }
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  ModelResult run_explore() {
+    ActiveGuard guard(this);
+    ModelResult res;
+    for (;;) {
+      run_one();
+      ++res.schedules_explored;
+      chooser_.end_run();
+      if (violation_) {
+        res.violation = true;
+        res.message = violation_msg_;
+        res.schedule = schedule_string();
+        report_counterexample("model", opts_.name, res.schedule, res.message,
+                              res.schedules_explored);
+        return res;
+      }
+      FM_CHECK_MSG(res.schedules_explored < opts_.max_schedules,
+                   "FM-Check schedule cap exceeded — shrink the model");
+      if (!chooser_.advance()) return res;
+    }
+  }
+
+  ModelResult run_replay(const std::vector<std::string>& tokens) {
+    ActiveGuard guard(this);
+    replay_tokens_ = &tokens;
+    run_one();
+    replay_tokens_ = nullptr;
+    ModelResult res;
+    res.schedules_explored = 1;
+    if (violation_) {
+      res.violation = true;
+      res.message = violation_msg_;
+      res.schedule = schedule_string();
+      report_counterexample("model-replay", opts_.name, res.schedule,
+                            res.message, 1);
+    } else if (!replay_note_.empty()) {
+      res.message = replay_note_;
+    }
+    return res;
+  }
+
+  // ---- worker-side entry points (called from the rt:: hooks) ------------
+
+  void do_load(const void* addr, void* out, std::size_t len, rt::Order o) {
+    park(PendingOp{PendingOp::Kind::kLoad, o});
+    std::memcpy(out, addr, len);
+    // Store-to-load forwarding: overlay this thread's buffered writes,
+    // oldest first, so later entries win where they overlap.
+    const auto a = reinterpret_cast<std::uintptr_t>(addr);
+    for (const StoreEntry& e : tls_worker->buffer) {
+      const auto ea = reinterpret_cast<std::uintptr_t>(e.addr);
+      const std::uintptr_t lo = a > ea ? a : ea;
+      const std::uintptr_t hi_a = a + len;
+      const std::uintptr_t hi_e = ea + e.bytes.size();
+      const std::uintptr_t hi = hi_a < hi_e ? hi_a : hi_e;
+      if (lo >= hi) continue;
+      std::memcpy(static_cast<std::uint8_t*>(out) + (lo - a),
+                  e.bytes.data() + (lo - ea), hi - lo);
+    }
+  }
+
+  void do_store(void* addr, const void* bytes, std::size_t len, rt::Order o) {
+    const Grant g = park(PendingOp{PendingOp::Kind::kStore, o});
+    if (g == Grant::kDelay) {
+      const auto* b = static_cast<const std::uint8_t*>(bytes);
+      tls_worker->buffer.push_back(
+          StoreEntry{addr, std::vector<std::uint8_t>(b, b + len)});
+      return;
+    }
+    // A release (or seq_cst) store publishes everything before it: drain
+    // this thread's buffer in order first. This is the edge the fixed ring
+    // relies on and the one the buggy-ring fixture deliberately drops.
+    if (o == rt::Order::kRelease || o == rt::Order::kSeqCst)
+      drain_all(tls_worker);
+    std::memcpy(addr, bytes, len);
+  }
+
+  void do_rmw() {
+    park(PendingOp{PendingOp::Kind::kRmw, rt::Order::kSeqCst});
+    drain_all(tls_worker);
+  }
+
+  void do_yield() { park(PendingOp{PendingOp::Kind::kYield, rt::Order::kSeqCst}); }
+
+ private:
+  struct ActiveGuard {
+    explicit ActiveGuard(Engine* e) {
+      FM_CHECK_MSG(g_engine == nullptr, "nested chk::explore");
+      g_engine = e;
+    }
+    ~ActiveGuard() { g_engine = nullptr; }
+  };
+
+  static bool is_parked(const Worker& w) {
+    return w.st == WState::kAtPoint || w.st == WState::kYielded ||
+           w.st == WState::kDone;
+  }
+
+  bool steppable(const Worker& w) const {
+    if (w.st == WState::kAtPoint) return true;
+    // A yielded thread re-enters the schedule only after some other action
+    // happened — its spin condition cannot have changed otherwise.
+    if (w.st == WState::kYielded) return action_seq_ > w.yield_seq;
+    return false;
+  }
+
+  void drain_all(Worker* w) {
+    for (StoreEntry& e : w->buffer)
+      std::memcpy(e.addr, e.bytes.data(), e.bytes.size());
+    w->buffer.clear();
+  }
+
+  Grant park(const PendingOp& op) {
+    Worker* w = tls_worker;
+    std::unique_lock<std::mutex> lk(mu_);
+    if (killing_) throw KilledError{};
+    w->op = op;
+    if (op.kind == PendingOp::Kind::kYield) {
+      w->st = WState::kYielded;
+      w->yield_seq = action_seq_;
+    } else {
+      w->st = WState::kAtPoint;
+    }
+    ctrl_cv_.notify_all();
+    w->cv.wait(lk, [&] { return w->grant != Grant::kNone; });
+    const Grant g = w->grant;
+    w->grant = Grant::kNone;
+    w->st = WState::kRunning;
+    if (g == Grant::kKill) throw KilledError{};
+    return g;
+  }
+
+  void worker_main(Worker* w) {
+    tls_worker = w;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      w->cv.wait(lk, [&] { return w->st == WState::kLaunch || shutdown_; });
+      if (shutdown_) return;
+      w->st = WState::kRunning;
+      lk.unlock();
+      std::string viol;
+      bool has_viol = false;
+      try {
+        w->body();
+      } catch (const ViolationError& v) {
+        viol = v.msg;
+        has_viol = true;
+      } catch (const KilledError&) {
+      }
+      lk.lock();
+      if (has_viol && !violation_) {
+        violation_ = true;
+        violation_msg_ = viol;
+      }
+      w->st = WState::kDone;
+      ctrl_cv_.notify_all();
+    }
+  }
+
+  void ensure_workers(std::size_t n) {
+    while (workers_.size() < n) {
+      auto w = std::make_unique<Worker>();
+      w->id = static_cast<int>(workers_.size());
+      Worker* raw = w.get();
+      w->thr = std::thread([this, raw] { worker_main(raw); });
+      workers_.push_back(std::move(w));
+    }
+  }
+
+  std::vector<Action> enabled_actions(std::size_t n) const {
+    std::vector<Action> out;
+    const bool cur_at_point =
+        current_ >= 0 && workers_[current_]->st == WState::kAtPoint;
+    for (std::size_t t = 0; t < n; ++t) {
+      const Worker& w = *workers_[t];
+      if (!steppable(w)) continue;
+      // Switching away from a thread parked at an op (not a voluntary
+      // yield) is a preemption; excluded once the budget is spent.
+      const bool preempt = cur_at_point && static_cast<int>(t) != current_;
+      if (preempt && preempt_used_ >= opts_.max_preemptions) continue;
+      out.push_back(Action{Action::Kind::kStep, static_cast<int>(t)});
+      if (w.st == WState::kAtPoint && w.op.kind == PendingOp::Kind::kStore &&
+          (w.op.order == rt::Order::kPlain ||
+           w.op.order == rt::Order::kRelaxed) &&
+          delayed_used_ < opts_.max_delayed_stores &&
+          w.buffer.size() < opts_.max_buffered) {
+        out.push_back(Action{Action::Kind::kDelay, static_cast<int>(t)});
+      }
+    }
+    for (std::size_t t = 0; t < n; ++t) {
+      if (!workers_[t]->buffer.empty())
+        out.push_back(Action{Action::Kind::kDrain, static_cast<int>(t)});
+    }
+    return out;
+  }
+
+  void grant_and_wait(std::unique_lock<std::mutex>& lk, Worker* w, Grant g) {
+    w->grant = g;
+    w->cv.notify_one();
+    ctrl_cv_.wait(lk,
+                  [&] { return w->grant == Grant::kNone && is_parked(*w); });
+  }
+
+  void perform(std::unique_lock<std::mutex>& lk, const Action& a) {
+    ++action_seq_;
+    tokens_.push_back(token_of(a));
+    Worker* w = workers_[a.t].get();
+    if (a.kind == Action::Kind::kDrain) {
+      StoreEntry e = std::move(w->buffer.front());
+      w->buffer.erase(w->buffer.begin());
+      std::memcpy(e.addr, e.bytes.data(), e.bytes.size());
+      return;
+    }
+    if (current_ >= 0 && a.t != current_ &&
+        workers_[current_]->st == WState::kAtPoint) {
+      ++preempt_used_;
+    }
+    current_ = a.t;
+    if (a.kind == Action::Kind::kDelay) ++delayed_used_;
+    grant_and_wait(lk, w,
+                   a.kind == Action::Kind::kDelay ? Grant::kDelay
+                                                  : Grant::kApply);
+  }
+
+  void kill_survivors(std::unique_lock<std::mutex>& lk, std::size_t n) {
+    killing_ = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      Worker* w = workers_[i].get();
+      if (w->st == WState::kAtPoint || w->st == WState::kYielded) {
+        w->grant = Grant::kKill;
+        w->cv.notify_one();
+      }
+    }
+    ctrl_cv_.wait(lk, [&] {
+      for (std::size_t i = 0; i < n; ++i) {
+        const WState st = workers_[i]->st;
+        if (st != WState::kDone && st != WState::kIdle) return false;
+      }
+      return true;
+    });
+  }
+
+  void set_violation(const std::string& msg) {
+    if (!violation_) {
+      violation_ = true;
+      violation_msg_ = msg;
+    }
+  }
+
+  std::string schedule_string() const {
+    std::ostringstream os;
+    os << opts_.name << ":";
+    for (std::size_t i = 0; i < tokens_.size(); ++i) {
+      if (i != 0) os << ",";
+      os << tokens_[i];
+    }
+    return os.str();
+  }
+
+  // Picks the next action: DFS chooser normally, token matching on replay.
+  // Returns false when a replay schedule ran out or mismatched (the run is
+  // then abandoned, not aborted — the caller reports it).
+  bool pick(const std::vector<Action>& enabled, std::size_t* out) {
+    if (replay_tokens_ != nullptr) {
+      if (replay_idx_ >= replay_tokens_->size()) {
+        replay_note_ = "replay schedule exhausted without a violation";
+        return false;
+      }
+      const std::string& tok = (*replay_tokens_)[replay_idx_++];
+      for (std::size_t i = 0; i < enabled.size(); ++i) {
+        if (token_of(enabled[i]) == tok) {
+          *out = i;
+          return true;
+        }
+      }
+      replay_note_ = "replay schedule token '" + tok +
+                     "' is not enabled at this point (model changed?)";
+      return false;
+    }
+    *out = chooser_.choose(enabled.size());
+    return true;
+  }
+
+  void run_one() {
+    // Per-schedule reset.
+    violation_ = false;
+    violation_msg_.clear();
+    replay_note_.clear();
+    replay_idx_ = 0;
+    killing_ = false;
+    tokens_.clear();
+    action_seq_ = 0;
+    delayed_used_ = 0;
+    preempt_used_ = 0;
+    current_ = -1;
+
+    Episode ep = make_();
+    const std::size_t n = ep.threads.size();
+    FM_CHECK_MSG(n >= 1, "episode with no threads");
+    ensure_workers(n);
+
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      for (auto& w : workers_) {
+        w->buffer.clear();
+        w->grant = Grant::kNone;
+        w->st = WState::kIdle;
+        w->yield_seq = 0;
+        w->op = PendingOp{};
+      }
+      // Launch threads one at a time; each runs (serialized) until its
+      // first instrumented op or completion. The launch order is part of
+      // the deterministic prefix every schedule shares.
+      for (std::size_t i = 0; i < n && !violation_; ++i) {
+        Worker* w = workers_[i].get();
+        w->body = ep.threads[i];
+        w->st = WState::kLaunch;
+        w->cv.notify_one();
+        ctrl_cv_.wait(lk, [&] { return is_parked(*w); });
+      }
+      std::size_t steps = 0;
+      while (!violation_) {
+        const std::vector<Action> enabled = enabled_actions(n);
+        if (enabled.empty()) {
+          bool done = true;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (workers_[i]->st != WState::kDone ||
+                !workers_[i]->buffer.empty()) {
+              done = false;
+              break;
+            }
+          }
+          if (done) break;
+          std::ostringstream os;
+          os << "deadlock: no enabled action, threads not finished (";
+          for (std::size_t i = 0; i < n; ++i) {
+            os << (i ? " " : "") << "t" << i << "="
+               << (workers_[i]->st == WState::kDone       ? "done"
+                   : workers_[i]->st == WState::kYielded ? "yielded"
+                                                         : "parked");
+          }
+          os << ")";
+          set_violation(os.str());
+          break;
+        }
+        std::size_t c = 0;
+        if (!pick(enabled, &c)) break;  // replay ran dry — abandon run
+        perform(lk, enabled[c]);
+        if (++steps > opts_.max_steps) {
+          set_violation("step cap exceeded (livelock or unbounded spin)");
+          break;
+        }
+      }
+      kill_survivors(lk, n);
+    }
+
+    if (!violation_ && replay_note_.empty() && ep.finally) {
+      try {
+        ep.finally();
+      } catch (const ViolationError& v) {
+        set_violation("final check: " + v.msg);
+      }
+    }
+  }
+
+  const ModelOptions opts_;
+  const std::function<Episode()> make_;
+
+  std::mutex mu_;
+  std::condition_variable ctrl_cv_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  bool shutdown_ = false;
+
+  Chooser chooser_;
+  const std::vector<std::string>* replay_tokens_ = nullptr;
+  std::size_t replay_idx_ = 0;
+  std::string replay_note_;
+
+  // Per-schedule state (controller-owned; workers are parked whenever the
+  // controller reads or writes it, and every handoff goes through mu_).
+  bool violation_ = false;
+  std::string violation_msg_;
+  bool killing_ = false;
+  std::vector<std::string> tokens_;
+  std::uint64_t action_seq_ = 0;
+  std::size_t delayed_used_ = 0;
+  std::size_t preempt_used_ = 0;
+  int current_ = -1;
+};
+
+std::vector<std::string> split_tokens(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+ModelResult explore(const ModelOptions& opts,
+                    const std::function<Episode()>& make) {
+  if (const char* env = std::getenv("FM_CHK_SCHEDULE")) {
+    const std::string s(env);
+    const std::size_t colon = s.find(':');
+    if (colon != std::string::npos && s.substr(0, colon) == opts.name)
+      return replay(opts, make, s);
+  }
+  Engine e(opts, make);
+  return e.run_explore();
+}
+
+ModelResult replay(const ModelOptions& opts,
+                   const std::function<Episode()>& make,
+                   const std::string& schedule) {
+  std::string tokens = schedule;
+  const std::size_t colon = schedule.find(':');
+  if (colon != std::string::npos) {
+    FM_CHECK_MSG(schedule.substr(0, colon) == opts.name,
+                 "FM_CHK_SCHEDULE names a different model");
+    tokens = schedule.substr(colon + 1);
+  }
+  Engine e(opts, make);
+  return e.run_replay(split_tokens(tokens));
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  if (g_engine != nullptr) throw ViolationError{msg};
+  detail::check_failed("fm/chk", 0, "chk::fail outside a model", msg.c_str());
+}
+
+namespace rt {
+
+void on_load(const void* addr, void* out, std::size_t len, Order o) {
+  if (g_engine != nullptr && tls_worker != nullptr) {
+    g_engine->do_load(addr, out, len, o);
+    return;
+  }
+  std::memcpy(out, addr, len);
+}
+
+void on_store(void* addr, const void* bytes, std::size_t len, Order o) {
+  if (g_engine != nullptr && tls_worker != nullptr) {
+    g_engine->do_store(addr, bytes, len, o);
+    return;
+  }
+  std::memcpy(addr, bytes, len);
+}
+
+void on_rmw(void*) {
+  if (g_engine != nullptr && tls_worker != nullptr) g_engine->do_rmw();
+}
+
+void on_yield() {
+  if (g_engine != nullptr && tls_worker != nullptr) g_engine->do_yield();
+}
+
+}  // namespace rt
+}  // namespace fm::chk

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "chk/shim.h"
 #include "common/annotate.h"
 #include "fm/cluster_runner.h"
 #include "fm/config.h"
@@ -130,8 +131,9 @@ class Cluster {
   std::unique_ptr<std::barrier<>> barrier_;
   // Sense-reversing state for the servicing barrier (independent of the
   // parking std::barrier so the two flavors can interleave freely).
-  std::atomic<std::size_t> svc_arrived_{0};
-  std::atomic<std::uint64_t> svc_gen_{0};
+  // chk::atomic IS std::atomic in production builds (chk/shim.h).
+  chk::atomic<std::size_t> svc_arrived_{0};
+  chk::atomic<std::uint64_t> svc_gen_{0};
   /// Guards report()/publish()/note_phase() calls racing in from
   /// concurrent node_main bodies.
   fm::Mutex report_mu_;

@@ -30,7 +30,9 @@ Endpoint::Endpoint(Cluster& cluster, NodeId id, const FmConfig& cfg,
   trace_.assert_writer();
   // FM-Scope: every Stats field as a named counter, plus occupancy gauges
   // for this backend's queue set (SPSC rings stand in for the wire, the
-  // reject/posted queues are the host-side stages).
+  // reject/posted queues are the host-side stages). The ring gauges use
+  // size_approx(), whose racy-snapshot contract (clamped, possibly stale)
+  // is exactly right for monitoring; protocol decisions never read it.
   stats_.register_into(registry_);
   registry_.gauge("q.tx_rings_depth", [this] {
     double n = 0;

@@ -43,6 +43,7 @@
 #include <new>
 #include <vector>
 
+#include "chk/shim.h"
 #include "common/annotate.h"
 #include "common/check.h"
 
@@ -110,7 +111,7 @@ class SpscRing {
     reserved_ = false;
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const auto n = static_cast<std::uint32_t>(len);
-    std::memcpy(slot(tail), &n, kPrefixBytes);
+    chk::shared_write(slot(tail), &n, kPrefixBytes);
     tail_.store(tail + 1, std::memory_order_release);
   }
 
@@ -119,7 +120,7 @@ class SpscRing {
       FM_REQUIRES(prod_role_) {
     std::uint8_t* dst = try_reserve(len);
     if (dst == nullptr) return false;
-    if (len != 0) std::memcpy(dst, frame, len);
+    if (len != 0) chk::shared_write(dst, frame, len);
     commit(len);
     return true;
   }
@@ -142,7 +143,7 @@ class SpscRing {
     for (std::size_t k = 0; k < n; ++k) {
       const std::uint8_t* s = slot(head + k);
       std::uint32_t len;
-      std::memcpy(&len, s, kPrefixBytes);
+      chk::shared_read(&len, s, kPrefixBytes);
       fn(s + kPrefixBytes, static_cast<std::size_t>(len));
     }
     head_.store(head + n, std::memory_order_release);
@@ -164,14 +165,52 @@ class SpscRing {
     });
   }
 
-  /// Approximate occupancy (exact from either endpoint's own thread).
+  /// Approximate occupancy — a RACY SNAPSHOT, for monitoring only.
+  ///
+  /// The two acquire loads are independent: the other side can publish
+  /// between them, so the value may be stale by the time it returns, and
+  /// the head (loaded second) can even pass the already-loaded tail. The
+  /// result is therefore clamped to [0, capacity] but carries no
+  /// transactional meaning — do not gate protocol decisions on it. A caller
+  /// that needs a stable count must be one of the endpoints and use its own
+  /// side's view: producer_size() from the producing thread,
+  /// consumer_size() from the consuming thread (exact for "slots I cannot
+  /// reuse yet" / "frames I could consume right now" respectively).
+  /// FM-Check's 3-thread observer model (tests/chk/) exercises exactly this
+  /// race and asserts only the clamp, never an exact value.
   std::size_t size_approx() const {
-    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    // Indices are monotonic mod 2^64, so only the wrapping difference is
+    // meaningful — never compare the raw values. A consistent snapshot
+    // yields d <= capacity even across the 2^64 wrap; anything else is the
+    // race: top bit set means the consumer passed the stale tail snapshot
+    // (a "negative" size, clamp to 0), other excesses clamp to capacity.
+    const std::uint64_t d = tail - head;
+    if (d <= mask_ + 1) return static_cast<std::size_t>(d);
+    return (d >> 63) ? 0 : mask_ + 1;
+  }
+
+  /// True when a consume would currently fail. Same racy-snapshot caveat
+  /// as size_approx().
+  bool empty_approx() const { return size_approx() == 0; }
+
+  /// Producer-side occupancy: a stable UPPER bound. Only this thread moves
+  /// tail, and the concurrent consumer can only advance head, so the true
+  /// occupancy is <= the returned value and free space only grows — the
+  /// view a producer needs for back-pressure decisions.
+  std::size_t producer_size() const FM_REQUIRES(prod_role_) {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_relaxed) -
                                     head_.load(std::memory_order_acquire));
   }
 
-  /// True when a consume would currently fail.
-  bool empty_approx() const { return size_approx() == 0; }
+  /// Consumer-side occupancy: a stable LOWER bound. Only this thread moves
+  /// head, and the concurrent producer can only advance tail, so at least
+  /// the returned number of frames is consumable right now.
+  std::size_t consumer_size() const FM_REQUIRES(cons_role_) {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_relaxed));
+  }
 
   /// Slot geometry.
   std::size_t capacity() const { return mask_ + 1; }
@@ -195,10 +234,13 @@ class SpscRing {
   // Consumer-owned line: its index plus its cached view of the producer's.
   // head_ itself is an atomic (both sides load it) so only the cache —
   // touched by exactly one side, never synchronized — is role-guarded.
-  alignas(64) std::atomic<std::uint64_t> head_;
+  // chk::atomic IS std::atomic in production (chk/shim.h); under
+  // FM_CHK_MODEL the tests/chk/ binaries route every access through the
+  // FM-Check scheduler to exhaustively explore this ring's interleavings.
+  alignas(64) chk::atomic<std::uint64_t> head_;
   std::uint64_t tail_cache_ FM_GUARDED_BY(cons_role_);
   // Producer-owned line, same layout mirrored.
-  alignas(64) std::atomic<std::uint64_t> tail_;
+  alignas(64) chk::atomic<std::uint64_t> tail_;
   std::uint64_t head_cache_ FM_GUARDED_BY(prod_role_);
   // reserve/commit pairing check (producer-only).
   bool reserved_ FM_GUARDED_BY(prod_role_) = false;

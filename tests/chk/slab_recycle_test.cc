@@ -1,0 +1,114 @@
+// Found-then-fixed fixture for the protocol explorer: the PR-2 slab-recycle
+// race, reproduced as a model over the REAL SendWindow.
+//
+// The scenario (src/shm/endpoint.cc, Endpoint::push): a blocked push holds
+// a `frame` pointer into the send-window slab and spins on a full ring,
+// servicing its own receive side between attempts. That nested extract can
+// process an ack for this very frame (a timeout retransmission of it got
+// through), releasing its slot — and the LIFO free list immediately hands
+// the SAME slab address to the next queued send, which overwrites the
+// bytes under the still-spinning push. The buggy push then transmits the
+// new message's bytes under the old frame's sequence number. The fix
+// re-validates `window_.find(dest, seq).data == frame` after every spin
+// iteration and abandons the push when the slot no longer holds its frame.
+//
+// The explorer enumerates every point at which the mid-spin ack can land;
+// the buggy variant must be caught with a replayable trail, the fixed
+// variant must survive the full enumeration.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "chk/explore.h"
+#include "fm/protocol.h"
+#include "gtest/gtest.h"
+
+namespace fm::chk {
+namespace {
+
+constexpr NodeId kDest = 1;
+constexpr std::size_t kSlotBytes = 4;
+constexpr std::uint32_t kPatternA = 0xAAAAAAAAu;  // first message's bytes
+constexpr std::uint32_t kPatternB = 0xBBBBBBBBu;  // recycled occupant's bytes
+
+// One explored path: serialize message A into the window, then spin as a
+// blocked push would, letting the explorer decide if/when the mid-spin ack
+// (and the slot's recycling to message B) happens. `revalidate` selects the
+// fixed behaviour.
+void blocked_push_path(Explorer& ex, bool revalidate) {
+  SendWindow window(2, kSlotBytes);
+  const std::uint32_t seq_a = window.next_seq(kDest);
+  std::uint8_t* frame = window.reserve(kDest, seq_a);
+  std::memcpy(frame, &kPatternA, kSlotBytes);
+  window.commit(kSlotBytes);
+
+  bool recycled = false;
+  for (int spin = 0; spin < 3; ++spin) {
+    // Each spin iteration the explorer picks what the world did while the
+    // push was blocked: 0 = ring still full (spin again), 1 = ring drained
+    // (push proceeds now), 2 = the nested extract processed an ack for
+    // frame A (only reachable while it is still pending).
+    const std::size_t c = ex.choose(recycled ? 2 : 3);
+    if (c == 2) {
+      // A retransmission of frame A got through and its ack lands
+      // mid-spin: the slot is released...
+      ex.check(window.ack(kDest, seq_a), "model premise: seq A was pending");
+      recycled = true;
+      // ...and the LIFO free list hands the SAME slab address to the next
+      // queued send, which serializes message B over it.
+      const std::uint32_t seq_b = window.next_seq(kDest);
+      std::uint8_t* frame_b = window.reserve(kDest, seq_b);
+      ex.check(frame_b == frame,
+               "model premise: LIFO free list reuses the released slot");
+      std::memcpy(frame_b, &kPatternB, kSlotBytes);
+      window.commit(kSlotBytes);
+      continue;
+    }
+    if (c == 0) continue;  // still full; keep spinning
+    // Ring has space: the push re-reads `frame` and transmits it as seq A.
+    if (revalidate && window.find(kDest, seq_a).data != frame) {
+      // Fixed: the slot no longer holds frame A — it was acked via the
+      // retransmission, so the push is abandoned with nothing lost.
+      return;
+    }
+    std::uint32_t sent = 0;
+    std::memcpy(&sent, frame, kSlotBytes);
+    ex.check(sent == kPatternA,
+             "slab-recycle race: stale frame pointer transmitted another "
+             "message's bytes under seq A");
+    return;
+  }
+}
+
+TEST(ChkSlabRecycle, BuggyPushIsCaughtWithReplayableTrail) {
+  Explorer::Options opts;
+  opts.name = "slab-recycle-buggy";
+  auto path = [](Explorer& ex) { blocked_push_path(ex, /*revalidate=*/false); };
+  const Explorer::Result res = Explorer::run_all(opts, path);
+  ASSERT_TRUE(res.violation)
+      << "explorer missed the PR-2 slab-recycle race";
+  EXPECT_NE(res.message.find("slab-recycle race"), std::string::npos)
+      << res.message;
+  EXPECT_GT(res.paths_explored, 1u);
+  std::printf("[fm-chk] slab-recycle-buggy: explored %llu schedules\n",
+              static_cast<unsigned long long>(res.paths_explored));
+
+  // The decision trail replays to the same violation (FM_CHK_SCHEDULE).
+  const Explorer::Result again = Explorer::replay(opts, path, res.schedule);
+  ASSERT_TRUE(again.violation);
+  EXPECT_EQ(again.message, res.message);
+}
+
+TEST(ChkSlabRecycle, RevalidatingPushSurvivesFullEnumeration) {
+  Explorer::Options opts;
+  opts.name = "slab-recycle-fixed";
+  const Explorer::Result res = Explorer::run_all(
+      opts, [](Explorer& ex) { blocked_push_path(ex, /*revalidate=*/true); });
+  EXPECT_FALSE(res.violation) << res.message << "\n  replay: " << res.schedule;
+  EXPECT_GT(res.paths_explored, 1u);
+  std::printf("[fm-chk] slab-recycle-fixed: explored %llu schedules\n",
+              static_cast<unsigned long long>(res.paths_explored));
+}
+
+}  // namespace
+}  // namespace fm::chk

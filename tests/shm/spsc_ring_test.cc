@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -267,6 +268,76 @@ TEST_P(SpscRingBatchStress, ReserveCommitBatchConsumeIntegrity) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SpscRingBatchStress,
                          ::testing::Values(2, 8, 64));
+
+// Single-threaded, the three size views must agree exactly: size_approx's
+// raciness and producer_size/consumer_size's one-sided staleness only show
+// up under concurrent index movement (model-checked in tests/chk).
+TEST(SpscRingSize, RoleViewsAreExactSingleThreaded) {
+  SpscRing ring(4, 16);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  EXPECT_EQ(ring.producer_size(), 0u);
+  EXPECT_EQ(ring.consumer_size(), 0u);
+
+  std::uint32_t v = 0;
+  for (std::size_t n = 1; n <= 4; ++n) {
+    ASSERT_TRUE(ring.try_push(&v, 4));
+    EXPECT_EQ(ring.size_approx(), n);
+    EXPECT_EQ(ring.producer_size(), n);
+    EXPECT_EQ(ring.consumer_size(), n);
+  }
+  EXPECT_FALSE(ring.try_push(&v, 4));  // full
+
+  for (std::size_t n = 4; n > 0; --n) {
+    ASSERT_TRUE(ring.try_consume([](const std::uint8_t*, std::size_t) {}));
+    EXPECT_EQ(ring.size_approx(), n - 1);
+    EXPECT_EQ(ring.producer_size(), n - 1);
+    EXPECT_EQ(ring.consumer_size(), n - 1);
+  }
+}
+
+TEST(SpscRingSize, ViewsTrackAcrossIndexWraparound) {
+  // Mod-2^64 index wrap must not disturb any of the size views.
+  SpscRing ring(4, 16, /*start_index=*/UINT64_MAX - 1);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.try_push(&v, 4));
+  EXPECT_EQ(ring.size_approx(), 3u);
+  EXPECT_EQ(ring.producer_size(), 3u);
+  EXPECT_EQ(ring.consumer_size(), 3u);
+  ASSERT_TRUE(ring.try_consume([](const std::uint8_t*, std::size_t) {}));
+  EXPECT_EQ(ring.size_approx(), 2u);
+  EXPECT_EQ(ring.producer_size(), 2u);
+  EXPECT_EQ(ring.consumer_size(), 2u);
+}
+
+// The clamp contract: whatever interleaving the two independent loads land
+// on, the reported value never escapes [0, capacity]. Concurrent readers
+// hammer size_approx() through a full producer/consumer run; the exhaustive
+// interleaving-level version of this check lives in tests/chk (FM-Check).
+TEST(SpscRingSize, SizeApproxStaysClampedUnderConcurrency) {
+  SpscRing ring(8, 16);
+  std::atomic<bool> done{false};
+  std::thread observer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const std::size_t sz = ring.size_approx();
+      ASSERT_LE(sz, ring.capacity());
+    }
+  });
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < 20000; ++i)
+      while (!ring.try_push(&i, 4)) std::this_thread::yield();
+  });
+  int seen = 0;
+  while (seen < 20000) {
+    if (ring.try_consume([](const std::uint8_t*, std::size_t) {}))
+      ++seen;
+    else
+      std::this_thread::yield();
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  observer.join();
+  EXPECT_TRUE(ring.empty_approx());
+}
 
 }  // namespace
 }  // namespace fm::shm
